@@ -1,0 +1,48 @@
+//! Canonical topologies and addressing conventions.
+//!
+//! Every scenario in this workspace is a variation of the paper's testbed:
+//! a ToR switch with host-facing ports and one (or more) memory servers.
+//! Conventions:
+//!
+//! * Host `i` (0-based) attaches to switch port `i`, with MAC
+//!   `02:00:00:00:00:(i+1)` and IP `10.0.0.(i+1)`.
+//! * Memory servers attach after the hosts, with MACs/IPs continuing the
+//!   sequence.
+//! * The switch's own RoCE identity is `02:00:00:00:00:64` / `10.0.0.254`.
+
+use extmem_wire::roce::RoceEndpoint;
+use extmem_wire::MacAddr;
+
+/// MAC of host `i` (0-based).
+pub fn host_mac(i: usize) -> MacAddr {
+    MacAddr::local(i as u32 + 1)
+}
+
+/// IPv4 (host order) of host `i` (0-based): `10.0.0.(i+1)`.
+pub fn host_ip(i: usize) -> u32 {
+    0x0a00_0001 + i as u32
+}
+
+/// The RoCE endpoint identity of host `i`.
+pub fn host_endpoint(i: usize) -> RoceEndpoint {
+    RoceEndpoint { mac: host_mac(i), ip: host_ip(i) }
+}
+
+/// The switch's RoCE identity (source of RDMA requests).
+pub fn switch_endpoint() -> RoceEndpoint {
+    RoceEndpoint { mac: MacAddr::local(100), ip: 0x0a00_00fe }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing_conventions() {
+        assert_eq!(host_mac(0), MacAddr::local(1));
+        assert_eq!(host_ip(0), 0x0a000001);
+        assert_eq!(host_ip(7), 0x0a000008);
+        assert_eq!(host_endpoint(2).mac, MacAddr::local(3));
+        assert_ne!(switch_endpoint().mac, host_mac(0));
+    }
+}

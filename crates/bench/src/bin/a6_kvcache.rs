@@ -1,0 +1,40 @@
+//! A6 — application study: in-network key-value serving (the §2.2 NetCache
+//! aside) over the remote lookup table.
+//!
+//! GETs for cached keys are answered by the switch in one RTT to the ToR;
+//! misses cost one more round trip — to the server's *RNIC*, not its CPU.
+//! The paper's pitch is that this second tier replaces NetCache's software
+//! slow path; the table quantifies it across skews and cache sizes.
+
+use extmem_apps::kvcache::run_kv;
+use extmem_bench::table::{f2, f3, print_table};
+
+fn main() {
+    println!("A6: in-network KV over remote memory (1024 keys, 5000 GETs, closed loop)");
+
+    for &skew in &[0.6f64, 0.99, 1.3] {
+        let mut rows = Vec::new();
+        for cache in [None, Some(16usize), Some(64), Some(256)] {
+            let r = run_kv(1024, skew, 5_000, cache, 17);
+            assert_eq!(r.wrong, 0, "wrong values served");
+            assert_eq!(r.server_cpu_packets, 0, "server CPU touched");
+            let hit = r.lookup.cache_hits as f64
+                / (r.lookup.cache_hits + r.lookup.remote_lookups).max(1) as f64;
+            rows.push(vec![
+                cache.map_or("off".into(), |c| c.to_string()),
+                f3(hit),
+                r.lookup.remote_lookups.to_string(),
+                f2(r.latency.median.as_micros_f64()),
+                f2(r.latency.p99.as_micros_f64()),
+            ]);
+        }
+        print_table(
+            &format!("zipf skew = {skew}"),
+            &["cache entries", "switch-served frac", "remote GETs", "median RTT us", "p99 RTT us"],
+            &rows,
+        );
+    }
+    println!("\nevery GET is answered with the correct value; the server CPU handles zero");
+    println!("packets in all configurations — the remote tier replaces the software");
+    println!("slow path NetCache-class systems fall back to.");
+}

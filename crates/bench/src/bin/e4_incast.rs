@@ -1,0 +1,81 @@
+//! E4 — §2.1 / Fig 1a: the 8-into-1 incast, baseline vs remote packet
+//! buffer.
+//!
+//! The paper's arithmetic: 8 × 40 Gbps senders, one 40 Gbps receiver,
+//! 50 MB aggregate burst, 12 MB switch buffer. The buffer fills in
+//! `12 MB / (8−1) / 40 Gbps = 0.34 ms` and the switch starts dropping;
+//! draining the whole burst takes at least `50 MB / 40 Gbps = 10 ms`.
+//! With the remote packet buffer striped over the servers under the ToR,
+//! the burst is absorbed and delivery is lossless.
+
+use extmem_apps::incast::{run_incast, IncastConfig, RemoteBufferSpec};
+use extmem_bench::table::{f2, f3, print_table};
+
+fn main() {
+    println!("E4: incast rescue — 8x40G -> 1x40G, 50MB burst, 12MB switch buffer");
+
+    let baseline = run_incast(IncastConfig::paper_scale(None));
+    let remote = run_incast(IncastConfig::paper_scale(Some(RemoteBufferSpec::default())));
+
+    let row = |name: &str, r: &extmem_apps::incast::IncastResult| {
+        vec![
+            name.into(),
+            r.sent.to_string(),
+            r.delivered.to_string(),
+            r.tm_drops.to_string(),
+            f3(r.delivery_ratio),
+            f2(r.completion.as_millis_f64()),
+            format!("{:.1}", r.peak_buffer as f64 / 1e6),
+            r.pb.stored.to_string(),
+            r.pb.max_ring_occupancy.to_string(),
+        ]
+    };
+    print_table(
+        "incast outcome",
+        &[
+            "config",
+            "sent",
+            "delivered",
+            "drops",
+            "ratio",
+            "completion ms",
+            "peak buf MB",
+            "detoured",
+            "peak ring",
+        ],
+        &[row("baseline (drop-tail)", &baseline), row("remote packet buffer", &remote)],
+    );
+
+    println!("\npaper §2.1 expectations:");
+    println!("  baseline: buffer fills within ~0.34 ms; most of the burst beyond ~12MB drops");
+    println!("  remote buffer: zero drops; completion bounded by the 40G drain (>= 10 ms)");
+    assert_eq!(remote.delivered, remote.sent, "remote buffer failed to absorb the burst");
+    assert!(baseline.tm_drops > 0, "baseline unexpectedly lossless");
+
+    // Provisioning sweep (CI-scale burst): how many servers does the
+    // detour need? 280G of excess divided by the per-server intake ceiling
+    // (~34.3G payload, E1) says 9.
+    let mut rows = Vec::new();
+    for servers in [1usize, 4, 7, 8, 9, 12] {
+        let r = run_incast(IncastConfig::small(Some(RemoteBufferSpec {
+            servers,
+            ..Default::default()
+        })));
+        rows.push(vec![
+            servers.to_string(),
+            f3(r.delivery_ratio),
+            r.tm_drops.to_string(),
+            (r.pb.lost_entries + r.pb.ring_full_fallbacks).to_string(),
+            f2(r.completion.as_millis_f64()),
+        ]);
+    }
+    print_table(
+        "provisioning sweep (1/10-scale burst): memory servers vs outcome",
+        &["servers", "delivery ratio", "switch drops", "ring losses/fallbacks", "completion ms"],
+        &rows,
+    );
+    println!("\nthe knee sits at 8-9 servers, not the naive 280/40 = 7: encapsulation");
+    println!("overhead and the NIC write ceiling both shave per-server intake. (At this");
+    println!("1/10-scale burst 8 suffice — the small deficit hides in the NIC RX queue;");
+    println!("the full 50MB burst above needs 9.)");
+}

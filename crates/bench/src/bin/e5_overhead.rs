@@ -1,0 +1,90 @@
+//! E5 — §4 "Overhead": the per-operation header-byte accounting.
+//!
+//! "In an RDMA packet, RoCEv2 protocol adds 40 bytes (52 bytes in the case
+//! of RoCEv1) of headers containing routing and transport information in
+//! addition to an RDMA operation-specific header of 16 (WRITE/READ) or 28
+//! bytes (Fetch-and-Add)."
+//!
+//! This binary regenerates the numbers from the wire-format structs by
+//! actually *building* packets and measuring them, rather than quoting
+//! constants — if the codecs drift, this table drifts.
+
+use extmem_bench::table::print_table;
+use extmem_types::{QpNum, Rkey};
+use extmem_wire::atomic::AtomicEth;
+use extmem_wire::bth::{Bth, Opcode};
+use extmem_wire::ethernet::EthernetHeader;
+use extmem_wire::icrc::ICRC_LEN;
+use extmem_wire::reth::Reth;
+use extmem_wire::roce::{
+    RoceEndpoint, RoceExt, RocePacket, FETCH_ADD_OP_OVERHEAD, ROCEV2_BASE_OVERHEAD,
+    WRITE_READ_OP_OVERHEAD,
+};
+use extmem_wire::MacAddr;
+
+fn wire_len(op: Opcode, ext: RoceExt, payload: usize) -> usize {
+    let src = RoceEndpoint { mac: MacAddr::local(1), ip: 1 };
+    let dst = RoceEndpoint { mac: MacAddr::local(2), ip: 2 };
+    RocePacket::new(src, dst, 0x9000, Bth::new(op, QpNum(1), 0), ext, vec![0u8; payload])
+        .build()
+        .expect("encodes")
+        .len()
+}
+
+fn main() {
+    println!("E5: §4 overhead accounting (regenerated from the packet codecs)");
+
+    let reth = RoceExt::Reth(Reth { va: 0, rkey: Rkey(1), dma_len: 0 });
+    let write_empty = wire_len(Opcode::WriteOnly, reth, 0);
+    let reth1500 = RoceExt::Reth(Reth { va: 0, rkey: Rkey(1), dma_len: 1500 });
+    let write_1500 = wire_len(Opcode::WriteOnly, reth1500, 1500);
+    let read_req = wire_len(Opcode::ReadRequest, reth, 0);
+    let faa = wire_len(
+        Opcode::FetchAdd,
+        RoceExt::AtomicEth(AtomicEth { va: 0, rkey: Rkey(1), swap_add: 1, compare: 0 }),
+        0,
+    );
+
+    let eth = EthernetHeader::LEN;
+    let rows = vec![
+        vec![
+            "RoCEv2 routing+transport (IP+UDP+BTH)".into(),
+            ROCEV2_BASE_OVERHEAD.to_string(),
+            "40".into(),
+        ],
+        vec![
+            "RoCEv1 routing+transport (GRH+BTH)".into(),
+            (extmem_wire::grh::Grh::LEN + extmem_wire::bth::Bth::LEN).to_string(),
+            "52".into(),
+        ],
+        vec![
+            "WRITE/READ op-specific (RETH)".into(),
+            WRITE_READ_OP_OVERHEAD.to_string(),
+            "16".into(),
+        ],
+        vec![
+            "Fetch-and-Add op-specific (AtomicETH)".into(),
+            FETCH_ADD_OP_OVERHEAD.to_string(),
+            "28".into(),
+        ],
+    ];
+    print_table("header overhead (bytes)", &["component", "measured", "paper"], &rows);
+
+    let rows = vec![
+        vec!["RDMA WRITE, empty payload".into(), write_empty.to_string()],
+        vec!["RDMA WRITE, 1500B payload (stored frame)".into(), write_1500.to_string()],
+        vec!["RDMA READ request".into(), read_req.to_string()],
+        vec!["Fetch-and-Add request".into(), faa.to_string()],
+    ];
+    print_table("full frame sizes on the wire (bytes, incl. Eth+ICRC)", &["packet", "bytes"], &rows);
+
+    println!(
+        "\nper-stored-frame tax: {} B of encapsulation on a 1500 B packet ({:.1}% of link bandwidth)",
+        write_1500 - 1500 - eth,
+        (write_1500 as f64 / (1500 + eth) as f64 - 1.0) * 100.0
+    );
+    assert_eq!(ROCEV2_BASE_OVERHEAD, 40);
+    assert_eq!(WRITE_READ_OP_OVERHEAD, 16);
+    assert_eq!(FETCH_ADD_OP_OVERHEAD, 28);
+    assert_eq!(write_empty, eth + 40 + 16 + ICRC_LEN);
+}

@@ -1,0 +1,228 @@
+//! Experiment E1: the §5 packet-buffer microbenchmark.
+//!
+//! Reproduces the three numbers of "Packet buffer primitive":
+//!
+//! * max **store** rate without loss — 1500 B frames arrive, the switch
+//!   encapsulates every one into an RDMA WRITE to the remote ring (manual
+//!   mode); beyond the ceiling "RDMA requests were occasionally dropped at
+//!   the NIC" (the NIC RX queue overflows),
+//! * max **forward** (load) rate — the ring is pre-loaded, then drained
+//!   through the response-triggered READ chain to the destination port,
+//! * the **native** server-to-server RDMA WRITE / READ baseline, which the
+//!   paper found "only 4.4% faster".
+
+use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
+use extmem_apps::workload::{SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_core::packet_buffer::{Mode, PacketBufferProgram, TOKEN_START_LOADING};
+use extmem_core::{Fib, RdmaChannel};
+use extmem_rnic::requester::{setup_channel, ReadLooper, WriteBlaster};
+use extmem_rnic::{RnicConfig, RnicNode};
+use extmem_sim::{LinkSpec, SimBuilder};
+use extmem_switch::switch::program_token;
+use extmem_switch::{SwitchConfig, SwitchNode};
+use extmem_types::{ByteSize, FiveTuple, PortId, QpNum, Rate, Time, TimeDelta};
+
+/// Ring entry size for E1: header (6) plus a full 1500 B frame, rounded to
+/// the 4 B RoCE pad boundary — the paper's "allocate the buffer to store
+/// full-sized Ethernet frame in each entry".
+pub const E1_ENTRY: u64 = 1516;
+
+/// Frames per measurement run. Large enough that a small service deficit
+/// accumulates past the NIC RX queue and shows up as loss.
+pub const E1_COUNT: u64 = 40_000;
+
+/// Outcome of one offered-rate probe.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreProbe {
+    /// Offered payload rate.
+    pub offered: Rate,
+    /// Frames stored (accepted by the NIC).
+    pub accepted: u64,
+    /// Frames lost anywhere (switch TM or NIC).
+    pub lost: u64,
+}
+
+/// Drive the store path at `offered` payload rate and report losses.
+pub fn probe_store(offered: Rate, count: u64) -> StoreProbe {
+    let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
+    let region = ByteSize::from_bytes((count + 8) * E1_ENTRY);
+    let channel = RdmaChannel::setup_relaxed(switch_endpoint(), PortId(2), &mut nic, region);
+
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = PacketBufferProgram::new(
+        fib,
+        vec![channel],
+        PortId(1),
+        E1_ENTRY,
+        Mode::Manual,
+        8,
+        TimeDelta::from_millis(10),
+    );
+
+    let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 9_000, 17);
+    let mut b = SimBuilder::new(21);
+    let switch =
+        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 1500, offered, count),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let srv = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), srv, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_to_quiescence();
+
+    let nic = sim.node::<RnicNode>(srv);
+    let accepted = nic.stats().writes;
+    StoreProbe { offered, accepted, lost: count - accepted }
+}
+
+/// Pre-load `count` frames into the ring at a safe rate, then drain and
+/// measure the forwarding goodput at the destination.
+pub fn measure_forward_rate(count: u64) -> Rate {
+    let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
+    let region = ByteSize::from_bytes((count + 8) * E1_ENTRY);
+    let channel = RdmaChannel::setup_relaxed(switch_endpoint(), PortId(2), &mut nic, region);
+
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = PacketBufferProgram::new(
+        fib,
+        vec![channel],
+        PortId(1),
+        E1_ENTRY,
+        Mode::Manual,
+        8,
+        TimeDelta::from_millis(10),
+    );
+
+    let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 9_000, 17);
+    let mut b = SimBuilder::new(22);
+    let switch =
+        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 1500, Rate::from_gbps(25), count),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let srv = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), srv, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    // Store phase: run until every frame is in the ring.
+    let store_time = TimeDelta::from_secs_f64(count as f64 * 1500.0 * 8.0 / 25e9 + 1e-3);
+    sim.run_until(Time::ZERO + store_time);
+    // Drain phase.
+    sim.schedule_timer(switch, TimeDelta::ZERO, program_token(TOKEN_START_LOADING));
+    sim.run_to_quiescence();
+
+    let sink = sim.node::<SinkNode>(sink);
+    assert_eq!(sink.received, count, "forward path lost frames");
+    let elapsed = sink.last_rx.saturating_since(sink.first_rx.expect("frames delivered"));
+    extmem_apps::metrics::throughput((count - 1) * 1500, elapsed)
+}
+
+/// Native server-to-server WRITE probe (no switch data-plane logic): a host
+/// blasts `count` 1500 B WRITEs at `offered` payload rate straight into the
+/// RNIC.
+pub fn probe_native_write(offered: Rate, count: u64) -> StoreProbe {
+    let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(1)));
+    let (qp, rkey, base) = setup_channel(
+        host_endpoint(0),
+        QpNum(0x900),
+        &mut nic,
+        ByteSize::from_mb(8),
+    );
+    // Pace by *payload* rate to stay comparable with probe_store.
+    let wire_rate = offered.scaled(1576.0 / 1500.0);
+    let blaster =
+        WriteBlaster::new("blaster", qp, rkey, base, 8_000_000, 1500, wire_rate, count);
+    let mut b = SimBuilder::new(23);
+    let bl = b.add_node(Box::new(blaster));
+    let srv = b.add_node(Box::new(nic));
+    b.connect(bl, PortId(0), srv, PortId(0), LinkSpec::testbed_40g());
+    let mut sim = b.build();
+    sim.schedule_timer(bl, TimeDelta::ZERO, 1);
+    sim.run_to_quiescence();
+    let accepted = sim.node::<RnicNode>(srv).stats().writes;
+    StoreProbe { offered, accepted, lost: count - accepted }
+}
+
+/// Native server-to-server READ goodput: closed loop, window 8.
+pub fn measure_native_read(count: u64) -> Rate {
+    let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(1)));
+    let (qp, rkey, base) = setup_channel(
+        host_endpoint(0),
+        QpNum(0x901),
+        &mut nic,
+        ByteSize::from_mb(8),
+    );
+    let looper = ReadLooper::new("looper", qp, rkey, base, 8_000_000, 1500, 8, count);
+    let mut b = SimBuilder::new(24);
+    let lo = b.add_node(Box::new(looper));
+    let srv = b.add_node(Box::new(nic));
+    b.connect(lo, PortId(0), srv, PortId(0), LinkSpec::testbed_40g());
+    let mut sim = b.build();
+    sim.schedule_timer(lo, TimeDelta::ZERO, 0);
+    sim.run_to_quiescence();
+    let lo = sim.node::<ReadLooper>(lo);
+    assert_eq!(lo.completed, count);
+    extmem_apps::metrics::throughput(lo.bytes, lo.last_completion.saturating_since(Time::ZERO))
+}
+
+/// Sweep offered rates and return the highest lossless one.
+pub fn max_lossless(mut probe: impl FnMut(Rate) -> StoreProbe, rates_gbps: &[f64]) -> Rate {
+    let mut best = Rate::ZERO;
+    for &g in rates_gbps {
+        let r = probe(Rate::from_gbps_f64(g));
+        if r.lost == 0 && r.offered > best {
+            best = r.offered;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_is_lossless_below_ceiling_and_lossy_above() {
+        let low = probe_store(Rate::from_gbps(30), 5_000);
+        assert_eq!(low.lost, 0, "{low:?}");
+        let high = probe_store(Rate::from_gbps(40), 40_000);
+        assert!(high.lost > 0, "line rate must exceed the NIC ceiling: {high:?}");
+    }
+
+    #[test]
+    fn forward_rate_in_paper_regime() {
+        let r = measure_forward_rate(5_000);
+        let g = r.gbps_f64();
+        assert!((34.0..40.0).contains(&g), "forward rate {g} Gbps out of regime");
+    }
+
+    #[test]
+    fn native_write_slightly_faster_than_store_path() {
+        let native = probe_native_write(Rate::from_gbps(34), 5_000);
+        assert_eq!(native.lost, 0, "{native:?}");
+    }
+
+    #[test]
+    fn native_read_in_regime() {
+        let g = measure_native_read(3_000).gbps_f64();
+        assert!((34.0..40.5).contains(&g), "native read {g} Gbps out of regime");
+    }
+}

@@ -1,0 +1,68 @@
+//! Minimal fixed-width table rendering for harness output.
+
+/// Print a titled table: a header row and data rows, columns padded to the
+/// widest cell. Output is plain text that reads well in a terminal and
+/// pastes cleanly into EXPERIMENTS.md.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let render = |cells: Vec<&str>| {
+        let line: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        println!("  {}", line.join("  "));
+    };
+    render(headers.to_vec());
+    render(widths.iter().map(|_| "-").collect::<Vec<_>>());
+    for row in rows {
+        render(row.iter().map(String::as_str).collect());
+    }
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.256), "1.26");
+        assert_eq!(f3(0.12345), "0.123");
+    }
+
+    #[test]
+    fn table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "bee"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        print_table("demo", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

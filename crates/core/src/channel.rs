@@ -1,0 +1,136 @@
+//! The RDMA channel controller.
+//!
+//! §3: "An RDMA channel controller running on the switch control plane and
+//! a server is responsible to allocate memory regions on the server, set up
+//! an RDMA channel, and pass the channel information including a remote
+//! queue pair number (QPN), a base address of the registered memory region,
+//! and a remote access key (Rkey) for the region to the data plane."
+//!
+//! In the simulation this runs *before* events flow — exactly mirroring the
+//! paper's initialization-only CPU involvement. Everything after setup is
+//! pure data plane.
+
+use extmem_rnic::requester::RequesterQp;
+use extmem_rnic::RnicNode;
+use extmem_types::{ByteSize, PortId, QpNum, Rkey};
+use extmem_wire::roce::RoceEndpoint;
+
+/// Everything the switch data plane needs to use one remote memory region:
+/// the paper's `(QPN, base address, Rkey)` triple plus the requester-side
+/// QP state and the switch port the memory server hangs off.
+#[derive(Debug, Clone)]
+pub struct RdmaChannel {
+    /// Requester-side QP (PSN allocation, packet building).
+    pub qp: RequesterQp,
+    /// Remote access key of the registered region.
+    pub rkey: Rkey,
+    /// Base virtual address of the region.
+    pub base_va: u64,
+    /// Region length in bytes.
+    pub region_len: u64,
+    /// The switch port the memory server's RNIC is attached to.
+    pub server_port: PortId,
+}
+
+/// The QPN the switch data plane presents as its own. Responses arrive
+/// addressed to it; any value works since the switch demultiplexes by port.
+pub const SWITCH_QPN: QpNum = QpNum(0x7700);
+
+impl RdmaChannel {
+    /// Run the control-plane setup against a memory server's RNIC:
+    /// registers `region_size` bytes, creates the responder QP, and returns
+    /// the assembled channel for the data plane.
+    ///
+    /// ```
+    /// use extmem_core::RdmaChannel;
+    /// use extmem_rnic::{RnicConfig, RnicNode};
+    /// use extmem_types::{ByteSize, PortId};
+    /// use extmem_wire::roce::RoceEndpoint;
+    /// use extmem_wire::MacAddr;
+    ///
+    /// let server = RoceEndpoint { mac: MacAddr::local(9), ip: 0x0a000009 };
+    /// let switch = RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a0000fe };
+    /// let mut nic = RnicNode::new("memsrv", RnicConfig::at(server));
+    /// let channel = RdmaChannel::setup(switch, PortId(2), &mut nic, ByteSize::from_mb(1));
+    /// // The paper's (QPN, base address, rkey) triple, ready for the data plane:
+    /// assert_eq!(channel.region_len, 1_000_000);
+    /// let _ = (channel.qp.peer_qpn, channel.base_va, channel.rkey);
+    /// ```
+    ///
+    /// `switch_endpoint` is the L2/L3 identity the switch uses when
+    /// crafting RDMA packets; `server_port` is where the RNIC is attached.
+    pub fn setup(
+        switch_endpoint: RoceEndpoint,
+        server_port: PortId,
+        nic: &mut RnicNode,
+        region_size: ByteSize,
+    ) -> RdmaChannel {
+        Self::setup_with(switch_endpoint, server_port, nic, region_size, false)
+    }
+
+    /// [`RdmaChannel::setup`] over a best-effort (relaxed-PSN) QP — the
+    /// flavour the packet-buffer primitive uses so that lost RDMA packets
+    /// degrade to lost payload packets instead of wedging the channel (§7).
+    pub fn setup_relaxed(
+        switch_endpoint: RoceEndpoint,
+        server_port: PortId,
+        nic: &mut RnicNode,
+        region_size: ByteSize,
+    ) -> RdmaChannel {
+        Self::setup_with(switch_endpoint, server_port, nic, region_size, true)
+    }
+
+    fn setup_with(
+        switch_endpoint: RoceEndpoint,
+        server_port: PortId,
+        nic: &mut RnicNode,
+        region_size: ByteSize,
+        relaxed: bool,
+    ) -> RdmaChannel {
+        let (rkey, base_va) = nic.register_region(region_size);
+        let qpn = nic.create_qp_with(switch_endpoint, SWITCH_QPN, 0, relaxed);
+        RdmaChannel {
+            qp: RequesterQp::new(switch_endpoint, nic.endpoint(), qpn, nic.mtu()),
+            rkey,
+            base_va,
+            region_len: region_size.bytes(),
+            server_port,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extmem_rnic::RnicConfig;
+    use extmem_wire::MacAddr;
+
+    #[test]
+    fn setup_wires_the_triple() {
+        let server = RoceEndpoint { mac: MacAddr::local(9), ip: 0x0a000009 };
+        let switch = RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 };
+        let mut nic = RnicNode::new("mem", RnicConfig::at(server));
+        let ch = RdmaChannel::setup(switch, PortId(3), &mut nic, ByteSize::from_mb(1));
+        assert_eq!(ch.region_len, 1_000_000);
+        assert_eq!(ch.server_port, PortId(3));
+        assert_eq!(ch.qp.peer, server);
+        assert_eq!(ch.qp.local, switch);
+        assert_eq!(ch.qp.mtu, nic.mtu());
+        // The responder knows the switch as its peer.
+        assert_eq!(nic.qp(ch.qp.peer_qpn).peer_qpn, SWITCH_QPN);
+        // The region is real and zeroed.
+        assert_eq!(nic.region(ch.rkey).read(ch.base_va, 8).unwrap(), &[0u8; 8][..]);
+    }
+
+    #[test]
+    fn two_channels_get_distinct_resources() {
+        let server = RoceEndpoint { mac: MacAddr::local(9), ip: 0x0a000009 };
+        let switch = RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 };
+        let mut nic = RnicNode::new("mem", RnicConfig::at(server));
+        let a = RdmaChannel::setup(switch, PortId(3), &mut nic, ByteSize::from_kb(8));
+        let b = RdmaChannel::setup(switch, PortId(3), &mut nic, ByteSize::from_kb(8));
+        assert_ne!(a.rkey, b.rkey);
+        assert_ne!(a.base_va, b.base_va);
+        assert_ne!(a.qp.peer_qpn, b.qp.peer_qpn);
+    }
+}

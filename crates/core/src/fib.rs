@@ -1,0 +1,80 @@
+//! Basic L2 forwarding state shared by every program.
+
+use extmem_switch::table::{ExactMatchTable, Replacement};
+use extmem_types::PortId;
+use extmem_wire::{EthernetHeader, MacAddr, Packet};
+
+/// A destination-MAC → egress-port forwarding table.
+#[derive(Debug)]
+pub struct Fib {
+    table: ExactMatchTable<MacAddr, PortId>,
+    /// Packets dropped because the destination MAC was unknown.
+    pub unknown_dst_drops: u64,
+}
+
+impl Fib {
+    /// A FIB with room for `capacity` MACs.
+    pub fn new(capacity: usize) -> Fib {
+        Fib { table: ExactMatchTable::new(capacity, Replacement::Deny), unknown_dst_drops: 0 }
+    }
+
+    /// Control plane: bind `mac` to `port`.
+    pub fn install(&mut self, mac: MacAddr, port: PortId) {
+        assert!(self.table.insert(mac, port), "FIB full");
+    }
+
+    /// Egress port for `pkt`'s destination MAC, if known. Counts a drop
+    /// when unknown.
+    pub fn egress_for(&mut self, pkt: &Packet) -> Option<PortId> {
+        let eth = EthernetHeader::parse(pkt.as_slice()).ok()?;
+        match self.table.lookup(&eth.dst).copied() {
+            Some(p) => Some(p),
+            None => {
+                self.unknown_dst_drops += 1;
+                None
+            }
+        }
+    }
+
+    /// Egress port for a destination MAC.
+    pub fn port_of(&mut self, mac: &MacAddr) -> Option<PortId> {
+        self.table.lookup(mac).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extmem_wire::EtherType;
+
+    fn frame(dst: MacAddr) -> Packet {
+        let mut buf = vec![0u8; 64];
+        EthernetHeader { dst, src: MacAddr::local(1), ethertype: EtherType::Other(0x88b5) }
+            .write(&mut buf)
+            .unwrap();
+        Packet::from_vec(buf)
+    }
+
+    #[test]
+    fn installs_and_forwards() {
+        let mut fib = Fib::new(8);
+        fib.install(MacAddr::local(2), PortId(5));
+        assert_eq!(fib.egress_for(&frame(MacAddr::local(2))), Some(PortId(5)));
+        assert_eq!(fib.port_of(&MacAddr::local(2)), Some(PortId(5)));
+    }
+
+    #[test]
+    fn unknown_mac_counts_drop() {
+        let mut fib = Fib::new(8);
+        assert_eq!(fib.egress_for(&frame(MacAddr::local(3))), None);
+        assert_eq!(fib.unknown_dst_drops, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIB full")]
+    fn overflow_panics() {
+        let mut fib = Fib::new(1);
+        fib.install(MacAddr::local(1), PortId(0));
+        fib.install(MacAddr::local(2), PortId(1));
+    }
+}

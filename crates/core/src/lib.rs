@@ -1,0 +1,62 @@
+//! **extmem-core** — the remote-memory primitives of *Generic External
+//! Memory for Switch Data Planes* (HotNets 2018).
+//!
+//! The paper's thesis: a programmable switch can treat DRAM on ordinary
+//! servers as a new tier of its memory hierarchy, reached purely from the
+//! data plane over one-sided RDMA (RoCEv2), with zero server-CPU
+//! involvement. This crate implements the three primitives the paper
+//! designs, each as a [`extmem_switch::PipelineProgram`]:
+//!
+//! | paper §4 primitive | module | remote data structure | verbs used |
+//! |---|---|---|---|
+//! | packet buffer | [`packet_buffer`] | ring buffer of fixed-size entries | WRITE + READ |
+//! | lookup table | [`lookup`] | fixed-size array of (action, packet) slots | WRITE + READ |
+//! | state store | [`state_store`], [`sketch`] | array of 64-bit counters | Fetch-and-Add |
+//! | state store (event capture) | [`trace_store`] | ring of 32-byte packet records | WRITE |
+//!
+//! Supporting modules:
+//!
+//! * [`channel`] — the RDMA channel controller (the only control-plane /
+//!   CPU-involved step): registers server memory, creates the QP, and hands
+//!   the data plane the `(QPN, base address, rkey)` triple.
+//! * [`fib`] — the basic L2 forwarding table every program embeds.
+//! * [`l2`] — the plain L2 switch program, the paper's §5 baseline.
+//! * [`faa`] — the Fetch-and-Add engine shared by the state-store and
+//!   sketch programs: outstanding-request bounding, local accumulation
+//!   (§4), optional batching and switch-side retransmission (§7 future
+//!   work, built as extensions).
+//! * [`sketch`] — Count-Min and Count Sketch over remote counters (§2.3's
+//!   telemetry use case).
+//! * [`lpm`] — longest-prefix matching over remote memory: the §7
+//!   ternary-matching co-design, solved with one exact-match rung per
+//!   prefix length.
+//! * [`slow_path`] — the CPU software-fallback baseline the lookup
+//!   primitive replaces (§2.2), for the A8 comparison.
+//! * [`composite`] — multiple primitives on one switch (§1's coexistence
+//!   motivation): the gateway and telemetry in a single pipeline.
+//! * [`trace_store`] — WRITE-based packet-event capture (§2.3) plus
+//!   operator-side trace analysis (§7's "streaming packet trace analysis
+//!   system").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod composite;
+pub mod faa;
+pub mod fib;
+pub mod l2;
+pub mod lookup;
+pub mod lpm;
+pub mod packet_buffer;
+pub mod sketch;
+pub mod slow_path;
+pub mod state_store;
+pub mod trace_store;
+
+pub use channel::RdmaChannel;
+pub use fib::Fib;
+pub use l2::L2Program;
+pub use lookup::{ActionEntry, ActionKind, LookupTableProgram};
+pub use packet_buffer::PacketBufferProgram;
+pub use state_store::StateStoreProgram;

@@ -1,0 +1,648 @@
+//! The **lookup-table primitive** (§4): extend exact-match tables into
+//! remote DRAM.
+//!
+//! On a local miss the switch (1) WRITEs the original packet into the
+//! flow's remote slot — "by bouncing the original packet to and from the
+//! remote buffer, the switch does not need to store the packet when waiting
+//! for the table entry" — and (2) immediately READs back the
+//! `(action, packet)` pair, applies the action, and optionally caches the
+//! entry in local SRAM so subsequent packets of the flow hit locally.
+//!
+//! Remote slot layout (`entry_size` bytes, indexed by a CRC hash of the
+//! 5-tuple):
+//!
+//! ```text
+//! [ action: 16 B ][ len: u16 ][ packet bytes … ]
+//! ```
+//!
+//! The action area is populated by the control plane (the operator's
+//! table); the packet area is scratch space owned by the data plane.
+
+use crate::channel::RdmaChannel;
+use crate::fib::Fib;
+use extmem_rnic::RnicNode;
+use extmem_switch::hash::flow_index;
+use extmem_switch::table::{ExactMatchTable, Replacement};
+use extmem_switch::switch::RECIRC_PORT;
+use extmem_switch::{PipelineProgram, SwitchCtx};
+use extmem_types::{FiveTuple, PortId};
+use extmem_wire::bth::Opcode;
+use extmem_wire::ipv4::{internet_checksum, proto};
+use extmem_wire::roce::{RoceExt, RocePacket};
+use extmem_wire::{EthernetHeader, Ipv4Header, MacAddr, Packet, UdpHeader};
+
+/// Bytes reserved for the action at the head of each slot.
+pub const ACTION_LEN: usize = 16;
+/// Bytes of the packet-length field following the action.
+const LEN_FIELD: usize = 2;
+
+/// What a table entry tells the switch to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Slot not populated: the flow is unknown. The paper's applications
+    /// fall back to software here; we forward unmodified and count it.
+    None,
+    /// Rewrite the IPv4 DSCP field — the example action of §5 / Fig 3a.
+    SetDscp,
+    /// Rewrite destination IP and MAC — the §2.2 bare-metal VIP→PIP
+    /// translation.
+    Translate,
+    /// Turn the request into a reply carrying an 8-byte value — the
+    /// in-network key-value serving the paper motivates via NetCache
+    /// ("this idea can benefit many other on-switch applications including
+    /// key-value stores", §2.2). The switch swaps the L2/L3/L4 endpoints
+    /// and stamps the value into the payload; the reply needs no server
+    /// CPU whether it came from the local cache or remote memory.
+    KvRespond,
+}
+
+/// A 16-byte table action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ActionEntry {
+    /// What to do.
+    pub kind: ActionKind,
+    /// New DSCP value (for [`ActionKind::SetDscp`]).
+    pub dscp: u8,
+    /// Egress-port override; `None` means forward by FIB.
+    pub port_override: Option<PortId>,
+    /// New destination IPv4 (for [`ActionKind::Translate`]).
+    pub new_dst_ip: u32,
+    /// New destination MAC (for [`ActionKind::Translate`]).
+    pub new_dst_mac: MacAddr,
+    /// The value returned by [`ActionKind::KvRespond`].
+    pub kv_value: u64,
+}
+
+impl ActionEntry {
+    /// The "missing entry" value (all zeroes).
+    pub const NONE: ActionEntry = ActionEntry {
+        kind: ActionKind::None,
+        dscp: 0,
+        port_override: None,
+        new_dst_ip: 0,
+        new_dst_mac: MacAddr::ZERO,
+        kv_value: 0,
+    };
+
+    /// A DSCP-rewrite action (the §5 experiment).
+    pub fn set_dscp(dscp: u8) -> ActionEntry {
+        ActionEntry { kind: ActionKind::SetDscp, dscp, ..ActionEntry::NONE }
+    }
+
+    /// A VIP→PIP translation action (§2.2).
+    pub fn translate(new_dst_ip: u32, new_dst_mac: MacAddr) -> ActionEntry {
+        ActionEntry { kind: ActionKind::Translate, new_dst_ip, new_dst_mac, ..ActionEntry::NONE }
+    }
+
+    /// A key-value response action (NetCache-style in-network serving).
+    pub fn kv_respond(value: u64) -> ActionEntry {
+        ActionEntry { kind: ActionKind::KvRespond, kv_value: value, ..ActionEntry::NONE }
+    }
+
+    /// Encode to the 16-byte wire layout.
+    pub fn to_bytes(self) -> [u8; ACTION_LEN] {
+        let mut b = [0u8; ACTION_LEN];
+        b[0] = match self.kind {
+            ActionKind::None => 0,
+            ActionKind::SetDscp => 1,
+            ActionKind::Translate => 2,
+            ActionKind::KvRespond => 3,
+        };
+        b[1] = self.dscp;
+        let port = self.port_override.map_or(0xffff, |p| p.raw());
+        b[2..4].copy_from_slice(&port.to_be_bytes());
+        if self.kind == ActionKind::KvRespond {
+            b[4..12].copy_from_slice(&self.kv_value.to_be_bytes());
+        } else {
+            b[4..8].copy_from_slice(&self.new_dst_ip.to_be_bytes());
+            b[8..14].copy_from_slice(&self.new_dst_mac.0);
+        }
+        b
+    }
+
+    /// Decode from the 16-byte wire layout. Unknown kinds decode to
+    /// [`ActionKind::None`] (the safe fallback).
+    pub fn from_bytes(b: &[u8; ACTION_LEN]) -> ActionEntry {
+        let kind = match b[0] {
+            1 => ActionKind::SetDscp,
+            2 => ActionKind::Translate,
+            3 => ActionKind::KvRespond,
+            _ => ActionKind::None,
+        };
+        let port = u16::from_be_bytes([b[2], b[3]]);
+        let kv = kind == ActionKind::KvRespond;
+        ActionEntry {
+            kind,
+            dscp: b[1],
+            port_override: if port == 0xffff { None } else { Some(PortId(port)) },
+            new_dst_ip: if kv { 0 } else { u32::from_be_bytes(b[4..8].try_into().unwrap()) },
+            new_dst_mac: if kv { MacAddr::ZERO } else { MacAddr(b[8..14].try_into().unwrap()) },
+            kv_value: if kv { u64::from_be_bytes(b[4..12].try_into().unwrap()) } else { 0 },
+        }
+    }
+
+    /// Apply this action to a workload packet in place, fixing the IPv4
+    /// checksum.
+    pub fn apply(&self, pkt: &mut Packet) {
+        match self.kind {
+            ActionKind::None => {}
+            ActionKind::SetDscp => {
+                let b = pkt.as_mut_slice();
+                // Keep the ECN bits, replace the DSCP bits.
+                b[15] = (self.dscp << 2) | (b[15] & 0x03);
+                fix_ipv4_checksum(b);
+            }
+            ActionKind::Translate => {
+                let b = pkt.as_mut_slice();
+                b[0..6].copy_from_slice(&self.new_dst_mac.0);
+                b[30..34].copy_from_slice(&self.new_dst_ip.to_be_bytes());
+                fix_ipv4_checksum(b);
+            }
+            ActionKind::KvRespond => {
+                let b = pkt.as_mut_slice();
+                // Turn the request into a reply: swap MACs, IPs, ports.
+                for i in 0..6 {
+                    b.swap(i, 6 + i);
+                }
+                for i in 0..4 {
+                    b.swap(26 + i, 30 + i);
+                }
+                b.swap(34, 36);
+                b.swap(35, 37);
+                // Stamp the value right after the workload header (offset
+                // 42 = L2/L3/L4 headers, +18 = workload header).
+                const VALUE_AT: usize = 42 + 18;
+                if b.len() >= VALUE_AT + 8 {
+                    b[VALUE_AT..VALUE_AT + 8].copy_from_slice(&self.kv_value.to_be_bytes());
+                }
+                // Swaps preserve the IPv4 checksum; the payload is not
+                // covered by it.
+            }
+        }
+    }
+}
+
+/// Recompute the IPv4 header checksum of an Ethernet frame in place.
+fn fix_ipv4_checksum(frame: &mut [u8]) {
+    frame[24] = 0;
+    frame[25] = 0;
+    let csum = internet_checksum(&frame[14..34]);
+    frame[24..26].copy_from_slice(&csum.to_be_bytes());
+}
+
+/// Lightweight 5-tuple extraction (no payload validation) — the parser
+/// stage of the P4 program.
+pub fn flow_of(pkt: &Packet) -> Option<FiveTuple> {
+    let eth = EthernetHeader::parse(pkt.as_slice()).ok()?;
+    if eth.ethertype != extmem_wire::EtherType::Ipv4 {
+        return None;
+    }
+    let ip = Ipv4Header::parse(&pkt.as_slice()[EthernetHeader::LEN..]).ok()?;
+    if ip.protocol != proto::UDP {
+        return None;
+    }
+    let udp = UdpHeader::parse(&pkt.as_slice()[EthernetHeader::LEN + Ipv4Header::LEN..]).ok()?;
+    Some(FiveTuple::new(ip.src, ip.dst, udp.src_port, udp.dst_port, proto::UDP))
+}
+
+/// What to do with a packet whose flow misses the local cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MissHandling {
+    /// The paper's §4 design: WRITE the packet into the remote slot and
+    /// READ back `(action, packet)` — "by bouncing the original packet to
+    /// and from the remote buffer, the switch does not need to store the
+    /// packet when waiting for the table entry".
+    #[default]
+    Bounce,
+    /// The §7 alternative: "recirculate the original packet locally and
+    /// wait for the pulled entry, instead of depositing the original
+    /// packet. This can save the bandwidth overhead to the remote memory."
+    /// Only the 16-byte action is READ; the packet loops through the
+    /// recirculation path until the response lands. Requires a local cache
+    /// (responses are staged there for the looping packet to find).
+    Recirculate,
+}
+
+/// Counters for the lookup program.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LookupStats {
+    /// Packets answered by the local SRAM cache.
+    pub cache_hits: u64,
+    /// Packets that went to remote memory (WRITE+READ issued).
+    pub remote_lookups: u64,
+    /// READ responses consumed.
+    pub responses: u64,
+    /// Actions applied (cache or remote).
+    pub actions_applied: u64,
+    /// Packets whose slot held no action (the software-fallback path the
+    /// paper eliminates; with a fully provisioned remote table this is 0).
+    pub slow_path: u64,
+    /// Non-IP/UDP packets forwarded by plain L2.
+    pub non_flow: u64,
+    /// NAKs received.
+    pub naks: u64,
+    /// Recirculation passes taken by waiting packets (Recirculate mode).
+    pub recirc_passes: u64,
+    /// Action-only READs issued (Recirculate mode).
+    pub action_only_reads: u64,
+    /// Packets dropped after exhausting the recirculation budget (their
+    /// slot's READ or its response was lost).
+    pub recirc_budget_drops: u64,
+}
+
+/// The lookup-table pipeline program.
+pub struct LookupTableProgram {
+    /// L2 forwarding (also the post-action forwarding step).
+    pub fib: Fib,
+    channel: RdmaChannel,
+    entry_size: u64,
+    entries: u64,
+    cache: Option<ExactMatchTable<FiveTuple, ActionEntry>>,
+    miss_handling: MissHandling,
+    /// Recirculate mode: slots with an action READ in flight, in issue
+    /// order (responses arrive in order on the RC channel).
+    pending_reads: std::collections::VecDeque<u64>,
+    /// Recirculate mode: responses parked until their looping packet
+    /// comes around again.
+    staged: std::collections::HashMap<u64, ActionEntry>,
+    /// Recirculate mode: passes taken per slot since its READ was issued;
+    /// packets whose slot exceeds [`RECIRC_BUDGET`] are dropped (a lost
+    /// READ/response must not recirculate packets forever).
+    recirc_passes: std::collections::HashMap<u64, u32>,
+    stats: LookupStats,
+    /// Reassembly buffer for multi-packet READ responses.
+    resp_buf: Vec<u8>,
+}
+
+impl LookupTableProgram {
+    /// Create the program. `cache_capacity = Some(n)` enables an n-entry
+    /// local LRU cache (§4: "the switch can (optionally) cache the table
+    /// entry in local SRAM").
+    pub fn new(
+        fib: Fib,
+        channel: RdmaChannel,
+        entry_size: u64,
+        cache_capacity: Option<usize>,
+    ) -> LookupTableProgram {
+        assert!(entry_size as usize > ACTION_LEN + LEN_FIELD, "entry too small");
+        let entries = channel.region_len / entry_size;
+        assert!(entries > 0, "region smaller than one entry");
+        LookupTableProgram {
+            fib,
+            channel,
+            entry_size,
+            entries,
+            cache: cache_capacity.map(|c| ExactMatchTable::new(c, Replacement::Lru)),
+            miss_handling: MissHandling::Bounce,
+            pending_reads: std::collections::VecDeque::new(),
+            staged: std::collections::HashMap::new(),
+            recirc_passes: std::collections::HashMap::new(),
+            stats: LookupStats::default(),
+            resp_buf: Vec::new(),
+        }
+    }
+
+    /// Switch the miss path to the §7 recirculation alternative. Requires
+    /// a local cache (staged actions are promoted into it).
+    pub fn with_recirculation(mut self) -> LookupTableProgram {
+        assert!(self.cache.is_some(), "Recirculate mode needs a local cache");
+        self.miss_handling = MissHandling::Recirculate;
+        self
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> LookupStats {
+        self.stats
+    }
+
+    /// Cache hit-rate so far (0 when the cache is disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.as_ref().map_or(0.0, |c| c.hit_rate())
+    }
+
+    /// The number of remote slots.
+    pub fn remote_entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// The remote slot a flow maps to.
+    pub fn slot_of(&self, flow: &FiveTuple) -> u64 {
+        flow_index(flow, self.entries)
+    }
+
+    /// Forward `pkt` after its action was applied.
+    fn forward(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, pkt: Packet, action: &ActionEntry) {
+        let port = action.port_override.or_else(|| self.fib.egress_for(&pkt));
+        if let Some(port) = port {
+            ctx.enqueue(port, pkt);
+        }
+    }
+
+    fn apply_and_forward(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        mut pkt: Packet,
+        action: ActionEntry,
+    ) {
+        if action.kind == ActionKind::None {
+            self.stats.slow_path += 1;
+        } else {
+            action.apply(&mut pkt);
+            self.stats.actions_applied += 1;
+        }
+        self.forward(ctx, pkt, &action);
+    }
+
+    /// Remote lookup: bounce the packet through the flow's slot.
+    fn remote_lookup(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, flow: FiveTuple, pkt: Packet) {
+        self.stats.remote_lookups += 1;
+        let slot = self.slot_of(&flow);
+        let entry_va = self.channel.base_va + slot * self.entry_size;
+
+        // (1) WRITE [len][packet] into the slot's scratch area.
+        let mut payload = Vec::with_capacity(LEN_FIELD + pkt.len());
+        payload.extend_from_slice(&(pkt.len() as u16).to_be_bytes());
+        payload.extend_from_slice(pkt.as_slice());
+        let write =
+            self.channel.qp.write_only(self.channel.rkey, entry_va + ACTION_LEN as u64, payload, false);
+        ctx.enqueue(self.channel.server_port, write.build().expect("lookup write encodes"));
+
+        // (2) READ back exactly [action][len][packet].
+        let read_len = (ACTION_LEN + LEN_FIELD + pkt.len()) as u32;
+        let read = self.channel.qp.read(self.channel.rkey, entry_va, read_len);
+        ctx.enqueue(self.channel.server_port, read.build().expect("lookup read encodes"));
+    }
+
+    /// Recirculate-mode miss: issue an action-only READ (once per slot)
+    /// and send the packet around the recirculation path. A bounded
+    /// per-slot pass budget keeps a lost READ (or response) from looping
+    /// packets forever: once exceeded, the packet is dropped and the slot
+    /// reset so the next arrival re-issues the READ.
+    fn recirculate_miss(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, flow: FiveTuple, pkt: Packet) {
+        /// Passes allowed before declaring the slot's READ lost. At the
+        /// default 800 ns recirculation latency this is ~50 µs of waiting —
+        /// far beyond any healthy response time.
+        const RECIRC_BUDGET: u32 = 64;
+        let slot = self.slot_of(&flow);
+        if let Some(&action) = self.staged.get(&slot) {
+            // The response already landed while we were looping.
+            self.staged.remove(&slot);
+            self.recirc_passes.remove(&slot);
+            if let Some(cache) = &mut self.cache {
+                cache.insert(flow, action);
+            }
+            self.apply_and_forward(ctx, pkt, action);
+            return;
+        }
+        if !self.pending_reads.contains(&slot) {
+            self.stats.remote_lookups += 1;
+            self.stats.action_only_reads += 1;
+            let entry_va = self.channel.base_va + slot * self.entry_size;
+            let read = self.channel.qp.read(self.channel.rkey, entry_va, ACTION_LEN as u32);
+            ctx.enqueue(self.channel.server_port, read.build().expect("action read encodes"));
+            self.pending_reads.push_back(slot);
+        }
+        let passes = self.recirc_passes.entry(slot).or_insert(0);
+        *passes += 1;
+        if *passes > RECIRC_BUDGET {
+            self.recirc_passes.remove(&slot);
+            self.pending_reads.retain(|&s| s != slot);
+            self.stats.recirc_budget_drops += 1;
+            return; // drop the packet: best-effort under loss
+        }
+        self.stats.recirc_passes += 1;
+        ctx.recirculate(pkt);
+    }
+
+    /// Process a complete READ-response entry.
+    fn consume_entry(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, entry: &[u8]) {
+        self.stats.responses += 1;
+        if self.miss_handling == MissHandling::Recirculate {
+            // Action-only response; responses arrive in issue order.
+            if entry.len() >= ACTION_LEN {
+                if let Some(slot) = self.pending_reads.pop_front() {
+                    let action = ActionEntry::from_bytes(entry[..ACTION_LEN].try_into().unwrap());
+                    self.staged.insert(slot, action);
+                }
+            }
+            return;
+        }
+        if entry.len() < ACTION_LEN + LEN_FIELD {
+            return;
+        }
+        let action = ActionEntry::from_bytes(entry[..ACTION_LEN].try_into().unwrap());
+        let len =
+            u16::from_be_bytes(entry[ACTION_LEN..ACTION_LEN + LEN_FIELD].try_into().unwrap()) as usize;
+        let body = &entry[ACTION_LEN + LEN_FIELD..];
+        if len == 0 || len > body.len() {
+            return;
+        }
+        let pkt = Packet::from_vec(body[..len].to_vec());
+        // Cache under the *returned* packet's flow (the slot owner).
+        if let Some(flow) = flow_of(&pkt) {
+            if let Some(cache) = &mut self.cache {
+                cache.insert(flow, action);
+            }
+        }
+        self.apply_and_forward(ctx, pkt, action);
+    }
+
+    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, roce: RocePacket) {
+        match roce.bth.opcode {
+            Opcode::ReadRespOnly => {
+                self.resp_buf.clear();
+                let data = roce.payload;
+                self.consume_entry(ctx, &data);
+            }
+            Opcode::ReadRespFirst | Opcode::ReadRespMiddle => {
+                self.resp_buf.extend_from_slice(&roce.payload);
+            }
+            Opcode::ReadRespLast => {
+                let mut entry = std::mem::take(&mut self.resp_buf);
+                entry.extend_from_slice(&roce.payload);
+                self.consume_entry(ctx, &entry);
+            }
+            Opcode::Acknowledge => {
+                if let RoceExt::Aeth(aeth) = roce.ext {
+                    if !aeth.is_ack() {
+                        self.stats.naks += 1;
+                        self.channel.qp.npsn = roce.bth.psn;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl PipelineProgram for LookupTableProgram {
+    fn ingress(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, in_port: PortId, pkt: Packet) {
+        if in_port == self.channel.server_port {
+            if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
+                self.on_roce(ctx, roce);
+                return;
+            }
+        }
+        let Some(flow) = flow_of(&pkt) else {
+            self.stats.non_flow += 1;
+            if let Some(port) = self.fib.egress_for(&pkt) {
+                ctx.enqueue(port, pkt);
+            }
+            return;
+        };
+        if let Some(cache) = &mut self.cache {
+            if let Some(&action) = cache.lookup(&flow) {
+                // A first-pass arrival is a real cache hit; a looping
+                // packet finding its freshly promoted entry is not.
+                if in_port != RECIRC_PORT {
+                    self.stats.cache_hits += 1;
+                }
+                self.apply_and_forward(ctx, pkt, action);
+                return;
+            }
+        }
+        match self.miss_handling {
+            MissHandling::Bounce => self.remote_lookup(ctx, flow, pkt),
+            MissHandling::Recirculate => self.recirculate_miss(ctx, flow, pkt),
+        }
+    }
+
+    fn program_name(&self) -> &str {
+        "lookup-table-primitive"
+    }
+}
+
+/// Control plane: install `action` for `flow` in the remote table backing
+/// `channel` on `nic`. This is the operator populating the table (e.g. the
+/// §2.2 VIP→PIP mappings) and runs host-side, not on the data plane.
+pub fn install_remote_action(
+    nic: &mut RnicNode,
+    channel: &RdmaChannel,
+    entry_size: u64,
+    flow: &FiveTuple,
+    action: ActionEntry,
+) -> u64 {
+    let entries = channel.region_len / entry_size;
+    let slot = flow_index(flow, entries);
+    let va = channel.base_va + slot * entry_size;
+    nic.region_mut(channel.rkey).write(va, &action.to_bytes()).expect("install in bounds");
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extmem_types::Time;
+    use extmem_wire::payload::build_data_packet;
+
+    #[test]
+    fn action_entry_roundtrip() {
+        for a in [
+            ActionEntry::NONE,
+            ActionEntry::set_dscp(46),
+            ActionEntry::translate(0x0a00002a, MacAddr::local(42)),
+            ActionEntry { port_override: Some(PortId(7)), ..ActionEntry::set_dscp(1) },
+            ActionEntry::kv_respond(0xdead_beef_0bad_f00d),
+        ] {
+            assert_eq!(ActionEntry::from_bytes(&a.to_bytes()), a);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_decodes_to_none() {
+        let mut b = ActionEntry::set_dscp(5).to_bytes();
+        b[0] = 99;
+        assert_eq!(ActionEntry::from_bytes(&b).kind, ActionKind::None);
+    }
+
+    fn sample_packet() -> Packet {
+        build_data_packet(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            FiveTuple::new(0x0a000001, 0x0a000002, 1111, 2222, proto::UDP),
+            3,
+            9,
+            Time::from_nanos(5),
+            128,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn set_dscp_rewrites_and_fixes_checksum() {
+        let mut pkt = sample_packet();
+        ActionEntry::set_dscp(46).apply(&mut pkt);
+        let ip = Ipv4Header::parse(&pkt.as_slice()[14..]).expect("checksum must verify");
+        assert_eq!(ip.dscp, 46);
+        assert_eq!(ip.ecn, 0);
+    }
+
+    #[test]
+    fn translate_rewrites_ip_and_mac() {
+        let mut pkt = sample_packet();
+        ActionEntry::translate(0xc0a80107, MacAddr::local(77)).apply(&mut pkt);
+        let eth = EthernetHeader::parse(pkt.as_slice()).unwrap();
+        assert_eq!(eth.dst, MacAddr::local(77));
+        let ip = Ipv4Header::parse(&pkt.as_slice()[14..]).expect("checksum must verify");
+        assert_eq!(ip.dst, 0xc0a80107);
+    }
+
+    #[test]
+    fn kv_respond_builds_a_reply() {
+        let mut pkt = sample_packet();
+        ActionEntry::kv_respond(0x1122334455667788).apply(&mut pkt);
+        let eth = EthernetHeader::parse(pkt.as_slice()).unwrap();
+        // Endpoints swapped: the reply goes back to the requester.
+        assert_eq!(eth.dst, MacAddr::local(1));
+        assert_eq!(eth.src, MacAddr::local(2));
+        let ip = Ipv4Header::parse(&pkt.as_slice()[14..]).expect("checksum survives swaps");
+        assert_eq!(ip.src, 0x0a000002);
+        assert_eq!(ip.dst, 0x0a000001);
+        let udp = UdpHeader::parse(&pkt.as_slice()[34..]).unwrap();
+        assert_eq!(udp.src_port, 2222);
+        assert_eq!(udp.dst_port, 1111);
+        // Value stamped after the workload header.
+        assert_eq!(
+            u64::from_be_bytes(pkt.as_slice()[60..68].try_into().unwrap()),
+            0x1122334455667788
+        );
+    }
+
+    #[test]
+    fn colliding_flows_share_a_slot_action() {
+        // The remote table is direct-indexed by a hash: two flows mapping
+        // to the same slot get the same action — a property of the §4
+        // design the control plane must manage (size the table, detect
+        // collisions at install time). Verify the arithmetic surfaces it.
+        use extmem_switch::hash::flow_index;
+        let entries = 64u64; // small table to force a collision quickly
+        let mut found = None;
+        'outer: for a in 0..500u32 {
+            for b2 in (a + 1)..500 {
+                let fa = FiveTuple::new(0x0a000001, 0x0a000002, 1000 + a as u16, 80, 17);
+                let fb = FiveTuple::new(0x0a000001, 0x0a000002, 1000 + b2 as u16, 80, 17);
+                if flow_index(&fa, entries) == flow_index(&fb, entries) {
+                    found = Some((fa, fb));
+                    break 'outer;
+                }
+            }
+        }
+        let (fa, fb) = found.expect("a collision must exist in 500 flows over 64 slots");
+        assert_eq!(flow_index(&fa, entries), flow_index(&fb, entries));
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn flow_of_extracts_five_tuple() {
+        let pkt = sample_packet();
+        assert_eq!(
+            flow_of(&pkt),
+            Some(FiveTuple::new(0x0a000001, 0x0a000002, 1111, 2222, proto::UDP))
+        );
+        // Non-IP frame → None.
+        let mut raw = pkt.into_vec();
+        raw[12] = 0x88;
+        raw[13] = 0xb5;
+        assert_eq!(flow_of(&Packet::from_vec(raw)), None);
+    }
+}

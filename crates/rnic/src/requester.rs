@@ -1,0 +1,398 @@
+//! Requester-side building blocks.
+//!
+//! [`RequesterQp`] is the small state machine any RDMA requester needs: it
+//! allocates PSNs and builds correctly-formed request packets. The paper's
+//! switch primitives embed one per channel; the E1 baseline ("native
+//! server-to-server RDMA") uses the two traffic nodes defined here,
+//! [`WriteBlaster`] and [`ReadLooper`].
+
+use crate::nic::RnicNode;
+use extmem_sim::{Node, NodeCtx, TxQueue};
+use extmem_types::{PortId, QpNum, Rate, Rkey, Time, TimeDelta};
+use extmem_wire::atomic::AtomicEth;
+use extmem_wire::bth::{psn_add, Bth, Opcode};
+use extmem_wire::reth::Reth;
+use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
+use extmem_wire::Packet;
+
+/// Requester-side queue pair state: where requests go and which PSN is next.
+#[derive(Debug, Clone)]
+pub struct RequesterQp {
+    /// Our identity (source of requests).
+    pub local: RoceEndpoint,
+    /// The responder NIC's identity.
+    pub peer: RoceEndpoint,
+    /// The responder's QPN (goes in `dest_qp`).
+    pub peer_qpn: QpNum,
+    /// UDP source port for flow entropy.
+    pub udp_src_port: u16,
+    /// The responder's RoCE MTU (READ PSN accounting needs it).
+    pub mtu: usize,
+    /// Next PSN to assign.
+    pub npsn: u32,
+}
+
+impl RequesterQp {
+    /// Create a requester QP starting at PSN 0.
+    pub fn new(local: RoceEndpoint, peer: RoceEndpoint, peer_qpn: QpNum, mtu: usize) -> RequesterQp {
+        RequesterQp { local, peer, peer_qpn, udp_src_port: 0x9000, mtu, npsn: 0 }
+    }
+
+    /// Build a single-packet RDMA WRITE.
+    pub fn write_only(&mut self, rkey: Rkey, va: u64, payload: Vec<u8>, ack_req: bool) -> RocePacket {
+        let mut bth = Bth::new(Opcode::WriteOnly, self.peer_qpn, self.npsn);
+        bth.ack_req = ack_req;
+        self.npsn = psn_add(self.npsn, 1);
+        RocePacket::new(
+            self.local,
+            self.peer,
+            self.udp_src_port,
+            bth,
+            RoceExt::Reth(Reth { va, rkey, dma_len: payload.len() as u32 }),
+            payload,
+        )
+    }
+
+    /// Build an RDMA READ request for `len` bytes. Consumes one PSN per
+    /// expected response packet, per the IB spec.
+    pub fn read(&mut self, rkey: Rkey, va: u64, len: u32) -> RocePacket {
+        let bth = Bth::new(Opcode::ReadRequest, self.peer_qpn, self.npsn);
+        let resp_packets = (len as usize).div_ceil(self.mtu).max(1) as u32;
+        self.npsn = psn_add(self.npsn, resp_packets);
+        RocePacket::new(
+            self.local,
+            self.peer,
+            self.udp_src_port,
+            bth,
+            RoceExt::Reth(Reth { va, rkey, dma_len: len }),
+            vec![],
+        )
+    }
+
+    /// Build an atomic Fetch-and-Add request.
+    pub fn fetch_add(&mut self, rkey: Rkey, va: u64, add: u64) -> RocePacket {
+        let bth = Bth::new(Opcode::FetchAdd, self.peer_qpn, self.npsn);
+        self.npsn = psn_add(self.npsn, 1);
+        RocePacket::new(
+            self.local,
+            self.peer,
+            self.udp_src_port,
+            bth,
+            RoceExt::AtomicEth(AtomicEth { va, rkey, swap_add: add, compare: 0 }),
+            vec![],
+        )
+    }
+}
+
+/// Convenience: perform the whole control-plane channel setup between a
+/// requester identity and an [`RnicNode`] *before* the simulation starts —
+/// the moral equivalent of the paper's "RDMA channel controller" running on
+/// the switch control plane and the server.
+///
+/// Returns the requester QP plus the `(rkey, base_va)` of a freshly
+/// registered region of `region_size` bytes.
+pub fn setup_channel(
+    requester: RoceEndpoint,
+    requester_qpn: QpNum,
+    nic: &mut RnicNode,
+    region_size: extmem_types::ByteSize,
+) -> (RequesterQp, Rkey, u64) {
+    let (rkey, base) = nic.register_region(region_size);
+    let qpn = nic.create_qp(requester, requester_qpn, 0);
+    let qp = RequesterQp::new(requester, nic.endpoint(), qpn, nic.mtu());
+    (qp, rkey, base)
+}
+
+const TOKEN_SEND: u64 = 1;
+
+/// A paced one-sided WRITE generator: writes `msg_size`-byte messages round
+/// and round a remote ring at `offered` (wire) rate until `count` messages
+/// have been sent. The E1 baseline measures the responder's lossless intake.
+pub struct WriteBlaster {
+    name: String,
+    qp: RequesterQp,
+    rkey: Rkey,
+    base_va: u64,
+    region_len: u64,
+    msg_size: usize,
+    interval: TimeDelta,
+    remaining: u64,
+    cursor: u64,
+    tx: TxQueue,
+    /// Messages handed to the wire.
+    pub sent: u64,
+}
+
+impl WriteBlaster {
+    /// Create a blaster sending `count` messages at `offered` wire rate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        qp: RequesterQp,
+        rkey: Rkey,
+        base_va: u64,
+        region_len: u64,
+        msg_size: usize,
+        offered: Rate,
+        count: u64,
+    ) -> WriteBlaster {
+        assert!(msg_size as u64 <= region_len, "message larger than region");
+        // Pace by the on-wire size of the encapsulated message.
+        let wire = extmem_wire::ethernet::EthernetHeader::LEN
+            + extmem_wire::roce::ROCEV2_BASE_OVERHEAD
+            + extmem_wire::roce::WRITE_READ_OP_OVERHEAD
+            + msg_size
+            + extmem_wire::roce::pad_len(msg_size)
+            + extmem_wire::icrc::ICRC_LEN;
+        WriteBlaster {
+            name: name.into(),
+            qp,
+            rkey,
+            base_va,
+            region_len,
+            msg_size,
+            interval: offered.time_to_send(wire),
+            remaining: count,
+            cursor: 0,
+            tx: TxQueue::new(PortId(0)),
+            sent: 0,
+        }
+    }
+
+    fn send_one(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        if self.cursor + self.msg_size as u64 > self.region_len {
+            self.cursor = 0;
+        }
+        let payload = vec![(self.sent & 0xff) as u8; self.msg_size];
+        let req = self.qp.write_only(self.rkey, self.base_va + self.cursor, payload, false);
+        self.cursor += self.msg_size as u64;
+        self.tx.send(ctx, req.build().expect("write encodes"));
+        self.sent += 1;
+        if self.remaining > 0 {
+            ctx.schedule(self.interval, TOKEN_SEND);
+        }
+    }
+}
+
+impl Node for WriteBlaster {
+    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _port: PortId, _packet: Packet) {
+        // ACKs/NAKs are ignored: the blaster is open-loop.
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        debug_assert_eq!(token, TOKEN_SEND);
+        self.send_one(ctx);
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId) {
+        self.tx.on_tx_done(ctx);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A closed-loop READ client: keeps `window` READs outstanding until `count`
+/// have completed; measures payload goodput.
+pub struct ReadLooper {
+    name: String,
+    qp: RequesterQp,
+    rkey: Rkey,
+    base_va: u64,
+    region_len: u64,
+    msg_size: usize,
+    window: usize,
+    remaining_to_issue: u64,
+    outstanding: usize,
+    cursor: u64,
+    tx: TxQueue,
+    /// Completed reads.
+    pub completed: u64,
+    /// Payload bytes received.
+    pub bytes: u64,
+    /// Completion time of the last read.
+    pub last_completion: Time,
+}
+
+impl ReadLooper {
+    /// Create a looper issuing `count` reads with `window` outstanding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        qp: RequesterQp,
+        rkey: Rkey,
+        base_va: u64,
+        region_len: u64,
+        msg_size: usize,
+        window: usize,
+        count: u64,
+    ) -> ReadLooper {
+        assert!(window > 0, "window must be positive");
+        ReadLooper {
+            name: name.into(),
+            qp,
+            rkey,
+            base_va,
+            region_len,
+            msg_size,
+            window,
+            remaining_to_issue: count,
+            outstanding: 0,
+            cursor: 0,
+            tx: TxQueue::new(PortId(0)),
+            completed: 0,
+            bytes: 0,
+            last_completion: Time::ZERO,
+        }
+    }
+
+    fn fill_window(&mut self, ctx: &mut NodeCtx<'_>) {
+        while self.outstanding < self.window && self.remaining_to_issue > 0 {
+            self.remaining_to_issue -= 1;
+            self.outstanding += 1;
+            if self.cursor + self.msg_size as u64 > self.region_len {
+                self.cursor = 0;
+            }
+            let req = self.qp.read(self.rkey, self.base_va + self.cursor, self.msg_size as u32);
+            self.cursor += self.msg_size as u64;
+            self.tx.send(ctx, req.build().expect("read encodes"));
+        }
+    }
+}
+
+impl Node for ReadLooper {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
+        let Ok(Some(resp)) = RocePacket::parse(&packet) else { return };
+        match resp.bth.opcode {
+            Opcode::ReadRespOnly | Opcode::ReadRespLast => {
+                self.bytes += resp.payload.len() as u64;
+                self.completed += 1;
+                self.outstanding = self.outstanding.saturating_sub(1);
+                self.last_completion = ctx.now();
+                self.fill_window(ctx);
+            }
+            Opcode::ReadRespFirst | Opcode::ReadRespMiddle => {
+                self.bytes += resp.payload.len() as u64;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+        self.fill_window(ctx);
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId) {
+        self.tx.on_tx_done(ctx);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nic::RnicConfig;
+    use extmem_sim::{LinkSpec, SimBuilder};
+    use extmem_types::ByteSize;
+    use extmem_wire::MacAddr;
+
+    fn host() -> RoceEndpoint {
+        RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 }
+    }
+
+    fn server() -> RoceEndpoint {
+        RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 }
+    }
+
+    #[test]
+    fn requester_qp_psn_accounting() {
+        let mut qp = RequesterQp::new(host(), server(), QpNum(7), 1024);
+        let w = qp.write_only(Rkey(1), 0x1000, vec![0; 10], false);
+        assert_eq!(w.bth.psn, 0);
+        let r = qp.read(Rkey(1), 0x1000, 3000); // 3 response packets at 1024 MTU
+        assert_eq!(r.bth.psn, 1);
+        let f = qp.fetch_add(Rkey(1), 0x1000, 1);
+        assert_eq!(f.bth.psn, 4);
+        assert_eq!(qp.npsn, 5);
+    }
+
+    #[test]
+    fn write_blaster_delivers_losslessly_below_capacity() {
+        let mut nic = RnicNode::new("rnic", RnicConfig::at(server()));
+        let (qp, rkey, base) =
+            setup_channel(host(), QpNum(0x55), &mut nic, ByteSize::from_mb(1));
+        let blaster = WriteBlaster::new(
+            "blaster",
+            qp,
+            rkey,
+            base,
+            1_000_000,
+            1500,
+            Rate::from_gbps(30), // below the ~34G write-path ceiling
+            500,
+        );
+        let mut b = SimBuilder::new(2);
+        let bl = b.add_node(Box::new(blaster));
+        let rn = b.add_node(Box::new(nic));
+        b.connect(bl, PortId(0), rn, PortId(0), LinkSpec::testbed_40g());
+        let mut sim = b.build();
+        sim.schedule_timer(bl, TimeDelta::ZERO, TOKEN_SEND);
+        sim.run_to_quiescence();
+        let stats = sim.node::<RnicNode>(rn).stats();
+        assert_eq!(stats.writes, 500);
+        assert_eq!(stats.write_bytes, 500 * 1500);
+        assert_eq!(stats.rx_overflow_drops, 0);
+        assert_eq!(stats.cpu_packets, 0);
+    }
+
+    #[test]
+    fn write_blaster_overload_drops_at_nic() {
+        let mut nic = RnicNode::new(
+            "rnic",
+            RnicConfig { rx_queue_cap: 16, ..RnicConfig::at(server()) },
+        );
+        let (qp, rkey, base) =
+            setup_channel(host(), QpNum(0x55), &mut nic, ByteSize::from_mb(1));
+        // 40G offered into a ~34G write path with a small queue → drops.
+        let blaster =
+            WriteBlaster::new("blaster", qp, rkey, base, 1_000_000, 1500, Rate::from_gbps(40), 2000);
+        let mut b = SimBuilder::new(2);
+        let bl = b.add_node(Box::new(blaster));
+        let rn = b.add_node(Box::new(nic));
+        b.connect(bl, PortId(0), rn, PortId(0), LinkSpec::testbed_40g());
+        let mut sim = b.build();
+        sim.schedule_timer(bl, TimeDelta::ZERO, TOKEN_SEND);
+        sim.run_to_quiescence();
+        let stats = sim.node::<RnicNode>(rn).stats();
+        assert!(stats.rx_overflow_drops > 0, "expected NIC drops at overload");
+    }
+
+    #[test]
+    fn read_looper_completes_all() {
+        let mut nic = RnicNode::new("rnic", RnicConfig::at(server()));
+        let (qp, rkey, base) =
+            setup_channel(host(), QpNum(0x55), &mut nic, ByteSize::from_mb(1));
+        let looper = ReadLooper::new("looper", qp, rkey, base, 1_000_000, 1500, 4, 100);
+        let mut b = SimBuilder::new(2);
+        let lo = b.add_node(Box::new(looper));
+        let rn = b.add_node(Box::new(nic));
+        b.connect(lo, PortId(0), rn, PortId(0), LinkSpec::testbed_40g());
+        let mut sim = b.build();
+        sim.schedule_timer(lo, TimeDelta::ZERO, 0);
+        sim.run_to_quiescence();
+        let lo = sim.node::<ReadLooper>(lo);
+        assert_eq!(lo.completed, 100);
+        assert_eq!(lo.bytes, 100 * 1500);
+        let stats = sim.node::<RnicNode>(rn).stats();
+        assert_eq!(stats.reads, 100);
+        assert_eq!(stats.cpu_packets, 0);
+    }
+}

@@ -1,0 +1,618 @@
+//! The RoCEv2 responder state machine.
+//!
+//! Given a parsed inbound request and the QP + memory-region state, decide
+//! what DMA to perform and which response packets to emit. This is pure
+//! protocol logic — the timing model lives in [`crate::nic`] — so it is
+//! directly unit-testable.
+
+use crate::mr::{AccessError, MrTable};
+use crate::qp::{QueuePair, WriteCursor};
+use extmem_wire::aeth::{Aeth, NakCode};
+use extmem_wire::atomic::AtomicAckEth;
+use extmem_wire::bth::{psn_add, psn_before, Bth, Opcode};
+use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
+
+/// What the responder did with a request (for statistics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Payload bytes written to a region.
+    WriteExecuted {
+        /// Bytes DMA'd.
+        bytes: u64,
+    },
+    /// A READ served with this many response packets / payload bytes.
+    ReadServed {
+        /// Response packets emitted.
+        packets: u32,
+        /// Payload bytes returned.
+        bytes: u64,
+    },
+    /// An atomic executed.
+    AtomicExecuted,
+    /// A duplicate request was re-acknowledged (or replayed) without effect.
+    Duplicate,
+    /// A NAK was sent.
+    Nak(NakCode),
+    /// An out-of-sequence packet was dropped silently (NAK already
+    /// outstanding for this gap).
+    OutOfSequenceDropped,
+}
+
+/// The result of processing one request packet.
+#[derive(Debug)]
+pub struct ResponderResult {
+    /// Packets to transmit back to the requester, in order.
+    pub responses: Vec<RocePacket>,
+    /// What happened, for the NIC's statistics.
+    pub outcome: Outcome,
+}
+
+/// Process one inbound request on `qp` against `mrs`.
+///
+/// `local` is this NIC's endpoint identity (source of responses); `mtu` is
+/// the maximum READ-response payload per packet.
+pub fn process_request(
+    local: RoceEndpoint,
+    qp: &mut QueuePair,
+    mrs: &mut MrTable,
+    req: &RocePacket,
+    mtu: usize,
+) -> ResponderResult {
+    debug_assert!(req.bth.opcode.is_request(), "responder got a non-request");
+    let psn = req.bth.psn;
+
+    if psn_before(psn, qp.epsn) {
+        return duplicate(local, qp, mrs, req, mtu);
+    }
+    if psn != qp.epsn {
+        if qp.relaxed_psn {
+            // Best-effort channel: jump forward over the gap (the lost
+            // requests are simply lost) and process this one in order.
+            qp.epsn = psn;
+            qp.write_cursor = None; // a torn multi-packet write is void
+        } else {
+            // Strict RC: NAK once, then drop until the requester resyncs.
+            if qp.nak_outstanding {
+                return ResponderResult { responses: vec![], outcome: Outcome::OutOfSequenceDropped };
+            }
+            qp.nak_outstanding = true;
+            return nak(local, qp, NakCode::PsnSequenceError);
+        }
+    }
+    qp.nak_outstanding = false;
+
+    match req.bth.opcode {
+        Opcode::WriteOnly => {
+            let RoceExt::Reth(reth) = req.ext else { return invalid(local, qp) };
+            if reth.dma_len as usize != req.payload.len() {
+                return invalid(local, qp);
+            }
+            match mrs.get_mut(reth.rkey).and_then(|r| r.write(reth.va, &req.payload)) {
+                Ok(()) => {
+                    qp.epsn = psn_add(qp.epsn, 1);
+                    qp.msn = (qp.msn + 1) & 0xff_ffff;
+                    write_ack(local, qp, req.bth.ack_req, req.payload.len() as u64, psn)
+                }
+                Err(e) => access_nak(local, qp, e),
+            }
+        }
+        Opcode::WriteFirst => {
+            let RoceExt::Reth(reth) = req.ext else { return invalid(local, qp) };
+            if (req.payload.len() as u64) >= reth.dma_len as u64 {
+                return invalid(local, qp); // a First implies more to come
+            }
+            match mrs.get_mut(reth.rkey).and_then(|r| r.write(reth.va, &req.payload)) {
+                Ok(()) => {
+                    qp.write_cursor = Some(WriteCursor {
+                        rkey: reth.rkey,
+                        va: reth.va + req.payload.len() as u64,
+                        remaining: reth.dma_len as u64 - req.payload.len() as u64,
+                    });
+                    qp.epsn = psn_add(qp.epsn, 1);
+                    // MSN advances only when the message completes.
+                    write_ack(local, qp, req.bth.ack_req, req.payload.len() as u64, psn)
+                }
+                Err(e) => access_nak(local, qp, e),
+            }
+        }
+        Opcode::WriteMiddle | Opcode::WriteLast => {
+            let Some(cursor) = qp.write_cursor else { return invalid(local, qp) };
+            let len = req.payload.len() as u64;
+            let fits = if req.bth.opcode == Opcode::WriteLast {
+                len == cursor.remaining
+            } else {
+                len < cursor.remaining
+            };
+            if !fits {
+                return invalid(local, qp);
+            }
+            match mrs.get_mut(cursor.rkey).and_then(|r| r.write(cursor.va, &req.payload)) {
+                Ok(()) => {
+                    qp.epsn = psn_add(qp.epsn, 1);
+                    if req.bth.opcode == Opcode::WriteLast {
+                        qp.write_cursor = None;
+                        qp.msn = (qp.msn + 1) & 0xff_ffff;
+                    } else {
+                        qp.write_cursor = Some(WriteCursor {
+                            va: cursor.va + len,
+                            remaining: cursor.remaining - len,
+                            ..cursor
+                        });
+                    }
+                    write_ack(local, qp, req.bth.ack_req, len, psn)
+                }
+                Err(e) => access_nak(local, qp, e),
+            }
+        }
+        Opcode::ReadRequest => serve_read(local, qp, mrs, req, mtu, false),
+        Opcode::FetchAdd => {
+            let RoceExt::AtomicEth(a) = req.ext else { return invalid(local, qp) };
+            match mrs.get_mut(a.rkey).and_then(|r| r.fetch_add(a.va, a.swap_add)) {
+                Ok(original) => {
+                    qp.epsn = psn_add(qp.epsn, 1);
+                    qp.msn = (qp.msn + 1) & 0xff_ffff;
+                    qp.last_atomic = Some((psn, original));
+                    ResponderResult {
+                        responses: vec![atomic_ack(local, qp, psn, original)],
+                        outcome: Outcome::AtomicExecuted,
+                    }
+                }
+                Err(e) => access_nak(local, qp, e),
+            }
+        }
+        _ => invalid(local, qp),
+    }
+}
+
+/// Handle a request whose PSN is in the past.
+fn duplicate(
+    local: RoceEndpoint,
+    qp: &mut QueuePair,
+    mrs: &mut MrTable,
+    req: &RocePacket,
+    mtu: usize,
+) -> ResponderResult {
+    match req.bth.opcode {
+        // Duplicate reads are re-executed per spec (the data may have been
+        // lost in flight).
+        Opcode::ReadRequest => {
+            let mut r = serve_read(local, qp, mrs, req, mtu, true);
+            r.outcome = Outcome::Duplicate;
+            r
+        }
+        // Duplicate atomics replay the saved original value when possible.
+        Opcode::FetchAdd => {
+            let responses = match qp.last_atomic {
+                Some((psn, original)) if psn == req.bth.psn => {
+                    vec![atomic_ack(local, qp, psn, original)]
+                }
+                _ => vec![plain_ack(local, qp, req.bth.psn)],
+            };
+            ResponderResult { responses, outcome: Outcome::Duplicate }
+        }
+        // Duplicate writes: acknowledge, do not re-execute.
+        _ => ResponderResult {
+            responses: vec![plain_ack(local, qp, req.bth.psn)],
+            outcome: Outcome::Duplicate,
+        },
+    }
+}
+
+/// Serve a READ request (shared by the fresh and duplicate paths).
+fn serve_read(
+    local: RoceEndpoint,
+    qp: &mut QueuePair,
+    mrs: &mut MrTable,
+    req: &RocePacket,
+    mtu: usize,
+    is_duplicate: bool,
+) -> ResponderResult {
+    let RoceExt::Reth(reth) = req.ext else { return invalid(local, qp) };
+    assert!(mtu > 0, "RoCE MTU must be positive");
+    let data = match mrs.get(reth.rkey).and_then(|r| r.read(reth.va, reth.dma_len as u64)) {
+        Ok(d) => d.to_vec(),
+        Err(e) if is_duplicate => {
+            // A bad duplicate must not perturb the live sequence state.
+            let _ = e;
+            return nak(local, qp, NakCode::RemoteAccessError);
+        }
+        Err(e) => return access_nak(local, qp, e),
+    };
+    let n_packets = data.len().div_ceil(mtu).max(1) as u32;
+    let mut responses = Vec::with_capacity(n_packets as usize);
+    for (i, chunk) in chunks_or_empty(&data, mtu).enumerate() {
+        let i = i as u32;
+        let opcode = if n_packets == 1 {
+            Opcode::ReadRespOnly
+        } else if i == 0 {
+            Opcode::ReadRespFirst
+        } else if i == n_packets - 1 {
+            Opcode::ReadRespLast
+        } else {
+            Opcode::ReadRespMiddle
+        };
+        let ext = if opcode == Opcode::ReadRespMiddle {
+            RoceExt::None
+        } else {
+            RoceExt::Aeth(Aeth::ack(qp.msn))
+        };
+        let bth = Bth::new(opcode, qp.peer_qpn, psn_add(req.bth.psn, i));
+        responses.push(RocePacket::new(
+            local,
+            qp.peer,
+            qp.udp_src_port,
+            bth,
+            ext,
+            chunk.to_vec(),
+        ));
+    }
+    if !is_duplicate {
+        qp.epsn = psn_add(qp.epsn, n_packets);
+        qp.msn = (qp.msn + 1) & 0xff_ffff;
+    }
+    ResponderResult {
+        responses,
+        outcome: Outcome::ReadServed { packets: n_packets, bytes: data.len() as u64 },
+    }
+}
+
+/// Like `data.chunks(mtu)` but yields one empty chunk for empty data (a
+/// zero-length READ still gets one response packet).
+fn chunks_or_empty<'a>(data: &'a [u8], mtu: usize) -> Box<dyn Iterator<Item = &'a [u8]> + 'a> {
+    if data.is_empty() {
+        Box::new(std::iter::once(&data[0..0]))
+    } else {
+        Box::new(data.chunks(mtu))
+    }
+}
+
+fn write_ack(
+    local: RoceEndpoint,
+    qp: &QueuePair,
+    ack_req: bool,
+    bytes: u64,
+    psn: u32,
+) -> ResponderResult {
+    let responses = if ack_req { vec![plain_ack(local, qp, psn)] } else { vec![] };
+    ResponderResult { responses, outcome: Outcome::WriteExecuted { bytes } }
+}
+
+fn plain_ack(local: RoceEndpoint, qp: &QueuePair, psn: u32) -> RocePacket {
+    RocePacket::new(
+        local,
+        qp.peer,
+        qp.udp_src_port,
+        Bth::new(Opcode::Acknowledge, qp.peer_qpn, psn),
+        RoceExt::Aeth(Aeth::ack(qp.msn)),
+        vec![],
+    )
+}
+
+fn atomic_ack(local: RoceEndpoint, qp: &QueuePair, psn: u32, original: u64) -> RocePacket {
+    RocePacket::new(
+        local,
+        qp.peer,
+        qp.udp_src_port,
+        Bth::new(Opcode::AtomicAcknowledge, qp.peer_qpn, psn),
+        RoceExt::AtomicAck(Aeth::ack(qp.msn), AtomicAckEth { original_value: original }),
+        vec![],
+    )
+}
+
+fn nak(local: RoceEndpoint, qp: &QueuePair, code: NakCode) -> ResponderResult {
+    let pkt = RocePacket::new(
+        local,
+        qp.peer,
+        qp.udp_src_port,
+        Bth::new(Opcode::Acknowledge, qp.peer_qpn, qp.epsn),
+        RoceExt::Aeth(Aeth::nak(code, qp.msn)),
+        vec![],
+    );
+    ResponderResult { responses: vec![pkt], outcome: Outcome::Nak(code) }
+}
+
+fn invalid(local: RoceEndpoint, qp: &mut QueuePair) -> ResponderResult {
+    // Advance past the broken request so the channel keeps flowing (a real
+    // QP would enter the error state; see DESIGN.md for this divergence).
+    qp.epsn = psn_add(qp.epsn, 1);
+    nak(local, qp, NakCode::InvalidRequest)
+}
+
+fn access_nak(local: RoceEndpoint, qp: &mut QueuePair, err: AccessError) -> ResponderResult {
+    let _ = err;
+    qp.epsn = psn_add(qp.epsn, 1);
+    nak(local, qp, NakCode::RemoteAccessError)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extmem_types::{ByteSize, QpNum, Rkey};
+    use extmem_wire::reth::Reth;
+    use extmem_wire::MacAddr;
+
+    fn setup() -> (RoceEndpoint, QueuePair, MrTable, Rkey, u64) {
+        let local = RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 };
+        let peer = RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 };
+        let qp = QueuePair::new(QpNum(0x100), peer, QpNum(0x200), 0);
+        let mut mrs = MrTable::new();
+        let (rkey, base) = mrs.register(ByteSize::from_kb(64));
+        (local, qp, mrs, rkey, base)
+    }
+
+    fn write_req(qp: &QueuePair, psn: u32, rkey: Rkey, va: u64, payload: Vec<u8>) -> RocePacket {
+        RocePacket::new(
+            qp.peer,
+            RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 },
+            100,
+            Bth::new(Opcode::WriteOnly, qp.qpn, psn),
+            RoceExt::Reth(Reth { va, rkey, dma_len: payload.len() as u32 }),
+            payload,
+        )
+    }
+
+    fn read_req(qp: &QueuePair, psn: u32, rkey: Rkey, va: u64, len: u32) -> RocePacket {
+        RocePacket::new(
+            qp.peer,
+            RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 },
+            100,
+            Bth::new(Opcode::ReadRequest, qp.qpn, psn),
+            RoceExt::Reth(Reth { va, rkey, dma_len: len }),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn write_only_executes_and_advances() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let req = write_req(&qp, 0, rkey, base + 8, vec![7; 100]);
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert_eq!(r.outcome, Outcome::WriteExecuted { bytes: 100 });
+        assert!(r.responses.is_empty(), "no ACK unless requested");
+        assert_eq!(qp.epsn, 1);
+        assert_eq!(qp.msn, 1);
+        assert_eq!(mrs.get(rkey).unwrap().read(base + 8, 100).unwrap(), &[7u8; 100][..]);
+    }
+
+    #[test]
+    fn write_with_ack_req_is_acked() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let mut req = write_req(&qp, 0, rkey, base, vec![1; 8]);
+        req.bth.ack_req = true;
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert_eq!(r.responses.len(), 1);
+        let ack = &r.responses[0];
+        assert_eq!(ack.bth.opcode, Opcode::Acknowledge);
+        assert_eq!(ack.bth.dest_qp, qp.peer_qpn);
+        assert!(matches!(ack.ext, RoceExt::Aeth(a) if a.is_ack()));
+    }
+
+    #[test]
+    fn read_single_packet() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        mrs.get_mut(rkey).unwrap().write(base, &[9; 300]).unwrap();
+        let req = read_req(&qp, 0, rkey, base, 300);
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert_eq!(r.outcome, Outcome::ReadServed { packets: 1, bytes: 300 });
+        assert_eq!(r.responses.len(), 1);
+        assert_eq!(r.responses[0].bth.opcode, Opcode::ReadRespOnly);
+        assert_eq!(r.responses[0].payload, vec![9; 300]);
+        assert_eq!(r.responses[0].bth.psn, 0);
+        assert_eq!(qp.epsn, 1);
+    }
+
+    #[test]
+    fn read_fragments_by_mtu() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let data: Vec<u8> = (0..2500u32).map(|i| i as u8).collect();
+        mrs.get_mut(rkey).unwrap().write(base, &data).unwrap();
+        let req = read_req(&qp, 0, rkey, base, 2500);
+        let r = process_request(local, &mut qp, &mut mrs, &req, 1024);
+        assert_eq!(r.outcome, Outcome::ReadServed { packets: 3, bytes: 2500 });
+        let ops: Vec<Opcode> = r.responses.iter().map(|p| p.bth.opcode).collect();
+        assert_eq!(ops, vec![Opcode::ReadRespFirst, Opcode::ReadRespMiddle, Opcode::ReadRespLast]);
+        let psns: Vec<u32> = r.responses.iter().map(|p| p.bth.psn).collect();
+        assert_eq!(psns, vec![0, 1, 2]);
+        // Middle packets carry no AETH.
+        assert!(matches!(r.responses[1].ext, RoceExt::None));
+        // READ consumes one PSN per response packet.
+        assert_eq!(qp.epsn, 3);
+        // Reassembly matches.
+        let mut got = Vec::new();
+        for p in &r.responses {
+            got.extend_from_slice(&p.payload);
+        }
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn fetch_add_returns_original_and_updates() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        mrs.get_mut(rkey).unwrap().write(base, &10u64.to_be_bytes()).unwrap();
+        let req = RocePacket::new(
+            qp.peer,
+            local,
+            100,
+            Bth::new(Opcode::FetchAdd, qp.qpn, 0),
+            RoceExt::AtomicEth(extmem_wire::atomic::AtomicEth {
+                va: base,
+                rkey,
+                swap_add: 32,
+                compare: 0,
+            }),
+            vec![],
+        );
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert_eq!(r.outcome, Outcome::AtomicExecuted);
+        assert!(
+            matches!(r.responses[0].ext, RoceExt::AtomicAck(_, a) if a.original_value == 10)
+        );
+        let now = mrs.get(rkey).unwrap().read(base, 8).unwrap();
+        assert_eq!(u64::from_be_bytes(now.try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn sequence_gap_naks_once_then_drops() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let req = write_req(&qp, 5, rkey, base, vec![1; 4]);
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert!(matches!(r.outcome, Outcome::Nak(NakCode::PsnSequenceError)));
+        assert!(matches!(
+            r.responses[0].ext,
+            RoceExt::Aeth(a) if !a.is_ack()
+        ));
+        // Second out-of-order packet: silent drop.
+        let req = write_req(&qp, 6, rkey, base, vec![1; 4]);
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert_eq!(r.outcome, Outcome::OutOfSequenceDropped);
+        // In-order packet clears the NAK state and executes.
+        let req = write_req(&qp, 0, rkey, base, vec![1; 4]);
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert_eq!(r.outcome, Outcome::WriteExecuted { bytes: 4 });
+        assert!(!qp.nak_outstanding);
+    }
+
+    #[test]
+    fn duplicate_write_is_acked_without_effect() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let req = write_req(&qp, 0, rkey, base, vec![1; 4]);
+        process_request(local, &mut qp, &mut mrs, &req, 2048);
+        // Same PSN again with different payload: no effect, gets an ACK.
+        let dup = write_req(&qp, 0, rkey, base, vec![9; 4]);
+        let r = process_request(local, &mut qp, &mut mrs, &dup, 2048);
+        assert_eq!(r.outcome, Outcome::Duplicate);
+        assert_eq!(r.responses.len(), 1);
+        assert_eq!(mrs.get(rkey).unwrap().read(base, 4).unwrap(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn duplicate_atomic_replays_original_value() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let qpn = qp.qpn;
+        let peer = qp.peer;
+        let fa = move |psn| {
+            RocePacket::new(
+                peer,
+                local,
+                100,
+                Bth::new(Opcode::FetchAdd, qpn, psn),
+                RoceExt::AtomicEth(extmem_wire::atomic::AtomicEth {
+                    va: base,
+                    rkey,
+                    swap_add: 1,
+                    compare: 0,
+                }),
+                vec![],
+            )
+        };
+        process_request(local, &mut qp, &mut mrs, &fa(0), 2048);
+        let r = process_request(local, &mut qp, &mut mrs, &fa(0), 2048);
+        assert_eq!(r.outcome, Outcome::Duplicate);
+        // Replay carries the original value 0, and memory is NOT re-added.
+        assert!(matches!(r.responses[0].ext, RoceExt::AtomicAck(_, a) if a.original_value == 0));
+        let now = mrs.get(rkey).unwrap().read(base, 8).unwrap();
+        assert_eq!(u64::from_be_bytes(now.try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn access_violation_naks() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let req = write_req(&qp, 0, rkey, base + 64_000, vec![1; 128]);
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert!(matches!(r.outcome, Outcome::Nak(NakCode::RemoteAccessError)));
+        // Unknown rkey too.
+        let req = write_req(&qp, 1, Rkey(999), base, vec![1; 4]);
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert!(matches!(r.outcome, Outcome::Nak(NakCode::RemoteAccessError)));
+    }
+
+    #[test]
+    fn multi_packet_write_assembles() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let total = 2500u32;
+        let first = RocePacket::new(
+            qp.peer,
+            local,
+            100,
+            Bth::new(Opcode::WriteFirst, qp.qpn, 0),
+            RoceExt::Reth(Reth { va: base, rkey, dma_len: total }),
+            vec![1; 1024],
+        );
+        let middle = RocePacket::new(
+            qp.peer,
+            local,
+            100,
+            Bth::new(Opcode::WriteMiddle, qp.qpn, 1),
+            RoceExt::None,
+            vec![2; 1024],
+        );
+        let last = RocePacket::new(
+            qp.peer,
+            local,
+            100,
+            Bth::new(Opcode::WriteLast, qp.qpn, 2),
+            RoceExt::None,
+            vec![3; 452],
+        );
+        for (req, expect_msn) in [(&first, 0), (&middle, 0), (&last, 1)] {
+            let r = process_request(local, &mut qp, &mut mrs, req, 2048);
+            assert!(matches!(r.outcome, Outcome::WriteExecuted { .. }));
+            assert_eq!(qp.msn, expect_msn);
+        }
+        let data = mrs.get(rkey).unwrap().read(base, 2500).unwrap();
+        assert_eq!(&data[..1024], &[1u8; 1024][..]);
+        assert_eq!(&data[1024..2048], &[2u8; 1024][..]);
+        assert_eq!(&data[2048..], &[3u8; 452][..]);
+        assert!(qp.write_cursor.is_none());
+    }
+
+    #[test]
+    fn middle_without_first_is_invalid() {
+        let (local, mut qp, mut mrs, _rkey, _base) = setup();
+        let middle = RocePacket::new(
+            qp.peer,
+            local,
+            100,
+            Bth::new(Opcode::WriteMiddle, qp.qpn, 0),
+            RoceExt::None,
+            vec![2; 64],
+        );
+        let r = process_request(local, &mut qp, &mut mrs, &middle, 2048);
+        assert!(matches!(r.outcome, Outcome::Nak(NakCode::InvalidRequest)));
+    }
+
+    #[test]
+    fn psn_sequence_wraps_across_2_24() {
+        // Start 2 PSNs before the 24-bit wrap; three in-order writes must
+        // all execute, with epsn wrapping to 1.
+        let (local, _qp, mut mrs, rkey, base) = setup();
+        let peer = RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 };
+        let mut qp = QueuePair::new(QpNum(0x100), peer, QpNum(0x200), 0xff_fffe);
+        for (i, psn) in [0xff_fffeu32, 0xff_ffff, 0].into_iter().enumerate() {
+            let req = write_req(&qp, psn, rkey, base + i as u64 * 8, vec![i as u8 + 1; 8]);
+            let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+            assert!(
+                matches!(r.outcome, Outcome::WriteExecuted { .. }),
+                "psn {psn:#x}: {:?}",
+                r.outcome
+            );
+        }
+        assert_eq!(qp.epsn, 1);
+        assert_eq!(qp.msn, 3);
+        // And a duplicate from before the wrap is recognized as such.
+        let dup = write_req(&qp, 0xff_ffff, rkey, base, vec![9; 8]);
+        let r = process_request(local, &mut qp, &mut mrs, &dup, 2048);
+        assert_eq!(r.outcome, Outcome::Duplicate);
+    }
+
+    #[test]
+    fn write_len_mismatch_is_invalid() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let mut req = write_req(&qp, 0, rkey, base, vec![1; 16]);
+        if let RoceExt::Reth(ref mut r) = req.ext {
+            r.dma_len = 32;
+        }
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert!(matches!(r.outcome, Outcome::Nak(NakCode::InvalidRequest)));
+    }
+}

@@ -1,0 +1,617 @@
+//! The simulation engine: topology registry plus the event loop.
+
+use crate::event::{EventKind, EventQueue};
+use crate::link::{Endpoint, LinkSpec, LinkStats};
+use crate::node::{Node, NodeCtx};
+use crate::trace::{TraceEvent, TraceSink};
+use extmem_types::{LinkId, NodeId, PortId, Rate, Time, TimeDelta};
+use extmem_wire::Packet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One attached link instance.
+struct Link {
+    spec: LinkSpec,
+    ends: [Endpoint; 2],
+    /// Per-direction stats, indexed by transmitting end (0 or 1).
+    stats: [LinkStats; 2],
+}
+
+/// Engine internals shared with [`NodeCtx`]. Split from [`Simulator`] so a
+/// node callback can borrow the core mutably while the node itself is
+/// temporarily detached from the node table.
+pub struct EngineCore {
+    pub(crate) now: Time,
+    pub(crate) rng: StdRng,
+    queue: EventQueue,
+    links: Vec<Link>,
+    /// `(node, port)` → `(link index, end index within the link)`.
+    ports: HashMap<(NodeId, PortId), (usize, usize)>,
+    tx_busy: HashMap<(NodeId, PortId), bool>,
+    trace: TraceSink,
+    events_processed: u64,
+}
+
+impl EngineCore {
+    pub(crate) fn start_tx(&mut self, node: NodeId, port: PortId, packet: Packet) {
+        let &(lid, end) = self
+            .ports
+            .get(&(node, port))
+            .unwrap_or_else(|| panic!("start_tx on unconnected port {node:?}/{port:?}"));
+        let busy = self.tx_busy.get_mut(&(node, port)).expect("tx state");
+        assert!(!*busy, "start_tx while port busy: {node:?}/{port:?}");
+        *busy = true;
+
+        let link = &mut self.links[lid];
+        let ser = link.spec.rate.time_to_send(packet.len());
+        let arrival = self.now + ser + link.spec.propagation;
+        let dst = link.ends[1 - end];
+
+        let stats = &mut link.stats[end];
+        stats.tx_packets += 1;
+        stats.tx_bytes += packet.len() as u64;
+
+        // Fault injection is decided at transmit time so the RNG draw order
+        // is a deterministic function of the event order.
+        let faults = link.spec.faults;
+        let mut deliver = Some(packet);
+        if faults.is_active() {
+            if faults.drop_prob > 0.0 && self.rng.gen_bool(faults.drop_prob) {
+                link.stats[end].dropped_packets += 1;
+                deliver = None;
+            } else if faults.corrupt_prob > 0.0 && self.rng.gen_bool(faults.corrupt_prob) {
+                let mut pkt = deliver.take().unwrap();
+                if !pkt.is_empty() {
+                    let idx = self.rng.gen_range(0..pkt.len());
+                    pkt.as_mut_slice()[idx] ^= 1 << self.rng.gen_range(0..8u8);
+                    link.stats[end].corrupted_packets += 1;
+                }
+                deliver = Some(pkt);
+            }
+        }
+
+        if let Some(pkt) = deliver {
+            let l = &mut self.links[lid];
+            l.stats[end].delivered_packets += 1;
+            l.stats[end].delivered_bytes += pkt.len() as u64;
+            self.trace.record(TraceEvent {
+                at: arrival,
+                from: Endpoint { node, port },
+                to: dst,
+                len: pkt.len(),
+                digest: pkt.digest(),
+            });
+            self.queue.push(arrival, EventKind::Deliver { node: dst.node, port: dst.port, packet: pkt });
+        }
+        self.queue.push(self.now + ser, EventKind::TxDone { node, port });
+    }
+
+    pub(crate) fn tx_busy(&self, node: NodeId, port: PortId) -> bool {
+        *self.tx_busy.get(&(node, port)).unwrap_or(&false)
+    }
+
+    pub(crate) fn port_link(&self, node: NodeId, port: PortId) -> Option<LinkId> {
+        self.ports.get(&(node, port)).map(|&(lid, _)| LinkId(lid as u32))
+    }
+
+    pub(crate) fn link_rate(&self, node: NodeId, port: PortId) -> Rate {
+        let &(lid, _) = self
+            .ports
+            .get(&(node, port))
+            .unwrap_or_else(|| panic!("link_rate on unconnected port {node:?}/{port:?}"));
+        self.links[lid].spec.rate
+    }
+
+    pub(crate) fn schedule_timer(&mut self, node: NodeId, delay: TimeDelta, token: u64) {
+        self.queue.push(self.now + delay, EventKind::Timer { node, token });
+    }
+}
+
+/// Builder for a [`Simulator`]: register nodes, connect ports, pick a seed.
+pub struct SimBuilder {
+    nodes: Vec<Box<dyn Node>>,
+    links: Vec<Link>,
+    ports: HashMap<(NodeId, PortId), (usize, usize)>,
+    seed: u64,
+    trace: TraceSink,
+}
+
+impl SimBuilder {
+    /// Start building a simulation with the given RNG seed.
+    pub fn new(seed: u64) -> SimBuilder {
+        SimBuilder {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            ports: HashMap::new(),
+            seed,
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Register a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Connect `a`'s port `pa` to `b`'s port `pb` with `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown node ids, self-loops, or ports that are already
+    /// connected.
+    pub fn connect(&mut self, a: NodeId, pa: PortId, b: NodeId, pb: PortId, spec: LinkSpec) -> LinkId {
+        spec.faults.validate();
+        assert!((a.raw() as usize) < self.nodes.len(), "unknown node {a:?}");
+        assert!((b.raw() as usize) < self.nodes.len(), "unknown node {b:?}");
+        assert!(a != b, "self-loop links are not supported");
+        let lid = self.links.len();
+        for (end, ep) in [(0usize, (a, pa)), (1, (b, pb))] {
+            let prev = self.ports.insert(ep, (lid, end));
+            assert!(prev.is_none(), "port {:?}/{:?} connected twice", ep.0, ep.1);
+        }
+        self.links.push(Link {
+            spec,
+            ends: [Endpoint { node: a, port: pa }, Endpoint { node: b, port: pb }],
+            stats: [LinkStats::default(), LinkStats::default()],
+        });
+        LinkId(lid as u32)
+    }
+
+    /// Record every delivered packet (time, endpoints, length, digest) into
+    /// an in-memory trace, retrievable via [`Simulator::trace`]. Costs memory
+    /// proportional to traffic; off by default. The rolling digest used by
+    /// determinism tests is always maintained.
+    pub fn keep_trace(&mut self, keep: bool) -> &mut Self {
+        self.trace = if keep { TraceSink::recording() } else { TraceSink::disabled() };
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Simulator {
+        let tx_busy = self.ports.keys().map(|&k| (k, false)).collect();
+        Simulator {
+            nodes: self.nodes.into_iter().map(Some).collect(),
+            core: EngineCore {
+                now: Time::ZERO,
+                rng: StdRng::seed_from_u64(self.seed),
+                queue: EventQueue::new(),
+                links: self.links,
+                ports: self.ports,
+                tx_busy,
+                trace: self.trace,
+                events_processed: 0,
+            },
+        }
+    }
+}
+
+/// A runnable simulation.
+pub struct Simulator {
+    /// `Option` so a node can be detached during its own callback.
+    nodes: Vec<Option<Box<dyn Node>>>,
+    core: EngineCore,
+}
+
+impl Simulator {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Schedule a timer for `node` as if it had called [`NodeCtx::schedule`].
+    /// Used by scenario drivers to kick off generators.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: TimeDelta, token: u64) {
+        self.core.schedule_timer(node, delay, token);
+    }
+
+    /// Run until the event queue is empty or `deadline` is reached (whichever
+    /// comes first). Returns the number of events processed by this call.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        let mut n = 0;
+        while let Some(at) = self.core.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        // Advance the clock to the deadline even if the queue went quiet.
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+        n
+    }
+
+    /// Run until the event queue is empty. Returns events processed.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        let mut n = 0;
+        while !self.core.queue.is_empty() {
+            self.step();
+            n += 1;
+        }
+        n
+    }
+
+    /// Process exactly one event. Panics if the queue is empty.
+    pub fn step(&mut self) {
+        let ev = self.core.queue.pop().expect("step on empty event queue");
+        debug_assert!(ev.at >= self.core.now, "event queue went backwards");
+        self.core.now = ev.at;
+        self.core.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { node, port, packet } => {
+                self.with_node(node, |n, ctx| n.on_packet(ctx, port, packet));
+            }
+            EventKind::TxDone { node, port } => {
+                *self.core.tx_busy.get_mut(&(node, port)).expect("tx state") = false;
+                self.with_node(node, |n, ctx| n.on_tx_done(ctx, port));
+            }
+            EventKind::Timer { node, token } => {
+                self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+        }
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>)) {
+        let slot = self
+            .nodes
+            .get_mut(id.raw() as usize)
+            .unwrap_or_else(|| panic!("event for unknown node {id:?}"));
+        let mut node = slot.take().expect("node re-entered during its own callback");
+        let mut ctx = NodeCtx { core: &mut self.core, node: id };
+        f(node.as_mut(), &mut ctx);
+        self.nodes[id.raw() as usize] = Some(node);
+    }
+
+    /// Borrow a node, downcast to its concrete type. Panics on a wrong type
+    /// or unknown id. Used by scenario drivers and tests to read node state
+    /// between runs — the simulated equivalent of the paper's control plane
+    /// reading data-plane registers.
+    pub fn node<T: Node>(&self, id: NodeId) -> &T {
+        let node = self.nodes[id.raw() as usize].as_deref().expect("node detached");
+        let any: &dyn std::any::Any = node;
+        any.downcast_ref::<T>().unwrap_or_else(|| panic!("node {id:?} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Mutable variant of [`Simulator::node`].
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let node = self.nodes[id.raw() as usize].as_deref_mut().expect("node detached");
+        let name = node.name().to_owned();
+        let any: &mut dyn std::any::Any = node;
+        any.downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id:?} ({name}) is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Per-direction stats for a link. `end` 0 is the `a` side passed to
+    /// [`SimBuilder::connect`], and the stats describe traffic *transmitted
+    /// by* that end.
+    pub fn link_stats(&self, link: LinkId, end: usize) -> LinkStats {
+        self.core.links[link.raw() as usize].stats[end]
+    }
+
+    /// The recorded trace (empty unless [`SimBuilder::keep_trace`] was set).
+    pub fn trace(&self) -> &[TraceEvent] {
+        self.core.trace.events()
+    }
+
+    /// A rolling digest over every delivered packet: time, endpoints, length
+    /// and content digest. Two runs with the same topology and seed must
+    /// produce the same digest.
+    pub fn trace_digest(&self) -> u64 {
+        self.core.trace.digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::FaultSpec;
+    use std::collections::VecDeque;
+
+    /// Test node: echoes every packet back out the port it arrived on,
+    /// queueing if necessary, and counts arrivals.
+    struct Echo {
+        name: String,
+        rx: u64,
+        pending: VecDeque<(PortId, Packet)>,
+    }
+
+    impl Echo {
+        fn new(name: &str) -> Self {
+            Echo { name: name.into(), rx: 0, pending: VecDeque::new() }
+        }
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, packet: Packet) {
+            self.rx += 1;
+            if ctx.tx_busy(port) {
+                self.pending.push_back((port, packet));
+            } else {
+                ctx.start_tx(port, packet);
+            }
+        }
+
+        fn on_tx_done(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId) {
+            if let Some((port, pkt)) = self.pending.pop_front() {
+                ctx.start_tx(port, pkt);
+            }
+        }
+
+        fn name(&self) -> &str {
+            &self.name
+        }
+    }
+
+    /// Test node: sends `count` packets of `size` bytes as fast as the line
+    /// allows, then counts what comes back.
+    struct Blaster {
+        name: String,
+        to_send: u64,
+        size: usize,
+        rx: u64,
+        last_rx_at: Time,
+    }
+
+    impl Node for Blaster {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, _packet: Packet) {
+            self.rx += 1;
+            self.last_rx_at = ctx.now();
+        }
+
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+            if self.to_send > 0 && !ctx.tx_busy(PortId(0)) {
+                self.to_send -= 1;
+                ctx.start_tx(PortId(0), Packet::zeroed(self.size));
+            }
+        }
+
+        fn on_tx_done(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId) {
+            if self.to_send > 0 {
+                self.to_send -= 1;
+                ctx.start_tx(PortId(0), Packet::zeroed(self.size));
+            }
+        }
+
+        fn name(&self) -> &str {
+            &self.name
+        }
+    }
+
+    fn two_node_sim(seed: u64) -> (Simulator, NodeId, NodeId) {
+        let mut b = SimBuilder::new(seed);
+        let blaster = b.add_node(Box::new(Blaster {
+            name: "blaster".into(),
+            to_send: 10,
+            size: 1500,
+            rx: 0,
+            last_rx_at: Time::ZERO,
+        }));
+        let echo = b.add_node(Box::new(Echo::new("echo")));
+        b.connect(blaster, PortId(0), echo, PortId(0), LinkSpec::testbed_40g());
+        let mut sim = b.build();
+        sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
+        (sim, blaster, echo)
+    }
+
+    #[test]
+    fn packets_flow_and_echo_back() {
+        let (mut sim, blaster, echo) = two_node_sim(1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node::<Echo>(echo).rx, 10);
+        assert_eq!(sim.node::<Blaster>(blaster).rx, 10);
+    }
+
+    #[test]
+    fn timing_matches_rate_and_propagation() {
+        // One 1500B packet at 40G: 300ns ser + 300ns prop = 600ns one way;
+        // echo serializes another 300ns + 300ns prop → 1.2us round trip.
+        let mut b = SimBuilder::new(7);
+        let blaster = b.add_node(Box::new(Blaster {
+            name: "b".into(),
+            to_send: 1,
+            size: 1500,
+            rx: 0,
+            last_rx_at: Time::ZERO,
+        }));
+        let echo = b.add_node(Box::new(Echo::new("e")));
+        b.connect(blaster, PortId(0), echo, PortId(0), LinkSpec::testbed_40g());
+        let mut sim = b.build();
+        sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node::<Blaster>(blaster).last_rx_at, Time::from_nanos(1200));
+    }
+
+    #[test]
+    fn throughput_is_line_rate_bounded() {
+        // 10 x 1500B back-to-back at 40G: last bit leaves at 10*300ns; the
+        // echo node receives the final packet 300ns later.
+        let (mut sim, _, echo) = two_node_sim(3);
+        sim.run_to_quiescence();
+        let _ = echo;
+        assert_eq!(sim.now(), Time::from_nanos(10 * 300 + 300 + 300 + 300));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_digest() {
+        let (mut a, _, _) = two_node_sim(42);
+        let (mut b, _, _) = two_node_sim(42);
+        a.run_to_quiescence();
+        b.run_to_quiescence();
+        assert_eq!(a.trace_digest(), b.trace_digest());
+        assert_ne!(a.trace_digest(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, _, _) = two_node_sim(1);
+        sim.run_until(Time::from_nanos(700));
+        assert_eq!(sim.now(), Time::from_nanos(700));
+        let before = sim.events_processed();
+        sim.run_to_quiescence();
+        assert!(sim.events_processed() > before);
+    }
+
+    #[test]
+    fn fault_injection_drops_deterministically() {
+        let run = |seed| {
+            let mut b = SimBuilder::new(seed);
+            let blaster = b.add_node(Box::new(Blaster {
+                name: "b".into(),
+                to_send: 1000,
+                size: 200,
+                rx: 0,
+                last_rx_at: Time::ZERO,
+            }));
+            let echo = b.add_node(Box::new(Echo::new("e")));
+            let mut spec = LinkSpec::testbed_40g();
+            spec.faults = FaultSpec { drop_prob: 0.2, corrupt_prob: 0.0 };
+            let l = b.connect(blaster, PortId(0), echo, PortId(0), spec);
+            let mut sim = b.build();
+            sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
+            sim.run_to_quiescence();
+            (sim.node::<Echo>(echo).rx, sim.link_stats(l, 0).dropped_packets)
+        };
+        let (rx1, drop1) = run(5);
+        let (rx2, drop2) = run(5);
+        assert_eq!((rx1, drop1), (rx2, drop2));
+        assert!(drop1 > 100 && drop1 < 300, "drop count {drop1} implausible for p=0.2");
+        assert_eq!(rx1 + drop1, 1000);
+    }
+
+    #[test]
+    fn corruption_flips_one_bit() {
+        let mut b = SimBuilder::new(9);
+        let blaster = b.add_node(Box::new(Blaster {
+            name: "b".into(),
+            to_send: 1,
+            size: 100,
+            rx: 0,
+            last_rx_at: Time::ZERO,
+        }));
+        struct Capture {
+            got: Option<Packet>,
+        }
+        impl Node for Capture {
+            fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
+                self.got = Some(packet);
+            }
+            fn name(&self) -> &str {
+                "capture"
+            }
+        }
+        let cap = b.add_node(Box::new(Capture { got: None }));
+        let mut spec = LinkSpec::testbed_40g();
+        spec.faults = FaultSpec { drop_prob: 0.0, corrupt_prob: 1.0 };
+        b.connect(blaster, PortId(0), cap, PortId(0), spec);
+        let mut sim = b.build();
+        sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
+        sim.run_to_quiescence();
+        let got = sim.node_mut::<Capture>(cap).got.take().expect("delivered");
+        let ones: u32 = got.as_slice().iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit flipped");
+    }
+
+    #[test]
+    fn corrupting_empty_packets_does_not_panic() {
+        struct EmptySender {
+            sent: bool,
+        }
+        impl Node for EmptySender {
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _: u64) {
+                if !self.sent {
+                    self.sent = true;
+                    ctx.start_tx(PortId(0), Packet::zeroed(0));
+                }
+            }
+            fn name(&self) -> &str {
+                "empty"
+            }
+        }
+        let mut b = SimBuilder::new(2);
+        let s = b.add_node(Box::new(EmptySender { sent: false }));
+        let e = b.add_node(Box::new(Echo::new("echo")));
+        let mut spec = LinkSpec::testbed_40g();
+        spec.faults = FaultSpec { drop_prob: 0.0, corrupt_prob: 1.0 };
+        b.connect(s, PortId(0), e, PortId(0), spec);
+        let mut sim = b.build();
+        sim.schedule_timer(s, TimeDelta::ZERO, 0);
+        sim.run_to_quiescence(); // must not panic
+        assert_eq!(sim.node::<Echo>(e).rx, 1);
+    }
+
+    #[test]
+    fn link_stats_account_bytes() {
+        let (mut sim, _, _) = two_node_sim(1);
+        sim.run_to_quiescence();
+        let s = sim.link_stats(LinkId(0), 0);
+        assert_eq!(s.tx_packets, 10);
+        assert_eq!(s.tx_bytes, 15_000);
+        assert_eq!(s.delivered_bytes, 15_000);
+        assert_eq!(s.dropped_packets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "port busy")]
+    fn double_tx_panics() {
+        struct Bad;
+        impl Node for Bad {
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _: u64) {
+                ctx.start_tx(PortId(0), Packet::zeroed(64));
+                ctx.start_tx(PortId(0), Packet::zeroed(64));
+            }
+            fn name(&self) -> &str {
+                "bad"
+            }
+        }
+        let mut b = SimBuilder::new(0);
+        let bad = b.add_node(Box::new(Bad));
+        let peer = b.add_node(Box::new(Echo::new("peer")));
+        b.connect(bad, PortId(0), peer, PortId(0), LinkSpec::testbed_40g());
+        let mut sim = b.build();
+        sim.schedule_timer(bad, TimeDelta::ZERO, 0);
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    #[should_panic(expected = "connected twice")]
+    fn duplicate_port_connection_panics() {
+        let mut b = SimBuilder::new(0);
+        let x = b.add_node(Box::new(Echo::new("x")));
+        let y = b.add_node(Box::new(Echo::new("y")));
+        let z = b.add_node(Box::new(Echo::new("z")));
+        b.connect(x, PortId(0), y, PortId(0), LinkSpec::testbed_40g());
+        b.connect(x, PortId(0), z, PortId(0), LinkSpec::testbed_40g());
+    }
+
+    #[test]
+    fn trace_recording_captures_deliveries() {
+        let mut b = SimBuilder::new(1);
+        let blaster = b.add_node(Box::new(Blaster {
+            name: "b".into(),
+            to_send: 3,
+            size: 64,
+            rx: 0,
+            last_rx_at: Time::ZERO,
+        }));
+        let echo = b.add_node(Box::new(Echo::new("e")));
+        b.connect(blaster, PortId(0), echo, PortId(0), LinkSpec::testbed_40g());
+        b.keep_trace(true);
+        let mut sim = b.build();
+        sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
+        sim.run_to_quiescence();
+        // 3 deliveries each way.
+        assert_eq!(sim.trace().len(), 6);
+        assert!(sim.trace().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

@@ -1,0 +1,157 @@
+//! The event queue.
+
+use extmem_types::{NodeId, PortId, Time};
+use extmem_wire::Packet;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet finishes arriving at `node` on `port`.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Receiving port (local to `node`).
+        port: PortId,
+        /// The packet, after any fault injection.
+        packet: Packet,
+    },
+    /// `node` finishes serializing a packet out of `port`; the port is free
+    /// again and the node's `on_tx_done` hook runs.
+    TxDone {
+        /// Transmitting node.
+        node: NodeId,
+        /// Transmitting port.
+        port: PortId,
+    },
+    /// A timer scheduled by `node` fires with its opaque `token`.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Opaque value chosen by the node at scheduling time.
+        token: u64,
+    },
+}
+
+/// An event plus its position in the total order.
+#[derive(Debug)]
+pub struct Scheduled {
+    /// Fire time.
+    pub at: Time,
+    /// Tie-breaker: events scheduled earlier fire earlier at equal times.
+    pub seq: u64,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A total-ordered future event queue.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    /// Fire time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32, token: u64) -> EventKind {
+        EventKind::Timer { node: NodeId(node), token }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(30), timer(0, 3));
+        q.push(Time::from_nanos(10), timer(0, 1));
+        q.push(Time::from_nanos(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.kind {
+                EventKind::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(5);
+        for token in 0..100 {
+            q.push(t, timer(0, token));
+        }
+        for expect in 0..100 {
+            match q.pop().unwrap().kind {
+                EventKind::Timer { token, .. } => assert_eq!(token, expect),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_nanos(7), timer(1, 0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(7)));
+    }
+}

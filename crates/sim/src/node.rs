@@ -1,0 +1,95 @@
+//! The [`Node`] trait and the context handed to node callbacks.
+
+use crate::engine::EngineCore;
+use extmem_types::{NodeId, PortId, Rate, Time, TimeDelta};
+use extmem_wire::Packet;
+use rand::rngs::StdRng;
+use std::any::Any;
+
+/// Anything attached to the simulated topology.
+///
+/// A node owns its ports' queues: the engine serializes at most one packet
+/// per `(node, port)` at a time and calls [`Node::on_tx_done`] when the wire
+/// is free again. This "one in flight, you manage the queue" contract is what
+/// lets the switch model expose true egress-queue depth to the paper's
+/// packet-buffer primitive.
+///
+/// Implementations must be deterministic: any randomness must come from
+/// [`NodeCtx::rng`].
+pub trait Node: Any {
+    /// A packet finished arriving on `port`.
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, packet: Packet);
+
+    /// A timer scheduled via [`NodeCtx::schedule`] fired.
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+
+    /// The packet previously passed to [`NodeCtx::start_tx`] on `port` has
+    /// fully serialized; the port can transmit again.
+    fn on_tx_done(&mut self, _ctx: &mut NodeCtx<'_>, _port: PortId) {}
+
+    /// Human-readable name for traces and panics.
+    fn name(&self) -> &str;
+}
+
+/// The engine-backed context available during node callbacks.
+///
+/// All interaction with the outside world — sending, timers, randomness —
+/// goes through this handle, which keeps nodes testable and the simulation
+/// deterministic.
+pub struct NodeCtx<'a> {
+    pub(crate) core: &'a mut EngineCore,
+    pub(crate) node: NodeId,
+}
+
+impl NodeCtx<'_> {
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Begin serializing `packet` out of `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is not connected or is already transmitting —
+    /// both are programming errors in the calling node; use [`crate::TxQueue`]
+    /// to queue behind an in-flight packet.
+    pub fn start_tx(&mut self, port: PortId, packet: Packet) {
+        self.core.start_tx(self.node, port, packet);
+    }
+
+    /// Whether `port` is currently serializing a packet.
+    pub fn tx_busy(&self, port: PortId) -> bool {
+        self.core.tx_busy(self.node, port)
+    }
+
+    /// Whether `port` is connected to a link.
+    pub fn port_connected(&self, port: PortId) -> bool {
+        self.core.port_link(self.node, port).is_some()
+    }
+
+    /// The line rate of the link attached to `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is not connected.
+    pub fn link_rate(&self, port: PortId) -> Rate {
+        self.core.link_rate(self.node, port)
+    }
+
+    /// Schedule [`Node::on_timer`] to fire after `delay` with `token`.
+    pub fn schedule(&mut self, delay: TimeDelta, token: u64) {
+        self.core.schedule_timer(self.node, delay, token);
+    }
+
+    /// The simulation RNG. Shared by all nodes; draws are deterministic in
+    /// event order.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+}

@@ -1,0 +1,122 @@
+//! Stateful register arrays.
+//!
+//! P4 switches keep cross-packet state in register arrays manipulated by
+//! stateful ALUs. The primitives use them for ring pointers, outstanding
+//! request counts and local accumulators (§4). The model is a bounds-checked
+//! `u64` array with the read-modify-write operations a stateful ALU offers.
+
+/// A bounds-checked array of 64-bit registers.
+#[derive(Debug, Clone)]
+pub struct RegisterArray {
+    name: &'static str,
+    slots: Vec<u64>,
+}
+
+impl RegisterArray {
+    /// An array of `size` zeroed registers. `name` appears in panic
+    /// messages (mirroring P4 register names).
+    pub fn new(name: &'static str, size: usize) -> RegisterArray {
+        assert!(size > 0, "register array {name} must have at least one slot");
+        RegisterArray { name, slots: vec![0; size] }
+    }
+
+    /// Read register `idx`.
+    pub fn read(&self, idx: usize) -> u64 {
+        *self
+            .slots
+            .get(idx)
+            .unwrap_or_else(|| panic!("register {}[{}] out of bounds (size {})", self.name, idx, self.slots.len()))
+    }
+
+    /// Write register `idx`.
+    pub fn write(&mut self, idx: usize, value: u64) {
+        let size = self.slots.len();
+        let slot = self
+            .slots
+            .get_mut(idx)
+            .unwrap_or_else(|| panic!("register {}[{}] out of bounds (size {})", self.name, idx, size));
+        *slot = value;
+    }
+
+    /// Add `delta` to register `idx`, returning the *new* value (wrapping).
+    pub fn add(&mut self, idx: usize, delta: u64) -> u64 {
+        let v = self.read(idx).wrapping_add(delta);
+        self.write(idx, v);
+        v
+    }
+
+    /// Subtract `delta` from register `idx`, saturating at zero, returning
+    /// the new value.
+    pub fn saturating_sub(&mut self, idx: usize, delta: u64) -> u64 {
+        let v = self.read(idx).saturating_sub(delta);
+        self.write(idx, v);
+        v
+    }
+
+    /// Read register `idx` and replace it with `value` in one step (the
+    /// stateful-ALU exchange).
+    pub fn exchange(&mut self, idx: usize, value: u64) -> u64 {
+        let old = self.read(idx);
+        self.write(idx, value);
+        old
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the array has no slots (never true).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Sum of all slots (control-plane readout).
+    pub fn sum(&self) -> u64 {
+        self.slots.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_add() {
+        let mut r = RegisterArray::new("test", 4);
+        assert_eq!(r.read(0), 0);
+        r.write(1, 7);
+        assert_eq!(r.add(1, 3), 10);
+        assert_eq!(r.read(1), 10);
+        assert_eq!(r.sum(), 10);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn exchange_and_saturating_sub() {
+        let mut r = RegisterArray::new("test", 2);
+        r.write(0, 5);
+        assert_eq!(r.exchange(0, 9), 5);
+        assert_eq!(r.read(0), 9);
+        assert_eq!(r.saturating_sub(0, 100), 0);
+    }
+
+    #[test]
+    fn wrapping_add() {
+        let mut r = RegisterArray::new("test", 1);
+        r.write(0, u64::MAX);
+        assert_eq!(r.add(0, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        RegisterArray::new("oops", 2).read(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_array_panics() {
+        RegisterArray::new("zero", 0);
+    }
+}

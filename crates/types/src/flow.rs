@@ -1,0 +1,117 @@
+//! Flow identification.
+
+use core::fmt;
+
+/// The classic 5-tuple flow key used by the lookup-table and state-store
+/// primitives (the paper hashes "the packet's 5-tuple", §4).
+///
+/// ```
+/// use extmem_types::FiveTuple;
+/// let ft = FiveTuple::new(0x0a000001, 0x0a000002, 1234, 80, 6);
+/// assert_eq!(FiveTuple::from_bytes(&ft.to_bytes()), ft);
+/// assert_eq!(ft.reversed().reversed(), ft);
+/// ```
+///
+/// Addresses are stored as raw `u32`s in host order; the wire crate converts
+/// to/from network byte order at the parse boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP).
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    /// Create a flow key.
+    pub const fn new(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, proto: u8) -> Self {
+        FiveTuple { src_ip, dst_ip, src_port, dst_port, proto }
+    }
+
+    /// The reverse-direction flow key (src/dst swapped).
+    pub const fn reversed(self) -> Self {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// A fixed-layout 13-byte encoding, the exact byte string the switch
+    /// hashes when computing remote table / counter indices. Stable across
+    /// platforms (big-endian field order).
+    pub fn to_bytes(self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        b[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        b[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[12] = self.proto;
+        b
+    }
+
+    /// Decode the encoding produced by [`FiveTuple::to_bytes`].
+    pub fn from_bytes(b: &[u8; 13]) -> Self {
+        FiveTuple {
+            src_ip: u32::from_be_bytes(b[0..4].try_into().unwrap()),
+            dst_ip: u32::from_be_bytes(b[4..8].try_into().unwrap()),
+            src_port: u16::from_be_bytes(b[8..10].try_into().unwrap()),
+            dst_port: u16::from_be_bytes(b[10..12].try_into().unwrap()),
+            proto: b[12],
+        }
+    }
+}
+
+impl fmt::Debug for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.src_ip.to_be_bytes();
+        let d = self.dst_ip.to_be_bytes();
+        write!(
+            f,
+            "{}.{}.{}.{}:{}->{}.{}.{}.{}:{}/{}",
+            s[0], s[1], s[2], s[3], self.src_port, d[0], d[1], d[2], d[3], self.dst_port, self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let ft = FiveTuple::new(0x0a000001, 0x0a000002, 1234, 80, 6);
+        assert_eq!(FiveTuple::from_bytes(&ft.to_bytes()), ft);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let ft = FiveTuple::new(1, 2, 3, 4, 17);
+        let r = ft.reversed();
+        assert_eq!(r, FiveTuple::new(2, 1, 4, 3, 17));
+        assert_eq!(r.reversed(), ft);
+    }
+
+    #[test]
+    fn debug_formats_dotted_quad() {
+        let ft = FiveTuple::new(0x0a000001, 0xc0a80102, 5000, 443, 6);
+        assert_eq!(format!("{ft:?}"), "10.0.0.1:5000->192.168.1.2:443/6");
+    }
+
+    #[test]
+    fn encoding_is_big_endian_field_order() {
+        let ft = FiveTuple::new(0x01020304, 0x05060708, 0x0910, 0x1112, 0x13);
+        assert_eq!(
+            ft.to_bytes(),
+            [1, 2, 3, 4, 5, 6, 7, 8, 0x09, 0x10, 0x11, 0x12, 0x13]
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Strongly-typed identifiers for simulation entities and RDMA resources.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty), $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw numeric value.
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifies a node (host, switch, RNIC-backed memory server) in the
+    /// simulated topology. Assigned densely by the simulator at registration.
+    NodeId(u32), "n"
+}
+
+id_type! {
+    /// A port index local to one node. Port numbering is dense per node.
+    PortId(u16), "p"
+}
+
+id_type! {
+    /// Identifies a link in the topology.
+    LinkId(u32), "l"
+}
+
+id_type! {
+    /// An RDMA queue pair number. Real QPNs are 24-bit; we enforce that at
+    /// wire-format encode time in `extmem-wire`.
+    QpNum(u32), "qp"
+}
+
+id_type! {
+    /// An RDMA remote access key identifying a registered memory region.
+    Rkey(u32), "rkey"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_and_display_prefixes() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{}", PortId(7)), "p7");
+        assert_eq!(format!("{}", LinkId(1)), "l1");
+        assert_eq!(format!("{:?}", QpNum(0x11)), "qp17");
+        assert_eq!(format!("{}", Rkey(42)), "rkey42");
+    }
+
+    #[test]
+    fn ordering_and_raw() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(QpNum(9).raw(), 9);
+    }
+}

@@ -1,0 +1,139 @@
+//! Link and traffic rates.
+
+use crate::time::TimeDelta;
+use core::fmt;
+
+/// A data rate in bits per second.
+///
+/// The paper's arithmetic (e.g. §2.1: "50 MB / 40 Gbps = 10 ms") is done in
+/// decimal units, so `Rate` uses decimal giga/mega throughout.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rate(pub u64);
+
+impl Rate {
+    /// Zero rate; [`Rate::time_to_send`] on a zero rate is infinite and panics.
+    pub const ZERO: Rate = Rate(0);
+
+    /// Construct from bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        Rate(bps)
+    }
+
+    /// Construct from megabits per second (decimal).
+    pub const fn from_mbps(mbps: u64) -> Self {
+        Rate(mbps * 1_000_000)
+    }
+
+    /// Construct from gigabits per second (decimal).
+    pub const fn from_gbps(gbps: u64) -> Self {
+        Rate(gbps * 1_000_000_000)
+    }
+
+    /// Construct from fractional gigabits per second.
+    pub fn from_gbps_f64(gbps: f64) -> Self {
+        assert!(gbps >= 0.0 && gbps.is_finite(), "invalid rate");
+        Rate((gbps * 1e9).round() as u64)
+    }
+
+    /// Bits per second.
+    pub const fn bps(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional gigabits per second.
+    pub fn gbps_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Serialization time for `bytes` at this rate, rounded up to the next
+    /// picosecond so repeated sends can never exceed the nominal line rate.
+    ///
+    /// ```
+    /// use extmem_types::{Rate, TimeDelta};
+    /// // A 1500-byte frame takes exactly 300 ns on a 40 Gbps link.
+    /// assert_eq!(Rate::from_gbps(40).time_to_send(1500), TimeDelta::from_nanos(300));
+    /// ```
+    pub fn time_to_send(self, bytes: usize) -> TimeDelta {
+        assert!(self.0 > 0, "cannot send at zero rate");
+        let bits = bytes as u128 * 8;
+        // bits / (bits/s) in picoseconds = bits * 1e12 / bps.
+        let ps = (bits * 1_000_000_000_000).div_ceil(self.0 as u128);
+        TimeDelta(u64::try_from(ps).expect("serialization time overflow"))
+    }
+
+    /// The number of whole bytes this rate can move in `delta`.
+    pub fn bytes_in(self, delta: TimeDelta) -> u64 {
+        let bits = self.0 as u128 * delta.picos() as u128 / 1_000_000_000_000;
+        (bits / 8) as u64
+    }
+
+    /// Scale this rate by a factor (used by load sweeps).
+    pub fn scaled(self, factor: f64) -> Rate {
+        assert!(factor >= 0.0 && factor.is_finite(), "invalid scale factor");
+        Rate((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Debug for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}Gbps", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}Mbps", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}bps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_at_40g() {
+        // 1500 B at 40 Gbps = 300 ns exactly.
+        let t = Rate::from_gbps(40).time_to_send(1500);
+        assert_eq!(t, TimeDelta::from_nanos(300));
+    }
+
+    #[test]
+    fn serialization_time_rounds_up() {
+        // 1 byte at 3 bps = 8/3 s; must round up, never down.
+        let t = Rate::from_bps(3).time_to_send(1);
+        assert_eq!(t.picos(), 2_666_666_666_667);
+    }
+
+    #[test]
+    fn bytes_in_inverts_time_to_send() {
+        let r = Rate::from_gbps(100);
+        let t = r.time_to_send(9000);
+        assert_eq!(r.bytes_in(t), 9000);
+    }
+
+    #[test]
+    fn paper_incast_arithmetic() {
+        // §2.1: 50 MB at 40 Gbps takes 10 ms.
+        let t = Rate::from_gbps(40).time_to_send(50_000_000);
+        assert_eq!(t, TimeDelta::from_millis(10));
+    }
+
+    #[test]
+    fn scaling_and_display() {
+        assert_eq!(Rate::from_gbps(40).scaled(0.5), Rate::from_gbps(20));
+        assert_eq!(Rate::from_gbps(40).to_string(), "40.000Gbps");
+        assert_eq!(Rate::from_mbps(250).to_string(), "250.000Mbps");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rate")]
+    fn zero_rate_panics() {
+        let _ = Rate::ZERO.time_to_send(1);
+    }
+}

@@ -1,0 +1,295 @@
+//! Simulated time.
+//!
+//! The simulator counts **picoseconds** in a `u64`. At 100 Gbps a single byte
+//! takes 80 ps to serialize; nanosecond resolution would mis-round 64-byte
+//! packets by several percent, which matters when reproducing line-rate
+//! throughput ceilings. A `u64` of picoseconds covers ~213 days of simulated
+//! time, far beyond any experiment in this repository.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation clock, in picoseconds since start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(pub u64);
+
+impl Time {
+    /// The beginning of simulated time.
+    pub const ZERO: Time = Time(0);
+
+    /// Construct from whole picoseconds.
+    pub const fn from_picos(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000_000_000)
+    }
+
+    /// Raw picosecond count.
+    pub const fn picos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (truncated) nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This instant expressed in fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This instant expressed in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This instant expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Elapsed time since `earlier`, saturating at zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: Time) -> TimeDelta {
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl TimeDelta {
+    /// A zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Construct from whole picoseconds.
+    pub const fn from_picos(ps: u64) -> Self {
+        TimeDelta(ps)
+    }
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        TimeDelta(ns * 1_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        TimeDelta(us * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeDelta(ms * 1_000_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeDelta(s * 1_000_000_000_000)
+    }
+
+    /// Construct from fractional seconds (rounds to nearest picosecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "negative or non-finite duration");
+        TimeDelta((s * 1e12).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    pub const fn picos(self) -> u64 {
+        self.0
+    }
+
+    /// This span expressed in (truncated) nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This span expressed in fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This span expressed in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This span expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+}
+
+impl Add<TimeDelta> for Time {
+    type Output = Time;
+    fn add(self, rhs: TimeDelta) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign<TimeDelta> for Time {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = TimeDelta;
+    fn sub(self, rhs: Time) -> TimeDelta {
+        TimeDelta(self.0.checked_sub(rhs.0).expect("time went backwards"))
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn div(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_picos(self.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_picos(self.0))
+    }
+}
+
+impl fmt::Debug for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_picos(self.0))
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_picos(self.0))
+    }
+}
+
+/// Render a picosecond count with a human-friendly unit.
+fn format_picos(ps: u64) -> String {
+    if ps == 0 {
+        "0ps".to_string()
+    } else if ps.is_multiple_of(1_000_000_000_000) {
+        format!("{}s", ps / 1_000_000_000_000)
+    } else if ps >= 1_000_000_000 {
+        format!("{:.3}ms", ps as f64 / 1e9)
+    } else if ps >= 1_000_000 {
+        format!("{:.3}us", ps as f64 / 1e6)
+    } else if ps >= 1_000 {
+        format!("{:.3}ns", ps as f64 / 1e3)
+    } else {
+        format!("{ps}ps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Time::from_nanos(1).picos(), 1_000);
+        assert_eq!(Time::from_micros(1).picos(), 1_000_000);
+        assert_eq!(Time::from_millis(1).picos(), 1_000_000_000);
+        assert_eq!(Time::from_secs(1).picos(), 1_000_000_000_000);
+        assert_eq!(TimeDelta::from_secs(2), TimeDelta::from_millis(2000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Time::from_micros(5) + TimeDelta::from_nanos(250);
+        assert_eq!(t.picos(), 5_250_000);
+        assert_eq!(t - Time::from_micros(5), TimeDelta::from_nanos(250));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = Time::from_nanos(10);
+        let b = Time::from_nanos(20);
+        assert_eq!(b.saturating_since(a), TimeDelta::from_nanos(10));
+        assert_eq!(a.saturating_since(b), TimeDelta::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn sub_panics_on_reversal() {
+        let _ = Time::from_nanos(1) - Time::from_nanos(2);
+    }
+
+    #[test]
+    fn delta_scaling() {
+        assert_eq!(TimeDelta::from_nanos(3) * 4, TimeDelta::from_nanos(12));
+        assert_eq!(TimeDelta::from_nanos(12) / 4, TimeDelta::from_nanos(3));
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert!((TimeDelta::from_micros(3).as_micros_f64() - 3.0).abs() < 1e-12);
+        assert!((Time::from_millis(7).as_millis_f64() - 7.0).abs() < 1e-12);
+        assert_eq!(TimeDelta::from_secs_f64(0.5), TimeDelta::from_millis(500));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Time::from_secs(2).to_string(), "2s");
+        assert_eq!(Time::from_nanos(1500).to_string(), "1.500us");
+        assert_eq!(Time::from_picos(12).to_string(), "12ps");
+    }
+}

@@ -1,0 +1,133 @@
+//! Byte quantities.
+
+use core::fmt;
+
+/// A quantity of bytes with decimal (KB/MB/GB) constructors, matching the
+/// units used throughout the paper ("12 MB packet buffer", "O(1 GB) memory").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Construct from raw bytes.
+    pub const fn from_bytes(b: u64) -> Self {
+        ByteSize(b)
+    }
+
+    /// Construct from decimal kilobytes.
+    pub const fn from_kb(kb: u64) -> Self {
+        ByteSize(kb * 1_000)
+    }
+
+    /// Construct from decimal megabytes.
+    pub const fn from_mb(mb: u64) -> Self {
+        ByteSize(mb * 1_000_000)
+    }
+
+    /// Construct from decimal gigabytes.
+    pub const fn from_gb(gb: u64) -> Self {
+        ByteSize(gb * 1_000_000_000)
+    }
+
+    /// Raw byte count.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Raw byte count as `usize`, panicking if it does not fit.
+    pub fn as_usize(self) -> usize {
+        usize::try_from(self.0).expect("byte size exceeds usize")
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: ByteSize) -> Option<ByteSize> {
+        self.0.checked_add(rhs.0).map(ByteSize)
+    }
+}
+
+impl core::ops::Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.checked_add(rhs.0).expect("byte size overflow"))
+    }
+}
+
+impl core::ops::AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::ops::Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.checked_sub(rhs.0).expect("negative byte size"))
+    }
+}
+
+impl core::ops::SubAssign for ByteSize {
+    fn sub_assign(&mut self, rhs: ByteSize) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Debug for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 && self.0.is_multiple_of(100_000_000) {
+            write!(f, "{:.1}GB", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 && self.0.is_multiple_of(100_000) {
+            write!(f, "{:.1}MB", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(100) {
+            write!(f, "{:.1}KB", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_constructors() {
+        assert_eq!(ByteSize::from_kb(1).bytes(), 1_000);
+        assert_eq!(ByteSize::from_mb(12).bytes(), 12_000_000);
+        assert_eq!(ByteSize::from_gb(1).bytes(), 1_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::from_mb(10) + ByteSize::from_mb(2);
+        assert_eq!(a, ByteSize::from_mb(12));
+        assert_eq!(a - ByteSize::from_mb(12), ByteSize::ZERO);
+        assert_eq!(ByteSize::from_mb(1).saturating_sub(ByteSize::from_mb(5)), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(ByteSize::from_mb(12).to_string(), "12.0MB");
+        assert_eq!(ByteSize::from_gb(1).to_string(), "1.0GB");
+        assert_eq!(ByteSize::from_bytes(1500).to_string(), "1.5KB");
+        assert_eq!(ByteSize::from_bytes(64).to_string(), "64B");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative byte size")]
+    fn sub_underflow_panics() {
+        let _ = ByteSize::from_bytes(1) - ByteSize::from_bytes(2);
+    }
+}

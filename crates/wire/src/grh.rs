@@ -1,0 +1,162 @@
+//! InfiniBand Global Route Header (GRH), 40 bytes — the routing header of
+//! **RoCEv1**.
+//!
+//! The primitives in this workspace speak RoCEv2 (IPv4/UDP); the paper's §4
+//! overhead table also quotes RoCEv1's "52 bytes" of routing+transport
+//! headers, which is this GRH (40 B) plus the BTH (12 B). The codec exists
+//! so experiment E5 regenerates that number from real bytes too.
+//!
+//! Layout (IB spec vol 1, §8.3; mirrors an IPv6 header):
+//!
+//! ```text
+//! byte 0      IPVer(4) | TClass[7:4]
+//! byte 1      TClass[3:0] | FlowLabel[19:16]
+//! bytes 2-3   FlowLabel[15:0]
+//! bytes 4-5   PayLen
+//! byte 6      NxtHdr (0x1B = IBA transport)
+//! byte 7      HopLmt
+//! bytes 8-23  SGID
+//! bytes 24-39 DGID
+//! ```
+
+use crate::error::take;
+use crate::{Result, WireError};
+
+/// The GRH `NxtHdr` value meaning "IBA transport follows" (BTH).
+pub const NXTHDR_IBA: u8 = 0x1b;
+
+/// A decoded Global Route Header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Grh {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Payload length (bytes after the GRH).
+    pub pay_len: u16,
+    /// Next header (0x1b for BTH).
+    pub next_header: u8,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source GID.
+    pub sgid: [u8; 16],
+    /// Destination GID.
+    pub dgid: [u8; 16],
+}
+
+impl Grh {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 40;
+
+    /// A GRH with workspace defaults for the given GIDs and payload length.
+    pub fn new(sgid: [u8; 16], dgid: [u8; 16], pay_len: u16) -> Grh {
+        Grh {
+            traffic_class: 0,
+            flow_label: 0,
+            pay_len,
+            next_header: NXTHDR_IBA,
+            hop_limit: 64,
+            sgid,
+            dgid,
+        }
+    }
+
+    /// Parse from the start of `buf`, checking the IP version nibble (6).
+    pub fn parse(buf: &[u8]) -> Result<Grh> {
+        let b = take(buf, 0, Self::LEN, "GRH")?;
+        let ver = b[0] >> 4;
+        if ver != 6 {
+            return Err(WireError::InvalidField { field: "GRH IPVer", value: ver as u64 });
+        }
+        Ok(Grh {
+            traffic_class: (b[0] << 4) | (b[1] >> 4),
+            flow_label: ((b[1] as u32 & 0x0f) << 16) | ((b[2] as u32) << 8) | b[3] as u32,
+            pay_len: u16::from_be_bytes([b[4], b[5]]),
+            next_header: b[6],
+            hop_limit: b[7],
+            sgid: b[8..24].try_into().unwrap(),
+            dgid: b[24..40].try_into().unwrap(),
+        })
+    }
+
+    /// Write into the first [`Self::LEN`] bytes of `buf`.
+    pub fn write(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < Self::LEN {
+            return Err(WireError::Truncated { what: "GRH", needed: Self::LEN, available: buf.len() });
+        }
+        if self.flow_label > 0x000f_ffff {
+            return Err(WireError::ValueOutOfRange {
+                field: "GRH flow label",
+                value: self.flow_label as u64,
+                max: 0x000f_ffff,
+            });
+        }
+        buf[0] = (6 << 4) | (self.traffic_class >> 4);
+        buf[1] = (self.traffic_class << 4) | ((self.flow_label >> 16) as u8 & 0x0f);
+        buf[2] = (self.flow_label >> 8) as u8;
+        buf[3] = self.flow_label as u8;
+        buf[4..6].copy_from_slice(&self.pay_len.to_be_bytes());
+        buf[6] = self.next_header;
+        buf[7] = self.hop_limit;
+        buf[8..24].copy_from_slice(&self.sgid);
+        buf[24..40].copy_from_slice(&self.dgid);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gid(n: u8) -> [u8; 16] {
+        let mut g = [0u8; 16];
+        g[15] = n;
+        g[0] = 0xfe;
+        g
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = Grh {
+            traffic_class: 0xa5,
+            flow_label: 0xf_1234,
+            pay_len: 1024,
+            next_header: NXTHDR_IBA,
+            hop_limit: 7,
+            sgid: gid(1),
+            dgid: gid(2),
+        };
+        let mut buf = [0u8; 40];
+        g.write(&mut buf).unwrap();
+        assert_eq!(Grh::parse(&buf).unwrap(), g);
+    }
+
+    #[test]
+    fn version_nibble_enforced() {
+        let mut buf = [0u8; 40];
+        Grh::new(gid(1), gid(2), 64).write(&mut buf).unwrap();
+        assert_eq!(buf[0] >> 4, 6);
+        buf[0] = 0x45;
+        assert!(matches!(Grh::parse(&buf), Err(WireError::InvalidField { .. })));
+    }
+
+    #[test]
+    fn flow_label_bounds() {
+        let mut g = Grh::new(gid(1), gid(2), 0);
+        g.flow_label = 0x10_0000;
+        assert!(g.write(&mut [0u8; 40]).is_err());
+    }
+
+    #[test]
+    fn rocev1_overhead_is_52_bytes() {
+        // §4: "(52 bytes in the case of RoCEv1)" = GRH + BTH.
+        assert_eq!(Grh::LEN + crate::bth::Bth::LEN, 52);
+        assert_eq!(Grh::LEN + crate::bth::Bth::LEN, crate::roce::ROCEV1_BASE_OVERHEAD);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(Grh::parse(&[0u8; 39]).is_err());
+        assert!(Grh::new(gid(1), gid(2), 0).write(&mut [0u8; 39]).is_err());
+    }
+}

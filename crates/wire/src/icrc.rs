@@ -1,0 +1,189 @@
+//! RoCEv2 invariant CRC (ICRC).
+//!
+//! The ICRC is a CRC-32 (same polynomial as Ethernet, reflected, init/xorout
+//! `0xFFFFFFFF`) computed over the packet from the IP header through the end
+//! of the payload, with every field that routers may legitimately rewrite
+//! *masked to ones* first (IB spec annex A17):
+//!
+//! * an 8-byte pseudo-LRH of `0xFF` is prepended,
+//! * IPv4: Type-of-Service (DSCP+ECN), TTL and header checksum are masked,
+//! * UDP: checksum is masked,
+//! * BTH: the `resv8a` byte (offset 4) is masked.
+//!
+//! The resulting 32-bit value is appended to the packet **little-endian**.
+//! Masking matters for this paper: the lookup-table primitive's example
+//! action rewrites DSCP (§5), and a correct ICRC must remain valid after
+//! such mutable-field rewrites only if they happen *outside* the RoCE
+//! payload; these invariance properties are unit-tested below.
+
+/// Byte length of the ICRC trailer.
+pub const ICRC_LEN: usize = 4;
+
+/// Reflected CRC-32 (IEEE 802.3 polynomial 0x04C11DB7), as used by Ethernet
+/// FCS, zlib and the InfiniBand ICRC.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xffff_ffff, data) ^ 0xffff_ffff
+}
+
+/// Incremental CRC-32: feed `data` into a running (pre-inverted) state.
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &byte in data {
+        let idx = ((state ^ byte as u32) & 0xff) as usize;
+        state = TABLE[idx] ^ (state >> 8);
+    }
+    state
+}
+
+/// Compute the RoCEv2 ICRC for a packet slice that starts at the IPv4 header
+/// and ends at the last payload byte (ICRC itself excluded).
+///
+/// `ip_at` semantics: `ip_and_later[0]` must be the first IPv4 header byte.
+/// The caller guarantees the layout is IPv4(20) + UDP(8) + BTH(12) + rest.
+pub fn icrc_rocev2(ip_and_later: &[u8]) -> u32 {
+    const IP: usize = 20;
+    const UDP: usize = 8;
+    debug_assert!(ip_and_later.len() >= IP + UDP + 12, "short RoCE packet");
+
+    let mut state = 0xffff_ffffu32;
+    // Pseudo-LRH: 8 bytes of 0xFF.
+    state = crc32_update(state, &[0xff; 8]);
+
+    // IPv4 header with ToS, TTL and checksum masked.
+    let mut ip = [0u8; IP];
+    ip.copy_from_slice(&ip_and_later[..IP]);
+    ip[1] = 0xff; // ToS (DSCP + ECN)
+    ip[8] = 0xff; // TTL
+    ip[10] = 0xff; // header checksum
+    ip[11] = 0xff;
+    state = crc32_update(state, &ip);
+
+    // UDP header with checksum masked.
+    let mut udp = [0u8; UDP];
+    udp.copy_from_slice(&ip_and_later[IP..IP + UDP]);
+    udp[6] = 0xff;
+    udp[7] = 0xff;
+    state = crc32_update(state, &udp);
+
+    // BTH with resv8a masked, then everything after, unmasked.
+    let bth_and_later = &ip_and_later[IP + UDP..];
+    let mut bth_head = [0u8; 5];
+    bth_head.copy_from_slice(&bth_and_later[..5]);
+    bth_head[4] = 0xff;
+    state = crc32_update(state, &bth_head);
+    state = crc32_update(state, &bth_and_later[5..]);
+
+    state ^ 0xffff_ffff
+}
+
+/// The 256-entry lookup table for the reflected IEEE polynomial 0xEDB88320.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { 0xedb8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32(data);
+        let mut state = 0xffff_ffff;
+        for chunk in data.chunks(7) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xffff_ffff, oneshot);
+    }
+
+    /// Build a minimal IPv4+UDP+BTH+payload byte string for ICRC tests.
+    fn sample_roce_bytes() -> Vec<u8> {
+        let mut v = vec![0u8; 20 + 8 + 12 + 16];
+        v[0] = 0x45; // version/IHL
+        v[1] = 0x02; // ToS
+        v[8] = 64; // TTL
+        v[9] = 17; // UDP
+        v[26] = 0x12; // UDP checksum bytes (will be masked)
+        v[27] = 0x34;
+        v[28] = 0x0a; // BTH opcode: WRITE ONLY
+        v[32] = 0x55; // resv8a (masked)
+        for (i, b) in v[40..].iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        v
+    }
+
+    #[test]
+    fn icrc_invariant_under_mutable_fields() {
+        let base = sample_roce_bytes();
+        let reference = icrc_rocev2(&base);
+
+        // TTL decrement (what a router does) must not change the ICRC.
+        let mut ttl = base.clone();
+        ttl[8] = 63;
+        assert_eq!(icrc_rocev2(&ttl), reference);
+
+        // DSCP/ECN rewrite must not change the ICRC.
+        let mut tos = base.clone();
+        tos[1] = 0xb8;
+        assert_eq!(icrc_rocev2(&tos), reference);
+
+        // IP checksum rewrite must not change the ICRC.
+        let mut csum = base.clone();
+        csum[10] = 0xaa;
+        csum[11] = 0xbb;
+        assert_eq!(icrc_rocev2(&csum), reference);
+
+        // UDP checksum rewrite must not change the ICRC.
+        let mut udp = base.clone();
+        udp[26] = 0;
+        udp[27] = 0;
+        assert_eq!(icrc_rocev2(&udp), reference);
+
+        // BTH resv8a rewrite must not change the ICRC.
+        let mut resv = base.clone();
+        resv[32] = 0;
+        assert_eq!(icrc_rocev2(&resv), reference);
+    }
+
+    #[test]
+    fn icrc_detects_payload_and_header_changes() {
+        let base = sample_roce_bytes();
+        let reference = icrc_rocev2(&base);
+
+        let mut payload = base.clone();
+        *payload.last_mut().unwrap() ^= 1;
+        assert_ne!(icrc_rocev2(&payload), reference);
+
+        // PSN is covered.
+        let mut psn = base.clone();
+        psn[39] ^= 1;
+        assert_ne!(icrc_rocev2(&psn), reference);
+
+        // Destination IP is covered.
+        let mut dst = base;
+        dst[19] ^= 1;
+        assert_ne!(icrc_rocev2(&dst), reference);
+    }
+}

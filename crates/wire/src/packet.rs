@@ -1,0 +1,116 @@
+//! The owned packet buffer that flows through the simulator.
+
+use core::fmt;
+
+/// An owned, contiguous packet as it appears on the wire, starting at the
+/// Ethernet destination MAC and ending at the last payload/trailer byte.
+///
+/// The simulator moves `Packet`s by value between nodes; the switch model
+/// mutates headers in place (e.g. the DSCP rewrite action of experiment E2)
+/// and the primitives prepend/strip RoCE encapsulation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Packet {
+    bytes: Vec<u8>,
+}
+
+impl Packet {
+    /// Wrap raw bytes as a packet.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        Packet { bytes }
+    }
+
+    /// Allocate a zero-filled packet of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        Packet { bytes: vec![0; len] }
+    }
+
+    /// Total on-wire length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the packet is empty (never true for well-formed traffic).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Immutable view of the raw bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable view of the raw bytes.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Consume the packet, returning the raw bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// A 64-bit FNV-1a digest of the packet contents. Used by determinism
+    /// tests and traces to fingerprint packets without storing them.
+    pub fn digest(&self) -> u64 {
+        fnv1a(&self.bytes)
+    }
+}
+
+/// 64-bit FNV-1a hash.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Packet[{}B digest={:016x}]", self.bytes.len(), self.digest())
+    }
+}
+
+impl From<Vec<u8>> for Packet {
+    fn from(bytes: Vec<u8>) -> Self {
+        Packet::from_vec(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Packet {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut p = Packet::zeroed(64);
+        assert_eq!(p.len(), 64);
+        assert!(!p.is_empty());
+        p.as_mut_slice()[0] = 0xff;
+        assert_eq!(p.as_slice()[0], 0xff);
+        assert_eq!(p.clone().into_vec().len(), 64);
+    }
+
+    #[test]
+    fn digest_distinguishes_contents() {
+        let a = Packet::from_vec(vec![1, 2, 3]);
+        let b = Packet::from_vec(vec![1, 2, 4]);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), Packet::from_vec(vec![1, 2, 3]).digest());
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        // Well-known vector: fnv1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

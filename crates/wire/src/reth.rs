@@ -1,0 +1,74 @@
+//! RDMA Extended Transport Header (RETH), 16 bytes.
+//!
+//! Carried by WRITE first/only packets and READ requests; names the remote
+//! virtual address, rkey and DMA length of the one-sided operation.
+
+use crate::error::take;
+use crate::{Result, WireError};
+use extmem_types::Rkey;
+
+/// A decoded RETH.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Reth {
+    /// Remote virtual address the operation targets.
+    pub va: u64,
+    /// Remote access key of the registered memory region.
+    pub rkey: Rkey,
+    /// Total DMA length of the message in bytes.
+    pub dma_len: u32,
+}
+
+impl Reth {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 16;
+
+    /// Parse from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Reth> {
+        let b = take(buf, 0, Self::LEN, "RETH")?;
+        Ok(Reth {
+            va: u64::from_be_bytes(b[0..8].try_into().unwrap()),
+            rkey: Rkey(u32::from_be_bytes(b[8..12].try_into().unwrap())),
+            dma_len: u32::from_be_bytes(b[12..16].try_into().unwrap()),
+        })
+    }
+
+    /// Write into the first [`Self::LEN`] bytes of `buf`.
+    pub fn write(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < Self::LEN {
+            return Err(WireError::Truncated { what: "RETH", needed: Self::LEN, available: buf.len() });
+        }
+        buf[0..8].copy_from_slice(&self.va.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.rkey.raw().to_be_bytes());
+        buf[12..16].copy_from_slice(&self.dma_len.to_be_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = Reth { va: 0x0123_4567_89ab_cdef, rkey: Rkey(0xdead_beef), dma_len: 1500 };
+        let mut buf = [0u8; 16];
+        r.write(&mut buf).unwrap();
+        assert_eq!(Reth::parse(&buf).unwrap(), r);
+    }
+
+    #[test]
+    fn encoding_is_big_endian() {
+        let r = Reth { va: 0x0102030405060708, rkey: Rkey(0x0a0b0c0d), dma_len: 0x11223344 };
+        let mut buf = [0u8; 16];
+        r.write(&mut buf).unwrap();
+        assert_eq!(
+            buf,
+            [1, 2, 3, 4, 5, 6, 7, 8, 0x0a, 0x0b, 0x0c, 0x0d, 0x11, 0x22, 0x33, 0x44]
+        );
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(Reth::parse(&[0u8; 15]).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! UDP header (RFC 768).
+
+use crate::error::take;
+use crate::{Result, WireError};
+
+/// The IANA-assigned UDP destination port for RoCEv2.
+pub const ROCEV2_PORT: u16 = 4791;
+
+/// A UDP header. RoCEv2 runs over UDP destination port [`ROCEV2_PORT`]; the
+/// checksum is commonly transmitted as zero for RoCEv2 (the ICRC covers the
+/// payload), which is what our builder does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UdpHeader {
+    /// Source port. RNICs use this for ECMP entropy; our builders set a
+    /// per-queue-pair value.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload.
+    pub length: u16,
+    /// Checksum (0 = not computed, standard for RoCEv2).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Encoded size in bytes.
+    pub const LEN: usize = 8;
+
+    /// Parse from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<UdpHeader> {
+        let b = take(buf, 0, Self::LEN, "UDP header")?;
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([b[0], b[1]]),
+            dst_port: u16::from_be_bytes([b[2], b[3]]),
+            length: u16::from_be_bytes([b[4], b[5]]),
+            checksum: u16::from_be_bytes([b[6], b[7]]),
+        })
+    }
+
+    /// Write into the first [`Self::LEN`] bytes of `buf`.
+    pub fn write(&self, buf: &mut [u8]) -> Result<()> {
+        if buf.len() < Self::LEN {
+            return Err(WireError::Truncated {
+                what: "UDP header",
+                needed: Self::LEN,
+                available: buf.len(),
+            });
+        }
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.length.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = UdpHeader { src_port: 49152, dst_port: ROCEV2_PORT, length: 32, checksum: 0 };
+        let mut buf = [0u8; 8];
+        h.write(&mut buf).unwrap();
+        assert_eq!(UdpHeader::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn short_buffers_rejected() {
+        assert!(UdpHeader::parse(&[0u8; 7]).is_err());
+        let h = UdpHeader { src_port: 1, dst_port: 2, length: 8, checksum: 0 };
+        assert!(h.write(&mut [0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn rocev2_port_constant() {
+        assert_eq!(ROCEV2_PORT, 4791);
+    }
+}

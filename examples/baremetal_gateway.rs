@@ -1,0 +1,49 @@
+//! Bare-metal hosting gateway (§2.2 / Fig 1b): VIP→PIP translation with a
+//! remote lookup table and a local SRAM cache.
+//!
+//! Customers' blackbox servers send to virtual IPs; the ToR translates each
+//! packet to the physical address by fetching `(action, packet)` from a
+//! table held in server DRAM — bouncing the packet itself through remote
+//! memory so the switch never buffers it — and caches hot entries locally.
+//!
+//! Run with: `cargo run --release --example baremetal_gateway`
+
+use extmem_apps::baremetal::{run_gateway, GatewayConfig};
+use extmem_apps::workload::FlowPick;
+use extmem_types::Rate;
+
+fn main() {
+    println!("bare-metal gateway: 128 VIPs, Zipf(1.2) traffic, 8000 packets\n");
+
+    for (label, cache) in [
+        ("no local cache (every packet fetches remotely)", None),
+        ("32-entry local cache", Some(32usize)),
+        ("256-entry local cache", Some(256)),
+    ] {
+        let r = run_gateway(GatewayConfig {
+            n_vips: 128,
+            pick: FlowPick::Zipf(1.2),
+            count: 8_000,
+            frame_len: 512,
+            offered: Rate::from_gbps(5),
+            cache,
+            table_entries: 8192,
+            entry_size: 2048,
+            recirculate: false,
+            seed: 99,
+        });
+        println!("--- {label} ---");
+        println!("  delivered        {} / {}", r.delivered, r.sent);
+        println!("  cache hit rate   {:.1}%", r.cache_hit_rate * 100.0);
+        println!("  remote lookups   {}", r.lookup.remote_lookups);
+        println!("  median latency   {}", r.latency.median);
+        println!("  p99 latency      {}", r.latency.p99);
+        println!("  server CPU pkts  {}\n", r.server_cpu_packets);
+        assert_eq!(r.delivered, r.sent);
+        assert_eq!(r.server_cpu_packets, 0);
+    }
+
+    println!("the remote table eliminates the CPU slow path entirely: even cache misses");
+    println!("are served by the server's RNIC, never its CPU (\"no CPU overhead or");
+    println!("software latency\", §2.2).");
+}

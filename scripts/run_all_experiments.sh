@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run every experiment harness in sequence (the full EXPERIMENTS.md sweep).
+# Usage: scripts/run_all_experiments.sh [output-dir]
+set -euo pipefail
+out="${1:-experiment-results}"
+mkdir -p "$out"
+bins=(
+  e1_pktbuf_rates e2_lookup_latency e3_statestore_bw e4_incast e5_overhead
+  e6_capacity a1_cache_ablation a2_atomics_ablation a3_threshold_ablation
+  a4_recirculation a5_rdma_priority a6_kvcache a7_trace_capture a8_slowpath_vs_remote
+)
+for b in "${bins[@]}"; do
+  echo "== $b =="
+  cargo run --release -q -p extmem-bench --bin "$b" | tee "$out/$b.txt"
+  echo
+done
+echo "all outputs in $out/"

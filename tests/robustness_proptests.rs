@@ -1,0 +1,101 @@
+//! Robustness properties: parsers never panic on arbitrary bytes, the
+//! event queue is a total order, and the arithmetic types round-trip.
+
+use extmem_types::{Rate, Time, TimeDelta};
+use extmem_wire::payload::parse_data_packet;
+use extmem_wire::{Packet, RocePacket};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes must never panic the RoCE parser — at worst they are
+    /// "not RoCE" or an error.
+    #[test]
+    fn roce_parser_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = RocePacket::parse(&Packet::from_vec(bytes));
+    }
+
+    /// Same for the workload-frame parser.
+    #[test]
+    fn data_parser_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_data_packet(&Packet::from_vec(bytes));
+    }
+
+    /// Mutating any prefix of a valid RoCE frame still never panics.
+    #[test]
+    fn roce_parser_total_on_truncations(cut in 0usize..134) {
+        use extmem_types::{QpNum, Rkey};
+        use extmem_wire::bth::{Bth, Opcode};
+        use extmem_wire::reth::Reth;
+        use extmem_wire::roce::{RoceEndpoint, RoceExt};
+        use extmem_wire::MacAddr;
+        let src = RoceEndpoint { mac: MacAddr::local(1), ip: 1 };
+        let dst = RoceEndpoint { mac: MacAddr::local(2), ip: 2 };
+        let full = RocePacket::new(
+            src,
+            dst,
+            9,
+            Bth::new(Opcode::WriteOnly, QpNum(3), 4),
+            RoceExt::Reth(Reth { va: 0, rkey: Rkey(1), dma_len: 60 }),
+            vec![7u8; 60],
+        )
+        .build()
+        .unwrap();
+        let cut = cut.min(full.len());
+        let truncated = Packet::from_vec(full.as_slice()[..cut].to_vec());
+        let _ = RocePacket::parse(&truncated);
+    }
+
+    /// Rate arithmetic: `bytes_in(time_to_send(n)) == n` for any positive
+    /// rate and size (time_to_send rounds up, so the inverse can only
+    /// overshoot by the sub-picosecond remainder — i.e. never undershoot).
+    #[test]
+    fn rate_send_time_inverts(bps in 1_000u64..1_000_000_000_000, bytes in 1usize..1_000_000) {
+        let r = Rate::from_bps(bps);
+        let t = r.time_to_send(bytes);
+        let back = r.bytes_in(t);
+        prop_assert!(back >= bytes as u64, "{back} < {bytes}");
+        // Overshoot is bounded by the bytes one picosecond carries, plus one.
+        let slack = bps / 8 / 1_000_000_000_000 + 1;
+        prop_assert!(back - bytes as u64 <= slack, "overshoot {} > {slack}", back - bytes as u64);
+    }
+
+    /// Time arithmetic is associative with deltas and display never panics.
+    #[test]
+    fn time_arithmetic(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
+        let t = Time::from_picos(a);
+        let d1 = TimeDelta::from_picos(b);
+        let d2 = TimeDelta::from_picos(c);
+        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
+        prop_assert_eq!((t + d1) - t, d1);
+        let _ = format!("{t} {d1}");
+    }
+}
+
+/// The event queue pops in exact `(time, insertion)` order for arbitrary
+/// schedules (this drives the whole simulator's determinism).
+#[test]
+fn event_queue_total_order() {
+    use extmem_sim::event::{EventKind, EventQueue};
+    use extmem_types::NodeId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut q = EventQueue::new();
+    let mut expected: Vec<(u64, u64)> = Vec::new(); // (time, seq)
+    for seq in 0..5_000u64 {
+        let t = rng.gen_range(0..500u64);
+        q.push(Time::from_picos(t), EventKind::Timer { node: NodeId(0), token: seq });
+        expected.push((t, seq));
+    }
+    expected.sort();
+    for (want_t, want_seq) in expected {
+        let got = q.pop().unwrap();
+        assert_eq!(got.at.picos(), want_t);
+        match got.kind {
+            EventKind::Timer { token, .. } => assert_eq!(token, want_seq),
+            _ => unreachable!(),
+        }
+    }
+    assert!(q.pop().is_none());
+}

@@ -1,0 +1,269 @@
+//! Property-based tests for the switch-side data structures and the sketch
+//! estimators, checked against reference models.
+
+use extmem_core::sketch::{estimate, SketchGeometry, SketchKind};
+use extmem_core::trace_store::{TraceRecord, RECORD_LEN};
+use extmem_switch::hash::{flow_sign, salted_flow_index};
+use extmem_switch::table::{ExactMatchTable, Replacement};
+use extmem_switch::RegisterArray;
+use extmem_types::{FiveTuple, Time};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference LRU: a map plus an explicit recency list.
+struct ModelLru {
+    cap: usize,
+    entries: Vec<(u32, u64)>, // most-recent last
+}
+
+impl ModelLru {
+    fn lookup(&mut self, k: u32) -> Option<u64> {
+        let pos = self.entries.iter().position(|&(ek, _)| ek == k)?;
+        let e = self.entries.remove(pos);
+        self.entries.push(e);
+        Some(e.1)
+    }
+
+    fn insert(&mut self, k: u32, v: u64) {
+        if let Some(pos) = self.entries.iter().position(|&(ek, _)| ek == k) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.cap {
+            self.entries.remove(0); // least recently used
+        }
+        self.entries.push((k, v));
+    }
+}
+
+proptest! {
+    /// The LRU table behaves exactly like the reference model for any
+    /// interleaving of lookups and inserts.
+    #[test]
+    fn lru_table_matches_reference_model(
+        cap in 1usize..12,
+        ops in proptest::collection::vec((any::<bool>(), 0u32..24, any::<u64>()), 1..300),
+    ) {
+        let mut real: ExactMatchTable<u32, u64> = ExactMatchTable::new(cap, Replacement::Lru);
+        let mut model = ModelLru { cap, entries: Vec::new() };
+        for (is_insert, k, v) in ops {
+            if is_insert {
+                prop_assert!(real.insert(k, v), "LRU insert can never fail");
+                model.insert(k, v);
+            } else {
+                let got = real.lookup(&k).copied();
+                let want = model.lookup(k);
+                prop_assert_eq!(got, want, "lookup({}) diverged", k);
+            }
+            prop_assert_eq!(real.len(), model.entries.len());
+        }
+    }
+
+    /// Register-array ops agree with plain u64 arithmetic.
+    #[test]
+    fn register_array_matches_scalar_model(
+        size in 1usize..16,
+        ops in proptest::collection::vec((0u8..4, any::<prop::sample::Index>(), any::<u64>()), 1..200),
+    ) {
+        let mut real = RegisterArray::new("prop", size);
+        let mut model = vec![0u64; size];
+        for (op, idx, v) in ops {
+            let i = idx.index(size);
+            match op {
+                0 => {
+                    real.write(i, v);
+                    model[i] = v;
+                }
+                1 => prop_assert_eq!(real.add(i, v), {
+                    model[i] = model[i].wrapping_add(v);
+                    model[i]
+                }),
+                2 => prop_assert_eq!(real.exchange(i, v), {
+                    let old = model[i];
+                    model[i] = v;
+                    old
+                }),
+                _ => prop_assert_eq!(real.read(i), model[i]),
+            }
+        }
+        prop_assert_eq!(real.sum(), model.iter().fold(0u64, |a, &b| a.wrapping_add(b)));
+    }
+
+    /// Count-Min never underestimates, for arbitrary flow multisets.
+    #[test]
+    fn count_min_never_underestimates(
+        flows in proptest::collection::vec((0u32..64, 1u64..50), 1..40),
+        rows in 2u32..6,
+        cols in 16u64..256,
+    ) {
+        let g = SketchGeometry { rows, cols };
+        let mut counters = vec![0u64; (rows as u64 * cols) as usize];
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for &(f, n) in &flows {
+            *truth.entry(f).or_insert(0) += n;
+            let ft = key(f);
+            for row in 0..rows {
+                counters[g.slot(row, &ft) as usize] += n;
+            }
+        }
+        for (&f, &n) in &truth {
+            let est = estimate(SketchKind::CountMin, &g, &counters, &key(f));
+            prop_assert!(est >= n as i64, "flow {} est {} < truth {}", f, est, n);
+        }
+    }
+
+    /// Count Sketch applied to a single flow returns it exactly
+    /// (sign * sign = 1 in every row).
+    #[test]
+    fn count_sketch_single_flow_is_exact(f in 0u32..1000, n in 1u64..1000) {
+        let g = SketchGeometry { rows: 5, cols: 64 };
+        let mut counters = vec![0u64; (5 * 64) as usize];
+        let ft = key(f);
+        for row in 0..5 {
+            let v = flow_sign(&ft, row) as u64;
+            let slot = g.slot(row, &ft) as usize;
+            for _ in 0..n {
+                counters[slot] = counters[slot].wrapping_add(v);
+            }
+        }
+        prop_assert_eq!(estimate(SketchKind::CountSketch, &g, &counters, &ft), n as i64);
+    }
+
+    /// Trace records round-trip for arbitrary field values.
+    #[test]
+    fn trace_record_roundtrip(
+        seq: u64,
+        ps: u64,
+        src: u32,
+        dst: u32,
+        sp: u16,
+        dp: u16,
+        proto: u8,
+        len: u16,
+    ) {
+        let r = TraceRecord {
+            seq,
+            at: Time::from_picos(ps),
+            flow: FiveTuple::new(src, dst, sp, dp, proto),
+            frame_len: len,
+        };
+        let b = r.to_bytes();
+        prop_assert_eq!(b.len(), RECORD_LEN);
+        prop_assert_eq!(TraceRecord::from_bytes(&b), r);
+    }
+
+    /// Salted row hashes resolve (almost all) single-salt collisions and
+    /// stay in range.
+    #[test]
+    fn salted_hashes_are_bounded_and_salt_sensitive(a in 0u32..5000, b2 in 0u32..5000, cols in 8u64..512) {
+        prop_assume!(a != b2);
+        let (fa, fb) = (key(a), key(b2));
+        for salt in 0..4 {
+            prop_assert!(salted_flow_index(&fa, salt, cols) < cols);
+        }
+        // If they collide under every one of 6 salts, something is linear.
+        let all_collide = (0..6).all(|s| {
+            salted_flow_index(&fa, s, cols) == salted_flow_index(&fb, s, cols)
+        });
+        prop_assert!(!all_collide, "flows {:?} vs {:?} collide under all salts", fa, fb);
+    }
+}
+
+/// Remote-LPM layout vs a reference software LPM: for random route sets
+/// and random addresses, reading the rung arrays longest-first must agree
+/// with the obvious longest-prefix scan (hash collisions avoided by sizing
+/// the rungs generously and skipping colliding route sets).
+mod lpm_model {
+    use extmem_core::channel::RdmaChannel;
+    use extmem_core::lookup::{ActionEntry, ActionKind, ACTION_LEN};
+    use extmem_core::lpm::{install_remote_route, mask, slots_per_level};
+    use extmem_rnic::{RnicConfig, RnicNode};
+    use extmem_switch::hash::hash_to_index;
+    use extmem_types::{ByteSize, PortId};
+    use extmem_wire::roce::RoceEndpoint;
+    use extmem_wire::MacAddr;
+    use proptest::prelude::*;
+
+    const LEVELS: [u8; 3] = [32, 24, 16];
+
+    fn rung_key(level: u8, dst: u32) -> [u8; 5] {
+        let mut k = [0u8; 5];
+        k[0] = level;
+        k[1..5].copy_from_slice(&mask(dst, level).to_be_bytes());
+        k
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #[test]
+        fn remote_layout_agrees_with_reference_lpm(
+            routes in proptest::collection::vec(
+                (any::<u32>(), prop::sample::select(vec![32u8, 24, 16]), 1u8..63),
+                1..12,
+            ),
+            probes in proptest::collection::vec(any::<u32>(), 1..24),
+        ) {
+            let server = RoceEndpoint { mac: MacAddr::local(9), ip: 9 };
+            let switch = RoceEndpoint { mac: MacAddr::local(1), ip: 1 };
+            let mut nic = RnicNode::new("srv", RnicConfig::at(server));
+            let region = ByteSize::from_mb(2);
+            let channel = RdmaChannel::setup(switch, PortId(2), &mut nic, region);
+            let spl = slots_per_level(region.bytes(), &LEVELS);
+
+            // Skip route sets with intra-rung slot collisions between
+            // *different* prefixes (direct-indexed tables can't hold both).
+            let mut slot_owner: std::collections::HashMap<(u8, u64), u32> = Default::default();
+            let mut deduped: Vec<(u32, u8, u8)> = Vec::new();
+            for &(p, l, d) in &routes {
+                let m = mask(p, l);
+                let slot = hash_to_index(&rung_key(l, m), spl);
+                match slot_owner.get(&(l, slot)) {
+                    Some(&owner) if owner != m => prop_assume!(false),
+                    Some(_) => {} // same prefix re-installed: last write wins
+                    None => {
+                        slot_owner.insert((l, slot), m);
+                    }
+                }
+                deduped.push((m, l, d));
+            }
+            for &(m, l, d) in &deduped {
+                install_remote_route(&mut nic, &channel, &LEVELS, spl, m, l, ActionEntry::set_dscp(d));
+            }
+
+            for &addr in &probes {
+                // Reference: longest prefix among installed routes.
+                let expect = LEVELS
+                    .iter()
+                    .filter_map(|&l| {
+                        deduped
+                            .iter()
+                            .rev() // last install wins
+                            .find(|&&(m, rl, _)| rl == l && mask(addr, l) == m)
+                            .map(|&(_, _, d)| d)
+                    })
+                    .next();
+                // "Data plane": read the rung arrays longest-first.
+                let got = LEVELS.iter().enumerate().find_map(|(i, &l)| {
+                    let slot = hash_to_index(&rung_key(l, addr), spl);
+                    let va = channel.base_va
+                        + (i as u64 * spl + slot) * ACTION_LEN as u64;
+                    let b = nic.region(channel.rkey).read(va, ACTION_LEN as u64).unwrap();
+                    let a = ActionEntry::from_bytes(b.try_into().unwrap());
+                    (a.kind != ActionKind::None).then_some(a.dscp)
+                });
+                // A probe may alias an installed slot by hash collision;
+                // only require agreement when the reference has an answer
+                // or the slot scan found nothing (false positives from
+                // collisions are an accepted property of direct-indexed
+                // tables, filtered here).
+                match (expect, got) {
+                    (Some(e), Some(g)) => prop_assert_eq!(e, g, "wrong rung for {:#x}", addr),
+                    (Some(_), None) => prop_assert!(false, "missed route for {:#x}", addr),
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn key(f: u32) -> FiveTuple {
+    FiveTuple::new(0x0a00_0000 + f, 0x0a63_0001, (2000 + f % 30000) as u16, 80, 17)
+}
