@@ -132,6 +132,11 @@ pub struct IncastResult {
     pub pb: PacketBufferStats,
     /// Delivered fraction.
     pub delivery_ratio: f64,
+    /// Simulator events processed by the run (determinism invariant: same
+    /// seed ⇒ same count).
+    pub events: u64,
+    /// Per-hop packet deliveries summed over every link (both directions).
+    pub hop_packets: u64,
 }
 
 /// Build and run the incast; returns the measurements.
@@ -254,6 +259,8 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
         peak_buffer,
         pb,
         delivery_ratio: delivered as f64 / sent as f64,
+        events: sim.events_processed(),
+        hop_packets: sim.packets_delivered(),
     }
 }
 

@@ -1,9 +1,16 @@
-//! Criterion microbenchmarks for the hot paths of the reproduction:
-//! packet codecs, ICRC, switch table/hash units, the event engine, and the
-//! sketch estimators. These gate performance regressions in the substrate
-//! that every experiment stands on.
+//! Microbenchmarks for the hot paths of the reproduction: packet codecs,
+//! ICRC, switch table/hash units, the event engine, and the sketch
+//! estimators. These gate performance regressions in the substrate that
+//! every experiment stands on.
+//!
+//! Self-timed (`harness = false`): the container has no crates.io access, so
+//! instead of criterion each benchmark is measured with a warmup pass and a
+//! fixed-iteration timed pass, reporting ns/iter. Run with
+//! `cargo bench -p extmem-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
 use extmem_switch::hash::{flow_index, salted_flow_index};
 use extmem_switch::table::{ExactMatchTable, Replacement};
 use extmem_types::{ByteSize, FiveTuple, PortId, QpNum, Rate, Rkey, Time, TimeDelta};
@@ -13,6 +20,20 @@ use extmem_wire::payload::{build_data_packet, parse_data_packet};
 use extmem_wire::reth::Reth;
 use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
 use extmem_wire::MacAddr;
+
+/// Time `f` over `iters` iterations after a short warmup; print ns/iter.
+fn bench<T>(group: &str, name: &str, iters: u64, mut f: impl FnMut() -> T) {
+    for _ in 0..iters / 10 + 1 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{group}/{name:<28} {ns_per_iter:>12.1} ns/iter  ({iters} iters)");
+}
 
 fn endpoints() -> (RoceEndpoint, RoceEndpoint) {
     (
@@ -33,71 +54,59 @@ fn write_packet(payload: usize) -> RocePacket {
     )
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire");
+fn bench_wire() {
     for &size in &[64usize, 1500] {
-        g.throughput(Throughput::Bytes(size as u64));
         let pkt = write_packet(size);
-        g.bench_function(format!("build_write_{size}"), |b| {
-            b.iter(|| black_box(&pkt).build().unwrap())
+        bench("wire", &format!("build_write_{size}"), 20_000, || {
+            black_box(&pkt).build().unwrap()
         });
         let wire = pkt.build().unwrap();
-        g.bench_function(format!("parse_write_{size}"), |b| {
-            b.iter(|| RocePacket::parse(black_box(&wire)).unwrap().unwrap())
+        bench("wire", &format!("parse_write_{size}"), 20_000, || {
+            RocePacket::parse(black_box(&wire)).unwrap().unwrap()
         });
     }
     let frame = vec![0x5au8; 1514];
-    g.throughput(Throughput::Bytes(1514));
-    g.bench_function("crc32_1514", |b| b.iter(|| crc32(black_box(&frame))));
+    bench("wire", "crc32_1514", 20_000, || crc32(black_box(&frame)));
     let roce = write_packet(1500).build().unwrap();
-    let inner = &roce.as_slice()[14..roce.len() - 4];
-    g.bench_function("icrc_1500", |b| b.iter(|| icrc_rocev2(black_box(inner))));
+    let inner = roce.as_slice()[14..roce.len() - 4].to_vec();
+    bench("wire", "icrc_1500", 20_000, || icrc_rocev2(black_box(&inner)));
 
     let flow = FiveTuple::new(0x0a000001, 0x0a000002, 40_000, 9_000, 17);
     let data =
         build_data_packet(MacAddr::local(1), MacAddr::local(2), flow, 0, 0, Time::ZERO, 1500)
             .unwrap();
-    g.bench_function("parse_data_1500", |b| {
-        b.iter(|| parse_data_packet(black_box(&data)).unwrap().unwrap())
+    bench("wire", "parse_data_1500", 20_000, || {
+        parse_data_packet(black_box(&data)).unwrap().unwrap()
     });
-    g.finish();
 }
 
-fn bench_switch_units(c: &mut Criterion) {
-    let mut g = c.benchmark_group("switch");
+fn bench_switch_units() {
     let flows: Vec<FiveTuple> =
         (0..1024).map(|i| FiveTuple::new(0x0a000000 + i, 0x0a630001, 1000, 80, 6)).collect();
-    g.bench_function("flow_index", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % flows.len();
-            flow_index(black_box(&flows[i]), 65_536)
-        })
+    let mut i = 0;
+    bench("switch", "flow_index", 100_000, || {
+        i = (i + 1) % flows.len();
+        flow_index(black_box(&flows[i]), 65_536)
     });
-    g.bench_function("salted_flow_index", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % flows.len();
-            salted_flow_index(black_box(&flows[i]), 3, 65_536)
-        })
+    let mut i = 0;
+    bench("switch", "salted_flow_index", 100_000, || {
+        i = (i + 1) % flows.len();
+        salted_flow_index(black_box(&flows[i]), 3, 65_536)
     });
 
     let mut table: ExactMatchTable<FiveTuple, u64> = ExactMatchTable::new(4096, Replacement::Lru);
     for (n, f) in flows.iter().enumerate() {
         table.insert(*f, n as u64);
     }
-    g.bench_function("table_lookup_hit", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % flows.len();
-            table.lookup(black_box(&flows[i])).copied()
-        })
+    let mut i = 0;
+    bench("switch", "table_lookup_hit", 100_000, || {
+        i = (i + 1) % flows.len();
+        table.lookup(black_box(&flows[i])).copied()
     });
-    g.finish();
 }
 
 /// Engine throughput: a two-node blast measured in events processed.
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     use extmem_sim::{LinkSpec, Node, NodeCtx, SimBuilder, TxQueue};
     use extmem_wire::Packet;
 
@@ -129,77 +138,65 @@ fn bench_engine(c: &mut Criterion) {
         }
     }
 
-    let mut g = c.benchmark_group("engine");
-    g.throughput(Throughput::Elements(3_000)); // ~3 events per packet
-    g.bench_function("blast_1000_packets", |b| {
-        b.iter(|| {
-            let mut builder = SimBuilder::new(1);
-            let bl = builder.add_node(Box::new(Blaster { n: 1000, tx: TxQueue::new(PortId(0)) }));
-            let sk = builder.add_node(Box::new(Sink));
-            builder.connect(
-                bl,
-                PortId(0),
-                sk,
-                PortId(0),
-                LinkSpec::new(Rate::from_gbps(100), TimeDelta::from_nanos(100)),
-            );
-            let mut sim = builder.build();
-            sim.schedule_timer(bl, TimeDelta::ZERO, 0);
-            sim.run_to_quiescence();
-            sim.events_processed()
-        })
+    bench("engine", "blast_1000_packets", 200, || {
+        let mut builder = SimBuilder::new(1);
+        let bl = builder.add_node(Box::new(Blaster { n: 1000, tx: TxQueue::new(PortId(0)) }));
+        let sk = builder.add_node(Box::new(Sink));
+        builder.connect(
+            bl,
+            PortId(0),
+            sk,
+            PortId(0),
+            LinkSpec::new(Rate::from_gbps(100), TimeDelta::from_nanos(100)),
+        );
+        let mut sim = builder.build();
+        sim.schedule_timer(bl, TimeDelta::ZERO, 0);
+        sim.run_to_quiescence();
+        sim.events_processed()
     });
-    g.finish();
 }
 
-fn bench_rnic_responder(c: &mut Criterion) {
+fn bench_rnic_responder() {
     use extmem_rnic::responder::process_request;
     use extmem_rnic::{MrTable, QueuePair};
 
     let (client, server) = endpoints();
     let mut mrs = MrTable::new();
     let (rkey, base) = mrs.register(ByteSize::from_mb(1));
-    let mut g = c.benchmark_group("rnic");
-    g.bench_function("responder_write_1500", |b| {
-        let mut qp = QueuePair::new(QpNum(0x100), client, QpNum(0x55), 0).relaxed();
-        let req = RocePacket::new(
-            client,
-            server,
-            0x9000,
-            Bth::new(Opcode::WriteOnly, QpNum(0x100), 0),
-            RoceExt::Reth(Reth { va: base, rkey, dma_len: 1500 }),
-            vec![0xcd; 1500],
-        );
-        b.iter(|| {
-            qp.epsn = 0; // measure the fresh-write path, not duplicate handling
-            let r = process_request(server, &mut qp, &mut mrs, black_box(&req), 2048);
-            black_box(r.outcome)
-        })
+    let mut qp = QueuePair::new(QpNum(0x100), client, QpNum(0x55), 0).relaxed();
+    let req = RocePacket::new(
+        client,
+        server,
+        0x9000,
+        Bth::new(Opcode::WriteOnly, QpNum(0x100), 0),
+        RoceExt::Reth(Reth { va: base, rkey, dma_len: 1500 }),
+        vec![0xcd; 1500],
+    );
+    bench("rnic", "responder_write_1500", 20_000, || {
+        qp.epsn = 0; // measure the fresh-write path, not duplicate handling
+        let r = process_request(server, &mut qp, &mut mrs, black_box(&req), 2048);
+        black_box(r.outcome)
     });
-    g.finish();
 }
 
-fn bench_sketch(c: &mut Criterion) {
+fn bench_sketch() {
     use extmem_core::sketch::{estimate, SketchGeometry, SketchKind};
     let g9 = SketchGeometry { rows: 5, cols: 4096 };
     let counters = vec![7u64; (g9.rows as u64 * g9.cols) as usize];
     let flow = FiveTuple::new(0x0a000001, 0x0a000002, 40_000, 9_000, 17);
-    let mut g = c.benchmark_group("sketch");
-    g.bench_function("estimate_cms_5rows", |b| {
-        b.iter(|| estimate(SketchKind::CountMin, &g9, black_box(&counters), black_box(&flow)))
+    bench("sketch", "estimate_cms_5rows", 100_000, || {
+        estimate(SketchKind::CountMin, &g9, black_box(&counters), black_box(&flow))
     });
-    g.bench_function("estimate_countsketch_5rows", |b| {
-        b.iter(|| estimate(SketchKind::CountSketch, &g9, black_box(&counters), black_box(&flow)))
+    bench("sketch", "estimate_countsketch_5rows", 100_000, || {
+        estimate(SketchKind::CountSketch, &g9, black_box(&counters), black_box(&flow))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_wire,
-    bench_switch_units,
-    bench_engine,
-    bench_rnic_responder,
-    bench_sketch
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    bench_wire();
+    bench_switch_units();
+    bench_engine();
+    bench_rnic_responder();
+    bench_sketch();
+}

@@ -1,0 +1,38 @@
+//! Simulator perf-regression harness: run the fixed scenarios and write
+//! `BENCH_simperf.json` (see `extmem_bench::simperf` and DESIGN.md).
+//!
+//! Usage: `simperf [output.json]` — default output `BENCH_simperf.json` in
+//! the current directory. `scripts/perf_check.sh` wraps this.
+
+use extmem_bench::simperf::{run_all, to_json_doc};
+use extmem_bench::table::print_table;
+
+fn main() {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_simperf.json".to_string());
+
+    let results = run_all();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.events.to_string(),
+                r.packets.to_string(),
+                format!("{:.3}", r.wall_seconds),
+                format!("{:.0}", r.events_per_sec()),
+                format!("{:.0}", r.packets_per_sec()),
+            ]
+        })
+        .collect();
+    print_table(
+        "simulator performance",
+        &["scenario", "events", "hop packets", "wall (s)", "events/s", "packets/s"],
+        &rows,
+    );
+
+    let doc = to_json_doc(&results);
+    std::fs::write(&out_path, &doc).expect("write perf JSON");
+    println!("\nwrote {out_path}");
+}

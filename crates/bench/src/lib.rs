@@ -21,4 +21,5 @@
 #![warn(missing_docs)]
 
 pub mod e1;
+pub mod simperf;
 pub mod table;

@@ -1,0 +1,245 @@
+//! Simulator performance harness (the perf-regression gate).
+//!
+//! Three fixed scenarios exercise the hot paths end to end:
+//!
+//! * `e1_write_read_loop` — the §5 packet-buffer store/drain loop: every
+//!   frame is encapsulated into an RDMA WRITE, ring-buffered on the memory
+//!   server, then pulled back through the READ chain (detour path),
+//! * `incast` — the §2.1 rescue: 8 line-rate senders into one drain port
+//!   with the detour striped over 9 memory servers (forward + detour under
+//!   congestion),
+//! * `lookup_miss_storm` — the lookup primitive with caching disabled:
+//!   every packet pays a remote READ round trip (READ-response path).
+//!
+//! Each scenario runs a fixed deterministic workload to quiescence; the
+//! simulated work is therefore constant across runs and machines, and the
+//! wall-clock time it takes is the measurement. [`run_scenario`] reports
+//! events/sec and (per-hop) packets/sec; `scripts/perf_check.sh` compares a
+//! fresh run against the committed `BENCH_simperf.json` baseline and fails
+//! on regression.
+
+use extmem_apps::incast::{run_incast, IncastConfig, RemoteBufferSpec};
+use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
+use extmem_apps::workload::{SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_core::lookup::{install_remote_action, ActionEntry, LookupTableProgram};
+use extmem_core::packet_buffer::{Mode, PacketBufferProgram, TOKEN_START_LOADING};
+use extmem_core::{Fib, RdmaChannel};
+use extmem_rnic::{RnicConfig, RnicNode};
+use extmem_sim::{LinkSpec, SimBuilder, Simulator};
+use extmem_switch::switch::program_token;
+use extmem_switch::{SwitchConfig, SwitchNode};
+use extmem_types::{ByteSize, FiveTuple, PortId, Rate, Time, TimeDelta};
+use std::time::Instant;
+
+/// One scenario's measurement.
+#[derive(Clone, Debug)]
+pub struct PerfResult {
+    /// Scenario name (stable; keys the JSON baseline).
+    pub name: &'static str,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Per-hop packet deliveries summed over every link.
+    pub packets: u64,
+    /// Simulated time covered.
+    pub sim_seconds: f64,
+    /// Wall-clock time the run took.
+    pub wall_seconds: f64,
+}
+
+impl PerfResult {
+    /// Events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds
+    }
+
+    /// Per-hop packet deliveries per wall-clock second.
+    pub fn packets_per_sec(&self) -> f64 {
+        self.packets as f64 / self.wall_seconds
+    }
+
+    /// One JSON object, single line (parsed by `scripts/perf_check.sh`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"events\": {}, \"packets\": {}, \"sim_seconds\": {:.6}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \"packets_per_sec\": {:.1}}}",
+            self.events,
+            self.packets,
+            self.sim_seconds,
+            self.wall_seconds,
+            self.events_per_sec(),
+            self.packets_per_sec()
+        )
+    }
+}
+
+/// Render all results as the `BENCH_simperf.json` document.
+pub fn to_json_doc(results: &[PerfResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"scenarios\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!("    \"{}\": {}{}\n", r.name, r.to_json(), comma));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn time_run(name: &'static str, sim: &mut Simulator, drive: impl FnOnce(&mut Simulator)) -> PerfResult {
+    let start = Instant::now();
+    drive(sim);
+    let wall = start.elapsed().as_secs_f64();
+    PerfResult {
+        name,
+        events: sim.events_processed(),
+        packets: sim.packets_delivered(),
+        sim_seconds: sim.now().saturating_since(Time::ZERO).as_secs_f64(),
+        wall_seconds: wall,
+    }
+}
+
+/// E1 write/read loop: store `count` 1500 B frames into the remote ring
+/// (Manual mode), then drain them through the READ chain.
+pub fn e1_write_read_loop(count: u64) -> PerfResult {
+    const ENTRY: u64 = 1516;
+    let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
+    let region = ByteSize::from_bytes((count + 8) * ENTRY);
+    let channel = RdmaChannel::setup_relaxed(switch_endpoint(), PortId(2), &mut nic, region);
+
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = PacketBufferProgram::new(
+        fib,
+        vec![channel],
+        PortId(1),
+        ENTRY,
+        Mode::Manual,
+        8,
+        TimeDelta::from_millis(10),
+    );
+
+    let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 9_000, 17);
+    let mut b = SimBuilder::new(21);
+    let switch =
+        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 1500, Rate::from_gbps(25), count),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let srv = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), srv, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    let store_time = TimeDelta::from_secs_f64(count as f64 * 1500.0 * 8.0 / 25e9 + 1e-3);
+    let r = time_run("e1_write_read_loop", &mut sim, |sim| {
+        sim.run_until(Time::ZERO + store_time);
+        sim.schedule_timer(switch, TimeDelta::ZERO, program_token(TOKEN_START_LOADING));
+        sim.run_to_quiescence();
+    });
+    assert_eq!(sim.node::<SinkNode>(sink).received, count, "forward path lost frames");
+    r
+}
+
+/// The CI-scale incast with the default 9-server remote buffer.
+pub fn incast_scenario() -> PerfResult {
+    let start = Instant::now();
+    let res = run_incast(IncastConfig::small(Some(RemoteBufferSpec::default())));
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(res.delivered, res.sent, "remote buffer must stay lossless");
+    PerfResult {
+        name: "incast",
+        events: res.events,
+        packets: res.hop_packets,
+        sim_seconds: res.completion.as_secs_f64(),
+        wall_seconds: wall,
+    }
+}
+
+/// Lookup-miss storm: every packet misses the (disabled) cache and fetches
+/// its action entry from remote memory.
+pub fn lookup_miss_storm(count: u64) -> PerfResult {
+    const DSCP: u8 = 46;
+    let table_port = PortId(2);
+    let mut nic = RnicNode::new("tablesrv", RnicConfig::at(host_endpoint(2)));
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        table_port,
+        &mut nic,
+        ByteSize::from_bytes(4096 * 2048),
+    );
+    let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 80, 17);
+    install_remote_action(&mut nic, &channel, 2048, &flow, ActionEntry::set_dscp(DSCP));
+
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = LookupTableProgram::new(fib, channel, 2048, None);
+
+    let mut b = SimBuilder::new(31);
+    let switch =
+        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "client",
+        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 256, Rate::from_gbps(5), count),
+    )));
+    let server = b.add_node(Box::new(SinkNode::new("server")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    b.connect(switch, table_port, table, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    let r = time_run("lookup_miss_storm", &mut sim, |sim| {
+        sim.run_to_quiescence();
+    });
+    let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
+    assert_eq!(
+        sw.program::<LookupTableProgram>().stats().remote_lookups,
+        count,
+        "every packet must take the remote path"
+    );
+    r
+}
+
+/// Repetitions per scenario in [`run_all`]; the fastest is reported, which
+/// filters out scheduler noise from a shared machine.
+pub const REPS: u32 = 3;
+
+fn best_of(reps: u32, run: impl Fn() -> PerfResult) -> PerfResult {
+    (0..reps)
+        .map(|_| run())
+        .min_by(|a, b| a.wall_seconds.total_cmp(&b.wall_seconds))
+        .expect("at least one rep")
+}
+
+/// Run all scenarios at the standard scale, best-of-[`REPS`] each.
+pub fn run_all() -> Vec<PerfResult> {
+    vec![
+        best_of(REPS, || e1_write_read_loop(8_000)),
+        best_of(REPS, incast_scenario),
+        best_of(REPS, || lookup_miss_storm(8_000)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_run_and_report() {
+        // Smoke at reduced scale: sane counters and well-formed JSON.
+        let results = vec![e1_write_read_loop(500), lookup_miss_storm(300)];
+        for r in &results {
+            assert!(r.events > 0 && r.packets > 0, "{r:?}");
+            assert!(r.sim_seconds > 0.0 && r.wall_seconds > 0.0, "{r:?}");
+        }
+        let doc = to_json_doc(&results);
+        assert!(doc.contains("\"e1_write_read_loop\""));
+        assert!(doc.contains("\"events_per_sec\""));
+    }
+}

@@ -29,7 +29,7 @@ use extmem_types::{FiveTuple, PortId};
 use extmem_wire::bth::Opcode;
 use extmem_wire::ipv4::{internet_checksum, proto};
 use extmem_wire::roce::{RoceExt, RocePacket};
-use extmem_wire::{EthernetHeader, Ipv4Header, MacAddr, Packet, UdpHeader};
+use extmem_wire::{EthernetHeader, Ipv4Header, MacAddr, Packet, Payload, UdpHeader};
 
 /// Bytes reserved for the action at the head of each slot.
 pub const ACTION_LEN: usize = 16;
@@ -415,7 +415,7 @@ impl LookupTableProgram {
     }
 
     /// Process a complete READ-response entry.
-    fn consume_entry(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, entry: &[u8]) {
+    fn consume_entry(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, entry: &Payload) {
         self.stats.responses += 1;
         if self.miss_handling == MissHandling::Recirculate {
             // Action-only response; responses arrive in issue order.
@@ -437,7 +437,10 @@ impl LookupTableProgram {
         if len == 0 || len > body.len() {
             return;
         }
-        let pkt = Packet::from_vec(body[..len].to_vec());
+        // Zero-copy: the released packet is a window into the READ
+        // response's (shared) buffer.
+        let body_at = ACTION_LEN + LEN_FIELD;
+        let pkt = Packet::from_payload(entry.slice(body_at..body_at + len));
         // Cache under the *returned* packet's flow (the slot owner).
         if let Some(flow) = flow_of(&pkt) {
             if let Some(cache) = &mut self.cache {
@@ -460,7 +463,7 @@ impl LookupTableProgram {
             Opcode::ReadRespLast => {
                 let mut entry = std::mem::take(&mut self.resp_buf);
                 entry.extend_from_slice(&roce.payload);
-                self.consume_entry(ctx, &entry);
+                self.consume_entry(ctx, &Payload::from_vec(entry));
             }
             Opcode::Acknowledge => {
                 if let RoceExt::Aeth(aeth) = roce.ext {

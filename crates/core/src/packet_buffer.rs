@@ -31,7 +31,7 @@ use extmem_switch::{PipelineProgram, SwitchCtx};
 use extmem_types::{PortId, TimeDelta};
 use extmem_wire::bth::Opcode;
 use extmem_wire::roce::{RoceExt, RocePacket};
-use extmem_wire::Packet;
+use extmem_wire::{Packet, Payload};
 use std::collections::BTreeMap;
 
 /// Per-entry header: `[idx: u32][len: u16]`.
@@ -380,7 +380,7 @@ impl PacketBufferProgram {
     /// strictly in ring order; responses ahead of the expected position
     /// (cross-server skew) wait in the reorder stage. With a loss-free
     /// channel every anomaly counter stays zero.
-    fn consume_entry(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, entry: &[u8]) {
+    fn consume_entry(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, entry: &Payload) {
         if entry.len() < ENTRY_HDR {
             self.stats.stale_skipped += 1;
             return;
@@ -408,7 +408,9 @@ impl PacketBufferProgram {
             }
             return;
         }
-        let pkt = Packet::from_vec(entry[ENTRY_HDR..ENTRY_HDR + len].to_vec());
+        // Zero-copy: the loaded packet is a window into the READ response's
+        // (shared) buffer.
+        let pkt = Packet::from_payload(entry.slice(ENTRY_HDR..ENTRY_HDR + len));
         if idx == self.rdone {
             self.stats.loaded += 1;
             self.stuck_ticks = 0;
@@ -434,7 +436,7 @@ impl PacketBufferProgram {
             Opcode::ReadRespLast => {
                 let mut entry = std::mem::take(&mut self.resp_bufs[ch]);
                 entry.extend_from_slice(&roce.payload);
-                self.consume_entry(ctx, &entry);
+                self.consume_entry(ctx, &Payload::from_vec(entry));
                 self.try_issue_reads(ctx);
             }
             Opcode::Acknowledge => {

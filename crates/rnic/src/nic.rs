@@ -639,7 +639,7 @@ mod tests {
         assert_eq!(recv.len(), 2, "3000B read at 2048 MTU = 2 packets");
         assert_eq!(recv[0].bth.opcode, Opcode::ReadRespFirst);
         assert_eq!(recv[1].bth.opcode, Opcode::ReadRespLast);
-        let mut data = recv[0].payload.clone();
+        let mut data = recv[0].payload.to_vec();
         data.extend_from_slice(&recv[1].payload);
         assert_eq!(&data[..1500], &[0xab; 1500][..]);
         assert_eq!(&data[1500..], &[0xcd; 1500][..]);

@@ -38,8 +38,17 @@ impl RequesterQp {
         RequesterQp { local, peer, peer_qpn, udp_src_port: 0x9000, mtu, npsn: 0 }
     }
 
-    /// Build a single-packet RDMA WRITE.
-    pub fn write_only(&mut self, rkey: Rkey, va: u64, payload: Vec<u8>, ack_req: bool) -> RocePacket {
+    /// Build a single-packet RDMA WRITE. Accepts any payload source (a
+    /// `Vec<u8>` or an already-shared [`extmem_wire::Payload`]); passing a
+    /// `Payload` keeps the buffer shared, copy-free.
+    pub fn write_only(
+        &mut self,
+        rkey: Rkey,
+        va: u64,
+        payload: impl Into<extmem_wire::Payload>,
+        ack_req: bool,
+    ) -> RocePacket {
+        let payload = payload.into();
         let mut bth = Bth::new(Opcode::WriteOnly, self.peer_qpn, self.npsn);
         bth.ack_req = ack_req;
         self.npsn = psn_add(self.npsn, 1);

@@ -11,6 +11,7 @@ use extmem_wire::aeth::{Aeth, NakCode};
 use extmem_wire::atomic::AtomicAckEth;
 use extmem_wire::bth::{psn_add, psn_before, Bth, Opcode};
 use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
+use extmem_wire::Payload;
 
 /// What the responder did with a request (for statistics).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -209,8 +210,10 @@ fn serve_read(
 ) -> ResponderResult {
     let RoceExt::Reth(reth) = req.ext else { return invalid(local, qp) };
     assert!(mtu > 0, "RoCE MTU must be positive");
+    // One copy out of the MR into a shared buffer; the per-MTU response
+    // chunks below are zero-copy windows into it.
     let data = match mrs.get(reth.rkey).and_then(|r| r.read(reth.va, reth.dma_len as u64)) {
-        Ok(d) => d.to_vec(),
+        Ok(d) => Payload::copy_from_slice(d),
         Err(e) if is_duplicate => {
             // A bad duplicate must not perturb the live sequence state.
             let _ = e;
@@ -220,8 +223,7 @@ fn serve_read(
     };
     let n_packets = data.len().div_ceil(mtu).max(1) as u32;
     let mut responses = Vec::with_capacity(n_packets as usize);
-    for (i, chunk) in chunks_or_empty(&data, mtu).enumerate() {
-        let i = i as u32;
+    for i in 0..n_packets {
         let opcode = if n_packets == 1 {
             Opcode::ReadRespOnly
         } else if i == 0 {
@@ -237,13 +239,15 @@ fn serve_read(
             RoceExt::Aeth(Aeth::ack(qp.msn))
         };
         let bth = Bth::new(opcode, qp.peer_qpn, psn_add(req.bth.psn, i));
+        let start = i as usize * mtu;
+        let end = (start + mtu).min(data.len());
         responses.push(RocePacket::new(
             local,
             qp.peer,
             qp.udp_src_port,
             bth,
             ext,
-            chunk.to_vec(),
+            data.slice(start..end),
         ));
     }
     if !is_duplicate {
@@ -253,16 +257,6 @@ fn serve_read(
     ResponderResult {
         responses,
         outcome: Outcome::ReadServed { packets: n_packets, bytes: data.len() as u64 },
-    }
-}
-
-/// Like `data.chunks(mtu)` but yields one empty chunk for empty data (a
-/// zero-length READ still gets one response packet).
-fn chunks_or_empty<'a>(data: &'a [u8], mtu: usize) -> Box<dyn Iterator<Item = &'a [u8]> + 'a> {
-    if data.is_empty() {
-        Box::new(std::iter::once(&data[0..0]))
-    } else {
-        Box::new(data.chunks(mtu))
     }
 }
 

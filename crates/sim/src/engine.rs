@@ -10,12 +10,30 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
+/// Bytes of Ethernet + IPv4 + UDP headers. Injected corruption lands past
+/// this prefix (see the comment at the injection site in [`EngineCore::start_tx`]).
+const CLASSIFICATION_PREFIX: usize = 14 + 20 + 8;
+
 /// One attached link instance.
 struct Link {
     spec: LinkSpec,
     ends: [Endpoint; 2],
     /// Per-direction stats, indexed by transmitting end (0 or 1).
     stats: [LinkStats; 2],
+}
+
+/// Connection state of one `(node, port)` pair, stored in a dense table
+/// indexed by the (small, contiguous) node and port ids. Every packet event
+/// does several port lookups, so these are plain array indexing rather than
+/// hashing.
+#[derive(Clone, Copy)]
+struct PortSlot {
+    /// Index into [`EngineCore::links`].
+    link: u32,
+    /// Which end of that link this port is (0 or 1).
+    end: u8,
+    /// Whether a transmit is in flight on this port.
+    busy: bool,
 }
 
 /// Engine internals shared with [`NodeCtx`]. Split from [`Simulator`] so a
@@ -26,22 +44,32 @@ pub struct EngineCore {
     pub(crate) rng: StdRng,
     queue: EventQueue,
     links: Vec<Link>,
-    /// `(node, port)` → `(link index, end index within the link)`.
-    ports: HashMap<(NodeId, PortId), (usize, usize)>,
-    tx_busy: HashMap<(NodeId, PortId), bool>,
+    /// `ports[node][port]` → connection state, `None` for unconnected ports.
+    ports: Vec<Vec<Option<PortSlot>>>,
     trace: TraceSink,
     events_processed: u64,
 }
 
 impl EngineCore {
+    fn slot(&self, node: NodeId, port: PortId) -> Option<&PortSlot> {
+        self.ports.get(node.raw() as usize)?.get(port.raw() as usize)?.as_ref()
+    }
+
+    fn slot_mut(&mut self, node: NodeId, port: PortId) -> Option<&mut PortSlot> {
+        self.ports.get_mut(node.raw() as usize)?.get_mut(port.raw() as usize)?.as_mut()
+    }
+
+    pub(crate) fn set_tx_idle(&mut self, node: NodeId, port: PortId) {
+        self.slot_mut(node, port).expect("tx state").busy = false;
+    }
+
     pub(crate) fn start_tx(&mut self, node: NodeId, port: PortId, packet: Packet) {
-        let &(lid, end) = self
-            .ports
-            .get(&(node, port))
+        let slot = self
+            .slot_mut(node, port)
             .unwrap_or_else(|| panic!("start_tx on unconnected port {node:?}/{port:?}"));
-        let busy = self.tx_busy.get_mut(&(node, port)).expect("tx state");
-        assert!(!*busy, "start_tx while port busy: {node:?}/{port:?}");
-        *busy = true;
+        assert!(!slot.busy, "start_tx while port busy: {node:?}/{port:?}");
+        slot.busy = true;
+        let (lid, end) = (slot.link as usize, slot.end as usize);
 
         let link = &mut self.links[lid];
         let ser = link.spec.rate.time_to_send(packet.len());
@@ -63,7 +91,15 @@ impl EngineCore {
             } else if faults.corrupt_prob > 0.0 && self.rng.gen_bool(faults.corrupt_prob) {
                 let mut pkt = deliver.take().unwrap();
                 if !pkt.is_empty() {
-                    let idx = self.rng.gen_range(0..pkt.len());
+                    // Our frames carry no Ethernet FCS: on a real wire a
+                    // flipped classification bit (MAC, ethertype, IP/UDP
+                    // headers) dies at the receiving MAC before any layer
+                    // sees it. The injector therefore models the post-FCS
+                    // corruption domain — the in-network bit flips that
+                    // only an end-to-end check (ICRC) catches — and flips
+                    // bits past the L2/L3/L4 classification prefix.
+                    let lo = if pkt.len() > CLASSIFICATION_PREFIX { CLASSIFICATION_PREFIX } else { 0 };
+                    let idx = self.rng.gen_range(lo..pkt.len());
                     pkt.as_mut_slice()[idx] ^= 1 << self.rng.gen_range(0..8u8);
                     link.stats[end].corrupted_packets += 1;
                 }
@@ -88,19 +124,18 @@ impl EngineCore {
     }
 
     pub(crate) fn tx_busy(&self, node: NodeId, port: PortId) -> bool {
-        *self.tx_busy.get(&(node, port)).unwrap_or(&false)
+        self.slot(node, port).is_some_and(|s| s.busy)
     }
 
     pub(crate) fn port_link(&self, node: NodeId, port: PortId) -> Option<LinkId> {
-        self.ports.get(&(node, port)).map(|&(lid, _)| LinkId(lid as u32))
+        self.slot(node, port).map(|s| LinkId(s.link))
     }
 
     pub(crate) fn link_rate(&self, node: NodeId, port: PortId) -> Rate {
-        let &(lid, _) = self
-            .ports
-            .get(&(node, port))
+        let slot = self
+            .slot(node, port)
             .unwrap_or_else(|| panic!("link_rate on unconnected port {node:?}/{port:?}"));
-        self.links[lid].spec.rate
+        self.links[slot.link as usize].spec.rate
     }
 
     pub(crate) fn schedule_timer(&mut self, node: NodeId, delay: TimeDelta, token: u64) {
@@ -171,7 +206,17 @@ impl SimBuilder {
 
     /// Finish building.
     pub fn build(self) -> Simulator {
-        let tx_busy = self.ports.keys().map(|&k| (k, false)).collect();
+        // Flatten the builder's port map into the dense per-node tables the
+        // event loop indexes directly.
+        let mut ports: Vec<Vec<Option<PortSlot>>> = vec![Vec::new(); self.nodes.len()];
+        for (&(node, port), &(lid, end)) in &self.ports {
+            let row = &mut ports[node.raw() as usize];
+            let idx = port.raw() as usize;
+            if row.len() <= idx {
+                row.resize(idx + 1, None);
+            }
+            row[idx] = Some(PortSlot { link: lid as u32, end: end as u8, busy: false });
+        }
         Simulator {
             nodes: self.nodes.into_iter().map(Some).collect(),
             core: EngineCore {
@@ -179,8 +224,7 @@ impl SimBuilder {
                 rng: StdRng::seed_from_u64(self.seed),
                 queue: EventQueue::new(),
                 links: self.links,
-                ports: self.ports,
-                tx_busy,
+                ports,
                 trace: self.trace,
                 events_processed: 0,
             },
@@ -251,7 +295,7 @@ impl Simulator {
                 self.with_node(node, |n, ctx| n.on_packet(ctx, port, packet));
             }
             EventKind::TxDone { node, port } => {
-                *self.core.tx_busy.get_mut(&(node, port)).expect("tx state") = false;
+                self.core.set_tx_idle(node, port);
                 self.with_node(node, |n, ctx| n.on_tx_done(ctx, port));
             }
             EventKind::Timer { node, token } => {
@@ -295,6 +339,16 @@ impl Simulator {
     /// by* that end.
     pub fn link_stats(&self, link: LinkId, end: usize) -> LinkStats {
         self.core.links[link.raw() as usize].stats[end]
+    }
+
+    /// Total packets delivered across every link in both directions — the
+    /// per-hop packet count the perf harness divides by wall-clock time.
+    pub fn packets_delivered(&self) -> u64 {
+        self.core
+            .links
+            .iter()
+            .map(|l| l.stats[0].delivered_packets + l.stats[1].delivered_packets)
+            .sum()
     }
 
     /// The recorded trace (empty unless [`SimBuilder::keep_trace`] was set).

@@ -40,17 +40,20 @@ impl TraceSink {
         TraceSink { record: true, ..TraceSink::disabled() }
     }
 
-    /// Fold `ev` into the digest (and record it if enabled).
+    /// Fold `ev` into the digest (and record it if enabled). Runs on every
+    /// delivered packet, so it stays allocation-free: the previous digest
+    /// and the event fields are serialized into one stack buffer.
     pub fn record(&mut self, ev: TraceEvent) {
-        let mut buf = [0u8; 36];
-        buf[0..8].copy_from_slice(&ev.at.picos().to_le_bytes());
-        buf[8..12].copy_from_slice(&ev.from.node.raw().to_le_bytes());
-        buf[12..14].copy_from_slice(&ev.from.port.raw().to_le_bytes());
-        buf[14..18].copy_from_slice(&ev.to.node.raw().to_le_bytes());
-        buf[18..20].copy_from_slice(&ev.to.port.raw().to_le_bytes());
-        buf[20..28].copy_from_slice(&(ev.len as u64).to_le_bytes());
-        buf[28..36].copy_from_slice(&ev.digest.to_le_bytes());
-        self.digest = fnv1a(&[&self.digest.to_le_bytes()[..], &buf[..]].concat());
+        let mut buf = [0u8; 44];
+        buf[0..8].copy_from_slice(&self.digest.to_le_bytes());
+        buf[8..16].copy_from_slice(&ev.at.picos().to_le_bytes());
+        buf[16..20].copy_from_slice(&ev.from.node.raw().to_le_bytes());
+        buf[20..22].copy_from_slice(&ev.from.port.raw().to_le_bytes());
+        buf[22..26].copy_from_slice(&ev.to.node.raw().to_le_bytes());
+        buf[26..28].copy_from_slice(&ev.to.port.raw().to_le_bytes());
+        buf[28..36].copy_from_slice(&(ev.len as u64).to_le_bytes());
+        buf[36..44].copy_from_slice(&ev.digest.to_le_bytes());
+        self.digest = fnv1a(&buf);
         if self.record {
             self.events.push(ev);
         }

@@ -1,0 +1,313 @@
+//! Shared, cheaply-clonable payload buffers.
+//!
+//! The paper's discipline is that external memory must add no per-packet
+//! CPU cost; the simulator mirrors it by never deep-copying packet bytes on
+//! the hot paths. [`Payload`] is the enabling type: an `Arc`-backed byte
+//! buffer with
+//!
+//! * O(1) `clone` (a refcount bump — multicast, retransmit queues and
+//!   in-flight copies all share one allocation),
+//! * zero-copy [`Payload::slice`] views (a READ response chunks one MR
+//!   read into MTU-sized packets without copying each chunk),
+//! * copy-on-write mutation via [`Payload::make_mut`] (the fault injector's
+//!   byte flip affects only the in-flight copy, never the sender's view).
+//!
+//! Two global counters — [`alloc_count`] and [`cow_count`] — let tests pin
+//! the zero-copy property: forwarding a packet across N hops must not move
+//! either counter.
+
+use core::fmt;
+use std::ops::{Deref, Range};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COW_COPIES: AtomicU64 = AtomicU64::new(0);
+
+/// Total backing-buffer allocations since process start. A hop that copies
+/// payload bytes shows up as a delta here; the zero-copy tests assert the
+/// delta stays at the per-packet construction cost.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Total copy-on-write copies since process start (mutations of a shared or
+/// windowed buffer).
+pub fn cow_count() -> u64 {
+    COW_COPIES.load(Ordering::Relaxed)
+}
+
+fn empty_buf() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+/// A shared, immutable-by-default byte buffer: `Arc<Vec<u8>>` plus a
+/// window. Clones and subslices share the allocation; mutation goes through
+/// [`Payload::make_mut`], which copies only when the buffer is shared or
+/// windowed.
+#[derive(Clone)]
+pub struct Payload {
+    buf: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Payload {
+    /// An empty payload (no allocation; all empties share one buffer).
+    pub fn empty() -> Payload {
+        Payload { buf: empty_buf(), off: 0, len: 0 }
+    }
+
+    /// Take ownership of `bytes` (no copy).
+    pub fn from_vec(bytes: Vec<u8>) -> Payload {
+        if bytes.is_empty() {
+            return Payload::empty();
+        }
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let len = bytes.len();
+        Payload { buf: Arc::new(bytes), off: 0, len }
+    }
+
+    /// Copy `bytes` into a fresh buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Payload {
+        Payload::from_vec(bytes.to_vec())
+    }
+
+    /// A zero-filled payload of `len` bytes.
+    pub fn zeroed(len: usize) -> Payload {
+        Payload::from_vec(vec![0; len])
+    }
+
+    /// Visible length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the visible window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable view of the visible bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// A zero-copy subview of `range` (relative to this view). Shares the
+    /// backing buffer with `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the visible length.
+    pub fn slice(&self, range: Range<usize>) -> Payload {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {range:?} out of bounds for payload of {} bytes",
+            self.len
+        );
+        if range.start == range.end {
+            return Payload::empty();
+        }
+        Payload { buf: self.buf.clone(), off: self.off + range.start, len: range.end - range.start }
+    }
+
+    /// Mutable view of the visible bytes, copy-on-write: in place when this
+    /// is the sole owner of a full-range buffer, otherwise the visible
+    /// window is copied out first (counted by [`cow_count`]). Other clones
+    /// keep seeing the original bytes.
+    pub fn make_mut(&mut self) -> &mut [u8] {
+        let whole = self.off == 0 && self.len == self.buf.len();
+        if !(whole && Arc::strong_count(&self.buf) == 1) {
+            COW_COPIES.fetch_add(1, Ordering::Relaxed);
+            *self = Payload::copy_from_slice(self.as_slice());
+        }
+        // The replacement above guarantees unique ownership; an empty
+        // payload stays backed by the shared empty buffer, whose 0-length
+        // slice is safe to hand out mutably only via this unique path —
+        // so special-case it.
+        if self.len == 0 {
+            return &mut [];
+        }
+        let buf = Arc::get_mut(&mut self.buf).expect("uniquely owned after CoW");
+        &mut buf[..]
+    }
+
+    /// Copy the visible bytes out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Consume into a `Vec`, without copying when this is the sole owner of
+    /// a full-range buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        if self.off == 0 && self.len == self.buf.len() {
+            match Arc::try_unwrap(self.buf) {
+                Ok(v) => return v,
+                Err(arc) => return arc[..].to_vec(),
+            }
+        }
+        self.to_vec()
+    }
+
+    /// How many payloads (clones or slices) share this allocation.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(s: &[u8]) -> Payload {
+        Payload::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Payload> for Vec<u8> {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl std::hash::Hash for Payload {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload[{}B", self.len)?;
+        if self.ref_count() > 1 {
+            write!(f, " shared x{}", self.ref_count())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_slice_windows() {
+        let p = Payload::from_vec((0..100).collect());
+        let c = p.clone();
+        assert_eq!(p, c);
+        assert_eq!(p.ref_count(), 2);
+        let s = p.slice(10..20);
+        assert_eq!(s.as_slice(), &(10..20).collect::<Vec<u8>>()[..]);
+        assert_eq!(p.ref_count(), 3, "slice shares the allocation");
+        assert_eq!(s.slice(5..7).as_slice(), &[15, 16]);
+    }
+
+    #[test]
+    fn make_mut_in_place_when_unique() {
+        let mut p = Payload::from_vec(vec![1, 2, 3]);
+        let cows = cow_count();
+        p.make_mut()[0] = 9;
+        assert_eq!(p.as_slice(), &[9, 2, 3]);
+        assert_eq!(cow_count(), cows, "unique full-range mutation must not copy");
+    }
+
+    #[test]
+    fn make_mut_copies_when_shared() {
+        let mut p = Payload::from_vec(vec![1, 2, 3]);
+        let original = p.clone();
+        p.make_mut()[0] = 9;
+        assert_eq!(p.as_slice(), &[9, 2, 3]);
+        assert_eq!(original.as_slice(), &[1, 2, 3], "other owner keeps original bytes");
+        assert_eq!(p.ref_count(), 1);
+    }
+
+    #[test]
+    fn make_mut_copies_when_windowed() {
+        let p = Payload::from_vec(vec![0, 1, 2, 3, 4]);
+        let mut s = p.slice(1..4);
+        s.make_mut()[0] = 99;
+        assert_eq!(s.as_slice(), &[99, 2, 3]);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3, 4], "backing buffer untouched");
+    }
+
+    #[test]
+    fn empty_is_allocation_free() {
+        let a = alloc_count();
+        let e = Payload::empty();
+        let e2 = Payload::from_vec(Vec::new());
+        let e3 = e.slice(0..0);
+        assert!(e.is_empty() && e2.is_empty() && e3.is_empty());
+        assert_eq!(alloc_count(), a, "empties must not allocate");
+        let mut m = Payload::empty();
+        assert!(m.make_mut().is_empty());
+    }
+
+    #[test]
+    fn into_vec_avoids_copy_when_unique() {
+        let p = Payload::from_vec(vec![7; 32]);
+        let ptr = p.as_slice().as_ptr();
+        let v = p.into_vec();
+        assert_eq!(v.as_ptr(), ptr, "unique into_vec must not copy");
+        let p = Payload::from_vec(vec![7; 32]);
+        let _keep = p.clone();
+        assert_eq!(p.into_vec(), vec![7; 32]);
+    }
+
+    #[test]
+    fn equality_against_vecs_and_arrays() {
+        let p = Payload::from_vec(vec![1, 2, 3]);
+        assert_eq!(p, vec![1, 2, 3]);
+        assert_eq!(vec![1, 2, 3], p);
+        assert_eq!(p, [1u8, 2, 3]);
+        assert!(p == *[1u8, 2, 3].as_slice());
+    }
+}

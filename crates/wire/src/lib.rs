@@ -26,6 +26,7 @@
 pub mod aeth;
 pub mod atomic;
 pub mod bth;
+pub mod bytes;
 pub mod error;
 pub mod ethernet;
 pub mod grh;
@@ -37,6 +38,7 @@ pub mod reth;
 pub mod roce;
 pub mod udp;
 
+pub use bytes::Payload;
 pub use error::WireError;
 pub use ethernet::{EtherType, EthernetHeader, MacAddr};
 pub use ipv4::Ipv4Header;

@@ -1,58 +1,82 @@
 //! The owned packet buffer that flows through the simulator.
 
+use crate::bytes::Payload;
 use core::fmt;
 
 /// An owned, contiguous packet as it appears on the wire, starting at the
 /// Ethernet destination MAC and ending at the last payload/trailer byte.
 ///
-/// The simulator moves `Packet`s by value between nodes; the switch model
-/// mutates headers in place (e.g. the DSCP rewrite action of experiment E2)
-/// and the primitives prepend/strip RoCE encapsulation.
+/// The simulator moves `Packet`s by value between nodes; `clone` is a
+/// refcount bump on the shared [`Payload`] buffer, so multicast and
+/// buffering never copy bytes. The switch model mutates headers in place
+/// (e.g. the DSCP rewrite action of experiment E2) through
+/// [`Packet::as_mut_slice`], which is copy-on-write: a uniquely-owned
+/// packet mutates its buffer directly, a shared one is copied first so
+/// other holders keep their view.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Packet {
-    bytes: Vec<u8>,
+    data: Payload,
 }
 
 impl Packet {
     /// Wrap raw bytes as a packet.
     pub fn from_vec(bytes: Vec<u8>) -> Self {
-        Packet { bytes }
+        Packet { data: Payload::from_vec(bytes) }
+    }
+
+    /// Wrap an existing (possibly shared) payload buffer as a packet.
+    pub fn from_payload(data: Payload) -> Self {
+        Packet { data }
     }
 
     /// Allocate a zero-filled packet of `len` bytes.
     pub fn zeroed(len: usize) -> Self {
-        Packet { bytes: vec![0; len] }
+        Packet { data: Payload::zeroed(len) }
     }
 
     /// Total on-wire length in bytes.
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.data.len()
     }
 
     /// Whether the packet is empty (never true for well-formed traffic).
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.data.is_empty()
     }
 
     /// Immutable view of the raw bytes.
     pub fn as_slice(&self) -> &[u8] {
-        &self.bytes
+        self.data.as_slice()
     }
 
-    /// Mutable view of the raw bytes.
+    /// Mutable view of the raw bytes (copy-on-write: copies first iff the
+    /// buffer is shared).
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        &mut self.bytes
+        self.data.make_mut()
     }
 
-    /// Consume the packet, returning the raw bytes.
+    /// A zero-copy view of byte range `range`, sharing this packet's
+    /// buffer. This is how parsers lift payloads out of frames without
+    /// copying.
+    pub fn view(&self, range: core::ops::Range<usize>) -> Payload {
+        self.data.slice(range)
+    }
+
+    /// Consume the packet, returning the raw bytes (no copy when this is
+    /// the buffer's sole owner).
     pub fn into_vec(self) -> Vec<u8> {
-        self.bytes
+        self.data.into_vec()
+    }
+
+    /// How many packets/payloads share this buffer.
+    pub fn ref_count(&self) -> usize {
+        self.data.ref_count()
     }
 
     /// A 64-bit FNV-1a digest of the packet contents. Used by determinism
     /// tests and traces to fingerprint packets without storing them.
     pub fn digest(&self) -> u64 {
-        fnv1a(&self.bytes)
+        fnv1a(self.as_slice())
     }
 }
 
@@ -68,7 +92,7 @@ pub fn fnv1a(data: &[u8]) -> u64 {
 
 impl fmt::Debug for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Packet[{}B digest={:016x}]", self.bytes.len(), self.digest())
+        write!(f, "Packet[{}B digest={:016x}]", self.len(), self.digest())
     }
 }
 
@@ -78,9 +102,15 @@ impl From<Vec<u8>> for Packet {
     }
 }
 
+impl From<Payload> for Packet {
+    fn from(data: Payload) -> Self {
+        Packet::from_payload(data)
+    }
+}
+
 impl AsRef<[u8]> for Packet {
     fn as_ref(&self) -> &[u8] {
-        &self.bytes
+        self.as_slice()
     }
 }
 
@@ -112,5 +142,24 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         // Well-known vector: fnv1a("a") = 0xaf63dc4c8601ec8c.
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn clone_shares_mutation_copies() {
+        let mut p = Packet::from_vec(vec![1, 2, 3, 4]);
+        let original = p.clone();
+        assert_eq!(p.ref_count(), 2);
+        p.as_mut_slice()[0] = 0xff;
+        assert_eq!(p.as_slice(), &[0xff, 2, 3, 4]);
+        assert_eq!(original.as_slice(), &[1, 2, 3, 4], "clone must keep its view");
+        assert_eq!(original.ref_count(), 1);
+    }
+
+    #[test]
+    fn view_shares_the_buffer() {
+        let p = Packet::from_vec((0..50).collect());
+        let v = p.view(10..20);
+        assert_eq!(v.as_slice(), &(10..20).collect::<Vec<u8>>()[..]);
+        assert_eq!(p.ref_count(), 2);
     }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The full local CI gate: release build, tests, lints, perf smoke.
+#
+# The perf comparison is advisory here (it prints, but a shared/loaded
+# machine must not fail CI); run scripts/perf_check.sh directly for the
+# enforcing version.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== perf smoke (advisory) =="
+if scripts/perf_check.sh; then
+    echo "perf: within tolerance of BENCH_simperf.json"
+else
+    echo "perf: WARNING - below baseline tolerance (not failing CI; investigate or re-baseline)"
+fi
+
+echo "== ci.sh: all gates passed =="

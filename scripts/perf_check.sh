@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf-regression gate: run the simperf harness and compare events/sec per
+# scenario against the committed baseline (BENCH_simperf.json). Fails when
+# any scenario regresses by more than TOLERANCE (default 10%).
+#
+# Usage:  scripts/perf_check.sh [baseline.json]
+#   TOLERANCE=0.15 scripts/perf_check.sh     # custom threshold
+#
+# To re-baseline after an intentional change:
+#   cargo run --release -p extmem-bench --bin simperf -- BENCH_simperf.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_simperf.json}"
+TOLERANCE="${TOLERANCE:-0.10}"
+FRESH="$(mktemp /tmp/simperf.XXXXXX.json)"
+trap 'rm -f "$FRESH"' EXIT
+
+if ! command -v jq >/dev/null; then
+    echo "perf_check: jq not found" >&2
+    exit 2
+fi
+if [[ ! -f "$BASELINE" ]]; then
+    echo "perf_check: baseline $BASELINE missing" >&2
+    exit 2
+fi
+
+cargo build --release -q -p extmem-bench
+./target/release/simperf "$FRESH" >/dev/null
+
+fail=0
+for name in $(jq -r '.scenarios | keys[]' "$BASELINE"); do
+    base=$(jq -r ".scenarios[\"$name\"].events_per_sec" "$BASELINE")
+    new=$(jq -r ".scenarios[\"$name\"].events_per_sec // empty" "$FRESH")
+    if [[ -z "$new" ]]; then
+        echo "FAIL  $name: missing from fresh run" >&2
+        fail=1
+        continue
+    fi
+    # ratio < 1 - TOLERANCE ⇒ regression.
+    ok=$(jq -n --argjson b "$base" --argjson n "$new" --argjson t "$TOLERANCE" \
+        '($n / $b) >= (1 - $t)')
+    ratio=$(jq -n --argjson b "$base" --argjson n "$new" '($n / $b * 100 | floor)')
+    if [[ "$ok" == "true" ]]; then
+        printf 'ok    %-22s %12.0f ev/s (%s%% of baseline %.0f)\n' "$name" "$new" "$ratio" "$base"
+    else
+        printf 'FAIL  %-22s %12.0f ev/s (%s%% of baseline %.0f, tolerance %s)\n' \
+            "$name" "$new" "$ratio" "$base" "$TOLERANCE" >&2
+        fail=1
+    fi
+done
+
+if [[ $fail -ne 0 ]]; then
+    echo "perf_check: regression detected (rerun to rule out machine noise; see $BASELINE)" >&2
+fi
+exit $fail

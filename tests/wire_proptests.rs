@@ -201,6 +201,80 @@ proptest! {
         prop_assert_eq!(info.five_tuple(), flow);
     }
 
+    /// Serialize → corrupt an arbitrary set of bits anywhere in the frame
+    /// (including the Ethernet header) → parse. Any outcome is acceptable
+    /// except a panic.
+    #[test]
+    fn parse_never_panics_on_arbitrary_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), 0u8..8), 1..8),
+        truncate in any::<prop::sample::Index>(),
+    ) {
+        let src = RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 };
+        let dst = RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 };
+        let pkt = RocePacket::new(
+            src,
+            dst,
+            0x9000,
+            Bth::new(Opcode::WriteOnly, QpNum(5), 9),
+            RoceExt::Reth(Reth { va: 64, rkey: Rkey(3), dma_len: payload.len() as u32 }),
+            payload,
+        );
+        let mut bytes = pkt.build().unwrap().into_vec();
+        for (sel, bit) in flips {
+            let at = sel.index(bytes.len());
+            bytes[at] ^= 1 << bit;
+        }
+        // Also exercise truncated frames: drop an arbitrary-length tail.
+        bytes.truncate(truncate.index(bytes.len() + 1));
+        let _ = RocePacket::parse(&Packet::from_vec(bytes)); // must not panic
+    }
+
+    /// [`Payload::slice`] for any in-bounds window: correct length, correct
+    /// bytes, shares (not copies) the parent's buffer, parent unaffected.
+    #[test]
+    fn payload_slice_window_invariants(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        a in any::<prop::sample::Index>(),
+        b in any::<prop::sample::Index>(),
+    ) {
+        use extmem_wire::Payload;
+        let p = Payload::from_vec(data.clone());
+        let (mut s, mut e) = (a.index(data.len() + 1), b.index(data.len() + 1));
+        if s > e {
+            std::mem::swap(&mut s, &mut e);
+        }
+        let w = p.slice(s..e);
+        prop_assert_eq!(w.len(), e - s);
+        prop_assert_eq!(w.as_slice(), &data[s..e]);
+        prop_assert_eq!(p.as_slice(), &data[..], "parent view unchanged");
+        if !w.is_empty() {
+            prop_assert!(p.ref_count() >= 2, "non-empty windows share the buffer");
+        }
+    }
+
+    /// Copy-on-write isolation: flipping any bit through one clone leaves
+    /// every other holder's view untouched, and changes exactly that bit in
+    /// the mutated clone.
+    #[test]
+    fn payload_cow_isolation(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        sel in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        use extmem_wire::Payload;
+        let p = Payload::from_vec(data.clone());
+        let mut q = p.clone();
+        let at = sel.index(data.len());
+        q.make_mut()[at] ^= 1 << bit;
+        prop_assert_eq!(&p, &data, "original holder's view mutated");
+        prop_assert_eq!(q.len(), data.len());
+        let diff: Vec<usize> =
+            (0..data.len()).filter(|&i| q.as_slice()[i] != data[i]).collect();
+        prop_assert_eq!(diff, vec![at]);
+        prop_assert_eq!(q.as_slice()[at] ^ data[at], 1 << bit);
+    }
+
     #[test]
     fn psn_serial_arithmetic_is_antisymmetric(a in 0u32..0x0100_0000, d in 1u32..0x0080_0000) {
         use extmem_wire::bth::{psn_add, psn_before};
