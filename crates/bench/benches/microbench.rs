@@ -35,6 +35,22 @@ fn bench<T>(group: &str, name: &str, iters: u64, mut f: impl FnMut() -> T) {
     println!("{group}/{name:<28} {ns_per_iter:>12.1} ns/iter  ({iters} iters)");
 }
 
+/// Time `f` over `iters` passes of a `bytes`-long input; print throughput
+/// in MB/s alongside ns/iter (the unit the DESIGN.md kernel table quotes).
+fn bench_mb<T>(group: &str, name: &str, iters: u64, bytes: usize, mut f: impl FnMut() -> T) {
+    for _ in 0..iters / 10 + 1 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let mbps = (iters as f64 * bytes as f64) / elapsed / 1e6;
+    let ns_per_iter = elapsed * 1e9 / iters as f64;
+    println!("{group}/{name:<28} {ns_per_iter:>12.1} ns/iter  {mbps:>9.0} MB/s");
+}
+
 fn endpoints() -> (RoceEndpoint, RoceEndpoint) {
     (
         RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 },
@@ -78,6 +94,21 @@ fn bench_wire() {
     bench("wire", "parse_data_1500", 20_000, || {
         parse_data_packet(black_box(&data)).unwrap().unwrap()
     });
+}
+
+/// Raw kernel throughput: word-parallel vs byte-at-a-time, in MB/s.
+fn bench_kernels() {
+    use extmem_wire::icrc::{crc32_update, crc32_update_bytewise};
+    use extmem_wire::packet::{digest64, fnv1a};
+    let frame = vec![0x5au8; 1500];
+    bench_mb("kernel", "crc32_slice8_1500", 50_000, frame.len(), || {
+        crc32_update(!0, black_box(&frame))
+    });
+    bench_mb("kernel", "crc32_bytewise_1500", 50_000, frame.len(), || {
+        crc32_update_bytewise(!0, black_box(&frame))
+    });
+    bench_mb("kernel", "digest64_1500", 50_000, frame.len(), || digest64(black_box(&frame)));
+    bench_mb("kernel", "fnv1a_1500", 50_000, frame.len(), || fnv1a(black_box(&frame)));
 }
 
 fn bench_switch_units() {
@@ -195,6 +226,7 @@ fn bench_sketch() {
 fn main() {
     // `cargo bench` passes harness flags like `--bench`; ignore them.
     bench_wire();
+    bench_kernels();
     bench_switch_units();
     bench_engine();
     bench_rnic_responder();

@@ -1,6 +1,6 @@
 //! Simulator performance harness (the perf-regression gate).
 //!
-//! Three fixed scenarios exercise the hot paths end to end:
+//! Four fixed scenarios exercise the hot paths end to end:
 //!
 //! * `e1_write_read_loop` — the §5 packet-buffer store/drain loop: every
 //!   frame is encapsulated into an RDMA WRITE, ring-buffered on the memory
@@ -9,7 +9,10 @@
 //!   with the detour striped over 9 memory servers (forward + detour under
 //!   congestion),
 //! * `lookup_miss_storm` — the lookup primitive with caching disabled:
-//!   every packet pays a remote READ round trip (READ-response path).
+//!   every packet pays a remote READ round trip (READ-response path),
+//! * `faa_storm` — the §4 state-store primitive overdriven past the NIC's
+//!   atomic rate: the outstanding-atomics cap plus local accumulation
+//!   (merge/flush/ACK machinery) alongside line forwarding.
 //!
 //! Each scenario runs a fixed deterministic workload to quiescence; the
 //! simulated work is therefore constant across runs and machines, and the
@@ -20,9 +23,11 @@
 
 use extmem_apps::incast::{run_incast, IncastConfig, RemoteBufferSpec};
 use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
-use extmem_apps::workload::{SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_apps::workload::{Arrival, FlowPick, SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_core::faa::{FaaConfig, FaaEngine};
 use extmem_core::lookup::{install_remote_action, ActionEntry, LookupTableProgram};
 use extmem_core::packet_buffer::{Mode, PacketBufferProgram, TOKEN_START_LOADING};
+use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
 use extmem_core::{Fib, RdmaChannel};
 use extmem_rnic::{RnicConfig, RnicNode};
 use extmem_sim::{LinkSpec, SimBuilder, Simulator};
@@ -206,6 +211,78 @@ pub fn lookup_miss_storm(count: u64) -> PerfResult {
     r
 }
 
+/// Fetch-and-Add storm: 16 UDP flows at 10 G into the state-store primitive
+/// (§4). The offered ~4.9 M updates/s exceed the NIC's 1.7 M atomics/s, so
+/// the outstanding-atomics cap forces local accumulation and the engine's
+/// merge/flush machinery runs hot alongside forwarding.
+pub fn faa_storm(count: u64) -> PerfResult {
+    let server_port = PortId(2);
+    let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
+    let counters = 4096u64;
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        server_port,
+        &mut nic,
+        ByteSize::from_bytes(counters * 8),
+    );
+    let (rkey, base_va) = (channel.rkey, channel.base_va);
+
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let engine = FaaEngine::new(channel, FaaConfig::default());
+    let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(20));
+
+    let flows: Vec<FiveTuple> =
+        (0..16).map(|i| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 9_000, 17)).collect();
+    let spec = WorkloadSpec {
+        src_mac: host_mac(0),
+        dst_mac: host_mac(1),
+        flows,
+        pick: FlowPick::RoundRobin,
+        frame_len: 256,
+        offered: Some(Rate::from_gbps(10)),
+        arrival: Arrival::Paced,
+        count,
+        seed: 5,
+        flow_id_base: 0,
+    };
+
+    let mut b = SimBuilder::new(41);
+    let switch =
+        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let gen = b.add_node(Box::new(TrafficGenNode::new("gen", spec)));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let srv = b.add_node(Box::new(nic));
+    b.connect(switch, server_port, srv, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    // The flush tick re-arms forever, so drive to a fixed deadline: the
+    // send time at the offered rate plus a generous settle window.
+    let send_time = TimeDelta::from_secs_f64(count as f64 * 256.0 * 8.0 / 10e9);
+    let deadline = Time::ZERO + send_time + TimeDelta::from_millis(5);
+    let r = time_run("faa_storm", &mut sim, |sim| {
+        sim.run_until(deadline);
+    });
+
+    let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
+    let prog = sw.program::<StateStoreProgram>();
+    assert_eq!(prog.forwarded, count, "telemetry must not cost forwarded packets");
+    assert!(prog.is_quiescent(), "updates still pending at the deadline");
+    let stats = prog.faa_stats();
+    assert_eq!(stats.updates, count);
+    assert!(stats.merged > 0, "storm must overrun the atomic rate and accumulate: {stats:?}");
+    let nic = sim.node::<RnicNode>(srv);
+    assert_eq!(nic.stats().atomic_overflow_drops, 0, "outstanding cap must protect the NIC");
+    let remote: u64 = read_remote_counters(nic, rkey, base_va, counters).iter().sum();
+    assert_eq!(remote, count, "settled counters must be exact");
+    r
+}
+
 /// Repetitions per scenario in [`run_all`]; the fastest is reported, which
 /// filters out scheduler noise from a shared machine.
 pub const REPS: u32 = 3;
@@ -223,6 +300,7 @@ pub fn run_all() -> Vec<PerfResult> {
         best_of(REPS, || e1_write_read_loop(8_000)),
         best_of(REPS, incast_scenario),
         best_of(REPS, || lookup_miss_storm(8_000)),
+        best_of(REPS, || faa_storm(40_000)),
     ]
 }
 
@@ -233,7 +311,7 @@ mod tests {
     #[test]
     fn scenarios_run_and_report() {
         // Smoke at reduced scale: sane counters and well-formed JSON.
-        let results = vec![e1_write_read_loop(500), lookup_miss_storm(300)];
+        let results = vec![e1_write_read_loop(500), lookup_miss_storm(300), faa_storm(2_000)];
         for r in &results {
             assert!(r.events > 0 && r.packets > 0, "{r:?}");
             assert!(r.sim_seconds > 0.0 && r.wall_seconds > 0.0, "{r:?}");

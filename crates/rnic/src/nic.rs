@@ -140,6 +140,8 @@ pub struct RnicNode {
     /// Whether the pipeline is servicing a request.
     busy: bool,
     tx: TxQueue,
+    /// Encode scratch for response frames (one pass, no zero-fill).
+    scratch: Vec<u8>,
     stats: RnicStats,
 }
 
@@ -158,6 +160,7 @@ impl RnicNode {
             atomics_in_flight: 0,
             busy: false,
             tx: TxQueue::new(PortId(0)),
+            scratch: Vec::new(),
             stats: RnicStats::default(),
         }
     }
@@ -289,8 +292,9 @@ impl RnicNode {
             Outcome::OutOfSequenceDropped => self.stats.out_of_sequence_drops += 1,
         }
         for resp in result.responses {
-            let pkt = resp.build().expect("response packet must encode");
-            self.tx.send(ctx, pkt);
+            let mut buf = std::mem::take(&mut self.scratch);
+            resp.build_into(&mut buf).expect("response packet must encode");
+            self.tx.send(ctx, Packet::from_vec(buf));
         }
         self.maybe_start_service(ctx);
     }

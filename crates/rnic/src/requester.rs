@@ -128,6 +128,9 @@ pub struct WriteBlaster {
     remaining: u64,
     cursor: u64,
     tx: TxQueue,
+    /// Encode scratch: frames are assembled here in one pass (no zero-fill)
+    /// before the buffer is handed off to the [`Packet`].
+    scratch: Vec<u8>,
     /// Messages handed to the wire.
     pub sent: u64,
 }
@@ -164,6 +167,7 @@ impl WriteBlaster {
             remaining: count,
             cursor: 0,
             tx: TxQueue::new(PortId(0)),
+            scratch: Vec::new(),
             sent: 0,
         }
     }
@@ -179,7 +183,9 @@ impl WriteBlaster {
         let payload = vec![(self.sent & 0xff) as u8; self.msg_size];
         let req = self.qp.write_only(self.rkey, self.base_va + self.cursor, payload, false);
         self.cursor += self.msg_size as u64;
-        self.tx.send(ctx, req.build().expect("write encodes"));
+        let mut buf = std::mem::take(&mut self.scratch);
+        req.build_into(&mut buf).expect("write encodes");
+        self.tx.send(ctx, Packet::from_vec(buf));
         self.sent += 1;
         if self.remaining > 0 {
             ctx.schedule(self.interval, TOKEN_SEND);
@@ -220,6 +226,8 @@ pub struct ReadLooper {
     outstanding: usize,
     cursor: u64,
     tx: TxQueue,
+    /// Encode scratch for request frames, shared across the whole window.
+    scratch: Vec<u8>,
     /// Completed reads.
     pub completed: u64,
     /// Payload bytes received.
@@ -254,6 +262,7 @@ impl ReadLooper {
             outstanding: 0,
             cursor: 0,
             tx: TxQueue::new(PortId(0)),
+            scratch: Vec::new(),
             completed: 0,
             bytes: 0,
             last_completion: Time::ZERO,
@@ -269,7 +278,9 @@ impl ReadLooper {
             }
             let req = self.qp.read(self.rkey, self.base_va + self.cursor, self.msg_size as u32);
             self.cursor += self.msg_size as u64;
-            self.tx.send(ctx, req.build().expect("read encodes"));
+            let mut buf = std::mem::take(&mut self.scratch);
+            req.build_into(&mut buf).expect("read encodes");
+            self.tx.send(ctx, Packet::from_vec(buf));
         }
     }
 }

@@ -111,13 +111,9 @@ impl EngineCore {
             let l = &mut self.links[lid];
             l.stats[end].delivered_packets += 1;
             l.stats[end].delivered_bytes += pkt.len() as u64;
-            self.trace.record(TraceEvent {
-                at: arrival,
-                from: Endpoint { node, port },
-                to: dst,
-                len: pkt.len(),
-                digest: pkt.digest(),
-            });
+            // `pkt.digest()` is cached across hops, and the parts-based
+            // record avoids building a TraceEvent when recording is off.
+            self.trace.record_delivery(arrival, Endpoint { node, port }, dst, pkt.len(), pkt.digest());
             self.queue.push(arrival, EventKind::Deliver { node: dst.node, port: dst.port, packet: pkt });
         }
         self.queue.push(self.now + ser, EventKind::TxDone { node, port });

@@ -40,23 +40,39 @@ impl TraceSink {
         TraceSink { record: true, ..TraceSink::disabled() }
     }
 
-    /// Fold `ev` into the digest (and record it if enabled). Runs on every
-    /// delivered packet, so it stays allocation-free: the previous digest
-    /// and the event fields are serialized into one stack buffer.
-    pub fn record(&mut self, ev: TraceEvent) {
+    /// Fold one delivery into the rolling digest from its scalar parts.
+    /// This is the hot path (it runs on every delivered packet): it stays
+    /// allocation-free — the previous digest and the fields are serialized
+    /// into one stack buffer — and when recording is disabled no
+    /// [`TraceEvent`] is ever materialized.
+    pub fn record_delivery(
+        &mut self,
+        at: Time,
+        from: Endpoint,
+        to: Endpoint,
+        len: usize,
+        digest: u64,
+    ) {
         let mut buf = [0u8; 44];
         buf[0..8].copy_from_slice(&self.digest.to_le_bytes());
-        buf[8..16].copy_from_slice(&ev.at.picos().to_le_bytes());
-        buf[16..20].copy_from_slice(&ev.from.node.raw().to_le_bytes());
-        buf[20..22].copy_from_slice(&ev.from.port.raw().to_le_bytes());
-        buf[22..26].copy_from_slice(&ev.to.node.raw().to_le_bytes());
-        buf[26..28].copy_from_slice(&ev.to.port.raw().to_le_bytes());
-        buf[28..36].copy_from_slice(&(ev.len as u64).to_le_bytes());
-        buf[36..44].copy_from_slice(&ev.digest.to_le_bytes());
+        buf[8..16].copy_from_slice(&at.picos().to_le_bytes());
+        buf[16..20].copy_from_slice(&from.node.raw().to_le_bytes());
+        buf[20..22].copy_from_slice(&from.port.raw().to_le_bytes());
+        buf[22..26].copy_from_slice(&to.node.raw().to_le_bytes());
+        buf[26..28].copy_from_slice(&to.port.raw().to_le_bytes());
+        buf[28..36].copy_from_slice(&(len as u64).to_le_bytes());
+        buf[36..44].copy_from_slice(&digest.to_le_bytes());
         self.digest = fnv1a(&buf);
         if self.record {
-            self.events.push(ev);
+            self.events.push(TraceEvent { at, from, to, len, digest });
         }
+    }
+
+    /// Fold `ev` into the digest (and record it if enabled). Equivalent to
+    /// [`TraceSink::record_delivery`] with `ev`'s fields; kept for callers
+    /// that already hold a constructed event.
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.record_delivery(ev.at, ev.from, ev.to, ev.len, ev.digest);
     }
 
     /// Recorded events (empty when recording is disabled).

@@ -6,6 +6,10 @@
 # Usage:  scripts/perf_check.sh [baseline.json]
 #   TOLERANCE=0.15 scripts/perf_check.sh     # custom threshold
 #
+# Exit codes: 0 = within tolerance, 1 = regression, 3 = gate skipped
+# (missing jq or baseline — the comparison never ran, which is not the
+# same as a regression; ci.sh reports the two differently).
+#
 # To re-baseline after an intentional change:
 #   cargo run --release -p extmem-bench --bin simperf -- BENCH_simperf.json
 set -euo pipefail
@@ -13,17 +17,18 @@ cd "$(dirname "$0")/.."
 
 BASELINE="${1:-BENCH_simperf.json}"
 TOLERANCE="${TOLERANCE:-0.10}"
-FRESH="$(mktemp /tmp/simperf.XXXXXX.json)"
-trap 'rm -f "$FRESH"' EXIT
 
 if ! command -v jq >/dev/null; then
-    echo "perf_check: jq not found" >&2
-    exit 2
+    echo "perf_check: perf gate skipped (jq not found)" >&2
+    exit 3
 fi
 if [[ ! -f "$BASELINE" ]]; then
-    echo "perf_check: baseline $BASELINE missing" >&2
-    exit 2
+    echo "perf_check: perf gate skipped (baseline $BASELINE missing)" >&2
+    exit 3
 fi
+
+FRESH="$(mktemp /tmp/simperf.XXXXXX.json)"
+trap 'rm -f "$FRESH"' EXIT
 
 cargo build --release -q -p extmem-bench
 ./target/release/simperf "$FRESH" >/dev/null

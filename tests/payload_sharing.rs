@@ -20,6 +20,7 @@ use extmem_apps::incast::{run_incast, IncastConfig, RemoteBufferSpec};
 use extmem_sim::{FaultSpec, LinkSpec, Node, NodeCtx, SimBuilder};
 use extmem_types::{PortId, TimeDelta};
 use extmem_wire::bytes::{alloc_count, cow_count};
+use extmem_wire::packet::digest_compute_count;
 use extmem_wire::Packet;
 use std::sync::Mutex;
 
@@ -244,7 +245,35 @@ fn corruption_of_unshared_packet_mutates_in_place() {
 }
 
 #[test]
+fn multi_hop_forwarding_digests_each_packet_once() {
+    let _guard = COUNTERS.lock().unwrap();
+    // The trace folds every delivery's content digest, but the digest is
+    // cached in the packet: 12 packets across 5 hops (6 deliveries each)
+    // must cost exactly 12 cold digest computations, not 72.
+    let d0 = digest_compute_count();
+    let (kept, got, _, _) = run_chain(5, test_packets(12), FaultSpec::default());
+    assert_eq!(digest_compute_count() - d0, 12, "digest must be computed once per packet");
+    drop((kept, got));
+
+    // A CoW mutation in flight invalidates only the wire copy's cache: the
+    // corrupted packet re-digests on the hop after the flip, so the cold
+    // count grows by at most one extra per packet — and the digests of the
+    // sender's kept copies still match the original bytes.
+    let d0 = digest_compute_count();
+    let faults = FaultSpec { drop_prob: 0.0, corrupt_prob: 1.0 };
+    let (kept, got, _, _) = run_chain(2, test_packets(8), faults);
+    let cold = digest_compute_count() - d0;
+    assert_eq!(cold, 8, "flip happens before the first digest; one compute per packet");
+    for (k, g) in kept.iter().rev().zip(&got) {
+        assert_ne!(k.digest(), g.digest(), "corrupted copy must digest differently");
+    }
+}
+
+#[test]
 fn high_load_incast_is_deterministic_event_for_event() {
+    // Holds the counter mutex: the runs inflate the process-global
+    // alloc/CoW/digest counters that the other tests difference.
+    let _guard = COUNTERS.lock().unwrap();
     // Two same-seed runs of the 8-sender line-rate incast (with the
     // remote-buffer detour engaged) must agree on every statistic,
     // including the total event and per-hop packet counts — the strongest

@@ -267,3 +267,87 @@ mod lpm_model {
 fn key(f: u32) -> FiveTuple {
     FiveTuple::new(0x0a00_0000 + f, 0x0a63_0001, (2000 + f % 30000) as u16, 80, 17)
 }
+
+mod event_queue {
+    use extmem_sim::event::{EventKind, EventQueue};
+    use extmem_types::{NodeId, Time};
+    use proptest::prelude::*;
+
+    /// Reference model: a plain sorted list popped at the `(at, seq)`
+    /// minimum — the total order the indexed queue must preserve exactly.
+    #[derive(Default)]
+    struct ModelQueue {
+        pending: Vec<(Time, u64, u64)>, // (at, seq, token)
+        next_seq: u64,
+    }
+
+    impl ModelQueue {
+        fn push(&mut self, at: Time, token: u64) {
+            self.pending.push((at, self.next_seq, token));
+            self.next_seq += 1;
+        }
+
+        fn pop(&mut self) -> Option<(Time, u64, u64)> {
+            let min = self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(at, seq, _))| (at, seq))?
+                .0;
+            Some(self.pending.remove(min))
+        }
+    }
+
+    proptest! {
+        /// Any interleaving of pushes (with deliberately colliding times)
+        /// and pops yields the identical pop sequence — times, seqs, and
+        /// payload tokens — from the slab-indexed queue and the reference.
+        #[test]
+        fn indexed_queue_matches_reference_pop_order(
+            ops in proptest::collection::vec((any::<bool>(), 0u64..8), 1..400),
+        ) {
+            let mut q = EventQueue::new();
+            let mut model = ModelQueue::default();
+            let mut token = 0u64;
+            for (push, t) in ops {
+                if push {
+                    // Times drawn from 8 values force heavy (at,) ties so
+                    // the seq tie-break is actually exercised.
+                    q.push(Time::from_nanos(t), EventKind::Timer { node: NodeId(0), token });
+                    model.push(Time::from_nanos(t), token);
+                    token += 1;
+                } else {
+                    match (q.pop(), model.pop()) {
+                        (None, None) => {}
+                        (Some(got), Some((at, seq, tok))) => {
+                            prop_assert_eq!(got.at, at);
+                            prop_assert_eq!(got.seq, seq);
+                            let EventKind::Timer { token: got_tok, .. } = got.kind else {
+                                return Err(TestCaseError::fail("wrong event kind"));
+                            };
+                            prop_assert_eq!(got_tok, tok);
+                        }
+                        (a, b) => {
+                            return Err(TestCaseError::fail(format!(
+                                "emptiness diverged: queue={} model={}",
+                                a.is_some(),
+                                b.is_some()
+                            )));
+                        }
+                    }
+                }
+            }
+            // Drain both: the tails must agree too.
+            while let Some((at, seq, tok)) = model.pop() {
+                let got = q.pop().expect("queue drained early");
+                prop_assert_eq!((got.at, got.seq), (at, seq));
+                let EventKind::Timer { token: got_tok, .. } = got.kind else {
+                    return Err(TestCaseError::fail("wrong event kind"));
+                };
+                prop_assert_eq!(got_tok, tok);
+            }
+            prop_assert!(q.pop().is_none());
+            prop_assert!(q.is_empty());
+        }
+    }
+}

@@ -275,6 +275,50 @@ proptest! {
         prop_assert_eq!(q.as_slice()[at] ^ data[at], 1 << bit);
     }
 
+    /// The slice-by-8 CRC must be bit-identical to the byte-at-a-time
+    /// oracle for any data, any starting state, and any split point (the
+    /// masked-prefix ICRC path feeds the CRC in two runs).
+    #[test]
+    fn slice_by_8_crc_matches_bytewise_oracle(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        state: u32,
+        split in any::<prop::sample::Index>(),
+    ) {
+        use extmem_wire::icrc::{crc32_update, crc32_update_bytewise};
+        prop_assert_eq!(crc32_update(state, &data), crc32_update_bytewise(state, &data));
+        // Streaming in two arbitrary chunks must agree too (exercises the
+        // scalar tail of the first run feeding the stride of the second).
+        let at = split.index(data.len() + 1);
+        let two_step = crc32_update(crc32_update(state, &data[..at]), &data[at..]);
+        prop_assert_eq!(two_step, crc32_update_bytewise(state, &data));
+    }
+
+    /// The masked-prefix ICRC must equal the straightforward byte-at-a-time
+    /// reference for arbitrary well-formed frames.
+    #[test]
+    fn icrc_fast_path_matches_bytewise_oracle(
+        src in arb_endpoint(),
+        dst in arb_endpoint(),
+        sport: u16,
+        qpn in 0u32..0x0100_0000,
+        psn in 0u32..0x0100_0000,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        use extmem_wire::ethernet::EthernetHeader;
+        use extmem_wire::icrc::{icrc_rocev2, icrc_rocev2_bytewise};
+        let pkt = RocePacket::new(
+            src,
+            dst,
+            sport,
+            Bth::new(Opcode::WriteOnly, QpNum(qpn), psn),
+            RoceExt::Reth(Reth { va: 64, rkey: Rkey(3), dma_len: payload.len() as u32 }),
+            payload,
+        );
+        let wire = pkt.build().unwrap();
+        let ip_and_later = &wire.as_slice()[EthernetHeader::LEN..wire.len() - 4];
+        prop_assert_eq!(icrc_rocev2(ip_and_later), icrc_rocev2_bytewise(ip_and_later));
+    }
+
     #[test]
     fn psn_serial_arithmetic_is_antisymmetric(a in 0u32..0x0100_0000, d in 1u32..0x0080_0000) {
         use extmem_wire::bth::{psn_add, psn_before};
