@@ -112,7 +112,15 @@ pub fn run_gateway(cfg: GatewayConfig) -> GatewayResult {
 
     // VIP flows: client (host 0) → VIPs 10.1.0.x.
     let flows: Vec<FiveTuple> = (0..cfg.n_vips)
-        .map(|v| FiveTuple::new(host_ip(0), 0x0a01_0000 + v as u32, 40_000 + v as u16, 80, 17))
+        .map(|v| {
+            FiveTuple::new(
+                host_ip(0),
+                0x0a01_0000 + v as u32,
+                40_000 + v as u16,
+                80,
+                17,
+            )
+        })
         .collect();
 
     // Control plane: install a Translate action per VIP flow.
@@ -184,7 +192,7 @@ pub fn run_gateway(cfg: GatewayConfig) -> GatewayResult {
         sent: cfg.count,
         delivered: sink.received,
         untranslated,
-        latency: sink.latency.summarize(),
+        latency: sink.latency.summarize().expect("gateway delivered no packets"),
         lookup: prog.stats(),
         cache_hit_rate: prog.cache_hit_rate(),
         server_cpu_packets: sim.node::<RnicNode>(table).stats().cpu_packets,
@@ -199,7 +207,10 @@ mod tests {
 
     #[test]
     fn all_packets_translated_and_delivered() {
-        let cfg = GatewayConfig { count: 500, ..Default::default() };
+        let cfg = GatewayConfig {
+            count: 500,
+            ..Default::default()
+        };
         let r = run_gateway(cfg);
         assert_eq!(r.delivered, 500, "{r:?}");
         assert_eq!(r.untranslated, 0);
@@ -222,7 +233,11 @@ mod tests {
             pick: FlowPick::Zipf(1.3),
             ..Default::default()
         });
-        assert!(with_cache.cache_hit_rate > 0.5, "{:?}", with_cache.cache_hit_rate);
+        assert!(
+            with_cache.cache_hit_rate > 0.5,
+            "{:?}",
+            with_cache.cache_hit_rate
+        );
         assert!(
             with_cache.lookup.remote_lookups < without.lookup.remote_lookups / 2,
             "cache should slash remote traffic: {} vs {}",
@@ -244,7 +259,10 @@ mod tests {
             ..Default::default()
         });
         let med = r.latency.median.as_micros_f64();
-        assert!(med > 1.0 && med < 10.0, "median {med}us out of plausible range");
+        assert!(
+            med > 1.0 && med < 10.0,
+            "median {med}us out of plausible range"
+        );
     }
 }
 
@@ -278,8 +296,11 @@ pub fn run_dscp_lookup(
     let prog = LookupTableProgram::new(fib, channel, 2048, cache);
 
     let mut b = SimBuilder::new(seed);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let gen = b.add_node(Box::new(TrafficGenNode::new(
         "client",
         WorkloadSpec::simple(host_mac(0), host_mac(1), flow, frame_len, offered, count),
@@ -302,7 +323,7 @@ pub fn run_dscp_lookup(
     assert_eq!(sink.dscp_mismatch, 0, "action not applied");
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
     let prog = sw.program::<LookupTableProgram>();
-    (sink.latency.summarize(), prog.stats())
+    (sink.latency.summarize().expect("no packets delivered"), prog.stats())
 }
 
 /// Experiment E2 baseline: "a simple P4 implementation of L2 switch
@@ -315,8 +336,11 @@ pub fn run_l2_baseline(frame_len: usize, count: u64, offered: Rate, seed: u64) -
 
     let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 80, 17);
     let mut b = SimBuilder::new(seed);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let gen = b.add_node(Box::new(TrafficGenNode::new(
         "client",
         WorkloadSpec::simple(host_mac(0), host_mac(1), flow, frame_len, offered, count),
@@ -332,7 +356,7 @@ pub fn run_l2_baseline(frame_len: usize, count: u64, offered: Rate, seed: u64) -
 
     let sink = sim.node::<SinkNode>(server);
     assert_eq!(sink.received, count, "baseline lost packets");
-    sink.latency.summarize()
+    sink.latency.summarize().expect("no packets delivered")
 }
 
 /// Experiment E2, RTT flavour: the paper measured with `NPtcp`, a
@@ -357,7 +381,13 @@ pub fn run_dscp_lookup_rtt(
     );
     let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 80, 17);
     install_remote_action(&mut nic, &channel, 2048, &flow, ActionEntry::set_dscp(DSCP));
-    install_remote_action(&mut nic, &channel, 2048, &flow.reversed(), ActionEntry::set_dscp(DSCP));
+    install_remote_action(
+        &mut nic,
+        &channel,
+        2048,
+        &flow.reversed(),
+        ActionEntry::set_dscp(DSCP),
+    );
 
     let mut fib = Fib::new(8);
     fib.install(host_mac(0), PortId(0));
@@ -365,8 +395,11 @@ pub fn run_dscp_lookup_rtt(
     let prog = LookupTableProgram::new(fib, channel, 2048, cache);
 
     let mut b = SimBuilder::new(seed);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let prober = b.add_node(Box::new(RttProbeNode::new(
         "nptcp",
         host_mac(0),
@@ -390,7 +423,10 @@ pub fn run_dscp_lookup_rtt(
     assert_eq!(prober.rtt.len() as u64, count, "probe round trips lost");
     assert_eq!(prober.corrupt, 0);
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
-    (prober.rtt.summarize(), sw.program::<LookupTableProgram>().stats())
+    (
+        prober.rtt.summarize().expect("no round trips recorded"),
+        sw.program::<LookupTableProgram>().stats(),
+    )
 }
 
 /// RTT baseline over the plain L2 switch.
@@ -402,8 +438,11 @@ pub fn run_l2_baseline_rtt(frame_len: usize, count: u64, seed: u64) -> LatencySu
     let prog = extmem_core::L2Program { fib, forwarded: 0 };
     let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 80, 17);
     let mut b = SimBuilder::new(seed);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let prober = b.add_node(Box::new(RttProbeNode::new(
         "nptcp",
         host_mac(0),
@@ -421,7 +460,7 @@ pub fn run_l2_baseline_rtt(frame_len: usize, count: u64, seed: u64) -> LatencySu
     sim.run_to_quiescence();
     let prober = sim.node::<RttProbeNode>(prober);
     assert_eq!(prober.rtt.len() as u64, count);
-    prober.rtt.summarize()
+    prober.rtt.summarize().expect("no round trips recorded")
 }
 
 #[cfg(test)]
@@ -476,7 +515,7 @@ mod e2_tests {
         b.connect(switch, PortId(1), server, PortId(0), link);
         let table = b.add_node(Box::new(nic));
         let mut lossy = LinkSpec::testbed_40g();
-        lossy.faults = extmem_sim::FaultSpec { drop_prob: 0.3, corrupt_prob: 0.0 };
+        lossy.faults = extmem_sim::FaultSpec::drop(0.3);
         b.connect(switch, PortId(2), table, PortId(0), lossy);
         let mut sim = b.build();
         sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
@@ -490,7 +529,10 @@ mod e2_tests {
             delivered + stats.recirc_budget_drops + stats.slow_path >= 190,
             "packets unaccounted: delivered={delivered} {stats:?}"
         );
-        assert!(delivered > 0, "channel must not collapse entirely: {stats:?}");
+        assert!(
+            delivered > 0,
+            "channel must not collapse entirely: {stats:?}"
+        );
     }
 
     #[test]

@@ -167,7 +167,9 @@ impl DctcpSource {
         } else {
             self.rate_bps += self.cfg.step.bps() as f64;
         }
-        self.rate_bps = self.rate_bps.clamp(self.cfg.min.bps() as f64, self.cfg.max.bps() as f64);
+        self.rate_bps = self
+            .rate_bps
+            .clamp(self.cfg.min.bps() as f64, self.cfg.max.bps() as f64);
         self.acks_in_window = 0;
         self.marks_in_window = 0;
         self.rate_trace.push((ctx.now(), self.current_rate()));
@@ -177,7 +179,9 @@ impl DctcpSource {
 impl Node for DctcpSource {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
         // Feedback frame: its DSCP carries the reflected CE bit.
-        let Ok(Some(info)) = parse_data_packet(&packet) else { return };
+        let Ok(Some(info)) = parse_data_packet(&packet) else {
+            return;
+        };
         self.total_feedback += 1;
         self.acks_in_window += 1;
         if info.ipv4.dscp & 1 == 1 {
@@ -216,13 +220,20 @@ pub struct FeedbackEcho {
 impl FeedbackEcho {
     /// A feedback receiver.
     pub fn new(name: impl Into<String>) -> FeedbackEcho {
-        FeedbackEcho { name: name.into(), tx: TxQueue::new(PortId(0)), received: 0, marked: 0 }
+        FeedbackEcho {
+            name: name.into(),
+            tx: TxQueue::new(PortId(0)),
+            received: 0,
+            marked: 0,
+        }
     }
 }
 
 impl Node for FeedbackEcho {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
-        let Ok(Some(info)) = parse_data_packet(&packet) else { return };
+        let Ok(Some(info)) = parse_data_packet(&packet) else {
+            return;
+        };
         self.received += 1;
         let ce = get_ecn(&packet) == 0b11;
         if ce {
@@ -312,8 +323,7 @@ mod tests {
         assert!(s.total_feedback > 1000, "feedback loop broken");
         // Average rate over the last quarter of the trace ≈ bottleneck.
         let tail = &s.rate_trace[s.rate_trace.len() * 3 / 4..];
-        let avg: f64 =
-            tail.iter().map(|(_, r)| r.gbps_f64()).sum::<f64>() / tail.len() as f64;
+        let avg: f64 = tail.iter().map(|(_, r)| r.gbps_f64()).sum::<f64>() / tail.len() as f64;
         assert!(
             (7.0..13.0).contains(&avg),
             "rate failed to converge near 10G: {avg:.1}G (alpha {})",
@@ -344,7 +354,10 @@ mod tests {
         let floor = Rate::from_gbps(2);
         let src = b.add_node(Box::new(DctcpSource::new(
             "dctcp",
-            DctcpConfig { min: floor, ..Default::default() },
+            DctcpConfig {
+                min: floor,
+                ..Default::default()
+            },
             host_mac(0),
             host_mac(1),
             flow,
@@ -388,7 +401,10 @@ mod tests {
         let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 9_000, 17);
         let src = b.add_node(Box::new(DctcpSource::new(
             "dctcp",
-            DctcpConfig { initial: Rate::from_gbps(20), ..Default::default() },
+            DctcpConfig {
+                initial: Rate::from_gbps(20),
+                ..Default::default()
+            },
             host_mac(0),
             host_mac(1),
             flow,

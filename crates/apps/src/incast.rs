@@ -159,12 +159,9 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
     if let Some(r) = &cfg.remote {
         for i in 0..r.servers {
             let idx = 1 + cfg.senders + i;
-            let mut nic = RnicNode::new(
-                format!("memsrv{i}"),
-                RnicConfig::at(host_endpoint(idx)),
-            );
+            let mut nic = RnicNode::new(format!("memsrv{i}"), RnicConfig::at(host_endpoint(idx)));
             let port = PortId(idx as u16);
-            channels.push(RdmaChannel::setup_relaxed(
+            channels.push(RdmaChannel::setup(
                 switch_endpoint(),
                 port,
                 &mut nic,
@@ -195,7 +192,11 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
     let link = LinkSpec::new(cfg.link_rate, TimeDelta::from_nanos(300));
     let switch = b.add_node(Box::new(SwitchNode::new(
         "tor",
-        SwitchConfig { ports: n_ports as u16, buffer: cfg.switch_buffer, ..Default::default() },
+        SwitchConfig {
+            ports: n_ports as u16,
+            buffer: cfg.switch_buffer,
+            ..Default::default()
+        },
         program,
     )));
     let receiver = b.add_node(Box::new(SinkNode::new("receiver")));
@@ -228,7 +229,13 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
     }
     for (i, nic) in nics.into_iter().enumerate() {
         let id = b.add_node(Box::new(nic));
-        b.connect(switch, PortId((1 + cfg.senders + i) as u16), id, PortId(0), link);
+        b.connect(
+            switch,
+            PortId((1 + cfg.senders + i) as u16),
+            id,
+            PortId(0),
+            link,
+        );
     }
 
     let mut sim = b.build();
@@ -285,7 +292,10 @@ mod tests {
     #[test]
     fn remote_buffer_small_incast_is_lossless() {
         let r = run_incast(IncastConfig::small(Some(RemoteBufferSpec::default())));
-        assert_eq!(r.delivered, r.sent, "remote buffer must absorb the burst: {r:?}");
+        assert_eq!(
+            r.delivered, r.sent,
+            "remote buffer must absorb the burst: {r:?}"
+        );
         assert!(r.pb.stored > 0, "the detour must engage: {r:?}");
         assert_eq!(r.pb.stored, r.pb.loaded);
         assert_eq!(r.reorders, 0, "ordering rule violated");
@@ -302,7 +312,10 @@ mod tests {
             servers: 1,
             ..Default::default()
         })));
-        assert!(r.delivery_ratio < 0.9, "one server cannot absorb an 8:1 incast: {r:?}");
+        assert!(
+            r.delivery_ratio < 0.9,
+            "one server cannot absorb an 8:1 incast: {r:?}"
+        );
         assert!(r.delivered > 0, "but the system must not collapse: {r:?}");
     }
 }

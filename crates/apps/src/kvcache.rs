@@ -34,7 +34,13 @@ pub fn value_of(key: u32) -> u64 {
 
 /// The flow a GET for `key` travels on (one slot per key).
 pub fn key_flow(key: u32) -> FiveTuple {
-    FiveTuple::new(host_ip(0), 0x0a02_0000 + (key >> 8), 10_000 + (key & 0xff) as u16, 9_999, 17)
+    FiveTuple::new(
+        host_ip(0),
+        0x0a02_0000 + (key >> 8),
+        10_000 + (key & 0xff) as u16,
+        9_999,
+        17,
+    )
 }
 
 const GET_FRAME: usize = 128;
@@ -62,7 +68,13 @@ pub struct KvClientNode {
 
 impl KvClientNode {
     /// A client issuing `count` GETs over `keys` keys with Zipf(`skew`).
-    pub fn new(name: impl Into<String>, keys: u32, skew: f64, count: u64, seed: u64) -> KvClientNode {
+    pub fn new(
+        name: impl Into<String>,
+        keys: u32,
+        skew: f64,
+        count: u64,
+        seed: u64,
+    ) -> KvClientNode {
         assert!(keys > 0 && count > 0);
         let weights: Vec<f64> = (1..=keys).map(|k| 1.0 / (k as f64).powf(skew)).collect();
         let total: f64 = weights.iter().sum();
@@ -95,7 +107,10 @@ impl KvClientNode {
         }
         self.remaining -= 1;
         let u: f64 = self.rng.gen();
-        let key = self.zipf_cdf.partition_point(|&c| c < u).min(self.keys as usize - 1) as u32;
+        let key = self
+            .zipf_cdf
+            .partition_point(|&c| c < u)
+            .min(self.keys as usize - 1) as u32;
         self.in_flight_key = Some(key);
         let pkt = build_data_packet(
             host_mac(0),
@@ -114,7 +129,9 @@ impl KvClientNode {
 
 impl Node for KvClientNode {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
-        let Some(key) = self.in_flight_key.take() else { return };
+        let Some(key) = self.in_flight_key.take() else {
+            return;
+        };
         let b = packet.as_slice();
         if b.len() >= VALUE_AT + 8 {
             let got = u64::from_be_bytes(b[VALUE_AT..VALUE_AT + 8].try_into().unwrap());
@@ -126,7 +143,8 @@ impl Node for KvClientNode {
             // One-way request + in-switch turn + one-way reply = RTT; the
             // workload header still carries the GET's send time.
             let sent = u64::from_be_bytes(b[42 + 10..42 + 18].try_into().unwrap());
-            self.latency.record(ctx.now().saturating_since(Time::from_picos(sent)));
+            self.latency
+                .record(ctx.now().saturating_since(Time::from_picos(sent)));
         } else {
             self.wrong += 1;
         }
@@ -192,7 +210,13 @@ pub fn run_kv(keys: u32, skew: f64, count: u64, cache: Option<usize>, seed: u64)
         extmem_switch::SwitchConfig::default(),
         Box::new(prog),
     )));
-    let client = b.add_node(Box::new(KvClientNode::new("client", keys, skew, count, seed ^ 0x6b76)));
+    let client = b.add_node(Box::new(KvClientNode::new(
+        "client",
+        keys,
+        skew,
+        count,
+        seed ^ 0x6b76,
+    )));
     let link = LinkSpec::testbed_40g();
     b.connect(switch, PortId(0), client, PortId(0), link);
     let server = b.add_node(Box::new(nic));
@@ -207,7 +231,7 @@ pub fn run_kv(keys: u32, skew: f64, count: u64, cache: Option<usize>, seed: u64)
     KvResult {
         correct: client.correct,
         wrong: client.wrong,
-        latency: client.latency.summarize(),
+        latency: client.latency.summarize().expect("no GET completed"),
         lookup: sw.program::<LookupTableProgram>().stats(),
         server_cpu_packets: sim.node::<RnicNode>(server).stats().cpu_packets,
     }
@@ -222,8 +246,14 @@ mod tests {
         let r = run_kv(64, 1.1, 1000, Some(16), 3);
         assert_eq!(r.correct, 1000, "{r:?}");
         assert_eq!(r.wrong, 0);
-        assert_eq!(r.server_cpu_packets, 0, "misses must be served by RDMA, not CPU");
-        assert!(r.lookup.cache_hits > 0, "hot keys should hit the switch cache");
+        assert_eq!(
+            r.server_cpu_packets, 0,
+            "misses must be served by RDMA, not CPU"
+        );
+        assert!(
+            r.lookup.cache_hits > 0,
+            "hot keys should hit the switch cache"
+        );
     }
 
     #[test]

@@ -29,16 +29,20 @@ impl LatencyRecorder {
         self.samples.is_empty()
     }
 
-    /// Summarize into percentiles. Panics on an empty recorder.
-    pub fn summarize(&self) -> LatencySummary {
-        assert!(!self.samples.is_empty(), "no latency samples");
+    /// Summarize into percentiles, or `None` if nothing was recorded (an
+    /// experiment where every probe was lost should report that, not
+    /// crash the whole run).
+    pub fn summarize(&self) -> Option<LatencySummary> {
+        if self.samples.is_empty() {
+            return None;
+        }
         let mut s = self.samples.clone();
         s.sort_unstable();
         let pct = |p: f64| -> TimeDelta {
             let idx = ((s.len() as f64 - 1.0) * p).round() as usize;
             TimeDelta::from_picos(s[idx])
         };
-        LatencySummary {
+        Some(LatencySummary {
             count: s.len(),
             min: TimeDelta::from_picos(s[0]),
             median: pct(0.5),
@@ -47,7 +51,7 @@ impl LatencyRecorder {
             mean: TimeDelta::from_picos(
                 (s.iter().map(|&v| v as u128).sum::<u128>() / s.len() as u128) as u64,
             ),
-        }
+        })
     }
 }
 
@@ -92,7 +96,7 @@ mod tests {
         for us in 1..=100u64 {
             r.record(TimeDelta::from_micros(us));
         }
-        let s = r.summarize();
+        let s = r.summarize().unwrap();
         assert_eq!(s.count, 100);
         assert_eq!(s.min, TimeDelta::from_micros(1));
         assert_eq!(s.max, TimeDelta::from_micros(100));
@@ -106,15 +110,14 @@ mod tests {
     fn single_sample() {
         let mut r = LatencyRecorder::new();
         r.record(TimeDelta::from_nanos(700));
-        let s = r.summarize();
+        let s = r.summarize().unwrap();
         assert_eq!(s.median, TimeDelta::from_nanos(700));
         assert_eq!(s.p99, TimeDelta::from_nanos(700));
     }
 
     #[test]
-    #[should_panic(expected = "no latency samples")]
-    fn empty_summary_panics() {
-        LatencyRecorder::new().summarize();
+    fn empty_summary_is_none() {
+        assert!(LatencyRecorder::new().summarize().is_none());
     }
 
     #[test]

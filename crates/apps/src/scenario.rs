@@ -25,12 +25,18 @@ pub fn host_ip(i: usize) -> u32 {
 
 /// The RoCE endpoint identity of host `i`.
 pub fn host_endpoint(i: usize) -> RoceEndpoint {
-    RoceEndpoint { mac: host_mac(i), ip: host_ip(i) }
+    RoceEndpoint {
+        mac: host_mac(i),
+        ip: host_ip(i),
+    }
 }
 
 /// The switch's RoCE identity (source of RDMA requests).
 pub fn switch_endpoint() -> RoceEndpoint {
-    RoceEndpoint { mac: MacAddr::local(100), ip: 0x0a00_00fe }
+    RoceEndpoint {
+        mac: MacAddr::local(100),
+        ip: 0x0a00_00fe,
+    }
 }
 
 #[cfg(test)]

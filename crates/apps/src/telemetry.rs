@@ -110,8 +110,11 @@ pub fn run_counting(cfg: CountingConfig) -> CountingResult {
         .collect();
 
     let mut b = SimBuilder::new(cfg.seed);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let sender = b.add_node(Box::new(TrafficGenNode::new(
         "sender",
         WorkloadSpec {
@@ -138,8 +141,9 @@ pub fn run_counting(cfg: CountingConfig) -> CountingResult {
     sim.schedule_timer(sender, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
     // Run the workload plus settle time (the flush tick re-arms forever, so
     // quiescence never arrives by design).
-    let workload_time =
-        TimeDelta::from_secs_f64(cfg.count as f64 * cfg.frame_len as f64 * 8.0 / cfg.offered.bps() as f64);
+    let workload_time = TimeDelta::from_secs_f64(
+        cfg.count as f64 * cfg.frame_len as f64 * 8.0 / cfg.offered.bps() as f64,
+    );
     let deadline = Time::ZERO + workload_time + cfg.settle;
     sim.run_until(deadline);
 
@@ -163,7 +167,9 @@ pub fn run_counting(cfg: CountingConfig) -> CountingResult {
     let to_server = sim.link_stats(server_link, 0);
     let from_server = sim.link_stats(server_link, 1);
     let active = workload_time;
-    let elapsed = sink.last_rx.saturating_since(sink.first_rx.unwrap_or(Time::ZERO));
+    let elapsed = sink
+        .last_rx
+        .saturating_since(sink.first_rx.unwrap_or(Time::ZERO));
 
     CountingResult {
         sent: cfg.count,
@@ -225,8 +231,11 @@ pub fn run_sketch(
         .collect();
 
     let mut b = SimBuilder::new(seed);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let sender = b.add_node(Box::new(TrafficGenNode::new(
         "sender",
         WorkloadSpec {
@@ -257,8 +266,7 @@ pub fn run_sketch(
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
     let prog = sw.program::<SketchProgram>();
     let nic = sim.node::<RnicNode>(server);
-    let counters =
-        read_remote_counters(nic, rkey, base_va, geometry.rows as u64 * geometry.cols);
+    let counters = read_remote_counters(nic, rkey, base_va, geometry.rows as u64 * geometry.cols);
 
     let estimates: Vec<(u64, i64)> = flows
         .iter()
@@ -273,7 +281,11 @@ pub fn run_sketch(
         .iter()
         .filter_map(|(f, _)| flows.iter().position(|x| x == f))
         .collect();
-    SketchResult { estimates, faa: prog.faa_stats(), heavy_hitters }
+    SketchResult {
+        estimates,
+        faa: prog.faa_stats(),
+        heavy_hitters,
+    }
 }
 
 #[cfg(test)]
@@ -282,7 +294,10 @@ mod tests {
 
     #[test]
     fn counting_is_exact_and_forwarding_unharmed() {
-        let r = run_counting(CountingConfig { count: 1000, ..Default::default() });
+        let r = run_counting(CountingConfig {
+            count: 1000,
+            ..Default::default()
+        });
         assert_eq!(r.delivered, 1000, "{r:?}");
         assert_eq!(r.remote_total, r.truth_total, "{r:?}");
         assert_eq!(r.exact_slots, r.truth_slots);
@@ -304,12 +319,22 @@ mod tests {
             ..Default::default()
         });
         let combined = r.faa_request_bw.gbps_f64() + r.faa_response_bw.gbps_f64();
-        assert!(combined < 3.0, "FaA traffic should be capped: {combined} Gbps");
-        assert!(combined > 0.5, "FaA traffic should be substantial: {combined} Gbps");
+        assert!(
+            combined < 3.0,
+            "FaA traffic should be capped: {combined} Gbps"
+        );
+        assert!(
+            combined > 0.5,
+            "FaA traffic should be substantial: {combined} Gbps"
+        );
         // Accuracy still exact after settling.
         assert_eq!(r.remote_total, r.truth_total, "{r:?}");
         // Forwarding throughput unharmed (goodput ≈ offered).
-        assert!(r.goodput.gbps_f64() > 35.0, "goodput degraded: {}", r.goodput);
+        assert!(
+            r.goodput.gbps_f64() > 35.0,
+            "goodput degraded: {}",
+            r.goodput
+        );
     }
 
     #[test]

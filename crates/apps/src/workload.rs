@@ -152,7 +152,9 @@ impl TrafficGenNode {
             FlowPick::Uniform => self.rng.gen_range(0..self.spec.flows.len()),
             FlowPick::Zipf(_) => {
                 let u: f64 = self.rng.gen();
-                self.zipf_cdf.partition_point(|&c| c < u).min(self.spec.flows.len() - 1)
+                self.zipf_cdf
+                    .partition_point(|&c| c < u)
+                    .min(self.spec.flows.len() - 1)
             }
         }
     }
@@ -177,21 +179,18 @@ impl TrafficGenNode {
         .expect("workload frame encodes");
         self.sent += 1;
         self.tx.send(ctx, pkt);
-        if self.sent < self.spec.count
-            && self.spec.offered.is_some() {
-                let gap = match self.spec.arrival {
-                    Arrival::Paced => self.interval,
-                    Arrival::Poisson => {
-                        // Exponential with mean `interval`: -mean * ln(U).
-                        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-                        TimeDelta::from_picos(
-                            (-(self.interval.picos() as f64) * u.ln()).round() as u64,
-                        )
-                    }
-                };
-                ctx.schedule(gap, TOKEN_SEND);
-            }
-            // Burst mode: the next send happens from on_tx_done.
+        if self.sent < self.spec.count && self.spec.offered.is_some() {
+            let gap = match self.spec.arrival {
+                Arrival::Paced => self.interval,
+                Arrival::Poisson => {
+                    // Exponential with mean `interval`: -mean * ln(U).
+                    let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    TimeDelta::from_picos((-(self.interval.picos() as f64) * u.ln()).round() as u64)
+                }
+            };
+            ctx.schedule(gap, TOKEN_SEND);
+        }
+        // Burst mode: the next send happens from on_tx_done.
     }
 }
 
@@ -284,7 +283,8 @@ impl Node for SinkNode {
                 self.bytes += packet.len() as u64;
                 self.first_rx.get_or_insert(ctx.now());
                 self.last_rx = ctx.now();
-                self.latency.record(ctx.now().saturating_since(info.data.sent_at));
+                self.latency
+                    .record(ctx.now().saturating_since(info.data.sent_at));
                 let f = self.flows.entry(info.data.flow_id).or_default();
                 if f.received > 0 && info.data.seq <= f.max_seq {
                     f.reorders += 1;
@@ -321,7 +321,11 @@ pub struct EchoNode {
 impl EchoNode {
     /// An echo host.
     pub fn new(name: impl Into<String>) -> EchoNode {
-        EchoNode { name: name.into(), tx: TxQueue::new(PortId(0)), echoed: 0 }
+        EchoNode {
+            name: name.into(),
+            tx: TxQueue::new(PortId(0)),
+            echoed: 0,
+        }
     }
 }
 
@@ -422,7 +426,8 @@ impl Node for RttProbeNode {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
         match parse_data_packet(&packet) {
             Ok(Some(info)) => {
-                self.rtt.record(ctx.now().saturating_since(info.data.sent_at));
+                self.rtt
+                    .record(ctx.now().saturating_since(info.data.sent_at));
                 self.send_probe(ctx);
             }
             _ => self.corrupt += 1,
@@ -578,7 +583,7 @@ mod tests {
         );
         let (mut sim, _g, s) = direct_rig(spec);
         sim.run_to_quiescence();
-        let sum = sim.node::<SinkNode>(s).latency.summarize();
+        let sum = sim.node::<SinkNode>(s).latency.summarize().unwrap();
         // 1500B at 40G link = 300ns ser + 300ns prop.
         assert_eq!(sum.median, TimeDelta::from_nanos(600));
         assert_eq!(sum.min, sum.max);
@@ -606,7 +611,7 @@ mod tests {
         assert!(err < 0.1, "poisson mean rate off: {measured}");
         // And latency variance exists: queueing at the generator's own
         // 40G NIC under bursts makes max > min.
-        let sum = sink.latency.summarize();
+        let sum = sink.latency.summarize().unwrap();
         assert!(sum.max > sum.min, "no burstiness observed");
     }
 
@@ -630,7 +635,7 @@ mod tests {
         assert_eq!(p.rtt.len(), 10);
         assert_eq!(p.corrupt, 0);
         // 1000B at 40G: 200ns ser + 300ns prop each way = 1us RTT.
-        assert_eq!(p.rtt.summarize().median, TimeDelta::from_nanos(1000));
+        assert_eq!(p.rtt.summarize().unwrap().median, TimeDelta::from_nanos(1000));
         assert_eq!(sim.node::<EchoNode>(echo).echoed, 10);
     }
 

@@ -53,8 +53,14 @@ fn bench_mb<T>(group: &str, name: &str, iters: u64, bytes: usize, mut f: impl Fn
 
 fn endpoints() -> (RoceEndpoint, RoceEndpoint) {
     (
-        RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 },
-        RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 },
+        RoceEndpoint {
+            mac: MacAddr::local(1),
+            ip: 0x0a000001,
+        },
+        RoceEndpoint {
+            mac: MacAddr::local(2),
+            ip: 0x0a000002,
+        },
     )
 }
 
@@ -65,7 +71,11 @@ fn write_packet(payload: usize) -> RocePacket {
         d,
         0x9000,
         Bth::new(Opcode::WriteOnly, QpNum(0x11), 5),
-        RoceExt::Reth(Reth { va: 0x1000, rkey: Rkey(7), dma_len: payload as u32 }),
+        RoceExt::Reth(Reth {
+            va: 0x1000,
+            rkey: Rkey(7),
+            dma_len: payload as u32,
+        }),
         vec![0xab; payload],
     )
 }
@@ -85,12 +95,21 @@ fn bench_wire() {
     bench("wire", "crc32_1514", 20_000, || crc32(black_box(&frame)));
     let roce = write_packet(1500).build().unwrap();
     let inner = roce.as_slice()[14..roce.len() - 4].to_vec();
-    bench("wire", "icrc_1500", 20_000, || icrc_rocev2(black_box(&inner)));
+    bench("wire", "icrc_1500", 20_000, || {
+        icrc_rocev2(black_box(&inner))
+    });
 
     let flow = FiveTuple::new(0x0a000001, 0x0a000002, 40_000, 9_000, 17);
-    let data =
-        build_data_packet(MacAddr::local(1), MacAddr::local(2), flow, 0, 0, Time::ZERO, 1500)
-            .unwrap();
+    let data = build_data_packet(
+        MacAddr::local(1),
+        MacAddr::local(2),
+        flow,
+        0,
+        0,
+        Time::ZERO,
+        1500,
+    )
+    .unwrap();
     bench("wire", "parse_data_1500", 20_000, || {
         parse_data_packet(black_box(&data)).unwrap().unwrap()
     });
@@ -107,13 +126,18 @@ fn bench_kernels() {
     bench_mb("kernel", "crc32_bytewise_1500", 50_000, frame.len(), || {
         crc32_update_bytewise(!0, black_box(&frame))
     });
-    bench_mb("kernel", "digest64_1500", 50_000, frame.len(), || digest64(black_box(&frame)));
-    bench_mb("kernel", "fnv1a_1500", 50_000, frame.len(), || fnv1a(black_box(&frame)));
+    bench_mb("kernel", "digest64_1500", 50_000, frame.len(), || {
+        digest64(black_box(&frame))
+    });
+    bench_mb("kernel", "fnv1a_1500", 50_000, frame.len(), || {
+        fnv1a(black_box(&frame))
+    });
 }
 
 fn bench_switch_units() {
-    let flows: Vec<FiveTuple> =
-        (0..1024).map(|i| FiveTuple::new(0x0a000000 + i, 0x0a630001, 1000, 80, 6)).collect();
+    let flows: Vec<FiveTuple> = (0..1024)
+        .map(|i| FiveTuple::new(0x0a000000 + i, 0x0a630001, 1000, 80, 6))
+        .collect();
     let mut i = 0;
     bench("switch", "flow_index", 100_000, || {
         i = (i + 1) % flows.len();
@@ -171,7 +195,10 @@ fn bench_engine() {
 
     bench("engine", "blast_1000_packets", 200, || {
         let mut builder = SimBuilder::new(1);
-        let bl = builder.add_node(Box::new(Blaster { n: 1000, tx: TxQueue::new(PortId(0)) }));
+        let bl = builder.add_node(Box::new(Blaster {
+            n: 1000,
+            tx: TxQueue::new(PortId(0)),
+        }));
         let sk = builder.add_node(Box::new(Sink));
         builder.connect(
             bl,
@@ -200,7 +227,11 @@ fn bench_rnic_responder() {
         server,
         0x9000,
         Bth::new(Opcode::WriteOnly, QpNum(0x100), 0),
-        RoceExt::Reth(Reth { va: base, rkey, dma_len: 1500 }),
+        RoceExt::Reth(Reth {
+            va: base,
+            rkey,
+            dma_len: 1500,
+        }),
         vec![0xcd; 1500],
     );
     bench("rnic", "responder_write_1500", 20_000, || {
@@ -212,14 +243,27 @@ fn bench_rnic_responder() {
 
 fn bench_sketch() {
     use extmem_core::sketch::{estimate, SketchGeometry, SketchKind};
-    let g9 = SketchGeometry { rows: 5, cols: 4096 };
+    let g9 = SketchGeometry {
+        rows: 5,
+        cols: 4096,
+    };
     let counters = vec![7u64; (g9.rows as u64 * g9.cols) as usize];
     let flow = FiveTuple::new(0x0a000001, 0x0a000002, 40_000, 9_000, 17);
     bench("sketch", "estimate_cms_5rows", 100_000, || {
-        estimate(SketchKind::CountMin, &g9, black_box(&counters), black_box(&flow))
+        estimate(
+            SketchKind::CountMin,
+            &g9,
+            black_box(&counters),
+            black_box(&flow),
+        )
     });
     bench("sketch", "estimate_countsketch_5rows", 100_000, || {
-        estimate(SketchKind::CountSketch, &g9, black_box(&counters), black_box(&flow))
+        estimate(
+            SketchKind::CountSketch,
+            &g9,
+            black_box(&counters),
+            black_box(&flow),
+        )
     });
 }
 

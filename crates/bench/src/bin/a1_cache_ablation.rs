@@ -19,7 +19,11 @@ fn main() {
         for cache in [None, Some(4usize), Some(16), Some(64)] {
             let r = run_gateway(GatewayConfig {
                 n_vips: 64,
-                pick: if skew == 0.0 { FlowPick::Uniform } else { FlowPick::Zipf(skew) },
+                pick: if skew == 0.0 {
+                    FlowPick::Uniform
+                } else {
+                    FlowPick::Zipf(skew)
+                },
                 count: 4_000,
                 frame_len: 256,
                 offered: Rate::from_gbps(5),
@@ -38,8 +42,18 @@ fn main() {
             assert_eq!(r.server_cpu_packets, 0);
         }
         print_table(
-            &format!("skew = {} ({})", skew, if skew == 0.0 { "uniform" } else { "zipf" }),
-            &["cache entries", "hit rate", "remote lookups", "median us", "p99 us"],
+            &format!(
+                "skew = {} ({})",
+                skew,
+                if skew == 0.0 { "uniform" } else { "zipf" }
+            ),
+            &[
+                "cache entries",
+                "hit rate",
+                "remote lookups",
+                "median us",
+                "p99 us",
+            ],
             &rows,
         );
     }

@@ -31,11 +31,21 @@ fn main() {
     };
 
     let mut rows = Vec::new();
-    for (window, batch) in
-        [(1usize, 1u64), (4, 1), (8, 1), (16, 1), (8, 4), (8, 16), (8, 64)]
-    {
+    for (window, batch) in [
+        (1usize, 1u64),
+        (4, 1),
+        (8, 1),
+        (16, 1),
+        (8, 4),
+        (8, 16),
+        (8, 64),
+    ] {
         let r = run_counting(CountingConfig {
-            faa: FaaConfig { max_outstanding: window, min_batch: batch, ..Default::default() },
+            faa: FaaConfig {
+                max_outstanding: window,
+                min_batch: batch,
+                ..Default::default()
+            },
             ..base.clone()
         });
         rows.push(vec![
@@ -44,13 +54,27 @@ fn main() {
             r.faa.faa_sent.to_string(),
             f2(r.faa.merged as f64 / r.faa.updates as f64),
             f2(r.faa_request_bw.gbps_f64() + r.faa_response_bw.gbps_f64()),
-            if r.remote_total == r.truth_total { "exact".into() } else { "INEXACT".into() },
+            if r.remote_total == r.truth_total {
+                "exact".into()
+            } else {
+                "INEXACT".into()
+            },
         ]);
-        assert_eq!(r.remote_total, r.truth_total, "accuracy must hold after settling");
+        assert_eq!(
+            r.remote_total, r.truth_total,
+            "accuracy must hold after settling"
+        );
     }
     print_table(
         "issuing discipline vs FaA traffic",
-        &["outstanding", "min batch", "FaA sent", "merge frac", "FaA Gbps", "accuracy"],
+        &[
+            "outstanding",
+            "min batch",
+            "FaA sent",
+            "merge frac",
+            "FaA Gbps",
+            "accuracy",
+        ],
         &rows,
     );
     println!("\nexpectations:");

@@ -34,12 +34,7 @@ struct ProbeOut {
 fn probe(start_store: u64, resume_load: u64) -> ProbeOut {
     let count = 2_000u64;
     let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
-    let channel = RdmaChannel::setup_relaxed(
-        switch_endpoint(),
-        PortId(2),
-        &mut nic,
-        ByteSize::from_mb(8),
-    );
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_mb(8));
     let mut fib = Fib::new(8);
     fib.install(host_mac(0), PortId(0));
     fib.install(host_mac(1), PortId(1));
@@ -48,7 +43,10 @@ fn probe(start_store: u64, resume_load: u64) -> ProbeOut {
         vec![channel],
         PortId(1),
         2048,
-        Mode::Auto { start_store_qbytes: start_store, resume_load_qbytes: resume_load },
+        Mode::Auto {
+            start_store_qbytes: start_store,
+            resume_load_qbytes: resume_load,
+        },
         8,
         TimeDelta::from_micros(100),
     );
@@ -58,12 +56,22 @@ fn probe(start_store: u64, resume_load: u64) -> ProbeOut {
     let switch = b.add_node(Box::new(SwitchNode::new(
         "tor",
         // Small local budget so thresholds matter.
-        SwitchConfig { buffer: ByteSize::from_bytes(256 * 1024), ..Default::default() },
+        SwitchConfig {
+            buffer: ByteSize::from_bytes(256 * 1024),
+            ..Default::default()
+        },
         Box::new(prog),
     )));
     let gen = b.add_node(Box::new(TrafficGenNode::new(
         "gen",
-        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 1000, Rate::from_gbps(30), count),
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            flow,
+            1000,
+            Rate::from_gbps(30),
+            count,
+        ),
     )));
     let sink = b.add_node(Box::new(SinkNode::new("sink")));
     b.connect(switch, PortId(0), gen, PortId(0), LinkSpec::testbed_40g());
@@ -84,7 +92,7 @@ fn probe(start_store: u64, resume_load: u64) -> ProbeOut {
     let sink = sim.node::<SinkNode>(sink);
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
     let s = sw.program::<PacketBufferProgram>().stats();
-    let lat = sink.latency.summarize();
+    let lat = sink.latency.summarize().expect("sink received no packets");
     ProbeOut {
         direct: s.direct,
         stored: s.stored,
@@ -110,7 +118,11 @@ fn main() {
     ] {
         let r = probe(start, resume);
         rows.push(vec![
-            if start == u64::MAX { "off".into() } else { (start / 1000).to_string() },
+            if start == u64::MAX {
+                "off".into()
+            } else {
+                (start / 1000).to_string()
+            },
             r.direct.to_string(),
             r.stored.to_string(),
             r.delivered.to_string(),
@@ -123,7 +135,17 @@ fn main() {
     }
     print_table(
         "store-threshold sweep",
-        &["start KB", "direct", "detoured", "delivered", "drops", "lost", "reorders", "median us", "p99 us"],
+        &[
+            "start KB",
+            "direct",
+            "detoured",
+            "delivered",
+            "drops",
+            "lost",
+            "reorders",
+            "median us",
+            "p99 us",
+        ],
         &rows,
     );
     println!("\nexpectations: lower thresholds detour more and protect the local buffer;");

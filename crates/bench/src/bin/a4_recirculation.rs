@@ -31,7 +31,12 @@ fn main() {
                 seed: 81,
                 ..Default::default()
             });
-            assert_eq!(r.delivered, r.sent, "lost packets in {} mode", mode(recirculate));
+            assert_eq!(
+                r.delivered,
+                r.sent,
+                "lost packets in {} mode",
+                mode(recirculate)
+            );
             rows.push(vec![
                 frame.to_string(),
                 mode(recirculate).into(),

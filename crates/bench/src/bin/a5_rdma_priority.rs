@@ -33,12 +33,7 @@ struct Out {
 fn probe(high_priority: bool) -> Out {
     let count = 1_500u64;
     let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
-    let channel = RdmaChannel::setup_relaxed(
-        switch_endpoint(),
-        PortId(2),
-        &mut nic,
-        ByteSize::from_mb(8),
-    );
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_mb(8));
     let mut fib = Fib::new(8);
     fib.install(host_mac(0), PortId(0));
     fib.install(host_mac(1), PortId(1));
@@ -49,7 +44,10 @@ fn probe(high_priority: bool) -> Out {
         vec![channel],
         PortId(1),
         2048,
-        Mode::Auto { start_store_qbytes: 8_000, resume_load_qbytes: 4_000 },
+        Mode::Auto {
+            start_store_qbytes: 8_000,
+            resume_load_qbytes: 4_000,
+        },
         8,
         TimeDelta::from_micros(100),
     );
@@ -103,7 +101,13 @@ fn probe(high_priority: bool) -> Out {
         LinkSpec::new(Rate::from_gbps(10), TimeDelta::from_nanos(300)),
     );
     let server = b.add_node(Box::new(nic));
-    b.connect(switch, PortId(2), server, PortId(0), LinkSpec::testbed_40g());
+    b.connect(
+        switch,
+        PortId(2),
+        server,
+        PortId(0),
+        LinkSpec::testbed_40g(),
+    );
     b.connect(switch, PortId(3), bulk, PortId(0), LinkSpec::testbed_40g());
 
     let mut sim = b.build();
@@ -114,7 +118,7 @@ fn probe(high_priority: bool) -> Out {
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
     let s = sw.program::<PacketBufferProgram>().stats();
     let victim = sim.node::<SinkNode>(victim);
-    let lat = victim.latency.summarize();
+    let lat = victim.latency.summarize().expect("victim received no packets");
     Out {
         detoured: s.stored,
         lost_entries: s.lost_entries,

@@ -30,7 +30,13 @@ fn main() {
         }
         print_table(
             &format!("zipf skew = {skew}"),
-            &["cache entries", "switch-served frac", "remote GETs", "median RTT us", "p99 RTT us"],
+            &[
+                "cache entries",
+                "switch-served frac",
+                "remote GETs",
+                "median RTT us",
+                "p99 RTT us",
+            ],
             &rows,
         );
     }

@@ -24,23 +24,22 @@ fn probe(batch: usize) -> (u64, u64, f64, f64) {
     let frame = 256usize;
     let offered = Rate::from_gbps(30);
     let mut nic = RnicNode::new("tracesrv", RnicConfig::at(host_endpoint(2)));
-    let channel = RdmaChannel::setup(
-        switch_endpoint(),
-        PortId(2),
-        &mut nic,
-        ByteSize::from_mb(4),
-    );
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_mb(4));
     let (rkey, base) = (channel.rkey, channel.base_va);
     let mut fib = Fib::new(8);
     fib.install(host_mac(0), PortId(0));
     fib.install(host_mac(1), PortId(1));
     let prog = TraceStoreProgram::new(fib, channel, batch, TimeDelta::from_micros(20));
 
-    let flows: Vec<FiveTuple> =
-        (0..8).map(|i| FiveTuple::new(host_ip(0), host_ip(1), 20_000 + i, 9_000, 17)).collect();
+    let flows: Vec<FiveTuple> = (0..8)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 20_000 + i, 9_000, 17))
+        .collect();
     let mut b = SimBuilder::new(41);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let gen = b.add_node(Box::new(TrafficGenNode::new(
         "gen",
         WorkloadSpec {
@@ -65,7 +64,8 @@ fn probe(batch: usize) -> (u64, u64, f64, f64) {
 
     let mut sim = b.build();
     sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
-    let workload = TimeDelta::from_secs_f64(count as f64 * frame as f64 * 8.0 / offered.bps() as f64);
+    let workload =
+        TimeDelta::from_secs_f64(count as f64 * frame as f64 * 8.0 / offered.bps() as f64);
     sim.run_until(Time::ZERO + workload + TimeDelta::from_millis(2));
 
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
@@ -83,7 +83,12 @@ fn probe(batch: usize) -> (u64, u64, f64, f64) {
         .enumerate()
         .filter(|(i, r)| r.seq == *i as u64 && r.frame_len != 0)
         .count() as u64;
-    (stats.captured, stats.writes, bw.gbps_f64(), landed as f64 / count as f64)
+    (
+        stats.captured,
+        stats.writes,
+        bw.gbps_f64(),
+        landed as f64 / count as f64,
+    )
 }
 
 fn main() {
@@ -104,7 +109,13 @@ fn main() {
     }
     print_table(
         "capture bandwidth vs batch size",
-        &["records/WRITE", "captured", "WRITEs", "capture Gbps", "records landed"],
+        &[
+            "records/WRITE",
+            "captured",
+            "WRITEs",
+            "capture Gbps",
+            "records landed",
+        ],
         &rows,
     );
     println!("\nper-packet WRITEs (batch 1) exceed the RNIC's ~9.5 M msg/s at this packet");

@@ -26,7 +26,15 @@ const CACHE: usize = 16;
 
 fn flows() -> Vec<FiveTuple> {
     (0..N_FLOWS)
-        .map(|v| FiveTuple::new(host_ip(0), 0x0a01_0000 + v as u32, 40_000 + v as u16, 80, 17))
+        .map(|v| {
+            FiveTuple::new(
+                host_ip(0),
+                0x0a01_0000 + v as u32,
+                40_000 + v as u16,
+                80,
+                17,
+            )
+        })
         .collect()
 }
 
@@ -36,20 +44,18 @@ fn run_slowpath(skew: f64, cpu_us: u64, seed: u64) -> (f64, f64, u64, u64, u64) 
     let mut fib = Fib::new(8);
     fib.install(host_mac(0), PortId(0));
     fib.install(host_mac(1), PortId(1));
-    let mut prog = CpuSlowPathProgram::new(
-        fib,
-        Some(CACHE),
-        TimeDelta::from_micros(cpu_us),
-        1024,
-    );
+    let mut prog = CpuSlowPathProgram::new(fib, Some(CACHE), TimeDelta::from_micros(cpu_us), 1024);
     for f in flows() {
         let mut act = ActionEntry::set_dscp(46);
         act.port_override = Some(PortId(1));
         prog.install(f, act);
     }
     let mut b = SimBuilder::new(seed);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let gen = b.add_node(Box::new(TrafficGenNode::new(
         "client",
         WorkloadSpec {
@@ -76,10 +82,16 @@ fn run_slowpath(skew: f64, cpu_us: u64, seed: u64) -> (f64, f64, u64, u64, u64) 
     sim.run_until(Time::from_millis(50));
     let sink = sim.node::<SinkNode>(server);
     assert_eq!(sink.dscp_mismatch, 0);
-    let lat = sink.latency.summarize();
+    let lat = sink.latency.summarize().expect("sink received no packets");
     let sw: &SwitchNode = sim.node(switch);
     let s = sw.program::<CpuSlowPathProgram>().stats();
-    (lat.median.as_micros_f64(), lat.p99.as_micros_f64(), sink.received, s.punts, s.punt_drops)
+    (
+        lat.median.as_micros_f64(),
+        lat.p99.as_micros_f64(),
+        sink.received,
+        s.punts,
+        s.punt_drops,
+    )
 }
 
 /// Run the remote-lookup pipeline on the same workload; returns
@@ -132,7 +144,14 @@ fn main() {
         ]);
         print_table(
             &format!("zipf skew = {skew}"),
-            &["miss path", "median us", "p99 us", "delivered", "misses", "miss drops"],
+            &[
+                "miss path",
+                "median us",
+                "p99 us",
+                "delivered",
+                "misses",
+                "miss drops",
+            ],
             &rows,
         );
     }

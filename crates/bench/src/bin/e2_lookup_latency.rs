@@ -31,7 +31,12 @@ fn main() {
     }
     print_table(
         "median one-way latency (us)",
-        &["pkt size (B)", "baseline L2", "lookup primitive", "overhead"],
+        &[
+            "pkt size (B)",
+            "baseline L2",
+            "lookup primitive",
+            "overhead",
+        ],
         &rows,
     );
 
@@ -50,7 +55,12 @@ fn main() {
     }
     print_table(
         "median round-trip latency, NPtcp-style (us)",
-        &["pkt size (B)", "baseline L2", "lookup primitive", "overhead"],
+        &[
+            "pkt size (B)",
+            "baseline L2",
+            "lookup primitive",
+            "overhead",
+        ],
         &rows,
     );
     println!("\npaper: one-way overhead of 1-2 us across all sizes (Fig 3a);");

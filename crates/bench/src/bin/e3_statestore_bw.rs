@@ -37,7 +37,11 @@ fn main() {
             f2(r.faa_request_bw.gbps_f64()),
             f2(r.faa_response_bw.gbps_f64()),
             f2(r.faa_request_bw.gbps_f64() + r.faa_response_bw.gbps_f64()),
-            if accurate { "100%".into() } else { format!("{}/{}", r.remote_total, r.truth_total) },
+            if accurate {
+                "100%".into()
+            } else {
+                format!("{}/{}", r.remote_total, r.truth_total)
+            },
             f1(r.goodput.gbps_f64()),
         ]);
         assert_eq!(r.server_cpu_packets, 0, "CPU involvement detected!");
@@ -54,5 +58,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("\npaper: ~2.1 Gbps total across sizes, 100% accurate, no goodput degradation (Fig 3b)");
+    println!(
+        "\npaper: ~2.1 Gbps total across sizes, 100% accurate, no goodput degradation (Fig 3b)"
+    );
 }

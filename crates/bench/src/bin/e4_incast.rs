@@ -43,13 +43,19 @@ fn main() {
             "detoured",
             "peak ring",
         ],
-        &[row("baseline (drop-tail)", &baseline), row("remote packet buffer", &remote)],
+        &[
+            row("baseline (drop-tail)", &baseline),
+            row("remote packet buffer", &remote),
+        ],
     );
 
     println!("\npaper §2.1 expectations:");
     println!("  baseline: buffer fills within ~0.34 ms; most of the burst beyond ~12MB drops");
     println!("  remote buffer: zero drops; completion bounded by the 40G drain (>= 10 ms)");
-    assert_eq!(remote.delivered, remote.sent, "remote buffer failed to absorb the burst");
+    assert_eq!(
+        remote.delivered, remote.sent,
+        "remote buffer failed to absorb the burst"
+    );
     assert!(baseline.tm_drops > 0, "baseline unexpectedly lossless");
 
     // Provisioning sweep (CI-scale burst): how many servers does the
@@ -71,7 +77,13 @@ fn main() {
     }
     print_table(
         "provisioning sweep (1/10-scale burst): memory servers vs outcome",
-        &["servers", "delivery ratio", "switch drops", "ring losses/fallbacks", "completion ms"],
+        &[
+            "servers",
+            "delivery ratio",
+            "switch drops",
+            "ring losses/fallbacks",
+            "completion ms",
+        ],
         &rows,
     );
     println!("\nthe knee sits at 8-9 servers, not the naive 280/40 = 7: encapsulation");

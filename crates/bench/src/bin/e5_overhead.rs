@@ -23,25 +23,51 @@ use extmem_wire::roce::{
 use extmem_wire::MacAddr;
 
 fn wire_len(op: Opcode, ext: RoceExt, payload: usize) -> usize {
-    let src = RoceEndpoint { mac: MacAddr::local(1), ip: 1 };
-    let dst = RoceEndpoint { mac: MacAddr::local(2), ip: 2 };
-    RocePacket::new(src, dst, 0x9000, Bth::new(op, QpNum(1), 0), ext, vec![0u8; payload])
-        .build()
-        .expect("encodes")
-        .len()
+    let src = RoceEndpoint {
+        mac: MacAddr::local(1),
+        ip: 1,
+    };
+    let dst = RoceEndpoint {
+        mac: MacAddr::local(2),
+        ip: 2,
+    };
+    RocePacket::new(
+        src,
+        dst,
+        0x9000,
+        Bth::new(op, QpNum(1), 0),
+        ext,
+        vec![0u8; payload],
+    )
+    .build()
+    .expect("encodes")
+    .len()
 }
 
 fn main() {
     println!("E5: §4 overhead accounting (regenerated from the packet codecs)");
 
-    let reth = RoceExt::Reth(Reth { va: 0, rkey: Rkey(1), dma_len: 0 });
+    let reth = RoceExt::Reth(Reth {
+        va: 0,
+        rkey: Rkey(1),
+        dma_len: 0,
+    });
     let write_empty = wire_len(Opcode::WriteOnly, reth, 0);
-    let reth1500 = RoceExt::Reth(Reth { va: 0, rkey: Rkey(1), dma_len: 1500 });
+    let reth1500 = RoceExt::Reth(Reth {
+        va: 0,
+        rkey: Rkey(1),
+        dma_len: 1500,
+    });
     let write_1500 = wire_len(Opcode::WriteOnly, reth1500, 1500);
     let read_req = wire_len(Opcode::ReadRequest, reth, 0);
     let faa = wire_len(
         Opcode::FetchAdd,
-        RoceExt::AtomicEth(AtomicEth { va: 0, rkey: Rkey(1), swap_add: 1, compare: 0 }),
+        RoceExt::AtomicEth(AtomicEth {
+            va: 0,
+            rkey: Rkey(1),
+            swap_add: 1,
+            compare: 0,
+        }),
         0,
     );
 
@@ -68,15 +94,26 @@ fn main() {
             "28".into(),
         ],
     ];
-    print_table("header overhead (bytes)", &["component", "measured", "paper"], &rows);
+    print_table(
+        "header overhead (bytes)",
+        &["component", "measured", "paper"],
+        &rows,
+    );
 
     let rows = vec![
         vec!["RDMA WRITE, empty payload".into(), write_empty.to_string()],
-        vec!["RDMA WRITE, 1500B payload (stored frame)".into(), write_1500.to_string()],
+        vec![
+            "RDMA WRITE, 1500B payload (stored frame)".into(),
+            write_1500.to_string(),
+        ],
         vec!["RDMA READ request".into(), read_req.to_string()],
         vec!["Fetch-and-Add request".into(), faa.to_string()],
     ];
-    print_table("full frame sizes on the wire (bytes, incl. Eth+ICRC)", &["packet", "bytes"], &rows);
+    print_table(
+        "full frame sizes on the wire (bytes, incl. Eth+ICRC)",
+        &["packet", "bytes"],
+        &rows,
+    );
 
     println!(
         "\nper-stored-frame tax: {} B of encapsulation on a 1500 B packet ({:.1}% of link bandwidth)",

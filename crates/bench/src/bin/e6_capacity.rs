@@ -35,19 +35,46 @@ fn main() {
     let counter = 8u64;
 
     let rows = vec![
-        capacity_row("packet buffer (1500B frames)", sram_buffer, remote_buffer, 1500, ring_entry),
-        capacity_row("exact-match table entries", sram_tables, remote_tables, 64, table_entry),
-        capacity_row("64-bit counters", sram_counters, remote_counters, counter, counter),
+        capacity_row(
+            "packet buffer (1500B frames)",
+            sram_buffer,
+            remote_buffer,
+            1500,
+            ring_entry,
+        ),
+        capacity_row(
+            "exact-match table entries",
+            sram_tables,
+            remote_tables,
+            64,
+            table_entry,
+        ),
+        capacity_row(
+            "64-bit counters",
+            sram_counters,
+            remote_counters,
+            counter,
+            counter,
+        ),
     ];
     print_table(
         "capacity: on-chip SRAM vs remote DRAM",
-        &["resource", "SRAM", "entries", "remote DRAM", "entries", "factor"],
+        &[
+            "resource",
+            "SRAM",
+            "entries",
+            "remote DRAM",
+            "entries",
+            "factor",
+        ],
         &rows,
     );
 
     println!("\npaper: buffer x1000 (10MB->10GB), tables x1000+, counters 100MB->100GB class");
     println!("note: remote table/buffer entries cost more bytes than SRAM entries (they embed");
-    println!("the bounced packet / full frame), which is why the factor is below the raw byte ratio.");
+    println!(
+        "the bounced packet / full frame), which is why the factor is below the raw byte ratio."
+    );
 }
 
 fn capacity_row(

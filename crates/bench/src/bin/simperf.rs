@@ -8,8 +8,9 @@ use extmem_bench::simperf::{run_all, to_json_doc};
 use extmem_bench::table::print_table;
 
 fn main() {
-    let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "BENCH_simperf.json".to_string());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_simperf.json".to_string());
 
     let results = run_all();
 
@@ -28,7 +29,14 @@ fn main() {
         .collect();
     print_table(
         "simulator performance",
-        &["scenario", "events", "hop packets", "wall (s)", "events/s", "packets/s"],
+        &[
+            "scenario",
+            "events",
+            "hop packets",
+            "wall (s)",
+            "events/s",
+            "packets/s",
+        ],
         &rows,
     );
 

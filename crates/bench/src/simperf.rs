@@ -1,6 +1,6 @@
 //! Simulator performance harness (the perf-regression gate).
 //!
-//! Four fixed scenarios exercise the hot paths end to end:
+//! Five fixed scenarios exercise the hot paths end to end:
 //!
 //! * `e1_write_read_loop` — the §5 packet-buffer store/drain loop: every
 //!   frame is encapsulated into an RDMA WRITE, ring-buffered on the memory
@@ -12,7 +12,10 @@
 //!   every packet pays a remote READ round trip (READ-response path),
 //! * `faa_storm` — the §4 state-store primitive overdriven past the NIC's
 //!   atomic rate: the outstanding-atomics cap plus local accumulation
-//!   (merge/flush/ACK machinery) alongside line forwarding.
+//!   (merge/flush/ACK machinery) alongside line forwarding,
+//! * `loss_sweep` — the packet-buffer detour over a lossy memory-server
+//!   link at 0.1% and 1% drop: the reliability layer's timeout/retransmit/
+//!   dedup machinery priced on the hot path, with exact recovery asserted.
 //!
 //! Each scenario runs a fixed deterministic workload to quiescence; the
 //! simulated work is therefore constant across runs and machines, and the
@@ -28,9 +31,9 @@ use extmem_core::faa::{FaaConfig, FaaEngine};
 use extmem_core::lookup::{install_remote_action, ActionEntry, LookupTableProgram};
 use extmem_core::packet_buffer::{Mode, PacketBufferProgram, TOKEN_START_LOADING};
 use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
-use extmem_core::{Fib, RdmaChannel};
+use extmem_core::{Fib, RdmaChannel, ReliableConfig};
 use extmem_rnic::{RnicConfig, RnicNode};
-use extmem_sim::{LinkSpec, SimBuilder, Simulator};
+use extmem_sim::{FaultSpec, LinkSpec, SimBuilder, Simulator};
 use extmem_switch::switch::program_token;
 use extmem_switch::{SwitchConfig, SwitchNode};
 use extmem_types::{ByteSize, FiveTuple, PortId, Rate, Time, TimeDelta};
@@ -87,7 +90,11 @@ pub fn to_json_doc(results: &[PerfResult]) -> String {
     out
 }
 
-fn time_run(name: &'static str, sim: &mut Simulator, drive: impl FnOnce(&mut Simulator)) -> PerfResult {
+fn time_run(
+    name: &'static str,
+    sim: &mut Simulator,
+    drive: impl FnOnce(&mut Simulator),
+) -> PerfResult {
     let start = Instant::now();
     drive(sim);
     let wall = start.elapsed().as_secs_f64();
@@ -106,7 +113,7 @@ pub fn e1_write_read_loop(count: u64) -> PerfResult {
     const ENTRY: u64 = 1516;
     let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
     let region = ByteSize::from_bytes((count + 8) * ENTRY);
-    let channel = RdmaChannel::setup_relaxed(switch_endpoint(), PortId(2), &mut nic, region);
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, region);
 
     let mut fib = Fib::new(8);
     fib.install(host_mac(0), PortId(0));
@@ -123,11 +130,21 @@ pub fn e1_write_read_loop(count: u64) -> PerfResult {
 
     let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 9_000, 17);
     let mut b = SimBuilder::new(21);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let gen = b.add_node(Box::new(TrafficGenNode::new(
         "gen",
-        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 1500, Rate::from_gbps(25), count),
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            flow,
+            1500,
+            Rate::from_gbps(25),
+            count,
+        ),
     )));
     let sink = b.add_node(Box::new(SinkNode::new("sink")));
     let link = LinkSpec::testbed_40g();
@@ -144,7 +161,11 @@ pub fn e1_write_read_loop(count: u64) -> PerfResult {
         sim.schedule_timer(switch, TimeDelta::ZERO, program_token(TOKEN_START_LOADING));
         sim.run_to_quiescence();
     });
-    assert_eq!(sim.node::<SinkNode>(sink).received, count, "forward path lost frames");
+    assert_eq!(
+        sim.node::<SinkNode>(sink).received,
+        count,
+        "forward path lost frames"
+    );
     r
 }
 
@@ -184,11 +205,21 @@ pub fn lookup_miss_storm(count: u64) -> PerfResult {
     let prog = LookupTableProgram::new(fib, channel, 2048, None);
 
     let mut b = SimBuilder::new(31);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let gen = b.add_node(Box::new(TrafficGenNode::new(
         "client",
-        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 256, Rate::from_gbps(5), count),
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            flow,
+            256,
+            Rate::from_gbps(5),
+            count,
+        ),
     )));
     let server = b.add_node(Box::new(SinkNode::new("server")));
     let link = LinkSpec::testbed_40g();
@@ -233,8 +264,9 @@ pub fn faa_storm(count: u64) -> PerfResult {
     let engine = FaaEngine::new(channel, FaaConfig::default());
     let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(20));
 
-    let flows: Vec<FiveTuple> =
-        (0..16).map(|i| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 9_000, 17)).collect();
+    let flows: Vec<FiveTuple> = (0..16)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 9_000, 17))
+        .collect();
     let spec = WorkloadSpec {
         src_mac: host_mac(0),
         dst_mac: host_mac(1),
@@ -249,8 +281,11 @@ pub fn faa_storm(count: u64) -> PerfResult {
     };
 
     let mut b = SimBuilder::new(41);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
     let gen = b.add_node(Box::new(TrafficGenNode::new("gen", spec)));
     let sink = b.add_node(Box::new(SinkNode::new("sink")));
     let link = LinkSpec::testbed_40g();
@@ -271,16 +306,129 @@ pub fn faa_storm(count: u64) -> PerfResult {
 
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
     let prog = sw.program::<StateStoreProgram>();
-    assert_eq!(prog.forwarded, count, "telemetry must not cost forwarded packets");
+    assert_eq!(
+        prog.forwarded, count,
+        "telemetry must not cost forwarded packets"
+    );
     assert!(prog.is_quiescent(), "updates still pending at the deadline");
     let stats = prog.faa_stats();
     assert_eq!(stats.updates, count);
-    assert!(stats.merged > 0, "storm must overrun the atomic rate and accumulate: {stats:?}");
+    assert!(
+        stats.merged > 0,
+        "storm must overrun the atomic rate and accumulate: {stats:?}"
+    );
     let nic = sim.node::<RnicNode>(srv);
-    assert_eq!(nic.stats().atomic_overflow_drops, 0, "outstanding cap must protect the NIC");
-    let remote: u64 = read_remote_counters(nic, rkey, base_va, counters).iter().sum();
+    assert_eq!(
+        nic.stats().atomic_overflow_drops,
+        0,
+        "outstanding cap must protect the NIC"
+    );
+    let remote: u64 = read_remote_counters(nic, rkey, base_va, counters)
+        .iter()
+        .sum();
     assert_eq!(remote, count, "settled counters must be exact");
     r
+}
+
+/// Loss sweep: the packet-buffer detour over a lossy memory-server link at
+/// 0.1% and 1% drop, reliable mode. Every drop costs a timeout + go-back-N
+/// retransmission, so this prices the reliability layer's bookkeeping
+/// (outstanding-op tracking, PSN serial arithmetic, dedup) on the hot path.
+/// Each loss point must still recover *exactly* — no lost ring entries, no
+/// failover — or the measurement is meaningless and the run asserts.
+pub fn loss_sweep(count: u64) -> PerfResult {
+    const ENTRY: u64 = 816;
+    let start = Instant::now();
+    let (mut events, mut packets, mut sim_seconds) = (0u64, 0u64, 0f64);
+    for (i, &loss) in [0.001f64, 0.01].iter().enumerate() {
+        let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
+        let channel = RdmaChannel::setup(
+            switch_endpoint(),
+            PortId(2),
+            &mut nic,
+            ByteSize::from_bytes((count + 8) * ENTRY),
+        );
+        let mut fib = Fib::new(8);
+        fib.install(host_mac(0), PortId(0));
+        fib.install(host_mac(1), PortId(1));
+        let prog = PacketBufferProgram::new(
+            fib,
+            vec![channel],
+            PortId(1),
+            ENTRY,
+            Mode::Auto {
+                start_store_qbytes: 4096,
+                resume_load_qbytes: 2048,
+            },
+            8,
+            TimeDelta::from_micros(50),
+        )
+        .with_reliability(ReliableConfig {
+            rto: TimeDelta::from_micros(50),
+            ..Default::default()
+        });
+        let mut b = SimBuilder::new(61 + i as u64);
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
+        let gen = b.add_node(Box::new(TrafficGenNode::new(
+            "gen",
+            WorkloadSpec::simple(
+                host_mac(0),
+                host_mac(1),
+                FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+                800,
+                Rate::from_gbps(30),
+                count,
+            ),
+        )));
+        let sink = b.add_node(Box::new(SinkNode::new("sink")));
+        b.connect(switch, PortId(0), gen, PortId(0), LinkSpec::testbed_40g());
+        // A 10 G drain port keeps the detour engaged for the whole run.
+        b.connect(
+            switch,
+            PortId(1),
+            sink,
+            PortId(0),
+            LinkSpec::new(Rate::from_gbps(10), TimeDelta::from_nanos(300)),
+        );
+        let server = b.add_node(Box::new(nic));
+        let mut lossy = LinkSpec::testbed_40g();
+        lossy.faults = FaultSpec::drop(loss);
+        b.connect(switch, PortId(2), server, PortId(0), lossy);
+        let mut sim = b.build();
+        sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+        let drain_time = TimeDelta::from_secs_f64(count as f64 * 800.0 * 8.0 / 10e9);
+        sim.run_until(Time::ZERO + drain_time + TimeDelta::from_millis(10));
+
+        let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
+        let s = sw.program::<PacketBufferProgram>().stats();
+        assert!(s.stored > 0, "loss={loss}: the detour was never exercised");
+        assert!(
+            s.channel.retransmits > 0,
+            "loss={loss}: loss never bit: {s:?}"
+        );
+        assert!(!s.channel.failed_over, "loss={loss}: failed over: {s:?}");
+        assert_eq!(s.lost_entries, 0, "loss={loss}: lost ring entries: {s:?}");
+        assert_eq!(s.loaded, s.stored, "loss={loss}: ring did not drain: {s:?}");
+        assert_eq!(
+            sim.node::<SinkNode>(sink).received,
+            count,
+            "loss={loss}: recovery must be exact"
+        );
+        events += sim.events_processed();
+        packets += sim.packets_delivered();
+        sim_seconds += sim.now().saturating_since(Time::ZERO).as_secs_f64();
+    }
+    PerfResult {
+        name: "loss_sweep",
+        events,
+        packets,
+        sim_seconds,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
 }
 
 /// Repetitions per scenario in [`run_all`]; the fastest is reported, which
@@ -301,6 +449,7 @@ pub fn run_all() -> Vec<PerfResult> {
         best_of(REPS, incast_scenario),
         best_of(REPS, || lookup_miss_storm(8_000)),
         best_of(REPS, || faa_storm(40_000)),
+        best_of(REPS, || loss_sweep(6_000)),
     ]
 }
 
@@ -311,7 +460,12 @@ mod tests {
     #[test]
     fn scenarios_run_and_report() {
         // Smoke at reduced scale: sane counters and well-formed JSON.
-        let results = vec![e1_write_read_loop(500), lookup_miss_storm(300), faa_storm(2_000)];
+        let results = vec![
+            e1_write_read_loop(500),
+            lookup_miss_storm(300),
+            faa_storm(2_000),
+            loss_sweep(600),
+        ];
         for r in &results {
             assert!(r.events > 0 && r.packets > 0, "{r:?}");
             assert!(r.sim_seconds > 0.0 && r.wall_seconds > 0.0, "{r:?}");

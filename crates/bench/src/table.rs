@@ -14,8 +14,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let render = |cells: Vec<&str>| {
-        let line: Vec<String> =
-            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
         println!("  {}", line.join("  "));
     };
     render(headers.to_vec());

@@ -12,8 +12,12 @@
 
 use extmem_rnic::requester::RequesterQp;
 use extmem_rnic::RnicNode;
-use extmem_types::{ByteSize, PortId, QpNum, Rkey};
-use extmem_wire::roce::RoceEndpoint;
+use extmem_switch::SwitchCtx;
+use extmem_types::{ByteSize, PortId, QpNum, Rkey, Time, TimeDelta};
+use extmem_wire::bth::{psn_add, psn_before, Opcode};
+use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
+use extmem_wire::Payload;
+use std::collections::VecDeque;
 
 /// Everything the switch data plane needs to use one remote memory region:
 /// the paper's `(QPN, base address, Rkey)` triple plus the requester-side
@@ -68,9 +72,12 @@ impl RdmaChannel {
         Self::setup_with(switch_endpoint, server_port, nic, region_size, false)
     }
 
-    /// [`RdmaChannel::setup`] over a best-effort (relaxed-PSN) QP — the
-    /// flavour the packet-buffer primitive uses so that lost RDMA packets
-    /// degrade to lost payload packets instead of wedging the channel (§7).
+    /// [`RdmaChannel::setup`] over a best-effort (relaxed-PSN) QP: the
+    /// responder accepts any PSN, so lost RDMA packets degrade to lost data
+    /// instead of NAKs. The shipping primitives no longer use this — they
+    /// run [`ReliableChannel`] over a strict QP and retransmit — but it
+    /// remains the substrate for best-effort experiments (§7 discusses the
+    /// trade-off).
     pub fn setup_relaxed(
         switch_endpoint: RoceEndpoint,
         server_port: PortId,
@@ -78,6 +85,29 @@ impl RdmaChannel {
         region_size: ByteSize,
     ) -> RdmaChannel {
         Self::setup_with(switch_endpoint, server_port, nic, region_size, true)
+    }
+
+    /// [`RdmaChannel::setup`] starting the PSN sequence at `start_psn`
+    /// instead of 0 — used by the wrap-around tests to exercise 24-bit PSN
+    /// arithmetic near `2^24` without issuing sixteen million requests.
+    pub fn setup_at_psn(
+        switch_endpoint: RoceEndpoint,
+        server_port: PortId,
+        nic: &mut RnicNode,
+        region_size: ByteSize,
+        start_psn: u32,
+    ) -> RdmaChannel {
+        let (rkey, base_va) = nic.register_region(region_size);
+        let qpn = nic.create_qp_with(switch_endpoint, SWITCH_QPN, start_psn, false);
+        let mut qp = RequesterQp::new(switch_endpoint, nic.endpoint(), qpn, nic.mtu());
+        qp.npsn = start_psn;
+        RdmaChannel {
+            qp,
+            rkey,
+            base_va,
+            region_len: region_size.bytes(),
+            server_port,
+        }
     }
 
     fn setup_with(
@@ -99,6 +129,770 @@ impl RdmaChannel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Requester-side reliability layer (§7: retry, resynchronize, degrade).
+// ---------------------------------------------------------------------------
+
+/// Reliability policy for a [`ReliableChannel`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReliableConfig {
+    /// Base retransmission timeout; the effective timeout is
+    /// `rto << backoff_level` (exponential backoff).
+    pub rto: TimeDelta,
+    /// Timeout rounds before the channel declares itself failed and
+    /// degrades to local-only operation (reliable mode only).
+    pub max_retries: u32,
+    /// Cap on the backoff shift, bounding the effective timeout at
+    /// `rto << max_backoff_level`.
+    pub max_backoff_level: u32,
+    /// `true`: retransmit on NAK/timeout until `max_retries`, then fail
+    /// over. `false`: best-effort — ops age out past the RTO and NAKs fail
+    /// everything in flight (the caller absorbs the loss), but the channel
+    /// itself never fails over.
+    pub reliable: bool,
+    /// Send requests through the high-priority queue (packet-buffer detour
+    /// traffic uses this so RDMA is not stuck behind the very congestion it
+    /// is trying to relieve).
+    pub high_priority: bool,
+    /// Transmit-window cap (reliable mode only): at most this many ops in
+    /// flight at once; further ops queue inside the channel and go out as
+    /// the window drains. This is what bounds a go-back-N volley — an
+    /// unbounded window lets one loss trigger a retransmission burst that
+    /// takes longer to serialize than the RTO, which re-times-out and
+    /// snowballs into a storm (real QPs are bounded the same way, by their
+    /// WQE count). Best-effort channels ignore it: with no retransmission
+    /// there is no volley to bound, and windowing would flow-control a
+    /// path whose whole point is to fire at line rate and let the server
+    /// ceiling show as loss.
+    pub max_window: usize,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            rto: TimeDelta::from_micros(100),
+            max_retries: 8,
+            max_backoff_level: 4,
+            reliable: true,
+            high_priority: false,
+            max_window: 64,
+        }
+    }
+}
+
+impl ReliableConfig {
+    /// Best-effort flavour: age-out instead of retransmit, never fails over.
+    pub fn best_effort(rto: TimeDelta) -> ReliableConfig {
+        ReliableConfig {
+            rto,
+            reliable: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-channel reliability counters, surfaced through each primitive's
+/// stats struct.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Ops issued (first transmission only).
+    pub ops_issued: u64,
+    /// Acknowledgements consumed (plain + atomic).
+    pub acks: u64,
+    /// NAKs consumed.
+    pub naks: u64,
+    /// Request packets retransmitted (NAK- and timeout-triggered).
+    pub retransmits: u64,
+    /// Timeout rounds fired.
+    pub timeouts: u64,
+    /// Response packets that matched no outstanding op (duplicates of
+    /// already-completed work) and were dropped instead of double-applied.
+    pub duplicate_drops: u64,
+    /// Best-effort ops dropped because their RTO expired.
+    pub aged_out: u64,
+    /// NAKs that repeated an epoch's expected PSN and did not trigger
+    /// another go-back-N volley (every out-of-sequence packet behind one
+    /// loss draws its own NAK; one volley answers them all).
+    pub naks_suppressed: u64,
+    /// Current backoff shift level.
+    pub backoff_level: u32,
+    /// High-water mark of the backoff shift level.
+    pub max_backoff_level: u32,
+    /// Whether the channel gave up and degraded to local-only operation.
+    pub failed_over: bool,
+}
+
+impl ChannelStats {
+    /// Aggregate counters across channels (multi-channel primitives).
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.ops_issued += other.ops_issued;
+        self.acks += other.acks;
+        self.naks += other.naks;
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
+        self.duplicate_drops += other.duplicate_drops;
+        self.aged_out += other.aged_out;
+        self.naks_suppressed += other.naks_suppressed;
+        self.backoff_level = self.backoff_level.max(other.backoff_level);
+        self.max_backoff_level = self.max_backoff_level.max(other.max_backoff_level);
+        self.failed_over |= other.failed_over;
+    }
+}
+
+/// Completion (or failure) of an op issued through a [`ReliableChannel`],
+/// tagged with the caller-chosen cookie. `Failed` is the graceful-
+/// degradation signal: the channel gave up and the primitive must fall back
+/// to local-only operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChannelEvent {
+    /// A WRITE was acknowledged (explicitly or implicitly).
+    WriteDone {
+        /// The cookie passed to [`ReliableChannel::write`].
+        cookie: u64,
+    },
+    /// A READ's full response arrived.
+    ReadDone {
+        /// The cookie passed to [`ReliableChannel::read`].
+        cookie: u64,
+        /// The reassembled response bytes (zero-copy for single-packet
+        /// responses — the common case).
+        data: Payload,
+    },
+    /// A Fetch-and-Add was acknowledged.
+    AtomicDone {
+        /// The cookie passed to [`ReliableChannel::fetch_add`].
+        cookie: u64,
+    },
+    /// The op was abandoned: aged out (best-effort), failed by a NAK
+    /// (best-effort), or in flight when the channel failed over.
+    OpFailed {
+        /// The cookie of the abandoned op.
+        cookie: u64,
+    },
+    /// The retry cap was exhausted; the channel is now failed and accepts
+    /// no further ops. Emitted once, after the per-op `OpFailed` events.
+    Failed,
+}
+
+/// What an outstanding op needs to be retransmitted and completed.
+#[derive(Clone, Debug)]
+enum OpKind {
+    Write {
+        va: u64,
+        payload: Payload,
+        ack_req: bool,
+    },
+    Read {
+        va: u64,
+        len: u32,
+        got: Vec<Option<Payload>>,
+    },
+    Atomic {
+        va: u64,
+        add: u64,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Outstanding {
+    /// PSN of the request packet (first response PSN for READs).
+    first_psn: u32,
+    /// PSNs consumed: 1 for WRITE/atomic, response-packet count for READs.
+    span: u32,
+    cookie: u64,
+    sent_at: Time,
+    kind: OpKind,
+}
+
+/// An op accepted while the transmit window was full: parked here with no
+/// PSN yet (PSNs are assigned at first transmission, so queued ops stay
+/// behind every in-flight op in sequence space).
+#[derive(Clone, Debug)]
+struct QueuedOp {
+    cookie: u64,
+    kind: OpKind,
+}
+
+impl Outstanding {
+    fn last_psn(&self) -> u32 {
+        psn_add(self.first_psn, self.span - 1)
+    }
+}
+
+/// Wrap-aware `a <= b` on 24-bit PSNs.
+fn psn_at_or_before(a: u32, b: u32) -> bool {
+    a == b || psn_before(a, b)
+}
+
+/// The requester-side reliability layer every primitive shares: tracks
+/// outstanding ops by PSN (24-bit wrap-aware), retransmits on NAK and on an
+/// exponential-backoff timer, deduplicates replayed responses, and past the
+/// retry cap fails over so the primitive can degrade to local-only
+/// operation instead of stalling forever (§7).
+///
+/// Completions are delivered as [`ChannelEvent`]s pushed onto the `events`
+/// buffer passed to [`ReliableChannel::on_roce`] / [`ReliableChannel::on_tick`];
+/// the cookie is caller-chosen and opaque to the channel.
+#[derive(Debug)]
+pub struct ReliableChannel {
+    inner: RdmaChannel,
+    config: ReliableConfig,
+    /// In-flight ops in issue order (PSN order, wrap-aware).
+    outstanding: VecDeque<Outstanding>,
+    /// Ops accepted past the window cap, awaiting transmission.
+    queue: VecDeque<QueuedOp>,
+    /// Current backoff shift; resets on any progress from the responder.
+    backoff_level: u32,
+    /// Timeout rounds since the last progress.
+    retries: u32,
+    /// Expected PSN of the last NAK answered with a go-back-N volley;
+    /// repeats of it are suppressed (one volley per loss epoch).
+    nak_epoch: Option<u32>,
+    failed: bool,
+    stats: ChannelStats,
+}
+
+impl ReliableChannel {
+    /// Wrap `channel` in the reliability layer.
+    pub fn new(channel: RdmaChannel, config: ReliableConfig) -> ReliableChannel {
+        assert!(config.max_window > 0, "window cap must admit at least one op");
+        ReliableChannel {
+            inner: channel,
+            config,
+            outstanding: VecDeque::new(),
+            queue: VecDeque::new(),
+            backoff_level: 0,
+            retries: 0,
+            nak_epoch: None,
+            failed: false,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The wrapped channel (region triple, server port, QP state).
+    pub fn inner(&self) -> &RdmaChannel {
+        &self.inner
+    }
+
+    /// The active reliability policy.
+    pub fn config(&self) -> ReliableConfig {
+        self.config
+    }
+
+    /// Replace the reliability policy. Only valid while nothing is in
+    /// flight (primitives expose this as a pre-traffic builder knob).
+    pub fn set_config(&mut self, config: ReliableConfig) {
+        assert!(
+            self.outstanding.is_empty() && self.queue.is_empty() && !self.failed,
+            "reconfigure an idle channel"
+        );
+        assert!(config.max_window > 0, "window cap must admit at least one op");
+        self.config = config;
+    }
+
+    /// Remote access key of the region.
+    pub fn rkey(&self) -> Rkey {
+        self.inner.rkey
+    }
+
+    /// Base virtual address of the region.
+    pub fn base_va(&self) -> u64 {
+        self.inner.base_va
+    }
+
+    /// Region length in bytes.
+    pub fn region_len(&self) -> u64 {
+        self.inner.region_len
+    }
+
+    /// The switch port the memory server hangs off.
+    pub fn server_port(&self) -> PortId {
+        self.inner.server_port
+    }
+
+    /// Reliability counters.
+    pub fn stats(&self) -> ChannelStats {
+        let mut s = self.stats;
+        s.backoff_level = self.backoff_level.min(self.config.max_backoff_level);
+        s
+    }
+
+    /// Whether the channel has failed over (degraded to local-only).
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Ops in flight.
+    pub fn outstanding_len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Ops accepted but still parked behind the transmit window.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the retransmission timer needs to keep running.
+    pub fn needs_tick(&self) -> bool {
+        !self.failed && (!self.outstanding.is_empty() || !self.queue.is_empty())
+    }
+
+    fn transmit(&self, ctx: &mut SwitchCtx<'_, '_, '_>, req: &RocePacket) {
+        let pkt = req.build().expect("RDMA request encodes");
+        if self.config.high_priority {
+            ctx.enqueue_high(self.inner.server_port, pkt);
+        } else {
+            ctx.enqueue(self.inner.server_port, pkt);
+        }
+    }
+
+    /// Issue a single-packet WRITE of `payload` at `va`. With `ack_req` the
+    /// responder acknowledges it explicitly (loss is then recoverable even
+    /// if no later op completes behind it). Returns `false` — op not sent —
+    /// once the channel has failed over.
+    pub fn write(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        va: u64,
+        payload: impl Into<Payload>,
+        ack_req: bool,
+        cookie: u64,
+    ) -> bool {
+        let payload = payload.into();
+        self.accept(
+            ctx,
+            cookie,
+            OpKind::Write {
+                va,
+                payload,
+                ack_req,
+            },
+        )
+    }
+
+    /// Issue a READ of `len` bytes at `va`. Returns `false` once failed over.
+    pub fn read(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        va: u64,
+        len: u32,
+        cookie: u64,
+    ) -> bool {
+        self.accept(
+            ctx,
+            cookie,
+            OpKind::Read {
+                va,
+                len,
+                got: Vec::new(),
+            },
+        )
+    }
+
+    /// Issue an atomic Fetch-and-Add of `add` at `va`. Returns `false` once
+    /// failed over.
+    pub fn fetch_add(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        va: u64,
+        add: u64,
+        cookie: u64,
+    ) -> bool {
+        self.accept(ctx, cookie, OpKind::Atomic { va, add })
+    }
+
+    /// Admit an op: transmit immediately while the window has room, park it
+    /// in the queue otherwise (queued ops launch as the window drains, in
+    /// acceptance order). Best-effort channels skip the window entirely.
+    /// Returns `false` — op not accepted — only once the channel has
+    /// failed over.
+    fn accept(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, cookie: u64, kind: OpKind) -> bool {
+        if self.failed {
+            return false;
+        }
+        self.stats.ops_issued += 1;
+        if self.config.reliable
+            && (self.outstanding.len() >= self.config.max_window || !self.queue.is_empty())
+        {
+            self.queue.push_back(QueuedOp { cookie, kind });
+        } else {
+            self.launch(ctx, cookie, kind);
+        }
+        true
+    }
+
+    /// First transmission of an op: assign its PSN(s), record it
+    /// outstanding, and put the request on the wire.
+    fn launch(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, cookie: u64, kind: OpKind) {
+        let (req, span, kind) = match kind {
+            OpKind::Write {
+                va,
+                payload,
+                ack_req,
+            } => (
+                self.inner
+                    .qp
+                    .write_only(self.inner.rkey, va, payload.clone(), ack_req),
+                1,
+                OpKind::Write {
+                    va,
+                    payload,
+                    ack_req,
+                },
+            ),
+            OpKind::Read { va, len, .. } => {
+                let span = self.inner.qp.read_span(len);
+                (
+                    self.inner.qp.read(self.inner.rkey, va, len),
+                    span,
+                    OpKind::Read {
+                        va,
+                        len,
+                        got: vec![None; span as usize],
+                    },
+                )
+            }
+            OpKind::Atomic { va, add } => (
+                self.inner.qp.fetch_add(self.inner.rkey, va, add),
+                1,
+                OpKind::Atomic { va, add },
+            ),
+        };
+        self.outstanding.push_back(Outstanding {
+            first_psn: req.bth.psn,
+            span,
+            cookie,
+            sent_at: ctx.now(),
+            kind,
+        });
+        self.transmit(ctx, &req);
+    }
+
+    /// Launch queued ops into whatever room the window now has.
+    fn pump_queue(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        while !self.failed
+            && self.outstanding.len() < self.config.max_window
+            && !self.queue.is_empty()
+        {
+            let q = self.queue.pop_front().unwrap();
+            self.launch(ctx, q.cookie, q.kind);
+        }
+    }
+
+    /// Feed a RoCE packet from the memory server. Returns `true` if it was
+    /// a response belonging to this channel's QP flow (completions and
+    /// failures are appended to `events`).
+    pub fn on_roce(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        roce: &RocePacket,
+        events: &mut Vec<ChannelEvent>,
+    ) -> bool {
+        let consumed = match roce.bth.opcode {
+            Opcode::ReadRespFirst
+            | Opcode::ReadRespMiddle
+            | Opcode::ReadRespLast
+            | Opcode::ReadRespOnly => {
+                self.on_read_resp(roce, events);
+                true
+            }
+            Opcode::AtomicAcknowledge => {
+                self.on_atomic_ack(roce.bth.psn, events);
+                true
+            }
+            Opcode::Acknowledge => {
+                let RoceExt::Aeth(aeth) = roce.ext else {
+                    return false;
+                };
+                if aeth.is_ack() {
+                    self.on_ack(roce.bth.psn, events);
+                } else {
+                    self.on_nak(ctx, roce.bth.psn, events);
+                }
+                true
+            }
+            _ => false,
+        };
+        if consumed {
+            self.pump_queue(ctx);
+        }
+        consumed
+    }
+
+    /// Any valid response is progress: the responder is alive and moving.
+    fn progress(&mut self) {
+        self.backoff_level = 0;
+        self.retries = 0;
+        self.nak_epoch = None;
+    }
+
+    /// Complete and remove the op at `idx`, plus every *earlier* WRITE and
+    /// atomic (the in-order responder must have executed them for this
+    /// response to exist). Earlier READs stay outstanding: their data may
+    /// still be in flight — or lost, in which case the timer re-reads them.
+    fn complete_at(&mut self, idx: usize, events: &mut Vec<ChannelEvent>) {
+        let mut i = 0;
+        for _ in 0..idx {
+            if matches!(self.outstanding[i].kind, OpKind::Read { .. }) {
+                i += 1;
+                continue;
+            }
+            let op = self.outstanding.remove(i).unwrap();
+            events.push(match op.kind {
+                OpKind::Write { .. } => ChannelEvent::WriteDone { cookie: op.cookie },
+                _ => ChannelEvent::AtomicDone { cookie: op.cookie },
+            });
+        }
+        let op = self.outstanding.remove(i).unwrap();
+        events.push(match op.kind {
+            OpKind::Write { .. } => ChannelEvent::WriteDone { cookie: op.cookie },
+            OpKind::Atomic { .. } => ChannelEvent::AtomicDone { cookie: op.cookie },
+            OpKind::Read { mut got, .. } => {
+                let data = if got.len() == 1 {
+                    // Single-packet response: hand back the shared buffer.
+                    got.pop().unwrap().expect("complete READ has all chunks")
+                } else {
+                    let mut buf = Vec::new();
+                    for chunk in got {
+                        buf.extend_from_slice(&chunk.expect("complete READ has all chunks"));
+                    }
+                    Payload::from_vec(buf)
+                };
+                ChannelEvent::ReadDone {
+                    cookie: op.cookie,
+                    data,
+                }
+            }
+        });
+    }
+
+    fn on_read_resp(&mut self, roce: &RocePacket, events: &mut Vec<ChannelEvent>) {
+        let psn = roce.bth.psn;
+        let pos = self.outstanding.iter().position(|op| {
+            matches!(op.kind, OpKind::Read { .. })
+                && !psn_before(psn, op.first_psn)
+                && psn_before(psn, psn_add(op.first_psn, op.span))
+        });
+        let Some(pos) = pos else {
+            // A replayed duplicate of a READ already completed: drop it
+            // rather than double-applying the data.
+            self.stats.duplicate_drops += 1;
+            return;
+        };
+        self.progress();
+        let op = &mut self.outstanding[pos];
+        let chunk = psn.wrapping_sub(op.first_psn) & 0x00ff_ffff;
+        let complete = {
+            let OpKind::Read { got, .. } = &mut op.kind else {
+                unreachable!()
+            };
+            got[chunk as usize] = Some(roce.payload.clone());
+            got.iter().all(|c| c.is_some())
+        };
+        if complete {
+            self.complete_at(pos, events);
+        }
+    }
+
+    fn on_atomic_ack(&mut self, psn: u32, events: &mut Vec<ChannelEvent>) {
+        self.stats.acks += 1;
+        let pos = self
+            .outstanding
+            .iter()
+            .position(|op| matches!(op.kind, OpKind::Atomic { .. }) && op.first_psn == psn);
+        let Some(pos) = pos else {
+            self.stats.duplicate_drops += 1;
+            return;
+        };
+        self.progress();
+        self.complete_at(pos, events);
+    }
+
+    /// A plain ACK of `psn` acknowledges every op through `psn`. WRITEs and
+    /// atomics covered by it complete; READs do not — an ACK proves the
+    /// responder *sent* their data, not that it arrived.
+    fn on_ack(&mut self, psn: u32, events: &mut Vec<ChannelEvent>) {
+        self.stats.acks += 1;
+        if !self
+            .outstanding
+            .iter()
+            .any(|op| psn_at_or_before(op.last_psn(), psn))
+        {
+            self.stats.duplicate_drops += 1;
+            return;
+        }
+        self.progress();
+        let mut idx = 0;
+        while idx < self.outstanding.len() {
+            let op = &self.outstanding[idx];
+            if !psn_at_or_before(op.last_psn(), psn) {
+                break;
+            }
+            match op.kind {
+                OpKind::Read { .. } => idx += 1,
+                OpKind::Write { .. } => {
+                    let op = self.outstanding.remove(idx).unwrap();
+                    events.push(ChannelEvent::WriteDone { cookie: op.cookie });
+                }
+                OpKind::Atomic { .. } => {
+                    let op = self.outstanding.remove(idx).unwrap();
+                    events.push(ChannelEvent::AtomicDone { cookie: op.cookie });
+                }
+            }
+        }
+    }
+
+    /// The responder NAKed: its `epsn` (carried in the NAK's PSN field)
+    /// names the next request it expects. Reliable mode replays everything
+    /// still outstanding under the original PSNs; best-effort mode fails
+    /// the in-flight ops and resynchronizes the sequence instead.
+    fn on_nak(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        epsn: u32,
+        events: &mut Vec<ChannelEvent>,
+    ) {
+        self.stats.naks += 1;
+        if self.config.reliable {
+            // Ops fully before the responder's expected PSN were executed;
+            // complete the WRITEs/atomics among them (READ data may still
+            // be lost — the timer covers those).
+            let mut idx = 0;
+            while idx < self.outstanding.len() {
+                let op = &self.outstanding[idx];
+                if !psn_before(op.last_psn(), epsn) {
+                    break;
+                }
+                match op.kind {
+                    OpKind::Read { .. } => idx += 1,
+                    OpKind::Write { .. } => {
+                        let op = self.outstanding.remove(idx).unwrap();
+                        events.push(ChannelEvent::WriteDone { cookie: op.cookie });
+                    }
+                    OpKind::Atomic { .. } => {
+                        let op = self.outstanding.remove(idx).unwrap();
+                        events.push(ChannelEvent::AtomicDone { cookie: op.cookie });
+                    }
+                }
+            }
+            if self.nak_epoch == Some(epsn) {
+                // Every out-of-sequence packet behind the same loss draws
+                // its own NAK; the volley already in flight answers them
+                // all, and replying to each would multiply it into a storm.
+                self.stats.naks_suppressed += 1;
+                self.backoff_level = 0;
+                self.retries = 0;
+                return;
+            }
+            self.progress();
+            self.nak_epoch = Some(epsn);
+            self.retransmit_all(ctx);
+        } else {
+            // Best effort: everything in flight is lost. Fail the ops,
+            // resynchronize the requester's PSN to what the responder
+            // expects, and keep going — the caller absorbs the loss.
+            while let Some(op) = self.outstanding.pop_front() {
+                events.push(ChannelEvent::OpFailed { cookie: op.cookie });
+            }
+            if self.inner.qp.npsn != epsn {
+                self.inner.qp.npsn = epsn;
+            }
+        }
+    }
+
+    /// Go-back-N: re-send every outstanding op under its original PSN. The
+    /// responder re-executes duplicate READs, replays duplicate atomics,
+    /// and plain-ACKs duplicate WRITEs, so replays are idempotent.
+    fn retransmit_all(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        let now = ctx.now();
+        for i in 0..self.outstanding.len() {
+            let op = &self.outstanding[i];
+            let req = match &op.kind {
+                OpKind::Write {
+                    va,
+                    payload,
+                    ack_req,
+                } => self.inner.qp.write_only_at(
+                    op.first_psn,
+                    self.inner.rkey,
+                    *va,
+                    payload.clone(),
+                    *ack_req,
+                ),
+                OpKind::Read { va, len, .. } => {
+                    self.inner
+                        .qp
+                        .read_at(op.first_psn, self.inner.rkey, *va, *len)
+                }
+                OpKind::Atomic { va, add } => {
+                    self.inner
+                        .qp
+                        .fetch_add_at(op.first_psn, self.inner.rkey, *va, *add)
+                }
+            };
+            self.transmit(ctx, &req);
+            self.stats.retransmits += 1;
+            self.outstanding[i].sent_at = now;
+        }
+    }
+
+    /// Drive the retransmission timer. Call periodically (at roughly the
+    /// RTO) while [`ReliableChannel::needs_tick`] holds.
+    pub fn on_tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, events: &mut Vec<ChannelEvent>) {
+        if self.failed {
+            return;
+        }
+        let now = ctx.now();
+        let Some(head) = self.outstanding.front() else {
+            return;
+        };
+        let shift = self.backoff_level.min(self.config.max_backoff_level);
+        let threshold = TimeDelta::from_picos(self.config.rto.picos() << shift);
+        if now.saturating_since(head.sent_at) < threshold {
+            return;
+        }
+        if self.config.reliable {
+            if self.retries >= self.config.max_retries {
+                self.fail(events);
+                return;
+            }
+            self.stats.timeouts += 1;
+            self.retries += 1;
+            self.backoff_level += 1;
+            self.stats.max_backoff_level = self
+                .stats
+                .max_backoff_level
+                .max(self.backoff_level.min(self.config.max_backoff_level));
+            self.retransmit_all(ctx);
+        } else {
+            // Best effort: age out everything past the base RTO.
+            while let Some(op) = self.outstanding.front() {
+                if now.saturating_since(op.sent_at) < self.config.rto {
+                    break;
+                }
+                let op = self.outstanding.pop_front().unwrap();
+                self.stats.aged_out += 1;
+                events.push(ChannelEvent::OpFailed { cookie: op.cookie });
+            }
+            self.pump_queue(ctx);
+        }
+    }
+
+    /// Give up: fail every outstanding op, mark the channel failed, and
+    /// emit the degradation signal.
+    fn fail(&mut self, events: &mut Vec<ChannelEvent>) {
+        while let Some(op) = self.outstanding.pop_front() {
+            events.push(ChannelEvent::OpFailed { cookie: op.cookie });
+        }
+        while let Some(op) = self.queue.pop_front() {
+            events.push(ChannelEvent::OpFailed { cookie: op.cookie });
+        }
+        self.failed = true;
+        self.stats.failed_over = true;
+        events.push(ChannelEvent::Failed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,8 +901,14 @@ mod tests {
 
     #[test]
     fn setup_wires_the_triple() {
-        let server = RoceEndpoint { mac: MacAddr::local(9), ip: 0x0a000009 };
-        let switch = RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 };
+        let server = RoceEndpoint {
+            mac: MacAddr::local(9),
+            ip: 0x0a000009,
+        };
+        let switch = RoceEndpoint {
+            mac: MacAddr::local(1),
+            ip: 0x0a000001,
+        };
         let mut nic = RnicNode::new("mem", RnicConfig::at(server));
         let ch = RdmaChannel::setup(switch, PortId(3), &mut nic, ByteSize::from_mb(1));
         assert_eq!(ch.region_len, 1_000_000);
@@ -119,13 +919,22 @@ mod tests {
         // The responder knows the switch as its peer.
         assert_eq!(nic.qp(ch.qp.peer_qpn).peer_qpn, SWITCH_QPN);
         // The region is real and zeroed.
-        assert_eq!(nic.region(ch.rkey).read(ch.base_va, 8).unwrap(), &[0u8; 8][..]);
+        assert_eq!(
+            nic.region(ch.rkey).read(ch.base_va, 8).unwrap(),
+            &[0u8; 8][..]
+        );
     }
 
     #[test]
     fn two_channels_get_distinct_resources() {
-        let server = RoceEndpoint { mac: MacAddr::local(9), ip: 0x0a000009 };
-        let switch = RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 };
+        let server = RoceEndpoint {
+            mac: MacAddr::local(9),
+            ip: 0x0a000009,
+        };
+        let switch = RoceEndpoint {
+            mac: MacAddr::local(1),
+            ip: 0x0a000001,
+        };
         let mut nic = RnicNode::new("mem", RnicConfig::at(server));
         let a = RdmaChannel::setup(switch, PortId(3), &mut nic, ByteSize::from_kb(8));
         let b = RdmaChannel::setup(switch, PortId(3), &mut nic, ByteSize::from_kb(8));

@@ -195,8 +195,10 @@ mod tests {
     /// untouched.
     #[test]
     fn telemetry_loss_does_not_disturb_the_gateway() {
-        let switch_ep =
-            extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(100), ip: 0x0a0000fe };
+        let switch_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(100),
+            ip: 0x0a0000fe,
+        };
         let mut table_nic = RnicNode::new(
             "tablesrv",
             RnicConfig::at(extmem_wire::roce::RoceEndpoint {
@@ -223,8 +225,9 @@ mod tests {
         let tel_rkey = tel_channel.rkey;
         let tel_base = tel_channel.base_va;
 
-        let flows: Vec<FiveTuple> =
-            (0..4).map(|i| FiveTuple::new(0x0a000001, 0x0a010000 + i, 7000 + i as u16, 80, 17)).collect();
+        let flows: Vec<FiveTuple> = (0..4)
+            .map(|i| FiveTuple::new(0x0a000001, 0x0a010000 + i, 7000 + i as u16, 80, 17))
+            .collect();
         for f in &flows {
             install_remote_action(
                 &mut table_nic,
@@ -249,15 +252,21 @@ mod tests {
         let prog = GatewayTelemetryProgram::new(lookup, engine, TimeDelta::from_micros(30));
 
         let mut b = SimBuilder::new(99);
-        let switch =
-            b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         let gen = b.add_node(Box::new(Gen {
             flows: flows.clone(),
             n: 400,
             sent: 0,
             tx: TxQueue::new(PortId(0)),
         }));
-        let sink = b.add_node(Box::new(Sink { got: 0, translated: 0 }));
+        let sink = b.add_node(Box::new(Sink {
+            got: 0,
+            translated: 0,
+        }));
         let link = LinkSpec::testbed_40g();
         b.connect(switch, PortId(0), gen, PortId(0), link);
         b.connect(switch, PortId(1), sink, PortId(0), link);
@@ -265,7 +274,7 @@ mod tests {
         b.connect(switch, PortId(2), table_srv, PortId(0), link);
         let tel_srv = b.add_node(Box::new(tel_nic));
         let mut lossy = LinkSpec::testbed_40g();
-        lossy.faults = extmem_sim::FaultSpec { drop_prob: 0.06, corrupt_prob: 0.0 };
+        lossy.faults = extmem_sim::FaultSpec::drop(0.06);
         b.connect(switch, PortId(3), tel_srv, PortId(0), lossy);
 
         let mut sim = b.build();
@@ -273,7 +282,10 @@ mod tests {
         sim.run_until(Time::from_millis(30));
 
         let sink = sim.node::<Sink>(sink);
-        assert_eq!(sink.got, 400, "gateway must be unaffected by telemetry loss");
+        assert_eq!(
+            sink.got, 400,
+            "gateway must be unaffected by telemetry loss"
+        );
         assert_eq!(sink.translated, 400);
         let sw: &SwitchNode = sim.node(switch);
         let prog = sw.program::<GatewayTelemetryProgram>();
@@ -281,14 +293,20 @@ mod tests {
         assert!(prog.telemetry_quiescent(), "{:?}", prog.faa_stats());
         let tel = sim.node::<RnicNode>(tel_srv);
         let remote = crate::state_store::read_remote_counters(tel, tel_rkey, tel_base, counters);
-        assert_eq!(remote.iter().sum::<u64>(), 400, "reliable counts despite loss");
+        assert_eq!(
+            remote.iter().sum::<u64>(),
+            400,
+            "reliable counts despite loss"
+        );
     }
 
     /// Ports: 0 client, 1 PIP server, 2 table server, 3 telemetry server.
     #[test]
     fn both_primitives_work_side_by_side() {
-        let switch_ep =
-            extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(100), ip: 0x0a0000fe };
+        let switch_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(100),
+            ip: 0x0a0000fe,
+        };
         // Two separate memory servers, one per primitive.
         let mut table_nic = RnicNode::new(
             "tablesrv",
@@ -317,8 +335,9 @@ mod tests {
         let tel_base = tel_channel.base_va;
 
         // Control plane: VIP flows translate to the PIP server.
-        let flows: Vec<FiveTuple> =
-            (0..6).map(|i| FiveTuple::new(0x0a000001, 0x0a010000 + i, 7000 + i as u16, 80, 17)).collect();
+        let flows: Vec<FiveTuple> = (0..6)
+            .map(|i| FiveTuple::new(0x0a000001, 0x0a010000 + i, 7000 + i as u16, 80, 17))
+            .collect();
         for f in &flows {
             install_remote_action(
                 &mut table_nic,
@@ -337,15 +356,21 @@ mod tests {
         let prog = GatewayTelemetryProgram::new(lookup, engine, TimeDelta::from_micros(30));
 
         let mut b = SimBuilder::new(3);
-        let switch =
-            b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         let gen = b.add_node(Box::new(Gen {
             flows: flows.clone(),
             n: 600,
             sent: 0,
             tx: TxQueue::new(PortId(0)),
         }));
-        let sink = b.add_node(Box::new(Sink { got: 0, translated: 0 }));
+        let sink = b.add_node(Box::new(Sink {
+            got: 0,
+            translated: 0,
+        }));
         let link = LinkSpec::testbed_40g();
         b.connect(switch, PortId(0), gen, PortId(0), link);
         b.connect(switch, PortId(1), sink, PortId(0), link);
@@ -378,6 +403,10 @@ mod tests {
         assert_eq!(sim.node::<RnicNode>(table_srv).stats().cpu_packets, 0);
         assert_eq!(tel.stats().cpu_packets, 0);
         // The lookup cache did its job on six hot flows.
-        assert!(prog.lookup_stats().cache_hits > 500, "{:?}", prog.lookup_stats());
+        assert!(
+            prog.lookup_stats().cache_hits > 500,
+            "{:?}",
+            prog.lookup_stats()
+        );
     }
 }

@@ -13,17 +13,17 @@
 //!   at least `min_batch`, trading update delay for bandwidth — "combine
 //!   multiple counter updates into a single operation, at the cost of some
 //!   delay in updates".
-//! * **Reliability** (`reliable`): track un-acknowledged requests and
-//!   retransmit on NAK or timeout (go-back-N), making the remote counters
-//!   exact even over a lossy channel — "implement parsing and handling of
-//!   RDMA ACKs/NACKs to make certain remote memory reliable, e.g., in the
-//!   remote counter case".
+//! * **Reliability** (`reliable`): issue through a [`ReliableChannel`] in
+//!   reliable mode, making the remote counters exact even over a lossy
+//!   channel — "implement parsing and handling of RDMA ACKs/NACKs to make
+//!   certain remote memory reliable, e.g., in the remote counter case".
+//!   Past the channel's retry cap the engine degrades gracefully: it keeps
+//!   accumulating locally, so no update is ever silently dropped.
 
-use crate::channel::RdmaChannel;
+use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
 use extmem_switch::SwitchCtx;
-use extmem_types::{Time, TimeDelta};
-use extmem_wire::bth::Opcode;
-use extmem_wire::roce::{RoceExt, RocePacket};
+use extmem_types::TimeDelta;
+use extmem_wire::roce::RocePacket;
 use std::collections::{HashMap, VecDeque};
 
 /// Engine configuration.
@@ -37,7 +37,8 @@ pub struct FaaConfig {
     pub min_batch: u64,
     /// Track and retransmit lost requests (§7 reliability extension).
     pub reliable: bool,
-    /// Retransmit timeout for reliable mode, checked on [`FaaEngine::tick`].
+    /// Retransmit timeout (reliable) / age-out horizon (best-effort),
+    /// checked on [`FaaEngine::tick`].
     pub rto: TimeDelta,
 }
 
@@ -68,27 +69,22 @@ pub struct FaaStats {
     pub naks: u64,
     /// Retransmitted requests (reliable mode).
     pub retransmits: u64,
-    /// Updates counted as lost (best-effort mode, after a NAK).
+    /// Updates counted as lost (best-effort mode: aged out or NAKed).
     pub lost_updates: u64,
     /// High-water mark of slots with pending accumulation.
     pub max_pending_slots: u64,
-}
-
-#[derive(Clone, Debug)]
-struct InFlight {
-    psn: u32,
-    slot: u64,
-    value: u64,
-    sent_at: Time,
+    /// Reliability-layer counters for the underlying channel.
+    pub channel: ChannelStats,
 }
 
 /// The Fetch-and-Add issuing engine. One per channel.
 #[derive(Debug)]
 pub struct FaaEngine {
-    channel: RdmaChannel,
+    channel: ReliableChannel,
     config: FaaConfig,
-    /// Requests awaiting AtomicAcknowledge, oldest first.
-    outstanding: VecDeque<InFlight>,
+    /// Issued-but-unsettled values, keyed by channel cookie.
+    in_flight: HashMap<u64, (u64, u64)>,
+    next_cookie: u64,
     /// Accumulated-but-unsent values per slot.
     pending: HashMap<u64, u64>,
     /// Slots whose pending value has reached `min_batch`, FIFO.
@@ -96,6 +92,8 @@ pub struct FaaEngine {
     /// Membership guard for `ready` (keeps periodic flushes from growing
     /// the queue without bound while the outstanding window is full).
     ready_set: std::collections::HashSet<u64>,
+    /// Completion scratch, reused across calls.
+    events: Vec<ChannelEvent>,
     stats: FaaStats,
 }
 
@@ -103,32 +101,58 @@ impl FaaEngine {
     /// Create an engine over `channel`. The channel's region is an array of
     /// 64-bit counters; `slot` arguments index into it.
     pub fn new(channel: RdmaChannel, config: FaaConfig) -> FaaEngine {
-        assert!(config.max_outstanding > 0, "need at least one outstanding slot");
+        assert!(
+            config.max_outstanding > 0,
+            "need at least one outstanding slot"
+        );
         assert!(config.min_batch > 0, "min_batch must be positive");
+        let rc = if config.reliable {
+            ReliableConfig {
+                rto: config.rto,
+                ..Default::default()
+            }
+        } else {
+            ReliableConfig::best_effort(config.rto)
+        };
         FaaEngine {
-            channel,
+            channel: ReliableChannel::new(channel, rc),
             config,
-            outstanding: VecDeque::new(),
+            in_flight: HashMap::new(),
+            next_cookie: 0,
             pending: HashMap::new(),
             ready: VecDeque::new(),
             ready_set: std::collections::HashSet::new(),
+            events: Vec::new(),
             stats: FaaStats::default(),
         }
     }
 
     /// Counters.
     pub fn stats(&self) -> FaaStats {
-        self.stats
+        let ch = self.channel.stats();
+        let mut s = self.stats;
+        s.acks = ch.acks;
+        s.naks = ch.naks;
+        s.retransmits = ch.retransmits;
+        s.faa_sent = ch.ops_issued + ch.retransmits;
+        s.channel = ch;
+        s
     }
 
     /// The switch port of the memory server this engine talks to.
     pub fn server_port(&self) -> extmem_types::PortId {
-        self.channel.server_port
+        self.channel.server_port()
     }
 
     /// The number of counter slots the region holds.
     pub fn slots(&self) -> u64 {
-        self.channel.region_len / 8
+        self.channel.region_len() / 8
+    }
+
+    /// Whether the reliability layer gave up (retry cap exhausted) and the
+    /// engine is accumulating locally only.
+    pub fn is_degraded(&self) -> bool {
+        self.channel.is_failed()
     }
 
     /// Sum (wrapping, i.e. modulo 2^64 — Count Sketch encodes −1 as
@@ -141,7 +165,9 @@ impl FaaEngine {
     /// outstanding value may or may not have executed remotely yet — that
     /// ambiguity is resolved only by its ACK.
     pub fn outstanding_sum(&self) -> u64 {
-        self.outstanding.iter().fold(0u64, |a, f| a.wrapping_add(f.value))
+        self.in_flight
+            .values()
+            .fold(0u64, |a, &(_, v)| a.wrapping_add(v))
     }
 
     /// [`FaaEngine::pending_sum`] plus [`FaaEngine::outstanding_sum`]: every
@@ -160,7 +186,7 @@ impl FaaEngine {
 
     /// Whether everything has been flushed and acknowledged.
     pub fn is_quiescent(&self) -> bool {
-        self.pending.is_empty() && self.outstanding.is_empty()
+        self.pending.is_empty() && self.in_flight.is_empty()
     }
 
     /// Record a logical `+value` on `slot` and issue what the window allows.
@@ -193,113 +219,77 @@ impl FaaEngine {
         self.pump(ctx);
     }
 
-    /// Periodic maintenance. Reliable mode: retransmit requests older than
-    /// the RTO (go-back-N). Best-effort mode: *age out* requests older than
-    /// the RTO — their ACK (or the request itself) was lost, and without
-    /// this the stale entries would pin the outstanding window shut
-    /// forever. Call from a periodic timer.
+    /// Periodic maintenance: drive the channel's retransmission (reliable)
+    /// or age-out (best-effort) timer. Call from a periodic timer.
     pub fn tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
-        let now = ctx.now();
-        let timed_out = self
-            .outstanding
-            .front()
-            .is_some_and(|f| now.saturating_since(f.sent_at) >= self.config.rto);
-        if !timed_out {
-            return;
-        }
-        if self.config.reliable {
-            self.retransmit_all(ctx);
-        } else {
-            while let Some(f) = self.outstanding.front() {
-                if now.saturating_since(f.sent_at) < self.config.rto {
-                    break;
-                }
-                let f = self.outstanding.pop_front().unwrap();
-                self.stats.lost_updates = self.stats.lost_updates.wrapping_add(f.value);
-            }
-            self.pump(ctx);
-        }
+        let mut events = std::mem::take(&mut self.events);
+        self.channel.on_tick(ctx, &mut events);
+        self.consume_events(&mut events);
+        self.events = events;
+        self.pump(ctx);
     }
 
     /// Issue ready slots while the outstanding window has room.
     fn pump(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
-        while self.outstanding.len() < self.config.max_outstanding {
-            let Some(slot) = self.ready.pop_front() else { break };
+        while !self.channel.is_failed()
+            && self.channel.outstanding_len() < self.config.max_outstanding
+        {
+            let Some(slot) = self.ready.pop_front() else {
+                break;
+            };
             self.ready_set.remove(&slot);
-            let Some(value) = self.pending.remove(&slot) else { continue };
+            let Some(value) = self.pending.remove(&slot) else {
+                continue;
+            };
             if value == 0 {
                 continue;
             }
-            let va = self.channel.base_va + slot * 8;
-            let req = self.channel.qp.fetch_add(self.channel.rkey, va, value);
-            let psn = req.bth.psn;
-            ctx.enqueue(self.channel.server_port, req.build().expect("FaA encodes"));
-            self.stats.faa_sent += 1;
-            self.outstanding.push_back(InFlight { psn, slot, value, sent_at: ctx.now() });
+            let va = self.channel.base_va() + slot * 8;
+            let cookie = self.next_cookie;
+            self.next_cookie += 1;
+            if self.channel.fetch_add(ctx, va, value, cookie) {
+                self.in_flight.insert(cookie, (slot, value));
+            }
         }
     }
 
-    /// Go-back-N: re-send every outstanding request, oldest first, with its
-    /// original PSN (the responder replays duplicates it already executed).
-    fn retransmit_all(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
-        let now = ctx.now();
-        for f in self.outstanding.iter_mut() {
-            let va = self.channel.base_va + f.slot * 8;
-            // Rebuild the identical request at the recorded PSN.
-            let saved_npsn = self.channel.qp.npsn;
-            self.channel.qp.npsn = f.psn;
-            let req = self.channel.qp.fetch_add(self.channel.rkey, va, f.value);
-            self.channel.qp.npsn = saved_npsn;
-            ctx.enqueue(self.channel.server_port, req.build().expect("FaA encodes"));
-            self.stats.retransmits += 1;
-            self.stats.faa_sent += 1;
-            f.sent_at = now;
+    fn consume_events(&mut self, events: &mut Vec<ChannelEvent>) {
+        for ev in events.drain(..) {
+            match ev {
+                ChannelEvent::AtomicDone { cookie } => {
+                    self.in_flight.remove(&cookie);
+                }
+                ChannelEvent::OpFailed { cookie } => {
+                    let Some((slot, value)) = self.in_flight.remove(&cookie) else {
+                        continue;
+                    };
+                    if self.config.reliable {
+                        // Failover: keep accumulating locally — the update
+                        // is preserved in `pending`, never silently lost.
+                        let e = self.pending.entry(slot).or_insert(0);
+                        *e = e.wrapping_add(value);
+                    } else {
+                        // Best effort: the remote counter undercounts.
+                        self.stats.lost_updates = self.stats.lost_updates.wrapping_add(value);
+                    }
+                }
+                ChannelEvent::Failed => {}
+                ChannelEvent::WriteDone { .. } | ChannelEvent::ReadDone { .. } => {}
+            }
         }
     }
 
     /// Feed a RoCE packet from the memory server. Returns `true` if it was
     /// consumed (an atomic ACK or NAK for this engine).
     pub fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, roce: &RocePacket) -> bool {
-        match roce.bth.opcode {
-            Opcode::AtomicAcknowledge => {
-                self.stats.acks += 1;
-                // In-order channel: acks arrive oldest-first, but a replayed
-                // duplicate can acknowledge something already gone.
-                if let Some(pos) = self.outstanding.iter().position(|f| f.psn == roce.bth.psn) {
-                    // Everything before `pos` was implicitly acknowledged
-                    // (in-order execution at the responder).
-                    for _ in 0..=pos {
-                        self.outstanding.pop_front();
-                    }
-                }
-                self.pump(ctx);
-                true
-            }
-            Opcode::Acknowledge => {
-                let RoceExt::Aeth(aeth) = roce.ext else { return false };
-                if aeth.is_ack() {
-                    return true; // plain ack of a replayed duplicate
-                }
-                self.stats.naks += 1;
-                if self.config.reliable {
-                    // The responder tells us the PSN it expects; rewind and
-                    // replay from there.
-                    self.retransmit_all(ctx);
-                } else {
-                    // Best effort: everything in flight is lost; resync the
-                    // PSN and move on. The remote counters undercount.
-                    self.stats.lost_updates = self
-                        .outstanding
-                        .iter()
-                        .fold(self.stats.lost_updates, |a, f| a.wrapping_add(f.value));
-                    self.outstanding.clear();
-                    self.channel.qp.npsn = roce.bth.psn;
-                    self.pump(ctx);
-                }
-                true
-            }
-            _ => false,
+        let mut events = std::mem::take(&mut self.events);
+        let consumed = self.channel.on_roce(ctx, roce, &mut events);
+        self.consume_events(&mut events);
+        self.events = events;
+        if consumed {
+            self.pump(ctx);
         }
+        consumed
     }
 }
 
@@ -318,8 +308,14 @@ mod tests {
     use extmem_wire::MacAddr;
 
     fn dummy_channel(slots: u64) -> RdmaChannel {
-        let a = RoceEndpoint { mac: MacAddr::local(1), ip: 1 };
-        let b = RoceEndpoint { mac: MacAddr::local(2), ip: 2 };
+        let a = RoceEndpoint {
+            mac: MacAddr::local(1),
+            ip: 1,
+        };
+        let b = RoceEndpoint {
+            mac: MacAddr::local(2),
+            ip: 2,
+        };
         RdmaChannel {
             qp: RequesterQp::new(a, b, QpNum(0x100), 2048),
             rkey: Rkey(1),
@@ -335,17 +331,30 @@ mod tests {
         assert_eq!(e.slots(), 16);
         assert!(e.is_quiescent());
         assert_eq!(e.in_transit(), 0);
+        assert!(!e.is_degraded());
     }
 
     #[test]
     #[should_panic(expected = "min_batch must be positive")]
     fn zero_batch_rejected() {
-        FaaEngine::new(dummy_channel(1), FaaConfig { min_batch: 0, ..Default::default() });
+        FaaEngine::new(
+            dummy_channel(1),
+            FaaConfig {
+                min_batch: 0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least one outstanding")]
     fn zero_window_rejected() {
-        FaaEngine::new(dummy_channel(1), FaaConfig { max_outstanding: 0, ..Default::default() });
+        FaaEngine::new(
+            dummy_channel(1),
+            FaaConfig {
+                max_outstanding: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -15,7 +15,10 @@ pub struct Fib {
 impl Fib {
     /// A FIB with room for `capacity` MACs.
     pub fn new(capacity: usize) -> Fib {
-        Fib { table: ExactMatchTable::new(capacity, Replacement::Deny), unknown_dst_drops: 0 }
+        Fib {
+            table: ExactMatchTable::new(capacity, Replacement::Deny),
+            unknown_dst_drops: 0,
+        }
     }
 
     /// Control plane: bind `mac` to `port`.
@@ -49,9 +52,13 @@ mod tests {
 
     fn frame(dst: MacAddr) -> Packet {
         let mut buf = vec![0u8; 64];
-        EthernetHeader { dst, src: MacAddr::local(1), ethertype: EtherType::Other(0x88b5) }
-            .write(&mut buf)
-            .unwrap();
+        EthernetHeader {
+            dst,
+            src: MacAddr::local(1),
+            ethertype: EtherType::Other(0x88b5),
+        }
+        .write(&mut buf)
+        .unwrap();
         Packet::from_vec(buf)
     }
 

@@ -20,7 +20,10 @@ pub struct L2Program {
 impl L2Program {
     /// An L2 program with a FIB of `fib_capacity` entries.
     pub fn new(fib_capacity: usize) -> L2Program {
-        L2Program { fib: Fib::new(fib_capacity), forwarded: 0 }
+        L2Program {
+            fib: Fib::new(fib_capacity),
+            forwarded: 0,
+        }
     }
 }
 
@@ -41,11 +44,11 @@ impl PipelineProgram for L2Program {
 mod tests {
     use super::*;
     use extmem_sim::{LinkSpec, SimBuilder, TxQueue};
+    use extmem_sim::{Node, NodeCtx};
     use extmem_switch::{SwitchConfig, SwitchNode};
     use extmem_types::{FiveTuple, Time, TimeDelta};
     use extmem_wire::payload::build_data_packet;
     use extmem_wire::MacAddr;
-    use extmem_sim::{Node, NodeCtx};
 
     struct Sender {
         n: u32,
@@ -96,9 +99,19 @@ mod tests {
         prog.fib.install(MacAddr::local(1), PortId(0));
         prog.fib.install(MacAddr::local(2), PortId(1));
         let mut b = SimBuilder::new(1);
-        let s = b.add_node(Box::new(Sender { n: 10, tx: TxQueue::new(PortId(0)) }));
-        let k = b.add_node(Box::new(Sink { rx: 0, last: Time::ZERO }));
-        let sw = b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let s = b.add_node(Box::new(Sender {
+            n: 10,
+            tx: TxQueue::new(PortId(0)),
+        }));
+        let k = b.add_node(Box::new(Sink {
+            rx: 0,
+            last: Time::ZERO,
+        }));
+        let sw = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         b.connect(sw, PortId(0), s, PortId(0), LinkSpec::testbed_40g());
         b.connect(sw, PortId(1), k, PortId(0), LinkSpec::testbed_40g());
         let mut sim = b.build();

@@ -18,7 +18,10 @@
 //!
 //! * [`channel`] — the RDMA channel controller (the only control-plane /
 //!   CPU-involved step): registers server memory, creates the QP, and hands
-//!   the data plane the `(QPN, base address, rkey)` triple.
+//!   the data plane the `(QPN, base address, rkey)` triple — plus
+//!   [`channel::ReliableChannel`], the shared requester-side reliability
+//!   layer (§7: retry, resynchronize, degrade gracefully) every primitive
+//!   issues its RDMA ops through.
 //! * [`fib`] — the basic L2 forwarding table every program embeds.
 //! * [`l2`] — the plain L2 switch program, the paper's §5 baseline.
 //! * [`faa`] — the Fetch-and-Add engine shared by the state-store and
@@ -54,7 +57,7 @@ pub mod slow_path;
 pub mod state_store;
 pub mod trace_store;
 
-pub use channel::RdmaChannel;
+pub use channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
 pub use fib::Fib;
 pub use l2::L2Program;
 pub use lookup::{ActionEntry, ActionKind, LookupTableProgram};

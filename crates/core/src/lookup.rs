@@ -18,18 +18,22 @@
 //! The action area is populated by the control plane (the operator's
 //! table); the packet area is scratch space owned by the data plane.
 
-use crate::channel::RdmaChannel;
+use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
 use crate::fib::Fib;
 use extmem_rnic::RnicNode;
 use extmem_switch::hash::flow_index;
-use extmem_switch::table::{ExactMatchTable, Replacement};
 use extmem_switch::switch::RECIRC_PORT;
+use extmem_switch::table::{ExactMatchTable, Replacement};
 use extmem_switch::{PipelineProgram, SwitchCtx};
-use extmem_types::{FiveTuple, PortId};
-use extmem_wire::bth::Opcode;
+use extmem_types::{FiveTuple, PortId, TimeDelta};
 use extmem_wire::ipv4::{internet_checksum, proto};
-use extmem_wire::roce::{RoceExt, RocePacket};
+use extmem_wire::roce::RocePacket;
 use extmem_wire::{EthernetHeader, Ipv4Header, MacAddr, Packet, Payload, UdpHeader};
+
+/// Timer token for the reliability-layer retransmission tick (routed to the
+/// program via the switch's program-token bit; distinct from the composite
+/// program's 0x41).
+const TOKEN_RELIABILITY_TICK: u64 = 0x31;
 
 /// Bytes reserved for the action at the head of each slot.
 pub const ACTION_LEN: usize = 16;
@@ -86,17 +90,30 @@ impl ActionEntry {
 
     /// A DSCP-rewrite action (the §5 experiment).
     pub fn set_dscp(dscp: u8) -> ActionEntry {
-        ActionEntry { kind: ActionKind::SetDscp, dscp, ..ActionEntry::NONE }
+        ActionEntry {
+            kind: ActionKind::SetDscp,
+            dscp,
+            ..ActionEntry::NONE
+        }
     }
 
     /// A VIP→PIP translation action (§2.2).
     pub fn translate(new_dst_ip: u32, new_dst_mac: MacAddr) -> ActionEntry {
-        ActionEntry { kind: ActionKind::Translate, new_dst_ip, new_dst_mac, ..ActionEntry::NONE }
+        ActionEntry {
+            kind: ActionKind::Translate,
+            new_dst_ip,
+            new_dst_mac,
+            ..ActionEntry::NONE
+        }
     }
 
     /// A key-value response action (NetCache-style in-network serving).
     pub fn kv_respond(value: u64) -> ActionEntry {
-        ActionEntry { kind: ActionKind::KvRespond, kv_value: value, ..ActionEntry::NONE }
+        ActionEntry {
+            kind: ActionKind::KvRespond,
+            kv_value: value,
+            ..ActionEntry::NONE
+        }
     }
 
     /// Encode to the 16-byte wire layout.
@@ -134,10 +151,26 @@ impl ActionEntry {
         ActionEntry {
             kind,
             dscp: b[1],
-            port_override: if port == 0xffff { None } else { Some(PortId(port)) },
-            new_dst_ip: if kv { 0 } else { u32::from_be_bytes(b[4..8].try_into().unwrap()) },
-            new_dst_mac: if kv { MacAddr::ZERO } else { MacAddr(b[8..14].try_into().unwrap()) },
-            kv_value: if kv { u64::from_be_bytes(b[4..12].try_into().unwrap()) } else { 0 },
+            port_override: if port == 0xffff {
+                None
+            } else {
+                Some(PortId(port))
+            },
+            new_dst_ip: if kv {
+                0
+            } else {
+                u32::from_be_bytes(b[4..8].try_into().unwrap())
+            },
+            new_dst_mac: if kv {
+                MacAddr::ZERO
+            } else {
+                MacAddr(b[8..14].try_into().unwrap())
+            },
+            kv_value: if kv {
+                u64::from_be_bytes(b[4..12].try_into().unwrap())
+            } else {
+                0
+            },
         }
     }
 
@@ -202,7 +235,13 @@ pub fn flow_of(pkt: &Packet) -> Option<FiveTuple> {
         return None;
     }
     let udp = UdpHeader::parse(&pkt.as_slice()[EthernetHeader::LEN + Ipv4Header::LEN..]).ok()?;
-    Some(FiveTuple::new(ip.src, ip.dst, udp.src_port, udp.dst_port, proto::UDP))
+    Some(FiveTuple::new(
+        ip.src,
+        ip.dst,
+        udp.src_port,
+        udp.dst_port,
+        proto::UDP,
+    ))
 }
 
 /// What to do with a packet whose flow misses the local cache.
@@ -248,20 +287,25 @@ pub struct LookupStats {
     /// Packets dropped after exhausting the recirculation budget (their
     /// slot's READ or its response was lost).
     pub recirc_budget_drops: u64,
+    /// Ops abandoned by the reliability layer (a bounced packet lost to a
+    /// channel failover is gone: it lived in remote memory).
+    pub failed_ops: u64,
+    /// Reliability-layer counters for the underlying channel.
+    pub channel: ChannelStats,
 }
 
 /// The lookup-table pipeline program.
 pub struct LookupTableProgram {
     /// L2 forwarding (also the post-action forwarding step).
     pub fib: Fib,
-    channel: RdmaChannel,
+    channel: ReliableChannel,
     entry_size: u64,
     entries: u64,
     cache: Option<ExactMatchTable<FiveTuple, ActionEntry>>,
     miss_handling: MissHandling,
-    /// Recirculate mode: slots with an action READ in flight, in issue
-    /// order (responses arrive in order on the RC channel).
-    pending_reads: std::collections::VecDeque<u64>,
+    /// Recirculate mode: slots with an action READ in flight (responses
+    /// are attributed by cookie, so membership is all we need).
+    pending_reads: std::collections::HashSet<u64>,
     /// Recirculate mode: responses parked until their looping packet
     /// comes around again.
     staged: std::collections::HashMap<u64, ActionEntry>,
@@ -269,9 +313,14 @@ pub struct LookupTableProgram {
     /// packets whose slot exceeds [`RECIRC_BUDGET`] are dropped (a lost
     /// READ/response must not recirculate packets forever).
     recirc_passes: std::collections::HashMap<u64, u32>,
+    /// Channel failed over: misses punt to the slow path (forward
+    /// unmodified); the local cache keeps serving hits.
+    degraded: bool,
+    tick_interval: TimeDelta,
+    tick_armed: bool,
+    /// Completion scratch, reused across calls.
+    events: Vec<ChannelEvent>,
     stats: LookupStats,
-    /// Reassembly buffer for multi-packet READ responses.
-    resp_buf: Vec<u8>,
 }
 
 impl LookupTableProgram {
@@ -284,21 +333,28 @@ impl LookupTableProgram {
         entry_size: u64,
         cache_capacity: Option<usize>,
     ) -> LookupTableProgram {
-        assert!(entry_size as usize > ACTION_LEN + LEN_FIELD, "entry too small");
+        assert!(
+            entry_size as usize > ACTION_LEN + LEN_FIELD,
+            "entry too small"
+        );
         let entries = channel.region_len / entry_size;
         assert!(entries > 0, "region smaller than one entry");
+        let rc = ReliableConfig::default();
         LookupTableProgram {
             fib,
-            channel,
+            channel: ReliableChannel::new(channel, rc),
             entry_size,
             entries,
             cache: cache_capacity.map(|c| ExactMatchTable::new(c, Replacement::Lru)),
             miss_handling: MissHandling::Bounce,
-            pending_reads: std::collections::VecDeque::new(),
+            pending_reads: std::collections::HashSet::new(),
             staged: std::collections::HashMap::new(),
             recirc_passes: std::collections::HashMap::new(),
+            degraded: false,
+            tick_interval: rc.rto / 2,
+            tick_armed: false,
+            events: Vec::new(),
             stats: LookupStats::default(),
-            resp_buf: Vec::new(),
         }
     }
 
@@ -310,9 +366,26 @@ impl LookupTableProgram {
         self
     }
 
+    /// Override the reliability policy (before traffic flows).
+    pub fn with_reliability(mut self, rc: ReliableConfig) -> LookupTableProgram {
+        self.channel.set_config(rc);
+        self.tick_interval = rc.rto / 2;
+        self
+    }
+
     /// Counters.
     pub fn stats(&self) -> LookupStats {
-        self.stats
+        let ch = self.channel.stats();
+        let mut s = self.stats;
+        s.naks = ch.naks;
+        s.channel = ch;
+        s
+    }
+
+    /// Whether the reliability layer gave up and misses punt to the slow
+    /// path.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Cache hit-rate so far (0 when the cache is disabled).
@@ -357,20 +430,21 @@ impl LookupTableProgram {
     fn remote_lookup(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, flow: FiveTuple, pkt: Packet) {
         self.stats.remote_lookups += 1;
         let slot = self.slot_of(&flow);
-        let entry_va = self.channel.base_va + slot * self.entry_size;
+        let entry_va = self.channel.base_va() + slot * self.entry_size;
 
-        // (1) WRITE [len][packet] into the slot's scratch area.
+        // (1) WRITE [len][packet] into the slot's scratch area. No explicit
+        // ACK: the READ right behind it completes both (in-order channel),
+        // and a timeout replays the pair.
         let mut payload = Vec::with_capacity(LEN_FIELD + pkt.len());
         payload.extend_from_slice(&(pkt.len() as u16).to_be_bytes());
         payload.extend_from_slice(pkt.as_slice());
-        let write =
-            self.channel.qp.write_only(self.channel.rkey, entry_va + ACTION_LEN as u64, payload, false);
-        ctx.enqueue(self.channel.server_port, write.build().expect("lookup write encodes"));
+        self.channel
+            .write(ctx, entry_va + ACTION_LEN as u64, payload, false, slot);
 
         // (2) READ back exactly [action][len][packet].
         let read_len = (ACTION_LEN + LEN_FIELD + pkt.len()) as u32;
-        let read = self.channel.qp.read(self.channel.rkey, entry_va, read_len);
-        ctx.enqueue(self.channel.server_port, read.build().expect("lookup read encodes"));
+        self.channel.read(ctx, entry_va, read_len, slot);
+        self.arm_tick(ctx);
     }
 
     /// Recirculate-mode miss: issue an action-only READ (once per slot)
@@ -394,19 +468,18 @@ impl LookupTableProgram {
             self.apply_and_forward(ctx, pkt, action);
             return;
         }
-        if !self.pending_reads.contains(&slot) {
+        if self.pending_reads.insert(slot) {
             self.stats.remote_lookups += 1;
             self.stats.action_only_reads += 1;
-            let entry_va = self.channel.base_va + slot * self.entry_size;
-            let read = self.channel.qp.read(self.channel.rkey, entry_va, ACTION_LEN as u32);
-            ctx.enqueue(self.channel.server_port, read.build().expect("action read encodes"));
-            self.pending_reads.push_back(slot);
+            let entry_va = self.channel.base_va() + slot * self.entry_size;
+            self.channel.read(ctx, entry_va, ACTION_LEN as u32, slot);
+            self.arm_tick(ctx);
         }
         let passes = self.recirc_passes.entry(slot).or_insert(0);
         *passes += 1;
         if *passes > RECIRC_BUDGET {
             self.recirc_passes.remove(&slot);
-            self.pending_reads.retain(|&s| s != slot);
+            self.pending_reads.remove(&slot);
             self.stats.recirc_budget_drops += 1;
             return; // drop the packet: best-effort under loss
         }
@@ -414,25 +487,18 @@ impl LookupTableProgram {
         ctx.recirculate(pkt);
     }
 
-    /// Process a complete READ-response entry.
+    /// Process a complete READ-response entry (Bounce mode).
     fn consume_entry(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, entry: &Payload) {
         self.stats.responses += 1;
-        if self.miss_handling == MissHandling::Recirculate {
-            // Action-only response; responses arrive in issue order.
-            if entry.len() >= ACTION_LEN {
-                if let Some(slot) = self.pending_reads.pop_front() {
-                    let action = ActionEntry::from_bytes(entry[..ACTION_LEN].try_into().unwrap());
-                    self.staged.insert(slot, action);
-                }
-            }
-            return;
-        }
         if entry.len() < ACTION_LEN + LEN_FIELD {
             return;
         }
         let action = ActionEntry::from_bytes(entry[..ACTION_LEN].try_into().unwrap());
-        let len =
-            u16::from_be_bytes(entry[ACTION_LEN..ACTION_LEN + LEN_FIELD].try_into().unwrap()) as usize;
+        let len = u16::from_be_bytes(
+            entry[ACTION_LEN..ACTION_LEN + LEN_FIELD]
+                .try_into()
+                .unwrap(),
+        ) as usize;
         let body = &entry[ACTION_LEN + LEN_FIELD..];
         if len == 0 || len > body.len() {
             return;
@@ -450,39 +516,55 @@ impl LookupTableProgram {
         self.apply_and_forward(ctx, pkt, action);
     }
 
-    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, roce: RocePacket) {
-        match roce.bth.opcode {
-            Opcode::ReadRespOnly => {
-                self.resp_buf.clear();
-                let data = roce.payload;
-                self.consume_entry(ctx, &data);
-            }
-            Opcode::ReadRespFirst | Opcode::ReadRespMiddle => {
-                self.resp_buf.extend_from_slice(&roce.payload);
-            }
-            Opcode::ReadRespLast => {
-                let mut entry = std::mem::take(&mut self.resp_buf);
-                entry.extend_from_slice(&roce.payload);
-                self.consume_entry(ctx, &Payload::from_vec(entry));
-            }
-            Opcode::Acknowledge => {
-                if let RoceExt::Aeth(aeth) = roce.ext {
-                    if !aeth.is_ack() {
-                        self.stats.naks += 1;
-                        self.channel.qp.npsn = roce.bth.psn;
+    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, roce: &RocePacket) {
+        let mut events = std::mem::take(&mut self.events);
+        self.channel.on_roce(ctx, roce, &mut events);
+        self.consume_events(ctx, &mut events);
+        self.events = events;
+    }
+
+    fn consume_events(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, events: &mut Vec<ChannelEvent>) {
+        for ev in events.drain(..) {
+            match ev {
+                ChannelEvent::ReadDone { cookie, data } => match self.miss_handling {
+                    MissHandling::Bounce => self.consume_entry(ctx, &data),
+                    MissHandling::Recirculate => {
+                        self.stats.responses += 1;
+                        if data.len() >= ACTION_LEN && self.pending_reads.remove(&cookie) {
+                            let action =
+                                ActionEntry::from_bytes(data[..ACTION_LEN].try_into().unwrap());
+                            self.staged.insert(cookie, action);
+                        }
+                    }
+                },
+                ChannelEvent::WriteDone { .. } => {}
+                ChannelEvent::AtomicDone { .. } => {}
+                ChannelEvent::OpFailed { cookie } => {
+                    self.stats.failed_ops += 1;
+                    if self.miss_handling == MissHandling::Recirculate {
+                        // Let the next arrival for this slot re-issue (or,
+                        // degraded, punt to the slow path).
+                        self.pending_reads.remove(&cookie);
                     }
                 }
+                ChannelEvent::Failed => self.degraded = true,
             }
-            _ => {}
+        }
+    }
+
+    fn arm_tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        if !self.tick_armed && self.channel.needs_tick() {
+            self.tick_armed = true;
+            ctx.schedule(self.tick_interval, TOKEN_RELIABILITY_TICK);
         }
     }
 }
 
 impl PipelineProgram for LookupTableProgram {
     fn ingress(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, in_port: PortId, pkt: Packet) {
-        if in_port == self.channel.server_port {
+        if in_port == self.channel.server_port() {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
-                self.on_roce(ctx, roce);
+                self.on_roce(ctx, &roce);
                 return;
             }
         }
@@ -504,10 +586,31 @@ impl PipelineProgram for LookupTableProgram {
                 return;
             }
         }
+        if self.degraded {
+            // §7 graceful degradation: the remote table is unreachable, so
+            // misses punt to the software slow path (forward unmodified).
+            self.stats.slow_path += 1;
+            if let Some(port) = self.fib.egress_for(&pkt) {
+                ctx.enqueue(port, pkt);
+            }
+            return;
+        }
         match self.miss_handling {
             MissHandling::Bounce => self.remote_lookup(ctx, flow, pkt),
             MissHandling::Recirculate => self.recirculate_miss(ctx, flow, pkt),
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) {
+        if token != TOKEN_RELIABILITY_TICK {
+            return;
+        }
+        self.tick_armed = false;
+        let mut events = std::mem::take(&mut self.events);
+        self.channel.on_tick(ctx, &mut events);
+        self.consume_events(ctx, &mut events);
+        self.events = events;
+        self.arm_tick(ctx);
     }
 
     fn program_name(&self) -> &str {
@@ -528,7 +631,9 @@ pub fn install_remote_action(
     let entries = channel.region_len / entry_size;
     let slot = flow_index(flow, entries);
     let va = channel.base_va + slot * entry_size;
-    nic.region_mut(channel.rkey).write(va, &action.to_bytes()).expect("install in bounds");
+    nic.region_mut(channel.rkey)
+        .write(va, &action.to_bytes())
+        .expect("install in bounds");
     slot
 }
 
@@ -544,7 +649,10 @@ mod tests {
             ActionEntry::NONE,
             ActionEntry::set_dscp(46),
             ActionEntry::translate(0x0a00002a, MacAddr::local(42)),
-            ActionEntry { port_override: Some(PortId(7)), ..ActionEntry::set_dscp(1) },
+            ActionEntry {
+                port_override: Some(PortId(7)),
+                ..ActionEntry::set_dscp(1)
+            },
             ActionEntry::kv_respond(0xdead_beef_0bad_f00d),
         ] {
             assert_eq!(ActionEntry::from_bytes(&a.to_bytes()), a);
@@ -640,7 +748,13 @@ mod tests {
         let pkt = sample_packet();
         assert_eq!(
             flow_of(&pkt),
-            Some(FiveTuple::new(0x0a000001, 0x0a000002, 1111, 2222, proto::UDP))
+            Some(FiveTuple::new(
+                0x0a000001,
+                0x0a000002,
+                1111,
+                2222,
+                proto::UDP
+            ))
         );
         // Non-IP frame → None.
         let mut raw = pkt.into_vec();

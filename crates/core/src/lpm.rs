@@ -22,32 +22,35 @@
 //! `hash(L_i ‖ masked_addr)`. An all-zero entry means "no route at this
 //! rung" (the [`ActionKind::None`] encoding).
 //!
-//! **Channel assumption:** responses are attributed to lookups by position
-//! on the strict-RC channel, so the program assumes a loss-free path to a
-//! directly attached server (the paper's deployment). On a NAK it fails
-//! all in-flight lookups rather than mis-route; sustained loss degrades to
-//! packet drops, never to wrong routes for *delivered* packets within the
-//! same burst window.
+//! **Response attribution:** every rung READ goes through the shared
+//! [`ReliableChannel`] with a `lookup-id × rung` cookie, so responses are
+//! matched to lookups by PSN rather than by position. Lost READs (or
+//! responses) are retransmitted; reordered responses fill their rung slot
+//! whenever they land; and if the channel fails over entirely the program
+//! degrades to FIB-only forwarding — wrong routes are structurally
+//! impossible, not just unlikely.
 
-use crate::channel::RdmaChannel;
+use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
 use crate::fib::Fib;
 use crate::lookup::{ActionEntry, ActionKind, ACTION_LEN};
 use extmem_rnic::RnicNode;
 use extmem_switch::hash::hash_to_index;
 use extmem_switch::table::{ExactMatchTable, Replacement};
 use extmem_switch::{PipelineProgram, SwitchCtx};
-use extmem_types::PortId;
-use extmem_wire::bth::Opcode;
+use extmem_types::{PortId, TimeDelta};
 use extmem_wire::ipv4::proto;
-use extmem_wire::roce::{RoceExt, RocePacket};
+use extmem_wire::roce::RocePacket;
 use extmem_wire::{EthernetHeader, Ipv4Header, Packet};
-use std::collections::VecDeque;
+use std::collections::HashMap;
+
+/// Timer token for the reliability-layer retransmission tick.
+const TOKEN_RELIABILITY_TICK: u64 = 0x51;
 
 /// Counters for the remote-LPM program.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LpmStats {
-    /// Pending lookups abandoned after a NAK (their packets are dropped —
-    /// see the module note on channel loss).
+    /// Pending lookups abandoned because the reliability layer gave one of
+    /// their rung READs up (their packets are dropped).
     pub lookups_failed: u64,
     /// Packets answered by the local route cache.
     pub cache_hits: u64,
@@ -61,29 +64,41 @@ pub struct LpmStats {
     pub routed: u64,
     /// NAKs received.
     pub naks: u64,
+    /// Misses forwarded FIB-only because the channel failed over.
+    pub degraded_fallbacks: u64,
+    /// Reliability-layer counters for the underlying channel.
+    pub channel: ChannelStats,
 }
 
 /// One in-flight lookup: the waiting packet plus the responses collected
-/// so far (filled strictly in rung order, longest prefix first).
+/// so far (one slot per rung, longest prefix first; filled in any order).
 struct PendingLookup {
     pkt: Packet,
     dst: u32,
-    collected: Vec<ActionEntry>,
+    collected: Vec<Option<ActionEntry>>,
+    missing: usize,
 }
 
 /// The remote-LPM pipeline program.
 pub struct RemoteLpmProgram {
     /// Plain L2 forwarding for non-IPv4 traffic and no-route fallback.
     pub fib: Fib,
-    channel: RdmaChannel,
+    channel: ReliableChannel,
     /// Prefix lengths, longest first (e.g. `[32, 24, 16, 8]`).
     levels: Vec<u8>,
     slots_per_level: u64,
     /// Local cache: destination address → resolved action.
     cache: Option<ExactMatchTable<u32, ActionEntry>>,
-    /// FIFO of lookups awaiting their response bursts (RC ordering makes
-    /// response→lookup attribution positional).
-    pending: VecDeque<PendingLookup>,
+    /// In-flight lookups by id; rung responses are attributed via the
+    /// `id × rungs + rung` channel cookie.
+    pending: HashMap<u64, PendingLookup>,
+    next_id: u64,
+    /// Channel failed over: misses forward FIB-only.
+    degraded: bool,
+    tick_interval: TimeDelta,
+    tick_armed: bool,
+    /// Completion scratch, reused across calls.
+    events: Vec<ChannelEvent>,
     stats: LpmStats,
 }
 
@@ -129,20 +144,42 @@ impl RemoteLpmProgram {
         normalize_levels(&mut levels);
         let slots_per_level = channel.region_len / (levels.len() as u64 * ACTION_LEN as u64);
         assert!(slots_per_level > 0, "region smaller than one slot per rung");
+        let rc = ReliableConfig::default();
         RemoteLpmProgram {
             fib,
-            channel,
+            channel: ReliableChannel::new(channel, rc),
             levels,
             slots_per_level,
             cache: cache_capacity.map(|c| ExactMatchTable::new(c, Replacement::Lru)),
-            pending: VecDeque::new(),
+            pending: HashMap::new(),
+            next_id: 0,
+            degraded: false,
+            tick_interval: rc.rto / 2,
+            tick_armed: false,
+            events: Vec::new(),
             stats: LpmStats::default(),
         }
     }
 
+    /// Override the reliability policy (before traffic flows).
+    pub fn with_reliability(mut self, rc: ReliableConfig) -> RemoteLpmProgram {
+        self.channel.set_config(rc);
+        self.tick_interval = rc.rto / 2;
+        self
+    }
+
     /// Counters.
     pub fn stats(&self) -> LpmStats {
-        self.stats
+        let ch = self.channel.stats();
+        let mut s = self.stats;
+        s.naks = ch.naks;
+        s.channel = ch;
+        s
+    }
+
+    /// Whether the reliability layer gave up and misses forward FIB-only.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The prefix ladder, longest first.
@@ -154,7 +191,7 @@ impl RemoteLpmProgram {
     fn slot_va(&self, level_idx: usize, dst: u32) -> u64 {
         let level = self.levels[level_idx];
         let slot = hash_to_index(&rung_key(level, dst), self.slots_per_level);
-        self.channel.base_va
+        self.channel.base_va()
             + (level_idx as u64 * self.slots_per_level + slot) * ACTION_LEN as u64
     }
 
@@ -163,6 +200,7 @@ impl RemoteLpmProgram {
         let action = lookup
             .collected
             .iter()
+            .flatten()
             .find(|a| a.kind != ActionKind::None)
             .copied();
         match action {
@@ -195,39 +233,57 @@ impl RemoteLpmProgram {
         }
     }
 
-    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, roce: RocePacket) {
-        match roce.bth.opcode {
-            Opcode::ReadRespOnly => {
-                self.stats.responses += 1;
-                let Some(front) = self.pending.front_mut() else { return };
-                if roce.payload.len() >= ACTION_LEN {
-                    front
-                        .collected
-                        .push(ActionEntry::from_bytes(roce.payload[..ACTION_LEN].try_into().unwrap()));
-                } else {
-                    front.collected.push(ActionEntry::NONE);
-                }
-                if front.collected.len() == self.levels.len() {
-                    let done = self.pending.pop_front().unwrap();
-                    self.resolve(ctx, done);
-                }
-            }
-            Opcode::Acknowledge => {
-                if let RoceExt::Aeth(aeth) = roce.ext {
-                    if !aeth.is_ack() {
-                        // A NAK means requests were lost: positional
-                        // response attribution is no longer trustworthy.
-                        // Fail the in-flight lookups (dropping their
-                        // packets, best-effort) rather than risk applying
-                        // another destination's route.
-                        self.stats.naks += 1;
-                        self.stats.lookups_failed += self.pending.len() as u64;
-                        self.pending.clear();
-                        self.channel.qp.npsn = roce.bth.psn;
+    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, roce: &RocePacket) {
+        let mut events = std::mem::take(&mut self.events);
+        self.channel.on_roce(ctx, roce, &mut events);
+        self.consume_events(ctx, &mut events);
+        self.events = events;
+    }
+
+    fn consume_events(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, events: &mut Vec<ChannelEvent>) {
+        for ev in events.drain(..) {
+            match ev {
+                ChannelEvent::ReadDone { cookie, data } => {
+                    self.stats.responses += 1;
+                    let rungs = self.levels.len() as u64;
+                    let (id, rung) = (cookie / rungs, (cookie % rungs) as usize);
+                    let Some(lookup) = self.pending.get_mut(&id) else {
+                        continue;
+                    };
+                    let entry = if data.len() >= ACTION_LEN {
+                        ActionEntry::from_bytes(data.as_slice()[..ACTION_LEN].try_into().unwrap())
+                    } else {
+                        ActionEntry::NONE
+                    };
+                    if lookup.collected[rung].replace(entry).is_none() {
+                        lookup.missing -= 1;
+                    }
+                    if lookup.missing == 0 {
+                        let done = self.pending.remove(&id).unwrap();
+                        self.resolve(ctx, done);
                     }
                 }
+                ChannelEvent::OpFailed { cookie } => {
+                    // One rung READ exhausted its retries: the whole lookup
+                    // is abandoned (its packet dropped) — wrong-rung routes
+                    // are structurally impossible, missing-rung ones aren't.
+                    let id = cookie / self.levels.len() as u64;
+                    if self.pending.remove(&id).is_some() {
+                        self.stats.lookups_failed += 1;
+                    }
+                }
+                ChannelEvent::Failed => {
+                    self.degraded = true;
+                }
+                ChannelEvent::WriteDone { .. } | ChannelEvent::AtomicDone { .. } => {}
             }
-            _ => {}
+        }
+    }
+
+    fn arm_tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        if !self.tick_armed && self.channel.needs_tick() {
+            self.tick_armed = true;
+            ctx.schedule(self.tick_interval, TOKEN_RELIABILITY_TICK);
         }
     }
 
@@ -247,9 +303,9 @@ impl RemoteLpmProgram {
 
 impl PipelineProgram for RemoteLpmProgram {
     fn ingress(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, in_port: PortId, pkt: Packet) {
-        if in_port == self.channel.server_port {
+        if in_port == self.channel.server_port() {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
-                self.on_roce(ctx, roce);
+                self.on_roce(ctx, &roce);
                 return;
             }
         }
@@ -266,15 +322,48 @@ impl PipelineProgram for RemoteLpmProgram {
                 return;
             }
         }
-        // Remote lookup: one action READ per rung, longest prefix first,
-        // all on the one RC channel so responses come back in rung order.
-        self.stats.remote_lookups += 1;
-        for i in 0..self.levels.len() {
-            let va = self.slot_va(i, dst);
-            let read = self.channel.qp.read(self.channel.rkey, va, ACTION_LEN as u32);
-            ctx.enqueue(self.channel.server_port, read.build().expect("LPM read encodes"));
+        if self.degraded {
+            // Channel failed over: forward FIB-only rather than wait on a
+            // dead server.
+            self.stats.degraded_fallbacks += 1;
+            if let Some(port) = self.fib.egress_for(&pkt) {
+                ctx.enqueue(port, pkt);
+            }
+            return;
         }
-        self.pending.push_back(PendingLookup { pkt, dst, collected: Vec::new() });
+        // Remote lookup: one action READ per rung, longest prefix first,
+        // each cookie-tagged so the response fills its own rung slot.
+        self.stats.remote_lookups += 1;
+        let rungs = self.levels.len();
+        let id = self.next_id;
+        self.next_id += 1;
+        for i in 0..rungs {
+            let va = self.slot_va(i, dst);
+            self.channel
+                .read(ctx, va, ACTION_LEN as u32, id * rungs as u64 + i as u64);
+        }
+        self.pending.insert(
+            id,
+            PendingLookup {
+                pkt,
+                dst,
+                collected: vec![None; rungs],
+                missing: rungs,
+            },
+        );
+        self.arm_tick(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) {
+        if token != TOKEN_RELIABILITY_TICK {
+            return;
+        }
+        self.tick_armed = false;
+        let mut events = std::mem::take(&mut self.events);
+        self.channel.on_tick(ctx, &mut events);
+        self.consume_events(ctx, &mut events);
+        self.events = events;
+        self.arm_tick(ctx);
     }
 
     fn program_name(&self) -> &str {
@@ -304,9 +393,10 @@ pub fn install_remote_route(
         .expect("prefix length not in the configured ladder");
     let masked = mask(prefix, len);
     let slot = hash_to_index(&rung_key(len, masked), slots_per_level);
-    let va = channel.base_va
-        + (level_idx as u64 * slots_per_level + slot) * ACTION_LEN as u64;
-    nic.region_mut(channel.rkey).write(va, &action.to_bytes()).expect("route in bounds");
+    let va = channel.base_va + (level_idx as u64 * slots_per_level + slot) * ACTION_LEN as u64;
+    nic.region_mut(channel.rkey)
+        .write(va, &action.to_bytes())
+        .expect("route in bounds");
 }
 
 /// The slots each rung holds for a region of `region_len` bytes over the
@@ -398,10 +488,14 @@ mod tests {
         // Deliberately unsorted with a duplicate: both the program and the
         // install helper normalize, so the layouts must still agree.
         let levels = vec![16u8, 32, 24, 24];
-        let switch_ep =
-            extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(100), ip: 0x0a0000fe };
-        let server_ep =
-            extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(3), ip: 0x0a000003 };
+        let switch_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(100),
+            ip: 0x0a0000fe,
+        };
+        let server_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(3),
+            ip: 0x0a000003,
+        };
         let mut nic = RnicNode::new("routesrv", RnicConfig::at(server_ep));
         let region = ByteSize::from_mb(1);
         let channel = RdmaChannel::setup(switch_ep, PortId(2), &mut nic, region);
@@ -423,8 +517,11 @@ mod tests {
         let prog = RemoteLpmProgram::new(fib, channel, levels, Some(16));
 
         let mut b = SimBuilder::new(7);
-        let switch =
-            b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         // Four destinations exercising each rung plus a no-route address.
         let gen = b.add_node(Box::new(Gen {
             dsts: vec![

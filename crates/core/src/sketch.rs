@@ -157,7 +157,10 @@ pub fn estimate(
     counters: &[u64],
     flow: &FiveTuple,
 ) -> i64 {
-    assert!(counters.len() as u64 >= geometry.rows as u64 * geometry.cols, "dump too small");
+    assert!(
+        counters.len() as u64 >= geometry.rows as u64 * geometry.cols,
+        "dump too small"
+    );
     let mut per_row: Vec<i64> = (0..geometry.rows)
         .map(|row| {
             let v = counters[geometry.slot(row, flow) as usize];
@@ -230,7 +233,8 @@ mod tests {
     #[test]
     fn count_min_never_underestimates() {
         let g = SketchGeometry { rows: 4, cols: 64 };
-        let truth: Vec<(FiveTuple, u64)> = (0..100).map(|i| (flow(i), (i % 7 + 1) as u64)).collect();
+        let truth: Vec<(FiveTuple, u64)> =
+            (0..100).map(|i| (flow(i), (i % 7 + 1) as u64)).collect();
         let counters = local_sketch(SketchKind::CountMin, &g, &truth);
         for &(f, n) in &truth {
             let est = estimate(SketchKind::CountMin, &g, &counters, &f);
@@ -240,7 +244,10 @@ mod tests {
 
     #[test]
     fn count_min_is_tight_without_collisions() {
-        let g = SketchGeometry { rows: 4, cols: 4096 };
+        let g = SketchGeometry {
+            rows: 4,
+            cols: 4096,
+        };
         let truth = vec![(flow(1), 10), (flow(2), 20)];
         let counters = local_sketch(SketchKind::CountMin, &g, &truth);
         assert_eq!(estimate(SketchKind::CountMin, &g, &counters, &flow(1)), 10);
@@ -261,7 +268,10 @@ mod tests {
 
     #[test]
     fn heavy_hitters_ranks_correctly() {
-        let g = SketchGeometry { rows: 4, cols: 1024 };
+        let g = SketchGeometry {
+            rows: 4,
+            cols: 1024,
+        };
         let truth = vec![(flow(1), 100), (flow(2), 300), (flow(3), 5)];
         let counters = local_sketch(SketchKind::CountMin, &g, &truth);
         let candidates: Vec<FiveTuple> = truth.iter().map(|&(f, _)| f).collect();
@@ -278,7 +288,10 @@ mod tests {
         let f = flow(7);
         for row in 0..3 {
             let s = g.slot(row, &f);
-            assert!(s >= row as u64 * 128 && s < (row as u64 + 1) * 128, "slot outside its row");
+            assert!(
+                s >= row as u64 * 128 && s < (row as u64 + 1) * 128,
+                "slot outside its row"
+            );
         }
     }
 }

@@ -125,9 +125,15 @@ impl PipelineProgram for CpuSlowPathProgram {
     }
 
     fn on_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) {
-        let Some(pkt) = self.pending.remove(&token) else { return };
+        let Some(pkt) = self.pending.remove(&token) else {
+            return;
+        };
         let Some(flow) = flow_of(&pkt) else { return };
-        let action = self.soft_table.get(&flow).copied().unwrap_or(ActionEntry::NONE);
+        let action = self
+            .soft_table
+            .get(&flow)
+            .copied()
+            .unwrap_or(ActionEntry::NONE);
         if let Some(cache) = &mut self.cache {
             cache.insert(flow, action);
         }
@@ -160,7 +166,13 @@ mod tests {
             if self.sent >= self.n {
                 return;
             }
-            let flow = FiveTuple::new(0x0a000001, 0x0a000002, 5000 + (self.sent % 3) as u16, 80, 17);
+            let flow = FiveTuple::new(
+                0x0a000001,
+                0x0a000002,
+                5000 + (self.sent % 3) as u16,
+                80,
+                17,
+            );
             let pkt = build_data_packet(
                 MacAddr::local(1),
                 MacAddr::local(200),
@@ -192,7 +204,8 @@ mod tests {
     impl Node for Sink {
         fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _: PortId, pkt: Packet) {
             if let Ok(Some(info)) = parse_data_packet(&pkt) {
-                self.latency.push(ctx.now().saturating_since(info.data.sent_at));
+                self.latency
+                    .push(ctx.now().saturating_since(info.data.sent_at));
                 if info.ipv4.dscp == 46 {
                     self.dscp_ok += 1;
                 }
@@ -208,8 +221,7 @@ mod tests {
         let mut fib = Fib::new(8);
         fib.install(MacAddr::local(1), PortId(0));
         fib.install(MacAddr::local(2), PortId(1));
-        let mut prog =
-            CpuSlowPathProgram::new(fib, Some(16), TimeDelta::from_micros(50), 1024);
+        let mut prog = CpuSlowPathProgram::new(fib, Some(16), TimeDelta::from_micros(50), 1024);
         for i in 0..3u16 {
             let flow = FiveTuple::new(0x0a000001, 0x0a000002, 5000 + i, 80, 17);
             let mut act = ActionEntry::set_dscp(46);
@@ -223,8 +235,11 @@ mod tests {
             prog.install(flow, act2);
         }
         let mut b = SimBuilder::new(8);
-        let switch =
-            b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         // Spaced arrivals: the cache is warm before each flow repeats.
         let gen = b.add_node(Box::new(Gen {
             n: 60,
@@ -232,7 +247,10 @@ mod tests {
             gap: TimeDelta::from_micros(100),
             tx: TxQueue::new(PortId(0)),
         }));
-        let sink = b.add_node(Box::new(Sink { latency: vec![], dscp_ok: 0 }));
+        let sink = b.add_node(Box::new(Sink {
+            latency: vec![],
+            dscp_ok: 0,
+        }));
         let link = LinkSpec::testbed_40g();
         b.connect(switch, PortId(0), gen, PortId(0), link);
         b.connect(switch, PortId(1), sink, PortId(0), link);
@@ -244,8 +262,16 @@ mod tests {
         assert_eq!(sink.latency.len(), 60);
         assert_eq!(sink.dscp_ok, 60, "every packet must get its action");
         // First packet of each of the 3 flows punts (50us); the rest hit.
-        let slow = sink.latency.iter().filter(|d| d.as_micros_f64() > 40.0).count();
-        let fast = sink.latency.iter().filter(|d| d.as_micros_f64() < 10.0).count();
+        let slow = sink
+            .latency
+            .iter()
+            .filter(|d| d.as_micros_f64() > 40.0)
+            .count();
+        let fast = sink
+            .latency
+            .iter()
+            .filter(|d| d.as_micros_f64() < 10.0)
+            .count();
         assert_eq!(slow, 3, "exactly the cold packets pay the CPU trip");
         assert_eq!(fast, 57);
         let sw: &SwitchNode = sim.node(switch);
@@ -262,15 +288,21 @@ mod tests {
         // No cache: everything punts; queue of 4.
         let prog = CpuSlowPathProgram::new(fib, None, TimeDelta::from_micros(100), 4);
         let mut b = SimBuilder::new(8);
-        let switch =
-            b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         let gen = b.add_node(Box::new(Gen {
             n: 40,
             sent: 0,
             gap: TimeDelta::from_micros(1),
             tx: TxQueue::new(PortId(0)),
         }));
-        let sink = b.add_node(Box::new(Sink { latency: vec![], dscp_ok: 0 }));
+        let sink = b.add_node(Box::new(Sink {
+            latency: vec![],
+            dscp_ok: 0,
+        }));
         let link = LinkSpec::testbed_40g();
         b.connect(switch, PortId(0), gen, PortId(0), link);
         b.connect(switch, PortId(1), sink, PortId(0), link);
@@ -279,6 +311,9 @@ mod tests {
         sim.run_until(Time::from_millis(5));
         let sw: &SwitchNode = sim.node(switch);
         let s = sw.program::<CpuSlowPathProgram>().stats();
-        assert!(s.punt_drops > 0, "bounded punt queue must drop under load: {s:?}");
+        assert!(
+            s.punt_drops > 0,
+            "bounded punt queue must drop under load: {s:?}"
+        );
     }
 }

@@ -83,6 +83,12 @@ impl StateStoreProgram {
         self.engine.is_quiescent()
     }
 
+    /// Whether the reliability layer gave up and updates accumulate
+    /// locally.
+    pub fn is_degraded(&self) -> bool {
+        self.engine.is_degraded()
+    }
+
     /// The counter slot a flow maps to.
     pub fn slot_of(&self, flow: &extmem_types::FiveTuple) -> u64 {
         flow_index(flow, self.counters)
@@ -219,12 +225,22 @@ mod tests {
     }
 
     fn rig(config: FaaConfig, n_packets: u32, n_flows: usize, gap_ns: u64, seed: u64) -> Rig {
-        let switch_ep = extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(100), ip: 0x0a0000fe };
-        let server_ep = extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(3), ip: 0x0a000003 };
+        let switch_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(100),
+            ip: 0x0a0000fe,
+        };
+        let server_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(3),
+            ip: 0x0a000003,
+        };
         let mut nic = RnicNode::new("memsrv", RnicConfig::at(server_ep));
         let counters = 1024u64;
-        let channel =
-            RdmaChannel::setup(switch_ep, PortId(2), &mut nic, ByteSize::from_bytes(counters * 8));
+        let channel = RdmaChannel::setup(
+            switch_ep,
+            PortId(2),
+            &mut nic,
+            ByteSize::from_bytes(counters * 8),
+        );
         let rkey = channel.rkey;
         let base_va = channel.base_va;
 
@@ -248,15 +264,38 @@ mod tests {
             tx: TxQueue::new(PortId(0)),
         }));
         let sink = b.add_node(Box::new(Sink { rx: 0 }));
-        let switch =
-            b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         let memsrv = b.add_node(Box::new(nic));
-        b.connect(switch, PortId(0), source, PortId(0), LinkSpec::testbed_40g());
+        b.connect(
+            switch,
+            PortId(0),
+            source,
+            PortId(0),
+            LinkSpec::testbed_40g(),
+        );
         b.connect(switch, PortId(1), sink, PortId(0), LinkSpec::testbed_40g());
-        b.connect(switch, PortId(2), memsrv, PortId(0), LinkSpec::testbed_40g());
+        b.connect(
+            switch,
+            PortId(2),
+            memsrv,
+            PortId(0),
+            LinkSpec::testbed_40g(),
+        );
         let mut sim = b.build();
         sim.schedule_timer(source, TimeDelta::ZERO, 0);
-        Rig { sim, switch, memsrv, sink, rkey, base_va, counters }
+        Rig {
+            sim,
+            switch,
+            memsrv,
+            sink,
+            rkey,
+            base_va,
+            counters,
+        }
     }
 
     fn run_and_settle(r: &mut Rig) {
@@ -297,7 +336,11 @@ mod tests {
         }
         assert_eq!(remote.iter().sum::<u64>(), 500);
         assert_eq!(nic.stats().cpu_packets, 0);
-        assert_eq!(nic.stats().atomic_overflow_drops, 0, "switch bound must protect the NIC");
+        assert_eq!(
+            nic.stats().atomic_overflow_drops,
+            0,
+            "switch bound must protect the NIC"
+        );
     }
 
     #[test]
@@ -311,20 +354,45 @@ mod tests {
         let prog = sw.program::<StateStoreProgram>();
         let s = prog.faa_stats();
         assert_eq!(s.updates, 2000);
-        assert!(s.merged > 0, "line-rate traffic must trigger accumulation: {s:?}");
+        assert!(
+            s.merged > 0,
+            "line-rate traffic must trigger accumulation: {s:?}"
+        );
         assert!(s.faa_sent < 2000, "batching must reduce FaA count: {s:?}");
         assert!(prog.is_quiescent());
         remote_plus_transit_equals_oracle(&r);
         let nic = r.sim.node::<RnicNode>(r.memsrv);
         let remote = read_remote_counters(nic, r.rkey, r.base_va, r.counters);
-        assert_eq!(remote.iter().sum::<u64>(), 2000, "accuracy must survive accumulation");
+        assert_eq!(
+            remote.iter().sum::<u64>(),
+            2000,
+            "accuracy must survive accumulation"
+        );
     }
 
     #[test]
     fn batching_reduces_faa_traffic_further() {
-        let mut r1 = rig(FaaConfig { min_batch: 1, ..Default::default() }, 1000, 4, 60, 9);
+        let mut r1 = rig(
+            FaaConfig {
+                min_batch: 1,
+                ..Default::default()
+            },
+            1000,
+            4,
+            60,
+            9,
+        );
         run_and_settle(&mut r1);
-        let mut r8 = rig(FaaConfig { min_batch: 8, ..Default::default() }, 1000, 4, 60, 9);
+        let mut r8 = rig(
+            FaaConfig {
+                min_batch: 8,
+                ..Default::default()
+            },
+            1000,
+            4,
+            60,
+            9,
+        );
         run_and_settle(&mut r8);
         let faa1 = {
             let sw: &SwitchNode = r1.sim.node::<SwitchNode>(r1.switch);
@@ -334,7 +402,10 @@ mod tests {
             let sw: &SwitchNode = r8.sim.node::<SwitchNode>(r8.switch);
             sw.program::<StateStoreProgram>().faa_stats().faa_sent
         };
-        assert!(faa8 < faa1, "min_batch=8 sent {faa8}, min_batch=1 sent {faa1}");
+        assert!(
+            faa8 < faa1,
+            "min_batch=8 sent {faa8}, min_batch=1 sent {faa1}"
+        );
         // Accuracy unaffected after flush.
         remote_plus_transit_equals_oracle(&r8);
         let sw: &SwitchNode = r8.sim.node::<SwitchNode>(r8.switch);
@@ -354,8 +425,9 @@ mod tests {
             let sw: &SwitchNode = r.sim.node::<SwitchNode>(r.switch);
             let prog = sw.program::<StateStoreProgram>();
             let nic = r.sim.node::<RnicNode>(r.memsrv);
-            let remote: u64 =
-                read_remote_counters(nic, r.rkey, r.base_va, r.counters).iter().sum();
+            let remote: u64 = read_remote_counters(nic, r.rkey, r.base_va, r.counters)
+                .iter()
+                .sum();
             let oracle: u64 = prog.oracle.values().sum();
             assert!(remote + prog.pending_sum() <= oracle, "overcount!");
             assert!(oracle <= remote + prog.in_transit(), "updates vanished!");
@@ -368,12 +440,22 @@ mod tests {
     fn reliable_mode_survives_a_lossy_channel() {
         // Build a rig with 2% drop on the server link, reliable mode on:
         // the remote counters must still be exact.
-        let switch_ep = extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(100), ip: 0x0a0000fe };
-        let server_ep = extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(3), ip: 0x0a000003 };
+        let switch_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(100),
+            ip: 0x0a0000fe,
+        };
+        let server_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(3),
+            ip: 0x0a000003,
+        };
         let mut nic = RnicNode::new("memsrv", RnicConfig::at(server_ep));
         let counters = 64u64;
-        let channel =
-            RdmaChannel::setup(switch_ep, PortId(2), &mut nic, ByteSize::from_bytes(counters * 8));
+        let channel = RdmaChannel::setup(
+            switch_ep,
+            PortId(2),
+            &mut nic,
+            ByteSize::from_bytes(counters * 8),
+        );
         let rkey = channel.rkey;
         let base_va = channel.base_va;
         let mut fib = Fib::new(8);
@@ -381,7 +463,11 @@ mod tests {
         fib.install(MacAddr::local(2), PortId(1));
         let engine = FaaEngine::new(
             channel,
-            FaaConfig { reliable: true, rto: TimeDelta::from_micros(50), ..Default::default() },
+            FaaConfig {
+                reliable: true,
+                rto: TimeDelta::from_micros(50),
+                ..Default::default()
+            },
         );
         let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(20));
 
@@ -395,13 +481,22 @@ mod tests {
             tx: TxQueue::new(PortId(0)),
         }));
         let sink = b.add_node(Box::new(Sink { rx: 0 }));
-        let switch =
-            b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         let memsrv = b.add_node(Box::new(nic));
-        b.connect(switch, PortId(0), source, PortId(0), LinkSpec::testbed_40g());
+        b.connect(
+            switch,
+            PortId(0),
+            source,
+            PortId(0),
+            LinkSpec::testbed_40g(),
+        );
         b.connect(switch, PortId(1), sink, PortId(0), LinkSpec::testbed_40g());
         let mut lossy = LinkSpec::testbed_40g();
-        lossy.faults = extmem_sim::FaultSpec { drop_prob: 0.02, corrupt_prob: 0.0 };
+        lossy.faults = extmem_sim::FaultSpec::drop(0.02);
         b.connect(switch, PortId(2), memsrv, PortId(0), lossy);
         let mut sim = b.build();
         sim.schedule_timer(source, TimeDelta::ZERO, 0);
@@ -410,10 +505,18 @@ mod tests {
         let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
         let prog = sw.program::<StateStoreProgram>();
         let s = prog.faa_stats();
-        assert!(s.retransmits > 0 || s.naks > 0, "loss should have triggered recovery: {s:?}");
-        assert!(prog.is_quiescent(), "reliable mode must eventually settle: {s:?}");
+        assert!(
+            s.retransmits > 0 || s.naks > 0,
+            "loss should have triggered recovery: {s:?}"
+        );
+        assert!(
+            prog.is_quiescent(),
+            "reliable mode must eventually settle: {s:?}"
+        );
         let nic = sim.node::<RnicNode>(memsrv);
-        let remote: u64 = read_remote_counters(nic, rkey, base_va, counters).iter().sum();
+        let remote: u64 = read_remote_counters(nic, rkey, base_va, counters)
+            .iter()
+            .sum();
         let oracle: u64 = prog.oracle.values().sum();
         assert_eq!(remote, oracle, "reliable mode must deliver exact counts");
     }
@@ -422,12 +525,22 @@ mod tests {
     fn best_effort_mode_undercounts_on_loss() {
         // Same loss, reliability off: the §7 observation that "an RDMA
         // packet drop would affect the accuracy of the state".
-        let switch_ep = extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(100), ip: 0x0a0000fe };
-        let server_ep = extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(3), ip: 0x0a000003 };
+        let switch_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(100),
+            ip: 0x0a0000fe,
+        };
+        let server_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(3),
+            ip: 0x0a000003,
+        };
         let mut nic = RnicNode::new("memsrv", RnicConfig::at(server_ep));
         let counters = 64u64;
-        let channel =
-            RdmaChannel::setup(switch_ep, PortId(2), &mut nic, ByteSize::from_bytes(counters * 8));
+        let channel = RdmaChannel::setup(
+            switch_ep,
+            PortId(2),
+            &mut nic,
+            ByteSize::from_bytes(counters * 8),
+        );
         let rkey = channel.rkey;
         let base_va = channel.base_va;
         let mut fib = Fib::new(8);
@@ -446,24 +559,38 @@ mod tests {
             tx: TxQueue::new(PortId(0)),
         }));
         let sink = b.add_node(Box::new(Sink { rx: 0 }));
-        let switch =
-            b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         let memsrv = b.add_node(Box::new(nic));
-        b.connect(switch, PortId(0), source, PortId(0), LinkSpec::testbed_40g());
+        b.connect(
+            switch,
+            PortId(0),
+            source,
+            PortId(0),
+            LinkSpec::testbed_40g(),
+        );
         b.connect(switch, PortId(1), sink, PortId(0), LinkSpec::testbed_40g());
         let mut lossy = LinkSpec::testbed_40g();
-        lossy.faults = extmem_sim::FaultSpec { drop_prob: 0.05, corrupt_prob: 0.0 };
+        lossy.faults = extmem_sim::FaultSpec::drop(0.05);
         b.connect(switch, PortId(2), memsrv, PortId(0), lossy);
         let mut sim = b.build();
         sim.schedule_timer(source, TimeDelta::ZERO, 0);
         sim.run_until(Time::from_millis(20));
 
         let nic = sim.node::<RnicNode>(memsrv);
-        let remote: u64 = read_remote_counters(nic, rkey, base_va, counters).iter().sum();
+        let remote: u64 = read_remote_counters(nic, rkey, base_va, counters)
+            .iter()
+            .sum();
         let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
         let prog = sw.program::<StateStoreProgram>();
         let oracle: u64 = prog.oracle.values().sum();
-        assert!(remote < oracle, "5% loss without reliability must undercount");
+        assert!(
+            remote < oracle,
+            "5% loss without reliability must undercount"
+        );
         assert!(remote > oracle / 2, "but most updates should land");
     }
 }

@@ -145,8 +145,14 @@ impl TraceStoreProgram {
         // ring end, so a batch never wraps mid-WRITE.
         let slot = first_seq % self.ring_records;
         let va = self.channel.base_va + slot * RECORD_LEN as u64;
-        let req = self.channel.qp.write_only(self.channel.rkey, va, payload, false);
-        ctx.enqueue(self.channel.server_port, req.build().expect("trace write encodes"));
+        let req = self
+            .channel
+            .qp
+            .write_only(self.channel.rkey, va, payload, false);
+        ctx.enqueue(
+            self.channel.server_port,
+            req.build().expect("trace write encodes"),
+        );
         self.stats.writes += 1;
     }
 
@@ -157,7 +163,12 @@ impl TraceStoreProgram {
         if seq >= self.ring_records {
             self.stats.overwritten += 1;
         }
-        self.staged.push(TraceRecord { seq, at: ctx.now(), flow, frame_len });
+        self.staged.push(TraceRecord {
+            seq,
+            at: ctx.now(),
+            flow,
+            frame_len,
+        });
         let next_slot = self.next_seq % self.ring_records;
         if self.staged.len() >= self.batch || next_slot == 0 {
             self.flush(ctx);
@@ -210,7 +221,9 @@ pub fn read_remote_trace(
     (start..captured)
         .map(|seq| {
             let slot = seq % ring_records;
-            let b = region.read(base_va + slot * RECORD_LEN as u64, RECORD_LEN as u64).unwrap();
+            let b = region
+                .read(base_va + slot * RECORD_LEN as u64, RECORD_LEN as u64)
+                .unwrap();
             TraceRecord::from_bytes(b.try_into().unwrap())
         })
         .collect()
@@ -273,13 +286,19 @@ pub mod analysis {
 
     /// Median inter-arrival gap of one flow, if it has at least two packets.
     pub fn median_interarrival(trace: &[TraceRecord], flow: &FiveTuple) -> Option<TimeDelta> {
-        let mut times: Vec<_> = trace.iter().filter(|r| &r.flow == flow).map(|r| r.at).collect();
+        let mut times: Vec<_> = trace
+            .iter()
+            .filter(|r| &r.flow == flow)
+            .map(|r| r.at)
+            .collect();
         if times.len() < 2 {
             return None;
         }
         times.sort_unstable();
-        let mut gaps: Vec<u64> =
-            times.windows(2).map(|w| w[1].saturating_since(w[0]).picos()).collect();
+        let mut gaps: Vec<u64> = times
+            .windows(2)
+            .map(|w| w[1].saturating_since(w[0]).picos())
+            .collect();
         gaps.sort_unstable();
         Some(TimeDelta::from_picos(gaps[gaps.len() / 2]))
     }
@@ -318,7 +337,13 @@ mod tests {
             if self.sent >= self.n {
                 return;
             }
-            let flow = FiveTuple::new(0x0a000001, 0x0a000002, 5000 + (self.sent % 7) as u16, 9000, 17);
+            let flow = FiveTuple::new(
+                0x0a000001,
+                0x0a000002,
+                5000 + (self.sent % 7) as u16,
+                9000,
+                17,
+            );
             let pkt = build_data_packet(
                 MacAddr::local(1),
                 MacAddr::local(2),
@@ -351,24 +376,49 @@ mod tests {
         }
     }
 
-    fn rig(n: u32, batch: usize, ring_bytes: u64) -> (extmem_sim::Simulator, NodeId, NodeId, Rkey, u64) {
-        let server_ep = extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(3), ip: 0x0a000003 };
-        let switch_ep = extmem_wire::roce::RoceEndpoint { mac: MacAddr::local(100), ip: 0x0a0000fe };
+    fn rig(
+        n: u32,
+        batch: usize,
+        ring_bytes: u64,
+    ) -> (extmem_sim::Simulator, NodeId, NodeId, Rkey, u64) {
+        let server_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(3),
+            ip: 0x0a000003,
+        };
+        let switch_ep = extmem_wire::roce::RoceEndpoint {
+            mac: MacAddr::local(100),
+            ip: 0x0a0000fe,
+        };
         let mut nic = RnicNode::new("tracesrv", RnicConfig::at(server_ep));
-        let channel =
-            RdmaChannel::setup(switch_ep, PortId(2), &mut nic, ByteSize::from_bytes(ring_bytes));
+        let channel = RdmaChannel::setup(
+            switch_ep,
+            PortId(2),
+            &mut nic,
+            ByteSize::from_bytes(ring_bytes),
+        );
         let rkey = channel.rkey;
         let base = channel.base_va;
         let mut fib = Fib::new(8);
         fib.install(MacAddr::local(1), PortId(0));
         fib.install(MacAddr::local(2), PortId(1));
-        let prog =
-            TraceStoreProgram::new(fib, channel, batch, extmem_types::TimeDelta::from_micros(20));
+        let prog = TraceStoreProgram::new(
+            fib,
+            channel,
+            batch,
+            extmem_types::TimeDelta::from_micros(20),
+        );
         let mut b = SimBuilder::new(5);
-        let src = b.add_node(Box::new(Src { n, sent: 0, tx: TxQueue::new(PortId(0)) }));
+        let src = b.add_node(Box::new(Src {
+            n,
+            sent: 0,
+            tx: TxQueue::new(PortId(0)),
+        }));
         let sink = b.add_node(Box::new(Sink));
-        let switch =
-            b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(prog))));
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
         let srv = b.add_node(Box::new(nic));
         b.connect(switch, PortId(0), src, PortId(0), LinkSpec::testbed_40g());
         b.connect(switch, PortId(1), sink, PortId(0), LinkSpec::testbed_40g());
@@ -392,8 +442,16 @@ mod tests {
         assert_eq!(trace.len(), 50);
         for (i, r) in trace.iter().enumerate() {
             assert_eq!(r.seq, i as u64, "sequence gap");
-            assert_eq!(r.flow.src_port, 5000 + (i % 7) as u16, "wrong flow captured");
-            assert_eq!(r.frame_len as usize, 100 + (i % 3) * 100, "wrong length captured");
+            assert_eq!(
+                r.flow.src_port,
+                5000 + (i % 7) as u16,
+                "wrong flow captured"
+            );
+            assert_eq!(
+                r.frame_len as usize,
+                100 + (i % 3) * 100,
+                "wrong length captured"
+            );
         }
         // Timestamps are monotone.
         assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
@@ -415,12 +473,29 @@ mod tests {
                 frame_len: 1000,
             })
             .collect();
-        trace.push(TraceRecord { seq: 10, at: Time::from_micros(5), flow: fb, frame_len: 64 });
+        trace.push(TraceRecord {
+            seq: 10,
+            at: Time::from_micros(5),
+            flow: fb,
+            frame_len: 64,
+        });
         trace.sort_by_key(|r| r.at);
 
         let agg = per_flow(&trace);
-        assert_eq!(agg[&fa], FlowAgg { packets: 10, bytes: 10_000 });
-        assert_eq!(agg[&fb], FlowAgg { packets: 1, bytes: 64 });
+        assert_eq!(
+            agg[&fa],
+            FlowAgg {
+                packets: 10,
+                bytes: 10_000
+            }
+        );
+        assert_eq!(
+            agg[&fb],
+            FlowAgg {
+                packets: 1,
+                bytes: 64
+            }
+        );
 
         let top = top_k_by_bytes(&trace, 1);
         assert_eq!(top[0].0, fa);
@@ -429,7 +504,10 @@ mod tests {
         let burst = max_burst_bytes(&trace, TimeDelta::from_micros(3));
         assert_eq!(burst, 4 * 1000 + 64);
 
-        assert_eq!(median_interarrival(&trace, &fa), Some(TimeDelta::from_micros(1)));
+        assert_eq!(
+            median_interarrival(&trace, &fa),
+            Some(TimeDelta::from_micros(1))
+        );
         assert_eq!(median_interarrival(&trace, &fb), None);
     }
 
@@ -456,7 +534,11 @@ mod tests {
         let sw: &SwitchNode = sim.node(switch);
         let s = sw.program::<TraceStoreProgram>().stats();
         assert_eq!(s.captured, 60);
-        assert!(s.writes <= 7, "10-record batches should need ~6 writes, got {}", s.writes);
+        assert!(
+            s.writes <= 7,
+            "10-record batches should need ~6 writes, got {}",
+            s.writes
+        );
     }
 
     #[test]

@@ -71,7 +71,9 @@ impl MemoryRegion {
     }
 
     fn offset_of(&self, va: u64, len: u64) -> Result<usize, AccessError> {
-        let end = va.checked_add(len).ok_or(AccessError::OutOfBounds { va, len })?;
+        let end = va
+            .checked_add(len)
+            .ok_or(AccessError::OutOfBounds { va, len })?;
         if va < self.base_va || end > self.base_va + self.bytes.len() as u64 {
             return Err(AccessError::OutOfBounds { va, len });
         }
@@ -121,7 +123,11 @@ const VA_BASE: u64 = 0x1000_0000;
 impl MrTable {
     /// An empty table.
     pub fn new() -> MrTable {
-        MrTable { regions: HashMap::new(), next_rkey: 1, next_va: VA_BASE }
+        MrTable {
+            regions: HashMap::new(),
+            next_rkey: 1,
+            next_va: VA_BASE,
+        }
     }
 
     /// Register a zero-initialized region of `size` bytes; returns its rkey
@@ -137,19 +143,27 @@ impl MrTable {
         self.next_va += padded;
         self.regions.insert(
             rkey,
-            MemoryRegion { rkey, base_va, bytes: vec![0; size.as_usize()] },
+            MemoryRegion {
+                rkey,
+                base_va,
+                bytes: vec![0; size.as_usize()],
+            },
         );
         (rkey, base_va)
     }
 
     /// Look up a region by rkey.
     pub fn get(&self, rkey: Rkey) -> Result<&MemoryRegion, AccessError> {
-        self.regions.get(&rkey).ok_or(AccessError::UnknownRkey(rkey))
+        self.regions
+            .get(&rkey)
+            .ok_or(AccessError::UnknownRkey(rkey))
     }
 
     /// Mutable lookup by rkey.
     pub fn get_mut(&mut self, rkey: Rkey) -> Result<&mut MemoryRegion, AccessError> {
-        self.regions.get_mut(&rkey).ok_or(AccessError::UnknownRkey(rkey))
+        self.regions
+            .get_mut(&rkey)
+            .ok_or(AccessError::UnknownRkey(rkey))
     }
 
     /// Number of registered regions.
@@ -176,7 +190,10 @@ mod tests {
     fn register_and_rw_roundtrip() {
         let mut t = MrTable::new();
         let (rkey, base) = t.register(ByteSize::from_kb(4));
-        t.get_mut(rkey).unwrap().write(base + 100, b"hello").unwrap();
+        t.get_mut(rkey)
+            .unwrap()
+            .write(base + 100, b"hello")
+            .unwrap();
         assert_eq!(t.get(rkey).unwrap().read(base + 100, 5).unwrap(), b"hello");
         assert_eq!(t.len(), 1);
         assert_eq!(t.total_bytes(), 4000);
@@ -198,17 +215,32 @@ mod tests {
         let (rkey, base) = t.register(ByteSize::from_bytes(128));
         let r = t.get_mut(rkey).unwrap();
         assert!(r.read(base, 128).is_ok());
-        assert!(matches!(r.read(base, 129), Err(AccessError::OutOfBounds { .. })));
-        assert!(matches!(r.read(base - 1, 1), Err(AccessError::OutOfBounds { .. })));
-        assert!(matches!(r.write(base + 120, &[0; 9]), Err(AccessError::OutOfBounds { .. })));
+        assert!(matches!(
+            r.read(base, 129),
+            Err(AccessError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.read(base - 1, 1),
+            Err(AccessError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.write(base + 120, &[0; 9]),
+            Err(AccessError::OutOfBounds { .. })
+        ));
         // Overflowing VA must not panic.
-        assert!(matches!(r.read(u64::MAX, 2), Err(AccessError::OutOfBounds { .. })));
+        assert!(matches!(
+            r.read(u64::MAX, 2),
+            Err(AccessError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
     fn unknown_rkey() {
         let t = MrTable::new();
-        assert!(matches!(t.get(Rkey(99)), Err(AccessError::UnknownRkey(Rkey(99)))));
+        assert!(matches!(
+            t.get(Rkey(99)),
+            Err(AccessError::UnknownRkey(Rkey(99)))
+        ));
     }
 
     #[test]
@@ -218,11 +250,17 @@ mod tests {
         let r = t.get_mut(rkey).unwrap();
         assert_eq!(r.fetch_add(base, 5).unwrap(), 0);
         assert_eq!(r.fetch_add(base, 7).unwrap(), 5);
-        assert_eq!(u64::from_be_bytes(r.read(base, 8).unwrap().try_into().unwrap()), 12);
+        assert_eq!(
+            u64::from_be_bytes(r.read(base, 8).unwrap().try_into().unwrap()),
+            12
+        );
         // Wrapping behaviour.
         r.write(base + 8, &u64::MAX.to_be_bytes()).unwrap();
         assert_eq!(r.fetch_add(base + 8, 2).unwrap(), u64::MAX);
-        assert_eq!(u64::from_be_bytes(r.read(base + 8, 8).unwrap().try_into().unwrap()), 1);
+        assert_eq!(
+            u64::from_be_bytes(r.read(base + 8, 8).unwrap().try_into().unwrap()),
+            1
+        );
     }
 
     #[test]
@@ -230,7 +268,10 @@ mod tests {
         let mut t = MrTable::new();
         let (rkey, base) = t.register(ByteSize::from_bytes(64));
         let r = t.get_mut(rkey).unwrap();
-        assert!(matches!(r.fetch_add(base + 4, 1), Err(AccessError::Misaligned { .. })));
+        assert!(matches!(
+            r.fetch_add(base + 4, 1),
+            Err(AccessError::Misaligned { .. })
+        ));
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub struct RnicConfig {
 impl Default for RnicConfig {
     fn default() -> Self {
         RnicConfig {
-            endpoint: RoceEndpoint { mac: extmem_wire::MacAddr::ZERO, ip: 0 },
+            endpoint: RoceEndpoint {
+                mac: extmem_wire::MacAddr::ZERO,
+                ip: 0,
+            },
             mtu: 2048,
             write_bw: Rate::from_gbps_f64(48.0),
             read_bw: Rate::from_gbps_f64(55.0),
@@ -87,7 +90,10 @@ impl Default for RnicConfig {
 impl RnicConfig {
     /// Default config with the given identity.
     pub fn at(endpoint: RoceEndpoint) -> RnicConfig {
-        RnicConfig { endpoint, ..Default::default() }
+        RnicConfig {
+            endpoint,
+            ..Default::default()
+        }
     }
 }
 
@@ -121,6 +127,9 @@ pub struct RnicStats {
     pub cpu_packets: u64,
     /// Packets dropped because they arrived during a configured outage.
     pub outage_drops: u64,
+    /// Timer firings with a token this NIC never armed. Ignored, counted,
+    /// and logged once rather than crashing the whole simulation.
+    pub unknown_timer_tokens: u64,
 }
 
 /// Timer token: the packet at the head of the service pipeline completed.
@@ -149,7 +158,10 @@ impl RnicNode {
     /// Create an RNIC with `name` and `config`.
     pub fn new(name: impl Into<String>, config: RnicConfig) -> RnicNode {
         assert!(config.mtu > 0, "MTU must be positive");
-        assert!(config.atomic_ops_per_sec > 0, "atomic rate must be positive");
+        assert!(
+            config.atomic_ops_per_sec > 0,
+            "atomic rate must be positive"
+        );
         RnicNode {
             name: name.into(),
             config,
@@ -201,7 +213,8 @@ impl RnicNode {
         let qpn = QpNum(self.next_qpn);
         self.next_qpn += 1;
         let qp = QueuePair::new(qpn, peer, peer_qpn, start_psn);
-        self.qps.insert(qpn, if relaxed { qp.relaxed() } else { qp });
+        self.qps
+            .insert(qpn, if relaxed { qp.relaxed() } else { qp });
         qpn
     }
 
@@ -258,14 +271,19 @@ impl RnicNode {
         if self.busy {
             return;
         }
-        let Some(front) = self.rx_queue.front() else { return };
+        let Some(front) = self.rx_queue.front() else {
+            return;
+        };
         let dt = self.service_time(front);
         self.busy = true;
         ctx.schedule(dt, TOKEN_SERVICE_DONE);
     }
 
     fn complete_service(&mut self, ctx: &mut NodeCtx<'_>) {
-        let req = self.rx_queue.pop_front().expect("service completion without request");
+        let req = self
+            .rx_queue
+            .pop_front()
+            .expect("service completion without request");
         self.busy = false;
         if req.bth.opcode == Opcode::FetchAdd {
             self.atomics_in_flight -= 1;
@@ -276,7 +294,13 @@ impl RnicNode {
             self.maybe_start_service(ctx);
             return;
         };
-        let result = process_request(self.config.endpoint, qp, &mut self.mrs, &req, self.config.mtu);
+        let result = process_request(
+            self.config.endpoint,
+            qp,
+            &mut self.mrs,
+            &req,
+            self.config.mtu,
+        );
         match result.outcome {
             Outcome::WriteExecuted { bytes } => {
                 self.stats.writes += 1;
@@ -293,7 +317,8 @@ impl RnicNode {
         }
         for resp in result.responses {
             let mut buf = std::mem::take(&mut self.scratch);
-            resp.build_into(&mut buf).expect("response packet must encode");
+            resp.build_into(&mut buf)
+                .expect("response packet must encode");
             self.tx.send(ctx, Packet::from_vec(buf));
         }
         self.maybe_start_service(ctx);
@@ -345,7 +370,12 @@ impl Node for RnicNode {
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
         match token {
             TOKEN_SERVICE_DONE => self.complete_service(ctx),
-            other => panic!("unknown RNIC timer token {other}"),
+            other => {
+                if self.stats.unknown_timer_tokens == 0 {
+                    eprintln!("rnic {}: ignoring unknown timer token {other:#x}", self.name);
+                }
+                self.stats.unknown_timer_tokens += 1;
+            }
         }
     }
 
@@ -378,7 +408,11 @@ mod tests {
 
     impl Driver {
         fn new(pkts: Vec<Packet>) -> Driver {
-            Driver { to_send: pkts.into(), tx: TxQueue::new(PortId(0)), received: Vec::new() }
+            Driver {
+                to_send: pkts.into(),
+                tx: TxQueue::new(PortId(0)),
+                received: Vec::new(),
+            }
         }
     }
 
@@ -402,11 +436,17 @@ mod tests {
     }
 
     fn client_endpoint() -> RoceEndpoint {
-        RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 }
+        RoceEndpoint {
+            mac: MacAddr::local(1),
+            ip: 0x0a000001,
+        }
     }
 
     fn server_endpoint() -> RoceEndpoint {
-        RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 }
+        RoceEndpoint {
+            mac: MacAddr::local(2),
+            ip: 0x0a000002,
+        }
     }
 
     /// Build a sim: driver —40G— RNIC with one region and one QP.
@@ -432,7 +472,11 @@ mod tests {
             server_endpoint(),
             0x9000,
             Bth::new(Opcode::WriteOnly, qpn, psn),
-            RoceExt::Reth(Reth { va, rkey, dma_len: len }),
+            RoceExt::Reth(Reth {
+                va,
+                rkey,
+                dma_len: len,
+            }),
             payload,
         )
         .build()
@@ -445,7 +489,11 @@ mod tests {
             server_endpoint(),
             0x9000,
             Bth::new(Opcode::ReadRequest, qpn, psn),
-            RoceExt::Reth(Reth { va, rkey, dma_len: len }),
+            RoceExt::Reth(Reth {
+                va,
+                rkey,
+                dma_len: len,
+            }),
             vec![],
         )
         .build()
@@ -458,7 +506,12 @@ mod tests {
             server_endpoint(),
             0x9000,
             Bth::new(Opcode::FetchAdd, qpn, psn),
-            RoceExt::AtomicEth(extmem_wire::atomic::AtomicEth { va, rkey, swap_add: add, compare: 0 }),
+            RoceExt::AtomicEth(extmem_wire::atomic::AtomicEth {
+                va,
+                rkey,
+                swap_add: add,
+                compare: 0,
+            }),
             vec![],
         )
         .build()
@@ -490,9 +543,8 @@ mod tests {
 
     #[test]
     fn fetch_add_accumulates_and_acks() {
-        let (mut sim, driver, rnic) = rig(|qpn, rkey, base| {
-            (0..5).map(|i| build_fadd(qpn, rkey, base, i, 10)).collect()
-        });
+        let (mut sim, driver, rnic) =
+            rig(|qpn, rkey, base| (0..5).map(|i| build_fadd(qpn, rkey, base, i, 10)).collect());
         sim.run_to_quiescence();
         let nic = sim.node::<RnicNode>(rnic);
         assert_eq!(nic.stats().atomics, 5);
@@ -511,9 +563,8 @@ mod tests {
     fn atomic_rate_is_capped() {
         // 5 atomics at 1.7 Mops/s take ~2.94us of service; the last ACK
         // cannot arrive earlier than that.
-        let (mut sim, driver, _) = rig(|qpn, rkey, base| {
-            (0..5).map(|i| build_fadd(qpn, rkey, base, i, 1)).collect()
-        });
+        let (mut sim, driver, _) =
+            rig(|qpn, rkey, base| (0..5).map(|i| build_fadd(qpn, rkey, base, i, 1)).collect());
         sim.run_to_quiescence();
         assert_eq!(sim.node::<Driver>(driver).received.len(), 5);
         let per_op = 1_000_000_000_000u64.div_ceil(1_700_000);
@@ -538,8 +589,9 @@ mod tests {
         );
         let (rkey, base) = nic.register_region(ByteSize::from_kb(64));
         let qpn = nic.create_qp(client_endpoint(), QpNum(0x55), 0);
-        let packets: Vec<Packet> =
-            (0..20).map(|i| build_write(qpn, rkey, base, i, vec![0; 1000])).collect();
+        let packets: Vec<Packet> = (0..20)
+            .map(|i| build_write(qpn, rkey, base, i, vec![0; 1000]))
+            .collect();
 
         let mut b = SimBuilder::new(1);
         let driver = b.add_node(Box::new(Driver::new(packets)));
@@ -566,7 +618,10 @@ mod tests {
     fn outstanding_atomics_bound_enforced() {
         let mut nic = RnicNode::new(
             "rnic",
-            RnicConfig { max_outstanding_atomics: 2, ..RnicConfig::at(server_endpoint()) },
+            RnicConfig {
+                max_outstanding_atomics: 2,
+                ..RnicConfig::at(server_endpoint())
+            },
         );
         let (rkey, base) = nic.register_region(ByteSize::from_kb(4));
         let qpn = nic.create_qp(client_endpoint(), QpNum(0x55), 0);
@@ -582,8 +637,15 @@ mod tests {
         sim.schedule_timer(driver, TimeDelta::ZERO, 0);
         sim.run_to_quiescence();
         let stats = sim.node::<RnicNode>(rnic).stats();
-        assert!(stats.atomic_overflow_drops >= 7, "got {}", stats.atomic_overflow_drops);
-        assert!(stats.atomics + stats.atomic_overflow_drops + stats.naks + stats.out_of_sequence_drops >= 10);
+        assert!(
+            stats.atomic_overflow_drops >= 7,
+            "got {}",
+            stats.atomic_overflow_drops
+        );
+        assert!(
+            stats.atomics + stats.atomic_overflow_drops + stats.naks + stats.out_of_sequence_drops
+                >= 10
+        );
     }
 
     #[test]
@@ -621,9 +683,8 @@ mod tests {
 
     #[test]
     fn unknown_qp_dropped() {
-        let (mut sim, driver, rnic) = rig(|_qpn, rkey, base| {
-            vec![build_write(QpNum(0xdead), rkey, base, 0, vec![1; 8])]
-        });
+        let (mut sim, driver, rnic) =
+            rig(|_qpn, rkey, base| vec![build_write(QpNum(0xdead), rkey, base, 0, vec![1; 8])]);
         sim.run_to_quiescence();
         assert_eq!(sim.node::<RnicNode>(rnic).stats().malformed_drops, 1);
         assert!(sim.node::<Driver>(driver).received.is_empty());

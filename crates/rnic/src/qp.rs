@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn construction_defaults() {
-        let peer = RoceEndpoint { mac: MacAddr::local(1), ip: 10 };
+        let peer = RoceEndpoint {
+            mac: MacAddr::local(1),
+            ip: 10,
+        };
         let qp = QueuePair::new(QpNum(0x100), peer, QpNum(0x200), 77);
         assert_eq!(qp.epsn, 77);
         assert_eq!(qp.msn, 0);
@@ -93,7 +96,10 @@ mod tests {
 
     #[test]
     fn udp_source_ports_differ_across_qps() {
-        let peer = RoceEndpoint { mac: MacAddr::local(1), ip: 10 };
+        let peer = RoceEndpoint {
+            mac: MacAddr::local(1),
+            ip: 10,
+        };
         let a = QueuePair::new(QpNum(0x100), peer, QpNum(1), 0);
         let b = QueuePair::new(QpNum(0x101), peer, QpNum(1), 0);
         assert_ne!(a.udp_src_port, b.udp_src_port);

@@ -34,8 +34,20 @@ pub struct RequesterQp {
 
 impl RequesterQp {
     /// Create a requester QP starting at PSN 0.
-    pub fn new(local: RoceEndpoint, peer: RoceEndpoint, peer_qpn: QpNum, mtu: usize) -> RequesterQp {
-        RequesterQp { local, peer, peer_qpn, udp_src_port: 0x9000, mtu, npsn: 0 }
+    pub fn new(
+        local: RoceEndpoint,
+        peer: RoceEndpoint,
+        peer_qpn: QpNum,
+        mtu: usize,
+    ) -> RequesterQp {
+        RequesterQp {
+            local,
+            peer,
+            peer_qpn,
+            udp_src_port: 0x9000,
+            mtu,
+            npsn: 0,
+        }
     }
 
     /// Build a single-packet RDMA WRITE. Accepts any payload source (a
@@ -48,46 +60,93 @@ impl RequesterQp {
         payload: impl Into<extmem_wire::Payload>,
         ack_req: bool,
     ) -> RocePacket {
-        let payload = payload.into();
-        let mut bth = Bth::new(Opcode::WriteOnly, self.peer_qpn, self.npsn);
-        bth.ack_req = ack_req;
+        let pkt = self.write_only_at(self.npsn, rkey, va, payload, ack_req);
         self.npsn = psn_add(self.npsn, 1);
+        pkt
+    }
+
+    /// Build a single-packet RDMA WRITE carrying an explicit PSN, without
+    /// touching `npsn`. Retransmission layers use this to re-send an
+    /// in-flight op under its original sequence number.
+    pub fn write_only_at(
+        &self,
+        psn: u32,
+        rkey: Rkey,
+        va: u64,
+        payload: impl Into<extmem_wire::Payload>,
+        ack_req: bool,
+    ) -> RocePacket {
+        let payload = payload.into();
+        let mut bth = Bth::new(Opcode::WriteOnly, self.peer_qpn, psn);
+        bth.ack_req = ack_req;
         RocePacket::new(
             self.local,
             self.peer,
             self.udp_src_port,
             bth,
-            RoceExt::Reth(Reth { va, rkey, dma_len: payload.len() as u32 }),
+            RoceExt::Reth(Reth {
+                va,
+                rkey,
+                dma_len: payload.len() as u32,
+            }),
             payload,
         )
+    }
+
+    /// Response packets a READ of `len` bytes will generate (one PSN each,
+    /// per the IB spec).
+    pub fn read_span(&self, len: u32) -> u32 {
+        (len as usize).div_ceil(self.mtu).max(1) as u32
     }
 
     /// Build an RDMA READ request for `len` bytes. Consumes one PSN per
     /// expected response packet, per the IB spec.
     pub fn read(&mut self, rkey: Rkey, va: u64, len: u32) -> RocePacket {
-        let bth = Bth::new(Opcode::ReadRequest, self.peer_qpn, self.npsn);
-        let resp_packets = (len as usize).div_ceil(self.mtu).max(1) as u32;
-        self.npsn = psn_add(self.npsn, resp_packets);
+        let pkt = self.read_at(self.npsn, rkey, va, len);
+        self.npsn = psn_add(self.npsn, self.read_span(len));
+        pkt
+    }
+
+    /// Build an RDMA READ request carrying an explicit PSN, without touching
+    /// `npsn` (see [`RequesterQp::write_only_at`]).
+    pub fn read_at(&self, psn: u32, rkey: Rkey, va: u64, len: u32) -> RocePacket {
+        let bth = Bth::new(Opcode::ReadRequest, self.peer_qpn, psn);
         RocePacket::new(
             self.local,
             self.peer,
             self.udp_src_port,
             bth,
-            RoceExt::Reth(Reth { va, rkey, dma_len: len }),
+            RoceExt::Reth(Reth {
+                va,
+                rkey,
+                dma_len: len,
+            }),
             vec![],
         )
     }
 
     /// Build an atomic Fetch-and-Add request.
     pub fn fetch_add(&mut self, rkey: Rkey, va: u64, add: u64) -> RocePacket {
-        let bth = Bth::new(Opcode::FetchAdd, self.peer_qpn, self.npsn);
+        let pkt = self.fetch_add_at(self.npsn, rkey, va, add);
         self.npsn = psn_add(self.npsn, 1);
+        pkt
+    }
+
+    /// Build an atomic Fetch-and-Add request carrying an explicit PSN,
+    /// without touching `npsn` (see [`RequesterQp::write_only_at`]).
+    pub fn fetch_add_at(&self, psn: u32, rkey: Rkey, va: u64, add: u64) -> RocePacket {
+        let bth = Bth::new(Opcode::FetchAdd, self.peer_qpn, psn);
         RocePacket::new(
             self.local,
             self.peer,
             self.udp_src_port,
             bth,
-            RoceExt::AtomicEth(AtomicEth { va, rkey, swap_add: add, compare: 0 }),
+            RoceExt::AtomicEth(AtomicEth {
+                va,
+                rkey,
+                swap_add: add,
+                compare: 0,
+            }),
             vec![],
         )
     }
@@ -181,7 +240,9 @@ impl WriteBlaster {
             self.cursor = 0;
         }
         let payload = vec![(self.sent & 0xff) as u8; self.msg_size];
-        let req = self.qp.write_only(self.rkey, self.base_va + self.cursor, payload, false);
+        let req = self
+            .qp
+            .write_only(self.rkey, self.base_va + self.cursor, payload, false);
         self.cursor += self.msg_size as u64;
         let mut buf = std::mem::take(&mut self.scratch);
         req.build_into(&mut buf).expect("write encodes");
@@ -276,7 +337,9 @@ impl ReadLooper {
             if self.cursor + self.msg_size as u64 > self.region_len {
                 self.cursor = 0;
             }
-            let req = self.qp.read(self.rkey, self.base_va + self.cursor, self.msg_size as u32);
+            let req = self
+                .qp
+                .read(self.rkey, self.base_va + self.cursor, self.msg_size as u32);
             self.cursor += self.msg_size as u64;
             let mut buf = std::mem::take(&mut self.scratch);
             req.build_into(&mut buf).expect("read encodes");
@@ -287,7 +350,9 @@ impl ReadLooper {
 
 impl Node for ReadLooper {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
-        let Ok(Some(resp)) = RocePacket::parse(&packet) else { return };
+        let Ok(Some(resp)) = RocePacket::parse(&packet) else {
+            return;
+        };
         match resp.bth.opcode {
             Opcode::ReadRespOnly | Opcode::ReadRespLast => {
                 self.bytes += resp.payload.len() as u64;
@@ -325,11 +390,17 @@ mod tests {
     use extmem_wire::MacAddr;
 
     fn host() -> RoceEndpoint {
-        RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 }
+        RoceEndpoint {
+            mac: MacAddr::local(1),
+            ip: 0x0a000001,
+        }
     }
 
     fn server() -> RoceEndpoint {
-        RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 }
+        RoceEndpoint {
+            mac: MacAddr::local(2),
+            ip: 0x0a000002,
+        }
     }
 
     #[test]
@@ -347,8 +418,7 @@ mod tests {
     #[test]
     fn write_blaster_delivers_losslessly_below_capacity() {
         let mut nic = RnicNode::new("rnic", RnicConfig::at(server()));
-        let (qp, rkey, base) =
-            setup_channel(host(), QpNum(0x55), &mut nic, ByteSize::from_mb(1));
+        let (qp, rkey, base) = setup_channel(host(), QpNum(0x55), &mut nic, ByteSize::from_mb(1));
         let blaster = WriteBlaster::new(
             "blaster",
             qp,
@@ -377,13 +447,23 @@ mod tests {
     fn write_blaster_overload_drops_at_nic() {
         let mut nic = RnicNode::new(
             "rnic",
-            RnicConfig { rx_queue_cap: 16, ..RnicConfig::at(server()) },
+            RnicConfig {
+                rx_queue_cap: 16,
+                ..RnicConfig::at(server())
+            },
         );
-        let (qp, rkey, base) =
-            setup_channel(host(), QpNum(0x55), &mut nic, ByteSize::from_mb(1));
+        let (qp, rkey, base) = setup_channel(host(), QpNum(0x55), &mut nic, ByteSize::from_mb(1));
         // 40G offered into a ~34G write path with a small queue → drops.
-        let blaster =
-            WriteBlaster::new("blaster", qp, rkey, base, 1_000_000, 1500, Rate::from_gbps(40), 2000);
+        let blaster = WriteBlaster::new(
+            "blaster",
+            qp,
+            rkey,
+            base,
+            1_000_000,
+            1500,
+            Rate::from_gbps(40),
+            2000,
+        );
         let mut b = SimBuilder::new(2);
         let bl = b.add_node(Box::new(blaster));
         let rn = b.add_node(Box::new(nic));
@@ -392,14 +472,16 @@ mod tests {
         sim.schedule_timer(bl, TimeDelta::ZERO, TOKEN_SEND);
         sim.run_to_quiescence();
         let stats = sim.node::<RnicNode>(rn).stats();
-        assert!(stats.rx_overflow_drops > 0, "expected NIC drops at overload");
+        assert!(
+            stats.rx_overflow_drops > 0,
+            "expected NIC drops at overload"
+        );
     }
 
     #[test]
     fn read_looper_completes_all() {
         let mut nic = RnicNode::new("rnic", RnicConfig::at(server()));
-        let (qp, rkey, base) =
-            setup_channel(host(), QpNum(0x55), &mut nic, ByteSize::from_mb(1));
+        let (qp, rkey, base) = setup_channel(host(), QpNum(0x55), &mut nic, ByteSize::from_mb(1));
         let looper = ReadLooper::new("looper", qp, rkey, base, 1_000_000, 1500, 4, 100);
         let mut b = SimBuilder::new(2);
         let lo = b.add_node(Box::new(looper));

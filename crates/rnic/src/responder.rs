@@ -74,7 +74,10 @@ pub fn process_request(
         } else {
             // Strict RC: NAK once, then drop until the requester resyncs.
             if qp.nak_outstanding {
-                return ResponderResult { responses: vec![], outcome: Outcome::OutOfSequenceDropped };
+                return ResponderResult {
+                    responses: vec![],
+                    outcome: Outcome::OutOfSequenceDropped,
+                };
             }
             qp.nak_outstanding = true;
             return nak(local, qp, NakCode::PsnSequenceError);
@@ -84,11 +87,16 @@ pub fn process_request(
 
     match req.bth.opcode {
         Opcode::WriteOnly => {
-            let RoceExt::Reth(reth) = req.ext else { return invalid(local, qp) };
+            let RoceExt::Reth(reth) = req.ext else {
+                return invalid(local, qp);
+            };
             if reth.dma_len as usize != req.payload.len() {
                 return invalid(local, qp);
             }
-            match mrs.get_mut(reth.rkey).and_then(|r| r.write(reth.va, &req.payload)) {
+            match mrs
+                .get_mut(reth.rkey)
+                .and_then(|r| r.write(reth.va, &req.payload))
+            {
                 Ok(()) => {
                     qp.epsn = psn_add(qp.epsn, 1);
                     qp.msn = (qp.msn + 1) & 0xff_ffff;
@@ -98,11 +106,16 @@ pub fn process_request(
             }
         }
         Opcode::WriteFirst => {
-            let RoceExt::Reth(reth) = req.ext else { return invalid(local, qp) };
+            let RoceExt::Reth(reth) = req.ext else {
+                return invalid(local, qp);
+            };
             if (req.payload.len() as u64) >= reth.dma_len as u64 {
                 return invalid(local, qp); // a First implies more to come
             }
-            match mrs.get_mut(reth.rkey).and_then(|r| r.write(reth.va, &req.payload)) {
+            match mrs
+                .get_mut(reth.rkey)
+                .and_then(|r| r.write(reth.va, &req.payload))
+            {
                 Ok(()) => {
                     qp.write_cursor = Some(WriteCursor {
                         rkey: reth.rkey,
@@ -117,7 +130,9 @@ pub fn process_request(
             }
         }
         Opcode::WriteMiddle | Opcode::WriteLast => {
-            let Some(cursor) = qp.write_cursor else { return invalid(local, qp) };
+            let Some(cursor) = qp.write_cursor else {
+                return invalid(local, qp);
+            };
             let len = req.payload.len() as u64;
             let fits = if req.bth.opcode == Opcode::WriteLast {
                 len == cursor.remaining
@@ -127,7 +142,10 @@ pub fn process_request(
             if !fits {
                 return invalid(local, qp);
             }
-            match mrs.get_mut(cursor.rkey).and_then(|r| r.write(cursor.va, &req.payload)) {
+            match mrs
+                .get_mut(cursor.rkey)
+                .and_then(|r| r.write(cursor.va, &req.payload))
+            {
                 Ok(()) => {
                     qp.epsn = psn_add(qp.epsn, 1);
                     if req.bth.opcode == Opcode::WriteLast {
@@ -147,8 +165,13 @@ pub fn process_request(
         }
         Opcode::ReadRequest => serve_read(local, qp, mrs, req, mtu, false),
         Opcode::FetchAdd => {
-            let RoceExt::AtomicEth(a) = req.ext else { return invalid(local, qp) };
-            match mrs.get_mut(a.rkey).and_then(|r| r.fetch_add(a.va, a.swap_add)) {
+            let RoceExt::AtomicEth(a) = req.ext else {
+                return invalid(local, qp);
+            };
+            match mrs
+                .get_mut(a.rkey)
+                .and_then(|r| r.fetch_add(a.va, a.swap_add))
+            {
                 Ok(original) => {
                     qp.epsn = psn_add(qp.epsn, 1);
                     qp.msn = (qp.msn + 1) & 0xff_ffff;
@@ -189,7 +212,10 @@ fn duplicate(
                 }
                 _ => vec![plain_ack(local, qp, req.bth.psn)],
             };
-            ResponderResult { responses, outcome: Outcome::Duplicate }
+            ResponderResult {
+                responses,
+                outcome: Outcome::Duplicate,
+            }
         }
         // Duplicate writes: acknowledge, do not re-execute.
         _ => ResponderResult {
@@ -208,11 +234,16 @@ fn serve_read(
     mtu: usize,
     is_duplicate: bool,
 ) -> ResponderResult {
-    let RoceExt::Reth(reth) = req.ext else { return invalid(local, qp) };
+    let RoceExt::Reth(reth) = req.ext else {
+        return invalid(local, qp);
+    };
     assert!(mtu > 0, "RoCE MTU must be positive");
     // One copy out of the MR into a shared buffer; the per-MTU response
     // chunks below are zero-copy windows into it.
-    let data = match mrs.get(reth.rkey).and_then(|r| r.read(reth.va, reth.dma_len as u64)) {
+    let data = match mrs
+        .get(reth.rkey)
+        .and_then(|r| r.read(reth.va, reth.dma_len as u64))
+    {
         Ok(d) => Payload::copy_from_slice(d),
         Err(e) if is_duplicate => {
             // A bad duplicate must not perturb the live sequence state.
@@ -256,7 +287,10 @@ fn serve_read(
     }
     ResponderResult {
         responses,
-        outcome: Outcome::ReadServed { packets: n_packets, bytes: data.len() as u64 },
+        outcome: Outcome::ReadServed {
+            packets: n_packets,
+            bytes: data.len() as u64,
+        },
     }
 }
 
@@ -267,8 +301,15 @@ fn write_ack(
     bytes: u64,
     psn: u32,
 ) -> ResponderResult {
-    let responses = if ack_req { vec![plain_ack(local, qp, psn)] } else { vec![] };
-    ResponderResult { responses, outcome: Outcome::WriteExecuted { bytes } }
+    let responses = if ack_req {
+        vec![plain_ack(local, qp, psn)]
+    } else {
+        vec![]
+    };
+    ResponderResult {
+        responses,
+        outcome: Outcome::WriteExecuted { bytes },
+    }
 }
 
 fn plain_ack(local: RoceEndpoint, qp: &QueuePair, psn: u32) -> RocePacket {
@@ -288,7 +329,12 @@ fn atomic_ack(local: RoceEndpoint, qp: &QueuePair, psn: u32, original: u64) -> R
         qp.peer,
         qp.udp_src_port,
         Bth::new(Opcode::AtomicAcknowledge, qp.peer_qpn, psn),
-        RoceExt::AtomicAck(Aeth::ack(qp.msn), AtomicAckEth { original_value: original }),
+        RoceExt::AtomicAck(
+            Aeth::ack(qp.msn),
+            AtomicAckEth {
+                original_value: original,
+            },
+        ),
         vec![],
     )
 }
@@ -302,7 +348,10 @@ fn nak(local: RoceEndpoint, qp: &QueuePair, code: NakCode) -> ResponderResult {
         RoceExt::Aeth(Aeth::nak(code, qp.msn)),
         vec![],
     );
-    ResponderResult { responses: vec![pkt], outcome: Outcome::Nak(code) }
+    ResponderResult {
+        responses: vec![pkt],
+        outcome: Outcome::Nak(code),
+    }
 }
 
 fn invalid(local: RoceEndpoint, qp: &mut QueuePair) -> ResponderResult {
@@ -326,8 +375,14 @@ mod tests {
     use extmem_wire::MacAddr;
 
     fn setup() -> (RoceEndpoint, QueuePair, MrTable, Rkey, u64) {
-        let local = RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 };
-        let peer = RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 };
+        let local = RoceEndpoint {
+            mac: MacAddr::local(1),
+            ip: 0x0a000001,
+        };
+        let peer = RoceEndpoint {
+            mac: MacAddr::local(2),
+            ip: 0x0a000002,
+        };
         let qp = QueuePair::new(QpNum(0x100), peer, QpNum(0x200), 0);
         let mut mrs = MrTable::new();
         let (rkey, base) = mrs.register(ByteSize::from_kb(64));
@@ -337,10 +392,17 @@ mod tests {
     fn write_req(qp: &QueuePair, psn: u32, rkey: Rkey, va: u64, payload: Vec<u8>) -> RocePacket {
         RocePacket::new(
             qp.peer,
-            RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 },
+            RoceEndpoint {
+                mac: MacAddr::local(1),
+                ip: 0x0a000001,
+            },
             100,
             Bth::new(Opcode::WriteOnly, qp.qpn, psn),
-            RoceExt::Reth(Reth { va, rkey, dma_len: payload.len() as u32 }),
+            RoceExt::Reth(Reth {
+                va,
+                rkey,
+                dma_len: payload.len() as u32,
+            }),
             payload,
         )
     }
@@ -348,10 +410,17 @@ mod tests {
     fn read_req(qp: &QueuePair, psn: u32, rkey: Rkey, va: u64, len: u32) -> RocePacket {
         RocePacket::new(
             qp.peer,
-            RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 },
+            RoceEndpoint {
+                mac: MacAddr::local(1),
+                ip: 0x0a000001,
+            },
             100,
             Bth::new(Opcode::ReadRequest, qp.qpn, psn),
-            RoceExt::Reth(Reth { va, rkey, dma_len: len }),
+            RoceExt::Reth(Reth {
+                va,
+                rkey,
+                dma_len: len,
+            }),
             vec![],
         )
     }
@@ -365,7 +434,10 @@ mod tests {
         assert!(r.responses.is_empty(), "no ACK unless requested");
         assert_eq!(qp.epsn, 1);
         assert_eq!(qp.msn, 1);
-        assert_eq!(mrs.get(rkey).unwrap().read(base + 8, 100).unwrap(), &[7u8; 100][..]);
+        assert_eq!(
+            mrs.get(rkey).unwrap().read(base + 8, 100).unwrap(),
+            &[7u8; 100][..]
+        );
     }
 
     #[test]
@@ -387,7 +459,13 @@ mod tests {
         mrs.get_mut(rkey).unwrap().write(base, &[9; 300]).unwrap();
         let req = read_req(&qp, 0, rkey, base, 300);
         let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
-        assert_eq!(r.outcome, Outcome::ReadServed { packets: 1, bytes: 300 });
+        assert_eq!(
+            r.outcome,
+            Outcome::ReadServed {
+                packets: 1,
+                bytes: 300
+            }
+        );
         assert_eq!(r.responses.len(), 1);
         assert_eq!(r.responses[0].bth.opcode, Opcode::ReadRespOnly);
         assert_eq!(r.responses[0].payload, vec![9; 300]);
@@ -402,9 +480,22 @@ mod tests {
         mrs.get_mut(rkey).unwrap().write(base, &data).unwrap();
         let req = read_req(&qp, 0, rkey, base, 2500);
         let r = process_request(local, &mut qp, &mut mrs, &req, 1024);
-        assert_eq!(r.outcome, Outcome::ReadServed { packets: 3, bytes: 2500 });
+        assert_eq!(
+            r.outcome,
+            Outcome::ReadServed {
+                packets: 3,
+                bytes: 2500
+            }
+        );
         let ops: Vec<Opcode> = r.responses.iter().map(|p| p.bth.opcode).collect();
-        assert_eq!(ops, vec![Opcode::ReadRespFirst, Opcode::ReadRespMiddle, Opcode::ReadRespLast]);
+        assert_eq!(
+            ops,
+            vec![
+                Opcode::ReadRespFirst,
+                Opcode::ReadRespMiddle,
+                Opcode::ReadRespLast
+            ]
+        );
         let psns: Vec<u32> = r.responses.iter().map(|p| p.bth.psn).collect();
         assert_eq!(psns, vec![0, 1, 2]);
         // Middle packets carry no AETH.
@@ -422,7 +513,10 @@ mod tests {
     #[test]
     fn fetch_add_returns_original_and_updates() {
         let (local, mut qp, mut mrs, rkey, base) = setup();
-        mrs.get_mut(rkey).unwrap().write(base, &10u64.to_be_bytes()).unwrap();
+        mrs.get_mut(rkey)
+            .unwrap()
+            .write(base, &10u64.to_be_bytes())
+            .unwrap();
         let req = RocePacket::new(
             qp.peer,
             local,
@@ -438,9 +532,7 @@ mod tests {
         );
         let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
         assert_eq!(r.outcome, Outcome::AtomicExecuted);
-        assert!(
-            matches!(r.responses[0].ext, RoceExt::AtomicAck(_, a) if a.original_value == 10)
-        );
+        assert!(matches!(r.responses[0].ext, RoceExt::AtomicAck(_, a) if a.original_value == 10));
         let now = mrs.get(rkey).unwrap().read(base, 8).unwrap();
         assert_eq!(u64::from_be_bytes(now.try_into().unwrap()), 42);
     }
@@ -513,11 +605,17 @@ mod tests {
         let (local, mut qp, mut mrs, rkey, base) = setup();
         let req = write_req(&qp, 0, rkey, base + 64_000, vec![1; 128]);
         let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
-        assert!(matches!(r.outcome, Outcome::Nak(NakCode::RemoteAccessError)));
+        assert!(matches!(
+            r.outcome,
+            Outcome::Nak(NakCode::RemoteAccessError)
+        ));
         // Unknown rkey too.
         let req = write_req(&qp, 1, Rkey(999), base, vec![1; 4]);
         let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
-        assert!(matches!(r.outcome, Outcome::Nak(NakCode::RemoteAccessError)));
+        assert!(matches!(
+            r.outcome,
+            Outcome::Nak(NakCode::RemoteAccessError)
+        ));
     }
 
     #[test]
@@ -529,7 +627,11 @@ mod tests {
             local,
             100,
             Bth::new(Opcode::WriteFirst, qp.qpn, 0),
-            RoceExt::Reth(Reth { va: base, rkey, dma_len: total }),
+            RoceExt::Reth(Reth {
+                va: base,
+                rkey,
+                dma_len: total,
+            }),
             vec![1; 1024],
         );
         let middle = RocePacket::new(
@@ -580,7 +682,10 @@ mod tests {
         // Start 2 PSNs before the 24-bit wrap; three in-order writes must
         // all execute, with epsn wrapping to 1.
         let (local, _qp, mut mrs, rkey, base) = setup();
-        let peer = RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 };
+        let peer = RoceEndpoint {
+            mac: MacAddr::local(2),
+            ip: 0x0a000002,
+        };
         let mut qp = QueuePair::new(QpNum(0x100), peer, QpNum(0x200), 0xff_fffe);
         for (i, psn) in [0xff_fffeu32, 0xff_ffff, 0].into_iter().enumerate() {
             let req = write_req(&qp, psn, rkey, base + i as u64 * 8, vec![i as u8 + 1; 8]);

@@ -52,11 +52,17 @@ pub struct EngineCore {
 
 impl EngineCore {
     fn slot(&self, node: NodeId, port: PortId) -> Option<&PortSlot> {
-        self.ports.get(node.raw() as usize)?.get(port.raw() as usize)?.as_ref()
+        self.ports
+            .get(node.raw() as usize)?
+            .get(port.raw() as usize)?
+            .as_ref()
     }
 
     fn slot_mut(&mut self, node: NodeId, port: PortId) -> Option<&mut PortSlot> {
-        self.ports.get_mut(node.raw() as usize)?.get_mut(port.raw() as usize)?.as_mut()
+        self.ports
+            .get_mut(node.raw() as usize)?
+            .get_mut(port.raw() as usize)?
+            .as_mut()
     }
 
     pub(crate) fn set_tx_idle(&mut self, node: NodeId, port: PortId) {
@@ -84,7 +90,13 @@ impl EngineCore {
         // is a deterministic function of the event order.
         let faults = link.spec.faults;
         let mut deliver = Some(packet);
+        let mut arrival = arrival;
         if faults.is_active() {
+            if faults.reorder_prob > 0.0 && self.rng.gen_bool(faults.reorder_prob) {
+                // Held back: packets serialized after this one overtake it.
+                arrival += faults.reorder_delay;
+                link.stats[end].reordered_packets += 1;
+            }
             if faults.drop_prob > 0.0 && self.rng.gen_bool(faults.drop_prob) {
                 link.stats[end].dropped_packets += 1;
                 deliver = None;
@@ -98,7 +110,11 @@ impl EngineCore {
                     // corruption domain — the in-network bit flips that
                     // only an end-to-end check (ICRC) catches — and flips
                     // bits past the L2/L3/L4 classification prefix.
-                    let lo = if pkt.len() > CLASSIFICATION_PREFIX { CLASSIFICATION_PREFIX } else { 0 };
+                    let lo = if pkt.len() > CLASSIFICATION_PREFIX {
+                        CLASSIFICATION_PREFIX
+                    } else {
+                        0
+                    };
                     let idx = self.rng.gen_range(lo..pkt.len());
                     pkt.as_mut_slice()[idx] ^= 1 << self.rng.gen_range(0..8u8);
                     link.stats[end].corrupted_packets += 1;
@@ -113,10 +129,24 @@ impl EngineCore {
             l.stats[end].delivered_bytes += pkt.len() as u64;
             // `pkt.digest()` is cached across hops, and the parts-based
             // record avoids building a TraceEvent when recording is off.
-            self.trace.record_delivery(arrival, Endpoint { node, port }, dst, pkt.len(), pkt.digest());
-            self.queue.push(arrival, EventKind::Deliver { node: dst.node, port: dst.port, packet: pkt });
+            self.trace.record_delivery(
+                arrival,
+                Endpoint { node, port },
+                dst,
+                pkt.len(),
+                pkt.digest(),
+            );
+            self.queue.push(
+                arrival,
+                EventKind::Deliver {
+                    node: dst.node,
+                    port: dst.port,
+                    packet: pkt,
+                },
+            );
         }
-        self.queue.push(self.now + ser, EventKind::TxDone { node, port });
+        self.queue
+            .push(self.now + ser, EventKind::TxDone { node, port });
     }
 
     pub(crate) fn tx_busy(&self, node: NodeId, port: PortId) -> bool {
@@ -135,7 +165,8 @@ impl EngineCore {
     }
 
     pub(crate) fn schedule_timer(&mut self, node: NodeId, delay: TimeDelta, token: u64) {
-        self.queue.push(self.now + delay, EventKind::Timer { node, token });
+        self.queue
+            .push(self.now + delay, EventKind::Timer { node, token });
     }
 }
 
@@ -173,7 +204,14 @@ impl SimBuilder {
     ///
     /// Panics on unknown node ids, self-loops, or ports that are already
     /// connected.
-    pub fn connect(&mut self, a: NodeId, pa: PortId, b: NodeId, pb: PortId, spec: LinkSpec) -> LinkId {
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        spec: LinkSpec,
+    ) -> LinkId {
         spec.faults.validate();
         assert!((a.raw() as usize) < self.nodes.len(), "unknown node {a:?}");
         assert!((b.raw() as usize) < self.nodes.len(), "unknown node {b:?}");
@@ -185,7 +223,10 @@ impl SimBuilder {
         }
         self.links.push(Link {
             spec,
-            ends: [Endpoint { node: a, port: pa }, Endpoint { node: b, port: pb }],
+            ends: [
+                Endpoint { node: a, port: pa },
+                Endpoint { node: b, port: pb },
+            ],
             stats: [LinkStats::default(), LinkStats::default()],
         });
         LinkId(lid as u32)
@@ -196,7 +237,11 @@ impl SimBuilder {
     /// proportional to traffic; off by default. The rolling digest used by
     /// determinism tests is always maintained.
     pub fn keep_trace(&mut self, keep: bool) -> &mut Self {
-        self.trace = if keep { TraceSink::recording() } else { TraceSink::disabled() };
+        self.trace = if keep {
+            TraceSink::recording()
+        } else {
+            TraceSink::disabled()
+        };
         self
     }
 
@@ -211,7 +256,11 @@ impl SimBuilder {
             if row.len() <= idx {
                 row.resize(idx + 1, None);
             }
-            row[idx] = Some(PortSlot { link: lid as u32, end: end as u8, busy: false });
+            row[idx] = Some(PortSlot {
+                link: lid as u32,
+                end: end as u8,
+                busy: false,
+            });
         }
         Simulator {
             nodes: self.nodes.into_iter().map(Some).collect(),
@@ -305,8 +354,13 @@ impl Simulator {
             .nodes
             .get_mut(id.raw() as usize)
             .unwrap_or_else(|| panic!("event for unknown node {id:?}"));
-        let mut node = slot.take().expect("node re-entered during its own callback");
-        let mut ctx = NodeCtx { core: &mut self.core, node: id };
+        let mut node = slot
+            .take()
+            .expect("node re-entered during its own callback");
+        let mut ctx = NodeCtx {
+            core: &mut self.core,
+            node: id,
+        };
         f(node.as_mut(), &mut ctx);
         self.nodes[id.raw() as usize] = Some(node);
     }
@@ -316,18 +370,27 @@ impl Simulator {
     /// between runs — the simulated equivalent of the paper's control plane
     /// reading data-plane registers.
     pub fn node<T: Node>(&self, id: NodeId) -> &T {
-        let node = self.nodes[id.raw() as usize].as_deref().expect("node detached");
+        let node = self.nodes[id.raw() as usize]
+            .as_deref()
+            .expect("node detached");
         let any: &dyn std::any::Any = node;
-        any.downcast_ref::<T>().unwrap_or_else(|| panic!("node {id:?} is not a {}", std::any::type_name::<T>()))
+        any.downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {id:?} is not a {}", std::any::type_name::<T>()))
     }
 
     /// Mutable variant of [`Simulator::node`].
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
-        let node = self.nodes[id.raw() as usize].as_deref_mut().expect("node detached");
+        let node = self.nodes[id.raw() as usize]
+            .as_deref_mut()
+            .expect("node detached");
         let name = node.name().to_owned();
         let any: &mut dyn std::any::Any = node;
-        any.downcast_mut::<T>()
-            .unwrap_or_else(|| panic!("node {id:?} ({name}) is not a {}", std::any::type_name::<T>()))
+        any.downcast_mut::<T>().unwrap_or_else(|| {
+            panic!(
+                "node {id:?} ({name}) is not a {}",
+                std::any::type_name::<T>()
+            )
+        })
     }
 
     /// Per-direction stats for a link. `end` 0 is the `a` side passed to
@@ -376,7 +439,11 @@ mod tests {
 
     impl Echo {
         fn new(name: &str) -> Self {
-            Echo { name: name.into(), rx: 0, pending: VecDeque::new() }
+            Echo {
+                name: name.into(),
+                rx: 0,
+                pending: VecDeque::new(),
+            }
         }
     }
 
@@ -477,7 +544,10 @@ mod tests {
         let mut sim = b.build();
         sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
         sim.run_to_quiescence();
-        assert_eq!(sim.node::<Blaster>(blaster).last_rx_at, Time::from_nanos(1200));
+        assert_eq!(
+            sim.node::<Blaster>(blaster).last_rx_at,
+            Time::from_nanos(1200)
+        );
     }
 
     #[test]
@@ -523,17 +593,27 @@ mod tests {
             }));
             let echo = b.add_node(Box::new(Echo::new("e")));
             let mut spec = LinkSpec::testbed_40g();
-            spec.faults = FaultSpec { drop_prob: 0.2, corrupt_prob: 0.0 };
+            spec.faults = FaultSpec {
+                drop_prob: 0.2,
+                corrupt_prob: 0.0,
+                ..FaultSpec::NONE
+            };
             let l = b.connect(blaster, PortId(0), echo, PortId(0), spec);
             let mut sim = b.build();
             sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
             sim.run_to_quiescence();
-            (sim.node::<Echo>(echo).rx, sim.link_stats(l, 0).dropped_packets)
+            (
+                sim.node::<Echo>(echo).rx,
+                sim.link_stats(l, 0).dropped_packets,
+            )
         };
         let (rx1, drop1) = run(5);
         let (rx2, drop2) = run(5);
         assert_eq!((rx1, drop1), (rx2, drop2));
-        assert!(drop1 > 100 && drop1 < 300, "drop count {drop1} implausible for p=0.2");
+        assert!(
+            drop1 > 100 && drop1 < 300,
+            "drop count {drop1} implausible for p=0.2"
+        );
         assert_eq!(rx1 + drop1, 1000);
     }
 
@@ -560,7 +640,11 @@ mod tests {
         }
         let cap = b.add_node(Box::new(Capture { got: None }));
         let mut spec = LinkSpec::testbed_40g();
-        spec.faults = FaultSpec { drop_prob: 0.0, corrupt_prob: 1.0 };
+        spec.faults = FaultSpec {
+            drop_prob: 0.0,
+            corrupt_prob: 1.0,
+            ..FaultSpec::NONE
+        };
         b.connect(blaster, PortId(0), cap, PortId(0), spec);
         let mut sim = b.build();
         sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
@@ -591,7 +675,11 @@ mod tests {
         let s = b.add_node(Box::new(EmptySender { sent: false }));
         let e = b.add_node(Box::new(Echo::new("echo")));
         let mut spec = LinkSpec::testbed_40g();
-        spec.faults = FaultSpec { drop_prob: 0.0, corrupt_prob: 1.0 };
+        spec.faults = FaultSpec {
+            drop_prob: 0.0,
+            corrupt_prob: 1.0,
+            ..FaultSpec::NONE
+        };
         b.connect(s, PortId(0), e, PortId(0), spec);
         let mut sim = b.build();
         sim.schedule_timer(s, TimeDelta::ZERO, 0);

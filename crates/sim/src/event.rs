@@ -132,9 +132,15 @@ impl EventQueue {
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<Scheduled> {
         let key = self.heap.pop()?;
-        let kind = self.slab[key.slot as usize].take().expect("heap key points at a live slot");
+        let kind = self.slab[key.slot as usize]
+            .take()
+            .expect("heap key points at a live slot");
         self.free.push(key.slot);
-        Some(Scheduled { at: key.at, seq: key.seq, kind })
+        Some(Scheduled {
+            at: key.at,
+            seq: key.seq,
+            kind,
+        })
     }
 
     /// Fire time of the earliest event, if any.
@@ -158,7 +164,10 @@ mod tests {
     use super::*;
 
     fn timer(node: u32, token: u64) -> EventKind {
-        EventKind::Timer { node: NodeId(node), token }
+        EventKind::Timer {
+            node: NodeId(node),
+            token,
+        }
     }
 
     #[test]
@@ -215,7 +224,11 @@ mod tests {
             assert!(s.at <= Time::from_nanos(round));
         }
         assert_eq!(q.len(), 50);
-        assert!(q.slab.len() <= 51, "slab grew to {} for 51 peak events", q.slab.len());
+        assert!(
+            q.slab.len() <= 51,
+            "slab grew to {} for 51 peak events",
+            q.slab.len()
+        );
         let mut last = None;
         while let Some(s) = q.pop() {
             assert!(last.is_none_or(|l| (s.at, s.seq) > l));

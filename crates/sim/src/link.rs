@@ -3,28 +3,52 @@
 use extmem_types::{NodeId, PortId, Rate, TimeDelta};
 
 /// Fault-injection parameters for one link (both directions), mirroring the
-/// smoltcp example knobs: random drop and random single-byte corruption.
+/// smoltcp example knobs: random drop, random single-byte corruption, and
+/// random reordering (an extra delivery delay letting later packets
+/// overtake).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultSpec {
     /// Probability in `[0, 1]` that a packet is silently dropped.
     pub drop_prob: f64,
     /// Probability in `[0, 1]` that one random byte of a packet is flipped.
     pub corrupt_prob: f64,
+    /// Probability in `[0, 1]` that a delivered packet is held for an extra
+    /// [`FaultSpec::reorder_delay`], so packets sent just after it arrive
+    /// first.
+    pub reorder_prob: f64,
+    /// Extra delivery delay applied to reordered packets. A delay shorter
+    /// than one serialization time cannot actually reorder anything.
+    pub reorder_delay: TimeDelta,
 }
 
 impl FaultSpec {
     /// No faults (the default).
-    pub const NONE: FaultSpec = FaultSpec { drop_prob: 0.0, corrupt_prob: 0.0 };
+    pub const NONE: FaultSpec = FaultSpec {
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+        reorder_prob: 0.0,
+        reorder_delay: TimeDelta::ZERO,
+    };
+
+    /// Drop-only faults at probability `p`.
+    pub fn drop(p: f64) -> FaultSpec {
+        FaultSpec {
+            drop_prob: p,
+            ..FaultSpec::NONE
+        }
+    }
 
     /// Whether any fault injection is enabled.
     pub fn is_active(&self) -> bool {
-        self.drop_prob > 0.0 || self.corrupt_prob > 0.0
+        self.drop_prob > 0.0 || self.corrupt_prob > 0.0 || self.reorder_prob > 0.0
     }
 
     /// Panic if probabilities are outside `[0, 1]`.
     pub fn validate(&self) {
         assert!(
-            (0.0..=1.0).contains(&self.drop_prob) && (0.0..=1.0).contains(&self.corrupt_prob),
+            (0.0..=1.0).contains(&self.drop_prob)
+                && (0.0..=1.0).contains(&self.corrupt_prob)
+                && (0.0..=1.0).contains(&self.reorder_prob),
             "fault probabilities must be within [0, 1]"
         );
     }
@@ -51,7 +75,11 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// A fault-free link at `rate` with the given propagation delay.
     pub fn new(rate: Rate, propagation: TimeDelta) -> LinkSpec {
-        LinkSpec { rate, propagation, faults: FaultSpec::NONE }
+        LinkSpec {
+            rate,
+            propagation,
+            faults: FaultSpec::NONE,
+        }
     }
 
     /// The standard testbed link: 40 Gbps, 300 ns propagation.
@@ -84,6 +112,8 @@ pub struct LinkStats {
     pub dropped_packets: u64,
     /// Packets corrupted by fault injection (still delivered).
     pub corrupted_packets: u64,
+    /// Packets delayed by reorder injection (still delivered).
+    pub reordered_packets: u64,
 }
 
 #[cfg(test)]
@@ -94,7 +124,11 @@ mod tests {
     fn fault_spec_defaults_and_validation() {
         assert!(!FaultSpec::default().is_active());
         FaultSpec::NONE.validate();
-        let f = FaultSpec { drop_prob: 0.1, corrupt_prob: 0.0 };
+        let f = FaultSpec {
+            drop_prob: 0.1,
+            corrupt_prob: 0.0,
+            ..FaultSpec::NONE
+        };
         assert!(f.is_active());
         f.validate();
     }
@@ -102,7 +136,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "within [0, 1]")]
     fn invalid_probability_panics() {
-        FaultSpec { drop_prob: 1.5, corrupt_prob: 0.0 }.validate();
+        FaultSpec {
+            drop_prob: 1.5,
+            corrupt_prob: 0.0,
+            ..FaultSpec::NONE
+        }
+        .validate();
     }
 
     #[test]

@@ -25,12 +25,21 @@ pub struct TxQueue {
 impl TxQueue {
     /// An unbounded queue for `port`.
     pub fn new(port: PortId) -> TxQueue {
-        TxQueue { port, queue: VecDeque::new(), queued_bytes: 0, cap_bytes: None, drops: 0 }
+        TxQueue {
+            port,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            cap_bytes: None,
+            drops: 0,
+        }
     }
 
     /// A queue that drops (tail-drop) once `cap_bytes` of packets are queued.
     pub fn bounded(port: PortId, cap_bytes: u64) -> TxQueue {
-        TxQueue { cap_bytes: Some(cap_bytes), ..TxQueue::new(port) }
+        TxQueue {
+            cap_bytes: Some(cap_bytes),
+            ..TxQueue::new(port)
+        }
     }
 
     /// The port this queue feeds.

@@ -32,12 +32,19 @@ pub struct TraceSink {
 impl TraceSink {
     /// A sink that only maintains the rolling digest.
     pub fn disabled() -> TraceSink {
-        TraceSink { record: false, events: Vec::new(), digest: 0xcbf2_9ce4_8422_2325 }
+        TraceSink {
+            record: false,
+            events: Vec::new(),
+            digest: 0xcbf2_9ce4_8422_2325,
+        }
     }
 
     /// A sink that also records every event.
     pub fn recording() -> TraceSink {
-        TraceSink { record: true, ..TraceSink::disabled() }
+        TraceSink {
+            record: true,
+            ..TraceSink::disabled()
+        }
     }
 
     /// Fold one delivery into the rolling digest from its scalar parts.
@@ -64,7 +71,13 @@ impl TraceSink {
         buf[36..44].copy_from_slice(&digest.to_le_bytes());
         self.digest = fnv1a(&buf);
         if self.record {
-            self.events.push(TraceEvent { at, from, to, len, digest });
+            self.events.push(TraceEvent {
+                at,
+                from,
+                to,
+                len,
+                digest,
+            });
         }
     }
 
@@ -94,8 +107,14 @@ mod tests {
     fn ev(t: u64, d: u64) -> TraceEvent {
         TraceEvent {
             at: Time::from_picos(t),
-            from: Endpoint { node: NodeId(0), port: PortId(0) },
-            to: Endpoint { node: NodeId(1), port: PortId(0) },
+            from: Endpoint {
+                node: NodeId(0),
+                port: PortId(0),
+            },
+            to: Endpoint {
+                node: NodeId(1),
+                port: PortId(0),
+            },
             len: 64,
             digest: d,
         }

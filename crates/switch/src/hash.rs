@@ -38,7 +38,10 @@ pub fn salted_flow_index(flow: &FiveTuple, salt: u32, buckets: u64) -> u64 {
 /// different salt space so it is independent of the index hash.
 pub fn flow_sign(flow: &FiveTuple, salt: u32) -> i64 {
     let crc = crc32(&flow.to_bytes()) as u64;
-    let mixed = splitmix64(crc ^ ((salt as u64).wrapping_mul(0xa5a5_a5a5_5a5a_5a5b)).rotate_left(17) ^ 0xdead_beef_cafe_f00d);
+    let mixed = splitmix64(
+        crc ^ ((salt as u64).wrapping_mul(0xa5a5_a5a5_5a5a_5a5b)).rotate_left(17)
+            ^ 0xdead_beef_cafe_f00d,
+    );
     if mixed & 1 == 0 {
         1
     } else {
@@ -82,7 +85,10 @@ mod tests {
         }
         let mean = 10_000 / buckets as u32;
         assert!(counts.iter().all(|&c| c > 0), "empty bucket");
-        assert!(counts.iter().all(|&c| c < mean * 3), "hot bucket: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c < mean * 3),
+            "hot bucket: {counts:?}"
+        );
     }
 
     #[test]
@@ -102,13 +108,19 @@ mod tests {
                 }
             }
         }
-        assert!(found, "expected at least one salt-0 collision resolved by salt 1");
+        assert!(
+            found,
+            "expected at least one salt-0 collision resolved by salt 1"
+        );
     }
 
     #[test]
     fn signs_are_balanced() {
         let n = 10_000;
-        let plus: i64 = (0..n).map(|i| flow_sign(&flow(i), 0)).filter(|&s| s == 1).count() as i64;
+        let plus: i64 = (0..n)
+            .map(|i| flow_sign(&flow(i), 0))
+            .filter(|&s| s == 1)
+            .count() as i64;
         let frac = plus as f64 / n as f64;
         assert!((0.45..0.55).contains(&frac), "sign bias: {frac}");
     }

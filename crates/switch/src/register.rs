@@ -16,25 +16,37 @@ impl RegisterArray {
     /// An array of `size` zeroed registers. `name` appears in panic
     /// messages (mirroring P4 register names).
     pub fn new(name: &'static str, size: usize) -> RegisterArray {
-        assert!(size > 0, "register array {name} must have at least one slot");
-        RegisterArray { name, slots: vec![0; size] }
+        assert!(
+            size > 0,
+            "register array {name} must have at least one slot"
+        );
+        RegisterArray {
+            name,
+            slots: vec![0; size],
+        }
     }
 
     /// Read register `idx`.
     pub fn read(&self, idx: usize) -> u64 {
-        *self
-            .slots
-            .get(idx)
-            .unwrap_or_else(|| panic!("register {}[{}] out of bounds (size {})", self.name, idx, self.slots.len()))
+        *self.slots.get(idx).unwrap_or_else(|| {
+            panic!(
+                "register {}[{}] out of bounds (size {})",
+                self.name,
+                idx,
+                self.slots.len()
+            )
+        })
     }
 
     /// Write register `idx`.
     pub fn write(&mut self, idx: usize, value: u64) {
         let size = self.slots.len();
-        let slot = self
-            .slots
-            .get_mut(idx)
-            .unwrap_or_else(|| panic!("register {}[{}] out of bounds (size {})", self.name, idx, size));
+        let slot = self.slots.get_mut(idx).unwrap_or_else(|| {
+            panic!(
+                "register {}[{}] out of bounds (size {})",
+                self.name, idx, size
+            )
+        });
         *slot = value;
     }
 

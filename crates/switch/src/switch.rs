@@ -31,7 +31,11 @@ pub(crate) const PROGRAM_TOKEN_BIT: u64 = 1 << 63;
 /// control-plane API call that triggers data-plane behaviour (the paper's §5
 /// "we manually start the two steps" in the packet-buffer microbenchmark).
 pub fn program_token(token: u64) -> u64 {
-    assert_eq!(token & PROGRAM_TOKEN_BIT, 0, "program token uses reserved bit");
+    assert_eq!(
+        token & PROGRAM_TOKEN_BIT,
+        0,
+        "program token uses reserved bit"
+    );
     token | PROGRAM_TOKEN_BIT
 }
 
@@ -80,6 +84,10 @@ pub struct SwitchStats {
     /// forwarding-table misconfiguration); admitting them would leak
     /// shared-buffer bytes forever, so they are dropped and counted here.
     pub unconnected_drops: u64,
+    /// Timer firings with a token this switch never armed (e.g. scheduled
+    /// by a driver against the wrong node). Ignored, counted, and logged
+    /// once rather than crashing the whole simulation.
+    pub unknown_timer_tokens: u64,
 }
 
 /// A data-plane program running on the switch. Implementations own their
@@ -171,7 +179,11 @@ impl SwitchCtx<'_, '_, '_> {
     /// Schedule [`PipelineProgram::on_timer`] with `token` after `delay`.
     /// `token` must not use the top bit.
     pub fn schedule(&mut self, delay: TimeDelta, token: u64) {
-        assert_eq!(token & PROGRAM_TOKEN_BIT, 0, "program token uses reserved bit");
+        assert_eq!(
+            token & PROGRAM_TOKEN_BIT,
+            0,
+            "program token uses reserved bit"
+        );
         self.node.schedule(delay, token | PROGRAM_TOKEN_BIT);
     }
 }
@@ -308,14 +320,22 @@ impl Node for SwitchNode {
         }
         match token {
             TOKEN_PIPELINE => {
-                let (port, pkt) = self.pending_ingress.pop_front().expect("pipeline underflow");
+                let (port, pkt) = self
+                    .pending_ingress
+                    .pop_front()
+                    .expect("pipeline underflow");
                 self.run_ingress(ctx, port, pkt);
             }
             TOKEN_RECIRC => {
                 let pkt = self.pending_recirc.pop_front().expect("recirc underflow");
                 self.run_ingress(ctx, RECIRC_PORT, pkt);
             }
-            other => panic!("unknown switch timer token {other}"),
+            other => {
+                if self.stats.unknown_timer_tokens == 0 {
+                    eprintln!("switch {}: ignoring unknown timer token {other:#x}", self.name);
+                }
+                self.stats.unknown_timer_tokens += 1;
+            }
         }
     }
 
@@ -355,7 +375,9 @@ mod tests {
 
     impl PipelineProgram for L2 {
         fn ingress(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, _in_port: PortId, pkt: Packet) {
-            let Ok(eth) = EthernetHeader::parse(pkt.as_slice()) else { return };
+            let Ok(eth) = EthernetHeader::parse(pkt.as_slice()) else {
+                return;
+            };
             match self.fib.lookup(&eth.dst).copied() {
                 Some(port) => {
                     ctx.enqueue(port, pkt);
@@ -381,13 +403,25 @@ mod tests {
 
     impl Host {
         fn new(mac: MacAddr, dst: MacAddr, n: usize, size: usize) -> Host {
-            Host { mac, dst, n, size, tx: TxQueue::new(PortId(0)), rx: vec![], rx_times: vec![] }
+            Host {
+                mac,
+                dst,
+                n,
+                size,
+                tx: TxQueue::new(PortId(0)),
+                rx: vec![],
+                rx_times: vec![],
+            }
         }
         fn frame(&self, seq: usize) -> Packet {
             let mut buf = vec![0u8; self.size];
-            EthernetHeader { dst: self.dst, src: self.mac, ethertype: extmem_wire::EtherType::Other(0x88b5) }
-                .write(&mut buf)
-                .unwrap();
+            EthernetHeader {
+                dst: self.dst,
+                src: self.mac,
+                ethertype: extmem_wire::EtherType::Other(0x88b5),
+            }
+            .write(&mut buf)
+            .unwrap();
             buf[14..18].copy_from_slice(&(seq as u32).to_be_bytes());
             Packet::from_vec(buf)
         }
@@ -412,7 +446,11 @@ mod tests {
         }
     }
 
-    fn build_l2_sim(n: usize, size: usize, buffer: ByteSize) -> (extmem_sim::Simulator, NodeId, NodeId, NodeId) {
+    fn build_l2_sim(
+        n: usize,
+        size: usize,
+        buffer: ByteSize,
+    ) -> (extmem_sim::Simulator, NodeId, NodeId, NodeId) {
         build_l2_sim_rates(n, size, buffer, 40)
     }
 
@@ -425,13 +463,29 @@ mod tests {
         let mut fib = ExactMatchTable::new(16, Replacement::Deny);
         fib.insert(MacAddr::local(1), PortId(0));
         fib.insert(MacAddr::local(2), PortId(1));
-        let program = L2 { fib, dropped_unknown: 0 };
+        let program = L2 {
+            fib,
+            dropped_unknown: 0,
+        };
         let mut b = SimBuilder::new(11);
-        let h1 = b.add_node(Box::new(Host::new(MacAddr::local(1), MacAddr::local(2), n, size)));
-        let h2 = b.add_node(Box::new(Host::new(MacAddr::local(2), MacAddr::local(1), 0, size)));
+        let h1 = b.add_node(Box::new(Host::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            n,
+            size,
+        )));
+        let h2 = b.add_node(Box::new(Host::new(
+            MacAddr::local(2),
+            MacAddr::local(1),
+            0,
+            size,
+        )));
         let sw = b.add_node(Box::new(SwitchNode::new(
             "tor",
-            SwitchConfig { buffer, ..Default::default() },
+            SwitchConfig {
+                buffer,
+                ..Default::default()
+            },
             Box::new(program),
         )));
         b.connect(sw, PortId(0), h1, PortId(0), LinkSpec::testbed_40g());
@@ -440,7 +494,10 @@ mod tests {
             PortId(1),
             h2,
             PortId(0),
-            LinkSpec::new(extmem_types::Rate::from_gbps(out_gbps), TimeDelta::from_nanos(300)),
+            LinkSpec::new(
+                extmem_types::Rate::from_gbps(out_gbps),
+                TimeDelta::from_nanos(300),
+            ),
         );
         let mut sim = b.build();
         sim.schedule_timer(h1, TimeDelta::ZERO, 0);
@@ -488,11 +545,28 @@ mod tests {
     fn unknown_mac_counted_by_program() {
         let mut fib = ExactMatchTable::new(16, Replacement::Deny);
         fib.insert(MacAddr::local(1), PortId(0)); // only h1 known
-        let program = L2 { fib, dropped_unknown: 0 };
+        let program = L2 {
+            fib,
+            dropped_unknown: 0,
+        };
         let mut b = SimBuilder::new(3);
-        let h1 = b.add_node(Box::new(Host::new(MacAddr::local(1), MacAddr::local(2), 5, 100)));
-        let h2 = b.add_node(Box::new(Host::new(MacAddr::local(2), MacAddr::local(1), 0, 100)));
-        let sw = b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(program))));
+        let h1 = b.add_node(Box::new(Host::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            5,
+            100,
+        )));
+        let h2 = b.add_node(Box::new(Host::new(
+            MacAddr::local(2),
+            MacAddr::local(1),
+            0,
+            100,
+        )));
+        let sw = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(program),
+        )));
         b.connect(sw, PortId(0), h1, PortId(0), LinkSpec::testbed_40g());
         b.connect(sw, PortId(1), h2, PortId(0), LinkSpec::testbed_40g());
         let mut sim = b.build();
@@ -522,12 +596,25 @@ mod tests {
     #[test]
     fn recirculation_reenters_pipeline() {
         let mut b = SimBuilder::new(5);
-        let h1 = b.add_node(Box::new(Host::new(MacAddr::local(1), MacAddr::local(2), 3, 100)));
-        let h2 = b.add_node(Box::new(Host::new(MacAddr::local(2), MacAddr::local(1), 0, 100)));
+        let h1 = b.add_node(Box::new(Host::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            3,
+            100,
+        )));
+        let h2 = b.add_node(Box::new(Host::new(
+            MacAddr::local(2),
+            MacAddr::local(1),
+            0,
+            100,
+        )));
         let sw = b.add_node(Box::new(SwitchNode::new(
             "tor",
             SwitchConfig::default(),
-            Box::new(Recirc { out: PortId(1), recirc_seen: 0 }),
+            Box::new(Recirc {
+                out: PortId(1),
+                recirc_seen: 0,
+            }),
         )));
         b.connect(sw, PortId(0), h1, PortId(0), LinkSpec::testbed_40g());
         b.connect(sw, PortId(1), h2, PortId(0), LinkSpec::testbed_40g());
@@ -546,14 +633,22 @@ mod tests {
     struct Misconfigured;
     impl PipelineProgram for Misconfigured {
         fn ingress(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, _in: PortId, pkt: Packet) {
-            assert!(!ctx.enqueue(PortId(9), pkt), "unconnected enqueue must fail");
+            assert!(
+                !ctx.enqueue(PortId(9), pkt),
+                "unconnected enqueue must fail"
+            );
         }
     }
 
     #[test]
     fn unconnected_port_drops_instead_of_leaking_buffer() {
         let mut b = SimBuilder::new(5);
-        let h1 = b.add_node(Box::new(Host::new(MacAddr::local(1), MacAddr::local(2), 5, 100)));
+        let h1 = b.add_node(Box::new(Host::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            5,
+            100,
+        )));
         let sw = b.add_node(Box::new(SwitchNode::new(
             "tor",
             SwitchConfig::default(),
@@ -565,7 +660,11 @@ mod tests {
         sim.run_to_quiescence();
         let sw_ref: &SwitchNode = sim.node::<SwitchNode>(sw);
         assert_eq!(sw_ref.stats().unconnected_drops, 5);
-        assert_eq!(sw_ref.tm().total_bytes(), 0, "nothing may linger in the pool");
+        assert_eq!(
+            sw_ref.tm().total_bytes(),
+            0,
+            "nothing may linger in the pool"
+        );
     }
 
     /// Program that clones each packet to two ports.
@@ -580,10 +679,29 @@ mod tests {
     #[test]
     fn cloning_to_multiple_ports() {
         let mut b = SimBuilder::new(5);
-        let h1 = b.add_node(Box::new(Host::new(MacAddr::local(1), MacAddr::local(2), 4, 100)));
-        let h2 = b.add_node(Box::new(Host::new(MacAddr::local(2), MacAddr::local(1), 0, 100)));
-        let h3 = b.add_node(Box::new(Host::new(MacAddr::local(3), MacAddr::local(1), 0, 100)));
-        let sw = b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(Cloner))));
+        let h1 = b.add_node(Box::new(Host::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            4,
+            100,
+        )));
+        let h2 = b.add_node(Box::new(Host::new(
+            MacAddr::local(2),
+            MacAddr::local(1),
+            0,
+            100,
+        )));
+        let h3 = b.add_node(Box::new(Host::new(
+            MacAddr::local(3),
+            MacAddr::local(1),
+            0,
+            100,
+        )));
+        let sw = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(Cloner),
+        )));
         b.connect(sw, PortId(0), h1, PortId(0), LinkSpec::testbed_40g());
         b.connect(sw, PortId(1), h2, PortId(0), LinkSpec::testbed_40g());
         b.connect(sw, PortId(2), h3, PortId(0), LinkSpec::testbed_40g());
@@ -620,8 +738,18 @@ mod tests {
     #[test]
     fn program_timers_round_trip() {
         let mut b = SimBuilder::new(5);
-        let h1 = b.add_node(Box::new(Host::new(MacAddr::local(1), MacAddr::local(2), 1, 100)));
-        let h2 = b.add_node(Box::new(Host::new(MacAddr::local(2), MacAddr::local(1), 0, 100)));
+        let h1 = b.add_node(Box::new(Host::new(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            1,
+            100,
+        )));
+        let h2 = b.add_node(Box::new(Host::new(
+            MacAddr::local(2),
+            MacAddr::local(1),
+            0,
+            100,
+        )));
         let sw = b.add_node(Box::new(SwitchNode::new(
             "tor",
             SwitchConfig::default(),

@@ -131,7 +131,13 @@ impl<K: Eq + Hash + Clone, V> ExactMatchTable<K, V> {
                 }
             }
         }
-        self.entries.insert(key, Entry { value, last_used: self.clock });
+        self.entries.insert(
+            key,
+            Entry {
+                value,
+                last_used: self.clock,
+            },
+        );
         true
     }
 

@@ -54,7 +54,9 @@ impl TrafficManager {
     pub fn new(ports: usize, shared_cap: ByteSize) -> TrafficManager {
         assert!(ports > 0, "TM needs at least one port");
         TrafficManager {
-            queues: (0..ports).map(|_| [VecDeque::new(), VecDeque::new()]).collect(),
+            queues: (0..ports)
+                .map(|_| [VecDeque::new(), VecDeque::new()])
+                .collect(),
             queue_bytes: vec![0; ports],
             stats: vec![QueueStats::default(); ports],
             shared_cap: shared_cap.bytes(),
@@ -92,8 +94,9 @@ impl TrafficManager {
         let p = port.raw() as usize;
         let len = pkt.len() as u64;
         let over_shared = self.shared_used + len > self.shared_cap;
-        let over_queue =
-            self.per_queue_cap.is_some_and(|cap| self.queue_bytes[p] + len > cap);
+        let over_queue = self
+            .per_queue_cap
+            .is_some_and(|cap| self.queue_bytes[p] + len > cap);
         if over_shared || over_queue {
             self.stats[p].dropped += 1;
             return false;
@@ -118,7 +121,9 @@ impl TrafficManager {
     /// high-priority level first.
     pub fn dequeue(&mut self, port: PortId) -> Option<Packet> {
         let p = port.raw() as usize;
-        let pkt = self.queues[p][0].pop_front().or_else(|| self.queues[p][1].pop_front())?;
+        let pkt = self.queues[p][0]
+            .pop_front()
+            .or_else(|| self.queues[p][1].pop_front())?;
         let len = pkt.len() as u64;
         self.shared_used -= len;
         self.queue_bytes[p] -= len;
@@ -167,8 +172,11 @@ impl TrafficManager {
             assert!(self.queue_bytes.iter().all(|&b| b <= cap), "queue over cap");
         }
         for (q, &b) in self.queues.iter().zip(&self.queue_bytes) {
-            let bytes: u64 =
-                q.iter().flat_map(|lvl| lvl.iter()).map(|p| p.len() as u64).sum();
+            let bytes: u64 = q
+                .iter()
+                .flat_map(|lvl| lvl.iter())
+                .map(|p| p.len() as u64)
+                .sum();
             assert_eq!(bytes, b);
         }
     }
@@ -233,8 +241,8 @@ mod tests {
 
     #[test]
     fn ecn_marks_above_threshold_only() {
-        let mut tm =
-            TrafficManager::new(1, ByteSize::from_kb(100)).with_ecn_threshold(ByteSize::from_bytes(100));
+        let mut tm = TrafficManager::new(1, ByteSize::from_kb(100))
+            .with_ecn_threshold(ByteSize::from_bytes(100));
         // Below threshold: no mark.
         assert!(tm.enqueue(PortId(0), ect_frame()));
         assert_eq!(tm.stats(PortId(0)).ecn_marked, 0);
@@ -263,7 +271,11 @@ mod tests {
         let csum = extmem_wire::ipv4::internet_checksum(&ce[14..34]);
         ce[24..26].copy_from_slice(&csum.to_be_bytes());
         tm.enqueue(PortId(0), Packet::from_vec(ce));
-        assert_eq!(tm.stats(PortId(0)).ecn_marked, 0, "pre-marked CE is not our mark");
+        assert_eq!(
+            tm.stats(PortId(0)).ecn_marked,
+            0,
+            "pre-marked CE is not our mark"
+        );
     }
 
     #[test]
@@ -271,7 +283,7 @@ mod tests {
         let mut tm =
             TrafficManager::new(1, ByteSize::from_kb(100)).with_ecn_threshold(ByteSize::ZERO);
         tm.enqueue(PortId(0), pkt(100)); // establish depth
-        // Non-IP zero frame: not marked.
+                                         // Non-IP zero frame: not marked.
         tm.enqueue(PortId(0), pkt(100));
         // IPv4 but ECN=00 (not ECN-capable): not marked.
         let mut not_ect = ect_frame().into_vec();
@@ -321,8 +333,8 @@ mod tests {
 
     #[test]
     fn per_queue_cap() {
-        let mut tm =
-            TrafficManager::new(2, ByteSize::from_kb(10)).with_per_queue_cap(ByteSize::from_bytes(150));
+        let mut tm = TrafficManager::new(2, ByteSize::from_kb(10))
+            .with_per_queue_cap(ByteSize::from_bytes(150));
         assert!(tm.enqueue(PortId(0), pkt(100)));
         assert!(!tm.enqueue(PortId(0), pkt(100)), "queue cap");
         assert!(tm.enqueue(PortId(1), pkt(100)), "other queue unaffected");
@@ -360,7 +372,10 @@ mod tests {
     fn priorities_share_the_byte_accounting() {
         let mut tm = TrafficManager::new(1, ByteSize::from_bytes(150));
         assert!(tm.enqueue_with_priority(PortId(0), pkt(100), Priority::High));
-        assert!(!tm.enqueue(PortId(0), pkt(100)), "pool shared across levels");
+        assert!(
+            !tm.enqueue(PortId(0), pkt(100)),
+            "pool shared across levels"
+        );
         assert_eq!(tm.queue_packets(PortId(0)), 1);
         assert_eq!(tm.queue_bytes(PortId(0)), 100);
         tm.check_invariants();

@@ -31,7 +31,13 @@ pub struct FiveTuple {
 impl FiveTuple {
     /// Create a flow key.
     pub const fn new(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, proto: u8) -> Self {
-        FiveTuple { src_ip, dst_ip, src_port, dst_port, proto }
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        }
     }
 
     /// The reverse-direction flow key (src/dst swapped).
@@ -77,7 +83,17 @@ impl fmt::Debug for FiveTuple {
         write!(
             f,
             "{}.{}.{}.{}:{}->{}.{}.{}.{}:{}/{}",
-            s[0], s[1], s[2], s[3], self.src_port, d[0], d[1], d[2], d[3], self.dst_port, self.proto
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            self.src_port,
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            self.dst_port,
+            self.proto
         )
     }
 }

@@ -114,7 +114,10 @@ mod tests {
         let a = ByteSize::from_mb(10) + ByteSize::from_mb(2);
         assert_eq!(a, ByteSize::from_mb(12));
         assert_eq!(a - ByteSize::from_mb(12), ByteSize::ZERO);
-        assert_eq!(ByteSize::from_mb(1).saturating_sub(ByteSize::from_mb(5)), ByteSize::ZERO);
+        assert_eq!(
+            ByteSize::from_mb(1).saturating_sub(ByteSize::from_mb(5)),
+            ByteSize::ZERO
+        );
     }
 
     #[test]

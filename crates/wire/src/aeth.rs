@@ -37,7 +37,12 @@ impl NakCode {
             1 => NakCode::InvalidRequest,
             2 => NakCode::RemoteAccessError,
             3 => NakCode::RemoteOperationalError,
-            other => return Err(WireError::InvalidField { field: "NAK code", value: other as u64 }),
+            other => {
+                return Err(WireError::InvalidField {
+                    field: "NAK code",
+                    value: other as u64,
+                })
+            }
         })
     }
 }
@@ -76,12 +81,18 @@ impl Aeth {
 
     /// A positive ACK with maximum credits, the common case.
     pub fn ack(msn: u32) -> Aeth {
-        Aeth { syndrome: Syndrome::Ack { credits: 31 }, msn }
+        Aeth {
+            syndrome: Syndrome::Ack { credits: 31 },
+            msn,
+        }
     }
 
     /// A NAK with the given code.
     pub fn nak(code: NakCode, msn: u32) -> Aeth {
-        Aeth { syndrome: Syndrome::Nak(code), msn }
+        Aeth {
+            syndrome: Syndrome::Nak(code),
+            msn,
+        }
     }
 
     /// Parse from the start of `buf`.
@@ -100,13 +111,20 @@ impl Aeth {
                 })
             }
         };
-        Ok(Aeth { syndrome, msn: u32::from_be_bytes([0, b[1], b[2], b[3]]) })
+        Ok(Aeth {
+            syndrome,
+            msn: u32::from_be_bytes([0, b[1], b[2], b[3]]),
+        })
     }
 
     /// Write into the first [`Self::LEN`] bytes of `buf`.
     pub fn write(&self, buf: &mut [u8]) -> Result<()> {
         if buf.len() < Self::LEN {
-            return Err(WireError::Truncated { what: "AETH", needed: Self::LEN, available: buf.len() });
+            return Err(WireError::Truncated {
+                what: "AETH",
+                needed: Self::LEN,
+                available: buf.len(),
+            });
         }
         if self.msn > crate::bth::MAX_24BIT {
             return Err(WireError::ValueOutOfRange {
@@ -140,7 +158,11 @@ impl Aeth {
 
 fn check5(field: &'static str, v: u8) -> Result<()> {
     if v > 31 {
-        return Err(WireError::ValueOutOfRange { field, value: v as u64, max: 31 });
+        return Err(WireError::ValueOutOfRange {
+            field,
+            value: v as u64,
+            max: 31,
+        });
     }
     Ok(())
 }
@@ -177,7 +199,10 @@ mod tests {
 
     #[test]
     fn rnr_roundtrip() {
-        let a = Aeth { syndrome: Syndrome::RnrNak { timer: 14 }, msn: 0 };
+        let a = Aeth {
+            syndrome: Syndrome::RnrNak { timer: 14 },
+            msn: 0,
+        };
         let mut buf = [0u8; 4];
         a.write(&mut buf).unwrap();
         assert_eq!(Aeth::parse(&buf).unwrap(), a);
@@ -185,7 +210,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_values() {
-        assert!(Aeth { syndrome: Syndrome::Ack { credits: 32 }, msn: 0 }.write(&mut [0u8; 4]).is_err());
+        assert!(Aeth {
+            syndrome: Syndrome::Ack { credits: 32 },
+            msn: 0
+        }
+        .write(&mut [0u8; 4])
+        .is_err());
         assert!(Aeth::ack(0x0100_0000).write(&mut [0u8; 4]).is_err());
         // Syndrome class 0b010 is reserved.
         assert!(Aeth::parse(&[0b010_00000, 0, 0, 0]).is_err());

@@ -71,7 +71,9 @@ impl AtomicAckEth {
     /// Parse from the start of `buf`.
     pub fn parse(buf: &[u8]) -> Result<AtomicAckEth> {
         let b = take(buf, 0, Self::LEN, "AtomicAckETH")?;
-        Ok(AtomicAckEth { original_value: u64::from_be_bytes(b[0..8].try_into().unwrap()) })
+        Ok(AtomicAckEth {
+            original_value: u64::from_be_bytes(b[0..8].try_into().unwrap()),
+        })
     }
 
     /// Write into the first [`Self::LEN`] bytes of `buf`.
@@ -107,7 +109,9 @@ mod tests {
 
     #[test]
     fn atomic_ack_roundtrip() {
-        let a = AtomicAckEth { original_value: u64::MAX - 3 };
+        let a = AtomicAckEth {
+            original_value: u64::MAX - 3,
+        };
         let mut buf = [0u8; 8];
         a.write(&mut buf).unwrap();
         assert_eq!(AtomicAckEth::parse(&buf).unwrap(), a);

@@ -92,7 +92,10 @@ impl Opcode {
     /// Whether this opcode carries an RETH (first/only packets of WRITE, and
     /// READ requests).
     pub fn has_reth(self) -> bool {
-        matches!(self, Opcode::WriteFirst | Opcode::WriteOnly | Opcode::ReadRequest)
+        matches!(
+            self,
+            Opcode::WriteFirst | Opcode::WriteOnly | Opcode::ReadRequest
+        )
     }
 
     /// Whether this opcode carries an AETH.
@@ -170,7 +173,11 @@ impl Bth {
     /// Write into the first [`Self::LEN`] bytes of `buf`.
     pub fn write(&self, buf: &mut [u8]) -> Result<()> {
         if buf.len() < Self::LEN {
-            return Err(WireError::Truncated { what: "BTH", needed: Self::LEN, available: buf.len() });
+            return Err(WireError::Truncated {
+                what: "BTH",
+                needed: Self::LEN,
+                available: buf.len(),
+            });
         }
         if self.dest_qp.raw() > MAX_24BIT {
             return Err(WireError::ValueOutOfRange {
@@ -255,15 +262,24 @@ mod tests {
         let mut buf = [0u8; 12];
         let bth = Bth::new(Opcode::WriteOnly, QpNum(0x0100_0000), 0);
         assert!(bth.write(&mut buf).is_err());
-        let bth = Bth { psn: 0x0100_0000, ..Bth::new(Opcode::WriteOnly, QpNum(1), 0) };
+        let bth = Bth {
+            psn: 0x0100_0000,
+            ..Bth::new(Opcode::WriteOnly, QpNum(1), 0)
+        };
         assert!(bth.write(&mut buf).is_err());
-        let bth = Bth { pad_count: 4, ..Bth::new(Opcode::WriteOnly, QpNum(1), 0) };
+        let bth = Bth {
+            pad_count: 4,
+            ..Bth::new(Opcode::WriteOnly, QpNum(1), 0)
+        };
         assert!(bth.write(&mut buf).is_err());
     }
 
     #[test]
     fn rejects_unknown_opcode() {
-        assert!(matches!(Opcode::from_u8(0x42), Err(WireError::UnsupportedOpcode(0x42))));
+        assert!(matches!(
+            Opcode::from_u8(0x42),
+            Err(WireError::UnsupportedOpcode(0x42))
+        ));
     }
 
     #[test]
@@ -290,7 +306,9 @@ mod tests {
     #[test]
     fn reserved_byte_is_zero_on_wire() {
         let mut buf = [0xffu8; 12];
-        Bth::new(Opcode::WriteOnly, QpNum(1), 1).write(&mut buf).unwrap();
+        Bth::new(Opcode::WriteOnly, QpNum(1), 1)
+            .write(&mut buf)
+            .unwrap();
         assert_eq!(buf[4], 0);
     }
 }

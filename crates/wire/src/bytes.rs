@@ -37,6 +37,62 @@ pub fn cow_count() -> u64 {
     COW_COPIES.load(Ordering::Relaxed)
 }
 
+/// A scoped measurement window over the process-global wire counters
+/// (buffer allocations, CoW copies, digest computations).
+///
+/// The counters are shared by every thread in the process, so concurrent
+/// counter-sensitive tests would corrupt each other's deltas. A span takes
+/// a process-wide lock for its lifetime: tests simply hold a span instead
+/// of hand-rolling a shared mutex, and read deltas relative to the values
+/// captured at creation.
+///
+/// ```
+/// use extmem_wire::bytes::CounterSpan;
+/// use extmem_wire::Payload;
+/// let span = CounterSpan::begin();
+/// let p = Payload::from_vec(vec![1, 2, 3]);
+/// let _shared = p.clone(); // refcount bump, not an allocation
+/// assert_eq!(span.allocs(), 1);
+/// assert_eq!(span.cows(), 0);
+/// ```
+pub struct CounterSpan {
+    _lock: std::sync::MutexGuard<'static, ()>,
+    allocs0: u64,
+    cows0: u64,
+    digests0: u64,
+}
+
+impl CounterSpan {
+    /// Open a measurement window, blocking until no other span is live.
+    pub fn begin() -> CounterSpan {
+        static SPAN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        // A panicking holder poisons the mutex but leaves the counters
+        // merely larger; the next span re-baselines, so poison is harmless.
+        let lock = SPAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        CounterSpan {
+            _lock: lock,
+            allocs0: alloc_count(),
+            cows0: cow_count(),
+            digests0: crate::packet::digest_compute_count(),
+        }
+    }
+
+    /// Backing-buffer allocations since the span opened.
+    pub fn allocs(&self) -> u64 {
+        alloc_count() - self.allocs0
+    }
+
+    /// Copy-on-write copies since the span opened.
+    pub fn cows(&self) -> u64 {
+        cow_count() - self.cows0
+    }
+
+    /// Cold digest computations since the span opened.
+    pub fn digests(&self) -> u64 {
+        crate::packet::digest_compute_count() - self.digests0
+    }
+}
+
 fn empty_buf() -> Arc<Vec<u8>> {
     static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
     EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
@@ -56,7 +112,11 @@ pub struct Payload {
 impl Payload {
     /// An empty payload (no allocation; all empties share one buffer).
     pub fn empty() -> Payload {
-        Payload { buf: empty_buf(), off: 0, len: 0 }
+        Payload {
+            buf: empty_buf(),
+            off: 0,
+            len: 0,
+        }
     }
 
     /// Take ownership of `bytes` (no copy).
@@ -66,7 +126,11 @@ impl Payload {
         }
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         let len = bytes.len();
-        Payload { buf: Arc::new(bytes), off: 0, len }
+        Payload {
+            buf: Arc::new(bytes),
+            off: 0,
+            len,
+        }
     }
 
     /// Copy `bytes` into a fresh buffer.
@@ -109,7 +173,11 @@ impl Payload {
         if range.start == range.end {
             return Payload::empty();
         }
-        Payload { buf: self.buf.clone(), off: self.off + range.start, len: range.end - range.start }
+        Payload {
+            buf: self.buf.clone(),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
     }
 
     /// Mutable view of the visible bytes, copy-on-write: in place when this
@@ -257,7 +325,11 @@ mod tests {
         let cows = cow_count();
         p.make_mut()[0] = 9;
         assert_eq!(p.as_slice(), &[9, 2, 3]);
-        assert_eq!(cow_count(), cows, "unique full-range mutation must not copy");
+        assert_eq!(
+            cow_count(),
+            cows,
+            "unique full-range mutation must not copy"
+        );
     }
 
     #[test]
@@ -266,7 +338,11 @@ mod tests {
         let original = p.clone();
         p.make_mut()[0] = 9;
         assert_eq!(p.as_slice(), &[9, 2, 3]);
-        assert_eq!(original.as_slice(), &[1, 2, 3], "other owner keeps original bytes");
+        assert_eq!(
+            original.as_slice(),
+            &[1, 2, 3],
+            "other owner keeps original bytes"
+        );
         assert_eq!(p.ref_count(), 1);
     }
 

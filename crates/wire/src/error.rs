@@ -51,17 +51,27 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::Truncated { what, needed, available } => {
+            WireError::Truncated {
+                what,
+                needed,
+                available,
+            } => {
                 write!(f, "truncated {what}: need {needed} bytes, have {available}")
             }
             WireError::InvalidField { field, value } => {
                 write!(f, "invalid {field}: {value:#x}")
             }
             WireError::BadIpChecksum { found, expected } => {
-                write!(f, "bad IPv4 checksum: found {found:#06x}, expected {expected:#06x}")
+                write!(
+                    f,
+                    "bad IPv4 checksum: found {found:#06x}, expected {expected:#06x}"
+                )
             }
             WireError::BadIcrc { found, expected } => {
-                write!(f, "bad ICRC: found {found:#010x}, expected {expected:#010x}")
+                write!(
+                    f,
+                    "bad ICRC: found {found:#010x}, expected {expected:#010x}"
+                )
             }
             WireError::ValueOutOfRange { field, value, max } => {
                 write!(f, "{field} value {value} exceeds wire maximum {max}")
@@ -74,8 +84,17 @@ impl fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 /// Bounds-checked slice read helper used by all header parsers.
-pub(crate) fn take<'a>(buf: &'a [u8], at: usize, len: usize, what: &'static str) -> crate::Result<&'a [u8]> {
-    let end = at.checked_add(len).ok_or(WireError::Truncated { what, needed: len, available: 0 })?;
+pub(crate) fn take<'a>(
+    buf: &'a [u8],
+    at: usize,
+    len: usize,
+    what: &'static str,
+) -> crate::Result<&'a [u8]> {
+    let end = at.checked_add(len).ok_or(WireError::Truncated {
+        what,
+        needed: len,
+        available: 0,
+    })?;
     buf.get(at..end).ok_or(WireError::Truncated {
         what,
         needed: end,
@@ -89,9 +108,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = WireError::Truncated { what: "BTH", needed: 12, available: 4 };
+        let e = WireError::Truncated {
+            what: "BTH",
+            needed: 12,
+            available: 4,
+        };
         assert_eq!(e.to_string(), "truncated BTH: need 12 bytes, have 4");
-        let e = WireError::BadIpChecksum { found: 1, expected: 2 };
+        let e = WireError::BadIpChecksum {
+            found: 1,
+            expected: 2,
+        };
         assert!(e.to_string().contains("checksum"));
     }
 

@@ -66,7 +66,10 @@ impl Grh {
         let b = take(buf, 0, Self::LEN, "GRH")?;
         let ver = b[0] >> 4;
         if ver != 6 {
-            return Err(WireError::InvalidField { field: "GRH IPVer", value: ver as u64 });
+            return Err(WireError::InvalidField {
+                field: "GRH IPVer",
+                value: ver as u64,
+            });
         }
         Ok(Grh {
             traffic_class: (b[0] << 4) | (b[1] >> 4),
@@ -82,7 +85,11 @@ impl Grh {
     /// Write into the first [`Self::LEN`] bytes of `buf`.
     pub fn write(&self, buf: &mut [u8]) -> Result<()> {
         if buf.len() < Self::LEN {
-            return Err(WireError::Truncated { what: "GRH", needed: Self::LEN, available: buf.len() });
+            return Err(WireError::Truncated {
+                what: "GRH",
+                needed: Self::LEN,
+                available: buf.len(),
+            });
         }
         if self.flow_label > 0x000f_ffff {
             return Err(WireError::ValueOutOfRange {
@@ -137,7 +144,10 @@ mod tests {
         Grh::new(gid(1), gid(2), 64).write(&mut buf).unwrap();
         assert_eq!(buf[0] >> 4, 6);
         buf[0] = 0x45;
-        assert!(matches!(Grh::parse(&buf), Err(WireError::InvalidField { .. })));
+        assert!(matches!(
+            Grh::parse(&buf),
+            Err(WireError::InvalidField { .. })
+        ));
     }
 
     #[test]
@@ -151,7 +161,10 @@ mod tests {
     fn rocev1_overhead_is_52_bytes() {
         // §4: "(52 bytes in the case of RoCEv1)" = GRH + BTH.
         assert_eq!(Grh::LEN + crate::bth::Bth::LEN, 52);
-        assert_eq!(Grh::LEN + crate::bth::Bth::LEN, crate::roce::ROCEV1_BASE_OVERHEAD);
+        assert_eq!(
+            Grh::LEN + crate::bth::Bth::LEN,
+            crate::roce::ROCEV1_BASE_OVERHEAD
+        );
     }
 
     #[test]

@@ -159,7 +159,11 @@ const fn build_tables() -> [[u32; 256]; 8] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { 0xedb8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                0xedb8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         t[0][i] = crc;
@@ -204,7 +208,9 @@ mod tests {
     fn slice_by_8_matches_bytewise_oracle() {
         // Every length 0..64 catches all stride/tail splits, plus a long
         // run; arbitrary non-zero init states must agree too.
-        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(0x9e37) >> 3) as u8).collect();
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(0x9e37) >> 3) as u8)
+            .collect();
         for len in 0..64 {
             assert_eq!(
                 crc32_update(0xffff_ffff, &data[..len]),

@@ -45,11 +45,17 @@ impl Ipv4Header {
         let b = take(buf, 0, Self::LEN, "IPv4 header")?;
         let version = b[0] >> 4;
         if version != 4 {
-            return Err(WireError::InvalidField { field: "IPv4 version", value: version as u64 });
+            return Err(WireError::InvalidField {
+                field: "IPv4 version",
+                value: version as u64,
+            });
         }
         let ihl = b[0] & 0x0f;
         if ihl != 5 {
-            return Err(WireError::InvalidField { field: "IPv4 IHL", value: ihl as u64 });
+            return Err(WireError::InvalidField {
+                field: "IPv4 IHL",
+                value: ihl as u64,
+            });
         }
         let found = u16::from_be_bytes([b[10], b[11]]);
         let expected = checksum_with_zeroed_field(b);
@@ -81,10 +87,18 @@ impl Ipv4Header {
             });
         }
         if self.dscp > 0x3f {
-            return Err(WireError::ValueOutOfRange { field: "DSCP", value: self.dscp as u64, max: 0x3f });
+            return Err(WireError::ValueOutOfRange {
+                field: "DSCP",
+                value: self.dscp as u64,
+                max: 0x3f,
+            });
         }
         if self.ecn > 0x3 {
-            return Err(WireError::ValueOutOfRange { field: "ECN", value: self.ecn as u64, max: 0x3 });
+            return Err(WireError::ValueOutOfRange {
+                field: "ECN",
+                value: self.ecn as u64,
+                max: 0x3,
+            });
         }
         let b = &mut buf[..Self::LEN];
         b[0] = 0x45;
@@ -172,7 +186,10 @@ mod tests {
         let mut buf = [0u8; 20];
         sample().write(&mut buf).unwrap();
         buf[8] ^= 0x01; // flip a TTL bit
-        assert!(matches!(Ipv4Header::parse(&buf), Err(WireError::BadIpChecksum { .. })));
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(WireError::BadIpChecksum { .. })
+        ));
     }
 
     #[test]
@@ -181,10 +198,22 @@ mod tests {
         sample().write(&mut buf).unwrap();
         let good = buf;
         buf[0] = 0x65;
-        assert!(matches!(Ipv4Header::parse(&buf), Err(WireError::InvalidField { field: "IPv4 version", .. })));
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(WireError::InvalidField {
+                field: "IPv4 version",
+                ..
+            })
+        ));
         buf = good;
         buf[0] = 0x46;
-        assert!(matches!(Ipv4Header::parse(&buf), Err(WireError::InvalidField { field: "IPv4 IHL", .. })));
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(WireError::InvalidField {
+                field: "IPv4 IHL",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod reth;
 pub mod roce;
 pub mod udp;
 
-pub use bytes::Payload;
+pub use bytes::{CounterSpan, Payload};
 pub use error::WireError;
 pub use ethernet::{EtherType, EthernetHeader, MacAddr};
 pub use ipv4::Ipv4Header;

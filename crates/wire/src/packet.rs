@@ -43,19 +43,28 @@ impl Clone for Packet {
         // The clone shares the bytes, so the cached digest stays valid for
         // both: a later CoW mutation through either side clears only that
         // side's cache.
-        Packet { data: self.data.clone(), digest: self.digest.clone() }
+        Packet {
+            data: self.data.clone(),
+            digest: self.digest.clone(),
+        }
     }
 }
 
 impl Packet {
     /// Wrap raw bytes as a packet.
     pub fn from_vec(bytes: Vec<u8>) -> Self {
-        Packet { data: Payload::from_vec(bytes), digest: Cell::new(None) }
+        Packet {
+            data: Payload::from_vec(bytes),
+            digest: Cell::new(None),
+        }
     }
 
     /// Wrap an existing (possibly shared) payload buffer as a packet.
     pub fn from_payload(data: Payload) -> Self {
-        Packet { data, digest: Cell::new(None) }
+        Packet {
+            data,
+            digest: Cell::new(None),
+        }
     }
 
     /// Allocate a zero-filled packet of `len` bytes.
@@ -271,7 +280,11 @@ mod tests {
         assert_eq!(p.ref_count(), 2);
         p.as_mut_slice()[0] = 0xff;
         assert_eq!(p.as_slice(), &[0xff, 2, 3, 4]);
-        assert_eq!(original.as_slice(), &[1, 2, 3, 4], "clone must keep its view");
+        assert_eq!(
+            original.as_slice(),
+            &[1, 2, 3, 4],
+            "clone must keep its view"
+        );
         assert_eq!(original.ref_count(), 1);
     }
 

@@ -53,7 +53,13 @@ pub struct DataPacketInfo {
 impl DataPacketInfo {
     /// The flow 5-tuple of this packet.
     pub fn five_tuple(&self) -> FiveTuple {
-        FiveTuple::new(self.ipv4.src, self.ipv4.dst, self.udp.src_port, self.udp.dst_port, proto::UDP)
+        FiveTuple::new(
+            self.ipv4.src,
+            self.ipv4.dst,
+            self.udp.src_port,
+            self.udp.dst_port,
+            proto::UDP,
+        )
     }
 }
 
@@ -86,7 +92,12 @@ pub fn build_data_packet(
         });
     }
     let mut buf = vec![0u8; frame_len];
-    EthernetHeader { dst: dst_mac, src: src_mac, ethertype: EtherType::Ipv4 }.write(&mut buf)?;
+    EthernetHeader {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .write(&mut buf)?;
     let ip_len = frame_len - EthernetHeader::LEN;
     Ipv4Header {
         dscp: 0,
@@ -150,10 +161,22 @@ pub fn parse_data_packet(pkt: &Packet) -> Result<Option<DataPacketInfo>> {
     let sent_at = Time::from_picos(u64::from_be_bytes(buf[p + 10..p + 18].try_into().unwrap()));
     for (off, &b) in buf[p + DATA_HEADER_LEN..].iter().enumerate() {
         if b != filler_byte(flow_id, seq, off) {
-            return Err(WireError::InvalidField { field: "workload filler", value: b as u64 });
+            return Err(WireError::InvalidField {
+                field: "workload filler",
+                value: b as u64,
+            });
         }
     }
-    Ok(Some(DataPacketInfo { eth, ipv4, udp, data: DataHeader { flow_id, seq, sent_at } }))
+    Ok(Some(DataPacketInfo {
+        eth,
+        ipv4,
+        udp,
+        data: DataHeader {
+            flow_id,
+            seq,
+            sent_at,
+        },
+    }))
 }
 
 /// The deterministic filler byte at `offset` for `(flow_id, seq)`.
@@ -233,7 +256,13 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         let r = parse_data_packet(&Packet::from_vec(bytes));
-        assert!(matches!(r, Err(WireError::InvalidField { field: "workload filler", .. })));
+        assert!(matches!(
+            r,
+            Err(WireError::InvalidField {
+                field: "workload filler",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl Reth {
     /// Write into the first [`Self::LEN`] bytes of `buf`.
     pub fn write(&self, buf: &mut [u8]) -> Result<()> {
         if buf.len() < Self::LEN {
-            return Err(WireError::Truncated { what: "RETH", needed: Self::LEN, available: buf.len() });
+            return Err(WireError::Truncated {
+                what: "RETH",
+                needed: Self::LEN,
+                available: buf.len(),
+            });
         }
         buf[0..8].copy_from_slice(&self.va.to_be_bytes());
         buf[8..12].copy_from_slice(&self.rkey.raw().to_be_bytes());
@@ -50,7 +54,11 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let r = Reth { va: 0x0123_4567_89ab_cdef, rkey: Rkey(0xdead_beef), dma_len: 1500 };
+        let r = Reth {
+            va: 0x0123_4567_89ab_cdef,
+            rkey: Rkey(0xdead_beef),
+            dma_len: 1500,
+        };
         let mut buf = [0u8; 16];
         r.write(&mut buf).unwrap();
         assert_eq!(Reth::parse(&buf).unwrap(), r);
@@ -58,7 +66,11 @@ mod tests {
 
     #[test]
     fn encoding_is_big_endian() {
-        let r = Reth { va: 0x0102030405060708, rkey: Rkey(0x0a0b0c0d), dma_len: 0x11223344 };
+        let r = Reth {
+            va: 0x0102030405060708,
+            rkey: Rkey(0x0a0b0c0d),
+            dma_len: 0x11223344,
+        };
         let mut buf = [0u8; 16];
         r.write(&mut buf).unwrap();
         assert_eq!(

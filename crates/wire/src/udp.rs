@@ -60,7 +60,12 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let h = UdpHeader { src_port: 49152, dst_port: ROCEV2_PORT, length: 32, checksum: 0 };
+        let h = UdpHeader {
+            src_port: 49152,
+            dst_port: ROCEV2_PORT,
+            length: 32,
+            checksum: 0,
+        };
         let mut buf = [0u8; 8];
         h.write(&mut buf).unwrap();
         assert_eq!(UdpHeader::parse(&buf).unwrap(), h);
@@ -69,7 +74,12 @@ mod tests {
     #[test]
     fn short_buffers_rejected() {
         assert!(UdpHeader::parse(&[0u8; 7]).is_err());
-        let h = UdpHeader { src_port: 1, dst_port: 2, length: 8, checksum: 0 };
+        let h = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            length: 8,
+            checksum: 0,
+        };
         assert!(h.write(&mut [0u8; 7]).is_err());
     }
 

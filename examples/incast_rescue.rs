@@ -44,9 +44,16 @@ fn main() {
 
 fn report(r: &extmem_apps::incast::IncastResult) {
     println!("  sent       {:>8}", r.sent);
-    println!("  delivered  {:>8}  ({:.1}%)", r.delivered, r.delivery_ratio * 100.0);
+    println!(
+        "  delivered  {:>8}  ({:.1}%)",
+        r.delivered,
+        r.delivery_ratio * 100.0
+    );
     println!("  drops      {:>8}", r.tm_drops);
     println!("  reorders   {:>8}", r.reorders);
-    println!("  completion {:>8.2} ms  (lower bound 10 ms = 50MB/40Gbps)", r.completion.as_millis_f64());
+    println!(
+        "  completion {:>8.2} ms  (lower bound 10 ms = 50MB/40Gbps)",
+        r.completion.as_millis_f64()
+    );
     println!("  peak buffer{:>8.2} MB", r.peak_buffer as f64 / 1e6);
 }

@@ -29,11 +29,15 @@ fn main() {
     // Batch 8 records per WRITE (see ablation A7 for why batching matters).
     let program = TraceStoreProgram::new(fib, channel, 8, TimeDelta::from_micros(20));
 
-    let flows: Vec<FiveTuple> =
-        (0..12).map(|i| FiveTuple::new(host_ip(0), host_ip(1), 6000 + i, 9000, 17)).collect();
+    let flows: Vec<FiveTuple> = (0..12)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 6000 + i, 9000, 17))
+        .collect();
     let mut b = SimBuilder::new(2);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(program))));
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(program),
+    )));
     let sender = b.add_node(Box::new(TrafficGenNode::new(
         "sender",
         WorkloadSpec {

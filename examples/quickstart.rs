@@ -32,7 +32,10 @@ fn main() {
         ByteSize::from_bytes(counters * 8),
     );
     let (rkey, base_va) = (channel.rkey, channel.base_va);
-    println!("channel: qpn={} rkey={} base=0x{:x}", channel.qp.peer_qpn, rkey, base_va);
+    println!(
+        "channel: qpn={} rkey={} base=0x{:x}",
+        channel.qp.peer_qpn, rkey, base_va
+    );
 
     // ---------------------------------------------------------------
     // 2. The data-plane program: L2 forwarding + remote per-flow counting.
@@ -47,10 +50,14 @@ fn main() {
     // 3. Topology: sender -- switch -- receiver, memory server on port 2.
     // ---------------------------------------------------------------
     let mut b = SimBuilder::new(1);
-    let switch =
-        b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(program))));
-    let flows: Vec<FiveTuple> =
-        (0..4).map(|i| FiveTuple::new(host_ip(0), host_ip(1), 5000 + i, 9000, 17)).collect();
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(program),
+    )));
+    let flows: Vec<FiveTuple> = (0..4)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 5000 + i, 9000, 17))
+        .collect();
     let sender = b.add_node(Box::new(TrafficGenNode::new(
         "sender",
         WorkloadSpec {
@@ -88,7 +95,7 @@ fn main() {
     println!(
         "forwarded {} packets end-to-end, median latency {}",
         sink.received,
-        sink.latency.summarize().median
+        sink.latency.summarize().unwrap().median
     );
 
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
@@ -99,7 +106,10 @@ fn main() {
     println!("\nper-flow counters (read from the server's DRAM):");
     for f in &flows {
         let slot = prog.slot_of(f);
-        println!("  {:?} -> slot {:4}: {:4} packets", f, slot, remote[slot as usize]);
+        println!(
+            "  {:?} -> slot {:4}: {:4} packets",
+            f, slot, remote[slot as usize]
+        );
     }
     let total: u64 = remote.iter().sum();
     println!("\nremote total = {total} (sent 1000)");
@@ -108,7 +118,10 @@ fn main() {
         prog.faa_stats().faa_sent,
         prog.faa_stats().merged
     );
-    println!("server CPU packets: {} (zero CPU involvement)", nic.stats().cpu_packets);
+    println!(
+        "server CPU packets: {} (zero CPU involvement)",
+        nic.stats().cpu_packets
+    );
     assert_eq!(total, 1000);
     assert_eq!(nic.stats().cpu_packets, 0);
     println!("\nOK");

@@ -12,7 +12,10 @@ use extmem_apps::telemetry::run_sketch;
 use extmem_core::sketch::{SketchGeometry, SketchKind};
 
 fn main() {
-    let geometry = SketchGeometry { rows: 4, cols: 1024 };
+    let geometry = SketchGeometry {
+        rows: 4,
+        cols: 1024,
+    };
     println!(
         "remote sketch: {} rows x {} cols = {} of server DRAM, Zipf(1.2) over 64 flows\n",
         geometry.rows,
@@ -23,7 +26,12 @@ fn main() {
     for kind in [SketchKind::CountMin, SketchKind::CountSketch] {
         let r = run_sketch(kind, geometry, 64, 6_000, 300, 13);
         println!("--- {kind:?} ---");
-        println!("  FaA sent {} for {} updates (merge ratio {:.2})", r.faa.faa_sent, r.faa.updates, r.faa.merged as f64 / r.faa.updates as f64);
+        println!(
+            "  FaA sent {} for {} updates (merge ratio {:.2})",
+            r.faa.faa_sent,
+            r.faa.updates,
+            r.faa.merged as f64 / r.faa.updates as f64
+        );
 
         // Show the five hottest flows: truth vs estimate.
         let mut by_truth: Vec<(usize, u64, i64)> = r
@@ -38,7 +46,10 @@ fn main() {
             println!("  {i:>4}  {t:>6}  {e:>9}");
         }
         println!("  heavy hitters (est >= 300): {:?}\n", r.heavy_hitters);
-        assert!(r.heavy_hitters.contains(&0), "the Zipf head must be detected");
+        assert!(
+            r.heavy_hitters.contains(&0),
+            "the Zipf head must be detected"
+        );
     }
 
     println!("Count-Min never underestimates; Count Sketch is unbiased — both recover");

@@ -16,6 +16,12 @@ cargo test -q
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== fault-matrix smoke (worst cell, release) =="
+# The full loss x outage x reorder grid already ran under `cargo test`;
+# this re-runs just the harshest cell per primitive under the release
+# profile, where timing-sensitive reliability bugs shake out differently.
+cargo test -q --release --test fault_matrix smoke_
+
 echo "== perf smoke (advisory) =="
 perf_rc=0
 scripts/perf_check.sh || perf_rc=$?

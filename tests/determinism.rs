@@ -14,8 +14,7 @@ use extmem_types::{ByteSize, FiveTuple, PortId, Rate, Time, TimeDelta};
 /// A full state-store scenario, returning the simulator for digesting.
 fn statestore_sim(seed: u64) -> Simulator {
     let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
-    let channel =
-        RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_kb(8));
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_kb(8));
     let mut fib = Fib::new(8);
     fib.install(host_mac(0), PortId(0));
     fib.install(host_mac(1), PortId(1));
@@ -28,8 +27,9 @@ fn statestore_sim(seed: u64) -> Simulator {
         extmem_switch::SwitchConfig::default(),
         Box::new(prog),
     )));
-    let flows: Vec<FiveTuple> =
-        (0..8).map(|i| FiveTuple::new(host_ip(0), host_ip(1), 7000 + i, 9000, 17)).collect();
+    let flows: Vec<FiveTuple> = (0..8)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 7000 + i, 9000, 17))
+        .collect();
     let sender = b.add_node(Box::new(TrafficGenNode::new(
         "gen",
         WorkloadSpec {
@@ -64,7 +64,11 @@ fn same_seed_same_trace_digest() {
     b.run_until(Time::from_millis(2));
     assert_eq!(a.trace_digest(), b.trace_digest());
     assert_eq!(a.events_processed(), b.events_processed());
-    assert_ne!(a.trace_digest(), 0xcbf2_9ce4_8422_2325, "digest never updated");
+    assert_ne!(
+        a.trace_digest(),
+        0xcbf2_9ce4_8422_2325,
+        "digest never updated"
+    );
 }
 
 #[test]
@@ -111,7 +115,11 @@ fn fault_injection_is_seed_deterministic() {
         let bl = b.add_node(Box::new(blaster));
         let sv = b.add_node(Box::new(nic));
         let mut spec = LinkSpec::testbed_40g();
-        spec.faults = extmem_sim::FaultSpec { drop_prob: 0.1, corrupt_prob: 0.05 };
+        spec.faults = extmem_sim::FaultSpec {
+            drop_prob: 0.1,
+            corrupt_prob: 0.05,
+            ..extmem_sim::FaultSpec::NONE
+        };
         b.connect(bl, PortId(0), sv, PortId(0), spec);
         let mut sim = b.build();
         sim.schedule_timer(bl, TimeDelta::ZERO, 1);
@@ -122,5 +130,8 @@ fn fault_injection_is_seed_deterministic() {
     let (d2, s2) = run(99);
     assert_eq!(d1, d2);
     assert_eq!(s1, s2);
-    assert!(s1.malformed_drops > 0, "corruption should have been injected: {s1:?}");
+    assert!(
+        s1.malformed_drops > 0,
+        "corruption should have been injected: {s1:?}"
+    );
 }

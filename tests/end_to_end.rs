@@ -50,7 +50,10 @@ fn lookup_latency_overhead_matches_fig3a_shape() {
         overheads.push(with.median.as_micros_f64() - base.median.as_micros_f64());
     }
     for &o in &overheads {
-        assert!((0.5..5.0).contains(&o), "overhead {o}us out of the paper regime");
+        assert!(
+            (0.5..5.0).contains(&o),
+            "overhead {o}us out of the paper regime"
+        );
     }
     assert!(
         overheads.windows(2).all(|w| w[0] <= w[1] + 0.05),
@@ -71,7 +74,11 @@ fn statestore_accuracy_and_goodput_match_fig3b_claims() {
     assert_eq!(r.remote_total, r.truth_total);
     assert_eq!(r.exact_slots, r.truth_slots);
     // "no end-to-end throughput degradation"
-    assert!(r.goodput.gbps_f64() > 29.0, "goodput {} below offered", r.goodput);
+    assert!(
+        r.goodput.gbps_f64() > 29.0,
+        "goodput {} below offered",
+        r.goodput
+    );
     // zero CPU involvement
     assert_eq!(r.server_cpu_packets, 0);
 }
@@ -92,7 +99,10 @@ fn gateway_translates_under_heavy_skew_with_tiny_cache() {
 
 #[test]
 fn sketches_detect_heavy_hitters_end_to_end() {
-    let g = SketchGeometry { rows: 5, cols: 1024 };
+    let g = SketchGeometry {
+        rows: 5,
+        cols: 1024,
+    };
     for kind in [SketchKind::CountMin, SketchKind::CountSketch] {
         let r = run_sketch(kind, g, 48, 4_000, 250, 17);
         assert!(
@@ -113,7 +123,11 @@ fn counting_exactness_across_issuing_configs() {
     for (window, batch) in [(1usize, 1u64), (2, 8), (16, 2)] {
         let r = run_counting(CountingConfig {
             count: 2_000,
-            faa: FaaConfig { max_outstanding: window, min_batch: batch, ..Default::default() },
+            faa: FaaConfig {
+                max_outstanding: window,
+                min_batch: batch,
+                ..Default::default()
+            },
             settle: TimeDelta::from_millis(5),
             seed: window as u64 * 100 + batch,
             ..Default::default()
@@ -141,12 +155,7 @@ fn remote_buffer_plus_ecn_tames_persistent_congestion() {
     use extmem_types::{ByteSize, FiveTuple, PortId, Time, TimeDelta};
 
     let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
-    let channel = RdmaChannel::setup_relaxed(
-        switch_endpoint(),
-        PortId(2),
-        &mut nic,
-        ByteSize::from_mb(8),
-    );
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_mb(8));
     let mut fib = Fib::new(8);
     fib.install(host_mac(0), PortId(0));
     fib.install(host_mac(1), PortId(1));
@@ -155,7 +164,10 @@ fn remote_buffer_plus_ecn_tames_persistent_congestion() {
         vec![channel],
         PortId(1),
         2048,
-        Mode::Auto { start_store_qbytes: 8_192, resume_load_qbytes: 4_096 },
+        Mode::Auto {
+            start_store_qbytes: 8_192,
+            resume_load_qbytes: 4_096,
+        },
         8,
         TimeDelta::from_micros(100),
     );
@@ -195,7 +207,13 @@ fn remote_buffer_plus_ecn_tames_persistent_congestion() {
         LinkSpec::new(Rate::from_gbps(10), TimeDelta::from_nanos(300)),
     );
     let server = b.add_node(Box::new(nic));
-    b.connect(switch, PortId(2), server, PortId(0), LinkSpec::testbed_40g());
+    b.connect(
+        switch,
+        PortId(2),
+        server,
+        PortId(0),
+        LinkSpec::testbed_40g(),
+    );
     let mut sim = b.build();
     sim.schedule_timer(src, TimeDelta::ZERO, 1);
     sim.run_until(Time::from_millis(40));
@@ -217,7 +235,10 @@ fn remote_buffer_plus_ecn_tames_persistent_congestion() {
     // The persistent part was slowed by ECN toward the bottleneck.
     let tail = &src_node.rate_trace[src_node.rate_trace.len() * 3 / 4..];
     let avg: f64 = tail.iter().map(|(_, r)| r.gbps_f64()).sum::<f64>() / tail.len() as f64;
-    assert!((6.0..14.0).contains(&avg), "rate did not converge near 10G: {avg:.1}G");
+    assert!(
+        (6.0..14.0).contains(&avg),
+        "rate did not converge near 10G: {avg:.1}G"
+    );
     // Once the sender slowed, the ring drained back to (near) empty.
     let prog = sw.program::<PacketBufferProgram>();
     assert!(

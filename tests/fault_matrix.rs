@@ -1,0 +1,988 @@
+//! The fault matrix: every remote-memory primitive driven through
+//! {0, 0.1%, 1% loss} × {no outage, mid-run outage} × {in-order, reordered}
+//! and held to *exact* settled invariants — counters exact, ring released
+//! strictly in order, no stuck windows, no leaked outstanding ops. The
+//! reliability layer (`ReliableChannel`) must make loss invisible, not
+//! merely survivable.
+//!
+//! Also here:
+//! * failover: past the retry cap each primitive degrades to local-only
+//!   operation without deadlock (§7 graceful degradation),
+//! * PSN wrap-around: reliability bookkeeping stays correct across the
+//!   24-bit wrap, including retransmissions spanning the wrap,
+//! * a source guard that the old copy-pasted `npsn = roce.bth.psn` resync
+//!   hack never reappears in `crates/core`.
+
+use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
+use extmem_apps::workload::{SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_core::faa::{FaaConfig, FaaEngine};
+use extmem_core::lookup::{install_remote_action, ActionEntry, LookupTableProgram};
+use extmem_core::lpm::{install_remote_route, slots_per_level, RemoteLpmProgram};
+use extmem_core::packet_buffer::{Mode, PacketBufferProgram};
+use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
+use extmem_core::{Fib, RdmaChannel, ReliableConfig};
+use extmem_rnic::{RnicConfig, RnicNode};
+use extmem_sim::{FaultSpec, LinkSpec, SimBuilder};
+use extmem_switch::{SwitchConfig, SwitchNode};
+use extmem_types::{ByteSize, FiveTuple, PortId, Rate, Time, TimeDelta};
+
+/// One cell of the fault matrix.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    /// Per-packet drop probability on the memory-server link.
+    loss: f64,
+    /// Whether the memory server goes dark for a mid-run window (shorter
+    /// than the retry budget, so the channel must recover, not fail over).
+    outage: bool,
+    /// Whether packets on the memory-server link are randomly held back so
+    /// later ones overtake them.
+    reorder: bool,
+}
+
+/// The full {loss} × {outage} × {reorder} grid.
+fn grid() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &loss in &[0.0, 0.001, 0.01] {
+        for &outage in &[false, true] {
+            for &reorder in &[false, true] {
+                cells.push(Cell {
+                    loss,
+                    outage,
+                    reorder,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// The harshest cell, used by the CI smoke tests.
+fn worst_cell() -> Cell {
+    Cell {
+        loss: 0.01,
+        outage: true,
+        reorder: true,
+    }
+}
+
+fn cell_faults(cell: &Cell) -> FaultSpec {
+    FaultSpec {
+        drop_prob: cell.loss,
+        corrupt_prob: 0.0,
+        reorder_prob: if cell.reorder { 0.03 } else { 0.0 },
+        // Several serialization times: genuinely permutes the stream.
+        reorder_delay: TimeDelta::from_micros(3),
+    }
+}
+
+fn cell_outage(cell: &Cell, from_us: u64, to_us: u64) -> Option<(Time, Time)> {
+    cell.outage
+        .then(|| (Time::from_micros(from_us), Time::from_micros(to_us)))
+}
+
+/// A cell is faulty if any injection is enabled; the clean cell must ride
+/// the fast path with zero reliability activity.
+fn is_clean(cell: &Cell) -> bool {
+    cell.loss == 0.0 && !cell.outage && !cell.reorder
+}
+
+// ---------------------------------------------------------------------------
+// State store (FAA counters): remote total must equal ground truth exactly.
+// ---------------------------------------------------------------------------
+
+fn run_state_store_cell(cell: &Cell, seed: u64) {
+    const COUNT: u64 = 600;
+    let counters = 256u64;
+    let mut nic = RnicNode::new(
+        "memsrv",
+        RnicConfig {
+            // Traffic spans ~600us; the outage bites mid-run and is far
+            // shorter than the ~3ms retry budget at rto=40us.
+            outage: cell_outage(cell, 200, 500),
+            ..RnicConfig::at(host_endpoint(2))
+        },
+    );
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        PortId(2),
+        &mut nic,
+        ByteSize::from_bytes(counters * 8),
+    );
+    let rkey = channel.rkey;
+    let base = channel.base_va;
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let engine = FaaEngine::new(
+        channel,
+        FaaConfig {
+            reliable: true,
+            rto: TimeDelta::from_micros(40),
+            ..Default::default()
+        },
+    );
+    let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(30));
+
+    let mut b = SimBuilder::new(seed);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+            256,
+            Rate::from_gbps(2),
+            COUNT,
+        ),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let server = b.add_node(Box::new(nic));
+    let mut lossy = LinkSpec::testbed_40g();
+    lossy.faults = cell_faults(cell);
+    b.connect(switch, PortId(2), server, PortId(0), lossy);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(50));
+
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<StateStoreProgram>();
+    let s = prog.faa_stats();
+    assert!(
+        prog.is_quiescent(),
+        "{cell:?}: stuck window (in_transit={}): {s:?}",
+        prog.in_transit()
+    );
+    assert!(!s.channel.failed_over, "{cell:?}: must not fail over: {s:?}");
+    let nic = sim.node::<RnicNode>(server);
+    if cell.outage {
+        assert!(nic.stats().outage_drops > 0, "{cell:?}: outage never bit");
+    }
+    let remote: u64 = read_remote_counters(nic, rkey, base, counters).iter().sum();
+    let truth: u64 = prog.oracle.values().sum();
+    assert_eq!(remote, truth, "{cell:?}: counters must settle exactly");
+    if is_clean(cell) {
+        assert_eq!(s.retransmits, 0, "clean cell must not retransmit: {s:?}");
+    }
+    assert_eq!(sim.node::<SinkNode>(sink).received, COUNT);
+}
+
+#[test]
+fn matrix_state_store_settles_exactly() {
+    for (i, cell) in grid().iter().enumerate() {
+        run_state_store_cell(cell, 9000 + i as u64);
+    }
+}
+
+#[test]
+fn smoke_state_store_worst_cell() {
+    run_state_store_cell(&worst_cell(), 9100);
+}
+
+// ---------------------------------------------------------------------------
+// Packet buffer: every detoured packet released, strictly in order.
+// ---------------------------------------------------------------------------
+
+fn run_packet_buffer_cell(cell: &Cell, seed: u64) {
+    const COUNT: u64 = 400;
+    let mut nic = RnicNode::new(
+        "memsrv",
+        RnicConfig {
+            // Detour activity spans ~0-250us (85us of 30G arrivals draining
+            // through a 10G sink); the outage lands inside it.
+            outage: cell_outage(cell, 50, 150),
+            ..RnicConfig::at(host_endpoint(2))
+        },
+    );
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_mb(2));
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = PacketBufferProgram::new(
+        fib,
+        vec![channel],
+        PortId(1),
+        2048,
+        Mode::Auto {
+            start_store_qbytes: 4096,
+            resume_load_qbytes: 2048,
+        },
+        8,
+        TimeDelta::from_micros(50),
+    );
+    let mut b = SimBuilder::new(seed);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+            800,
+            Rate::from_gbps(30),
+            COUNT,
+        ),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    b.connect(switch, PortId(0), gen, PortId(0), LinkSpec::testbed_40g());
+    b.connect(
+        switch,
+        PortId(1),
+        sink,
+        PortId(0),
+        LinkSpec::new(Rate::from_gbps(10), TimeDelta::from_nanos(300)),
+    );
+    let server = b.add_node(Box::new(nic));
+    let mut lossy = LinkSpec::testbed_40g();
+    lossy.faults = cell_faults(cell);
+    b.connect(switch, PortId(2), server, PortId(0), lossy);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(60));
+
+    let sink = sim.node::<SinkNode>(sink);
+    let sw: &SwitchNode = sim.node(switch);
+    let s = sw.program::<PacketBufferProgram>().stats();
+    assert!(s.stored > 0, "{cell:?}: the detour was never exercised");
+    assert!(!s.channel.failed_over, "{cell:?}: must not fail over: {s:?}");
+    if cell.outage {
+        let nic = sim.node::<RnicNode>(server);
+        assert!(nic.stats().outage_drops > 0, "{cell:?}: outage never bit");
+    }
+    assert_eq!(s.lost_entries, 0, "{cell:?}: entries lost: {s:?}");
+    assert_eq!(s.loaded, s.stored, "{cell:?}: ring left entries behind: {s:?}");
+    assert_eq!(sink.received, COUNT, "{cell:?}: packets lost: {s:?}");
+    assert_eq!(sink.total_reorders(), 0, "{cell:?}: ring order violated");
+    assert_eq!(sink.corrupt, 0, "{cell:?}: payload corrupted");
+    if is_clean(cell) {
+        assert_eq!(s.channel.retransmits, 0, "clean cell must not retransmit");
+    }
+}
+
+#[test]
+fn matrix_packet_buffer_releases_in_order() {
+    for (i, cell) in grid().iter().enumerate() {
+        run_packet_buffer_cell(cell, 9200 + i as u64);
+    }
+}
+
+#[test]
+fn smoke_packet_buffer_worst_cell() {
+    run_packet_buffer_cell(&worst_cell(), 9300);
+}
+
+// ---------------------------------------------------------------------------
+// Lookup table (bounce mode): every packet comes back with its action.
+// ---------------------------------------------------------------------------
+
+fn run_lookup_cell(cell: &Cell, seed: u64) {
+    const COUNT: u64 = 300;
+    const DSCP: u8 = 46;
+    let mut nic = RnicNode::new(
+        "tablesrv",
+        RnicConfig {
+            // ~300us of traffic; outage inside it, shorter than the ~3ms
+            // retry budget at rto=40us.
+            outage: cell_outage(cell, 100, 350),
+            ..RnicConfig::at(host_endpoint(2))
+        },
+    );
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        PortId(2),
+        &mut nic,
+        ByteSize::from_bytes(4096 * 2048),
+    );
+    let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 80, 17);
+    install_remote_action(&mut nic, &channel, 2048, &flow, ActionEntry::set_dscp(DSCP));
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    // No cache: every packet must do a full remote bounce.
+    let prog = LookupTableProgram::new(fib, channel, 2048, None).with_reliability(ReliableConfig {
+        rto: TimeDelta::from_micros(40),
+        ..Default::default()
+    });
+
+    let mut b = SimBuilder::new(seed);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "client",
+        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 256, Rate::from_gbps(2), COUNT),
+    )));
+    let mut sink = SinkNode::new("server");
+    sink.expect_dscp = Some(DSCP);
+    let server = b.add_node(Box::new(sink));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    let mut lossy = LinkSpec::testbed_40g();
+    lossy.faults = cell_faults(cell);
+    b.connect(switch, PortId(2), table, PortId(0), lossy);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(50));
+
+    let sink = sim.node::<SinkNode>(server);
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<LookupTableProgram>();
+    let s = prog.stats();
+    assert!(!prog.is_degraded(), "{cell:?}: must not fail over: {s:?}");
+    assert_eq!(s.failed_ops, 0, "{cell:?}: leaked outstanding ops: {s:?}");
+    assert_eq!(sink.received, COUNT, "{cell:?}: packets lost: {s:?}");
+    assert_eq!(sink.dscp_mismatch, 0, "{cell:?}: action not applied");
+    assert_eq!(s.actions_applied, COUNT, "{cell:?}: {s:?}");
+    assert_eq!(s.slow_path, 0, "{cell:?}: {s:?}");
+    if cell.outage {
+        let nic = sim.node::<RnicNode>(table);
+        assert!(nic.stats().outage_drops > 0, "{cell:?}: outage never bit");
+    }
+    if is_clean(cell) {
+        assert_eq!(s.channel.retransmits, 0, "clean cell must not retransmit");
+    }
+}
+
+#[test]
+fn matrix_lookup_applies_every_action() {
+    for (i, cell) in grid().iter().enumerate() {
+        run_lookup_cell(cell, 9400 + i as u64);
+    }
+}
+
+#[test]
+fn smoke_lookup_worst_cell() {
+    run_lookup_cell(&worst_cell(), 9500);
+}
+
+// ---------------------------------------------------------------------------
+// LPM: every packet routed by its longest matching prefix.
+// ---------------------------------------------------------------------------
+
+fn run_lpm_cell(cell: &Cell, seed: u64) {
+    const COUNT: u64 = 250;
+    let levels = vec![32u8, 24, 16];
+    let mut nic = RnicNode::new(
+        "routesrv",
+        RnicConfig {
+            outage: cell_outage(cell, 80, 300),
+            ..RnicConfig::at(host_endpoint(2))
+        },
+    );
+    let region = ByteSize::from_mb(1);
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, region);
+    let spl = slots_per_level(region.bytes(), &levels);
+    let dst_ip = 0x0a010203u32;
+    let route = |dscp: u8| {
+        let mut a = ActionEntry::set_dscp(dscp);
+        a.port_override = Some(PortId(1));
+        a
+    };
+    // A /16 shadow route plus the /32 winner: resolution must pick /32.
+    install_remote_route(&mut nic, &channel, &levels, spl, 0x0a010000, 16, route(10));
+    install_remote_route(&mut nic, &channel, &levels, spl, dst_ip, 32, route(32));
+
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    // No cache: every packet costs a full 3-rung remote lookup.
+    let prog =
+        RemoteLpmProgram::new(fib, channel, levels, None).with_reliability(ReliableConfig {
+            rto: TimeDelta::from_micros(40),
+            ..Default::default()
+        });
+
+    let mut b = SimBuilder::new(seed);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let flow = FiveTuple::new(host_ip(0), dst_ip, 5000, 9000, 17);
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 256, Rate::from_gbps(2), COUNT),
+    )));
+    let mut sink = SinkNode::new("sink");
+    sink.expect_dscp = Some(32);
+    let sink = b.add_node(Box::new(sink));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let srv = b.add_node(Box::new(nic));
+    let mut lossy = LinkSpec::testbed_40g();
+    lossy.faults = cell_faults(cell);
+    b.connect(switch, PortId(2), srv, PortId(0), lossy);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(50));
+
+    let sink = sim.node::<SinkNode>(sink);
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<RemoteLpmProgram>();
+    let s = prog.stats();
+    assert!(!prog.is_degraded(), "{cell:?}: must not fail over: {s:?}");
+    assert_eq!(s.lookups_failed, 0, "{cell:?}: lookups abandoned: {s:?}");
+    assert_eq!(s.degraded_fallbacks, 0, "{cell:?}: {s:?}");
+    assert_eq!(sink.received, COUNT, "{cell:?}: packets lost: {s:?}");
+    assert_eq!(sink.dscp_mismatch, 0, "{cell:?}: wrong rung won");
+    assert_eq!(s.routed, COUNT, "{cell:?}: {s:?}");
+    assert_eq!(s.no_route, 0, "{cell:?}: {s:?}");
+    // Exactly one ReadDone per rung READ: duplicates were deduped, and no
+    // READ leaked without completing.
+    assert_eq!(s.responses, 3 * COUNT, "{cell:?}: {s:?}");
+    if cell.outage {
+        let nic = sim.node::<RnicNode>(srv);
+        assert!(nic.stats().outage_drops > 0, "{cell:?}: outage never bit");
+    }
+    if is_clean(cell) {
+        assert_eq!(s.channel.retransmits, 0, "clean cell must not retransmit");
+    }
+}
+
+#[test]
+fn matrix_lpm_routes_every_packet() {
+    for (i, cell) in grid().iter().enumerate() {
+        run_lpm_cell(cell, 9600 + i as u64);
+    }
+}
+
+#[test]
+fn smoke_lpm_worst_cell() {
+    run_lpm_cell(&worst_cell(), 9700);
+}
+
+// ---------------------------------------------------------------------------
+// Failover: past the retry cap, degrade to local-only without deadlock.
+// ---------------------------------------------------------------------------
+
+/// A retry policy that gives up after ~210us of silence (two retransmit
+/// rounds at 30/60us, then the 120us cap expires).
+fn fast_failover() -> ReliableConfig {
+    ReliableConfig {
+        rto: TimeDelta::from_micros(30),
+        max_retries: 2,
+        max_backoff_level: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn state_store_failover_accumulates_locally() {
+    // The server never comes back within the run: the channel must fail
+    // over and the store keep exact *local* truth (remote + pending).
+    let counters = 128u64;
+    let mut nic = RnicNode::new(
+        "memsrv",
+        RnicConfig {
+            outage: Some((Time::from_micros(150), Time::from_millis(40))),
+            ..RnicConfig::at(host_endpoint(2))
+        },
+    );
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        PortId(2),
+        &mut nic,
+        ByteSize::from_bytes(counters * 8),
+    );
+    let rkey = channel.rkey;
+    let base = channel.base_va;
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let engine = FaaEngine::new(
+        channel,
+        FaaConfig {
+            reliable: true,
+            rto: TimeDelta::from_micros(30),
+            ..Default::default()
+        },
+    );
+    let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(30));
+    let mut b = SimBuilder::new(4242);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+            256,
+            Rate::from_gbps(2),
+            600,
+        ),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let server = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), server, PortId(0), link);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(30));
+
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<StateStoreProgram>();
+    let s = prog.faa_stats();
+    assert!(prog.is_degraded(), "retry cap must trip failover: {s:?}");
+    assert!(s.channel.failed_over, "{s:?}");
+    // No op left outstanding: everything sent-but-unacked was returned to
+    // the local accumulator (in_transit = pending + outstanding).
+    assert_eq!(
+        prog.in_transit(),
+        prog.pending_sum(),
+        "outstanding ops leaked: {s:?}"
+    );
+    // Conservation holds locally: what landed remotely plus what degraded
+    // mode accumulated is exactly the ground truth. Nothing double-counted
+    // (a failed op's value moves back to pending exactly once).
+    let nic = sim.node::<RnicNode>(server);
+    let remote: u64 = read_remote_counters(nic, rkey, base, counters).iter().sum();
+    let truth: u64 = prog.oracle.values().sum();
+    assert_eq!(
+        remote + prog.pending_sum(),
+        truth,
+        "local accumulation must preserve every update"
+    );
+    assert!(prog.pending_sum() > 0, "failover must strand updates locally");
+    // Forwarding is never disturbed.
+    assert_eq!(sim.node::<SinkNode>(sink).received, 600);
+}
+
+#[test]
+fn packet_buffer_failover_stops_detouring_and_drains() {
+    // Server gone for good: entries in flight at failover are lost (they
+    // lived only in remote memory), but the ring drains, accounting stays
+    // exact, and post-failover traffic flows untouched — no deadlock.
+    const COUNT: u64 = 2000;
+    let mut nic = RnicNode::new(
+        "memsrv",
+        RnicConfig {
+            // Dark from 30us on: the ~210us retry budget expires inside the
+            // ~430us burst, so post-failover arrivals must flow directly.
+            outage: Some((Time::from_micros(30), Time::from_millis(50))),
+            ..RnicConfig::at(host_endpoint(2))
+        },
+    );
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_mb(2));
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = PacketBufferProgram::new(
+        fib,
+        vec![channel],
+        PortId(1),
+        2048,
+        Mode::Auto {
+            start_store_qbytes: 4096,
+            resume_load_qbytes: 2048,
+        },
+        8,
+        TimeDelta::from_micros(30),
+    )
+    .with_reliability(fast_failover());
+    let mut b = SimBuilder::new(4243);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+            800,
+            Rate::from_gbps(30),
+            COUNT,
+        ),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    b.connect(switch, PortId(0), gen, PortId(0), LinkSpec::testbed_40g());
+    b.connect(
+        switch,
+        PortId(1),
+        sink,
+        PortId(0),
+        LinkSpec::new(Rate::from_gbps(10), TimeDelta::from_nanos(300)),
+    );
+    let server = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), server, PortId(0), LinkSpec::testbed_40g());
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(60));
+
+    let sink = sim.node::<SinkNode>(sink);
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<PacketBufferProgram>();
+    let s = prog.stats();
+    assert!(prog.is_degraded(), "retry cap must trip failover: {s:?}");
+    assert!(s.channel.failed_over, "{s:?}");
+    assert!(s.lost_entries > 0, "in-flight entries are gone: {s:?}");
+    assert_eq!(
+        s.loaded + s.lost_entries,
+        s.stored,
+        "ring accounting must stay exact: {s:?}"
+    );
+    assert_eq!(sink.total_reorders(), 0, "order must hold through failover");
+    // Every packet is delivered, accounted as a lost ring entry, or (the
+    // direct path is congested once detouring stops) dropped by the TM —
+    // nothing vanishes silently.
+    assert_eq!(
+        sink.received + s.lost_entries + sw.tm().total_drops(),
+        COUNT,
+        "unaccounted packets: {s:?}"
+    );
+    // Degraded mode keeps forwarding: the tail of the burst (sent after
+    // failover) must have arrived.
+    assert!(sink.received > 500, "post-failover traffic wedged: {s:?}");
+}
+
+#[test]
+fn lookup_failover_punts_to_slow_path() {
+    const COUNT: u64 = 300;
+    let mut nic = RnicNode::new(
+        "tablesrv",
+        RnicConfig {
+            // Dark from 30us on: the ~210us retry budget expires mid-burst
+            // (~300us of traffic), so post-failover arrivals exist.
+            outage: Some((Time::from_micros(30), Time::from_millis(40))),
+            ..RnicConfig::at(host_endpoint(2))
+        },
+    );
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        PortId(2),
+        &mut nic,
+        ByteSize::from_bytes(4096 * 2048),
+    );
+    let flow = FiveTuple::new(host_ip(0), host_ip(1), 40_000, 80, 17);
+    install_remote_action(&mut nic, &channel, 2048, &flow, ActionEntry::set_dscp(46));
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = LookupTableProgram::new(fib, channel, 2048, None).with_reliability(fast_failover());
+    let mut b = SimBuilder::new(4244);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "client",
+        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 256, Rate::from_gbps(2), COUNT),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("server")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), table, PortId(0), link);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(30));
+
+    let sink = sim.node::<SinkNode>(sink);
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<LookupTableProgram>();
+    let s = prog.stats();
+    assert!(prog.is_degraded(), "retry cap must trip failover: {s:?}");
+    assert!(s.channel.failed_over, "{s:?}");
+    assert!(s.slow_path > 0, "degraded misses must punt, not stall: {s:?}");
+    assert!(s.failed_ops > 0, "in-flight bounces must be accounted: {s:?}");
+    // A bounced packet lost to failover lived only in remote memory; each
+    // failed op covers at most one such packet, so delivery plus failures
+    // bounds the burst. No silent loss, no deadlock.
+    assert!(
+        sink.received + s.failed_ops >= COUNT,
+        "unaccounted loss: received={} {s:?}",
+        sink.received
+    );
+    assert!(
+        sink.received < COUNT,
+        "in-flight bounces at failover must be lost: {s:?}"
+    );
+    // The slow path actually carries traffic: everything punted after
+    // failover reached the sink (pre-failover bounces into the dead server
+    // are the only losses).
+    assert!(
+        sink.received >= s.slow_path,
+        "slow-path packets vanished: received={} {s:?}",
+        sink.received
+    );
+}
+
+#[test]
+fn lpm_failover_forwards_fib_only() {
+    const COUNT: u64 = 300;
+    let levels = vec![32u8, 24, 16];
+    let mut nic = RnicNode::new(
+        "routesrv",
+        RnicConfig {
+            // Dark from 30us on: failover (~240us) lands inside the
+            // ~300us burst.
+            outage: Some((Time::from_micros(30), Time::from_millis(40))),
+            ..RnicConfig::at(host_endpoint(2))
+        },
+    );
+    let region = ByteSize::from_mb(1);
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, region);
+    let spl = slots_per_level(region.bytes(), &levels);
+    let dst_ip = 0x0a010203u32;
+    let mut a = ActionEntry::set_dscp(32);
+    a.port_override = Some(PortId(1));
+    install_remote_route(&mut nic, &channel, &levels, spl, dst_ip, 32, a);
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = RemoteLpmProgram::new(fib, channel, levels, None).with_reliability(fast_failover());
+    let mut b = SimBuilder::new(4245);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let flow = FiveTuple::new(host_ip(0), dst_ip, 5000, 9000, 17);
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(host_mac(0), host_mac(1), flow, 256, Rate::from_gbps(2), COUNT),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let srv = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), srv, PortId(0), link);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(30));
+
+    let sink = sim.node::<SinkNode>(sink);
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<RemoteLpmProgram>();
+    let s = prog.stats();
+    assert!(prog.is_degraded(), "retry cap must trip failover: {s:?}");
+    assert!(s.channel.failed_over, "{s:?}");
+    assert!(
+        s.degraded_fallbacks > 0,
+        "degraded misses must forward FIB-only: {s:?}"
+    );
+    // Packets waiting on abandoned rung READs are dropped (and counted);
+    // everything else flows. No wedge, full accounting.
+    assert_eq!(
+        sink.received + s.lookups_failed,
+        COUNT,
+        "every packet delivered or accounted: {s:?}"
+    );
+    // The FIB-only path actually carries traffic: every degraded fallback
+    // reached the sink.
+    assert!(
+        sink.received >= s.degraded_fallbacks,
+        "fallback packets vanished: received={} {s:?}",
+        sink.received
+    );
+}
+
+// ---------------------------------------------------------------------------
+// PSN wrap-around: reliability bookkeeping across the 24-bit boundary.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn packet_buffer_exact_across_psn_wrap_with_loss() {
+    // ~800 request PSNs per run starting 384 short of 2^24: the sequence
+    // wraps mid-run while 5% loss keeps retransmissions in flight around
+    // the boundary (wrap mid-retransmit).
+    for seed in [11u64, 12, 13] {
+        let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
+        let channel = RdmaChannel::setup_at_psn(
+            switch_endpoint(),
+            PortId(2),
+            &mut nic,
+            ByteSize::from_mb(2),
+            0x00ff_fe80,
+        );
+        let mut fib = Fib::new(8);
+        fib.install(host_mac(0), PortId(0));
+        fib.install(host_mac(1), PortId(1));
+        let prog = PacketBufferProgram::new(
+            fib,
+            vec![channel],
+            PortId(1),
+            2048,
+            Mode::Auto {
+                start_store_qbytes: 4096,
+                resume_load_qbytes: 2048,
+            },
+            8,
+            TimeDelta::from_micros(50),
+        );
+        let mut b = SimBuilder::new(seed);
+        let switch = b.add_node(Box::new(SwitchNode::new(
+            "tor",
+            SwitchConfig::default(),
+            Box::new(prog),
+        )));
+        let gen = b.add_node(Box::new(TrafficGenNode::new(
+            "gen",
+            WorkloadSpec::simple(
+                host_mac(0),
+                host_mac(1),
+                FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+                800,
+                Rate::from_gbps(30),
+                400,
+            ),
+        )));
+        let sink = b.add_node(Box::new(SinkNode::new("sink")));
+        b.connect(switch, PortId(0), gen, PortId(0), LinkSpec::testbed_40g());
+        b.connect(
+            switch,
+            PortId(1),
+            sink,
+            PortId(0),
+            LinkSpec::new(Rate::from_gbps(10), TimeDelta::from_nanos(300)),
+        );
+        let server = b.add_node(Box::new(nic));
+        let mut lossy = LinkSpec::testbed_40g();
+        lossy.faults = FaultSpec::drop(0.05);
+        b.connect(switch, PortId(2), server, PortId(0), lossy);
+        let mut sim = b.build();
+        sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+        sim.run_until(Time::from_millis(60));
+
+        let sink = sim.node::<SinkNode>(sink);
+        let sw: &SwitchNode = sim.node(switch);
+        let s = sw.program::<PacketBufferProgram>().stats();
+        assert!(s.channel.retransmits > 0, "seed {seed}: loss never bit: {s:?}");
+        assert!(!s.channel.failed_over, "seed {seed}: {s:?}");
+        assert_eq!(s.lost_entries, 0, "seed {seed}: {s:?}");
+        assert_eq!(s.loaded, s.stored, "seed {seed}: {s:?}");
+        assert_eq!(sink.received, 400, "seed {seed}: packets lost: {s:?}");
+        assert_eq!(sink.total_reorders(), 0, "seed {seed}: order violated");
+    }
+}
+
+#[test]
+fn state_store_exact_across_psn_wrap_with_loss() {
+    // FAA traffic starting 16 PSNs short of the wrap under 5% loss: the
+    // retransmission window itself straddles the boundary.
+    let counters = 128u64;
+    let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
+    let channel = RdmaChannel::setup_at_psn(
+        switch_endpoint(),
+        PortId(2),
+        &mut nic,
+        ByteSize::from_bytes(counters * 8),
+        0x00ff_fff0,
+    );
+    let rkey = channel.rkey;
+    let base = channel.base_va;
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let engine = FaaEngine::new(
+        channel,
+        FaaConfig {
+            reliable: true,
+            rto: TimeDelta::from_micros(40),
+            ..Default::default()
+        },
+    );
+    let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(30));
+    let mut b = SimBuilder::new(321);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+            256,
+            Rate::from_gbps(2),
+            600,
+        ),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let server = b.add_node(Box::new(nic));
+    let mut lossy = LinkSpec::testbed_40g();
+    lossy.faults = FaultSpec::drop(0.05);
+    b.connect(switch, PortId(2), server, PortId(0), lossy);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(50));
+
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<StateStoreProgram>();
+    let s = prog.faa_stats();
+    assert!(s.retransmits > 0, "loss never bit: {s:?}");
+    assert!(prog.is_quiescent(), "stuck across the wrap: {s:?}");
+    let nic = sim.node::<RnicNode>(server);
+    let remote: u64 = read_remote_counters(nic, rkey, base, counters).iter().sum();
+    let truth: u64 = prog.oracle.values().sum();
+    assert_eq!(remote, truth, "wrap must not corrupt the count");
+}
+
+// ---------------------------------------------------------------------------
+// Source guard: the copy-pasted resync hack must never reappear.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_ad_hoc_psn_resync_in_core() {
+    // PR 3 replaced four copies of the same ad-hoc requester-side PSN
+    // resync (and a save/restore dance around retransmits) with the shared
+    // ReliableChannel. This guard keeps the pattern from creeping back:
+    // primitives must never touch `qp.npsn` directly.
+    let core_src = concat!(env!("CARGO_MANIFEST_DIR"), "/../core/src");
+    let banned: &[&str] = &["npsn = roce.bth.psn", "saved_npsn"];
+    let mut scanned = 0;
+    for entry in std::fs::read_dir(core_src).expect("crates/core/src readable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        // The reliability layer itself is the one legitimate owner of the
+        // QP's PSN state.
+        if path.file_name().and_then(|n| n.to_str()) == Some("channel.rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("source readable");
+        for pat in banned {
+            assert!(
+                !text.contains(pat),
+                "{} reintroduces the ad-hoc PSN resync pattern {pat:?}; \
+                 route recovery through ReliableChannel instead",
+                path.display()
+            );
+        }
+        scanned += 1;
+    }
+    assert!(scanned >= 5, "guard scanned too few files ({scanned})");
+}

@@ -45,11 +45,22 @@ fn state_store_works_through_an_intermediate_switch() {
     let mut agg_fib = Fib::new(8);
     agg_fib.install(host_endpoint(3).mac, PortId(1));
     agg_fib.install(switch_endpoint().mac, PortId(0));
-    let agg_prog = L2Program { fib: agg_fib, forwarded: 0 };
+    let agg_prog = L2Program {
+        fib: agg_fib,
+        forwarded: 0,
+    };
 
     let mut b = SimBuilder::new(55);
-    let tor = b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(tor_prog))));
-    let agg = b.add_node(Box::new(SwitchNode::new("agg", SwitchConfig::default(), Box::new(agg_prog))));
+    let tor = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(tor_prog),
+    )));
+    let agg = b.add_node(Box::new(SwitchNode::new(
+        "agg",
+        SwitchConfig::default(),
+        Box::new(agg_prog),
+    )));
     let gen = b.add_node(Box::new(TrafficGenNode::new(
         "gen",
         WorkloadSpec::simple(
@@ -88,8 +99,7 @@ fn state_store_works_through_an_intermediate_switch() {
 #[test]
 fn packet_buffer_works_through_an_intermediate_switch() {
     let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(3)));
-    let channel =
-        RdmaChannel::setup_relaxed(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_mb(4));
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, ByteSize::from_mb(4));
 
     let mut tor_fib = Fib::new(8);
     tor_fib.install(host_mac(0), PortId(0));
@@ -99,18 +109,32 @@ fn packet_buffer_works_through_an_intermediate_switch() {
         vec![channel],
         PortId(1),
         2048,
-        Mode::Auto { start_store_qbytes: 8_192, resume_load_qbytes: 4_096 },
+        Mode::Auto {
+            start_store_qbytes: 8_192,
+            resume_load_qbytes: 4_096,
+        },
         8,
         TimeDelta::from_micros(100),
     );
     let mut agg_fib = Fib::new(8);
     agg_fib.install(host_endpoint(3).mac, PortId(1));
     agg_fib.install(switch_endpoint().mac, PortId(0));
-    let agg_prog = L2Program { fib: agg_fib, forwarded: 0 };
+    let agg_prog = L2Program {
+        fib: agg_fib,
+        forwarded: 0,
+    };
 
     let mut b = SimBuilder::new(56);
-    let tor = b.add_node(Box::new(SwitchNode::new("tor", SwitchConfig::default(), Box::new(tor_prog))));
-    let agg = b.add_node(Box::new(SwitchNode::new("agg", SwitchConfig::default(), Box::new(agg_prog))));
+    let tor = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(tor_prog),
+    )));
+    let agg = b.add_node(Box::new(SwitchNode::new(
+        "agg",
+        SwitchConfig::default(),
+        Box::new(agg_prog),
+    )));
     let gen = b.add_node(Box::new(TrafficGenNode::new(
         "gen",
         WorkloadSpec::simple(
@@ -141,7 +165,10 @@ fn packet_buffer_works_through_an_intermediate_switch() {
 
     let tor_ref: &SwitchNode = sim.node(tor);
     let s = tor_ref.program::<PacketBufferProgram>().stats();
-    assert!(s.stored > 0, "detour must engage through the extra hop: {s:?}");
+    assert!(
+        s.stored > 0,
+        "detour must engage through the extra hop: {s:?}"
+    );
     assert_eq!(s.stored, s.loaded, "{s:?}");
     assert_eq!(s.lost_entries, 0);
     let sink = sim.node::<SinkNode>(sink);

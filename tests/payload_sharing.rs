@@ -14,18 +14,13 @@
 //!    identical statistics *and* event counts across same-seed runs.
 //!
 //! The alloc/CoW counters in `extmem_wire::bytes` are process-global, so
-//! the counter-sensitive tests serialize on one mutex.
+//! each counter-sensitive test holds a [`CounterSpan`], which serializes
+//! the tests and scopes their deltas in one move.
 
 use extmem_apps::incast::{run_incast, IncastConfig, RemoteBufferSpec};
 use extmem_sim::{FaultSpec, LinkSpec, Node, NodeCtx, SimBuilder};
 use extmem_types::{PortId, TimeDelta};
-use extmem_wire::bytes::{alloc_count, cow_count};
-use extmem_wire::packet::digest_compute_count;
-use extmem_wire::Packet;
-use std::sync::Mutex;
-
-/// Serializes tests that assert on the global alloc/CoW counters.
-static COUNTERS: Mutex<()> = Mutex::new(());
+use extmem_wire::{CounterSpan, Packet};
 
 /// Sends pre-built packets (constructed before the run so in-run allocation
 /// deltas are attributable to the engine, not the workload) and keeps a
@@ -37,7 +32,10 @@ struct Sender {
 
 impl Sender {
     fn new(packets: Vec<Packet>) -> Sender {
-        Sender { kept: packets.clone(), to_send: packets }
+        Sender {
+            kept: packets.clone(),
+            to_send: packets,
+        }
     }
 }
 
@@ -104,17 +102,23 @@ impl Node for Capture {
 
 /// Build a sender → N forwarding hops → capture chain and run `packets`
 /// pre-built 1500 B packets through it. Returns (kept sender copies,
-/// received packets, alloc delta, cow delta) measured across the run only.
+/// received packets, alloc delta, cow delta, digest delta) measured across
+/// the run only — the internal [`CounterSpan`] both scopes the deltas and
+/// serializes counter-sensitive tests.
 fn run_chain(
     hops: usize,
     packets: Vec<Packet>,
     faults: FaultSpec,
-) -> (Vec<Packet>, Vec<Packet>, u64, u64) {
+) -> (Vec<Packet>, Vec<Packet>, u64, u64, u64) {
     let n = packets.len() as u64;
     let mut b = SimBuilder::new(7);
     let sender = b.add_node(Box::new(Sender::new(packets)));
     let fwds: Vec<_> = (0..hops)
-        .map(|_| b.add_node(Box::new(Forward { pending: Default::default() })))
+        .map(|_| {
+            b.add_node(Box::new(Forward {
+                pending: Default::default(),
+            }))
+        })
         .collect();
     let cap = b.add_node(Box::new(Capture { got: Vec::new() }));
 
@@ -123,22 +127,31 @@ fn run_chain(
     // Faults only on the first link; the rest are clean.
     let mut prev = (sender, PortId(0));
     for (i, &f) in fwds.iter().enumerate() {
-        let s = if i == 0 { spec } else { LinkSpec::testbed_40g() };
+        let s = if i == 0 {
+            spec
+        } else {
+            LinkSpec::testbed_40g()
+        };
         b.connect(prev.0, prev.1, f, PortId(0), s);
         prev = (f, PortId(1));
     }
-    let tail = if hops == 0 { spec } else { LinkSpec::testbed_40g() };
+    let tail = if hops == 0 {
+        spec
+    } else {
+        LinkSpec::testbed_40g()
+    };
     b.connect(prev.0, prev.1, cap, PortId(0), tail);
 
     let mut sim = b.build();
     sim.schedule_timer(sender, TimeDelta::ZERO, 0);
-    let (a0, c0) = (alloc_count(), cow_count());
+    let span = CounterSpan::begin();
     sim.run_to_quiescence();
-    let (a1, c1) = (alloc_count(), cow_count());
+    let (allocs, cows, digests) = (span.allocs(), span.cows(), span.digests());
+    drop(span);
     let got = std::mem::take(&mut sim.node_mut::<Capture>(cap).got);
     let kept = std::mem::take(&mut sim.node_mut::<Sender>(sender).kept);
     assert_eq!(got.len() as u64, n, "all packets delivered");
-    (kept, got, a1 - a0, c1 - c0)
+    (kept, got, allocs, cows, digests)
 }
 
 fn test_packets(count: usize) -> Vec<Packet> {
@@ -155,11 +168,10 @@ fn test_packets(count: usize) -> Vec<Packet> {
 
 #[test]
 fn forwarding_does_not_allocate_or_copy() {
-    let _guard = COUNTERS.lock().unwrap();
     // 20 packets across 4 store-and-forward hops: the engine must move the
     // shared buffers without a single new allocation or CoW copy, even
     // though the sender still holds a clone of every packet.
-    let (kept, got, allocs, cows) = run_chain(4, test_packets(20), FaultSpec::default());
+    let (kept, got, allocs, cows, _) = run_chain(4, test_packets(20), FaultSpec::default());
     assert_eq!(allocs, 0, "forwarding allocated payload buffers");
     assert_eq!(cows, 0, "forwarding copied payload buffers");
     for (k, g) in kept.iter().rev().zip(&got) {
@@ -169,22 +181,24 @@ fn forwarding_does_not_allocate_or_copy() {
 
 #[test]
 fn hop_count_does_not_change_allocations() {
-    let _guard = COUNTERS.lock().unwrap();
     let clean = FaultSpec::default();
-    let (_, _, a1, _) = run_chain(1, test_packets(10), clean);
-    let (_, _, a5, _) = run_chain(5, test_packets(10), clean);
+    let (_, _, a1, _, _) = run_chain(1, test_packets(10), clean);
+    let (_, _, a5, _, _) = run_chain(5, test_packets(10), clean);
     assert_eq!(a1, a5, "allocations must be independent of path length");
     assert_eq!(a1, 0);
 }
 
 #[test]
 fn corrupting_one_in_flight_copy_is_isolated() {
-    let _guard = COUNTERS.lock().unwrap();
     // Every packet is corrupted on the first link while the sender holds a
     // clone: the flip must CoW exactly once per packet and the sender's
     // copies must stay pristine all the way through delivery.
-    let faults = FaultSpec { drop_prob: 0.0, corrupt_prob: 1.0 };
-    let (kept, got, allocs, cows) = run_chain(2, test_packets(8), faults);
+    let faults = FaultSpec {
+        drop_prob: 0.0,
+        corrupt_prob: 1.0,
+        ..FaultSpec::NONE
+    };
+    let (kept, got, allocs, cows, _) = run_chain(2, test_packets(8), faults);
     assert_eq!(cows, 8, "one CoW per corrupted packet");
     assert_eq!(allocs, 8, "the CoW copy is the only allocation");
     // Sender pops from the back; deliveries arrive in reverse kept order.
@@ -195,7 +209,10 @@ fn corrupting_one_in_flight_copy_is_isolated() {
             .zip(g.as_slice())
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
-        assert_eq!(flipped, 1, "received copy differs by exactly the injected bit");
+        assert_eq!(
+            flipped, 1,
+            "received copy differs by exactly the injected bit"
+        );
     }
     // And the kept copies are byte-identical to what was constructed.
     for (i, k) in kept.iter().enumerate() {
@@ -206,7 +223,6 @@ fn corrupting_one_in_flight_copy_is_isolated() {
 
 #[test]
 fn corruption_of_unshared_packet_mutates_in_place() {
-    let _guard = COUNTERS.lock().unwrap();
     // Control for the CoW accounting: when nobody else holds the buffer,
     // the injector's flip must happen in place (no copy, no allocation).
     struct Blast {
@@ -234,46 +250,57 @@ fn corruption_of_unshared_packet_mutates_in_place() {
     let s = b.add_node(Box::new(Blast { left: 16 }));
     let c = b.add_node(Box::new(Capture { got: Vec::new() }));
     let mut spec = LinkSpec::testbed_40g();
-    spec.faults = FaultSpec { drop_prob: 0.0, corrupt_prob: 1.0 };
+    spec.faults = FaultSpec {
+        drop_prob: 0.0,
+        corrupt_prob: 1.0,
+        ..FaultSpec::NONE
+    };
     b.connect(s, PortId(0), c, PortId(0), spec);
     let mut sim = b.build();
     sim.schedule_timer(s, TimeDelta::ZERO, 0);
-    let c0 = cow_count();
+    let span = CounterSpan::begin();
     sim.run_to_quiescence();
-    assert_eq!(cow_count() - c0, 0, "unique buffers must be flipped in place");
+    assert_eq!(span.cows(), 0, "unique buffers must be flipped in place");
     assert_eq!(sim.node::<Capture>(c).got.len(), 16);
 }
 
 #[test]
 fn multi_hop_forwarding_digests_each_packet_once() {
-    let _guard = COUNTERS.lock().unwrap();
     // The trace folds every delivery's content digest, but the digest is
     // cached in the packet: 12 packets across 5 hops (6 deliveries each)
     // must cost exactly 12 cold digest computations, not 72.
-    let d0 = digest_compute_count();
-    let (kept, got, _, _) = run_chain(5, test_packets(12), FaultSpec::default());
-    assert_eq!(digest_compute_count() - d0, 12, "digest must be computed once per packet");
+    let (kept, got, _, _, digests) = run_chain(5, test_packets(12), FaultSpec::default());
+    assert_eq!(digests, 12, "digest must be computed once per packet");
     drop((kept, got));
 
     // A CoW mutation in flight invalidates only the wire copy's cache: the
     // corrupted packet re-digests on the hop after the flip, so the cold
     // count grows by at most one extra per packet — and the digests of the
     // sender's kept copies still match the original bytes.
-    let d0 = digest_compute_count();
-    let faults = FaultSpec { drop_prob: 0.0, corrupt_prob: 1.0 };
-    let (kept, got, _, _) = run_chain(2, test_packets(8), faults);
-    let cold = digest_compute_count() - d0;
-    assert_eq!(cold, 8, "flip happens before the first digest; one compute per packet");
+    let faults = FaultSpec {
+        drop_prob: 0.0,
+        corrupt_prob: 1.0,
+        ..FaultSpec::NONE
+    };
+    let (kept, got, _, _, digests) = run_chain(2, test_packets(8), faults);
+    assert_eq!(
+        digests, 8,
+        "flip happens before the first digest; one compute per packet"
+    );
     for (k, g) in kept.iter().rev().zip(&got) {
-        assert_ne!(k.digest(), g.digest(), "corrupted copy must digest differently");
+        assert_ne!(
+            k.digest(),
+            g.digest(),
+            "corrupted copy must digest differently"
+        );
     }
 }
 
 #[test]
 fn high_load_incast_is_deterministic_event_for_event() {
-    // Holds the counter mutex: the runs inflate the process-global
-    // alloc/CoW/digest counters that the other tests difference.
-    let _guard = COUNTERS.lock().unwrap();
+    // The runs inflate the process-global counters; holding a (otherwise
+    // unread) span keeps them out of the other tests' measurement windows.
+    let _span = CounterSpan::begin();
     // Two same-seed runs of the 8-sender line-rate incast (with the
     // remote-buffer detour engaged) must agree on every statistic,
     // including the total event and per-hop packet counts — the strongest
@@ -289,8 +316,15 @@ fn high_load_incast_is_deterministic_event_for_event() {
     assert_eq!(r1.peak_buffer, r2.peak_buffer);
     assert_eq!(r1.pb.stored, r2.pb.stored);
     assert_eq!(r1.pb.loaded, r2.pb.loaded);
-    assert_eq!(r1.events, r2.events, "event counts diverged between same-seed runs");
+    assert_eq!(
+        r1.events, r2.events,
+        "event counts diverged between same-seed runs"
+    );
     assert_eq!(r1.hop_packets, r2.hop_packets);
-    assert!(r1.events > 10_000, "incast should be a substantial run: {}", r1.events);
+    assert!(
+        r1.events > 10_000,
+        "incast should be a substantial run: {}",
+        r1.events
+    );
     assert_eq!(r1.delivered, r1.sent, "detour keeps the incast lossless");
 }

@@ -35,7 +35,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
-        let channel = RdmaChannel::setup_relaxed(
+        let channel = RdmaChannel::setup(
             switch_endpoint(),
             PortId(2),
             &mut nic,

@@ -85,7 +85,13 @@ fn event_queue_total_order() {
     let mut expected: Vec<(u64, u64)> = Vec::new(); // (time, seq)
     for seq in 0..5_000u64 {
         let t = rng.gen_range(0..500u64);
-        q.push(Time::from_picos(t), EventKind::Timer { node: NodeId(0), token: seq });
+        q.push(
+            Time::from_picos(t),
+            EventKind::Timer {
+                node: NodeId(0),
+                token: seq,
+            },
+        );
         expected.push((t, seq));
     }
     expected.sort();

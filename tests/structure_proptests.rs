@@ -265,7 +265,13 @@ mod lpm_model {
 }
 
 fn key(f: u32) -> FiveTuple {
-    FiveTuple::new(0x0a00_0000 + f, 0x0a63_0001, (2000 + f % 30000) as u16, 80, 17)
+    FiveTuple::new(
+        0x0a00_0000 + f,
+        0x0a63_0001,
+        (2000 + f % 30000) as u16,
+        80,
+        17,
+    )
 }
 
 mod event_queue {

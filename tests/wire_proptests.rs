@@ -34,7 +34,10 @@ fn arb_endpoint() -> impl Strategy<Value = RoceEndpoint> {
         // Force unicast so frames are realistic.
         let mut mac = mac;
         mac[0] &= 0xfe;
-        RoceEndpoint { mac: MacAddr(mac), ip }
+        RoceEndpoint {
+            mac: MacAddr(mac),
+            ip,
+        }
     })
 }
 
@@ -326,5 +329,70 @@ proptest! {
         prop_assert!(psn_before(a, b));
         prop_assert!(!psn_before(b, a));
         prop_assert!(!psn_before(a, a));
+    }
+
+    /// `psn_add` is addition modulo 2^24: the result is always a valid
+    /// 24-bit PSN and equals the plain modular sum, for any increments
+    /// (including ones that themselves exceed the PSN space).
+    #[test]
+    fn psn_add_is_modular_24bit(a in 0u32..0x0100_0000, n: u32) {
+        use extmem_wire::bth::psn_add;
+        let r = psn_add(a, n);
+        prop_assert!(r < 0x0100_0000, "result must stay 24-bit");
+        prop_assert_eq!(u64::from(r), (u64::from(a) + u64::from(n)) % (1 << 24));
+    }
+
+    /// Advancing in two hops equals advancing once by the sum — the
+    /// reliability layer relies on this when it splits a multi-packet READ
+    /// into per-PSN bookkeeping.
+    #[test]
+    fn psn_add_composes(a in 0u32..0x0100_0000, m in 0u32..0x0080_0000, n in 0u32..0x0080_0000) {
+        use extmem_wire::bth::psn_add;
+        prop_assert_eq!(psn_add(psn_add(a, m), n), psn_add(a, m + n));
+    }
+
+    /// Against an unwrapped 64-bit oracle: for any two serial numbers on a
+    /// long stream whose distance is within the comparison horizon (2^23),
+    /// `psn_before` on the truncated 24-bit values agrees with plain `<`
+    /// on the untruncated ones — no matter how many times the stream has
+    /// wrapped.
+    #[test]
+    fn psn_before_matches_unwrapped_oracle(s: u64, d in 1u64..0x0080_0000) {
+        use extmem_wire::bth::psn_before;
+        let t = s + d;
+        let (sp, tp) = ((s & 0x00ff_ffff) as u32, (t & 0x00ff_ffff) as u32);
+        prop_assert!(psn_before(sp, tp));
+        prop_assert!(!psn_before(tp, sp));
+    }
+
+    /// The retransmit-window model across the wrap: a window of `w` ops is
+    /// outstanding starting at `base` (chosen so the window may straddle
+    /// 0xffffff → 0x000000), the responder acks the first `k`. Every
+    /// retired PSN must compare strictly before the new window head, the
+    /// head must not compare before any still-outstanding PSN, and
+    /// cumulative-ack retirement leaves exactly `w - k` outstanding.
+    #[test]
+    fn psn_window_retirement_across_wrap(
+        off in 0u32..64,
+        w in 1u32..48,
+        kf in any::<prop::sample::Index>(),
+    ) {
+        use extmem_wire::bth::{psn_add, psn_before};
+        // Place the window so it can straddle the 24-bit wrap point.
+        let base = psn_add(0x00ff_ffe0, off);
+        let k = kf.index(w as usize + 1) as u32;
+        let head = psn_add(base, k);
+        let mut outstanding = 0u32;
+        for i in 0..w {
+            let psn = psn_add(base, i);
+            if psn_before(psn, head) {
+                // Retired by the cumulative ack at `head`.
+                prop_assert!(i < k, "retired an op past the ack point");
+            } else {
+                prop_assert!(i >= k, "ack at head={head:#x} skipped psn={psn:#x}");
+                outstanding += 1;
+            }
+        }
+        prop_assert_eq!(outstanding, w - k);
     }
 }

@@ -34,7 +34,10 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
         }
     }
 
@@ -73,7 +76,9 @@ pub mod test_runner {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
-            TestRng { inner: StdRng::seed_from_u64(h) }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
         }
 
         /// The underlying generator.
@@ -358,7 +363,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests. See the crate docs for semantics.
