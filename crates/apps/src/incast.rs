@@ -137,6 +137,11 @@ pub struct IncastResult {
     pub events: u64,
     /// Per-hop packet deliveries summed over every link (both directions).
     pub hop_packets: u64,
+    /// Trace digest of the run (same seed ⇒ same digest, any scheduler
+    /// backend).
+    pub trace_digest: u64,
+    /// Scheduler counters for the run.
+    pub sched: extmem_sim::SchedStats,
 }
 
 /// Build and run the incast; returns the measurements.
@@ -268,6 +273,8 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
         delivery_ratio: delivered as f64 / sent as f64,
         events: sim.events_processed(),
         hop_packets: sim.packets_delivered(),
+        trace_digest: sim.trace_digest(),
+        sched: sim.sched_stats(),
     }
 }
 

@@ -195,7 +195,10 @@ impl TrafficGenNode {
 }
 
 impl Node for TrafficGenNode {
-    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _port: PortId, _packet: Packet) {}
+    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
+        // Generators ignore inbound traffic but still return the buffer.
+        extmem_wire::pool::recycle(packet.into_payload());
+    }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
         self.emit(ctx);
@@ -300,6 +303,8 @@ impl Node for SinkNode {
             Ok(None) => self.foreign += 1,
             Err(_) => self.corrupt += 1,
         }
+        // Terminal consumer: hand the frame buffer back to the pool.
+        extmem_wire::pool::recycle(packet.into_payload());
     }
 
     fn name(&self) -> &str {

@@ -1,16 +1,24 @@
 //! Simulator perf-regression harness: run the fixed scenarios and write
 //! `BENCH_simperf.json` (see `extmem_bench::simperf` and DESIGN.md).
 //!
-//! Usage: `simperf [output.json]` — default output `BENCH_simperf.json` in
-//! the current directory. `scripts/perf_check.sh` wraps this.
+//! Usage: `simperf [--sched-stats] [output.json]` — default output
+//! `BENCH_simperf.json` in the current directory. `--sched-stats` adds a
+//! per-scenario `sched` block (peak queue depth, wheel cascades, dead-timer
+//! dispatches, slab/pool hit rates) to the JSON and prints the table.
+//! `scripts/perf_check.sh` wraps this and reads either form.
 
 use extmem_bench::simperf::{run_all, to_json_doc};
 use extmem_bench::table::print_table;
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_simperf.json".to_string());
+    let mut with_sched = false;
+    let mut out_path = "BENCH_simperf.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--sched-stats" => with_sched = true,
+            other => out_path = other.to_string(),
+        }
+    }
 
     let results = run_all();
 
@@ -40,7 +48,45 @@ fn main() {
         &rows,
     );
 
-    let doc = to_json_doc(&results);
+    if with_sched {
+        let rate = |h: u64, m: u64| {
+            if h + m == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * h as f64 / (h + m) as f64)
+            }
+        };
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                let s = &r.sched;
+                vec![
+                    r.name.to_string(),
+                    s.peak_depth.to_string(),
+                    s.cascades.to_string(),
+                    s.dead_dispatches.to_string(),
+                    s.lane_parks.to_string(),
+                    rate(s.slab_hits, s.slab_misses),
+                    rate(r.pool_hits, r.pool_misses),
+                ]
+            })
+            .collect();
+        print_table(
+            "scheduler statistics",
+            &[
+                "scenario",
+                "peak depth",
+                "cascades",
+                "dead timers",
+                "lane parks",
+                "slab hits",
+                "pool hits",
+            ],
+            &rows,
+        );
+    }
+
+    let doc = to_json_doc(&results, with_sched);
     std::fs::write(&out_path, &doc).expect("write perf JSON");
     println!("\nwrote {out_path}");
 }

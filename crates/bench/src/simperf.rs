@@ -33,7 +33,7 @@ use extmem_core::packet_buffer::{Mode, PacketBufferProgram, TOKEN_START_LOADING}
 use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
 use extmem_core::{Fib, RdmaChannel, ReliableConfig};
 use extmem_rnic::{RnicConfig, RnicNode};
-use extmem_sim::{FaultSpec, LinkSpec, SimBuilder, Simulator};
+use extmem_sim::{FaultSpec, LinkSpec, SchedStats, SimBuilder, Simulator};
 use extmem_switch::switch::program_token;
 use extmem_switch::{SwitchConfig, SwitchNode};
 use extmem_types::{ByteSize, FiveTuple, PortId, Rate, Time, TimeDelta};
@@ -52,6 +52,17 @@ pub struct PerfResult {
     pub sim_seconds: f64,
     /// Wall-clock time the run took.
     pub wall_seconds: f64,
+    /// Trace digest of the run — a determinism fingerprint, identical for
+    /// any scheduler backend and any machine (multi-sim scenarios fold the
+    /// per-run digests).
+    pub digest: u64,
+    /// Scheduler counters (peak queue depth, wheel cascades, dead-timer
+    /// dispatches, event-slab hit rate).
+    pub sched: SchedStats,
+    /// Frame-pool hits during the run (`extmem_wire::pool` delta).
+    pub pool_hits: u64,
+    /// Frame-pool misses during the run.
+    pub pool_misses: u64,
 }
 
 impl PerfResult {
@@ -66,25 +77,67 @@ impl PerfResult {
     }
 
     /// One JSON object, single line (parsed by `scripts/perf_check.sh`).
-    pub fn to_json(&self) -> String {
-        format!(
-            "{{\"events\": {}, \"packets\": {}, \"sim_seconds\": {:.6}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \"packets_per_sec\": {:.1}}}",
+    /// With `with_sched`, a `sched` sub-object carries the scheduler and
+    /// pool counters (`simperf --sched-stats`).
+    pub fn to_json(&self, with_sched: bool) -> String {
+        let mut out = format!(
+            "{{\"events\": {}, \"packets\": {}, \"sim_seconds\": {:.6}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \"digest\": \"{:016x}\"",
             self.events,
             self.packets,
             self.sim_seconds,
             self.wall_seconds,
             self.events_per_sec(),
-            self.packets_per_sec()
-        )
+            self.packets_per_sec(),
+            self.digest
+        );
+        if with_sched {
+            let s = &self.sched;
+            let slab_rate = hit_rate(s.slab_hits, s.slab_misses);
+            let pool_rate = hit_rate(self.pool_hits, self.pool_misses);
+            out.push_str(&format!(
+                ", \"sched\": {{\"peak_depth\": {}, \"cascades\": {}, \"dead_dispatches\": {}, \"lane_parks\": {}, \"slab_hit_rate\": {:.4}, \"pool_hit_rate\": {:.4}, \"slots_released\": {}}}",
+                s.peak_depth,
+                s.cascades,
+                s.dead_dispatches,
+                s.lane_parks,
+                slab_rate,
+                pool_rate,
+                s.slots_released
+            ));
+        }
+        out.push('}');
+        out
     }
 }
 
-/// Render all results as the `BENCH_simperf.json` document.
-pub fn to_json_doc(results: &[PerfResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"scenarios\": {\n");
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        return 0.0;
+    }
+    hits as f64 / (hits + misses) as f64
+}
+
+/// Process-global frame-pool counters, sampled around a run.
+fn pool_counts() -> (u64, u64) {
+    (
+        extmem_wire::pool::hit_count(),
+        extmem_wire::pool::miss_count(),
+    )
+}
+
+/// Render all results as the `BENCH_simperf.json` document (schema 2:
+/// schema 1 plus a per-scenario digest and, with `with_sched`, a `sched`
+/// block; `scripts/perf_check.sh` reads either schema).
+pub fn to_json_doc(results: &[PerfResult], with_sched: bool) -> String {
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"scenarios\": {\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
-        out.push_str(&format!("    \"{}\": {}{}\n", r.name, r.to_json(), comma));
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            r.name,
+            r.to_json(with_sched),
+            comma
+        ));
     }
     out.push_str("  }\n}\n");
     out
@@ -95,15 +148,21 @@ fn time_run(
     sim: &mut Simulator,
     drive: impl FnOnce(&mut Simulator),
 ) -> PerfResult {
+    let (h0, m0) = pool_counts();
     let start = Instant::now();
     drive(sim);
     let wall = start.elapsed().as_secs_f64();
+    let (h1, m1) = pool_counts();
     PerfResult {
         name,
         events: sim.events_processed(),
         packets: sim.packets_delivered(),
         sim_seconds: sim.now().saturating_since(Time::ZERO).as_secs_f64(),
         wall_seconds: wall,
+        digest: sim.trace_digest(),
+        sched: sim.sched_stats(),
+        pool_hits: h1 - h0,
+        pool_misses: m1 - m0,
     }
 }
 
@@ -171,9 +230,11 @@ pub fn e1_write_read_loop(count: u64) -> PerfResult {
 
 /// The CI-scale incast with the default 9-server remote buffer.
 pub fn incast_scenario() -> PerfResult {
+    let (h0, m0) = pool_counts();
     let start = Instant::now();
     let res = run_incast(IncastConfig::small(Some(RemoteBufferSpec::default())));
     let wall = start.elapsed().as_secs_f64();
+    let (h1, m1) = pool_counts();
     assert_eq!(res.delivered, res.sent, "remote buffer must stay lossless");
     PerfResult {
         name: "incast",
@@ -181,6 +242,10 @@ pub fn incast_scenario() -> PerfResult {
         packets: res.hop_packets,
         sim_seconds: res.completion.as_secs_f64(),
         wall_seconds: wall,
+        digest: res.trace_digest,
+        sched: res.sched,
+        pool_hits: h1 - h0,
+        pool_misses: m1 - m0,
     }
 }
 
@@ -338,8 +403,11 @@ pub fn faa_storm(count: u64) -> PerfResult {
 /// failover — or the measurement is meaningless and the run asserts.
 pub fn loss_sweep(count: u64) -> PerfResult {
     const ENTRY: u64 = 816;
+    let (h0, m0) = pool_counts();
     let start = Instant::now();
     let (mut events, mut packets, mut sim_seconds) = (0u64, 0u64, 0f64);
+    let mut digest = 0u64;
+    let mut sched = SchedStats::default();
     for (i, &loss) in [0.001f64, 0.01].iter().enumerate() {
         let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
         let channel = RdmaChannel::setup(
@@ -421,13 +489,20 @@ pub fn loss_sweep(count: u64) -> PerfResult {
         events += sim.events_processed();
         packets += sim.packets_delivered();
         sim_seconds += sim.now().saturating_since(Time::ZERO).as_secs_f64();
+        digest = digest.rotate_left(17) ^ sim.trace_digest();
+        sched.merge(&sim.sched_stats());
     }
+    let (h1, m1) = pool_counts();
     PerfResult {
         name: "loss_sweep",
         events,
         packets,
         sim_seconds,
         wall_seconds: start.elapsed().as_secs_f64(),
+        digest,
+        sched,
+        pool_hits: h1 - h0,
+        pool_misses: m1 - m0,
     }
 }
 
@@ -470,8 +545,18 @@ mod tests {
             assert!(r.events > 0 && r.packets > 0, "{r:?}");
             assert!(r.sim_seconds > 0.0 && r.wall_seconds > 0.0, "{r:?}");
         }
-        let doc = to_json_doc(&results);
+        for r in &results {
+            assert_ne!(r.digest, 0, "digest must fingerprint the run: {r:?}");
+        }
+        let doc = to_json_doc(&results, true);
         assert!(doc.contains("\"e1_write_read_loop\""));
         assert!(doc.contains("\"events_per_sec\""));
+        assert!(doc.contains("\"schema\": 2"));
+        assert!(doc.contains("\"digest\""));
+        assert!(doc.contains("\"pool_hit_rate\""));
+        assert!(
+            !to_json_doc(&results, false).contains("\"sched\""),
+            "sched block must be opt-in"
+        );
     }
 }

@@ -1,0 +1,41 @@
+//! Wall-clock comparison of the two scheduler backends at full-scenario
+//! scale. Ignored by default: timing is machine-dependent, so this is a
+//! tool for perf work (`-- --ignored --nocapture`), not a CI gate.
+use extmem_bench::simperf::{e1_write_read_loop, faa_storm, lookup_miss_storm};
+use extmem_sim::{with_sched_backend, SchedBackend};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn backend_timing() {
+    for (name, run) in [
+        (
+            "e1",
+            Box::new(|| {
+                e1_write_read_loop(8_000);
+            }) as Box<dyn Fn()>,
+        ),
+        (
+            "lookup",
+            Box::new(|| {
+                lookup_miss_storm(8_000);
+            }),
+        ),
+        (
+            "faa",
+            Box::new(|| {
+                faa_storm(40_000);
+            }),
+        ),
+    ] {
+        for backend in [SchedBackend::Wheel, SchedBackend::Heap] {
+            let mut best = f64::MAX;
+            for _ in 0..5 {
+                let t = Instant::now();
+                with_sched_backend(backend, &run);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            println!("{name:8} {backend:?}: {:.1} ms", best * 1e3);
+        }
+    }
+}

@@ -12,11 +12,12 @@
 
 use extmem_rnic::requester::RequesterQp;
 use extmem_rnic::RnicNode;
+use extmem_sim::TimerHandle;
 use extmem_switch::SwitchCtx;
 use extmem_types::{ByteSize, PortId, QpNum, Rkey, Time, TimeDelta};
 use extmem_wire::bth::{psn_add, psn_before, Opcode};
 use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
-use extmem_wire::Payload;
+use extmem_wire::{Packet, Payload};
 use std::collections::VecDeque;
 
 /// Everything the switch data plane needs to use one remote memory region:
@@ -331,8 +332,16 @@ fn psn_at_or_before(a: u32, b: u32) -> bool {
 /// operation instead of stalling forever (§7).
 ///
 /// Completions are delivered as [`ChannelEvent`]s pushed onto the `events`
-/// buffer passed to [`ReliableChannel::on_roce`] / [`ReliableChannel::on_tick`];
-/// the cookie is caller-chosen and opaque to the channel.
+/// buffer passed to [`ReliableChannel::on_roce`] /
+/// [`ReliableChannel::on_timer_fired`]; the cookie is caller-chosen and
+/// opaque to the channel.
+///
+/// The channel manages its own retransmission deadline: it arms a
+/// cancellable timer (under [`ReliableChannel::timer_token`]) when ops go
+/// outstanding and cancels it when the last one retires, so an idle or
+/// healthy channel schedules no periodic tick events at all. The owning
+/// program only has to route the token from its `on_timer` back into
+/// [`ReliableChannel::on_timer_fired`].
 #[derive(Debug)]
 pub struct ReliableChannel {
     inner: RdmaChannel,
@@ -349,8 +358,17 @@ pub struct ReliableChannel {
     /// repeats of it are suppressed (one volley per loss epoch).
     nak_epoch: Option<u32>,
     failed: bool,
+    /// Program-timer token the channel arms its deadline under.
+    timer_token: u64,
+    /// The armed retransmission deadline, if any.
+    timer: Option<TimerHandle>,
     stats: ChannelStats,
 }
+
+/// Default timer token; distinct from every shipping primitive's own
+/// tokens. Programs juggling several channels assign unique tokens via
+/// [`ReliableChannel::set_timer_token`].
+pub const DEFAULT_CHANNEL_TIMER_TOKEN: u64 = 0x7a11;
 
 impl ReliableChannel {
     /// Wrap `channel` in the reliability layer.
@@ -365,8 +383,22 @@ impl ReliableChannel {
             retries: 0,
             nak_epoch: None,
             failed: false,
+            timer_token: DEFAULT_CHANNEL_TIMER_TOKEN,
+            timer: None,
             stats: ChannelStats::default(),
         }
+    }
+
+    /// The program-timer token the channel arms its deadline under.
+    pub fn timer_token(&self) -> u64 {
+        self.timer_token
+    }
+
+    /// Assign the timer token (before traffic flows). Owning programs set
+    /// this so channel wakeups don't collide with their own tokens.
+    pub fn set_timer_token(&mut self, token: u64) {
+        assert!(self.timer.is_none(), "retoken an idle channel");
+        self.timer_token = token;
     }
 
     /// The wrapped channel (region triple, server port, QP state).
@@ -432,13 +464,42 @@ impl ReliableChannel {
         self.queue.len()
     }
 
-    /// Whether the retransmission timer needs to keep running.
-    pub fn needs_tick(&self) -> bool {
-        !self.failed && (!self.outstanding.is_empty() || !self.queue.is_empty())
+    /// The absolute time the head-of-line op times out.
+    fn deadline(&self) -> Option<Time> {
+        let head = self.outstanding.front()?;
+        let shift = if self.config.reliable {
+            self.backoff_level.min(self.config.max_backoff_level)
+        } else {
+            0
+        };
+        Some(head.sent_at + TimeDelta::from_picos(self.config.rto.picos() << shift))
+    }
+
+    /// Reconcile the armed timer with the channel state: arm when ops go
+    /// outstanding, cancel when the last one retires. A deadline that moved
+    /// *later* (head retired, successor is younger) is left alone — the
+    /// timer fires early once and re-arms for the exact remainder, which is
+    /// cheaper than re-arming on every ACK.
+    fn maintain_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        let want = !self.failed && !self.outstanding.is_empty();
+        match (want, self.timer) {
+            (false, Some(h)) => {
+                ctx.cancel_timer(h);
+                self.timer = None;
+            }
+            (true, None) => {
+                let deadline = self.deadline().expect("op outstanding");
+                let delay = deadline.saturating_since(ctx.now());
+                self.timer = Some(ctx.schedule_cancellable(delay, self.timer_token));
+            }
+            _ => {}
+        }
     }
 
     fn transmit(&self, ctx: &mut SwitchCtx<'_, '_, '_>, req: &RocePacket) {
-        let pkt = req.build().expect("RDMA request encodes");
+        let mut buf = extmem_wire::pool::take();
+        req.build_into(&mut buf).expect("RDMA request encodes");
+        let pkt = Packet::from_vec(buf);
         if self.config.high_priority {
             ctx.enqueue_high(self.inner.server_port, pkt);
         } else {
@@ -517,6 +578,7 @@ impl ReliableChannel {
             self.queue.push_back(QueuedOp { cookie, kind });
         } else {
             self.launch(ctx, cookie, kind);
+            self.maintain_timer(ctx);
         }
         true
     }
@@ -615,6 +677,7 @@ impl ReliableChannel {
         };
         if consumed {
             self.pump_queue(ctx);
+            self.maintain_timer(ctx);
         }
         consumed
     }
@@ -836,24 +899,34 @@ impl ReliableChannel {
         }
     }
 
-    /// Drive the retransmission timer. Call periodically (at roughly the
-    /// RTO) while [`ReliableChannel::needs_tick`] holds.
-    pub fn on_tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, events: &mut Vec<ChannelEvent>) {
+    /// The channel's retransmission deadline fired: the owning program
+    /// routes its `on_timer` callback for [`ReliableChannel::timer_token`]
+    /// here. If the head op moved on since the timer was armed, this
+    /// re-arms for the exact remaining time; otherwise it runs the timeout
+    /// action (go-back-N replay with backoff, or best-effort age-out).
+    pub fn on_timer_fired(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        events: &mut Vec<ChannelEvent>,
+    ) {
+        self.timer = None;
         if self.failed {
             return;
         }
-        let now = ctx.now();
-        let Some(head) = self.outstanding.front() else {
+        let Some(deadline) = self.deadline() else {
             return;
         };
-        let shift = self.backoff_level.min(self.config.max_backoff_level);
-        let threshold = TimeDelta::from_picos(self.config.rto.picos() << shift);
-        if now.saturating_since(head.sent_at) < threshold {
+        let now = ctx.now();
+        if now < deadline {
+            // The old head retired and its successor is younger: fire was
+            // premature, re-arm for the real deadline.
+            let delay = deadline.saturating_since(now);
+            self.timer = Some(ctx.schedule_cancellable(delay, self.timer_token));
             return;
         }
         if self.config.reliable {
             if self.retries >= self.config.max_retries {
-                self.fail(events);
+                self.fail(ctx, events);
                 return;
             }
             self.stats.timeouts += 1;
@@ -876,11 +949,12 @@ impl ReliableChannel {
             }
             self.pump_queue(ctx);
         }
+        self.maintain_timer(ctx);
     }
 
-    /// Give up: fail every outstanding op, mark the channel failed, and
-    /// emit the degradation signal.
-    fn fail(&mut self, events: &mut Vec<ChannelEvent>) {
+    /// Give up: fail every outstanding op, mark the channel failed, drop
+    /// the armed deadline, and emit the degradation signal.
+    fn fail(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, events: &mut Vec<ChannelEvent>) {
         while let Some(op) = self.outstanding.pop_front() {
             events.push(ChannelEvent::OpFailed { cookie: op.cookie });
         }
@@ -889,6 +963,9 @@ impl ReliableChannel {
         }
         self.failed = true;
         self.stats.failed_over = true;
+        if let Some(h) = self.timer.take() {
+            ctx.cancel_timer(h);
+        }
         events.push(ChannelEvent::Failed);
     }
 }

@@ -84,6 +84,8 @@ impl PipelineProgram for GatewayTelemetryProgram {
         if in_port == self.telemetry_port {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
                 self.engine.on_roce(ctx, &roce);
+                drop(roce);
+                extmem_wire::pool::recycle(pkt.into_payload());
                 return;
             }
         }
@@ -107,7 +109,7 @@ impl PipelineProgram for GatewayTelemetryProgram {
             self.engine.flush(ctx);
             self.engine.tick(ctx);
             ctx.schedule(self.tick_interval, TOKEN_TICK);
-        } else {
+        } else if !self.engine.on_timer(ctx, token) {
             self.lookup.on_timer(ctx, token);
         }
     }

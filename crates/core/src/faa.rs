@@ -219,14 +219,25 @@ impl FaaEngine {
         self.pump(ctx);
     }
 
-    /// Periodic maintenance: drive the channel's retransmission (reliable)
-    /// or age-out (best-effort) timer. Call from a periodic timer.
+    /// Periodic maintenance: re-issue anything the window now has room for.
+    /// The channel's retransmission/age-out deadline runs on its own
+    /// cancellable timer (see [`FaaEngine::on_timer`]); this only pumps.
     pub fn tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        self.pump(ctx);
+    }
+
+    /// Feed a timer expiration. Returns `true` if `token` was the channel's
+    /// retransmission-deadline timer and was consumed.
+    pub fn on_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) -> bool {
+        if token != self.channel.timer_token() {
+            return false;
+        }
         let mut events = std::mem::take(&mut self.events);
-        self.channel.on_tick(ctx, &mut events);
+        self.channel.on_timer_fired(ctx, &mut events);
         self.consume_events(&mut events);
         self.events = events;
         self.pump(ctx);
+        true
     }
 
     /// Issue ready slots while the outstanding window has room.

@@ -25,7 +25,7 @@ use extmem_switch::hash::flow_index;
 use extmem_switch::switch::RECIRC_PORT;
 use extmem_switch::table::{ExactMatchTable, Replacement};
 use extmem_switch::{PipelineProgram, SwitchCtx};
-use extmem_types::{FiveTuple, PortId, TimeDelta};
+use extmem_types::{FiveTuple, PortId};
 use extmem_wire::ipv4::{internet_checksum, proto};
 use extmem_wire::roce::RocePacket;
 use extmem_wire::{EthernetHeader, Ipv4Header, MacAddr, Packet, Payload, UdpHeader};
@@ -316,8 +316,6 @@ pub struct LookupTableProgram {
     /// Channel failed over: misses punt to the slow path (forward
     /// unmodified); the local cache keeps serving hits.
     degraded: bool,
-    tick_interval: TimeDelta,
-    tick_armed: bool,
     /// Completion scratch, reused across calls.
     events: Vec<ChannelEvent>,
     stats: LookupStats,
@@ -339,10 +337,11 @@ impl LookupTableProgram {
         );
         let entries = channel.region_len / entry_size;
         assert!(entries > 0, "region smaller than one entry");
-        let rc = ReliableConfig::default();
+        let mut channel = ReliableChannel::new(channel, ReliableConfig::default());
+        channel.set_timer_token(TOKEN_RELIABILITY_TICK);
         LookupTableProgram {
             fib,
-            channel: ReliableChannel::new(channel, rc),
+            channel,
             entry_size,
             entries,
             cache: cache_capacity.map(|c| ExactMatchTable::new(c, Replacement::Lru)),
@@ -351,8 +350,6 @@ impl LookupTableProgram {
             staged: std::collections::HashMap::new(),
             recirc_passes: std::collections::HashMap::new(),
             degraded: false,
-            tick_interval: rc.rto / 2,
-            tick_armed: false,
             events: Vec::new(),
             stats: LookupStats::default(),
         }
@@ -369,7 +366,6 @@ impl LookupTableProgram {
     /// Override the reliability policy (before traffic flows).
     pub fn with_reliability(mut self, rc: ReliableConfig) -> LookupTableProgram {
         self.channel.set_config(rc);
-        self.tick_interval = rc.rto / 2;
         self
     }
 
@@ -444,7 +440,6 @@ impl LookupTableProgram {
         // (2) READ back exactly [action][len][packet].
         let read_len = (ACTION_LEN + LEN_FIELD + pkt.len()) as u32;
         self.channel.read(ctx, entry_va, read_len, slot);
-        self.arm_tick(ctx);
     }
 
     /// Recirculate-mode miss: issue an action-only READ (once per slot)
@@ -473,7 +468,6 @@ impl LookupTableProgram {
             self.stats.action_only_reads += 1;
             let entry_va = self.channel.base_va() + slot * self.entry_size;
             self.channel.read(ctx, entry_va, ACTION_LEN as u32, slot);
-            self.arm_tick(ctx);
         }
         let passes = self.recirc_passes.entry(slot).or_insert(0);
         *passes += 1;
@@ -552,12 +546,6 @@ impl LookupTableProgram {
         }
     }
 
-    fn arm_tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
-        if !self.tick_armed && self.channel.needs_tick() {
-            self.tick_armed = true;
-            ctx.schedule(self.tick_interval, TOKEN_RELIABILITY_TICK);
-        }
-    }
 }
 
 impl PipelineProgram for LookupTableProgram {
@@ -565,6 +553,8 @@ impl PipelineProgram for LookupTableProgram {
         if in_port == self.channel.server_port() {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
                 self.on_roce(ctx, &roce);
+                drop(roce);
+                extmem_wire::pool::recycle(pkt.into_payload());
                 return;
             }
         }
@@ -605,12 +595,10 @@ impl PipelineProgram for LookupTableProgram {
         if token != TOKEN_RELIABILITY_TICK {
             return;
         }
-        self.tick_armed = false;
         let mut events = std::mem::take(&mut self.events);
-        self.channel.on_tick(ctx, &mut events);
+        self.channel.on_timer_fired(ctx, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
-        self.arm_tick(ctx);
     }
 
     fn program_name(&self) -> &str {

@@ -37,7 +37,7 @@ use extmem_rnic::RnicNode;
 use extmem_switch::hash::hash_to_index;
 use extmem_switch::table::{ExactMatchTable, Replacement};
 use extmem_switch::{PipelineProgram, SwitchCtx};
-use extmem_types::{PortId, TimeDelta};
+use extmem_types::PortId;
 use extmem_wire::ipv4::proto;
 use extmem_wire::roce::RocePacket;
 use extmem_wire::{EthernetHeader, Ipv4Header, Packet};
@@ -95,8 +95,6 @@ pub struct RemoteLpmProgram {
     next_id: u64,
     /// Channel failed over: misses forward FIB-only.
     degraded: bool,
-    tick_interval: TimeDelta,
-    tick_armed: bool,
     /// Completion scratch, reused across calls.
     events: Vec<ChannelEvent>,
     stats: LpmStats,
@@ -144,18 +142,17 @@ impl RemoteLpmProgram {
         normalize_levels(&mut levels);
         let slots_per_level = channel.region_len / (levels.len() as u64 * ACTION_LEN as u64);
         assert!(slots_per_level > 0, "region smaller than one slot per rung");
-        let rc = ReliableConfig::default();
+        let mut channel = ReliableChannel::new(channel, ReliableConfig::default());
+        channel.set_timer_token(TOKEN_RELIABILITY_TICK);
         RemoteLpmProgram {
             fib,
-            channel: ReliableChannel::new(channel, rc),
+            channel,
             levels,
             slots_per_level,
             cache: cache_capacity.map(|c| ExactMatchTable::new(c, Replacement::Lru)),
             pending: HashMap::new(),
             next_id: 0,
             degraded: false,
-            tick_interval: rc.rto / 2,
-            tick_armed: false,
             events: Vec::new(),
             stats: LpmStats::default(),
         }
@@ -164,7 +161,6 @@ impl RemoteLpmProgram {
     /// Override the reliability policy (before traffic flows).
     pub fn with_reliability(mut self, rc: ReliableConfig) -> RemoteLpmProgram {
         self.channel.set_config(rc);
-        self.tick_interval = rc.rto / 2;
         self
     }
 
@@ -280,13 +276,6 @@ impl RemoteLpmProgram {
         }
     }
 
-    fn arm_tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
-        if !self.tick_armed && self.channel.needs_tick() {
-            self.tick_armed = true;
-            ctx.schedule(self.tick_interval, TOKEN_RELIABILITY_TICK);
-        }
-    }
-
     /// The destination IPv4 address of an Ethernet/IPv4 frame, if any.
     fn dst_of(pkt: &Packet) -> Option<u32> {
         let eth = EthernetHeader::parse(pkt.as_slice()).ok()?;
@@ -351,19 +340,16 @@ impl PipelineProgram for RemoteLpmProgram {
                 missing: rungs,
             },
         );
-        self.arm_tick(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) {
         if token != TOKEN_RELIABILITY_TICK {
             return;
         }
-        self.tick_armed = false;
         let mut events = std::mem::take(&mut self.events);
-        self.channel.on_tick(ctx, &mut events);
+        self.channel.on_timer_fired(ctx, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
-        self.arm_tick(ctx);
     }
 
     fn program_name(&self) -> &str {

@@ -45,8 +45,9 @@ const ENTRY_HDR: usize = 6;
 /// [`extmem_switch::switch::program_token`]) to begin manual loading.
 pub const TOKEN_START_LOADING: u64 = 0x10;
 
-/// Internal token for the loss-recovery tick.
-const TOKEN_RETRY_TICK: u64 = 0x11;
+/// First per-channel retransmission-deadline token (channel `i` arms
+/// `TOKEN_CHANNEL_TIMER_BASE + i`).
+const TOKEN_CHANNEL_TIMER_BASE: u64 = 0x100;
 
 /// When the primitive stores and loads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,9 +126,6 @@ pub struct PacketBufferProgram {
     reorder: BTreeMap<u64, Option<Packet>>,
     /// A channel failed over: stop detouring, drain what remains.
     degraded: bool,
-    /// Reliability-tick state (one tick drives every channel).
-    tick_interval: TimeDelta,
-    tick_armed: bool,
     /// Completion scratch, reused across calls.
     events: Vec<ChannelEvent>,
     stats: PacketBufferStats,
@@ -181,7 +179,12 @@ impl PacketBufferProgram {
             fib,
             channels: channels
                 .into_iter()
-                .map(|c| ReliableChannel::new(c, rc))
+                .enumerate()
+                .map(|(i, c)| {
+                    let mut ch = ReliableChannel::new(c, rc);
+                    ch.set_timer_token(TOKEN_CHANNEL_TIMER_BASE + i as u64);
+                    ch
+                })
                 .collect(),
             per_channel_entries,
             protected_port,
@@ -195,8 +198,6 @@ impl PacketBufferProgram {
             rdone: 0,
             reorder: BTreeMap::new(),
             degraded: false,
-            tick_interval: rc.rto / 2,
-            tick_armed: false,
             events: Vec::new(),
             stats: PacketBufferStats::default(),
         }
@@ -224,7 +225,6 @@ impl PacketBufferProgram {
         for ch in &mut self.channels {
             ch.set_config(rc);
         }
-        self.tick_interval = rc.rto / 2;
         self
     }
 
@@ -340,7 +340,6 @@ impl PacketBufferProgram {
         // A store may itself need to kick loading (e.g. the queue was
         // already drained when the burst began).
         self.try_issue_reads(ctx);
-        self.arm_tick(ctx);
     }
 
     /// Enqueue a packet on the protected port's local queue.
@@ -378,21 +377,10 @@ impl PacketBufferProgram {
         }
     }
 
-    /// Arm the reliability tick while any channel has ops outstanding.
-    fn arm_tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
-        if !self.tick_armed && self.channels.iter().any(|c| c.needs_tick()) {
-            self.tick_armed = true;
-            ctx.schedule(self.tick_interval, TOKEN_RETRY_TICK);
-        }
-    }
-
-    /// The reliability tick: let every channel retransmit what timed out.
-    fn retry_tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
-        self.tick_armed = false;
+    /// Channel `ch`'s retransmission deadline fired.
+    fn channel_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, ch: usize) {
         let mut events = std::mem::take(&mut self.events);
-        for ch in &mut self.channels {
-            ch.on_tick(ctx, &mut events);
-        }
+        self.channels[ch].on_timer_fired(ctx, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
     }
@@ -476,7 +464,6 @@ impl PacketBufferProgram {
         }
         self.release_ready(ctx);
         self.try_issue_reads(ctx);
-        self.arm_tick(ctx);
     }
 }
 
@@ -485,6 +472,8 @@ impl PipelineProgram for PacketBufferProgram {
         if let Some(ch) = self.channel_of_port(in_port) {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
                 self.on_roce(ctx, ch, &roce);
+                drop(roce);
+                extmem_wire::pool::recycle(pkt.into_payload());
                 return;
             }
         }
@@ -515,9 +504,12 @@ impl PipelineProgram for PacketBufferProgram {
             TOKEN_START_LOADING => {
                 self.loading_enabled = true;
                 self.try_issue_reads(ctx);
-                self.arm_tick(ctx);
             }
-            TOKEN_RETRY_TICK => self.retry_tick(ctx),
+            t if t >= TOKEN_CHANNEL_TIMER_BASE
+                && t < TOKEN_CHANNEL_TIMER_BASE + self.channels.len() as u64 =>
+            {
+                self.channel_timer(ctx, (t - TOKEN_CHANNEL_TIMER_BASE) as usize);
+            }
             _ => {}
         }
     }

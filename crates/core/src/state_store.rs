@@ -104,6 +104,8 @@ impl PipelineProgram for StateStoreProgram {
         if in_port == self.server_port {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
                 self.engine.on_roce(ctx, &roce);
+                drop(roce);
+                extmem_wire::pool::recycle(pkt.into_payload());
                 return;
             }
         }
@@ -127,6 +129,8 @@ impl PipelineProgram for StateStoreProgram {
             self.engine.flush(ctx);
             self.engine.tick(ctx);
             ctx.schedule(self.tick_interval, TOKEN_TICK);
+        } else {
+            self.engine.on_timer(ctx, token);
         }
     }
 

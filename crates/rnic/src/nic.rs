@@ -149,8 +149,6 @@ pub struct RnicNode {
     /// Whether the pipeline is servicing a request.
     busy: bool,
     tx: TxQueue,
-    /// Encode scratch for response frames (one pass, no zero-fill).
-    scratch: Vec<u8>,
     stats: RnicStats,
 }
 
@@ -172,7 +170,6 @@ impl RnicNode {
             atomics_in_flight: 0,
             busy: false,
             tx: TxQueue::new(PortId(0)),
-            scratch: Vec::new(),
             stats: RnicStats::default(),
         }
     }
@@ -315,8 +312,11 @@ impl RnicNode {
             Outcome::Nak(_) => self.stats.naks += 1,
             Outcome::OutOfSequenceDropped => self.stats.out_of_sequence_drops += 1,
         }
+        // The request is consumed; recover its frame buffer for the
+        // response builds below (WRITE payload views release it here).
+        extmem_wire::pool::recycle(req.payload);
         for resp in result.responses {
-            let mut buf = std::mem::take(&mut self.scratch);
+            let mut buf = extmem_wire::pool::take();
             resp.build_into(&mut buf)
                 .expect("response packet must encode");
             self.tx.send(ctx, Packet::from_vec(buf));
@@ -364,6 +364,10 @@ impl Node for RnicNode {
             self.atomics_in_flight += 1;
         }
         self.rx_queue.push_back(parsed);
+        // READ/atomic requests carry no payload view, so the arrival frame
+        // is already sole-owned here and its buffer can be recycled; WRITE
+        // frames stay shared with the queued payload until service.
+        extmem_wire::pool::recycle(packet.into_payload());
         self.maybe_start_service(ctx);
     }
 

@@ -187,9 +187,6 @@ pub struct WriteBlaster {
     remaining: u64,
     cursor: u64,
     tx: TxQueue,
-    /// Encode scratch: frames are assembled here in one pass (no zero-fill)
-    /// before the buffer is handed off to the [`Packet`].
-    scratch: Vec<u8>,
     /// Messages handed to the wire.
     pub sent: u64,
 }
@@ -226,7 +223,6 @@ impl WriteBlaster {
             remaining: count,
             cursor: 0,
             tx: TxQueue::new(PortId(0)),
-            scratch: Vec::new(),
             sent: 0,
         }
     }
@@ -239,12 +235,13 @@ impl WriteBlaster {
         if self.cursor + self.msg_size as u64 > self.region_len {
             self.cursor = 0;
         }
-        let payload = vec![(self.sent & 0xff) as u8; self.msg_size];
+        let mut payload = extmem_wire::pool::take();
+        payload.resize(self.msg_size, (self.sent & 0xff) as u8);
         let req = self
             .qp
             .write_only(self.rkey, self.base_va + self.cursor, payload, false);
         self.cursor += self.msg_size as u64;
-        let mut buf = std::mem::take(&mut self.scratch);
+        let mut buf = extmem_wire::pool::take();
         req.build_into(&mut buf).expect("write encodes");
         self.tx.send(ctx, Packet::from_vec(buf));
         self.sent += 1;
@@ -255,8 +252,10 @@ impl WriteBlaster {
 }
 
 impl Node for WriteBlaster {
-    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _port: PortId, _packet: Packet) {
-        // ACKs/NAKs are ignored: the blaster is open-loop.
+    fn on_packet(&mut self, _ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
+        // ACKs/NAKs are ignored: the blaster is open-loop. The frame buffer
+        // goes straight back to the pool.
+        extmem_wire::pool::recycle(packet.into_payload());
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
@@ -287,8 +286,6 @@ pub struct ReadLooper {
     outstanding: usize,
     cursor: u64,
     tx: TxQueue,
-    /// Encode scratch for request frames, shared across the whole window.
-    scratch: Vec<u8>,
     /// Completed reads.
     pub completed: u64,
     /// Payload bytes received.
@@ -323,7 +320,6 @@ impl ReadLooper {
             outstanding: 0,
             cursor: 0,
             tx: TxQueue::new(PortId(0)),
-            scratch: Vec::new(),
             completed: 0,
             bytes: 0,
             last_completion: Time::ZERO,
@@ -341,7 +337,7 @@ impl ReadLooper {
                 .qp
                 .read(self.rkey, self.base_va + self.cursor, self.msg_size as u32);
             self.cursor += self.msg_size as u64;
-            let mut buf = std::mem::take(&mut self.scratch);
+            let mut buf = extmem_wire::pool::take();
             req.build_into(&mut buf).expect("read encodes");
             self.tx.send(ctx, Packet::from_vec(buf));
         }
@@ -353,16 +349,21 @@ impl Node for ReadLooper {
         let Ok(Some(resp)) = RocePacket::parse(&packet) else {
             return;
         };
-        match resp.bth.opcode {
+        let (opcode, payload_len) = (resp.bth.opcode, resp.payload.len() as u64);
+        // Drop the parsed view before recycling so the frame buffer has a
+        // sole owner again.
+        drop(resp);
+        extmem_wire::pool::recycle(packet.into_payload());
+        match opcode {
             Opcode::ReadRespOnly | Opcode::ReadRespLast => {
-                self.bytes += resp.payload.len() as u64;
+                self.bytes += payload_len;
                 self.completed += 1;
                 self.outstanding = self.outstanding.saturating_sub(1);
                 self.last_completion = ctx.now();
                 self.fill_window(ctx);
             }
             Opcode::ReadRespFirst | Opcode::ReadRespMiddle => {
-                self.bytes += resp.payload.len() as u64;
+                self.bytes += payload_len;
             }
             _ => {}
         }

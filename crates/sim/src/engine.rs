@@ -1,6 +1,6 @@
 //! The simulation engine: topology registry plus the event loop.
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, SchedStats, TimerHandle, NO_LANE};
 use crate::link::{Endpoint, LinkSpec, LinkStats};
 use crate::node::{Node, NodeCtx};
 use crate::trace::{TraceEvent, TraceSink};
@@ -90,6 +90,7 @@ impl EngineCore {
         // is a deterministic function of the event order.
         let faults = link.spec.faults;
         let mut deliver = Some(packet);
+        let base_arrival = arrival;
         let mut arrival = arrival;
         if faults.is_active() {
             if faults.reorder_prob > 0.0 && self.rng.gen_bool(faults.reorder_prob) {
@@ -136,17 +137,31 @@ impl EngineCore {
                 pkt.len(),
                 pkt.digest(),
             );
-            self.queue.push(
-                arrival,
-                EventKind::Deliver {
-                    node: dst.node,
-                    port: dst.port,
-                    packet: pkt,
-                },
-            );
+            // Deliveries on one link direction arrive in transmit order
+            // (each serialization finishes before the next begins), so they
+            // ride the FIFO lane — unless a reorder fault broke the order.
+            let lane = if arrival == base_arrival {
+                lane_of(lid, end, LANE_DELIVER)
+            } else {
+                NO_LANE
+            };
+            let kind = EventKind::Deliver {
+                node: dst.node,
+                port: dst.port,
+                packet: pkt,
+            };
+            if lane == NO_LANE {
+                self.queue.push(arrival, kind);
+            } else {
+                self.queue.push_lane(arrival, lane, kind);
+            }
         }
-        self.queue
-            .push(self.now + ser, EventKind::TxDone { node, port });
+        // TxDone per port is likewise monotone: one transmit in flight.
+        self.queue.push_lane(
+            self.now + ser,
+            lane_of(lid, end, LANE_TX_DONE),
+            EventKind::TxDone { node, port },
+        );
     }
 
     pub(crate) fn tx_busy(&self, node: NodeId, port: PortId) -> bool {
@@ -168,6 +183,27 @@ impl EngineCore {
         self.queue
             .push(self.now + delay, EventKind::Timer { node, token });
     }
+
+    pub(crate) fn schedule_timer_cancellable(
+        &mut self,
+        node: NodeId,
+        delay: TimeDelta,
+        token: u64,
+    ) -> TimerHandle {
+        self.queue.push_timer(self.now + delay, node, token)
+    }
+
+    pub(crate) fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.queue.cancel(handle)
+    }
+}
+
+/// FIFO lane ids: two per link direction.
+const LANE_DELIVER: u32 = 0;
+const LANE_TX_DONE: u32 = 1;
+
+fn lane_of(link: usize, end: usize, kind: u32) -> u32 {
+    (link as u32) * 4 + (end as u32) * 2 + kind
 }
 
 /// Builder for a [`Simulator`]: register nodes, connect ports, pick a seed.
@@ -262,12 +298,14 @@ impl SimBuilder {
                 busy: false,
             });
         }
+        let mut queue = EventQueue::new();
+        queue.ensure_lanes(self.links.len() * 4);
         Simulator {
             nodes: self.nodes.into_iter().map(Some).collect(),
             core: EngineCore {
                 now: Time::ZERO,
                 rng: StdRng::seed_from_u64(self.seed),
-                queue: EventQueue::new(),
+                queue,
                 links: self.links,
                 ports,
                 trace: self.trace,
@@ -301,15 +339,20 @@ impl Simulator {
         self.core.schedule_timer(node, delay, token);
     }
 
+    /// Scheduler counters (queue depth high-water, wheel cascades, dead
+    /// timer reaps, slab reuse) for the run so far.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.core.queue.stats()
+    }
+
     /// Run until the event queue is empty or `deadline` is reached (whichever
     /// comes first). Returns the number of events processed by this call.
     pub fn run_until(&mut self, deadline: Time) -> u64 {
         let mut n = 0;
-        while let Some(at) = self.core.queue.peek_time() {
-            if at > deadline {
-                break;
-            }
-            self.step();
+        // Fused pop-with-deadline: one queue traversal per event instead of
+        // a peek/pop pair.
+        while let Some(ev) = self.core.queue.pop_if_at_or_before(deadline) {
+            self.dispatch(ev);
             n += 1;
         }
         // Advance the clock to the deadline even if the queue went quiet.
@@ -326,12 +369,19 @@ impl Simulator {
             self.step();
             n += 1;
         }
+        // Quiescence is the natural point to hand a storm's peak slab
+        // capacity back to the allocator.
+        self.core.queue.release_excess();
         n
     }
 
     /// Process exactly one event. Panics if the queue is empty.
     pub fn step(&mut self) {
         let ev = self.core.queue.pop().expect("step on empty event queue");
+        self.dispatch(ev);
+    }
+
+    fn dispatch(&mut self, ev: crate::event::Scheduled) {
         debug_assert!(ev.at >= self.core.now, "event queue went backwards");
         self.core.now = ev.at;
         self.core.events_processed += 1;

@@ -1,27 +1,43 @@
-//! The event queue.
+//! The event queue: a hierarchical timing wheel with a FIFO-lane fast path
+//! and generation-tagged timer cancellation.
 //!
 //! ## Layout
 //!
-//! The queue is split in two to keep the heap's working set small:
+//! The queue keeps the PR 2 split between compact **keys** — `(Time, seq,
+//! slot)`, 24 bytes — and a **slab** of [`EventKind`] payloads touched
+//! exactly twice per event. What changed is the structure that orders the
+//! keys:
 //!
-//! * a binary heap of compact **keys** — `(Time, seq, slot)`, 24 bytes —
-//!   which is all that sift-up/sift-down ever moves, and
-//! * a **slab** of [`EventKind`] payloads (the enum holds a whole
-//!   [`Packet`] in its `Deliver` variant), indexed by the key's `slot` and
-//!   touched exactly twice per event: once on push, once on pop.
-//!
-//! A straight `BinaryHeap<Scheduled>` would drag every `EventKind` through
-//! each comparison swap; with tens of thousands of in-flight deliveries
-//! that is the scheduler's dominant memory traffic. The total order is
-//! untouched: events fire in `(at, seq)` order with `seq` assigned at push
-//! time, so determinism tests and trace digests see the identical schedule
-//! (property-tested against a reference heap in
-//! `tests/structure_proptests.rs`).
+//! * a four-level **timing wheel** replaces the binary heap for future
+//!   events. Granularity is 4.096 ns (picoseconds shifted right by 12); the
+//!   inner level has 256 single-granule slots and each coarser level has 64
+//!   slots spanning 256× the level below, for a ~275 ms horizon. Events past
+//!   the horizon wait in a `BTreeMap` overflow ordered by `(at, seq)`.
+//!   Inserts are O(1); time advances by jumping the cursor straight to the
+//!   next occupied slot (found by bitmap scans) and cascading coarse slots
+//!   downward as their windows open.
+//! * a small **ready heap** holds only keys whose granule the cursor has
+//!   reached; ties inside one granule still pop in exact `(at, seq)` order,
+//!   so the total order is bit-identical to the old heap (property-tested
+//!   against the retained heap oracle in `tests/structure_proptests.rs`,
+//!   selectable via [`with_sched_backend`]).
+//! * **FIFO lanes**: deliveries and tx-completions on one link direction are
+//!   inherently time-ordered, so only each lane's head key lives in the
+//!   wheel; the rest park in a per-lane `VecDeque` and are promoted on pop.
+//!   This collapses the wheel population from O(in-flight packets) to
+//!   O(links) in storm scenarios.
+//! * **cancellable timers**: [`EventQueue::push_timer`] returns a
+//!   generation-tagged [`TimerHandle`]. Cancellation marks the slab entry
+//!   dead (the key stays where it is and is skipped lazily at pop), so
+//!   cancel is O(1) and never disturbs the wheel. Generations come from a
+//!   queue-wide monotonic counter, so a stale handle can never kill a
+//!   reused slot.
 
 use extmem_types::{NodeId, PortId, Time};
 use extmem_wire::Packet;
+use std::cell::Cell;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// What happens when an event fires.
 #[derive(Debug)]
@@ -64,7 +80,78 @@ pub struct Scheduled {
     pub kind: EventKind,
 }
 
-/// The 24-byte key the heap actually sorts: fire time, schedule sequence,
+/// A handle to a pending timer, returned by [`EventQueue::push_timer`].
+///
+/// The generation tag makes handles single-use: once the timer fires or is
+/// cancelled, the handle goes stale and a later [`EventQueue::cancel`] with
+/// it is a harmless no-op — even if the slab slot was reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    slot: u32,
+    gen: u64,
+}
+
+/// Scheduler counters, exposed through `Simulator::sched_stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// High-water mark of live pending events.
+    pub peak_depth: u64,
+    /// Coarse wheel slots cascaded down a level (0 on the heap backend).
+    pub cascades: u64,
+    /// Cancelled timers reaped at pop/peek instead of dispatching.
+    pub dead_dispatches: u64,
+    /// Events parked in a FIFO lane instead of entering the wheel.
+    pub lane_parks: u64,
+    /// Slab slots served from the free list.
+    pub slab_hits: u64,
+    /// Slab slots that had to grow the slab.
+    pub slab_misses: u64,
+    /// High-water mark of the free list (slab slots held but unused).
+    pub free_high_water: u64,
+    /// Slab slots returned to the allocator by `release_excess`.
+    pub slots_released: u64,
+}
+
+impl SchedStats {
+    /// Fold another run's counters into this one: high-water marks take
+    /// the max, everything else sums (multi-run scenarios report one row).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.peak_depth = self.peak_depth.max(other.peak_depth);
+        self.free_high_water = self.free_high_water.max(other.free_high_water);
+        self.cascades += other.cascades;
+        self.dead_dispatches += other.dead_dispatches;
+        self.lane_parks += other.lane_parks;
+        self.slab_hits += other.slab_hits;
+        self.slab_misses += other.slab_misses;
+        self.slots_released += other.slots_released;
+    }
+}
+
+/// Which core orders the keys. The wheel is the production backend; the
+/// heap is retained as the property-test oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedBackend {
+    /// Hierarchical timing wheel (default).
+    Wheel,
+    /// The PR 2 binary heap, kept as the equivalence oracle.
+    Heap,
+}
+
+thread_local! {
+    static BACKEND: Cell<SchedBackend> = const { Cell::new(SchedBackend::Wheel) };
+}
+
+/// Run `f` with every [`EventQueue`] created on this thread using backend
+/// `b`. Used by the equivalence tests to build otherwise-identical
+/// simulations on both cores without racing over process-global state.
+pub fn with_sched_backend<R>(b: SchedBackend, f: impl FnOnce() -> R) -> R {
+    let prev = BACKEND.with(|c| c.replace(b));
+    let out = f();
+    BACKEND.with(|c| c.set(prev));
+    out
+}
+
+/// The 24-byte key the cores actually sort: fire time, schedule sequence,
 /// and the slab slot holding the [`EventKind`].
 #[derive(Debug, Clone, Copy)]
 struct Key {
@@ -94,74 +181,617 @@ impl Ord for Key {
     }
 }
 
-/// A total-ordered future event queue.
+/// Picosecond shift defining the wheel granule (2^12 ps = 4.096 ns).
+const GRANULE_SHIFT: u32 = 12;
+/// log2 slot counts / spans of the four levels.
+const L0_SLOTS: usize = 256;
+const L1_SHIFT: u32 = 8; // one L1 slot spans 2^8 granules
+const L2_SHIFT: u32 = 14;
+const L3_SHIFT: u32 = 20;
+/// Granules the wheel can hold before spilling to overflow (~275 ms).
+const HORIZON_SHIFT: u32 = 26;
+
+fn granule(at: Time) -> u64 {
+    at.picos() >> GRANULE_SHIFT
+}
+
+/// One 64-slot coarse level: slot `((g >> shift) & 63)` buckets every key
+/// whose window `g >> shift` is within 64 of the cursor's.
 #[derive(Default)]
+struct CoarseLevel {
+    bits: u64,
+    slots: Vec<Vec<Key>>,
+}
+
+impl CoarseLevel {
+    fn new() -> Self {
+        CoarseLevel {
+            bits: 0,
+            slots: (0..64).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn insert(&mut self, idx: usize, key: Key) {
+        self.bits |= 1 << idx;
+        self.slots[idx].push(key);
+    }
+
+    /// The smallest occupied window strictly after `cursor_window`, if any
+    /// within the 64-window span.
+    fn next_window(&self, cursor_window: u64) -> Option<u64> {
+        if self.bits == 0 {
+            return None;
+        }
+        let start = ((cursor_window + 1) & 63) as u32;
+        let dist = self.bits.rotate_right(start).trailing_zeros();
+        Some(cursor_window + 1 + dist as u64)
+    }
+}
+
+/// The hierarchical timing wheel.
+struct Wheel {
+    /// Granule the wheel has advanced to; every wheel-resident key has a
+    /// strictly larger granule, every ready-heap key a smaller-or-equal one.
+    cursor: u64,
+    /// Keys whose granule the cursor has reached, in exact `(at, seq)` order.
+    ready: BinaryHeap<Key>,
+    /// Inner level: 256 single-granule slots.
+    l0_bits: [u64; 4],
+    l0: Vec<Vec<Key>>,
+    l1: CoarseLevel,
+    l2: CoarseLevel,
+    l3: CoarseLevel,
+    /// Past-horizon keys, ordered by `(at, seq)`.
+    overflow: BTreeMap<(Time, u64), u32>,
+    /// Keys resident in levels + overflow (excludes `ready`).
+    pending: usize,
+    /// Scratch reused across cascades.
+    scratch: Vec<Key>,
+    cascades: u64,
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Wheel {
+            cursor: 0,
+            ready: BinaryHeap::new(),
+            l0_bits: [0; 4],
+            l0: (0..L0_SLOTS).map(|_| Vec::new()).collect(),
+            l1: CoarseLevel::new(),
+            l2: CoarseLevel::new(),
+            l3: CoarseLevel::new(),
+            overflow: BTreeMap::new(),
+            pending: 0,
+            scratch: Vec::new(),
+            cascades: 0,
+        }
+    }
+
+    fn insert(&mut self, key: Key) {
+        let g = granule(key.at);
+        if g <= self.cursor {
+            self.ready.push(key);
+            return;
+        }
+        let delta = g - self.cursor;
+        self.pending += 1;
+        if delta < L0_SLOTS as u64 {
+            let idx = (g & (L0_SLOTS as u64 - 1)) as usize;
+            self.l0_bits[idx >> 6] |= 1 << (idx & 63);
+            self.l0[idx].push(key);
+        } else if delta < 1 << L2_SHIFT {
+            self.l1.insert(((g >> L1_SHIFT) & 63) as usize, key);
+        } else if delta < 1 << L3_SHIFT {
+            self.l2.insert(((g >> L2_SHIFT) & 63) as usize, key);
+        } else if delta < 1 << HORIZON_SHIFT {
+            self.l3.insert(((g >> L3_SHIFT) & 63) as usize, key);
+        } else {
+            self.overflow.insert((key.at, key.seq), key.slot);
+        }
+    }
+
+    /// Earliest occupied L0 granule strictly after the cursor, if any.
+    /// Circular scan of the 256-bit bitmap as at most 5 word probes, each
+    /// a shift + trailing_zeros — this runs once per queue advance, which
+    /// on shallow queues means nearly once per pop.
+    fn next_l0(&self) -> Option<u64> {
+        let start = ((self.cursor + 1) & (L0_SLOTS as u64 - 1)) as u32;
+        let w = (start >> 6) as usize;
+        let b = start & 63;
+        // Bits at/after `start` inside the starting word: shifting right by
+        // `b` makes trailing_zeros count distance from `start` directly.
+        let first = self.l0_bits[w] >> b;
+        if first != 0 {
+            return Some(self.cursor + 1 + first.trailing_zeros() as u64);
+        }
+        let mut dist = 64 - b as u64;
+        for i in 1..4 {
+            let word = self.l0_bits[(w + i) & 3];
+            if word != 0 {
+                return Some(self.cursor + 1 + dist + word.trailing_zeros() as u64);
+            }
+            dist += 64;
+        }
+        // Wrapped fully: only the starting word's bits before `start` left.
+        let last = self.l0_bits[w] & ((1u64 << b) - 1);
+        if last != 0 {
+            return Some(self.cursor + 1 + dist + last.trailing_zeros() as u64);
+        }
+        None
+    }
+
+    /// Move one coarse slot's keys down now that the cursor reached the
+    /// start of its window. Re-inserting against the new cursor lands each
+    /// key strictly lower (or in `ready`).
+    fn cascade(&mut self, level: usize, idx: usize) {
+        self.cascades += 1;
+        let lvl = match level {
+            1 => &mut self.l1,
+            2 => &mut self.l2,
+            _ => &mut self.l3,
+        };
+        lvl.bits &= !(1 << idx);
+        self.scratch.append(&mut lvl.slots[idx]);
+        self.pending -= self.scratch.len();
+        let mut batch = std::mem::take(&mut self.scratch);
+        for key in batch.drain(..) {
+            self.insert(key);
+        }
+        self.scratch = batch;
+    }
+
+    /// Advance the cursor to the next occupied granule / window base and
+    /// expose whatever became due. Requires `ready` empty and `pending > 0`;
+    /// guarantees progress (each step either fills `ready` or strictly
+    /// shrinks the distance to the next due key).
+    fn advance_step(&mut self) {
+        // Fast path: nearly always only L0 holds keys (coarse levels and
+        // overflow fill on multi-ms timers, which are rare among wire-time
+        // events). One bitmap scan then replaces the full candidate sweep.
+        if self.l1.bits | self.l2.bits | self.l3.bits == 0 && self.overflow.is_empty() {
+            let target = self.next_l0().expect("advance_step on empty wheel");
+            self.cursor = target;
+            let idx = (target & (L0_SLOTS as u64 - 1)) as usize;
+            self.l0_bits[idx >> 6] &= !(1 << (idx & 63));
+            self.pending -= self.l0[idx].len();
+            let slot = &mut self.l0[idx];
+            // Single-key granules (the common case at wire timescales) skip
+            // the scratch shuffle entirely.
+            if slot.len() == 1 {
+                self.ready.push(slot.pop().expect("occupied slot"));
+            } else {
+                self.scratch.append(slot);
+                let mut batch = std::mem::take(&mut self.scratch);
+                for key in batch.drain(..) {
+                    self.ready.push(key);
+                }
+                self.scratch = batch;
+            }
+            return;
+        }
+        let cand_l0 = self.next_l0();
+        let cand_l1 = self.l1.next_window(self.cursor >> L1_SHIFT).map(|w| w << L1_SHIFT);
+        let cand_l2 = self.l2.next_window(self.cursor >> L2_SHIFT).map(|w| w << L2_SHIFT);
+        let cand_l3 = self.l3.next_window(self.cursor >> L3_SHIFT).map(|w| w << L3_SHIFT);
+        let cand_ov = self.overflow.keys().next().map(|&(at, _)| granule(at));
+        let target = [cand_l0, cand_l1, cand_l2, cand_l3, cand_ov]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("advance_step on empty wheel");
+        self.cursor = target;
+        // Coarse windows opening exactly at `target` cascade downward,
+        // highest level first so freed keys keep falling.
+        if cand_l3 == Some(target) {
+            self.cascade(3, ((target >> L3_SHIFT) & 63) as usize);
+        }
+        if cand_l2 == Some(target) {
+            self.cascade(2, ((target >> L2_SHIFT) & 63) as usize);
+        }
+        if cand_l1 == Some(target) {
+            self.cascade(1, ((target >> L1_SHIFT) & 63) as usize);
+        }
+        if cand_l0 == Some(target) {
+            let idx = (target & (L0_SLOTS as u64 - 1)) as usize;
+            self.l0_bits[idx >> 6] &= !(1 << (idx & 63));
+            self.pending -= self.l0[idx].len();
+            self.scratch.append(&mut self.l0[idx]);
+            let mut batch = std::mem::take(&mut self.scratch);
+            for key in batch.drain(..) {
+                self.ready.push(key);
+            }
+            self.scratch = batch;
+        }
+        // Overflow keys whose granule is now due go straight to ready.
+        while let Some((&(at, seq), &slot)) = self.overflow.iter().next() {
+            if granule(at) > self.cursor {
+                break;
+            }
+            self.overflow.remove(&(at, seq));
+            self.pending -= 1;
+            self.ready.push(Key { at, seq, slot });
+        }
+    }
+
+    fn peek(&mut self) -> Option<&Key> {
+        while self.ready.is_empty() {
+            if self.pending == 0 {
+                return None;
+            }
+            self.advance_step();
+        }
+        self.ready.peek()
+    }
+
+    fn pop(&mut self) -> Option<Key> {
+        self.peek()?;
+        self.ready.pop()
+    }
+}
+
+/// The key-ordering core: production wheel or oracle heap.
+enum Core {
+    Wheel(Box<Wheel>),
+    Heap(BinaryHeap<Key>),
+}
+
+impl Core {
+    fn insert(&mut self, key: Key) {
+        match self {
+            Core::Wheel(w) => w.insert(key),
+            Core::Heap(h) => h.push(key),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Key> {
+        match self {
+            Core::Wheel(w) => w.pop(),
+            Core::Heap(h) => h.pop(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<Key> {
+        match self {
+            Core::Wheel(w) => w.peek().copied(),
+            Core::Heap(h) => h.peek().copied(),
+        }
+    }
+
+    fn cascades(&self) -> u64 {
+        match self {
+            Core::Wheel(w) => w.cascades,
+            Core::Heap(_) => 0,
+        }
+    }
+}
+
+/// Marks an event that entered the queue outside any FIFO lane.
+pub(crate) const NO_LANE: u32 = u32::MAX;
+
+/// One slab slot: the payload (if pending) plus the generation that makes
+/// [`TimerHandle`]s single-use.
+struct SlabEntry {
+    gen: u64,
+    state: SlotState,
+}
+
+enum SlotState {
+    Free,
+    Live { kind: EventKind, lane: u32 },
+    /// Cancelled; the key is still in the core and reaped lazily.
+    Dead,
+}
+
+/// Slab slots kept through [`EventQueue::release_excess`] so steady-state
+/// reuse never re-allocates.
+const RETAIN_SLOTS: usize = 64;
+
+/// A total-ordered future event queue.
 pub struct EventQueue {
-    heap: BinaryHeap<Key>,
-    /// Slab of event payloads; `None` marks a free slot.
-    slab: Vec<Option<EventKind>>,
+    core: Core,
+    /// Slab of event payloads, indexed by key slot.
+    slab: Vec<SlabEntry>,
     /// Free slots in the slab, reused LIFO so the hot slots stay cached.
     free: Vec<u32>,
+    /// Per-lane parked keys; the front of a non-empty lane is the only key
+    /// of that lane resident in the core.
+    lanes: Vec<VecDeque<Key>>,
+    /// Events pending dispatch (excludes cancelled ones).
+    live: usize,
     next_seq: u64,
+    next_gen: u64,
+    stats: SchedStats,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
-    /// Create an empty queue.
+    /// Create an empty queue on the thread's configured backend.
     pub fn new() -> Self {
-        Self::default()
+        let core = match BACKEND.with(|c| c.get()) {
+            SchedBackend::Wheel => Core::Wheel(Box::new(Wheel::new())),
+            SchedBackend::Heap => Core::Heap(BinaryHeap::new()),
+        };
+        EventQueue {
+            core,
+            slab: Vec::new(),
+            free: Vec::new(),
+            lanes: Vec::new(),
+            live: 0,
+            next_seq: 0,
+            next_gen: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Size the FIFO lane table (engine build time: 4 lanes per link).
+    pub(crate) fn ensure_lanes(&mut self, lanes: usize) {
+        if self.lanes.len() < lanes {
+            self.lanes.resize_with(lanes, VecDeque::new);
+        }
+    }
+
+    fn alloc(&mut self, kind: EventKind, lane: u32) -> (u32, u64) {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.stats.slab_hits += 1;
+                self.slab[s as usize] = SlabEntry {
+                    gen,
+                    state: SlotState::Live { kind, lane },
+                };
+                s
+            }
+            None => {
+                self.stats.slab_misses += 1;
+                let s = u32::try_from(self.slab.len()).expect("event slab overflow");
+                self.slab.push(SlabEntry {
+                    gen,
+                    state: SlotState::Live { kind, lane },
+                });
+                s
+            }
+        };
+        self.live += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.live as u64);
+        (slot, gen)
+    }
+
+    fn release(&mut self, slot: u32) {
+        self.slab[slot as usize].state = SlotState::Free;
+        self.free.push(slot);
+        self.stats.free_high_water = self.stats.free_high_water.max(self.free.len() as u64);
     }
 
     /// Schedule `kind` at absolute time `at`.
     pub fn push(&mut self, at: Time, kind: EventKind) {
+        let (slot, _) = self.alloc(kind, NO_LANE);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slab[s as usize] = Some(kind);
-                s
-            }
-            None => {
-                let s = u32::try_from(self.slab.len()).expect("event slab overflow");
-                self.slab.push(Some(kind));
-                s
-            }
+        self.core.insert(Key { at, seq, slot });
+    }
+
+    /// Schedule `kind` at `at` on FIFO lane `lane`: events on one lane must
+    /// be pushed in non-decreasing time order, which lets everything behind
+    /// the lane head wait in a deque instead of the core.
+    pub(crate) fn push_lane(&mut self, at: Time, lane: u32, kind: EventKind) {
+        debug_assert!((lane as usize) < self.lanes.len(), "unknown lane {lane}");
+        let (slot, _) = self.alloc(kind, lane);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = Key { at, seq, slot };
+        let q = &mut self.lanes[lane as usize];
+        if let Some(back) = q.back() {
+            debug_assert!(at >= back.at, "lane {lane} went backwards");
+            q.push_back(key);
+            self.stats.lane_parks += 1;
+        } else {
+            q.push_back(key);
+            self.core.insert(key);
+        }
+    }
+
+    /// Schedule a cancellable timer; the handle stays valid until the timer
+    /// fires or is cancelled.
+    pub fn push_timer(&mut self, at: Time, node: NodeId, token: u64) -> TimerHandle {
+        let (slot, gen) = self.alloc(EventKind::Timer { node, token }, NO_LANE);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.core.insert(Key { at, seq, slot });
+        TimerHandle { slot, gen }
+    }
+
+    /// Cancel the timer behind `handle`. Returns `false` if it already
+    /// fired, was already cancelled, or the handle is stale.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        let Some(entry) = self.slab.get_mut(handle.slot as usize) else {
+            return false;
         };
-        self.heap.push(Key { at, seq, slot });
+        if entry.gen != handle.gen || !matches!(entry.state, SlotState::Live { .. }) {
+            return false;
+        }
+        debug_assert!(
+            matches!(entry.state, SlotState::Live { lane: NO_LANE, .. }),
+            "cancellable events never ride a lane"
+        );
+        entry.state = SlotState::Dead;
+        self.live -= 1;
+        true
     }
 
-    /// Remove and return the earliest event.
+    /// Retire a key just popped from the core: free its slab slot, unpark
+    /// its lane successor, and produce the event — or `None` if the key was
+    /// a cancelled (dead) timer.
+    fn admit(&mut self, key: Key) -> Option<Scheduled> {
+        let entry = &mut self.slab[key.slot as usize];
+        match std::mem::replace(&mut entry.state, SlotState::Free) {
+            SlotState::Dead => {
+                self.stats.dead_dispatches += 1;
+                self.free.push(key.slot);
+                self.stats.free_high_water =
+                    self.stats.free_high_water.max(self.free.len() as u64);
+                None
+            }
+            SlotState::Live { kind, lane } => {
+                self.free.push(key.slot);
+                self.stats.free_high_water =
+                    self.stats.free_high_water.max(self.free.len() as u64);
+                self.live -= 1;
+                if lane != NO_LANE {
+                    let q = &mut self.lanes[lane as usize];
+                    let head = q.pop_front();
+                    debug_assert!(head.is_some_and(|h| h.slot == key.slot));
+                    if let Some(next) = q.front() {
+                        self.core.insert(*next);
+                    }
+                }
+                Some(Scheduled {
+                    at: key.at,
+                    seq: key.seq,
+                    kind,
+                })
+            }
+            SlotState::Free => unreachable!("core key points at a free slot"),
+        }
+    }
+
+    /// Remove and return the earliest live event, reaping any cancelled
+    /// keys encountered on the way.
     pub fn pop(&mut self) -> Option<Scheduled> {
-        let key = self.heap.pop()?;
-        let kind = self.slab[key.slot as usize]
-            .take()
-            .expect("heap key points at a live slot");
-        self.free.push(key.slot);
-        Some(Scheduled {
-            at: key.at,
-            seq: key.seq,
-            kind,
-        })
+        loop {
+            let key = self.core.pop()?;
+            if let Some(ev) = self.admit(key) {
+                return Some(ev);
+            }
+        }
     }
 
-    /// Fire time of the earliest event, if any.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|k| k.at)
+    /// [`EventQueue::pop`], but only if the earliest live event fires at or
+    /// before `deadline`. One core traversal where a `peek_time` + `pop`
+    /// pair would make two — this is the event loop's hot path. Cancelled
+    /// keys at the head are reaped even when they lie past the deadline,
+    /// matching `peek_time`'s contract.
+    pub fn pop_if_at_or_before(&mut self, deadline: Time) -> Option<Scheduled> {
+        loop {
+            let key = self.core.peek()?;
+            if key.at > deadline
+                && !matches!(self.slab[key.slot as usize].state, SlotState::Dead)
+            {
+                return None;
+            }
+            let key = self.core.pop().expect("peeked key");
+            if let Some(ev) = self.admit(key) {
+                return Some(ev);
+            }
+        }
     }
 
-    /// Number of pending events.
+    /// Fire time of the earliest live event, if any. Reaps cancelled keys,
+    /// hence `&mut`.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        loop {
+            let key = self.core.peek()?;
+            if matches!(self.slab[key.slot as usize].state, SlotState::Dead) {
+                let key = self.core.pop().expect("peeked key");
+                self.stats.dead_dispatches += 1;
+                self.release(key.slot);
+                continue;
+            }
+            return Some(key.at);
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
-    /// Whether no events are pending.
+    /// Whether no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
+    }
+
+    /// Return excess slab capacity to the allocator. Only meaningful at
+    /// quiescence (no live events): a storm's peak population otherwise
+    /// pins its capacity for the rest of the run. Keeps a small retained
+    /// core so steady-state reuse stays allocation-free.
+    pub fn release_excess(&mut self) {
+        if self.live != 0 || self.slab.len() <= RETAIN_SLOTS {
+            return;
+        }
+        // Dead keys may still sit in the core; they reference slots we are
+        // about to drop, so reap them first.
+        while self.pop().is_some() {}
+        let released = self.slab.len().saturating_sub(RETAIN_SLOTS);
+        self.stats.slots_released += released as u64;
+        self.slab.clear();
+        self.slab.shrink_to(RETAIN_SLOTS);
+        self.free.clear();
+        self.free.shrink_to(RETAIN_SLOTS);
+        for q in &mut self.lanes {
+            debug_assert!(q.is_empty());
+            q.shrink_to_fit();
+        }
+        // The core is empty of live keys; rebuild it to drop bucket capacity.
+        self.core = match &self.core {
+            Core::Wheel(_) => Core::Wheel(Box::new(Wheel::new())),
+            Core::Heap(_) => Core::Heap(BinaryHeap::new()),
+        };
+    }
+
+    /// Scheduler counters so far.
+    pub fn stats(&self) -> SchedStats {
+        let mut s = self.stats;
+        s.cascades = self.core.cascades();
+        s
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Micro-benchmark of the wheel vs heap backends on the shallow-queue
+    /// pattern the FAA scenarios produce: one far timer parked in a coarse
+    /// level plus steady near-term churn. Ignored by default (timing is
+    /// machine-dependent); run with `cargo test -q --release -p extmem-sim
+    /// qbench -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn qbench() {
+        fn run(n: u64) -> u64 {
+            let mut q = EventQueue::new();
+            let _h = q.push_timer(Time::from_micros(50), NodeId(0), 1);
+            let mut now = 0u64;
+            let mut acc = 0u64;
+            for i in 0..12u64 {
+                q.push(Time::from_picos(now + 170_000 + i * 40_000), timer(1, i));
+            }
+            for i in 0..n {
+                let ev = q.pop().expect("event");
+                now = ev.at.picos();
+                acc ^= ev.seq;
+                q.push(Time::from_picos(now + 170_000 + (i % 7) * 13_000), timer(1, i));
+            }
+            acc
+        }
+        const N: u64 = 3_000_000;
+        for backend in [SchedBackend::Wheel, SchedBackend::Heap] {
+            let mut best = f64::MAX;
+            for _ in 0..5 {
+                let t = std::time::Instant::now();
+                let acc = with_sched_backend(backend, || run(N));
+                std::hint::black_box(acc);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            println!("{backend:?}: {:.1} ns/op", best * 1e9 / N as f64);
+        }
+    }
 
     fn timer(node: u32, token: u64) -> EventKind {
         EventKind::Timer {
@@ -170,19 +800,25 @@ mod tests {
         }
     }
 
+    fn token_of(s: Scheduled) -> u64 {
+        match s.kind {
+            EventKind::Timer { token, .. } => token,
+            _ => unreachable!(),
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_nanos(30), timer(0, 3));
-        q.push(Time::from_nanos(10), timer(0, 1));
-        q.push(Time::from_nanos(20), timer(0, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|s| match s.kind {
-                EventKind::Timer { token, .. } => token,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for backend in [SchedBackend::Wheel, SchedBackend::Heap] {
+            with_sched_backend(backend, || {
+                let mut q = EventQueue::new();
+                q.push(Time::from_nanos(30), timer(0, 3));
+                q.push(Time::from_nanos(10), timer(0, 1));
+                q.push(Time::from_nanos(20), timer(0, 2));
+                let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
+                assert_eq!(order, vec![1, 2, 3]);
+            });
+        }
     }
 
     #[test]
@@ -193,10 +829,7 @@ mod tests {
             q.push(t, timer(0, token));
         }
         for expect in 0..100 {
-            match q.pop().unwrap().kind {
-                EventKind::Timer { token, .. } => assert_eq!(token, expect),
-                _ => unreachable!(),
-            }
+            assert_eq!(token_of(q.pop().unwrap()), expect);
         }
     }
 
@@ -234,6 +867,124 @@ mod tests {
             assert!(last.is_none_or(|l| (s.at, s.seq) > l));
             last = Some((s.at, s.seq));
         }
-        assert_eq!(q.slab.iter().filter(|s| s.is_some()).count(), 0);
+        assert!(q
+            .slab
+            .iter()
+            .all(|e| matches!(e.state, SlotState::Free)));
+    }
+
+    #[test]
+    fn far_future_events_cascade_back_in_order() {
+        let mut q = EventQueue::new();
+        // One key per wheel level plus overflow, pushed out of order.
+        let times = [
+            Time::from_nanos(5),             // ready/L0 territory
+            Time::from_micros(2),            // L1
+            Time::from_millis(1),            // L2
+            Time::from_millis(80),           // L3
+            Time::from_secs(2),              // overflow
+            Time::from_secs(3),              // overflow
+        ];
+        for (i, &t) in times.iter().enumerate().rev() {
+            q.push(t, timer(0, i as u64));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cancel_suppresses_dispatch_and_stales_handle() {
+        let mut q = EventQueue::new();
+        let h = q.push_timer(Time::from_nanos(10), NodeId(0), 7);
+        q.push(Time::from_nanos(20), timer(0, 8));
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h), "second cancel is a stale no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(token_of(q.pop().unwrap()), 8);
+        assert!(q.pop().is_none());
+        assert_eq!(q.stats().dead_dispatches, 1);
+        // The slot is reused; the old handle must not kill the new timer.
+        let h2 = q.push_timer(Time::from_nanos(30), NodeId(0), 9);
+        assert!(!q.cancel(h));
+        assert_eq!(token_of(q.pop().unwrap()), 9);
+        assert!(!q.cancel(h2), "fired handle is stale");
+    }
+
+    #[test]
+    fn cancelled_head_does_not_stall_peek() {
+        let mut q = EventQueue::new();
+        let h = q.push_timer(Time::from_nanos(10), NodeId(0), 1);
+        q.push(Time::from_nanos(50), timer(0, 2));
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(50)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn release_excess_shrinks_slab_at_quiescence() {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.push(Time::from_nanos(i), timer(0, i));
+        }
+        // A cancelled timer's key must not keep its slot pinned either.
+        let h = q.push_timer(Time::from_secs(5), NodeId(0), 0);
+        q.cancel(h);
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        assert!(q.slab.len() > RETAIN_SLOTS);
+        let before = q.stats();
+        assert_eq!(before.free_high_water, 10_001);
+        q.release_excess();
+        assert!(q.slab.capacity() <= RETAIN_SLOTS);
+        assert!(q.stats().slots_released >= 10_000 - RETAIN_SLOTS as u64);
+        // The queue stays fully usable afterwards.
+        q.push(Time::from_nanos(1), timer(0, 42));
+        assert_eq!(token_of(q.pop().unwrap()), 42);
+    }
+
+    #[test]
+    fn release_excess_is_a_noop_while_events_pend() {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(Time::from_nanos(i), timer(0, i));
+        }
+        q.release_excess();
+        assert_eq!(q.len(), 1000);
+        assert_eq!(q.stats().slots_released, 0);
+    }
+
+    #[test]
+    fn lanes_preserve_global_order() {
+        let mut q = EventQueue::new();
+        q.ensure_lanes(2);
+        // Lane 0 and lane 1 each monotone; a timer interleaves.
+        q.push_lane(Time::from_nanos(10), 0, timer(0, 0));
+        q.push_lane(Time::from_nanos(30), 0, timer(0, 1));
+        q.push_lane(Time::from_nanos(20), 1, timer(0, 2));
+        q.push(Time::from_nanos(25), timer(0, 3));
+        q.push_lane(Time::from_nanos(40), 1, timer(0, 4));
+        let mut order = Vec::new();
+        let mut last = None;
+        while let Some(s) = q.pop() {
+            assert!(last.is_none_or(|l| (s.at, s.seq) > l));
+            last = Some((s.at, s.seq));
+            order.push(token_of(s));
+        }
+        assert_eq!(order, vec![0, 2, 3, 1, 4]);
+        assert_eq!(q.stats().lane_parks, 2);
+    }
+
+    #[test]
+    fn equal_time_lane_and_core_events_keep_seq_order() {
+        let mut q = EventQueue::new();
+        q.ensure_lanes(1);
+        let t = Time::from_nanos(100);
+        q.push_lane(t, 0, timer(0, 0)); // seq 0, lane head
+        q.push(t, timer(0, 1)); // seq 1, core
+        q.push_lane(t, 0, timer(0, 2)); // seq 2, parked
+        q.push(t, timer(0, 3)); // seq 3, core
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 }

@@ -35,6 +35,7 @@ pub mod queue;
 pub mod trace;
 
 pub use engine::{SimBuilder, Simulator};
+pub use event::{with_sched_backend, SchedBackend, SchedStats, TimerHandle};
 pub use link::{FaultSpec, LinkSpec, LinkStats};
 pub use node::{Node, NodeCtx};
 pub use queue::TxQueue;

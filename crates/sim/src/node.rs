@@ -1,6 +1,7 @@
 //! The [`Node`] trait and the context handed to node callbacks.
 
 use crate::engine::EngineCore;
+use crate::event::TimerHandle;
 use extmem_types::{NodeId, PortId, Rate, Time, TimeDelta};
 use extmem_wire::Packet;
 use rand::rngs::StdRng;
@@ -85,6 +86,18 @@ impl NodeCtx<'_> {
     /// Schedule [`Node::on_timer`] to fire after `delay` with `token`.
     pub fn schedule(&mut self, delay: TimeDelta, token: u64) {
         self.core.schedule_timer(self.node, delay, token);
+    }
+
+    /// Like [`NodeCtx::schedule`], but returns a handle the node can pass
+    /// to [`NodeCtx::cancel_timer`] if the timer becomes moot.
+    pub fn schedule_cancellable(&mut self, delay: TimeDelta, token: u64) -> TimerHandle {
+        self.core.schedule_timer_cancellable(self.node, delay, token)
+    }
+
+    /// Cancel a timer scheduled with [`NodeCtx::schedule_cancellable`].
+    /// Returns `false` if it already fired or was already cancelled.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.core.cancel_timer(handle)
     }
 
     /// The simulation RNG. Shared by all nodes; draws are deterministic in

@@ -10,7 +10,7 @@
 //! length … drains").
 
 use crate::tm::TrafficManager;
-use extmem_sim::{Node, NodeCtx};
+use extmem_sim::{Node, NodeCtx, TimerHandle};
 use extmem_types::{ByteSize, PortId, Time, TimeDelta};
 use extmem_wire::Packet;
 use std::any::Any;
@@ -185,6 +185,24 @@ impl SwitchCtx<'_, '_, '_> {
             "program token uses reserved bit"
         );
         self.node.schedule(delay, token | PROGRAM_TOKEN_BIT);
+    }
+
+    /// Like [`SwitchCtx::schedule`], but returns a handle for
+    /// [`SwitchCtx::cancel_timer`].
+    pub fn schedule_cancellable(&mut self, delay: TimeDelta, token: u64) -> TimerHandle {
+        assert_eq!(
+            token & PROGRAM_TOKEN_BIT,
+            0,
+            "program token uses reserved bit"
+        );
+        self.node
+            .schedule_cancellable(delay, token | PROGRAM_TOKEN_BIT)
+    }
+
+    /// Cancel a timer from [`SwitchCtx::schedule_cancellable`]. Returns
+    /// `false` if it already fired or was cancelled.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.node.cancel_timer(handle)
     }
 }
 

@@ -55,8 +55,16 @@ impl Rate {
     /// ```
     pub fn time_to_send(self, bytes: usize) -> TimeDelta {
         assert!(self.0 > 0, "cannot send at zero rate");
+        // bits / (bits/s) in picoseconds = bits * 1e12 / bps. Any frame
+        // under ~2.3 MB keeps the numerator inside u64, where the division
+        // is a single hardware op; the u128 path only exists for the huge
+        // transfer sizes used in capacity arithmetic.
         let bits = bytes as u128 * 8;
-        // bits / (bits/s) in picoseconds = bits * 1e12 / bps.
+        if let Ok(bits64) = u64::try_from(bits) {
+            if let Some(num) = bits64.checked_mul(1_000_000_000_000) {
+                return TimeDelta(num.div_ceil(self.0));
+            }
+        }
         let ps = (bits * 1_000_000_000_000).div_ceil(self.0 as u128);
         TimeDelta(u64::try_from(ps).expect("serialization time overflow"))
     }

@@ -222,6 +222,17 @@ impl Payload {
     pub fn ref_count(&self) -> usize {
         Arc::strong_count(&self.buf)
     }
+
+    /// Recover the backing buffer without copying, if this payload is the
+    /// allocation's sole owner. The returned `Vec` is the *full* backing
+    /// buffer even when this view was windowed — callers recycle it for its
+    /// capacity (see [`crate::pool`]), not its contents. Returns `None`
+    /// (and drops the reference) when the buffer is still shared.
+    pub fn recover_vec(self) -> Option<Vec<u8>> {
+        // The shared empty buffer always has another owner (the static),
+        // so empties are never recovered.
+        Arc::try_unwrap(self.buf).ok()
+    }
 }
 
 impl Default for Payload {

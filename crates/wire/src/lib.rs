@@ -20,7 +20,10 @@
 //! Parsing never panics on malformed input: every decoder returns
 //! [`WireError`] and is exercised with property-based fuzz tests.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the one exemption is the PCLMULQDQ CRC-32
+// kernel in `icrc` (raw SIMD intrinsics behind a runtime feature check),
+// which carries its own `allow` and safety comments.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aeth;
@@ -34,6 +37,7 @@ pub mod icrc;
 pub mod ipv4;
 pub mod packet;
 pub mod payload;
+pub mod pool;
 pub mod reth;
 pub mod roce;
 pub mod udp;

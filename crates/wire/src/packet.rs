@@ -108,6 +108,13 @@ impl Packet {
         self.data.into_vec()
     }
 
+    /// Consume the packet, returning its shared payload buffer (no copy).
+    /// This is the recycling path: a consumer done with a frame hands the
+    /// payload to [`crate::pool::recycle`].
+    pub fn into_payload(self) -> Payload {
+        self.data
+    }
+
     /// How many packets/payloads share this buffer.
     pub fn ref_count(&self) -> usize {
         self.data.ref_count()

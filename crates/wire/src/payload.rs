@@ -91,7 +91,8 @@ pub fn build_data_packet(
             max: u16::MAX as u64,
         });
     }
-    let mut buf = vec![0u8; frame_len];
+    let mut buf = crate::pool::take();
+    buf.resize(frame_len, 0);
     EthernetHeader {
         dst: dst_mac,
         src: src_mac,

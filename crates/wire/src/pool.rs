@@ -1,0 +1,138 @@
+//! A process-global recycling pool for frame buffers.
+//!
+//! Encode loops (the RNIC responder, the switch channels, the E1 traffic
+//! nodes) each build thousands of frames per simulated millisecond, and the
+//! buffer of a consumed frame is usually free again a few events later. The
+//! pool closes that loop: [`take`] hands back a previously-recycled `Vec`
+//! (cleared, capacity retained) instead of a fresh allocation, and
+//! [`recycle`] recovers the backing buffer of a [`Payload`] whose last owner
+//! is done with it — without copying, via [`Payload::recover_vec`].
+//!
+//! Recycling is strictly best-effort. A payload still shared with another
+//! clone simply isn't recovered, and the free list is bounded in both entry
+//! count and per-buffer capacity so a burst of jumbo frames cannot pin
+//! memory forever. The [`hit_count`]/[`miss_count`] counters feed the
+//! scheduler-stats report of the perf harness (`simperf --sched-stats`).
+
+use crate::bytes::Payload;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Upper bound on free-list entries; beyond it, returned buffers are
+/// dropped (quiescent simulations should not pin a whole run's frames).
+const MAX_POOLED: usize = 1024;
+
+/// Buffers above this capacity are never pooled — a rare jumbo allocation
+/// must not turn into a permanently-retained one.
+const MAX_POOLED_CAPACITY: usize = 64 * 1024;
+
+static FREE: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+
+fn free_list() -> std::sync::MutexGuard<'static, Vec<Vec<u8>>> {
+    // A panic while holding the lock leaves only recyclable buffers
+    // behind; the pool stays usable.
+    FREE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Take a buffer from the pool (cleared, capacity retained), or a fresh
+/// empty `Vec` when the pool is dry.
+pub fn take() -> Vec<u8> {
+    match free_list().pop() {
+        Some(mut buf) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            buf.clear();
+            buf
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        }
+    }
+}
+
+/// Return a buffer to the pool. Zero-capacity and oversized buffers are
+/// dropped, as is everything past the free-list bound.
+pub fn give(buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
+        return;
+    }
+    let mut free = free_list();
+    if free.len() < MAX_POOLED {
+        free.push(buf);
+    }
+}
+
+/// Recover `payload`'s backing buffer into the pool if this was its sole
+/// owner; a no-op (not an error) when the buffer is still shared.
+pub fn recycle(payload: Payload) {
+    if let Some(buf) = payload.recover_vec() {
+        give(buf);
+    }
+}
+
+/// Pool hits (a [`take`] served from the free list) since process start.
+pub fn hit_count() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}
+
+/// Pool misses (a [`take`] that had to allocate) since process start.
+pub fn miss_count() -> u64 {
+    MISSES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The pool is process-global, so tests serialize on the counter span
+    // lock used by the other wire counters.
+    use crate::bytes::CounterSpan;
+
+    #[test]
+    fn take_give_roundtrip_reuses_capacity() {
+        let _span = CounterSpan::begin();
+        let mut b = take();
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = b.capacity();
+        give(b);
+        let hits0 = hit_count();
+        let b2 = take();
+        assert_eq!(hit_count(), hits0 + 1);
+        assert!(b2.is_empty(), "pooled buffers come back cleared");
+        assert!(b2.capacity() >= cap, "capacity survives the pool");
+    }
+
+    #[test]
+    fn recycle_recovers_sole_owner_only() {
+        let _span = CounterSpan::begin();
+        // Shared payload: not recovered.
+        let p = Payload::from_vec(vec![9; 64]);
+        let clone = p.clone();
+        recycle(p);
+        let hits0 = hit_count();
+        drop(clone);
+        // Sole owner, even when windowed: recovered.
+        let p = Payload::from_vec(vec![7; 128]);
+        let window = p.slice(10..20);
+        drop(p);
+        recycle(window);
+        let b = take();
+        assert_eq!(hit_count(), hits0 + 1);
+        assert!(b.capacity() >= 128, "full backing buffer recovered");
+    }
+
+    #[test]
+    fn oversized_and_empty_buffers_are_not_pooled() {
+        let _span = CounterSpan::begin();
+        // Drain the free list so the next take is a deterministic miss.
+        free_list().clear();
+        give(Vec::new());
+        give(Vec::with_capacity(MAX_POOLED_CAPACITY + 1));
+        let misses0 = miss_count();
+        let _ = take();
+        assert_eq!(miss_count(), misses0 + 1, "neither buffer was pooled");
+    }
+}

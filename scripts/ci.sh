@@ -22,6 +22,12 @@ echo "== fault-matrix smoke (worst cell, release) =="
 # profile, where timing-sensitive reliability bugs shake out differently.
 cargo test -q --release --test fault_matrix smoke_
 
+echo "== scheduler equivalence proptests (release) =="
+# The timing-wheel vs binary-heap oracle properties, under the optimized
+# profile the perf numbers are measured with (overflow/ordering bugs can
+# be profile-dependent).
+cargo test -q --release --test structure_proptests
+
 echo "== perf smoke (advisory) =="
 perf_rc=0
 scripts/perf_check.sh || perf_rc=$?

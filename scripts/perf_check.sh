@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Perf-regression gate: run the simperf harness and compare events/sec per
 # scenario against the committed baseline (BENCH_simperf.json). Fails when
-# any scenario regresses by more than TOLERANCE (default 10%).
+# any scenario regresses past its threshold.
+#
+# Thresholds come from scripts/perf_tolerance.json: a per-scenario map with
+# a "default" fallback. The TOLERANCE env var, when set, overrides every
+# scenario. Baselines of schema 1 (events/sec only) and schema 2 (plus
+# digest/sched blocks) are both accepted.
 #
 # Usage:  scripts/perf_check.sh [baseline.json]
-#   TOLERANCE=0.15 scripts/perf_check.sh     # custom threshold
+#   TOLERANCE=0.15 scripts/perf_check.sh     # uniform override
 #
 # Exit codes: 0 = within tolerance, 1 = regression, 3 = gate skipped
 # (missing jq or baseline — the comparison never ran, which is not the
@@ -16,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASELINE="${1:-BENCH_simperf.json}"
-TOLERANCE="${TOLERANCE:-0.10}"
+SIDECAR="scripts/perf_tolerance.json"
 
 if ! command -v jq >/dev/null; then
     echo "perf_check: perf gate skipped (jq not found)" >&2
@@ -30,6 +35,21 @@ fi
 FRESH="$(mktemp /tmp/simperf.XXXXXX.json)"
 trap 'rm -f "$FRESH"' EXIT
 
+# Threshold for one scenario: TOLERANCE env > sidecar scenario > sidecar
+# default > 0.10.
+tolerance_for() {
+    local name="$1"
+    if [[ -n "${TOLERANCE:-}" ]]; then
+        echo "$TOLERANCE"
+        return
+    fi
+    if [[ -f "$SIDECAR" ]]; then
+        jq -r --arg n "$name" '.scenarios[$n] // .default // 0.10' "$SIDECAR"
+        return
+    fi
+    echo "0.10"
+}
+
 cargo build --release -q -p extmem-bench
 ./target/release/simperf "$FRESH" >/dev/null
 
@@ -37,20 +57,22 @@ fail=0
 for name in $(jq -r '.scenarios | keys[]' "$BASELINE"); do
     base=$(jq -r ".scenarios[\"$name\"].events_per_sec" "$BASELINE")
     new=$(jq -r ".scenarios[\"$name\"].events_per_sec // empty" "$FRESH")
+    tol=$(tolerance_for "$name")
     if [[ -z "$new" ]]; then
         echo "FAIL  $name: missing from fresh run" >&2
         fail=1
         continue
     fi
-    # ratio < 1 - TOLERANCE ⇒ regression.
-    ok=$(jq -n --argjson b "$base" --argjson n "$new" --argjson t "$TOLERANCE" \
+    # ratio < 1 - tol ⇒ regression.
+    ok=$(jq -n --argjson b "$base" --argjson n "$new" --argjson t "$tol" \
         '($n / $b) >= (1 - $t)')
     ratio=$(jq -n --argjson b "$base" --argjson n "$new" '($n / $b * 100 | floor)')
     if [[ "$ok" == "true" ]]; then
-        printf 'ok    %-22s %12.0f ev/s (%s%% of baseline %.0f)\n' "$name" "$new" "$ratio" "$base"
+        printf 'ok    %-22s %12.0f ev/s (%s%% of baseline %.0f, tolerance %s)\n' \
+            "$name" "$new" "$ratio" "$base" "$tol"
     else
         printf 'FAIL  %-22s %12.0f ev/s (%s%% of baseline %.0f, tolerance %s)\n' \
-            "$name" "$new" "$ratio" "$base" "$TOLERANCE" >&2
+            "$name" "$new" "$ratio" "$base" "$tol" >&2
         fail=1
     fi
 done

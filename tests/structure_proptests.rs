@@ -356,4 +356,110 @@ mod event_queue {
             prop_assert!(q.is_empty());
         }
     }
+
+    use extmem_sim::{with_sched_backend, SchedBackend};
+
+    /// A time in one of the wheel's distinct regimes: same-granule ties,
+    /// the L0 fine ring, each coarse level, the horizon edge, and the
+    /// far-future overflow map.
+    fn time_for(class: u8, r: u64) -> Time {
+        match class % 6 {
+            0 => Time::from_picos(r % 4096),        // one granule: forced ties
+            1 => Time::from_nanos(r % 2_000_000),   // L0 / L1
+            2 => Time::from_micros(r % 500),        // L1 / L2
+            3 => Time::from_millis(r % 270),        // L2 / L3
+            4 => Time::from_millis(270 + r % 100),  // the ~275 ms horizon edge
+            _ => Time::from_secs(1 + r % 3),        // deep overflow
+        }
+    }
+
+    /// Run one op script against a chosen scheduler backend and log every
+    /// observable: pop results (time, seq, token), pop-empty, and cancel
+    /// outcomes. Equal logs ⇒ the backends are observationally identical.
+    fn run_script(backend: SchedBackend, ops: &[(u8, u8, u64)]) -> Vec<(u64, u64, u64)> {
+        with_sched_backend(backend, || {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::new();
+            let mut log = Vec::new();
+            let mut token = 0u64;
+            for &(kind, class, r) in ops {
+                match kind % 4 {
+                    // Plain push (no handle kept).
+                    0 => {
+                        q.push(
+                            time_for(class, r),
+                            EventKind::Timer { node: NodeId(0), token },
+                        );
+                        token += 1;
+                    }
+                    // Cancellable push.
+                    1 => {
+                        handles.push(q.push_timer(time_for(class, r), NodeId(0), token));
+                        token += 1;
+                    }
+                    // Cancel-then-reschedule: revoke a random live handle
+                    // (possibly already fired — then a stale no-op) and
+                    // immediately re-arm at a different time.
+                    2 if !handles.is_empty() => {
+                        let h = handles.remove((r as usize) % handles.len());
+                        let cancelled = q.cancel(h);
+                        log.push((u64::MAX, cancelled as u64, u64::MAX));
+                        handles.push(q.push_timer(
+                            time_for(class.wrapping_add(1), r ^ 0x5555),
+                            NodeId(0),
+                            token,
+                        ));
+                        token += 1;
+                    }
+                    _ => match q.pop() {
+                        Some(s) => {
+                            let EventKind::Timer { token: t, .. } = s.kind else {
+                                panic!("queue returned a non-timer event");
+                            };
+                            log.push((s.at.picos(), s.seq, t));
+                        }
+                        None => log.push((0, 0, u64::MAX - 1)),
+                    },
+                }
+            }
+            while let Some(s) = q.pop() {
+                let EventKind::Timer { token: t, .. } = s.kind else {
+                    panic!("queue returned a non-timer event");
+                };
+                log.push((s.at.picos(), s.seq, t));
+            }
+            log
+        })
+    }
+
+    proptest! {
+        /// The timing wheel and the binary-heap oracle are observationally
+        /// identical for any interleaving of pushes across every wheel
+        /// regime — equal-time ties, all coarse levels, the horizon edge,
+        /// and far-future overflow — plus pops and cancel-then-reschedule.
+        #[test]
+        fn wheel_matches_heap_oracle(
+            ops in proptest::collection::vec((0u8..8, any::<u8>(), any::<u64>()), 1..400),
+        ) {
+            let wheel = run_script(SchedBackend::Wheel, &ops);
+            let heap = run_script(SchedBackend::Heap, &ops);
+            prop_assert_eq!(wheel, heap);
+        }
+
+        /// Far-future events only: everything lands in the overflow map (or
+        /// the outermost level) and must still drain in exact (at, seq)
+        /// order on both backends.
+        #[test]
+        fn far_future_overflow_matches_oracle(
+            times in proptest::collection::vec(0u64..10_000, 1..200),
+        ) {
+            let ops: Vec<(u8, u8, u64)> = times
+                .iter()
+                .map(|&t| (1u8, 4 + (t % 2) as u8, t))
+                .collect();
+            let wheel = run_script(SchedBackend::Wheel, &ops);
+            let heap = run_script(SchedBackend::Heap, &ops);
+            prop_assert_eq!(wheel, heap);
+        }
+    }
 }
