@@ -1,6 +1,6 @@
 //! Simulator performance harness (the perf-regression gate).
 //!
-//! Five fixed scenarios exercise the hot paths end to end:
+//! Six fixed scenarios exercise the hot paths end to end:
 //!
 //! * `e1_write_read_loop` — the §5 packet-buffer store/drain loop: every
 //!   frame is encapsulated into an RDMA WRITE, ring-buffered on the memory
@@ -15,7 +15,12 @@
 //!   (merge/flush/ACK machinery) alongside line forwarding,
 //! * `loss_sweep` — the packet-buffer detour over a lossy memory-server
 //!   link at 0.1% and 1% drop: the reliability layer's timeout/retransmit/
-//!   dedup machinery priced on the hot path, with exact recovery asserted.
+//!   dedup machinery priced on the hot path, with exact recovery asserted,
+//! * `server_failover` — a replicated state store (primary + mirror)
+//!   through a primary crash, failover, restart, and reseeded rejoin under
+//!   live FaA load: the pool layer's health detection, mirror fan-out,
+//!   delta replay, and reseed traffic priced end to end, with both
+//!   replicas asserted bit-for-bit exact.
 //!
 //! Each scenario runs a fixed deterministic workload to quiescence; the
 //! simulated work is therefore constant across runs and machines, and the
@@ -31,7 +36,7 @@ use extmem_core::faa::{FaaConfig, FaaEngine};
 use extmem_core::lookup::{install_remote_action, ActionEntry, LookupTableProgram};
 use extmem_core::packet_buffer::{Mode, PacketBufferProgram, TOKEN_START_LOADING};
 use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
-use extmem_core::{Fib, RdmaChannel, ReliableConfig};
+use extmem_core::{Fib, PoolConfig, RdmaChannel, ReliableConfig};
 use extmem_rnic::{RnicConfig, RnicNode};
 use extmem_sim::{FaultSpec, LinkSpec, SchedStats, SimBuilder, Simulator};
 use extmem_switch::switch::program_token;
@@ -506,6 +511,103 @@ pub fn loss_sweep(count: u64) -> PerfResult {
     }
 }
 
+/// Server failover: a replicated state store (primary + mirror) driven
+/// through a primary crash, failover, restart, and reseeded rejoin while
+/// the FaA workload keeps flowing. This prices the replication layer's
+/// bookkeeping — health detection, per-mirror delta accumulation,
+/// anti-entropy replay, probe/reseed traffic — on the hot path. The run
+/// asserts exact settled counters on *both* replicas, so the measurement
+/// is only taken over a correct execution.
+pub fn server_failover(count: u64) -> PerfResult {
+    let counters = 512u64;
+    let region = ByteSize::from_bytes(counters * 8);
+    let (h0, m0) = pool_counts();
+    let start = Instant::now();
+    let mut nic_a = RnicNode::new("memsrv-a", RnicConfig::at(host_endpoint(2)));
+    let mut nic_b = RnicNode::new("memsrv-b", RnicConfig::at(host_endpoint(3)));
+    let ch_a = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic_a, region);
+    let ch_b = RdmaChannel::setup(switch_endpoint(), PortId(3), &mut nic_b, region);
+    let rkey = ch_a.rkey;
+    let base_va = ch_a.base_va;
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let engine = FaaEngine::replicated(
+        vec![ch_a, ch_b],
+        FaaConfig {
+            reliable: true,
+            rto: TimeDelta::from_micros(30),
+            ..Default::default()
+        },
+        PoolConfig {
+            down_threshold: 2,
+            probe_interval: TimeDelta::from_micros(100),
+            reseed_atomics: true,
+            ..Default::default()
+        },
+    );
+    let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(30));
+    let mut b = SimBuilder::new(71);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+            256,
+            Rate::from_gbps(2),
+            count,
+        ),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let server_a = b.add_node(Box::new(nic_a));
+    let server_b = b.add_node(Box::new(nic_b));
+    b.connect(switch, PortId(2), server_a, PortId(0), link);
+    b.connect(switch, PortId(3), server_b, PortId(0), link);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    // ~1us of traffic per update: crash the primary a quarter in, bring it
+    // back at the halfway mark so reseed + delta replay overlap live load.
+    sim.schedule_crash(server_a, TimeDelta::from_micros(count / 4));
+    sim.schedule_restart(server_a, TimeDelta::from_micros(count / 2));
+    sim.run_until(Time::from_micros(count) + TimeDelta::from_millis(10));
+
+    let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
+    let prog = sw.program::<StateStoreProgram>();
+    let stats = prog.faa_stats();
+    assert!(prog.is_quiescent(), "stuck window: {stats:?}");
+    assert!(!prog.is_degraded(), "pool must survive the crash: {stats:?}");
+    assert!(stats.pool.failovers >= 1, "no failover: {stats:?}");
+    assert!(stats.pool.rejoins >= 1, "no rejoin: {stats:?}");
+    let truth: u64 = prog.oracle.values().sum();
+    assert_eq!(truth, count);
+    let dump_a = read_remote_counters(sim.node::<RnicNode>(server_a), rkey, base_va, counters);
+    let dump_b = read_remote_counters(sim.node::<RnicNode>(server_b), rkey, base_va, counters);
+    let total_b: u64 = dump_b.iter().sum();
+    assert_eq!(total_b, truth, "survivor lost counts");
+    assert_eq!(dump_a, dump_b, "rejoined replica diverges");
+    let (h1, m1) = pool_counts();
+    PerfResult {
+        name: "server_failover",
+        events: sim.events_processed(),
+        packets: sim.packets_delivered(),
+        sim_seconds: sim.now().saturating_since(Time::ZERO).as_secs_f64(),
+        wall_seconds: start.elapsed().as_secs_f64(),
+        digest: sim.trace_digest(),
+        sched: sim.sched_stats(),
+        pool_hits: h1 - h0,
+        pool_misses: m1 - m0,
+    }
+}
+
 /// Repetitions per scenario in [`run_all`]; the fastest is reported, which
 /// filters out scheduler noise from a shared machine.
 pub const REPS: u32 = 3;
@@ -525,6 +627,7 @@ pub fn run_all() -> Vec<PerfResult> {
         best_of(REPS, || lookup_miss_storm(8_000)),
         best_of(REPS, || faa_storm(40_000)),
         best_of(REPS, || loss_sweep(6_000)),
+        best_of(REPS, || server_failover(8_000)),
     ]
 }
 
@@ -540,6 +643,7 @@ mod tests {
             lookup_miss_storm(300),
             faa_storm(2_000),
             loss_sweep(600),
+            server_failover(1_200),
         ];
         for r in &results {
             assert!(r.events > 0 && r.packets > 0, "{r:?}");

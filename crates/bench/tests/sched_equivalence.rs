@@ -5,11 +5,12 @@
 //! The structure proptests check the two backends agree op-by-op on random
 //! scripts; this test checks the property that actually justifies the swap —
 //! the *simulations* are indistinguishable: same packet trace, same event
-//! count, end to end, for all five perf scenarios (at reduced scale so the
+//! count, end to end, for all six perf scenarios (at reduced scale so the
 //! suite stays fast).
 
 use extmem_bench::simperf::{
-    e1_write_read_loop, faa_storm, incast_scenario, lookup_miss_storm, loss_sweep, PerfResult,
+    e1_write_read_loop, faa_storm, incast_scenario, lookup_miss_storm, loss_sweep,
+    server_failover, PerfResult,
 };
 use extmem_sim::{with_sched_backend, SchedBackend};
 
@@ -56,4 +57,11 @@ fn loss_sweep_is_backend_invariant() {
     // 0.1% loss needs a few thousand frames before the deterministic RNG
     // actually drops one; below that the scenario's own invariants fail.
     assert_backend_equivalent("loss_sweep", || loss_sweep(2_000));
+}
+
+#[test]
+fn server_failover_is_backend_invariant() {
+    // Crash detection, probing, and rejoin all ride on timers, so this is
+    // the scenario most likely to expose backend-dependent timer ordering.
+    assert_backend_equivalent("server_failover", || server_failover(1_200));
 }

@@ -19,6 +19,7 @@ use extmem_wire::bth::{psn_add, psn_before, Opcode};
 use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
 use extmem_wire::{Packet, Payload};
 use std::collections::VecDeque;
+use std::fmt;
 
 /// Everything the switch data plane needs to use one remote memory region:
 /// the paper's `(QPN, base address, Rkey)` triple plus the requester-side
@@ -219,8 +220,12 @@ pub struct ChannelStats {
     pub backoff_level: u32,
     /// High-water mark of the backoff shift level.
     pub max_backoff_level: u32,
-    /// Whether the channel gave up and degraded to local-only operation.
+    /// Whether the channel gave up and degraded to local-only operation at
+    /// least once (historical flag — survives [`ReliableChannel::recover_at`]).
     pub failed_over: bool,
+    /// Times a failed channel was re-armed via
+    /// [`ReliableChannel::recover_at`] (server rejoin path).
+    pub recoveries: u64,
 }
 
 impl ChannelStats {
@@ -237,6 +242,53 @@ impl ChannelStats {
         self.backoff_level = self.backoff_level.max(other.backoff_level);
         self.max_backoff_level = self.max_backoff_level.max(other.max_backoff_level);
         self.failed_over |= other.failed_over;
+        self.recoveries += other.recoveries;
+    }
+
+    /// JSON object with every counter — the uniform serialization the chaos
+    /// harness and `simperf` embed instead of ad-hoc formatting.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ops_issued\":{},\"acks\":{},\"naks\":{},\"retransmits\":{},\
+             \"timeouts\":{},\"duplicate_drops\":{},\"aged_out\":{},\
+             \"naks_suppressed\":{},\"backoff_level\":{},\"max_backoff_level\":{},\
+             \"failed_over\":{},\"recoveries\":{}}}",
+            self.ops_issued,
+            self.acks,
+            self.naks,
+            self.retransmits,
+            self.timeouts,
+            self.duplicate_drops,
+            self.aged_out,
+            self.naks_suppressed,
+            self.backoff_level,
+            self.max_backoff_level,
+            self.failed_over,
+            self.recoveries,
+        )
+    }
+}
+
+impl fmt::Display for ChannelStats {
+    /// Compact one-line form: `ops=… acks=… … failed=… rec=…`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ops={} acks={} naks={} retx={} timeouts={} dups={} aged={} \
+             sup={} backoff={}/{} failed={} rec={}",
+            self.ops_issued,
+            self.acks,
+            self.naks,
+            self.retransmits,
+            self.timeouts,
+            self.duplicate_drops,
+            self.aged_out,
+            self.naks_suppressed,
+            self.backoff_level,
+            self.max_backoff_level,
+            self.failed_over,
+            self.recoveries,
+        )
     }
 }
 
@@ -967,6 +1019,41 @@ impl ReliableChannel {
             ctx.cancel_timer(h);
         }
         events.push(ChannelEvent::Failed);
+    }
+
+    /// Force the failure path immediately (drain every op as `OpFailed`,
+    /// emit `Failed`): the pool layer's health detector calls this when its
+    /// consecutive-failure threshold trips before the channel's own retry
+    /// cap does, so failover latency is governed by the detector, not by
+    /// `max_retries`. No-op on an already-failed channel.
+    pub fn abort(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, events: &mut Vec<ChannelEvent>) {
+        if !self.failed {
+            self.fail(ctx, events);
+        }
+    }
+
+    /// Re-arm a failed channel at a fresh PSN (server-rejoin path): the
+    /// control plane has re-established the responder QP, which will accept
+    /// whatever PSN arrives first after its restart. The fresh base must be
+    /// far from the dead window so a straggling response from the old
+    /// incarnation cannot alias into the new one (callers jump by at least
+    /// the window size; [`crate::pool::ReplicatedPool`] jumps by `2^20`).
+    ///
+    /// This is the *only* place outside the best-effort NAK path allowed to
+    /// move `npsn` off its issue sequence — the fault-matrix grep guard
+    /// keeps ad-hoc resyncs out of the primitives.
+    ///
+    /// Panics unless the channel has actually failed over (`is_failed`);
+    /// `fail` drained every op, so nothing is outstanding here.
+    pub fn recover_at(&mut self, start_psn: u32) {
+        assert!(self.failed, "recover_at on a live channel");
+        debug_assert!(self.outstanding.is_empty() && self.queue.is_empty());
+        self.inner.qp.npsn = start_psn & 0x00ff_ffff;
+        self.failed = false;
+        self.backoff_level = 0;
+        self.retries = 0;
+        self.nak_epoch = None;
+        self.stats.recoveries += 1;
     }
 }
 

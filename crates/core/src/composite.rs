@@ -29,7 +29,6 @@ pub struct GatewayTelemetryProgram {
     /// The §2.2 lookup half (owns the FIB and its own channel).
     pub lookup: LookupTableProgram,
     engine: FaaEngine,
-    telemetry_port: PortId,
     counters: u64,
     tick_interval: TimeDelta,
     tick_armed: bool,
@@ -45,12 +44,10 @@ impl GatewayTelemetryProgram {
         engine: FaaEngine,
         tick_interval: TimeDelta,
     ) -> GatewayTelemetryProgram {
-        let telemetry_port = engine.server_port();
         GatewayTelemetryProgram {
             lookup,
             counters: engine.slots(),
             engine,
-            telemetry_port,
             tick_interval,
             tick_armed: false,
             oracle: HashMap::new(),
@@ -81,9 +78,9 @@ impl PipelineProgram for GatewayTelemetryProgram {
         }
         // Telemetry channel responses first; everything else (including the
         // lookup channel's responses) belongs to the lookup half.
-        if in_port == self.telemetry_port {
+        if self.engine.owns_port(in_port) {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
-                self.engine.on_roce(ctx, &roce);
+                self.engine.on_roce(ctx, in_port, &roce);
                 drop(roce);
                 extmem_wire::pool::recycle(pkt.into_payload());
                 return;
@@ -91,7 +88,7 @@ impl PipelineProgram for GatewayTelemetryProgram {
         }
         // Count the packet (workload traffic only), then let the gateway
         // half translate and forward it.
-        if in_port != self.telemetry_port {
+        if !self.engine.owns_port(in_port) {
             if let Some(flow) = flow_of(&pkt) {
                 // Only count client traffic, not RoCE from the table server.
                 if !extmem_wire::roce::looks_like_rocev2(&pkt) {

@@ -21,8 +21,9 @@
 //!   accumulating locally, so no update is ever silently dropped.
 
 use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
+use crate::pool::{PoolConfig, PoolStats, ReplicatedPool};
 use extmem_switch::SwitchCtx;
-use extmem_types::TimeDelta;
+use extmem_types::{PortId, TimeDelta};
 use extmem_wire::roce::RocePacket;
 use std::collections::{HashMap, VecDeque};
 
@@ -73,14 +74,18 @@ pub struct FaaStats {
     pub lost_updates: u64,
     /// High-water mark of slots with pending accumulation.
     pub max_pending_slots: u64,
-    /// Reliability-layer counters for the underlying channel.
+    /// Reliability-layer counters for the underlying channel(s), merged
+    /// across the pool.
     pub channel: ChannelStats,
+    /// Replication-layer counters (all zero for single-server engines).
+    pub pool: PoolStats,
 }
 
-/// The Fetch-and-Add issuing engine. One per channel.
+/// The Fetch-and-Add issuing engine. One per pool (usually one server;
+/// replicated engines fan out through [`ReplicatedPool`]).
 #[derive(Debug)]
 pub struct FaaEngine {
-    channel: ReliableChannel,
+    pool: ReplicatedPool,
     config: FaaConfig,
     /// Issued-but-unsettled values, keyed by channel cookie.
     in_flight: HashMap<u64, (u64, u64)>,
@@ -114,8 +119,39 @@ impl FaaEngine {
         } else {
             ReliableConfig::best_effort(config.rto)
         };
+        Self::over_pool(ReplicatedPool::single(ReliableChannel::new(channel, rc)), config)
+    }
+
+    /// Create an engine over a replicated pool of `channels` (one per
+    /// memory server; index 0 starts as primary). Requires reliable mode —
+    /// mirror reconciliation is meaningless over a best-effort channel.
+    pub fn replicated(
+        channels: Vec<RdmaChannel>,
+        config: FaaConfig,
+        pool_config: PoolConfig,
+    ) -> FaaEngine {
+        assert!(
+            config.reliable,
+            "replicated engines require reliable mode (mirrors are \
+             reconciled by replay, which needs completions)"
+        );
+        let rc = ReliableConfig {
+            rto: config.rto,
+            ..Default::default()
+        };
+        let pool = ReplicatedPool::new(
+            channels
+                .into_iter()
+                .map(|ch| ReliableChannel::new(ch, rc))
+                .collect(),
+            pool_config,
+        );
+        Self::over_pool(pool, config)
+    }
+
+    fn over_pool(pool: ReplicatedPool, config: FaaConfig) -> FaaEngine {
         FaaEngine {
-            channel: ReliableChannel::new(channel, rc),
+            pool,
             config,
             in_flight: HashMap::new(),
             next_cookie: 0,
@@ -129,30 +165,41 @@ impl FaaEngine {
 
     /// Counters.
     pub fn stats(&self) -> FaaStats {
-        let ch = self.channel.stats();
+        let ch = self.pool.channel_stats();
         let mut s = self.stats;
         s.acks = ch.acks;
         s.naks = ch.naks;
         s.retransmits = ch.retransmits;
         s.faa_sent = ch.ops_issued + ch.retransmits;
         s.channel = ch;
+        s.pool = self.pool.stats();
         s
     }
 
-    /// The switch port of the memory server this engine talks to.
-    pub fn server_port(&self) -> extmem_types::PortId {
-        self.channel.server_port()
+    /// The switch port of the (current primary) memory server.
+    pub fn server_port(&self) -> PortId {
+        self.pool.server_port()
+    }
+
+    /// Whether `port` belongs to any memory server in this engine's pool.
+    pub fn owns_port(&self, port: PortId) -> bool {
+        self.pool.owns_port(port)
+    }
+
+    /// The replication pool underneath (health/failover inspection).
+    pub fn pool(&self) -> &ReplicatedPool {
+        &self.pool
     }
 
     /// The number of counter slots the region holds.
     pub fn slots(&self) -> u64 {
-        self.channel.region_len() / 8
+        self.pool.region_len() / 8
     }
 
-    /// Whether the reliability layer gave up (retry cap exhausted) and the
-    /// engine is accumulating locally only.
+    /// Whether every server is unreachable (single-server: retry cap
+    /// exhausted) and the engine is accumulating locally only.
     pub fn is_degraded(&self) -> bool {
-        self.channel.is_failed()
+        self.pool.is_failed()
     }
 
     /// Sum (wrapping, i.e. modulo 2^64 — Count Sketch encodes −1 as
@@ -219,31 +266,32 @@ impl FaaEngine {
         self.pump(ctx);
     }
 
-    /// Periodic maintenance: re-issue anything the window now has room for.
+    /// Periodic maintenance: re-issue anything the window now has room for
+    /// and flush pending mirror deltas (anti-entropy, replicated pools).
     /// The channel's retransmission/age-out deadline runs on its own
     /// cancellable timer (see [`FaaEngine::on_timer`]); this only pumps.
     pub fn tick(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
         self.pump(ctx);
+        self.pool.sync_mirrors(ctx);
     }
 
-    /// Feed a timer expiration. Returns `true` if `token` was the channel's
-    /// retransmission-deadline timer and was consumed.
+    /// Feed a timer expiration. Returns `true` if `token` was one of the
+    /// pool's (a channel's retransmission deadline or the probe timer).
     pub fn on_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) -> bool {
-        if token != self.channel.timer_token() {
-            return false;
-        }
         let mut events = std::mem::take(&mut self.events);
-        self.channel.on_timer_fired(ctx, &mut events);
+        let consumed = self.pool.on_timer(ctx, token, &mut events);
         self.consume_events(&mut events);
         self.events = events;
-        self.pump(ctx);
-        true
+        if consumed {
+            self.pump(ctx);
+        }
+        consumed
     }
 
     /// Issue ready slots while the outstanding window has room.
     fn pump(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
-        while !self.channel.is_failed()
-            && self.channel.outstanding_len() < self.config.max_outstanding
+        while !self.pool.is_failed()
+            && self.pool.outstanding_len() < self.config.max_outstanding
         {
             let Some(slot) = self.ready.pop_front() else {
                 break;
@@ -255,10 +303,10 @@ impl FaaEngine {
             if value == 0 {
                 continue;
             }
-            let va = self.channel.base_va() + slot * 8;
+            let va = self.pool.base_va() + slot * 8;
             let cookie = self.next_cookie;
             self.next_cookie += 1;
-            if self.channel.fetch_add(ctx, va, value, cookie) {
+            if self.pool.fetch_add(ctx, va, value, cookie) {
                 self.in_flight.insert(cookie, (slot, value));
             }
         }
@@ -290,11 +338,16 @@ impl FaaEngine {
         }
     }
 
-    /// Feed a RoCE packet from the memory server. Returns `true` if it was
-    /// consumed (an atomic ACK or NAK for this engine).
-    pub fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, roce: &RocePacket) -> bool {
+    /// Feed a RoCE packet that arrived on `in_port`. Returns `true` if it
+    /// was consumed (an ACK or NAK for one of this engine's servers).
+    pub fn on_roce(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        in_port: PortId,
+        roce: &RocePacket,
+    ) -> bool {
         let mut events = std::mem::take(&mut self.events);
-        let consumed = self.channel.on_roce(ctx, roce, &mut events);
+        let consumed = self.pool.on_roce(ctx, in_port, roce, &mut events);
         self.consume_events(&mut events);
         self.events = events;
         if consumed {

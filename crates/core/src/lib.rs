@@ -52,12 +52,14 @@ pub mod l2;
 pub mod lookup;
 pub mod lpm;
 pub mod packet_buffer;
+pub mod pool;
 pub mod sketch;
 pub mod slow_path;
 pub mod state_store;
 pub mod trace_store;
 
 pub use channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
+pub use pool::{Health, HealthDetector, PoolConfig, PoolStats, ReplicatedPool};
 pub use fib::Fib;
 pub use l2::L2Program;
 pub use lookup::{ActionEntry, ActionKind, LookupTableProgram};

@@ -20,6 +20,7 @@
 
 use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
 use crate::fib::Fib;
+use crate::pool::{PoolConfig, PoolStats, ReplicatedPool};
 use extmem_rnic::RnicNode;
 use extmem_switch::hash::flow_index;
 use extmem_switch::switch::RECIRC_PORT;
@@ -290,15 +291,18 @@ pub struct LookupStats {
     /// Ops abandoned by the reliability layer (a bounced packet lost to a
     /// channel failover is gone: it lived in remote memory).
     pub failed_ops: u64,
-    /// Reliability-layer counters for the underlying channel.
+    /// Reliability-layer counters for the underlying channel(s), merged
+    /// across the pool.
     pub channel: ChannelStats,
+    /// Replication-layer counters (all zero for single-server tables).
+    pub pool: PoolStats,
 }
 
 /// The lookup-table pipeline program.
 pub struct LookupTableProgram {
     /// L2 forwarding (also the post-action forwarding step).
     pub fib: Fib,
-    channel: ReliableChannel,
+    pool: ReplicatedPool,
     entry_size: u64,
     entries: u64,
     cache: Option<ExactMatchTable<FiveTuple, ActionEntry>>,
@@ -331,17 +335,47 @@ impl LookupTableProgram {
         entry_size: u64,
         cache_capacity: Option<usize>,
     ) -> LookupTableProgram {
+        let mut channel = ReliableChannel::new(channel, ReliableConfig::default());
+        channel.set_timer_token(TOKEN_RELIABILITY_TICK);
+        Self::over_pool(fib, ReplicatedPool::single(channel), entry_size, cache_capacity)
+    }
+
+    /// Create the program over a replicated pool of table servers (index 0
+    /// starts as primary). All servers must expose identical region
+    /// geometry; the control plane installs each action on every server.
+    pub fn replicated(
+        fib: Fib,
+        channels: Vec<RdmaChannel>,
+        entry_size: u64,
+        cache_capacity: Option<usize>,
+        pool_config: PoolConfig,
+    ) -> LookupTableProgram {
+        let mut pool = ReplicatedPool::new(
+            channels
+                .into_iter()
+                .map(|ch| ReliableChannel::new(ch, ReliableConfig::default()))
+                .collect(),
+            pool_config,
+        );
+        pool.set_timer_tokens(TOKEN_RELIABILITY_TICK);
+        Self::over_pool(fib, pool, entry_size, cache_capacity)
+    }
+
+    fn over_pool(
+        fib: Fib,
+        pool: ReplicatedPool,
+        entry_size: u64,
+        cache_capacity: Option<usize>,
+    ) -> LookupTableProgram {
         assert!(
             entry_size as usize > ACTION_LEN + LEN_FIELD,
             "entry too small"
         );
-        let entries = channel.region_len / entry_size;
+        let entries = pool.region_len() / entry_size;
         assert!(entries > 0, "region smaller than one entry");
-        let mut channel = ReliableChannel::new(channel, ReliableConfig::default());
-        channel.set_timer_token(TOKEN_RELIABILITY_TICK);
         LookupTableProgram {
             fib,
-            channel,
+            pool,
             entry_size,
             entries,
             cache: cache_capacity.map(|c| ExactMatchTable::new(c, Replacement::Lru)),
@@ -365,17 +399,23 @@ impl LookupTableProgram {
 
     /// Override the reliability policy (before traffic flows).
     pub fn with_reliability(mut self, rc: ReliableConfig) -> LookupTableProgram {
-        self.channel.set_config(rc);
+        self.pool.set_config(rc);
         self
     }
 
     /// Counters.
     pub fn stats(&self) -> LookupStats {
-        let ch = self.channel.stats();
+        let ch = self.pool.channel_stats();
         let mut s = self.stats;
         s.naks = ch.naks;
         s.channel = ch;
+        s.pool = self.pool.stats();
         s
+    }
+
+    /// The replication pool underneath (health/failover inspection).
+    pub fn pool(&self) -> &ReplicatedPool {
+        &self.pool
     }
 
     /// Whether the reliability layer gave up and misses punt to the slow
@@ -426,7 +466,7 @@ impl LookupTableProgram {
     fn remote_lookup(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, flow: FiveTuple, pkt: Packet) {
         self.stats.remote_lookups += 1;
         let slot = self.slot_of(&flow);
-        let entry_va = self.channel.base_va() + slot * self.entry_size;
+        let entry_va = self.pool.base_va() + slot * self.entry_size;
 
         // (1) WRITE [len][packet] into the slot's scratch area. No explicit
         // ACK: the READ right behind it completes both (in-order channel),
@@ -434,12 +474,12 @@ impl LookupTableProgram {
         let mut payload = Vec::with_capacity(LEN_FIELD + pkt.len());
         payload.extend_from_slice(&(pkt.len() as u16).to_be_bytes());
         payload.extend_from_slice(pkt.as_slice());
-        self.channel
+        self.pool
             .write(ctx, entry_va + ACTION_LEN as u64, payload, false, slot);
 
         // (2) READ back exactly [action][len][packet].
         let read_len = (ACTION_LEN + LEN_FIELD + pkt.len()) as u32;
-        self.channel.read(ctx, entry_va, read_len, slot);
+        self.pool.read(ctx, entry_va, read_len, slot);
     }
 
     /// Recirculate-mode miss: issue an action-only READ (once per slot)
@@ -466,8 +506,8 @@ impl LookupTableProgram {
         if self.pending_reads.insert(slot) {
             self.stats.remote_lookups += 1;
             self.stats.action_only_reads += 1;
-            let entry_va = self.channel.base_va() + slot * self.entry_size;
-            self.channel.read(ctx, entry_va, ACTION_LEN as u32, slot);
+            let entry_va = self.pool.base_va() + slot * self.entry_size;
+            self.pool.read(ctx, entry_va, ACTION_LEN as u32, slot);
         }
         let passes = self.recirc_passes.entry(slot).or_insert(0);
         *passes += 1;
@@ -510,9 +550,9 @@ impl LookupTableProgram {
         self.apply_and_forward(ctx, pkt, action);
     }
 
-    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, roce: &RocePacket) {
+    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, in_port: PortId, roce: &RocePacket) {
         let mut events = std::mem::take(&mut self.events);
-        self.channel.on_roce(ctx, roce, &mut events);
+        self.pool.on_roce(ctx, in_port, roce, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
     }
@@ -550,9 +590,9 @@ impl LookupTableProgram {
 
 impl PipelineProgram for LookupTableProgram {
     fn ingress(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, in_port: PortId, pkt: Packet) {
-        if in_port == self.channel.server_port() {
+        if self.pool.owns_port(in_port) {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
-                self.on_roce(ctx, &roce);
+                self.on_roce(ctx, in_port, &roce);
                 drop(roce);
                 extmem_wire::pool::recycle(pkt.into_payload());
                 return;
@@ -592,11 +632,8 @@ impl PipelineProgram for LookupTableProgram {
     }
 
     fn on_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) {
-        if token != TOKEN_RELIABILITY_TICK {
-            return;
-        }
         let mut events = std::mem::take(&mut self.events);
-        self.channel.on_timer_fired(ctx, &mut events);
+        self.pool.on_timer(ctx, token, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
     }

@@ -31,6 +31,7 @@
 //! impossible, not just unlikely.
 
 use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
+use crate::pool::{PoolConfig, PoolStats, ReplicatedPool};
 use crate::fib::Fib;
 use crate::lookup::{ActionEntry, ActionKind, ACTION_LEN};
 use extmem_rnic::RnicNode;
@@ -66,8 +67,11 @@ pub struct LpmStats {
     pub naks: u64,
     /// Misses forwarded FIB-only because the channel failed over.
     pub degraded_fallbacks: u64,
-    /// Reliability-layer counters for the underlying channel.
+    /// Reliability-layer counters for the underlying channel(s), merged
+    /// across the pool.
     pub channel: ChannelStats,
+    /// Replication-layer counters (all zero for single-server ladders).
+    pub pool: PoolStats,
 }
 
 /// One in-flight lookup: the waiting packet plus the responses collected
@@ -83,7 +87,7 @@ struct PendingLookup {
 pub struct RemoteLpmProgram {
     /// Plain L2 forwarding for non-IPv4 traffic and no-route fallback.
     pub fib: Fib,
-    channel: ReliableChannel,
+    pool: ReplicatedPool,
     /// Prefix lengths, longest first (e.g. `[32, 24, 16, 8]`).
     levels: Vec<u8>,
     slots_per_level: u64,
@@ -134,19 +138,49 @@ impl RemoteLpmProgram {
     pub fn new(
         fib: Fib,
         channel: RdmaChannel,
+        levels: Vec<u8>,
+        cache_capacity: Option<usize>,
+    ) -> RemoteLpmProgram {
+        let mut channel = ReliableChannel::new(channel, ReliableConfig::default());
+        channel.set_timer_token(TOKEN_RELIABILITY_TICK);
+        Self::over_pool(fib, ReplicatedPool::single(channel), levels, cache_capacity)
+    }
+
+    /// Create the program over a replicated pool of rung servers (index 0
+    /// starts as primary). The control plane installs every route on every
+    /// server.
+    pub fn replicated(
+        fib: Fib,
+        channels: Vec<RdmaChannel>,
+        levels: Vec<u8>,
+        cache_capacity: Option<usize>,
+        pool_config: PoolConfig,
+    ) -> RemoteLpmProgram {
+        let mut pool = ReplicatedPool::new(
+            channels
+                .into_iter()
+                .map(|ch| ReliableChannel::new(ch, ReliableConfig::default()))
+                .collect(),
+            pool_config,
+        );
+        pool.set_timer_tokens(TOKEN_RELIABILITY_TICK);
+        Self::over_pool(fib, pool, levels, cache_capacity)
+    }
+
+    fn over_pool(
+        fib: Fib,
+        pool: ReplicatedPool,
         mut levels: Vec<u8>,
         cache_capacity: Option<usize>,
     ) -> RemoteLpmProgram {
         assert!(!levels.is_empty(), "need at least one prefix length");
         assert!(levels.iter().all(|&l| l <= 32), "IPv4 prefix lengths only");
         normalize_levels(&mut levels);
-        let slots_per_level = channel.region_len / (levels.len() as u64 * ACTION_LEN as u64);
+        let slots_per_level = pool.region_len() / (levels.len() as u64 * ACTION_LEN as u64);
         assert!(slots_per_level > 0, "region smaller than one slot per rung");
-        let mut channel = ReliableChannel::new(channel, ReliableConfig::default());
-        channel.set_timer_token(TOKEN_RELIABILITY_TICK);
         RemoteLpmProgram {
             fib,
-            channel,
+            pool,
             levels,
             slots_per_level,
             cache: cache_capacity.map(|c| ExactMatchTable::new(c, Replacement::Lru)),
@@ -160,17 +194,23 @@ impl RemoteLpmProgram {
 
     /// Override the reliability policy (before traffic flows).
     pub fn with_reliability(mut self, rc: ReliableConfig) -> RemoteLpmProgram {
-        self.channel.set_config(rc);
+        self.pool.set_config(rc);
         self
     }
 
     /// Counters.
     pub fn stats(&self) -> LpmStats {
-        let ch = self.channel.stats();
+        let ch = self.pool.channel_stats();
         let mut s = self.stats;
         s.naks = ch.naks;
         s.channel = ch;
+        s.pool = self.pool.stats();
         s
+    }
+
+    /// The replication pool underneath (health/failover inspection).
+    pub fn pool(&self) -> &ReplicatedPool {
+        &self.pool
     }
 
     /// Whether the reliability layer gave up and misses forward FIB-only.
@@ -187,7 +227,7 @@ impl RemoteLpmProgram {
     fn slot_va(&self, level_idx: usize, dst: u32) -> u64 {
         let level = self.levels[level_idx];
         let slot = hash_to_index(&rung_key(level, dst), self.slots_per_level);
-        self.channel.base_va()
+        self.pool.base_va()
             + (level_idx as u64 * self.slots_per_level + slot) * ACTION_LEN as u64
     }
 
@@ -229,9 +269,9 @@ impl RemoteLpmProgram {
         }
     }
 
-    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, roce: &RocePacket) {
+    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, in_port: PortId, roce: &RocePacket) {
         let mut events = std::mem::take(&mut self.events);
-        self.channel.on_roce(ctx, roce, &mut events);
+        self.pool.on_roce(ctx, in_port, roce, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
     }
@@ -292,9 +332,9 @@ impl RemoteLpmProgram {
 
 impl PipelineProgram for RemoteLpmProgram {
     fn ingress(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, in_port: PortId, pkt: Packet) {
-        if in_port == self.channel.server_port() {
+        if self.pool.owns_port(in_port) {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
-                self.on_roce(ctx, &roce);
+                self.on_roce(ctx, in_port, &roce);
                 return;
             }
         }
@@ -328,7 +368,7 @@ impl PipelineProgram for RemoteLpmProgram {
         self.next_id += 1;
         for i in 0..rungs {
             let va = self.slot_va(i, dst);
-            self.channel
+            self.pool
                 .read(ctx, va, ACTION_LEN as u32, id * rungs as u64 + i as u64);
         }
         self.pending.insert(
@@ -343,11 +383,8 @@ impl PipelineProgram for RemoteLpmProgram {
     }
 
     fn on_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) {
-        if token != TOKEN_RELIABILITY_TICK {
-            return;
-        }
         let mut events = std::mem::take(&mut self.events);
-        self.channel.on_timer_fired(ctx, &mut events);
+        self.pool.on_timer(ctx, token, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
     }

@@ -32,6 +32,7 @@
 
 use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
 use crate::fib::Fib;
+use crate::pool::{PoolConfig, PoolStats, ReplicatedPool};
 use extmem_switch::{PipelineProgram, SwitchCtx};
 use extmem_types::{PortId, TimeDelta};
 use extmem_wire::roce::RocePacket;
@@ -97,6 +98,9 @@ pub struct PacketBufferStats {
     pub reads_issued: u64,
     /// Reliability-layer counters, aggregated across channels.
     pub channel: ChannelStats,
+    /// Replication-layer counters, aggregated across stripes (all zero
+    /// without mirrors).
+    pub pool: PoolStats,
 }
 
 /// The packet-buffer pipeline program. Wraps plain L2 forwarding; traffic
@@ -104,8 +108,12 @@ pub struct PacketBufferStats {
 pub struct PacketBufferProgram {
     /// L2 forwarding for all traffic.
     pub fib: Fib,
-    channels: Vec<ReliableChannel>,
-    /// Entries each channel's region holds.
+    /// One pool per ring stripe (a pool is one server, or primary +
+    /// mirrors when replicated).
+    pools: Vec<ReplicatedPool>,
+    /// First program timer token past this program's pools' ranges.
+    timer_tokens_end: u64,
+    /// Entries each stripe's region holds.
     per_channel_entries: u64,
     protected_port: PortId,
     entry_size: u64,
@@ -149,17 +157,86 @@ impl PacketBufferProgram {
         rto: TimeDelta,
     ) -> PacketBufferProgram {
         assert!(!channels.is_empty(), "need at least one channel");
+        let rc = ReliableConfig {
+            rto,
+            ..Default::default()
+        };
+        let pools = channels
+            .into_iter()
+            .map(|c| ReplicatedPool::single(ReliableChannel::new(c, rc)))
+            .collect();
+        Self::from_pools(
+            fib,
+            pools,
+            protected_port,
+            entry_size,
+            mode,
+            max_outstanding_reads,
+        )
+    }
+
+    /// Create the program with each ring stripe backed by a *replicated*
+    /// pool of memory servers: `stripes[i]` lists stripe `i`'s servers
+    /// (index 0 the primary, the rest mirrors). Stored packets fan out to
+    /// every live replica, so a primary crash loses no buffered packets —
+    /// READs fail over to a mirror. Rejoin promotion is gated on the ring
+    /// draining (`auto_promote` is forced off): a restarted server's ring
+    /// window is stale, so it only rejoins between bursts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replicated(
+        fib: Fib,
+        stripes: Vec<Vec<RdmaChannel>>,
+        protected_port: PortId,
+        entry_size: u64,
+        mode: Mode,
+        max_outstanding_reads: u64,
+        rto: TimeDelta,
+        pool_config: PoolConfig,
+    ) -> PacketBufferProgram {
+        let rc = ReliableConfig {
+            rto,
+            ..Default::default()
+        };
+        let pc = PoolConfig {
+            auto_promote: false,
+            ..pool_config
+        };
+        let pools = stripes
+            .into_iter()
+            .map(|servers| {
+                ReplicatedPool::new(
+                    servers
+                        .into_iter()
+                        .map(|c| ReliableChannel::new(c, rc))
+                        .collect(),
+                    pc,
+                )
+            })
+            .collect();
+        Self::from_pools(
+            fib,
+            pools,
+            protected_port,
+            entry_size,
+            mode,
+            max_outstanding_reads,
+        )
+    }
+
+    fn from_pools(
+        fib: Fib,
+        mut pools: Vec<ReplicatedPool>,
+        protected_port: PortId,
+        entry_size: u64,
+        mode: Mode,
+        max_outstanding_reads: u64,
+    ) -> PacketBufferProgram {
+        assert!(!pools.is_empty(), "need at least one stripe");
         assert!(entry_size as usize > ENTRY_HDR, "entry too small");
         assert!(
             max_outstanding_reads > 0,
             "need at least one outstanding read"
         );
-        let per_channel_entries = channels
-            .iter()
-            .map(|c| c.region_len / entry_size)
-            .min()
-            .unwrap();
-        assert!(per_channel_entries > 0, "region smaller than one entry");
         if let Mode::Auto {
             start_store_qbytes,
             resume_load_qbytes,
@@ -170,22 +247,24 @@ impl PacketBufferProgram {
                 "resume threshold above start threshold would oscillate"
             );
         }
-        let k = channels.len() as u64;
-        let rc = ReliableConfig {
-            rto,
-            ..Default::default()
-        };
+        let per_channel_entries = pools
+            .iter()
+            .map(|p| p.region_len() / entry_size)
+            .min()
+            .unwrap();
+        assert!(per_channel_entries > 0, "region smaller than one entry");
+        // Lay out timer tokens: each pool takes `server_count + 1` tokens
+        // (one retransmission deadline per channel plus the probe timer).
+        let mut next = TOKEN_CHANNEL_TIMER_BASE;
+        for pool in &mut pools {
+            pool.set_timer_tokens(next);
+            next += pool.server_count() as u64 + 1;
+        }
+        let k = pools.len() as u64;
         PacketBufferProgram {
             fib,
-            channels: channels
-                .into_iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    let mut ch = ReliableChannel::new(c, rc);
-                    ch.set_timer_token(TOKEN_CHANNEL_TIMER_BASE + i as u64);
-                    ch
-                })
-                .collect(),
+            pools,
+            timer_tokens_end: next,
             per_channel_entries,
             protected_port,
             entry_size,
@@ -207,12 +286,12 @@ impl PacketBufferProgram {
     /// they are not stuck behind (or dropped with) bulk data sharing the
     /// server-facing ports (§7).
     pub fn with_high_priority_rdma(mut self) -> PacketBufferProgram {
-        for ch in &mut self.channels {
+        for pool in &mut self.pools {
             let rc = ReliableConfig {
                 high_priority: true,
-                ..ch.config()
+                ..pool.config()
             };
-            ch.set_config(rc);
+            pool.set_config(rc);
         }
         self
     }
@@ -222,8 +301,8 @@ impl PacketBufferProgram {
     /// [`Self::with_high_priority_rdma`] — apply it afterwards if both are
     /// wanted.
     pub fn with_reliability(mut self, rc: ReliableConfig) -> PacketBufferProgram {
-        for ch in &mut self.channels {
-            ch.set_config(rc);
+        for pool in &mut self.pools {
+            pool.set_config(rc);
         }
         self
     }
@@ -232,17 +311,27 @@ impl PacketBufferProgram {
     pub fn stats(&self) -> PacketBufferStats {
         let mut s = self.stats;
         let mut agg = ChannelStats::default();
-        for ch in &self.channels {
-            agg.merge(&ch.stats());
+        let mut pagg = PoolStats::default();
+        for pool in &self.pools {
+            agg.merge(&pool.channel_stats());
+            pagg.merge(&pool.stats());
         }
         s.naks = agg.naks;
         s.channel = agg;
+        s.pool = pagg;
         s
     }
 
-    /// Per-channel reliability counters (index = channel index).
+    /// Per-stripe reliability counters (index = stripe index; merged
+    /// across a stripe's replicas).
     pub fn channel_stats(&self) -> Vec<ChannelStats> {
-        self.channels.iter().map(|c| c.stats()).collect()
+        self.pools.iter().map(|p| p.channel_stats()).collect()
+    }
+
+    /// The replication pool behind stripe `i` (health/failover
+    /// inspection).
+    pub fn pool(&self, i: usize) -> &ReplicatedPool {
+        &self.pools[i]
     }
 
     /// Whether any channel failed over (new traffic no longer detours).
@@ -265,17 +354,17 @@ impl PacketBufferProgram {
         self.protected_port
     }
 
-    /// `(channel index, VA)` of ring entry `idx`.
+    /// `(stripe index, VA)` of ring entry `idx`.
     fn locate(&self, idx: u64) -> (usize, u64) {
-        let k = self.channels.len() as u64;
+        let k = self.pools.len() as u64;
         let ch = (idx % k) as usize;
         let slot = (idx / k) % self.per_channel_entries;
-        (ch, self.channels[ch].base_va() + slot * self.entry_size)
+        (ch, self.pools[ch].base_va() + slot * self.entry_size)
     }
 
-    /// The channel whose memory server is attached to `port`, if any.
-    fn channel_of_port(&self, port: PortId) -> Option<usize> {
-        self.channels.iter().position(|c| c.server_port() == port)
+    /// The stripe whose pool has a memory server attached to `port`.
+    fn pool_of_port(&self, port: PortId) -> Option<usize> {
+        self.pools.iter().position(|p| p.owns_port(port))
     }
 
     /// Whether a freshly arriving protected-port packet must detour.
@@ -328,7 +417,7 @@ impl PacketBufferProgram {
         payload.extend_from_slice(&(pkt.len() as u16).to_be_bytes());
         payload.extend_from_slice(pkt.as_slice());
         let (ch, va) = self.locate(idx);
-        if !self.channels[ch].write(ctx, va, payload, true, idx) {
+        if !self.pools[ch].write(ctx, va, payload, true, idx) {
             // Failed over between the detour decision and the write: the
             // packet takes the local queue instead.
             self.enqueue_protected(ctx, pkt);
@@ -360,7 +449,7 @@ impl PacketBufferProgram {
             {
                 let idx = self.next_read_idx;
                 let (ch, va) = self.locate(idx);
-                if self.channels[ch].read(ctx, va, self.entry_size as u32, idx) {
+                if self.pools[ch].read(ctx, va, self.entry_size as u32, idx) {
                     self.stats.reads_issued += 1;
                 } else {
                     self.reorder.entry(idx).or_insert(None);
@@ -377,10 +466,15 @@ impl PacketBufferProgram {
         }
     }
 
-    /// Channel `ch`'s retransmission deadline fired.
-    fn channel_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, ch: usize) {
+    /// One of the pools' timers fired (a channel's retransmission
+    /// deadline or a probe timer).
+    fn pool_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) {
         let mut events = std::mem::take(&mut self.events);
-        self.channels[ch].on_timer_fired(ctx, &mut events);
+        for pool in &mut self.pools {
+            if pool.on_timer(ctx, token, &mut events) {
+                break;
+            }
+        }
         self.consume_events(ctx, &mut events);
         self.events = events;
     }
@@ -439,10 +533,16 @@ impl PacketBufferProgram {
         self.release_ready(ctx);
     }
 
-    /// Handle a RoCE packet arriving from memory server `ch`.
-    fn on_roce(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, ch: usize, roce: &RocePacket) {
+    /// Handle a RoCE packet arriving on `in_port` from stripe `ch`.
+    fn on_roce(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        ch: usize,
+        in_port: PortId,
+        roce: &RocePacket,
+    ) {
         let mut events = std::mem::take(&mut self.events);
-        self.channels[ch].on_roce(ctx, roce, &mut events);
+        self.pools[ch].on_roce(ctx, in_port, roce, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
     }
@@ -464,14 +564,30 @@ impl PacketBufferProgram {
         }
         self.release_ready(ctx);
         self.try_issue_reads(ctx);
+        self.maybe_complete_rejoins(ctx);
+    }
+
+    /// Rejoin gate: a restarted replica's ring window is stale, so it is
+    /// promoted back to mirror only once the ring has fully drained (every
+    /// entry written before the crash has been released). From then on
+    /// WRITE fanout keeps it current.
+    fn maybe_complete_rejoins(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        if self.ring_occupancy() != 0 {
+            return;
+        }
+        for pool in &mut self.pools {
+            if pool.rejoin_pending() {
+                pool.complete_rejoin(ctx);
+            }
+        }
     }
 }
 
 impl PipelineProgram for PacketBufferProgram {
     fn ingress(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, in_port: PortId, pkt: Packet) {
-        if let Some(ch) = self.channel_of_port(in_port) {
+        if let Some(ch) = self.pool_of_port(in_port) {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
-                self.on_roce(ctx, ch, &roce);
+                self.on_roce(ctx, ch, in_port, &roce);
                 drop(roce);
                 extmem_wire::pool::recycle(pkt.into_payload());
                 return;
@@ -505,10 +621,8 @@ impl PipelineProgram for PacketBufferProgram {
                 self.loading_enabled = true;
                 self.try_issue_reads(ctx);
             }
-            t if t >= TOKEN_CHANNEL_TIMER_BASE
-                && t < TOKEN_CHANNEL_TIMER_BASE + self.channels.len() as u64 =>
-            {
-                self.channel_timer(ctx, (t - TOKEN_CHANNEL_TIMER_BASE) as usize);
+            t if t >= TOKEN_CHANNEL_TIMER_BASE && t < self.timer_tokens_end => {
+                self.pool_timer(ctx, t);
             }
             _ => {}
         }

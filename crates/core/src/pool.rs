@@ -1,0 +1,1183 @@
+//! Replicated remote-memory pools: N servers behind one channel-shaped API.
+//!
+//! The paper assumes the memory server stays up; the reliability layer
+//! (PR 3) already survives packet loss but treats a dead server as
+//! terminal. This module makes server death survivable: a primitive binds
+//! to a *pool* of N symmetric servers (one primary, N−1 mirrors) instead of
+//! one [`ReliableChannel`]. The pool:
+//!
+//! * fans WRITEs out to the primary and every live mirror (the caller's
+//!   completion tracks the primary);
+//! * sends READs and Fetch-and-Adds to the primary only, accumulating each
+//!   FaA's delta per mirror so a mirror's counters can be reconciled by
+//!   replay (an anti-entropy flush, [`ReplicatedPool::sync_mirrors`],
+//!   keeps live mirrors converged between failovers);
+//! * watches each server with a [`HealthDetector`] (`Healthy → Suspect →
+//!   Down → Rejoining`) driven by the channel's timeout/ACK counters, and
+//!   aborts the primary's channel the moment the detector trips — failover
+//!   latency is the detector threshold, not the channel retry cap;
+//! * on primary failure promotes the best mirror, replays its outstanding
+//!   delta, and reissues the caller ops that were in flight (same cookies,
+//!   so the owning primitive never notices);
+//! * probes Down servers with periodic 8-byte READs over a channel re-armed
+//!   at a fresh PSN ([`ReliableChannel::recover_at`]); a answered probe
+//!   moves the server to `Rejoining`, after which its state is re-seeded
+//!   (counters copied from the current primary) or — for primitives with
+//!   their own drain discipline, like the packet buffer — promotion waits
+//!   for the caller's [`ReplicatedPool::complete_rejoin`].
+//!
+//! A single-server pool ([`ReplicatedPool::single`]) is a strict
+//! passthrough with no tracking overhead, so existing single-server
+//! primitives pay nothing.
+
+use crate::channel::{ChannelEvent, ReliableChannel};
+use extmem_switch::SwitchCtx;
+use extmem_types::{PortId, Rkey, TimeDelta};
+use extmem_wire::bth::psn_add;
+use extmem_wire::Payload;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Cookie-space split: the pool's internal ops (mirror writes, probes,
+/// delta replays, reseed copies) carry the top bit; caller cookies must
+/// leave it clear.
+const INTERNAL_BIT: u64 = 1 << 63;
+
+/// How far `recover_at` jumps the PSN past the dead window. Far larger
+/// than any transmit window (`max_window` ≤ a few hundred), so a straggler
+/// response from the old incarnation can never alias into the recovered
+/// window's dedup horizon.
+const PSN_JUMP: u32 = 1 << 20;
+
+/// Health of one pool server, as judged by its [`HealthDetector`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Responding normally.
+    Healthy,
+    /// Missed at least one timeout round; not yet written off.
+    Suspect,
+    /// Past the consecutive-failure threshold (or its channel failed).
+    /// Excluded from fanout; probed for recovery.
+    Down,
+    /// A probe answered: the server is back but its state is stale; it
+    /// rejoins the mirror set once reconciliation completes.
+    Rejoining,
+}
+
+/// Per-server failure detector: a pure state machine over timeout/ACK/probe
+/// observations, deliberately free of channel plumbing so it can be
+/// property-tested exhaustively (`tests/robustness_proptests.rs`).
+///
+/// Transitions:
+///
+/// * `on_timeout`: `Healthy → Suspect`; at `threshold` *consecutive*
+///   timeouts, `Suspect → Down`. Never reaches `Down` earlier.
+/// * `on_ack`: resets the consecutive count; `Suspect → Healthy`.
+/// * `on_channel_failed`: forced `Down` from any state (the reliability
+///   layer exhausted its retries or was aborted).
+/// * `on_probe_success`: `Down → Rejoining` — the only way in.
+/// * `on_rejoin_complete`: `Rejoining → Healthy`.
+/// * `on_rejoin_aborted`: `Rejoining → Down` (reconciliation failed).
+#[derive(Clone, Copy, Debug)]
+pub struct HealthDetector {
+    state: Health,
+    consecutive_failures: u32,
+    threshold: u32,
+}
+
+impl HealthDetector {
+    /// A detector declaring `Down` after `threshold` consecutive timeouts.
+    pub fn new(threshold: u32) -> HealthDetector {
+        assert!(threshold > 0, "a zero threshold would start servers Down");
+        HealthDetector {
+            state: Health::Healthy,
+            consecutive_failures: 0,
+            threshold,
+        }
+    }
+
+    /// Current health state.
+    pub fn state(&self) -> Health {
+        self.state
+    }
+
+    /// Consecutive timeout rounds without progress.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// A retransmission-timeout round fired with no response.
+    pub fn on_timeout(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            Health::Healthy => self.state = Health::Suspect,
+            Health::Suspect => {
+                if self.consecutive_failures >= self.threshold {
+                    self.state = Health::Down;
+                }
+            }
+            // Down stays Down (probes decide recovery); a Rejoining server's
+            // fate is decided by its reconciliation traffic, not raw timeouts.
+            Health::Down | Health::Rejoining => {}
+        }
+    }
+
+    /// The server responded (ACK or NAK — either proves liveness).
+    pub fn on_ack(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == Health::Suspect {
+            self.state = Health::Healthy;
+        }
+    }
+
+    /// The reliability layer gave up on this server.
+    pub fn on_channel_failed(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.max(self.threshold);
+        self.state = Health::Down;
+    }
+
+    /// A probe READ completed against the restarted server.
+    pub fn on_probe_success(&mut self) {
+        if self.state == Health::Down {
+            self.state = Health::Rejoining;
+        }
+    }
+
+    /// Reconciliation finished; the server is a live mirror again.
+    pub fn on_rejoin_complete(&mut self) {
+        if self.state == Health::Rejoining {
+            self.state = Health::Healthy;
+            self.consecutive_failures = 0;
+        }
+    }
+
+    /// Reconciliation was cut short (e.g. the reseed source died).
+    pub fn on_rejoin_aborted(&mut self) {
+        if self.state == Health::Rejoining {
+            self.state = Health::Down;
+        }
+    }
+}
+
+/// Policy knobs for a replicated pool.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Consecutive timeout rounds before a server is declared `Down`. The
+    /// pool aborts the primary's channel when this trips, so failover
+    /// happens within `threshold` RTO rounds even if the channel's own
+    /// retry cap is higher.
+    pub down_threshold: u32,
+    /// Period of the probe timer while any server is `Down`.
+    pub probe_interval: TimeDelta,
+    /// Give up probing after this many probes (`None` = keep trying). A
+    /// bound keeps `run_to_quiescence`-style drivers terminating when a
+    /// server never comes back.
+    pub max_probes: Option<u32>,
+    /// Promote a `Rejoining` server back to mirror as soon as
+    /// reconciliation (if any) completes. Primitives with their own drain
+    /// discipline (the packet buffer: ring must empty first) set this
+    /// `false` and call [`ReplicatedPool::complete_rejoin`] themselves.
+    pub auto_promote: bool,
+    /// Re-seed a rejoining server's atomically-updated words by copying
+    /// them from the current primary (state-store counters). Without it a
+    /// rejoiner comes back cold (packet buffer, lookup).
+    pub reseed_atomics: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            down_threshold: 3,
+            probe_interval: TimeDelta::from_micros(200),
+            max_probes: Some(64),
+            auto_promote: true,
+            reseed_atomics: false,
+        }
+    }
+}
+
+/// Pool-level counters, surfaced next to [`crate::channel::ChannelStats`]
+/// in every primitive's stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Servers in the pool.
+    pub servers: u32,
+    /// Servers currently `Down` or `Rejoining`.
+    pub unavailable: u32,
+    /// Primary promotions (a mirror took over).
+    pub failovers: u64,
+    /// Probe READs issued at Down servers.
+    pub probes: u64,
+    /// Servers promoted back to mirror after a crash.
+    pub rejoins: u64,
+    /// Fan-out WRITE copies issued to mirrors.
+    pub mirror_writes: u64,
+    /// FaA deltas recorded for later mirror replay.
+    pub delta_accumulated: u64,
+    /// Delta FaAs replayed onto mirrors (anti-entropy + promotion).
+    pub delta_replayed: u64,
+    /// Reseed copy ops (READ from survivor + WRITE to rejoiner).
+    pub reseed_ops: u64,
+    /// In-flight caller ops transparently reissued on a new primary.
+    pub reissued_ops: u64,
+}
+
+impl PoolStats {
+    /// Aggregate across pools (multi-pool primitives, e.g. the striped
+    /// packet buffer).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.servers += other.servers;
+        self.unavailable += other.unavailable;
+        self.failovers += other.failovers;
+        self.probes += other.probes;
+        self.rejoins += other.rejoins;
+        self.mirror_writes += other.mirror_writes;
+        self.delta_accumulated += other.delta_accumulated;
+        self.delta_replayed += other.delta_replayed;
+        self.reseed_ops += other.reseed_ops;
+        self.reissued_ops += other.reissued_ops;
+    }
+
+    /// JSON object with every counter (same convention as
+    /// [`crate::channel::ChannelStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"servers\":{},\"unavailable\":{},\"failovers\":{},\"probes\":{},\
+             \"rejoins\":{},\"mirror_writes\":{},\"delta_accumulated\":{},\
+             \"delta_replayed\":{},\"reseed_ops\":{},\"reissued_ops\":{}}}",
+            self.servers,
+            self.unavailable,
+            self.failovers,
+            self.probes,
+            self.rejoins,
+            self.mirror_writes,
+            self.delta_accumulated,
+            self.delta_replayed,
+            self.reseed_ops,
+            self.reissued_ops,
+        )
+    }
+}
+
+impl fmt::Display for PoolStats {
+    /// Compact one-line form mirroring `ChannelStats`'s.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "servers={}/{} failovers={} probes={} rejoins={} mirror_wr={} \
+             delta={}+{} reseed={} reissued={}",
+            self.servers - self.unavailable,
+            self.servers,
+            self.failovers,
+            self.probes,
+            self.rejoins,
+            self.mirror_writes,
+            self.delta_accumulated,
+            self.delta_replayed,
+            self.reseed_ops,
+            self.reissued_ops,
+        )
+    }
+}
+
+/// A caller op in flight on the primary, kept so it can be reissued
+/// verbatim if the primary dies under it.
+#[derive(Clone, Debug)]
+enum PoolOp {
+    Write {
+        va: u64,
+        payload: Payload,
+        ack_req: bool,
+    },
+    Read {
+        va: u64,
+        len: u32,
+    },
+    Atomic {
+        va: u64,
+        add: u64,
+    },
+}
+
+/// A pool-internal op (top cookie bit set).
+#[derive(Clone, Debug)]
+enum InternalOp {
+    /// Fan-out WRITE copy on a mirror.
+    MirrorWrite,
+    /// Recovery probe READ at a Down server.
+    Probe { server: usize },
+    /// A FaA delta being replayed onto a mirror; re-accumulated on failure.
+    DeltaFaa { server: usize, va: u64, add: u64 },
+    /// Reseed: READ of a touched word from the current primary.
+    ReseedRead { target: usize, va: u64 },
+    /// Reseed: WRITE of that word into the rejoining server.
+    ReseedWrite { target: usize },
+}
+
+/// Reconciliation of one rejoining server (at most one at a time).
+#[derive(Debug)]
+struct Reseed {
+    target: usize,
+    /// Words whose copy (READ→WRITE round trip) hasn't landed yet.
+    pending: usize,
+}
+
+struct PoolServer {
+    channel: ReliableChannel,
+    health: HealthDetector,
+    /// Channel-stat watermarks for deriving detector inputs.
+    seen_timeouts: u64,
+    seen_progress: u64,
+    /// FaA updates applied to the primary but not yet to this server.
+    delta: BTreeMap<u64, u64>,
+}
+
+impl fmt::Debug for PoolServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolServer")
+            .field("health", &self.health.state())
+            .field("port", &self.channel.server_port())
+            .finish()
+    }
+}
+
+/// N symmetric remote-memory servers behind the same channel-shaped API
+/// the primitives already speak (`write`/`read`/`fetch_add`/`on_roce`/
+/// `on_timer`), plus health monitoring, failover and rejoin. See the
+/// module docs for the replication rules.
+#[derive(Debug)]
+pub struct ReplicatedPool {
+    servers: Vec<PoolServer>,
+    primary: usize,
+    config: PoolConfig,
+    /// Caller ops in flight on the primary (replicated pools only), FIFO
+    /// per cookie — the lookup primitive issues a WRITE+READ pair under one
+    /// cookie, and the channel completes in issue order, so completions pop
+    /// from the front.
+    ops: HashMap<u64, VecDeque<PoolOp>>,
+    /// Pool-internal ops in flight anywhere.
+    internal: HashMap<u64, InternalOp>,
+    next_internal: u64,
+    /// Caller cookies failed by the dying primary, awaiting reissue.
+    orphans: Vec<u64>,
+    /// `(server, cookie)`: caller atomics already covered by that server's
+    /// in-progress reseed snapshot — their deltas must not double-apply.
+    delta_skip: HashSet<(usize, u64)>,
+    /// Every word ever touched by a caller FaA (the reseed copy list).
+    touched: BTreeSet<u64>,
+    reseed: Option<Reseed>,
+    probe_armed: bool,
+    timer_base: u64,
+    failed: bool,
+    stats: PoolStats,
+}
+
+impl ReplicatedPool {
+    /// A single-server pool: a strict passthrough to `channel` with zero
+    /// tracking overhead. Every existing single-server constructor wraps
+    /// its channel this way.
+    pub fn single(channel: ReliableChannel) -> ReplicatedPool {
+        Self::build(vec![channel], PoolConfig::default())
+    }
+
+    /// A replicated pool over `channels` (index 0 starts as primary). All
+    /// servers must present the same region geometry — the controller
+    /// registers identical layouts on each.
+    pub fn new(channels: Vec<ReliableChannel>, config: PoolConfig) -> ReplicatedPool {
+        assert!(!channels.is_empty(), "a pool needs at least one server");
+        if channels.len() > 1 {
+            let (rkey, va, len) = (
+                channels[0].rkey(),
+                channels[0].base_va(),
+                channels[0].region_len(),
+            );
+            for ch in &channels[1..] {
+                assert!(
+                    ch.rkey() == rkey && ch.base_va() == va && ch.region_len() == len,
+                    "pool servers must expose identical region triples"
+                );
+                assert!(
+                    ch.config().reliable,
+                    "replicated pools require reliable channels"
+                );
+            }
+        }
+        Self::build(channels, config)
+    }
+
+    fn build(mut channels: Vec<ReliableChannel>, config: PoolConfig) -> ReplicatedPool {
+        let timer_base = channels[0].timer_token();
+        // Every channel needs its own retransmission-timer token; lay them
+        // out consecutively from the first channel's (a no-op for N=1).
+        for (i, ch) in channels.iter_mut().enumerate().skip(1) {
+            ch.set_timer_token(timer_base + i as u64);
+        }
+        let n = channels.len() as u32;
+        ReplicatedPool {
+            servers: channels
+                .into_iter()
+                .map(|channel| PoolServer {
+                    channel,
+                    health: HealthDetector::new(config.down_threshold),
+                    seen_timeouts: 0,
+                    seen_progress: 0,
+                    delta: BTreeMap::new(),
+                })
+                .collect(),
+            primary: 0,
+            config,
+            ops: HashMap::new(),
+            internal: HashMap::new(),
+            next_internal: 0,
+            orphans: Vec::new(),
+            delta_skip: HashSet::new(),
+            touched: BTreeSet::new(),
+            reseed: None,
+            probe_armed: false,
+            timer_base,
+            failed: false,
+            stats: PoolStats {
+                servers: n,
+                ..PoolStats::default()
+            },
+        }
+    }
+
+    /// Assign the pool's timer-token range: channel `i` arms `base + i`,
+    /// and the probe timer uses `base + server_count`. Call before traffic.
+    pub fn set_timer_tokens(&mut self, base: u64) {
+        for (i, s) in self.servers.iter_mut().enumerate() {
+            s.channel.set_timer_token(base + i as u64);
+        }
+        self.timer_base = base;
+    }
+
+    fn probe_token(&self) -> u64 {
+        self.timer_base + self.servers.len() as u64
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Index of the current primary.
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// Health of server `i`.
+    pub fn health(&self, i: usize) -> Health {
+        self.servers[i].health.state()
+    }
+
+    /// Whether `port` belongs to any of this pool's servers.
+    pub fn owns_port(&self, port: PortId) -> bool {
+        self.servers.iter().any(|s| s.channel.server_port() == port)
+    }
+
+    /// The current primary's switch port.
+    pub fn server_port(&self) -> PortId {
+        self.servers[self.primary].channel.server_port()
+    }
+
+    /// Remote access key (identical across servers).
+    pub fn rkey(&self) -> Rkey {
+        self.servers[0].channel.rkey()
+    }
+
+    /// Base VA of the region (identical across servers).
+    pub fn base_va(&self) -> u64 {
+        self.servers[0].channel.base_va()
+    }
+
+    /// Region length in bytes (identical across servers).
+    pub fn region_len(&self) -> u64 {
+        self.servers[0].channel.region_len()
+    }
+
+    /// The primary's underlying channel (tests/diagnostics).
+    pub fn primary_channel(&self) -> &ReliableChannel {
+        &self.servers[self.primary].channel
+    }
+
+    /// The reliability config in force (shared by every replica).
+    pub fn config(&self) -> crate::channel::ReliableConfig {
+        self.servers[0].channel.config()
+    }
+
+    /// Override the reliability policy on every server's channel (before
+    /// traffic flows). Replicated pools must stay reliable — mirror
+    /// reconciliation replays completions.
+    pub fn set_config(&mut self, rc: crate::channel::ReliableConfig) {
+        assert!(
+            rc.reliable || self.servers.len() == 1,
+            "replicated pools require reliable channels"
+        );
+        for s in &mut self.servers {
+            s.channel.set_config(rc);
+        }
+    }
+
+    /// Whether the pool as a whole has degraded: every server is gone (or
+    /// the lone server of a passthrough pool failed). Mirrors
+    /// [`ReliableChannel::is_failed`] for the primitives' fallback logic.
+    pub fn is_failed(&self) -> bool {
+        if self.servers.len() == 1 {
+            return self.servers[0].channel.is_failed();
+        }
+        self.failed
+    }
+
+    /// Merged reliability counters across every server's channel.
+    pub fn channel_stats(&self) -> crate::channel::ChannelStats {
+        let mut out = crate::channel::ChannelStats::default();
+        for s in &self.servers {
+            out.merge(&s.channel.stats());
+        }
+        out
+    }
+
+    /// Pool-level counters.
+    pub fn stats(&self) -> PoolStats {
+        let mut s = self.stats;
+        s.unavailable = self
+            .servers
+            .iter()
+            .filter(|sv| matches!(sv.health.state(), Health::Down | Health::Rejoining))
+            .count() as u32;
+        s
+    }
+
+    /// Ops in flight on the primary's channel (the issuing-window gauge the
+    /// FaA engine's outstanding bound reads).
+    pub fn outstanding_len(&self) -> usize {
+        self.servers[self.primary].channel.outstanding_len()
+    }
+
+    /// Caller ops in flight on the primary plus queued behind its window.
+    pub fn backlog(&self) -> usize {
+        let ch = &self.servers[self.primary].channel;
+        ch.outstanding_len() + ch.queued_len()
+    }
+
+    /// Whether any server has answered a probe and now waits for the
+    /// caller's promotion gate (packet buffer: ring drained).
+    pub fn rejoin_pending(&self) -> bool {
+        self.reseed.is_none()
+            && self
+                .servers
+                .iter()
+                .any(|s| s.health.state() == Health::Rejoining)
+    }
+
+    fn alloc_internal(&mut self, op: InternalOp) -> u64 {
+        let cookie = INTERNAL_BIT | self.next_internal;
+        self.next_internal += 1;
+        self.internal.insert(cookie, op);
+        cookie
+    }
+
+    /// Issue a WRITE: primary (caller cookie) + a copy to every live
+    /// mirror. Returns `false` once the pool has wholly degraded.
+    pub fn write(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        va: u64,
+        payload: impl Into<Payload>,
+        ack_req: bool,
+        cookie: u64,
+    ) -> bool {
+        let payload = payload.into();
+        if self.servers.len() == 1 {
+            return self.servers[0].channel.write(ctx, va, payload, ack_req, cookie);
+        }
+        if self.failed {
+            return false;
+        }
+        debug_assert!(cookie & INTERNAL_BIT == 0, "caller cookies use bits 0..63");
+        for j in self.live_mirrors() {
+            let ic = self.alloc_internal(InternalOp::MirrorWrite);
+            // Mirror copies always request an explicit ACK: with no caller
+            // traffic behind them on that channel, an implicit completion
+            // might never come and the retransmission timer would wrongly
+            // fail the mirror.
+            self.servers[j]
+                .channel
+                .write(ctx, va, payload.clone(), true, ic);
+            self.stats.mirror_writes += 1;
+        }
+        self.ops.entry(cookie).or_default().push_back(PoolOp::Write {
+            va,
+            payload: payload.clone(),
+            ack_req,
+        });
+        self.servers[self.primary]
+            .channel
+            .write(ctx, va, payload, ack_req, cookie)
+    }
+
+    /// Issue a READ at the primary. Returns `false` once wholly degraded.
+    pub fn read(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, va: u64, len: u32, cookie: u64) -> bool {
+        if self.servers.len() == 1 {
+            return self.servers[0].channel.read(ctx, va, len, cookie);
+        }
+        if self.failed {
+            return false;
+        }
+        debug_assert!(cookie & INTERNAL_BIT == 0, "caller cookies use bits 0..63");
+        self.ops
+            .entry(cookie)
+            .or_default()
+            .push_back(PoolOp::Read { va, len });
+        self.servers[self.primary].channel.read(ctx, va, len, cookie)
+    }
+
+    /// Issue a Fetch-and-Add at the primary; the mirrors' copies are
+    /// reconciled by delta replay. Returns `false` once wholly degraded.
+    pub fn fetch_add(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        va: u64,
+        add: u64,
+        cookie: u64,
+    ) -> bool {
+        if self.servers.len() == 1 {
+            return self.servers[0].channel.fetch_add(ctx, va, add, cookie);
+        }
+        if self.failed {
+            return false;
+        }
+        debug_assert!(cookie & INTERNAL_BIT == 0, "caller cookies use bits 0..63");
+        self.touched.insert(va);
+        self.ops
+            .entry(cookie)
+            .or_default()
+            .push_back(PoolOp::Atomic { va, add });
+        self.servers[self.primary].channel.fetch_add(ctx, va, add, cookie)
+    }
+
+    /// Mirror indexes currently eligible for WRITE fanout.
+    fn live_mirrors(&self) -> Vec<usize> {
+        (0..self.servers.len())
+            .filter(|&j| {
+                j != self.primary
+                    && matches!(
+                        self.servers[j].health.state(),
+                        Health::Healthy | Health::Suspect
+                    )
+            })
+            .collect()
+    }
+
+    /// Feed a RoCE packet from `in_port`. Returns `true` if some server's
+    /// channel consumed it; caller-visible completions land in `events`.
+    pub fn on_roce(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        in_port: PortId,
+        roce: &extmem_wire::roce::RocePacket,
+        events: &mut Vec<ChannelEvent>,
+    ) -> bool {
+        if self.servers.len() == 1 {
+            if self.servers[0].channel.server_port() != in_port {
+                return false;
+            }
+            return self.servers[0].channel.on_roce(ctx, roce, events);
+        }
+        let Some(i) = self
+            .servers
+            .iter()
+            .position(|s| s.channel.server_port() == in_port)
+        else {
+            return false;
+        };
+        let mut raw = Vec::new();
+        let consumed = self.servers[i].channel.on_roce(ctx, roce, &mut raw);
+        self.after_channel_activity(ctx, i, raw, events);
+        consumed
+    }
+
+    /// Route a program timer token. Returns `true` if it was one of this
+    /// pool's (per-channel retransmission deadlines or the probe timer).
+    pub fn on_timer(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        token: u64,
+        events: &mut Vec<ChannelEvent>,
+    ) -> bool {
+        if self.servers.len() == 1 {
+            if token != self.servers[0].channel.timer_token() {
+                return false;
+            }
+            self.servers[0].channel.on_timer_fired(ctx, events);
+            return true;
+        }
+        let n = self.servers.len() as u64;
+        if token == self.probe_token() {
+            self.on_probe_timer(ctx, events);
+            return true;
+        }
+        if token < self.timer_base || token >= self.timer_base + n {
+            return false;
+        }
+        let i = (token - self.timer_base) as usize;
+        let mut raw = Vec::new();
+        if self.servers[i].health.state() == Health::Down && !self.servers[i].channel.is_failed() {
+            // An unanswered op (typically a probe) on a written-off server
+            // timed out. Abort instead of retransmitting: a stale
+            // retransmit arriving just after the server restarts would
+            // consume its one-shot PSN resync and poison the fresh PSN
+            // chain the next probe recovers at.
+            self.servers[i].channel.abort(ctx, &mut raw);
+        } else {
+            self.servers[i].channel.on_timer_fired(ctx, &mut raw);
+        }
+        self.after_channel_activity(ctx, i, raw, events);
+        true
+    }
+
+    /// Post-activity bookkeeping for server `i`: derive detector inputs
+    /// from the channel's counters, abort a primary the detector wrote
+    /// off, then absorb the channel's events.
+    fn after_channel_activity(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        i: usize,
+        mut raw: Vec<ChannelEvent>,
+        out: &mut Vec<ChannelEvent>,
+    ) {
+        let st = self.servers[i].channel.stats();
+        let progress = st.acks + st.naks;
+        let timeouts = st.timeouts;
+        let new_timeouts = timeouts > self.servers[i].seen_timeouts;
+        {
+            let s = &mut self.servers[i];
+            for _ in s.seen_timeouts..timeouts {
+                s.health.on_timeout();
+            }
+            s.seen_timeouts = timeouts;
+            if progress > s.seen_progress {
+                s.health.on_ack();
+                s.seen_progress = progress;
+            }
+        }
+        if new_timeouts
+            && self.servers[i].health.state() == Health::Down
+            && !self.servers[i].channel.is_failed()
+        {
+            // The detector tripped before the channel's retry cap: force
+            // the failure path now so failover latency is the detector's.
+            // Gated on *fresh* timeouts so a channel recovered for probing
+            // (detector still Down until the probe completes) is not
+            // re-aborted by unrelated activity.
+            self.servers[i].channel.abort(ctx, &mut raw);
+        }
+        self.absorb(ctx, i, raw, out);
+        self.ensure_probe_timer(ctx);
+    }
+
+    fn absorb(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        i: usize,
+        raw: Vec<ChannelEvent>,
+        out: &mut Vec<ChannelEvent>,
+    ) {
+        for ev in raw {
+            match ev {
+                ChannelEvent::WriteDone { cookie } if cookie & INTERNAL_BIT != 0 => {
+                    self.internal_done(ctx, cookie, None);
+                }
+                ChannelEvent::ReadDone { cookie, data } if cookie & INTERNAL_BIT != 0 => {
+                    self.internal_done(ctx, cookie, Some(data));
+                }
+                ChannelEvent::AtomicDone { cookie } if cookie & INTERNAL_BIT != 0 => {
+                    self.internal_done(ctx, cookie, None);
+                }
+                ChannelEvent::OpFailed { cookie } if cookie & INTERNAL_BIT != 0 => {
+                    self.internal_failed(cookie);
+                }
+                ChannelEvent::AtomicDone { cookie } => {
+                    if let Some(PoolOp::Atomic { va, add }) = self.pop_caller_op(cookie) {
+                        for j in 0..self.servers.len() {
+                            if j == i {
+                                continue;
+                            }
+                            if self.delta_skip.remove(&(j, cookie)) {
+                                continue;
+                            }
+                            *self.servers[j].delta.entry(va).or_insert(0) += add;
+                            self.stats.delta_accumulated += 1;
+                        }
+                    }
+                    out.push(ChannelEvent::AtomicDone { cookie });
+                }
+                ChannelEvent::WriteDone { cookie } => {
+                    self.pop_caller_op(cookie);
+                    out.push(ChannelEvent::WriteDone { cookie });
+                }
+                ChannelEvent::ReadDone { cookie, data } => {
+                    self.pop_caller_op(cookie);
+                    out.push(ChannelEvent::ReadDone { cookie, data });
+                }
+                ChannelEvent::OpFailed { cookie } => {
+                    // In flight on the dying primary; held for reissue once
+                    // the `Failed` at the end of this volley promotes a
+                    // mirror.
+                    self.orphans.push(cookie);
+                }
+                ChannelEvent::Failed => self.server_failed(ctx, i, out),
+            }
+        }
+        // A caller-op failure volley is always terminated by `Failed` in
+        // the same batch, which either reissues or rejects the orphans.
+        debug_assert!(self.orphans.is_empty(), "orphans outlived their batch");
+    }
+
+    /// Pop the oldest in-flight caller op under `cookie` (completions and
+    /// failure drains both arrive in issue order).
+    fn pop_caller_op(&mut self, cookie: u64) -> Option<PoolOp> {
+        let deque = self.ops.get_mut(&cookie)?;
+        let op = deque.pop_front();
+        if deque.is_empty() {
+            self.ops.remove(&cookie);
+        }
+        op
+    }
+
+    fn internal_done(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, cookie: u64, data: Option<Payload>) {
+        let Some(op) = self.internal.remove(&cookie) else {
+            return;
+        };
+        match op {
+            InternalOp::MirrorWrite | InternalOp::DeltaFaa { .. } => {}
+            InternalOp::Probe { server } => {
+                self.servers[server].health.on_probe_success();
+                self.begin_rejoin(ctx, server);
+            }
+            InternalOp::ReseedRead { target, va } => {
+                let data = data.expect("READ completion carries data");
+                let ic = self.alloc_internal(InternalOp::ReseedWrite { target });
+                self.servers[target].channel.write(ctx, va, data, true, ic);
+                self.stats.reseed_ops += 1;
+            }
+            InternalOp::ReseedWrite { target } => {
+                let done = match &mut self.reseed {
+                    Some(rs) if rs.target == target => {
+                        rs.pending -= 1;
+                        rs.pending == 0
+                    }
+                    _ => false,
+                };
+                if done {
+                    self.reseed = None;
+                    self.finish_rejoin(ctx, target);
+                }
+            }
+        }
+    }
+
+    fn internal_failed(&mut self, cookie: u64) {
+        let Some(op) = self.internal.remove(&cookie) else {
+            return;
+        };
+        match op {
+            // The mirror is dying; its channel `Failed` handles the rest.
+            InternalOp::MirrorWrite => {}
+            // Probe unanswered: the server stays Down, the timer re-probes.
+            InternalOp::Probe { .. } => {}
+            InternalOp::DeltaFaa { server, va, add } => {
+                // Replay didn't land; put the delta back for the next flush.
+                *self.servers[server].delta.entry(va).or_insert(0) += add;
+            }
+            InternalOp::ReseedRead { target, .. } | InternalOp::ReseedWrite { target } => {
+                if self.reseed.as_ref().is_some_and(|r| r.target == target) {
+                    self.reseed = None;
+                    self.servers[target].health.on_rejoin_aborted();
+                }
+            }
+        }
+    }
+
+    fn server_failed(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        i: usize,
+        out: &mut Vec<ChannelEvent>,
+    ) {
+        self.servers[i].health.on_channel_failed();
+        if self.reseed.as_ref().is_some_and(|r| r.target == i) {
+            self.reseed = None;
+        }
+        if i != self.primary {
+            debug_assert!(self.orphans.is_empty(), "caller ops never run on mirrors");
+            return;
+        }
+        // Promote the healthiest mirror, preferring fully Healthy ones.
+        let candidate = (0..self.servers.len())
+            .filter(|&j| j != i)
+            .find(|&j| self.servers[j].health.state() == Health::Healthy)
+            .or_else(|| {
+                (0..self.servers.len())
+                    .filter(|&j| j != i)
+                    .find(|&j| self.servers[j].health.state() == Health::Suspect)
+            });
+        let Some(new_primary) = candidate else {
+            self.failed = true;
+            for cookie in std::mem::take(&mut self.orphans) {
+                self.pop_caller_op(cookie);
+                out.push(ChannelEvent::OpFailed { cookie });
+            }
+            out.push(ChannelEvent::Failed);
+            return;
+        };
+        self.primary = new_primary;
+        self.stats.failovers += 1;
+        // The new primary first catches up on the FaA deltas it missed,
+        // then the orphaned caller ops are replayed under their original
+        // cookies. Channel FIFO ordering makes the catch-up happen first.
+        self.replay_delta(ctx, new_primary);
+        for cookie in std::mem::take(&mut self.orphans) {
+            // Pop-and-requeue keeps each cookie's deque aligned with the
+            // new primary's completion order.
+            let Some(op) = self.pop_caller_op(cookie) else {
+                continue;
+            };
+            match &op {
+                PoolOp::Write {
+                    va,
+                    payload,
+                    ack_req,
+                } => {
+                    self.servers[new_primary]
+                        .channel
+                        .write(ctx, *va, payload.clone(), *ack_req, cookie);
+                }
+                PoolOp::Read { va, len } => {
+                    self.servers[new_primary]
+                        .channel
+                        .read(ctx, *va, *len, cookie);
+                }
+                PoolOp::Atomic { va, add } => {
+                    self.servers[new_primary]
+                        .channel
+                        .fetch_add(ctx, *va, *add, cookie);
+                }
+            }
+            self.ops.entry(cookie).or_default().push_back(op);
+            self.stats.reissued_ops += 1;
+        }
+    }
+
+    /// Drain `server`'s accumulated FaA delta into replay ops on it.
+    fn replay_delta(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, server: usize) {
+        let delta = std::mem::take(&mut self.servers[server].delta);
+        for (va, add) in delta {
+            let ic = self.alloc_internal(InternalOp::DeltaFaa { server, va, add });
+            self.servers[server].channel.fetch_add(ctx, va, add, ic);
+            self.stats.delta_replayed += 1;
+        }
+    }
+
+    /// Anti-entropy flush: replay pending FaA deltas onto every live
+    /// mirror so replicas converge between failovers. Primitives with a
+    /// periodic tick (the state store) call this from it; cheap when
+    /// nothing is pending.
+    pub fn sync_mirrors(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        if self.servers.len() == 1 || self.failed {
+            return;
+        }
+        for j in 0..self.servers.len() {
+            if j == self.primary
+                || self.servers[j].delta.is_empty()
+                || !matches!(
+                    self.servers[j].health.state(),
+                    Health::Healthy | Health::Suspect
+                )
+            {
+                continue;
+            }
+            self.replay_delta(ctx, j);
+        }
+    }
+
+    fn begin_rejoin(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, server: usize) {
+        if self.config.reseed_atomics && !self.touched.is_empty() {
+            if self.reseed.is_some() {
+                // One reconciliation at a time; this server stays
+                // `Rejoining` and is picked up when the current one ends.
+                return;
+            }
+            // Caller atomics currently in flight on the primary will be
+            // captured by the snapshot READs behind them (FIFO channel), so
+            // their deltas must not be applied to the rejoiner again.
+            for (&cookie, ops) in &self.ops {
+                if ops.iter().any(|op| matches!(op, PoolOp::Atomic { .. })) {
+                    self.delta_skip.insert((server, cookie));
+                }
+            }
+            self.servers[server].delta.clear();
+            let vas: Vec<u64> = self.touched.iter().copied().collect();
+            self.reseed = Some(Reseed {
+                target: server,
+                pending: vas.len(),
+            });
+            for va in vas {
+                let ic = self.alloc_internal(InternalOp::ReseedRead { target: server, va });
+                self.servers[self.primary].channel.read(ctx, va, 8, ic);
+                self.stats.reseed_ops += 1;
+            }
+        } else if self.config.auto_promote {
+            self.finish_rejoin(ctx, server);
+        }
+        // Otherwise: wait for the caller's `complete_rejoin` gate.
+    }
+
+    fn finish_rejoin(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, server: usize) {
+        self.servers[server].health.on_rejoin_complete();
+        self.stats.rejoins += 1;
+        // Deltas that accumulated while reseeding (post-snapshot atomics)
+        // flush now; afterwards the server takes normal WRITE fanout.
+        self.replay_delta(ctx, server);
+        // Chain any rejoiner that was queued behind this reconciliation.
+        if self.reseed.is_none() {
+            let next = (0..self.servers.len())
+                .find(|&j| self.servers[j].health.state() == Health::Rejoining);
+            if let Some(j) = next {
+                self.begin_rejoin(ctx, j);
+            }
+        }
+    }
+
+    /// Caller-side promotion gate (pools built with `auto_promote: false`):
+    /// promote every probe-answered server back to mirror. The packet
+    /// buffer calls this once its ring has drained, so a rejoined replica
+    /// never holds a stale ring window.
+    pub fn complete_rejoin(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        for i in 0..self.servers.len() {
+            if self.servers[i].health.state() == Health::Rejoining
+                && self.reseed.as_ref().is_none_or(|r| r.target != i)
+            {
+                self.finish_rejoin(ctx, i);
+            }
+        }
+    }
+
+    fn ensure_probe_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        if self.probe_armed || self.failed || self.servers.len() == 1 {
+            return;
+        }
+        if let Some(max) = self.config.max_probes {
+            if self.stats.probes >= max as u64 {
+                return;
+            }
+        }
+        if !self
+            .servers
+            .iter()
+            .any(|s| s.health.state() == Health::Down)
+        {
+            return;
+        }
+        ctx.schedule(self.config.probe_interval, self.probe_token());
+        self.probe_armed = true;
+    }
+
+    fn on_probe_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, _events: &mut Vec<ChannelEvent>) {
+        self.probe_armed = false;
+        if self.failed {
+            return;
+        }
+        for i in 0..self.servers.len() {
+            if self.servers[i].health.state() != Health::Down {
+                continue;
+            }
+            if let Some(max) = self.config.max_probes {
+                if self.stats.probes >= max as u64 {
+                    continue;
+                }
+            }
+            // A live (non-failed) channel here means the previous probe is
+            // still being timed out; let it conclude before re-arming.
+            if !self.servers[i].channel.is_failed() {
+                continue;
+            }
+            let fresh = psn_add(self.servers[i].channel.inner().qp.npsn, PSN_JUMP);
+            self.servers[i].channel.recover_at(fresh);
+            let va = self.servers[i].channel.base_va();
+            let ic = self.alloc_internal(InternalOp::Probe { server: i });
+            self.servers[i].channel.read(ctx, va, 8, ic);
+            self.stats.probes += 1;
+        }
+        self.ensure_probe_timer(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_needs_threshold_consecutive_timeouts() {
+        let mut d = HealthDetector::new(3);
+        assert_eq!(d.state(), Health::Healthy);
+        d.on_timeout();
+        assert_eq!(d.state(), Health::Suspect);
+        d.on_ack();
+        assert_eq!(d.state(), Health::Healthy);
+        d.on_timeout();
+        d.on_timeout();
+        assert_eq!(d.state(), Health::Suspect);
+        d.on_timeout();
+        assert_eq!(d.state(), Health::Down);
+    }
+
+    #[test]
+    fn rejoin_only_from_down() {
+        let mut d = HealthDetector::new(2);
+        d.on_probe_success();
+        assert_eq!(d.state(), Health::Healthy, "probe success is not a promotion");
+        d.on_channel_failed();
+        assert_eq!(d.state(), Health::Down);
+        d.on_probe_success();
+        assert_eq!(d.state(), Health::Rejoining);
+        d.on_timeout();
+        assert_eq!(d.state(), Health::Rejoining, "raw timeouts don't demote a rejoiner");
+        d.on_rejoin_complete();
+        assert_eq!(d.state(), Health::Healthy);
+        assert_eq!(d.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn rejoin_abort_returns_to_down() {
+        let mut d = HealthDetector::new(1);
+        d.on_channel_failed();
+        d.on_probe_success();
+        d.on_rejoin_aborted();
+        assert_eq!(d.state(), Health::Down);
+    }
+
+    #[test]
+    fn pool_stats_merge_and_json() {
+        let mut a = PoolStats {
+            servers: 2,
+            failovers: 1,
+            probes: 3,
+            ..PoolStats::default()
+        };
+        let b = PoolStats {
+            servers: 2,
+            rejoins: 1,
+            ..PoolStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.servers, 4);
+        assert_eq!(a.failovers, 1);
+        assert_eq!(a.rejoins, 1);
+        let json = a.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"failovers\":1"));
+        assert!(format!("{a}").contains("failovers=1"));
+    }
+}

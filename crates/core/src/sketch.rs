@@ -54,7 +54,6 @@ pub struct SketchProgram {
     /// L2 forwarding.
     pub fib: Fib,
     engine: FaaEngine,
-    server_port: PortId,
     kind: SketchKind,
     geometry: SketchGeometry,
     tick_interval: TimeDelta,
@@ -77,11 +76,9 @@ impl SketchProgram {
             engine.slots() >= geometry.rows as u64 * geometry.cols,
             "region too small for sketch geometry"
         );
-        let server_port = engine.server_port();
         SketchProgram {
             fib,
             engine,
-            server_port,
             kind,
             geometry,
             tick_interval,
@@ -112,9 +109,9 @@ impl PipelineProgram for SketchProgram {
             self.tick_armed = true;
             ctx.schedule(self.tick_interval, TOKEN_TICK);
         }
-        if in_port == self.server_port {
+        if self.engine.owns_port(in_port) {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
-                self.engine.on_roce(ctx, &roce);
+                self.engine.on_roce(ctx, in_port, &roce);
                 drop(roce);
                 extmem_wire::pool::recycle(pkt.into_payload());
                 return;

@@ -33,7 +33,6 @@ pub struct StateStoreProgram {
     /// L2 forwarding.
     pub fib: Fib,
     engine: FaaEngine,
-    server_port: PortId,
     counters: u64,
     tick_interval: TimeDelta,
     tick_armed: bool,
@@ -49,12 +48,10 @@ impl StateStoreProgram {
     /// Create the program. The engine's channel region defines the counter
     /// count (`region_len / 8`).
     pub fn new(fib: Fib, engine: FaaEngine, tick_interval: TimeDelta) -> StateStoreProgram {
-        let server_port = engine.server_port();
         let counters = engine.slots();
         StateStoreProgram {
             fib,
             engine,
-            server_port,
             counters,
             tick_interval,
             tick_armed: false,
@@ -66,6 +63,16 @@ impl StateStoreProgram {
     /// Engine counters.
     pub fn faa_stats(&self) -> FaaStats {
         self.engine.stats()
+    }
+
+    /// Replication-layer counters (all zero for single-server engines).
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.engine.pool().stats()
+    }
+
+    /// The engine's replication pool (health/failover inspection).
+    pub fn pool(&self) -> &crate::pool::ReplicatedPool {
+        self.engine.pool()
     }
 
     /// Values not yet settled on the remote counters.
@@ -101,9 +108,9 @@ impl PipelineProgram for StateStoreProgram {
             self.tick_armed = true;
             ctx.schedule(self.tick_interval, TOKEN_TICK);
         }
-        if in_port == self.server_port {
+        if self.engine.owns_port(in_port) {
             if let Ok(Some(roce)) = RocePacket::parse(&pkt) {
-                self.engine.on_roce(ctx, &roce);
+                self.engine.on_roce(ctx, in_port, &roce);
                 drop(roce);
                 extmem_wire::pool::recycle(pkt.into_payload());
                 return;

@@ -180,6 +180,16 @@ impl MrTable {
     pub fn total_bytes(&self) -> u64 {
         self.regions.values().map(|r| r.bytes.len() as u64).sum()
     }
+
+    /// Zero every registered region, keeping the rkey/VA layout intact —
+    /// the crash model: DRAM contents are gone, but on restart the channel
+    /// controller re-registers the same layout, so the triples the switch
+    /// holds stay valid.
+    pub fn wipe(&mut self) {
+        for region in self.regions.values_mut() {
+            region.bytes.fill(0);
+        }
+    }
 }
 
 #[cfg(test)]

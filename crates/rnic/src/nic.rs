@@ -26,7 +26,7 @@
 use crate::mr::MrTable;
 use crate::qp::QueuePair;
 use crate::responder::{process_request, Outcome};
-use extmem_sim::{Node, NodeCtx, TxQueue};
+use extmem_sim::{Node, NodeCtx, TimerHandle, TxQueue};
 use extmem_types::{ByteSize, PortId, QpNum, Rate, Rkey, TimeDelta};
 use extmem_wire::bth::Opcode;
 use extmem_wire::roce::{RoceEndpoint, RocePacket};
@@ -130,6 +130,10 @@ pub struct RnicStats {
     /// Timer firings with a token this NIC never armed. Ignored, counted,
     /// and logged once rather than crashing the whole simulation.
     pub unknown_timer_tokens: u64,
+    /// Whole-node crashes suffered (scheduled via `Simulator::schedule_crash`).
+    pub crashes: u64,
+    /// Restarts after a crash.
+    pub restarts: u64,
 }
 
 /// Timer token: the packet at the head of the service pipeline completed.
@@ -148,6 +152,9 @@ pub struct RnicNode {
     atomics_in_flight: usize,
     /// Whether the pipeline is servicing a request.
     busy: bool,
+    /// The armed service-completion timer, cancellable on crash so a stale
+    /// completion can't fire into the post-restart pipeline.
+    service_timer: Option<TimerHandle>,
     tx: TxQueue,
     stats: RnicStats,
 }
@@ -169,6 +176,7 @@ impl RnicNode {
             rx_queue: VecDeque::new(),
             atomics_in_flight: 0,
             busy: false,
+            service_timer: None,
             tx: TxQueue::new(PortId(0)),
             stats: RnicStats::default(),
         }
@@ -273,10 +281,11 @@ impl RnicNode {
         };
         let dt = self.service_time(front);
         self.busy = true;
-        ctx.schedule(dt, TOKEN_SERVICE_DONE);
+        self.service_timer = Some(ctx.schedule_cancellable(dt, TOKEN_SERVICE_DONE));
     }
 
     fn complete_service(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.service_timer = None;
         let req = self
             .rx_queue
             .pop_front()
@@ -385,6 +394,35 @@ impl Node for RnicNode {
 
     fn on_tx_done(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId) {
         self.tx.on_tx_done(ctx);
+    }
+
+    fn on_crash(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Power gone: everything volatile dies — the service pipeline, the
+        // RX and TX queues, and the DRAM behind every registered region.
+        if let Some(h) = self.service_timer.take() {
+            ctx.cancel_timer(h);
+        }
+        self.busy = false;
+        self.rx_queue.clear();
+        self.atomics_in_flight = 0;
+        self.tx.clear();
+        self.mrs.wipe();
+        for qp in self.qps.values_mut() {
+            qp.write_cursor = None;
+            qp.last_atomic = None;
+            qp.nak_outstanding = false;
+        }
+        self.stats.crashes += 1;
+    }
+
+    fn on_restart(&mut self, _ctx: &mut NodeCtx<'_>) {
+        // The controller re-creates the QPs with the same numbers and
+        // region layout (the rkey/VA triples the switch holds stay valid);
+        // each QP accepts whatever PSN its requester resumes at.
+        for qp in self.qps.values_mut() {
+            qp.mark_resync();
+        }
+        self.stats.restarts += 1;
     }
 
     fn name(&self) -> &str {

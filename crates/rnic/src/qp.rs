@@ -37,6 +37,12 @@ pub struct QueuePair {
     /// §7 "Since Ethernet itself is best-effort, applications … should
     /// tolerate the packet drops"). Strict RC behaviour is the default.
     pub relaxed_psn: bool,
+    /// One-shot resynchronization: accept the *next* request at whatever
+    /// PSN it carries and continue strictly from there. The control plane
+    /// sets this after a server restart (the re-handshake of a real QP
+    /// teardown/re-create, collapsed to a flag) so a recovered requester
+    /// can resume at a fresh PSN without a NAK livelock.
+    pub resync_next: bool,
 }
 
 /// Progress of a multi-packet WRITE.
@@ -64,7 +70,13 @@ impl QueuePair {
             last_atomic: None,
             nak_outstanding: false,
             relaxed_psn: false,
+            resync_next: false,
         }
+    }
+
+    /// Arm the one-shot PSN resync (see [`QueuePair::resync_next`]).
+    pub fn mark_resync(&mut self) {
+        self.resync_next = true;
     }
 
     /// Switch this QP to relaxed PSN checking (see [`QueuePair::relaxed_psn`]).

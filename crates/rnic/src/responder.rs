@@ -62,6 +62,14 @@ pub fn process_request(
     debug_assert!(req.bth.opcode.is_request(), "responder got a non-request");
     let psn = req.bth.psn;
 
+    if qp.resync_next {
+        // Post-restart re-handshake: adopt the first arriving PSN as the
+        // expected sequence and check strictly from there.
+        qp.resync_next = false;
+        qp.epsn = psn;
+        qp.write_cursor = None;
+        qp.nak_outstanding = false;
+    }
     if psn_before(psn, qp.epsn) {
         return duplicate(local, qp, mrs, req, mtu);
     }

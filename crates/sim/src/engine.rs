@@ -20,6 +20,9 @@ struct Link {
     ends: [Endpoint; 2],
     /// Per-direction stats, indexed by transmitting end (0 or 1).
     stats: [LinkStats; 2],
+    /// Administrative state: while `false`, transmissions are dropped on
+    /// the floor (the port still cycles so senders don't wedge).
+    admin_up: bool,
 }
 
 /// Connection state of one `(node, port)` pair, stored in a dense table
@@ -46,6 +49,11 @@ pub struct EngineCore {
     links: Vec<Link>,
     /// `ports[node][port]` → connection state, `None` for unconnected ports.
     ports: Vec<Vec<Option<PortSlot>>>,
+    /// Per-node crash flag: while set, the node's deliveries and timers are
+    /// blackholed (counted in `crash_drops`) instead of dispatched.
+    crashed: Vec<bool>,
+    /// Deliveries + timers discarded per node while it was crashed.
+    crash_drops: Vec<u64>,
     trace: TraceSink,
     events_processed: u64,
 }
@@ -86,10 +94,23 @@ impl EngineCore {
         stats.tx_packets += 1;
         stats.tx_bytes += packet.len() as u64;
 
+        if !link.admin_up {
+            // Administratively down: the bits leave the transceiver and die.
+            // TxDone still fires so the sender's port cycles normally.
+            stats.admin_drops += 1;
+            self.queue.push_lane(
+                self.now + ser,
+                lane_of(lid, end, LANE_TX_DONE),
+                EventKind::TxDone { node, port },
+            );
+            return;
+        }
+
         // Fault injection is decided at transmit time so the RNG draw order
         // is a deterministic function of the event order.
         let faults = link.spec.faults;
         let mut deliver = Some(packet);
+        let mut duplicate = false;
         let base_arrival = arrival;
         let mut arrival = arrival;
         if faults.is_active() {
@@ -122,6 +143,10 @@ impl EngineCore {
                 }
                 deliver = Some(pkt);
             }
+            // A replayed frame: the same packet arrives twice, back to back.
+            duplicate = deliver.is_some()
+                && faults.duplicate_prob > 0.0
+                && self.rng.gen_bool(faults.duplicate_prob);
         }
 
         if let Some(pkt) = deliver {
@@ -145,6 +170,7 @@ impl EngineCore {
             } else {
                 NO_LANE
             };
+            let copy = duplicate.then(|| pkt.clone());
             let kind = EventKind::Deliver {
                 node: dst.node,
                 port: dst.port,
@@ -154,6 +180,32 @@ impl EngineCore {
                 self.queue.push(arrival, kind);
             } else {
                 self.queue.push_lane(arrival, lane, kind);
+            }
+            if let Some(copy) = copy {
+                // A replayed frame: the copy lands at the same instant but
+                // strictly after the original in the total order (later
+                // seq). It bypasses the FIFO lane: lanes require
+                // non-decreasing push times and the next real delivery may
+                // be earlier-keyed.
+                let l = &mut self.links[lid];
+                l.stats[end].duplicated_packets += 1;
+                l.stats[end].delivered_packets += 1;
+                l.stats[end].delivered_bytes += copy.len() as u64;
+                self.trace.record_delivery(
+                    arrival,
+                    Endpoint { node, port },
+                    dst,
+                    copy.len(),
+                    copy.digest(),
+                );
+                self.queue.push(
+                    arrival,
+                    EventKind::Deliver {
+                        node: dst.node,
+                        port: dst.port,
+                        packet: copy,
+                    },
+                );
             }
         }
         // TxDone per port is likewise monotone: one transmit in flight.
@@ -264,6 +316,7 @@ impl SimBuilder {
                 Endpoint { node: b, port: pb },
             ],
             stats: [LinkStats::default(), LinkStats::default()],
+            admin_up: true,
         });
         LinkId(lid as u32)
     }
@@ -300,6 +353,7 @@ impl SimBuilder {
         }
         let mut queue = EventQueue::new();
         queue.ensure_lanes(self.links.len() * 4);
+        let n = self.nodes.len();
         Simulator {
             nodes: self.nodes.into_iter().map(Some).collect(),
             core: EngineCore {
@@ -308,6 +362,8 @@ impl SimBuilder {
                 queue,
                 links: self.links,
                 ports,
+                crashed: vec![false; n],
+                crash_drops: vec![0; n],
                 trace: self.trace,
                 events_processed: 0,
             },
@@ -337,6 +393,46 @@ impl Simulator {
     /// Used by scenario drivers to kick off generators.
     pub fn schedule_timer(&mut self, node: NodeId, delay: TimeDelta, token: u64) {
         self.core.schedule_timer(node, delay, token);
+    }
+
+    /// Schedule `node` to crash after `delay`: its [`Node::on_crash`] hook
+    /// runs, then every delivery and timer addressed to it is discarded
+    /// until a matching [`Simulator::schedule_restart`] fires.
+    pub fn schedule_crash(&mut self, node: NodeId, delay: TimeDelta) {
+        let at = self.core.now + delay;
+        self.core
+            .queue
+            .push(at, EventKind::NodeAdmin { node, up: false });
+    }
+
+    /// Schedule `node` to power back up after `delay` (no-op unless it is
+    /// crashed at that time); its [`Node::on_restart`] hook runs.
+    pub fn schedule_restart(&mut self, node: NodeId, delay: TimeDelta) {
+        let at = self.core.now + delay;
+        self.core
+            .queue
+            .push(at, EventKind::NodeAdmin { node, up: true });
+    }
+
+    /// Schedule link `link` to go administratively down (`up: false`) or
+    /// back up (`up: true`) after `delay`. While down, transmissions in
+    /// either direction are dropped (counted in `LinkStats::admin_drops`);
+    /// packets already in flight still arrive.
+    pub fn schedule_link_admin(&mut self, link: LinkId, up: bool, delay: TimeDelta) {
+        let at = self.core.now + delay;
+        self.core
+            .queue
+            .push(at, EventKind::LinkAdmin { link: link.raw(), up });
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn node_crashed(&self, node: NodeId) -> bool {
+        self.core.crashed[node.raw() as usize]
+    }
+
+    /// Deliveries and timers discarded while `node` was crashed.
+    pub fn crash_drops(&self, node: NodeId) -> u64 {
+        self.core.crash_drops[node.raw() as usize]
     }
 
     /// Scheduler counters (queue depth high-water, wheel cascades, dead
@@ -387,14 +483,45 @@ impl Simulator {
         self.core.events_processed += 1;
         match ev.kind {
             EventKind::Deliver { node, port, packet } => {
+                if self.core.crashed[node.raw() as usize] {
+                    // Bits arriving at a dark node fall on the floor.
+                    self.core.crash_drops[node.raw() as usize] += 1;
+                    drop(packet);
+                    return;
+                }
                 self.with_node(node, |n, ctx| n.on_packet(ctx, port, packet));
             }
             EventKind::TxDone { node, port } => {
+                // The wire frees up regardless; the callback is what a
+                // crashed node doesn't get.
                 self.core.set_tx_idle(node, port);
+                if self.core.crashed[node.raw() as usize] {
+                    return;
+                }
                 self.with_node(node, |n, ctx| n.on_tx_done(ctx, port));
             }
             EventKind::Timer { node, token } => {
+                if self.core.crashed[node.raw() as usize] {
+                    // Timers armed before the crash die with it.
+                    self.core.crash_drops[node.raw() as usize] += 1;
+                    return;
+                }
                 self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::NodeAdmin { node, up } => {
+                let idx = node.raw() as usize;
+                if up {
+                    if self.core.crashed[idx] {
+                        self.core.crashed[idx] = false;
+                        self.with_node(node, |n, ctx| n.on_restart(ctx));
+                    }
+                } else if !self.core.crashed[idx] {
+                    self.core.crashed[idx] = true;
+                    self.with_node(node, |n, ctx| n.on_crash(ctx));
+                }
+            }
+            EventKind::LinkAdmin { link, up } => {
+                self.core.links[link as usize].admin_up = up;
             }
         }
     }

@@ -66,6 +66,22 @@ pub enum EventKind {
         /// Opaque value chosen by the node at scheduling time.
         token: u64,
     },
+    /// `node` crashes (`up: false`, volatile state lost, engine blackholes
+    /// its events) or restarts (`up: true`).
+    NodeAdmin {
+        /// The affected node.
+        node: NodeId,
+        /// `false` = crash, `true` = restart.
+        up: bool,
+    },
+    /// Link `link` goes administratively down (`up: false`, transmissions
+    /// are dropped on the floor) or back up (`up: true`).
+    LinkAdmin {
+        /// Engine-internal link index (as returned by `SimBuilder::connect`).
+        link: u32,
+        /// `false` = down, `true` = up.
+        up: bool,
+    },
 }
 
 /// An event plus its position in the total order, as returned by

@@ -19,6 +19,11 @@ pub struct FaultSpec {
     /// Extra delivery delay applied to reordered packets. A delay shorter
     /// than one serialization time cannot actually reorder anything.
     pub reorder_delay: TimeDelta,
+    /// Probability in `[0, 1]` that a delivered packet is delivered *twice*
+    /// (the duplicate arrives immediately after the original, as a replayed
+    /// frame would). Exercises the requesters' duplicate-response dedup and
+    /// the responders' duplicate-PSN path.
+    pub duplicate_prob: f64,
 }
 
 impl FaultSpec {
@@ -28,6 +33,7 @@ impl FaultSpec {
         corrupt_prob: 0.0,
         reorder_prob: 0.0,
         reorder_delay: TimeDelta::ZERO,
+        duplicate_prob: 0.0,
     };
 
     /// Drop-only faults at probability `p`.
@@ -40,7 +46,10 @@ impl FaultSpec {
 
     /// Whether any fault injection is enabled.
     pub fn is_active(&self) -> bool {
-        self.drop_prob > 0.0 || self.corrupt_prob > 0.0 || self.reorder_prob > 0.0
+        self.drop_prob > 0.0
+            || self.corrupt_prob > 0.0
+            || self.reorder_prob > 0.0
+            || self.duplicate_prob > 0.0
     }
 
     /// Panic if probabilities are outside `[0, 1]`.
@@ -48,7 +57,8 @@ impl FaultSpec {
         assert!(
             (0.0..=1.0).contains(&self.drop_prob)
                 && (0.0..=1.0).contains(&self.corrupt_prob)
-                && (0.0..=1.0).contains(&self.reorder_prob),
+                && (0.0..=1.0).contains(&self.reorder_prob)
+                && (0.0..=1.0).contains(&self.duplicate_prob),
             "fault probabilities must be within [0, 1]"
         );
     }
@@ -114,6 +124,10 @@ pub struct LinkStats {
     pub corrupted_packets: u64,
     /// Packets delayed by reorder injection (still delivered).
     pub reordered_packets: u64,
+    /// Extra copies delivered by duplicate injection.
+    pub duplicated_packets: u64,
+    /// Packets dropped because the link was administratively down.
+    pub admin_drops: u64,
 }
 
 #[cfg(test)]

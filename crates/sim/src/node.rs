@@ -28,6 +28,17 @@ pub trait Node: Any {
     /// fully serialized; the port can transmit again.
     fn on_tx_done(&mut self, _ctx: &mut NodeCtx<'_>, _port: PortId) {}
 
+    /// The node lost power (scheduled via `Simulator::schedule_crash`).
+    /// Implementations drop volatile state here — queues, in-flight work,
+    /// DRAM contents. While crashed the engine discards the node's
+    /// deliveries and timers, so a non-restarted node is simply dark.
+    fn on_crash(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    /// The node powered back up (scheduled via
+    /// `Simulator::schedule_restart`). State is whatever `on_crash` left;
+    /// implementations re-arm whatever a cold boot would.
+    fn on_restart(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
     /// Human-readable name for traces and panics.
     fn name(&self) -> &str;
 }

@@ -88,6 +88,14 @@ impl TxQueue {
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Discard everything queued (crash path: a powered-off NIC forgets its
+    /// transmit ring). The packet already in serialization, if any, is the
+    /// engine's — its TxDone still fires and frees the port.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+        self.queued_bytes = 0;
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,12 @@ echo "== fault-matrix smoke (worst cell, release) =="
 # profile, where timing-sensitive reliability bugs shake out differently.
 cargo test -q --release --test fault_matrix smoke_
 
+echo "== crash/failover cells (release) =="
+# The replicated-pool crash, failover, and rejoin cells re-run under the
+# release profile: failure detection races on timer ordering and PSN
+# resync, which optimization can reshuffle.
+cargo test -q --release --test fault_matrix crash_
+
 echo "== scheduler equivalence proptests (release) =="
 # The timing-wheel vs binary-heap oracle properties, under the optimized
 # profile the perf numbers are measured with (overflow/ordering bugs can

@@ -69,6 +69,7 @@ fn cell_faults(cell: &Cell) -> FaultSpec {
     FaultSpec {
         drop_prob: cell.loss,
         corrupt_prob: 0.0,
+        duplicate_prob: 0.0,
         reorder_prob: if cell.reorder { 0.03 } else { 0.0 },
         // Several serialization times: genuinely permutes the stream.
         reorder_delay: TimeDelta::from_micros(3),
@@ -948,6 +949,345 @@ fn state_store_exact_across_psn_wrap_with_loss() {
     let remote: u64 = read_remote_counters(nic, rkey, base, counters).iter().sum();
     let truth: u64 = prog.oracle.values().sum();
     assert_eq!(remote, truth, "wrap must not corrupt the count");
+}
+
+// ---------------------------------------------------------------------------
+// Whole-server crashes: replicated pools must lose nothing. A two-replica
+// pool sees one server die mid-workload (optionally coming back and being
+// reconciled) and the settled invariants must stay *exact*.
+// ---------------------------------------------------------------------------
+
+use extmem_core::{Health, PoolConfig};
+
+/// Aggressive detection knobs so failover and rejoin land inside short
+/// test runs: two consecutive timeouts mark a server down, probes fire
+/// every 100us.
+fn crash_pool_config() -> PoolConfig {
+    PoolConfig {
+        down_threshold: 2,
+        probe_interval: TimeDelta::from_micros(100),
+        ..Default::default()
+    }
+}
+
+/// Replicated state store under a whole-node crash at 200us. With
+/// `crash_primary` the primary dies (FaA must fail over); otherwise the
+/// mirror dies (the primary keeps counting). With `rejoin` the dead server
+/// restarts at 500us with wiped DRAM and must be reconciled bit-for-bit
+/// (counters re-seeded from the survivor, then deltas replayed).
+fn run_state_store_crash_cell(crash_primary: bool, rejoin: bool, seed: u64) {
+    const COUNT: u64 = 600;
+    let counters = 256u64;
+    let region = ByteSize::from_bytes(counters * 8);
+    let mut nic_a = RnicNode::new("memsrv-a", RnicConfig::at(host_endpoint(2)));
+    let mut nic_b = RnicNode::new("memsrv-b", RnicConfig::at(host_endpoint(3)));
+    let ch_a = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic_a, region);
+    let ch_b = RdmaChannel::setup(switch_endpoint(), PortId(3), &mut nic_b, region);
+    let rkey = ch_a.rkey;
+    let base = ch_a.base_va;
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let engine = FaaEngine::replicated(
+        vec![ch_a, ch_b],
+        FaaConfig {
+            reliable: true,
+            rto: TimeDelta::from_micros(30),
+            ..Default::default()
+        },
+        PoolConfig {
+            // A restarted server's DRAM is wiped: its counters must be
+            // re-seeded from the survivor before deltas are replayed.
+            reseed_atomics: true,
+            ..crash_pool_config()
+        },
+    );
+    let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(30));
+
+    let mut b = SimBuilder::new(seed);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+            256,
+            Rate::from_gbps(2),
+            COUNT,
+        ),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let server_a = b.add_node(Box::new(nic_a));
+    let server_b = b.add_node(Box::new(nic_b));
+    b.connect(switch, PortId(2), server_a, PortId(0), link);
+    b.connect(switch, PortId(3), server_b, PortId(0), link);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    let victim = if crash_primary { server_a } else { server_b };
+    let survivor = if crash_primary { server_b } else { server_a };
+    // Mid-workload (traffic spans ~600us).
+    sim.schedule_crash(victim, TimeDelta::from_micros(200));
+    if rejoin {
+        sim.schedule_restart(victim, TimeDelta::from_micros(500));
+    }
+    sim.run_until(Time::from_millis(50));
+
+    let cell = (crash_primary, rejoin);
+    assert!(sim.crash_drops(victim) > 0, "{cell:?}: crash never bit");
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<StateStoreProgram>();
+    let s = prog.faa_stats();
+    assert!(prog.is_quiescent(), "{cell:?}: stuck window: {s:?}");
+    assert!(
+        !prog.is_degraded(),
+        "{cell:?}: one replica must keep the pool alive: {s:?}"
+    );
+    if crash_primary {
+        assert!(s.pool.failovers >= 1, "{cell:?}: no failover: {s:?}");
+    } else {
+        assert_eq!(s.pool.failovers, 0, "{cell:?}: spurious failover: {s:?}");
+    }
+    // Zero lost counts: whichever replica now serves reads holds the exact
+    // ground truth.
+    let truth: u64 = prog.oracle.values().sum();
+    let surv_dump = read_remote_counters(sim.node::<RnicNode>(survivor), rkey, base, counters);
+    let surv_total: u64 = surv_dump.iter().sum();
+    assert_eq!(surv_total, truth, "{cell:?}: counts lost: {s:?}");
+    if rejoin {
+        assert!(s.pool.rejoins >= 1, "{cell:?}: server never rejoined: {s:?}");
+        assert!(s.pool.probes >= 1, "{cell:?}: no probe issued: {s:?}");
+        // Bit-for-bit reconciliation: the restarted server's counter
+        // array equals the survivor's, slot by slot.
+        let back = read_remote_counters(sim.node::<RnicNode>(victim), rkey, base, counters);
+        assert_eq!(
+            back, surv_dump,
+            "{cell:?}: rejoined replica diverges from survivor: {s:?}"
+        );
+        let pool = prog.pool();
+        assert_eq!(pool.health(0), Health::Healthy, "{cell:?}: {s:?}");
+        assert_eq!(pool.health(1), Health::Healthy, "{cell:?}: {s:?}");
+    } else {
+        assert_eq!(s.pool.unavailable, 1, "{cell:?}: {s:?}");
+        assert_eq!(s.pool.rejoins, 0, "{cell:?}: {s:?}");
+    }
+    assert_eq!(sim.node::<SinkNode>(sink).received, COUNT);
+}
+
+#[test]
+fn crash_state_store_primary_loses_nothing() {
+    run_state_store_crash_cell(true, false, 9800);
+}
+
+#[test]
+fn crash_state_store_mirror_loses_nothing() {
+    run_state_store_crash_cell(false, false, 9801);
+}
+
+#[test]
+fn crash_state_store_rejoin_reconciles_bit_for_bit() {
+    run_state_store_crash_cell(true, true, 9802);
+}
+
+/// Replicated packet buffer under a whole-node crash at 50us (inside the
+/// detour burst). Stored entries fan out to both replicas, so no buffered
+/// packet is lost whichever server dies; with `rejoin` the dead server
+/// restarts and is promoted back only once the ring has drained.
+fn run_packet_buffer_crash_cell(crash_primary: bool, rejoin: bool, seed: u64) {
+    const COUNT: u64 = 400;
+    let mut nic_a = RnicNode::new("memsrv-a", RnicConfig::at(host_endpoint(2)));
+    let mut nic_b = RnicNode::new("memsrv-b", RnicConfig::at(host_endpoint(3)));
+    let region = ByteSize::from_mb(2);
+    let ch_a = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic_a, region);
+    let ch_b = RdmaChannel::setup(switch_endpoint(), PortId(3), &mut nic_b, region);
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = PacketBufferProgram::replicated(
+        fib,
+        vec![vec![ch_a, ch_b]],
+        PortId(1),
+        2048,
+        Mode::Auto {
+            start_store_qbytes: 4096,
+            resume_load_qbytes: 2048,
+        },
+        8,
+        TimeDelta::from_micros(30),
+        crash_pool_config(),
+    );
+    let mut b = SimBuilder::new(seed);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+            800,
+            Rate::from_gbps(30),
+            COUNT,
+        ),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    b.connect(switch, PortId(0), gen, PortId(0), LinkSpec::testbed_40g());
+    b.connect(
+        switch,
+        PortId(1),
+        sink,
+        PortId(0),
+        LinkSpec::new(Rate::from_gbps(10), TimeDelta::from_nanos(300)),
+    );
+    let server_a = b.add_node(Box::new(nic_a));
+    let server_b = b.add_node(Box::new(nic_b));
+    b.connect(switch, PortId(2), server_a, PortId(0), LinkSpec::testbed_40g());
+    b.connect(switch, PortId(3), server_b, PortId(0), LinkSpec::testbed_40g());
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    let victim = if crash_primary { server_a } else { server_b };
+    sim.schedule_crash(victim, TimeDelta::from_micros(50));
+    if rejoin {
+        sim.schedule_restart(victim, TimeDelta::from_micros(250));
+    }
+    sim.run_until(Time::from_millis(60));
+
+    let cell = (crash_primary, rejoin);
+    assert!(sim.crash_drops(victim) > 0, "{cell:?}: crash never bit");
+    let sink = sim.node::<SinkNode>(sink);
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<PacketBufferProgram>();
+    let s = prog.stats();
+    assert!(s.stored > 0, "{cell:?}: the detour was never exercised");
+    // Zero lost packets: every stored entry fanned out to the survivor, so
+    // the crash costs retransmissions and a failover, never data.
+    assert_eq!(s.lost_entries, 0, "{cell:?}: entries lost: {s:?}");
+    assert_eq!(s.loaded, s.stored, "{cell:?}: ring left entries behind: {s:?}");
+    assert_eq!(sink.received, COUNT, "{cell:?}: packets lost: {s:?}");
+    assert_eq!(sink.total_reorders(), 0, "{cell:?}: ring order violated");
+    assert_eq!(sink.corrupt, 0, "{cell:?}: payload corrupted");
+    if crash_primary {
+        assert!(s.pool.failovers >= 1, "{cell:?}: no failover: {s:?}");
+    } else {
+        assert_eq!(s.pool.failovers, 0, "{cell:?}: spurious failover: {s:?}");
+        assert!(s.pool.mirror_writes > 0, "{cell:?}: fanout never ran: {s:?}");
+    }
+    if rejoin {
+        assert!(s.pool.rejoins >= 1, "{cell:?}: server never rejoined: {s:?}");
+        let pool = prog.pool(0);
+        assert_eq!(pool.health(0), Health::Healthy, "{cell:?}: {s:?}");
+        assert_eq!(pool.health(1), Health::Healthy, "{cell:?}: {s:?}");
+    } else {
+        assert_eq!(s.pool.unavailable, 1, "{cell:?}: {s:?}");
+    }
+}
+
+#[test]
+fn crash_packet_buffer_primary_loses_nothing() {
+    run_packet_buffer_crash_cell(true, false, 9810);
+}
+
+#[test]
+fn crash_packet_buffer_mirror_loses_nothing() {
+    run_packet_buffer_crash_cell(false, false, 9811);
+}
+
+#[test]
+fn crash_packet_buffer_rejoin_waits_for_ring_drain() {
+    run_packet_buffer_crash_cell(true, true, 9812);
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate injection: the responder's PSN discipline must deduplicate.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn duplicate_storm_state_store_settles_exactly() {
+    // 20% of packets on the memory-server link are delivered twice (in
+    // both directions: duplicated FaA requests and duplicated ACKs), on
+    // top of reordering. Responder-side PSN dedup must keep the settled
+    // counters exact — a re-executed FaA would double-count.
+    const COUNT: u64 = 600;
+    let counters = 256u64;
+    let mut nic = RnicNode::new("memsrv", RnicConfig::at(host_endpoint(2)));
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        PortId(2),
+        &mut nic,
+        ByteSize::from_bytes(counters * 8),
+    );
+    let rkey = channel.rkey;
+    let base = channel.base_va;
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let engine = FaaEngine::new(
+        channel,
+        FaaConfig {
+            reliable: true,
+            rto: TimeDelta::from_micros(40),
+            ..Default::default()
+        },
+    );
+    let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(30));
+    let mut b = SimBuilder::new(9900);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec::simple(
+            host_mac(0),
+            host_mac(1),
+            FiveTuple::new(host_ip(0), host_ip(1), 5000, 9000, 17),
+            256,
+            Rate::from_gbps(2),
+            COUNT,
+        ),
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let server = b.add_node(Box::new(nic));
+    let mut dupy = LinkSpec::testbed_40g();
+    dupy.faults = FaultSpec {
+        drop_prob: 0.0,
+        corrupt_prob: 0.0,
+        duplicate_prob: 0.2,
+        reorder_prob: 0.03,
+        reorder_delay: TimeDelta::from_micros(3),
+    };
+    let srv_link = b.connect(switch, PortId(2), server, PortId(0), dupy);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_until(Time::from_millis(50));
+
+    let dups = sim.link_stats(srv_link, 0).duplicated_packets
+        + sim.link_stats(srv_link, 1).duplicated_packets;
+    assert!(dups > 0, "duplicate injection never bit");
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<StateStoreProgram>();
+    let s = prog.faa_stats();
+    assert!(prog.is_quiescent(), "stuck window: {s:?}");
+    assert!(!s.channel.failed_over, "{s:?}");
+    let nic = sim.node::<RnicNode>(server);
+    let remote: u64 = read_remote_counters(nic, rkey, base, counters).iter().sum();
+    let truth: u64 = prog.oracle.values().sum();
+    assert_eq!(remote, truth, "duplicates double-counted");
+    assert_eq!(sim.node::<SinkNode>(sink).received, COUNT);
 }
 
 // ---------------------------------------------------------------------------

@@ -105,3 +105,131 @@ fn event_queue_total_order() {
     }
     assert!(q.pop().is_none());
 }
+
+// ---------------------------------------------------------------------------
+// Health detector (PR 5): the pool's failure detector is a pure state
+// machine, so its safety properties can be checked over arbitrary
+// observation sequences.
+// ---------------------------------------------------------------------------
+
+/// One observation fed to a [`extmem_core::HealthDetector`].
+#[derive(Clone, Copy, Debug)]
+enum Obs {
+    Timeout,
+    Ack,
+    ChannelFailed,
+    ProbeSuccess,
+    RejoinComplete,
+    RejoinAborted,
+}
+
+fn obs_strategy() -> impl Strategy<Value = Obs> {
+    // Weighted by bucket: timeouts and ACKs dominate real traces; the rare
+    // events still get enough weight to compose full recovery cycles.
+    (0u8..14).prop_map(|n| match n {
+        0..=4 => Obs::Timeout,
+        5..=9 => Obs::Ack,
+        10 => Obs::ChannelFailed,
+        11 => Obs::ProbeSuccess,
+        12 => Obs::RejoinComplete,
+        _ => Obs::RejoinAborted,
+    })
+}
+
+proptest! {
+    /// Safety: the detector never declares `Down` on timeouts alone unless
+    /// `threshold` *consecutive* timeouts occurred — a single ACK anywhere
+    /// in the window resets the count. (`ChannelFailed` is the explicit
+    /// exception: the reliability layer already exhausted its retries.)
+    #[test]
+    fn detector_never_down_below_threshold(
+        threshold in 1u32..8,
+        trace in proptest::collection::vec(obs_strategy(), 0..200),
+    ) {
+        use extmem_core::{Health, HealthDetector};
+        let mut d = HealthDetector::new(threshold);
+        let mut consecutive = 0u32;
+        let mut forced = false;
+        for ob in trace {
+            let before = d.state();
+            match ob {
+                Obs::Timeout => {
+                    d.on_timeout();
+                    consecutive += 1;
+                }
+                Obs::Ack => {
+                    d.on_ack();
+                    consecutive = 0;
+                    forced = false;
+                }
+                Obs::ChannelFailed => {
+                    d.on_channel_failed();
+                    forced = true;
+                }
+                Obs::ProbeSuccess => d.on_probe_success(),
+                Obs::RejoinComplete => {
+                    d.on_rejoin_complete();
+                    if d.state() == Health::Healthy {
+                        consecutive = 0;
+                        forced = false;
+                    }
+                }
+                Obs::RejoinAborted => d.on_rejoin_aborted(),
+            }
+            // A fresh transition into Down must be justified: either the
+            // channel gave up explicitly, or `threshold` consecutive
+            // timeouts accumulated with no ACK in between.
+            if d.state() == Health::Down && before != Health::Down && before != Health::Rejoining {
+                prop_assert!(
+                    forced || consecutive >= threshold,
+                    "Down after {consecutive} consecutive timeouts (threshold {threshold})"
+                );
+            }
+        }
+    }
+
+    /// Safety: `Rejoining` is only ever entered from `Down` (a probe
+    /// answered), and only `on_probe_success` performs that transition.
+    #[test]
+    fn detector_rejoining_only_from_down(
+        threshold in 1u32..8,
+        trace in proptest::collection::vec(obs_strategy(), 0..200),
+    ) {
+        use extmem_core::{Health, HealthDetector};
+        let mut d = HealthDetector::new(threshold);
+        for ob in trace {
+            let before = d.state();
+            match ob {
+                Obs::Timeout => d.on_timeout(),
+                Obs::Ack => d.on_ack(),
+                Obs::ChannelFailed => d.on_channel_failed(),
+                Obs::ProbeSuccess => d.on_probe_success(),
+                Obs::RejoinComplete => d.on_rejoin_complete(),
+                Obs::RejoinAborted => d.on_rejoin_aborted(),
+            }
+            if d.state() == Health::Rejoining && before != Health::Rejoining {
+                prop_assert_eq!(before, Health::Down, "entered Rejoining from {:?}", before);
+                prop_assert!(matches!(ob, Obs::ProbeSuccess), "entered Rejoining via {ob:?}");
+            }
+        }
+    }
+
+    /// The recovery PSN jump clears any plausible outstanding window: for
+    /// any starting PSN and any window of up to 512 consecutive ops, the
+    /// recovered PSN (`npsn + 2^20` in 24-bit arithmetic) never lands
+    /// inside the span a straggler response from the old incarnation could
+    /// occupy, so late responses can never alias into the fresh window.
+    #[test]
+    fn recovery_psn_jump_clears_outstanding_window(
+        base in 0u32..(1 << 24),
+        window in 1u32..512,
+    ) {
+        use extmem_wire::bth::psn_add;
+        let fresh = psn_add(base, 1 << 20);
+        for off in 0..window {
+            // Old-incarnation PSNs run backwards from npsn-1 over the window.
+            let old = psn_add(base, (1 << 24) - 1 - off);
+            prop_assert_ne!(fresh, old, "jump aliases old window at offset {}", off);
+        }
+    }
+}
