@@ -1,6 +1,6 @@
 //! Simulator performance harness (the perf-regression gate).
 //!
-//! Six fixed scenarios exercise the hot paths end to end:
+//! Seven fixed scenarios exercise the hot paths end to end:
 //!
 //! * `e1_write_read_loop` — the §5 packet-buffer store/drain loop: every
 //!   frame is encapsulated into an RDMA WRITE, ring-buffered on the memory
@@ -8,8 +8,15 @@
 //! * `incast` — the §2.1 rescue: 8 line-rate senders into one drain port
 //!   with the detour striped over 9 memory servers (forward + detour under
 //!   congestion),
-//! * `lookup_miss_storm` — the lookup primitive with caching disabled:
-//!   every packet pays a remote READ round trip (READ-response path),
+//! * `lookup_miss_storm` — the one-RTT cuckoo lookup with caching
+//!   disabled: every packet pays exactly one filter-steered bucket READ
+//!   (the direct-hash ablation survives as `lookup_miss_storm_direct`,
+//!   digest-pinned but not part of the baseline),
+//! * `insert_churn` — live cuckoo inserts/deletes (scripted sliding
+//!   window) under Zipf traffic: the relocation machinery's READ-verify +
+//!   WRITE displacements priced on the same wire as the lookups, with the
+//!   no-transient-miss invariant asserted (zero punts, reads-per-miss
+//!   exactly 1.0),
 //! * `faa_storm` — the §4 state-store primitive overdriven past the NIC's
 //!   atomic rate: the outstanding-atomics cap plus local accumulation
 //!   (merge/flush/ACK machinery) alongside line forwarding,
@@ -33,10 +40,13 @@ use extmem_apps::incast::{run_incast, IncastConfig, RemoteBufferSpec};
 use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
 use extmem_apps::workload::{Arrival, FlowPick, SinkNode, TrafficGenNode, WorkloadSpec};
 use extmem_core::faa::{FaaConfig, FaaEngine};
-use extmem_core::lookup::{install_remote_action, ActionEntry, LookupTableProgram};
+use extmem_core::lookup::{
+    install_cuckoo_image, install_remote_action, ActionEntry, ChurnScript, ControlOp,
+    LookupTableProgram,
+};
 use extmem_core::packet_buffer::{Mode, PacketBufferProgram, TOKEN_START_LOADING};
 use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
-use extmem_core::{Fib, PoolConfig, RdmaChannel, ReliableConfig};
+use extmem_core::{CuckooConfig, CuckooDirectory, Fib, PoolConfig, RdmaChannel, ReliableConfig};
 use extmem_rnic::{RnicConfig, RnicNode};
 use extmem_sim::{FaultSpec, LinkSpec, SchedStats, SimBuilder, Simulator};
 use extmem_switch::switch::program_token;
@@ -254,9 +264,93 @@ pub fn incast_scenario() -> PerfResult {
     }
 }
 
-/// Lookup-miss storm: every packet misses the (disabled) cache and fetches
-/// its action entry from remote memory.
+/// Lookup-miss storm, one-RTT cuckoo mode: 256 installed flows, caching
+/// disabled, every packet pays exactly one bucket READ (the filter steers
+/// each probe to the bucket its key lives in). The run asserts the tentpole
+/// metric — reads-per-miss == 1.0 with zero slow-path punts.
 pub fn lookup_miss_storm(count: u64) -> PerfResult {
+    const DSCP: u8 = 46;
+    const FLOWS: u16 = 256;
+    let table_port = PortId(2);
+    let mut dir = CuckooDirectory::new(CuckooConfig::for_capacity(FLOWS as u64));
+    let flows: Vec<FiveTuple> = (0..FLOWS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 80, 17))
+        .collect();
+    for f in &flows {
+        dir.install(*f, ActionEntry::set_dscp(DSCP))
+            .expect("pre-population fits");
+    }
+    let mut nic = RnicNode::new("tablesrv", RnicConfig::at(host_endpoint(2)));
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        table_port,
+        &mut nic,
+        ByteSize::from_bytes(dir.region_bytes()),
+    );
+    install_cuckoo_image(&mut nic, &channel, &dir);
+
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = LookupTableProgram::cuckoo(fib, channel, dir, None);
+
+    let mut b = SimBuilder::new(31);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let spec = WorkloadSpec {
+        src_mac: host_mac(0),
+        dst_mac: host_mac(1),
+        flows,
+        pick: FlowPick::RoundRobin,
+        frame_len: 256,
+        offered: Some(Rate::from_gbps(5)),
+        arrival: Arrival::Paced,
+        count,
+        seed: 9,
+        flow_id_base: 0,
+    };
+    let gen = b.add_node(Box::new(TrafficGenNode::new("client", spec)));
+    let server = b.add_node(Box::new(SinkNode::new("server")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    b.connect(switch, table_port, table, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    let r = time_run("lookup_miss_storm", &mut sim, |sim| {
+        sim.run_to_quiescence();
+    });
+    let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
+    let stats = sw.program::<LookupTableProgram>().stats();
+    assert_eq!(
+        stats.remote_lookups, count,
+        "every packet must take the remote path"
+    );
+    assert_eq!(stats.slow_path, 0, "no punts in cuckoo mode: {stats:?}");
+    assert_eq!(stats.bucket_misses, 0, "filter misdirected a probe: {stats:?}");
+    assert_eq!(
+        stats.reads_per_miss(),
+        1.0,
+        "the one-RTT property: exactly one READ per miss: {stats:?}"
+    );
+    assert_eq!(
+        sim.node::<SinkNode>(server).received,
+        count,
+        "forward path lost frames"
+    );
+    r
+}
+
+/// The direct-hash ablation baseline: the pre-cuckoo lookup wire behavior
+/// (one flow hashed straight to its slot, no filter, no relocation). Kept
+/// out of [`run_all`] — its digest pins the old wire format and the
+/// backend-equivalence suite replays it.
+pub fn lookup_miss_storm_direct(count: u64) -> PerfResult {
     const DSCP: u8 = 46;
     let table_port = PortId(2);
     let mut nic = RnicNode::new("tablesrv", RnicConfig::at(host_endpoint(2)));
@@ -300,7 +394,7 @@ pub fn lookup_miss_storm(count: u64) -> PerfResult {
 
     let mut sim = b.build();
     sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
-    let r = time_run("lookup_miss_storm", &mut sim, |sim| {
+    let r = time_run("lookup_miss_storm_direct", &mut sim, |sim| {
         sim.run_to_quiescence();
     });
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
@@ -309,6 +403,136 @@ pub fn lookup_miss_storm(count: u64) -> PerfResult {
         count,
         "every packet must take the remote path"
     );
+    r
+}
+
+/// Insert churn: live table churn under Zipf traffic. 140 resident flows
+/// carry the load while a scripted sequence inserts and deletes 96 disjoint
+/// keys (sliding window of 8) through the relocation machinery — every
+/// displacement is a READ-verify + WRITE on the same wire as the lookups.
+/// The run asserts the no-transient-miss invariant end to end: zero punts,
+/// reads-per-miss exactly 1.0 throughout the storm, and the remote region
+/// bit-for-bit equal to the directory image afterwards.
+pub fn insert_churn(count: u64) -> PerfResult {
+    const DSCP: u8 = 46;
+    const TRAFFIC_KEYS: u16 = 140;
+    const CHURN_KEYS: u16 = 96;
+    const WINDOW: usize = 8;
+    let table_port = PortId(2);
+    // 64 buckets = 256 slots: ~58% peak load, enough pressure that inserts
+    // regularly land in full primary buckets and relocate residents.
+    let cfg = CuckooConfig {
+        buckets: 64,
+        filter_cells: 2048,
+        filter_hashes: 2,
+        max_plan_steps: 64,
+    };
+    let mut dir = CuckooDirectory::new(cfg);
+    let flows: Vec<FiveTuple> = (0..TRAFFIC_KEYS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 80, 17))
+        .collect();
+    for f in &flows {
+        dir.install(*f, ActionEntry::set_dscp(DSCP))
+            .expect("pre-population fits");
+    }
+    let churn_keys: Vec<FiveTuple> = (0..CHURN_KEYS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 50_000 + i, 80, 17))
+        .collect();
+    let mut ops = Vec::new();
+    for (i, k) in churn_keys.iter().enumerate() {
+        ops.push(ControlOp::Insert(*k, ActionEntry::set_dscp(12)));
+        if i >= WINDOW {
+            ops.push(ControlOp::Remove(churn_keys[i - WINDOW]));
+        }
+    }
+    for k in &churn_keys[CHURN_KEYS as usize - WINDOW..] {
+        ops.push(ControlOp::Remove(*k));
+    }
+    let script = ChurnScript {
+        ops,
+        period: TimeDelta::from_micros(2),
+    };
+
+    let mut nic = RnicNode::new("tablesrv", RnicConfig::at(host_endpoint(2)));
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        table_port,
+        &mut nic,
+        ByteSize::from_bytes(dir.region_bytes()),
+    );
+    let (rkey, base_va) = (channel.rkey, channel.base_va);
+    install_cuckoo_image(&mut nic, &channel, &dir);
+
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = LookupTableProgram::cuckoo(fib, channel, dir, None).with_churn(script);
+
+    let mut b = SimBuilder::new(37);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let spec = WorkloadSpec {
+        src_mac: host_mac(0),
+        dst_mac: host_mac(1),
+        flows,
+        pick: FlowPick::Zipf(1.1),
+        frame_len: 256,
+        offered: Some(Rate::from_gbps(5)),
+        arrival: Arrival::Paced,
+        count,
+        seed: 13,
+        flow_id_base: 0,
+    };
+    let gen = b.add_node(Box::new(TrafficGenNode::new("client", spec)));
+    let server = b.add_node(Box::new(SinkNode::new("server")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    b.connect(switch, table_port, table, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.schedule_timer(
+        switch,
+        TimeDelta::from_micros(5),
+        program_token(extmem_core::lookup::TOKEN_CHURN),
+    );
+    let r = time_run("insert_churn", &mut sim, |sim| {
+        sim.run_to_quiescence();
+    });
+    let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
+    let prog = sw.program::<LookupTableProgram>();
+    let stats = prog.stats();
+    assert_eq!(
+        sim.node::<SinkNode>(server).received,
+        count,
+        "forward path lost frames"
+    );
+    assert_eq!(stats.remote_lookups, count, "cacheless: all remote");
+    assert_eq!(stats.slow_path, 0, "transient miss punted: {stats:?}");
+    assert_eq!(stats.bucket_misses, 0, "filter misdirected a probe: {stats:?}");
+    assert_eq!(stats.reads_per_miss(), 1.0, "one READ per miss: {stats:?}");
+    assert!(
+        stats.relocation_moves > 0,
+        "churn never displaced a resident: {stats:?}"
+    );
+    assert_eq!(stats.inserts_rejected, 0, "table full mid-script: {stats:?}");
+    assert_eq!(stats.inserts_applied, CHURN_KEYS as u64, "{stats:?}");
+    assert_eq!(stats.removes_applied, CHURN_KEYS as u64, "{stats:?}");
+    assert_eq!(stats.verify_mismatches, 0, "directory drifted: {stats:?}");
+    assert!(prog.relocation_idle(), "relocation work leaked: {stats:?}");
+    let dir = prog.directory().expect("cuckoo mode");
+    let image = dir.encode_region();
+    let remote = sim
+        .node::<RnicNode>(table)
+        .region(rkey)
+        .read(base_va, image.len() as u64)
+        .expect("region in bounds");
+    assert_eq!(remote, &image[..], "remote region diverged from directory");
     r
 }
 
@@ -625,6 +849,7 @@ pub fn run_all() -> Vec<PerfResult> {
         best_of(REPS, || e1_write_read_loop(8_000)),
         best_of(REPS, incast_scenario),
         best_of(REPS, || lookup_miss_storm(8_000)),
+        best_of(REPS, || insert_churn(8_000)),
         best_of(REPS, || faa_storm(40_000)),
         best_of(REPS, || loss_sweep(6_000)),
         best_of(REPS, || server_failover(8_000)),
@@ -641,6 +866,8 @@ mod tests {
         let results = vec![
             e1_write_read_loop(500),
             lookup_miss_storm(300),
+            lookup_miss_storm_direct(300),
+            insert_churn(600),
             faa_storm(2_000),
             loss_sweep(600),
             server_failover(1_200),

@@ -5,12 +5,12 @@
 //! The structure proptests check the two backends agree op-by-op on random
 //! scripts; this test checks the property that actually justifies the swap —
 //! the *simulations* are indistinguishable: same packet trace, same event
-//! count, end to end, for all six perf scenarios (at reduced scale so the
-//! suite stays fast).
+//! count, end to end, for all perf scenarios plus the direct-hash lookup
+//! ablation (at reduced scale so the suite stays fast).
 
 use extmem_bench::simperf::{
-    e1_write_read_loop, faa_storm, incast_scenario, lookup_miss_storm, loss_sweep,
-    server_failover, PerfResult,
+    e1_write_read_loop, faa_storm, incast_scenario, insert_churn, lookup_miss_storm,
+    lookup_miss_storm_direct, loss_sweep, server_failover, PerfResult,
 };
 use extmem_sim::{with_sched_backend, SchedBackend};
 
@@ -45,6 +45,19 @@ fn incast_is_backend_invariant() {
 #[test]
 fn lookup_miss_storm_is_backend_invariant() {
     assert_backend_equivalent("lookup_miss_storm", || lookup_miss_storm(250));
+}
+
+#[test]
+fn lookup_miss_storm_direct_is_backend_invariant() {
+    assert_backend_equivalent("lookup_miss_storm_direct", || lookup_miss_storm_direct(250));
+}
+
+#[test]
+fn insert_churn_is_backend_invariant() {
+    // Relocation steps, verify READs, and the churn script all ride on
+    // timers interleaved with traffic, so displacement ordering would be
+    // the first casualty of a backend-dependent tie-break.
+    assert_backend_equivalent("insert_churn", || insert_churn(600));
 }
 
 #[test]

@@ -1,0 +1,28 @@
+//! Wire-format pin for the direct-hash lookup ablation.
+//!
+//! The one-RTT cuckoo rework left the old direct-hash lookup mode in place
+//! as the ablation baseline, and its wire behavior must not drift while the
+//! cuckoo path evolves: same slot arithmetic, same READ geometry, same
+//! packet trace. The trace digest is backend- and platform-independent
+//! (the sched_equivalence suite proves the former), so a single pinned
+//! constant holds the whole run — any change to the direct-hash wire
+//! format, op sizing, or event ordering shows up as a digest mismatch here
+//! before it can silently redefine the ablation.
+
+use extmem_bench::simperf::lookup_miss_storm_direct;
+
+/// Digest of `lookup_miss_storm_direct(500)` at the current wire format.
+/// If an intentional protocol change moves it, re-run and update — but an
+/// unintentional move means the ablation baseline no longer measures what
+/// the paper comparison says it measures.
+const DIRECT_HASH_DIGEST: u64 = 0x5797c11d2650563d;
+
+#[test]
+fn direct_hash_ablation_wire_format_is_pinned() {
+    let r = lookup_miss_storm_direct(500);
+    assert_eq!(
+        r.digest, DIRECT_HASH_DIGEST,
+        "direct-hash ablation trace drifted: got {:016x}, pinned {:016x}",
+        r.digest, DIRECT_HASH_DIGEST
+    );
+}

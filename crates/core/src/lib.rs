@@ -35,6 +35,8 @@
 //!   prefix length.
 //! * [`slow_path`] — the CPU software-fallback baseline the lookup
 //!   primitive replaces (§2.2), for the A8 comparison.
+//! * [`cuckoo`] — the two-choice cuckoo directory + relocation planner
+//!   behind the one-RTT lookup mode (EMOMA-style filter-steered probing).
 //! * [`composite`] — multiple primitives on one switch (§1's coexistence
 //!   motivation): the gateway and telemetry in a single pipeline.
 //! * [`trace_store`] — WRITE-based packet-event capture (§2.3) plus
@@ -46,6 +48,7 @@
 
 pub mod channel;
 pub mod composite;
+pub mod cuckoo;
 pub mod faa;
 pub mod fib;
 pub mod l2;
@@ -59,6 +62,7 @@ pub mod state_store;
 pub mod trace_store;
 
 pub use channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
+pub use cuckoo::{CuckooConfig, CuckooDirectory, CuckooError};
 pub use pool::{Health, HealthDetector, PoolConfig, PoolStats, ReplicatedPool};
 pub use fib::Fib;
 pub use l2::L2Program;

@@ -17,24 +17,60 @@
 //!
 //! The action area is populated by the control plane (the operator's
 //! table); the packet area is scratch space owned by the data plane.
+//!
+//! ## One-RTT cuckoo mode
+//!
+//! [`TableMode::Cuckoo`] replaces the direct-hash slot array with a
+//! two-choice cuckoo table ([`crate::cuckoo`]) plus a counting Bloom filter
+//! in switch SRAM ([`extmem_switch::filter`]): the filter tells the data
+//! plane *which* of the key's two buckets to READ, so every miss costs
+//! exactly one bucket-sized round trip — no collisions, no second probe.
+//! Online inserts and deletes run through a relocation planner whose steps
+//! this program executes over the reliable channel (READ-verify then WRITE
+//! per displaced entry, mirror fan-out preserved); the live filter flips at
+//! the instant each destination WRITE is issued, so the FIFO channel
+//! guarantees any later bucket READ observes the write and no resident key
+//! is ever transiently unfindable. The direct-hash wire behavior stays
+//! available (the default constructors) as the ablation baseline.
 
 use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
+use crate::cuckoo::{
+    decode_slot, encode_slot, slot_va, CuckooDirectory, Step, BUCKET_BYTES, SLOTS_PER_BUCKET,
+    SLOT_BYTES,
+};
 use crate::fib::Fib;
 use crate::pool::{PoolConfig, PoolStats, ReplicatedPool};
 use extmem_rnic::RnicNode;
+use extmem_switch::filter::ChoiceFilter;
 use extmem_switch::hash::flow_index;
 use extmem_switch::switch::RECIRC_PORT;
 use extmem_switch::table::{ExactMatchTable, Replacement};
 use extmem_switch::{PipelineProgram, SwitchCtx};
-use extmem_types::{FiveTuple, PortId};
+use extmem_types::{FiveTuple, PortId, TimeDelta};
 use extmem_wire::ipv4::{internet_checksum, proto};
 use extmem_wire::roce::RocePacket;
 use extmem_wire::{EthernetHeader, Ipv4Header, MacAddr, Packet, Payload, UdpHeader};
+use std::collections::VecDeque;
 
 /// Timer token for the reliability-layer retransmission tick (routed to the
 /// program via the switch's program-token bit; distinct from the composite
 /// program's 0x41).
 const TOKEN_RELIABILITY_TICK: u64 = 0x31;
+
+/// Timer token that drains queued control-plane table ops (cuckoo mode).
+/// Well above the pool's per-server tick tokens (`0x31 + i`, probe at
+/// `0x31 + n`).
+pub const TOKEN_CONTROL: u64 = 0x3A0;
+
+/// Timer token that steps the scripted churn driver (cuckoo mode). The
+/// program re-arms it every [`ChurnScript::period`] until the script is
+/// exhausted.
+pub const TOKEN_CHURN: u64 = 0x3A1;
+
+/// Cookie bit marking control-plane (relocation/maintenance) ops. Bit 63 is
+/// the pool's internal bit; data-plane lookup cookies keep bits 62..64
+/// clear.
+const CTRL_BIT: u64 = 1 << 62;
 
 /// Bytes reserved for the action at the head of each slot.
 pub const ACTION_LEN: usize = 16;
@@ -263,6 +299,40 @@ pub enum MissHandling {
     Recirculate,
 }
 
+/// Which remote data structure the table runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TableMode {
+    /// The paper's §4 wire behavior: one slot per flow hash, colliding
+    /// flows alias/punt. Kept as the ablation baseline.
+    #[default]
+    DirectHash,
+    /// EMOMA-style one-RTT mode: two-choice cuckoo buckets + switch-side
+    /// counting filter; every miss is exactly one bucket READ.
+    Cuckoo,
+}
+
+/// A control-plane table operation (cuckoo mode), executed asynchronously
+/// by the relocation machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Insert `key → action` (or update the action in place).
+    Insert(FiveTuple, ActionEntry),
+    /// Delete the key.
+    Remove(FiveTuple),
+}
+
+/// A scripted insert/delete sequence driven by [`TOKEN_CHURN`]: one op is
+/// queued per firing and the timer re-arms every `period` until the script
+/// is exhausted. This is how benchmarks and tests interleave live table
+/// churn with data-plane traffic deterministically.
+#[derive(Clone, Debug)]
+pub struct ChurnScript {
+    /// The ops, executed in order.
+    pub ops: Vec<ControlOp>,
+    /// Delay between consecutive ops.
+    pub period: TimeDelta,
+}
+
 /// Counters for the lookup program.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LookupStats {
@@ -291,11 +361,48 @@ pub struct LookupStats {
     /// Ops abandoned by the reliability layer (a bounced packet lost to a
     /// channel failover is gone: it lived in remote memory).
     pub failed_ops: u64,
+    /// Bucket READs issued (cuckoo mode; equals `remote_lookups` there —
+    /// one probe per miss is the whole point).
+    pub bucket_reads: u64,
+    /// Bucket READs whose response held no matching key (an unknown flow,
+    /// or a filter false positive steering a non-resident key to h2).
+    pub bucket_misses: u64,
+    /// Probes the filter steered to the secondary bucket.
+    pub filter_secondary_probes: u64,
+    /// Cuckoo displacements executed on the wire (READ-verify + WRITE).
+    pub relocation_moves: u64,
+    /// Longest relocation chain any single insert needed.
+    pub relocation_chain_max: u64,
+    /// Displacements forced purely to keep a filter increment from
+    /// misdirecting an h1-resident key (filter false-positive cost).
+    pub filter_fp_moves: u64,
+    /// Verify READs whose source slot bytes didn't match the directory
+    /// (must stay 0: the directory is authoritative).
+    pub verify_mismatches: u64,
+    /// Control-plane inserts applied (including in-place updates).
+    pub inserts_applied: u64,
+    /// Control-plane removes applied.
+    pub removes_applied: u64,
+    /// Inserts rejected with a full table (the control plane's signal to
+    /// resize; rejected inserts mutate nothing).
+    pub inserts_rejected: u64,
     /// Reliability-layer counters for the underlying channel(s), merged
     /// across the pool.
     pub channel: ChannelStats,
     /// Replication-layer counters (all zero for single-server tables).
     pub pool: PoolStats,
+}
+
+impl LookupStats {
+    /// READs issued per remote miss — the tentpole metric: 1.0 in cuckoo
+    /// mode, meaningless (0) when no misses have happened.
+    pub fn reads_per_miss(&self) -> f64 {
+        if self.remote_lookups == 0 {
+            0.0
+        } else {
+            self.bucket_reads as f64 / self.remote_lookups as f64
+        }
+    }
 }
 
 /// The lookup-table pipeline program.
@@ -322,7 +429,41 @@ pub struct LookupTableProgram {
     degraded: bool,
     /// Completion scratch, reused across calls.
     events: Vec<ChannelEvent>,
+    mode: TableMode,
+    /// Cuckoo-mode state (`Some` iff `mode == TableMode::Cuckoo`).
+    cuckoo: Option<CuckooState>,
     stats: LookupStats,
+}
+
+/// All cuckoo-mode state of the lookup program.
+struct CuckooState {
+    /// The control-plane directory: authoritative table contents, planned
+    /// filter, relocation planner.
+    dir: CuckooDirectory,
+    /// The data plane's SRAM filter. Converges to `dir.filter()` step by
+    /// step: each flip is applied at the instant its paired WRITE is issued
+    /// into the FIFO channel.
+    live_filter: ChoiceFilter,
+    /// In-flight bucket READs: cookie → (flow, probed-secondary?, packet).
+    pending: std::collections::HashMap<u64, (FiveTuple, bool, Packet)>,
+    /// Next data-plane lookup cookie (bits 62/63 clear).
+    next_lookup: u64,
+    /// Next control-op cookie (CTRL_BIT set).
+    next_ctrl: u64,
+    /// Relocation steps awaiting wire issue, in plan order.
+    steps: VecDeque<Step>,
+    /// A `Move` whose source-verify READ is in flight, with its cookie.
+    verify: Option<(Step, u64)>,
+    /// Queued control ops; one is planned at a time, only when the step
+    /// queue is drained.
+    control: VecDeque<ControlOp>,
+    /// Scripted churn driver, if any.
+    churn: Option<ChurnScript>,
+    /// Next unexecuted churn-script op.
+    churn_next: usize,
+    /// A directory image is being written onto a rejoining replica;
+    /// control ops hold until it completes so the image cannot go stale.
+    reseeding: bool,
 }
 
 impl LookupTableProgram {
@@ -385,13 +526,111 @@ impl LookupTableProgram {
             recirc_passes: std::collections::HashMap::new(),
             degraded: false,
             events: Vec::new(),
+            mode: TableMode::DirectHash,
+            cuckoo: None,
             stats: LookupStats::default(),
         }
+    }
+
+    /// Create the program in one-RTT cuckoo mode over a single table
+    /// server. `dir` is the pre-populated control-plane directory; install
+    /// its byte image on the server with [`install_cuckoo_image`] before
+    /// traffic flows.
+    pub fn cuckoo(
+        fib: Fib,
+        channel: RdmaChannel,
+        dir: CuckooDirectory,
+        cache_capacity: Option<usize>,
+    ) -> LookupTableProgram {
+        assert_bucket_geometry(&channel);
+        let mut channel = ReliableChannel::new(channel, ReliableConfig::default());
+        channel.set_timer_token(TOKEN_RELIABILITY_TICK);
+        Self::over_cuckoo(fib, ReplicatedPool::single(channel), dir, cache_capacity)
+    }
+
+    /// One-RTT cuckoo mode over a replicated pool of table servers (index 0
+    /// starts as primary). Install the directory image on **every** server
+    /// before traffic flows. Rejoining replicas are reconciled from the
+    /// directory (the authoritative copy), so `auto_promote`/
+    /// `reseed_atomics` are forced off — promotion happens only after this
+    /// program reseeds the rejoiner bit-for-bit.
+    pub fn cuckoo_replicated(
+        fib: Fib,
+        channels: Vec<RdmaChannel>,
+        dir: CuckooDirectory,
+        cache_capacity: Option<usize>,
+        mut pool_config: PoolConfig,
+    ) -> LookupTableProgram {
+        for ch in &channels {
+            assert_bucket_geometry(ch);
+        }
+        pool_config.auto_promote = false;
+        pool_config.reseed_atomics = false;
+        let mut pool = ReplicatedPool::new(
+            channels
+                .into_iter()
+                .map(|ch| ReliableChannel::new(ch, ReliableConfig::default()))
+                .collect(),
+            pool_config,
+        );
+        pool.set_timer_tokens(TOKEN_RELIABILITY_TICK);
+        Self::over_cuckoo(fib, pool, dir, cache_capacity)
+    }
+
+    fn over_cuckoo(
+        fib: Fib,
+        pool: ReplicatedPool,
+        dir: CuckooDirectory,
+        cache_capacity: Option<usize>,
+    ) -> LookupTableProgram {
+        assert!(
+            pool.region_len() >= dir.region_bytes(),
+            "remote region smaller than the cuckoo table"
+        );
+        let live_filter = dir.filter().clone();
+        LookupTableProgram {
+            fib,
+            pool,
+            entry_size: BUCKET_BYTES as u64,
+            entries: dir.config().buckets,
+            cache: cache_capacity.map(|c| ExactMatchTable::new(c, Replacement::Lru)),
+            miss_handling: MissHandling::Bounce,
+            pending_reads: std::collections::HashSet::new(),
+            staged: std::collections::HashMap::new(),
+            recirc_passes: std::collections::HashMap::new(),
+            degraded: false,
+            events: Vec::new(),
+            mode: TableMode::Cuckoo,
+            cuckoo: Some(CuckooState {
+                live_filter,
+                dir,
+                pending: std::collections::HashMap::new(),
+                next_lookup: 0,
+                next_ctrl: 0,
+                steps: VecDeque::new(),
+                verify: None,
+                control: VecDeque::new(),
+                churn: None,
+                churn_next: 0,
+                reseeding: false,
+            }),
+            stats: LookupStats::default(),
+        }
+    }
+
+    /// Attach a scripted churn sequence (cuckoo mode). Kick it by
+    /// scheduling [`TOKEN_CHURN`] (via `program_token`) at the desired
+    /// start time; it then self-paces at `script.period`.
+    pub fn with_churn(mut self, script: ChurnScript) -> LookupTableProgram {
+        let cs = self.cuckoo.as_mut().expect("churn needs cuckoo mode");
+        cs.churn = Some(script);
+        self
     }
 
     /// Switch the miss path to the §7 recirculation alternative. Requires
     /// a local cache (staged actions are promoted into it).
     pub fn with_recirculation(mut self) -> LookupTableProgram {
+        assert_eq!(self.mode, TableMode::DirectHash, "cuckoo mode always bounces");
         assert!(self.cache.is_some(), "Recirculate mode needs a local cache");
         self.miss_handling = MissHandling::Recirculate;
         self
@@ -434,9 +673,299 @@ impl LookupTableProgram {
         self.entries
     }
 
-    /// The remote slot a flow maps to.
+    /// The remote slot a flow maps to (direct-hash mode; in cuckoo mode
+    /// residency is decided by the directory, not this arithmetic).
     pub fn slot_of(&self, flow: &FiveTuple) -> u64 {
         flow_index(flow, self.entries)
+    }
+
+    /// Which remote data structure this table runs on.
+    pub fn mode(&self) -> TableMode {
+        self.mode
+    }
+
+    /// The control-plane cuckoo directory (cuckoo mode).
+    pub fn directory(&self) -> Option<&CuckooDirectory> {
+        self.cuckoo.as_ref().map(|cs| &cs.dir)
+    }
+
+    /// The data plane's live filter (cuckoo mode).
+    pub fn live_filter(&self) -> Option<&ChoiceFilter> {
+        self.cuckoo.as_ref().map(|cs| &cs.live_filter)
+    }
+
+    /// Whether no relocation step, verify READ, control op, or reseed is
+    /// outstanding (cuckoo mode; trivially true otherwise).
+    pub fn relocation_idle(&self) -> bool {
+        self.cuckoo.as_ref().is_none_or(|cs| {
+            cs.steps.is_empty() && cs.verify.is_none() && cs.control.is_empty() && !cs.reseeding
+        })
+    }
+
+    /// Queue an insert/update for asynchronous execution (cuckoo mode).
+    /// Drained on the next event or [`TOKEN_CONTROL`] firing.
+    pub fn queue_insert(&mut self, key: FiveTuple, action: ActionEntry) {
+        let cs = self.cuckoo.as_mut().expect("inserts need cuckoo mode");
+        cs.control.push_back(ControlOp::Insert(key, action));
+    }
+
+    /// Queue a delete for asynchronous execution (cuckoo mode).
+    pub fn queue_remove(&mut self, key: FiveTuple) {
+        let cs = self.cuckoo.as_mut().expect("removes need cuckoo mode");
+        cs.control.push_back(ControlOp::Remove(key));
+    }
+
+    /// Cuckoo miss path: probe the live filter, READ exactly one bucket.
+    fn cuckoo_lookup(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, flow: FiveTuple, pkt: Packet) {
+        let base = self.pool.base_va();
+        let cs = self.cuckoo.as_mut().expect("cuckoo state");
+        let buckets = cs.dir.config().buckets;
+        let bucket = crate::cuckoo::probe_with(&cs.live_filter, &flow, buckets);
+        let (b1, b2) = cs.dir.bucket_pair(&flow);
+        let secondary = bucket == b2 && b1 != b2;
+        let cookie = cs.next_lookup;
+        cs.next_lookup += 1;
+        cs.pending.insert(cookie, (flow, secondary, pkt));
+        self.stats.remote_lookups += 1;
+        self.stats.bucket_reads += 1;
+        if secondary {
+            self.stats.filter_secondary_probes += 1;
+        }
+        let va = base + bucket * BUCKET_BYTES as u64;
+        self.pool.read(ctx, va, BUCKET_BYTES as u32, cookie);
+    }
+
+    /// A bucket READ response: scan the four slots for the pending flow.
+    fn cuckoo_read_done(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, cookie: u64, data: &Payload) {
+        self.stats.responses += 1;
+        let Some((flow, secondary, pkt)) = self
+            .cuckoo
+            .as_mut()
+            .expect("cuckoo state")
+            .pending
+            .remove(&cookie)
+        else {
+            return;
+        };
+        let mut found = None;
+        for s in 0..SLOTS_PER_BUCKET {
+            let at = s * SLOT_BYTES;
+            if data.len() < at + SLOT_BYTES {
+                break;
+            }
+            if let Some((key, action)) = decode_slot(&data[at..at + SLOT_BYTES]) {
+                if key == flow {
+                    found = Some(action);
+                    break;
+                }
+            }
+        }
+        match found {
+            Some(action) => {
+                if let Some(cache) = &mut self.cache {
+                    cache.insert(flow, action);
+                }
+                self.apply_and_forward(ctx, pkt, action);
+            }
+            None => {
+                // Unknown flow (or a filter false positive for a
+                // non-resident key): the software slow path, forwarded
+                // unmodified. Resident keys never land here — that's the
+                // no-transient-miss invariant.
+                self.stats.bucket_misses += 1;
+                let _ = secondary;
+                self.stats.slow_path += 1;
+                if let Some(port) = self.fib.egress_for(&pkt) {
+                    ctx.enqueue(port, pkt);
+                }
+            }
+        }
+    }
+
+    fn next_ctrl_cookie(&mut self) -> u64 {
+        let cs = self.cuckoo.as_mut().expect("cuckoo state");
+        let cookie = CTRL_BIT | cs.next_ctrl;
+        cs.next_ctrl += 1;
+        cookie
+    }
+
+    /// Issue one plan step onto the wire. `Move`s first READ-verify their
+    /// source slot (the WRITE + filter flip happen on the response);
+    /// `Write`/`Clear` issue immediately, flipping the live filter at the
+    /// same instant their WRITE enters the FIFO channel — that atomicity is
+    /// what keeps redirected probes and remote bytes consistent.
+    fn issue_step(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, step: Step) {
+        let base = self.pool.base_va();
+        match step {
+            Step::Move { from, .. } => {
+                let cookie = self.next_ctrl_cookie();
+                self.pool.read(ctx, slot_va(base, from), SLOT_BYTES as u32, cookie);
+                self.cuckoo.as_mut().expect("cuckoo state").verify = Some((step, cookie));
+            }
+            Step::Write {
+                key,
+                action,
+                to,
+                filter_add,
+            } => {
+                let cookie = self.next_ctrl_cookie();
+                let bytes = encode_slot(&key, &action).to_vec();
+                self.pool.write(ctx, slot_va(base, to), bytes, true, cookie);
+                if filter_add {
+                    self.cuckoo
+                        .as_mut()
+                        .expect("cuckoo state")
+                        .live_filter
+                        .insert(&key);
+                }
+            }
+            Step::Clear { at, filter_sub } => {
+                let cookie = self.next_ctrl_cookie();
+                self.pool
+                    .write(ctx, slot_va(base, at), vec![0u8; SLOT_BYTES], true, cookie);
+                if let Some(key) = filter_sub {
+                    self.cuckoo
+                        .as_mut()
+                        .expect("cuckoo state")
+                        .live_filter
+                        .remove(&key);
+                }
+            }
+        }
+    }
+
+    /// A verify READ came back: compare against the directory's bytes and
+    /// issue the destination WRITE + filter add.
+    fn ctrl_read_done(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, cookie: u64, data: &Payload) {
+        let cs = self.cuckoo.as_mut().expect("cuckoo state");
+        let Some((step, vc)) = cs.verify else {
+            return;
+        };
+        if vc != cookie {
+            return;
+        }
+        cs.verify = None;
+        if let Step::Move {
+            key, action, to, ..
+        } = step
+        {
+            let expected = encode_slot(&key, &action);
+            if data.len() < SLOT_BYTES || data[..SLOT_BYTES] != expected {
+                // The directory is authoritative; count the drift and
+                // write the correct bytes anyway.
+                self.stats.verify_mismatches += 1;
+            }
+            let wc = self.next_ctrl_cookie();
+            let base = self.pool.base_va();
+            self.pool
+                .write(ctx, slot_va(base, to), expected.to_vec(), true, wc);
+            self.cuckoo
+                .as_mut()
+                .expect("cuckoo state")
+                .live_filter
+                .insert(&key);
+            self.stats.relocation_moves += 1;
+        }
+    }
+
+    /// Plan the next queued control op (only with the step queue drained).
+    /// Returns `false` when nothing was planned.
+    fn plan_next_control(&mut self) -> bool {
+        let cs = self.cuckoo.as_mut().expect("cuckoo state");
+        let Some(op) = cs.control.pop_front() else {
+            return false;
+        };
+        match op {
+            ControlOp::Insert(key, action) => match cs.dir.plan_insert(key, action) {
+                Ok(plan) => {
+                    self.stats.inserts_applied += 1;
+                    self.stats.relocation_chain_max =
+                        self.stats.relocation_chain_max.max(plan.moves as u64);
+                    self.stats.filter_fp_moves += plan.fp_moves as u64;
+                    cs.steps.extend(plan.steps);
+                    if let Some(cache) = &mut self.cache {
+                        // An update must not keep serving a stale action.
+                        cache.remove(&key);
+                    }
+                }
+                Err(_) => self.stats.inserts_rejected += 1,
+            },
+            ControlOp::Remove(key) => {
+                if let Some(plan) = cs.dir.plan_remove(&key) {
+                    self.stats.removes_applied += 1;
+                    cs.steps.extend(plan.steps);
+                    if let Some(cache) = &mut self.cache {
+                        cache.remove(&key);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Pop one scripted churn op into the control queue and re-arm.
+    fn step_churn(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        let cs = self.cuckoo.as_mut().expect("cuckoo state");
+        let Some(script) = &cs.churn else {
+            return;
+        };
+        if cs.churn_next >= script.ops.len() {
+            return;
+        }
+        let op = script.ops[cs.churn_next];
+        let period = script.period;
+        cs.churn_next += 1;
+        let more = cs.churn_next < script.ops.len();
+        cs.control.push_back(op);
+        if more {
+            ctx.schedule(period, TOKEN_CHURN);
+        }
+    }
+
+    /// Reconcile a rejoining replica from the directory: once relocations
+    /// are idle, write the directory's byte image onto it and let the pool
+    /// promote it. Control ops hold while the reseed is in flight so the
+    /// image cannot go stale.
+    fn maybe_reseed(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        let active = self.pool.reseed_active();
+        let pending = self.pool.rejoin_pending();
+        let base = self.pool.base_va();
+        let cs = self.cuckoo.as_mut().expect("cuckoo state");
+        if cs.reseeding {
+            if active {
+                return;
+            }
+            cs.reseeding = false; // finished (or aborted; a re-probe retries)
+        }
+        if pending && cs.verify.is_none() && cs.steps.is_empty() {
+            let image = cs.dir.encode_writes(base);
+            if self.pool.reseed_rejoiner(ctx, image) {
+                self.cuckoo.as_mut().expect("cuckoo state").reseeding = true;
+            }
+        }
+    }
+
+    /// The relocation pump: issue queued steps (stopping at a verify round
+    /// trip), then plan further control ops, then check reseed. Called
+    /// after every event batch and control/churn timer.
+    fn advance(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
+        if self.mode != TableMode::Cuckoo || self.degraded {
+            return;
+        }
+        self.maybe_reseed(ctx);
+        loop {
+            let cs = self.cuckoo.as_mut().expect("cuckoo state");
+            if cs.verify.is_some() {
+                return;
+            }
+            if let Some(step) = cs.steps.pop_front() {
+                self.issue_step(ctx, step);
+                continue;
+            }
+            if cs.reseeding || !self.plan_next_control() {
+                return;
+            }
+        }
     }
 
     /// Forward `pkt` after its action was applied.
@@ -555,30 +1084,62 @@ impl LookupTableProgram {
         self.pool.on_roce(ctx, in_port, roce, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
+        self.advance(ctx);
     }
 
     fn consume_events(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, events: &mut Vec<ChannelEvent>) {
         for ev in events.drain(..) {
             match ev {
-                ChannelEvent::ReadDone { cookie, data } => match self.miss_handling {
-                    MissHandling::Bounce => self.consume_entry(ctx, &data),
-                    MissHandling::Recirculate => {
-                        self.stats.responses += 1;
-                        if data.len() >= ACTION_LEN && self.pending_reads.remove(&cookie) {
-                            let action =
-                                ActionEntry::from_bytes(data[..ACTION_LEN].try_into().unwrap());
-                            self.staged.insert(cookie, action);
+                ChannelEvent::ReadDone { cookie, data } => match self.mode {
+                    TableMode::Cuckoo => {
+                        if cookie & CTRL_BIT != 0 {
+                            self.ctrl_read_done(ctx, cookie, &data);
+                        } else {
+                            self.cuckoo_read_done(ctx, cookie, &data);
                         }
                     }
+                    TableMode::DirectHash => match self.miss_handling {
+                        MissHandling::Bounce => self.consume_entry(ctx, &data),
+                        MissHandling::Recirculate => {
+                            self.stats.responses += 1;
+                            if data.len() >= ACTION_LEN && self.pending_reads.remove(&cookie) {
+                                let action =
+                                    ActionEntry::from_bytes(data[..ACTION_LEN].try_into().unwrap());
+                                self.staged.insert(cookie, action);
+                            }
+                        }
+                    },
                 },
                 ChannelEvent::WriteDone { .. } => {}
                 ChannelEvent::AtomicDone { .. } => {}
                 ChannelEvent::OpFailed { cookie } => {
                     self.stats.failed_ops += 1;
-                    if self.miss_handling == MissHandling::Recirculate {
-                        // Let the next arrival for this slot re-issue (or,
-                        // degraded, punt to the slow path).
-                        self.pending_reads.remove(&cookie);
+                    match self.mode {
+                        TableMode::Cuckoo => {
+                            let cs = self.cuckoo.as_mut().expect("cuckoo state");
+                            if cookie & CTRL_BIT != 0 {
+                                // A dying pool abandoned a control op; if it
+                                // was the verify READ, drop the step (the
+                                // table is degrading anyway).
+                                if cs.verify.is_some_and(|(_, vc)| vc == cookie) {
+                                    cs.verify = None;
+                                }
+                            } else if let Some((_, _, pkt)) = cs.pending.remove(&cookie) {
+                                // The lookup is gone with the pool: punt the
+                                // parked packet to the slow path unmodified.
+                                self.stats.slow_path += 1;
+                                if let Some(port) = self.fib.egress_for(&pkt) {
+                                    ctx.enqueue(port, pkt);
+                                }
+                            }
+                        }
+                        TableMode::DirectHash => {
+                            if self.miss_handling == MissHandling::Recirculate {
+                                // Let the next arrival for this slot re-issue
+                                // (or, degraded, punt to the slow path).
+                                self.pending_reads.remove(&cookie);
+                            }
+                        }
                     }
                 }
                 ChannelEvent::Failed => self.degraded = true,
@@ -625,21 +1186,56 @@ impl PipelineProgram for LookupTableProgram {
             }
             return;
         }
-        match self.miss_handling {
-            MissHandling::Bounce => self.remote_lookup(ctx, flow, pkt),
-            MissHandling::Recirculate => self.recirculate_miss(ctx, flow, pkt),
+        match self.mode {
+            TableMode::Cuckoo => self.cuckoo_lookup(ctx, flow, pkt),
+            TableMode::DirectHash => match self.miss_handling {
+                MissHandling::Bounce => self.remote_lookup(ctx, flow, pkt),
+                MissHandling::Recirculate => self.recirculate_miss(ctx, flow, pkt),
+            },
         }
     }
 
     fn on_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, token: u64) {
+        if self.mode == TableMode::Cuckoo && (token == TOKEN_CONTROL || token == TOKEN_CHURN) {
+            if token == TOKEN_CHURN {
+                self.step_churn(ctx);
+            }
+            self.advance(ctx);
+            return;
+        }
         let mut events = std::mem::take(&mut self.events);
         self.pool.on_timer(ctx, token, &mut events);
         self.consume_events(ctx, &mut events);
         self.events = events;
+        self.advance(ctx);
     }
 
     fn program_name(&self) -> &str {
         "lookup-table-primitive"
+    }
+}
+
+/// The bucket-granularity READ geometry: a cuckoo bucket must come back as
+/// a single response packet (one PSN), or the "one memory access" miss
+/// would still span multiple wire packets. Checked against the channel's
+/// negotiated MTU.
+fn assert_bucket_geometry(channel: &RdmaChannel) {
+    assert!(
+        channel.qp.single_packet_read_limit() as usize >= BUCKET_BYTES,
+        "bucket ({BUCKET_BYTES} B) exceeds single-response READ limit ({} B)",
+        channel.qp.single_packet_read_limit()
+    );
+}
+
+/// Control plane: install the directory's byte image into the remote region
+/// backing `channel` on `nic` (host-side pre-population, the cuckoo-mode
+/// analogue of [`install_remote_action`]). With replication, call once per
+/// server.
+pub fn install_cuckoo_image(nic: &mut RnicNode, channel: &RdmaChannel, dir: &CuckooDirectory) {
+    for (va, bytes) in dir.encode_writes(channel.base_va) {
+        nic.region_mut(channel.rkey)
+            .write(va, &bytes)
+            .expect("image in bounds");
     }
 }
 
@@ -744,28 +1340,62 @@ mod tests {
         );
     }
 
+    /// A pair of distinct flows that alias under the direct-hash table
+    /// arithmetic (`flow_index` over `entries` slots).
+    fn colliding_pair(entries: u64) -> (FiveTuple, FiveTuple) {
+        use extmem_switch::hash::flow_index;
+        for a in 0..500u32 {
+            for b2 in (a + 1)..500 {
+                let fa = FiveTuple::new(0x0a000001, 0x0a000002, 1000 + a as u16, 80, 17);
+                let fb = FiveTuple::new(0x0a000001, 0x0a000002, 1000 + b2 as u16, 80, 17);
+                if flow_index(&fa, entries) == flow_index(&fb, entries) {
+                    return (fa, fb);
+                }
+            }
+        }
+        panic!("a collision must exist in 500 flows over {entries} slots");
+    }
+
     #[test]
-    fn colliding_flows_share_a_slot_action() {
+    fn direct_hash_colliding_flows_share_a_slot_action() {
         // The remote table is direct-indexed by a hash: two flows mapping
         // to the same slot get the same action — a property of the §4
         // design the control plane must manage (size the table, detect
         // collisions at install time). Verify the arithmetic surfaces it.
         use extmem_switch::hash::flow_index;
         let entries = 64u64; // small table to force a collision quickly
-        let mut found = None;
-        'outer: for a in 0..500u32 {
-            for b2 in (a + 1)..500 {
-                let fa = FiveTuple::new(0x0a000001, 0x0a000002, 1000 + a as u16, 80, 17);
-                let fb = FiveTuple::new(0x0a000001, 0x0a000002, 1000 + b2 as u16, 80, 17);
-                if flow_index(&fa, entries) == flow_index(&fb, entries) {
-                    found = Some((fa, fb));
-                    break 'outer;
-                }
-            }
-        }
-        let (fa, fb) = found.expect("a collision must exist in 500 flows over 64 slots");
+        let (fa, fb) = colliding_pair(entries);
         assert_eq!(flow_index(&fa, entries), flow_index(&fb, entries));
         assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn cuckoo_mode_resolves_the_same_colliding_pair() {
+        // The exact pair the direct-hash table aliases gets two distinct
+        // entries in cuckoo mode, each findable where the filter-steered
+        // probe points — one READ each, no punt.
+        use crate::cuckoo::{probe_with, CuckooConfig, CuckooDirectory};
+        let entries = 64u64;
+        let (fa, fb) = colliding_pair(entries);
+        let mut dir = CuckooDirectory::new(CuckooConfig {
+            buckets: entries,
+            filter_cells: 512,
+            filter_hashes: 2,
+            max_plan_steps: 64,
+        });
+        dir.install(fa, ActionEntry::set_dscp(46)).unwrap();
+        dir.install(fb, ActionEntry::set_dscp(12)).unwrap();
+        assert_eq!(dir.lookup(&fa), Some(ActionEntry::set_dscp(46)));
+        assert_eq!(dir.lookup(&fb), Some(ActionEntry::set_dscp(12)));
+        for f in [&fa, &fb] {
+            let probed = probe_with(dir.filter(), f, entries);
+            assert_eq!(
+                probed,
+                dir.position(f).unwrap().bucket,
+                "probe must point at residency"
+            );
+        }
+        dir.check_invariants();
     }
 
     #[test]

@@ -1064,6 +1064,50 @@ impl ReplicatedPool {
         }
     }
 
+    /// Whether a rejoin reconciliation (pool-driven snapshot or
+    /// caller-driven [`ReplicatedPool::reseed_rejoiner`] image) is in
+    /// flight.
+    pub fn reseed_active(&self) -> bool {
+        self.reseed.is_some()
+    }
+
+    /// Caller-driven rejoin reconciliation: write `image` — `(va, bytes)`
+    /// pairs regenerated from the caller's authoritative copy (e.g. the
+    /// cuckoo directory) — onto the first `Rejoining` server, then promote
+    /// it. An empty image promotes immediately (the restarted server's
+    /// zeroed region already matches). Returns `true` when a reseed (or the
+    /// immediate promotion) started; callers should stop issuing state
+    /// mutations until [`ReplicatedPool::reseed_active`] goes false so the
+    /// image cannot go stale mid-reseed.
+    pub fn reseed_rejoiner(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        image: Vec<(u64, Vec<u8>)>,
+    ) -> bool {
+        if self.failed || self.reseed.is_some() {
+            return false;
+        }
+        let Some(target) = (0..self.servers.len())
+            .find(|&j| self.servers[j].health.state() == Health::Rejoining)
+        else {
+            return false;
+        };
+        if image.is_empty() {
+            self.finish_rejoin(ctx, target);
+            return true;
+        }
+        self.reseed = Some(Reseed {
+            target,
+            pending: image.len(),
+        });
+        for (va, bytes) in image {
+            let ic = self.alloc_internal(InternalOp::ReseedWrite { target });
+            self.servers[target].channel.write(ctx, va, bytes, true, ic);
+            self.stats.reseed_ops += 1;
+        }
+        true
+    }
+
     fn ensure_probe_timer(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>) {
         if self.probe_armed || self.failed || self.servers.len() == 1 {
             return;

@@ -99,6 +99,13 @@ impl RequesterQp {
         (len as usize).div_ceil(self.mtu).max(1) as u32
     }
 
+    /// Largest READ whose response is a single packet: the path MTU. Remote
+    /// data structures that want one-RTT, one-response-packet probes (the
+    /// cuckoo lookup's 128-byte buckets) size their read unit against this.
+    pub fn single_packet_read_limit(&self) -> u32 {
+        self.mtu as u32
+    }
+
     /// Build an RDMA READ request for `len` bytes. Consumes one PSN per
     /// expected response packet, per the IB spec.
     pub fn read(&mut self, rkey: Rkey, va: u64, len: u32) -> RocePacket {
@@ -414,6 +421,20 @@ mod tests {
         let f = qp.fetch_add(Rkey(1), 0x1000, 1);
         assert_eq!(f.bth.psn, 4);
         assert_eq!(qp.npsn, 5);
+    }
+
+    #[test]
+    fn bucket_sized_reads_are_single_response() {
+        // The one-RTT lookup's bucket READ geometry: a 128-byte cuckoo
+        // bucket must come back as exactly one response packet (one PSN) at
+        // every MTU the model supports.
+        for mtu in [256, 512, 1024, 2048, 4096] {
+            let qp = RequesterQp::new(host(), server(), QpNum(9), mtu);
+            assert!(qp.single_packet_read_limit() >= 128, "mtu {mtu}");
+            assert_eq!(qp.read_span(128), 1, "mtu {mtu}");
+            assert_eq!(qp.read_span(qp.single_packet_read_limit()), 1);
+            assert_eq!(qp.read_span(qp.single_packet_read_limit() + 1), 2);
+        }
     }
 
     #[test]

@@ -34,6 +34,24 @@ pub fn salted_flow_index(flow: &FiveTuple, salt: u32, buckets: u64) -> u64 {
     splitmix64(crc ^ ((salt as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))) % buckets
 }
 
+/// Salt of the cuckoo table's primary bucket hash (h1).
+const CUCKOO_SALT_H1: u32 = 0xB1;
+/// Salt of the cuckoo table's secondary bucket hash (h2).
+const CUCKOO_SALT_H2: u32 = 0xB2;
+
+/// The two candidate bucket indices `(h1, h2)` of a flow in a two-choice
+/// cuckoo table of `buckets` buckets.
+///
+/// The two hashes use distinct salts (distinct CRC polynomials on a real
+/// switch) so they are independent; for a small fraction of keys the two
+/// indices coincide, which callers must treat as a single-choice key.
+pub fn cuckoo_buckets(flow: &FiveTuple, buckets: u64) -> (u64, u64) {
+    (
+        salted_flow_index(flow, CUCKOO_SALT_H1, buckets),
+        salted_flow_index(flow, CUCKOO_SALT_H2, buckets),
+    )
+}
+
 /// The ±1 "sign hash" used by Count Sketch [Charikar et al.], derived from a
 /// different salt space so it is independent of the index hash.
 pub fn flow_sign(flow: &FiveTuple, salt: u32) -> i64 {
@@ -112,6 +130,21 @@ mod tests {
             found,
             "expected at least one salt-0 collision resolved by salt 1"
         );
+    }
+
+    #[test]
+    fn cuckoo_choices_are_bounded_and_mostly_distinct() {
+        let buckets = 64u64;
+        let mut degenerate = 0;
+        for n in 0..2_000u32 {
+            let (b1, b2) = cuckoo_buckets(&flow(n), buckets);
+            assert!(b1 < buckets && b2 < buckets);
+            if b1 == b2 {
+                degenerate += 1;
+            }
+        }
+        // h1 == h2 should happen at roughly the 1/buckets rate, not often.
+        assert!(degenerate < 100, "too many degenerate keys: {degenerate}");
     }
 
     #[test]

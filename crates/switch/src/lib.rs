@@ -12,6 +12,8 @@
 //!   primitives keep: ring pointers, outstanding-request counters,
 //!   accumulators),
 //! * [`hash`] — the CRC-based hash units switches use to index tables,
+//! * [`filter`] — a counting Bloom filter (SRAM register arrays + hash
+//!   units) steering the one-RTT cuckoo lookup's bucket choice,
 //! * [`tm`] — the traffic manager: per-port egress queues drawing from a
 //!   **shared packet buffer** (12 MB in the paper's ToR example) with
 //!   tail-drop, the resource whose exhaustion motivates §2.1,
@@ -25,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod filter;
 pub mod hash;
 pub mod register;
 pub mod switch;
 pub mod table;
 pub mod tm;
 
+pub use filter::{ChoiceFilter, FilterStats};
 pub use register::RegisterArray;
 pub use switch::{PipelineProgram, SwitchConfig, SwitchCtx, SwitchNode, SwitchStats};
 pub use table::ExactMatchTable;

@@ -25,7 +25,10 @@ cargo test -q --release --test fault_matrix smoke_
 echo "== crash/failover cells (release) =="
 # The replicated-pool crash, failover, and rejoin cells re-run under the
 # release profile: failure detection races on timer ordering and PSN
-# resync, which optimization can reshuffle.
+# resync, which optimization can reshuffle. This includes the cuckoo
+# relocation-crash cell (crash_lookup_mid_relocation_*): a primary dying
+# with displacement WRITEs in flight is the sharpest ordering race in the
+# tree.
 cargo test -q --release --test fault_matrix crash_
 
 echo "== scheduler equivalence proptests (release) =="

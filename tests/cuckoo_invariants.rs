@@ -1,0 +1,310 @@
+//! One-RTT cuckoo lookup invariants at simulation level.
+//!
+//! The cuckoo rework's central promise is *no transient miss*: a key that is
+//! resident when a lookup is issued resolves in exactly one filter-steered
+//! bucket READ, even while the relocation machinery is displacing entries
+//! on the same wire. These tests drive the full switch + RNIC topology:
+//!
+//! * a relocation storm — scripted inserts/deletes churn the table under
+//!   live traffic; every packet must resolve in one READ with zero
+//!   slow-path punts, and the remote region must converge bit-for-bit to
+//!   the control-plane directory,
+//! * the collision cell in both table modes — the exact flow pair the
+//!   direct-hash table aliases to one slot gets two distinct actions in
+//!   cuckoo mode, demonstrated end to end by steering the packets to
+//!   different egress ports.
+
+use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
+use extmem_apps::workload::{Arrival, FlowPick, SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_core::cuckoo::{CuckooConfig, CuckooDirectory};
+use extmem_core::lookup::{
+    install_cuckoo_image, install_remote_action, ActionEntry, ChurnScript, ControlOp,
+    LookupTableProgram, TOKEN_CHURN,
+};
+use extmem_core::{Fib, RdmaChannel};
+use extmem_rnic::{RnicConfig, RnicNode};
+use extmem_sim::{LinkSpec, SimBuilder};
+use extmem_switch::switch::program_token;
+use extmem_switch::{SwitchConfig, SwitchNode};
+use extmem_types::{ByteSize, FiveTuple, PortId, Rate, TimeDelta};
+
+fn lookup_fib() -> Fib {
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    fib
+}
+
+/// Live churn under traffic: every lookup issued while relocations are in
+/// flight still resolves in exactly one READ — the event-interleaved
+/// no-transient-miss invariant, asserted over 1500 packets and 192 table
+/// operations sharing one wire.
+#[test]
+fn no_transient_miss_under_relocation_storm() {
+    const COUNT: u64 = 1_500;
+    const DSCP: u8 = 46;
+    const TRAFFIC_KEYS: u16 = 140;
+    const CHURN_KEYS: u16 = 96;
+    const WINDOW: usize = 8;
+    let cfg = CuckooConfig {
+        buckets: 64,
+        filter_cells: 2048,
+        filter_hashes: 2,
+        max_plan_steps: 64,
+    };
+    let mut dir = CuckooDirectory::new(cfg);
+    let flows: Vec<FiveTuple> = (0..TRAFFIC_KEYS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 80, 17))
+        .collect();
+    for f in &flows {
+        dir.install(*f, ActionEntry::set_dscp(DSCP)).unwrap();
+    }
+    let churn_keys: Vec<FiveTuple> = (0..CHURN_KEYS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 50_000 + i, 80, 17))
+        .collect();
+    let mut ops = Vec::new();
+    for (i, k) in churn_keys.iter().enumerate() {
+        ops.push(ControlOp::Insert(*k, ActionEntry::set_dscp(12)));
+        if i >= WINDOW {
+            ops.push(ControlOp::Remove(churn_keys[i - WINDOW]));
+        }
+    }
+    for k in &churn_keys[CHURN_KEYS as usize - WINDOW..] {
+        ops.push(ControlOp::Remove(*k));
+    }
+    let script = ChurnScript {
+        ops,
+        period: TimeDelta::from_micros(1),
+    };
+
+    let mut nic = RnicNode::new("tablesrv", RnicConfig::at(host_endpoint(2)));
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        PortId(2),
+        &mut nic,
+        ByteSize::from_bytes(dir.region_bytes()),
+    );
+    let (rkey, base_va) = (channel.rkey, channel.base_va);
+    install_cuckoo_image(&mut nic, &channel, &dir);
+    let prog = LookupTableProgram::cuckoo(lookup_fib(), channel, dir, None).with_churn(script);
+
+    let mut b = SimBuilder::new(83);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let spec = WorkloadSpec {
+        src_mac: host_mac(0),
+        dst_mac: host_mac(1),
+        flows,
+        pick: FlowPick::Zipf(1.1),
+        frame_len: 256,
+        offered: Some(Rate::from_gbps(5)),
+        arrival: Arrival::Paced,
+        count: COUNT,
+        seed: 17,
+        flow_id_base: 0,
+    };
+    let gen = b.add_node(Box::new(TrafficGenNode::new("client", spec)));
+    let mut sink = SinkNode::new("server");
+    sink.expect_dscp = Some(DSCP);
+    let server = b.add_node(Box::new(sink));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), table, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.schedule_timer(switch, TimeDelta::from_micros(2), program_token(TOKEN_CHURN));
+    sim.run_to_quiescence();
+
+    let sink = sim.node::<SinkNode>(server);
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<LookupTableProgram>();
+    let s = prog.stats();
+    assert_eq!(sink.received, COUNT, "packets lost: {s:?}");
+    assert_eq!(sink.dscp_mismatch, 0, "a punted packet kept its old DSCP");
+    assert_eq!(s.remote_lookups, COUNT, "cacheless: all remote: {s:?}");
+    assert_eq!(s.slow_path, 0, "transient miss punted: {s:?}");
+    assert_eq!(s.bucket_misses, 0, "filter misdirected a probe: {s:?}");
+    assert_eq!(s.reads_per_miss(), 1.0, "more than one READ per miss: {s:?}");
+    assert!(s.relocation_moves > 0, "storm never displaced anyone: {s:?}");
+    assert_eq!(s.inserts_applied, CHURN_KEYS as u64, "{s:?}");
+    assert_eq!(s.removes_applied, CHURN_KEYS as u64, "{s:?}");
+    assert_eq!(s.inserts_rejected, 0, "{s:?}");
+    assert_eq!(s.verify_mismatches, 0, "directory drifted: {s:?}");
+    assert!(prog.relocation_idle(), "relocation work leaked: {s:?}");
+
+    // The remote bytes and the data plane's filter both converge to the
+    // control-plane directory exactly.
+    let dir = prog.directory().unwrap();
+    let image = dir.encode_region();
+    let remote = sim
+        .node::<RnicNode>(table)
+        .region(rkey)
+        .read(base_va, image.len() as u64)
+        .unwrap();
+    assert_eq!(remote, &image[..], "remote region diverged from directory");
+    assert_eq!(
+        prog.live_filter().unwrap().raw_counts(),
+        dir.filter().raw_counts(),
+        "live filter diverged from planned filter"
+    );
+}
+
+/// A pair of distinct flows that alias under the direct-hash slot
+/// arithmetic over `entries` slots.
+fn colliding_pair(entries: u64) -> (FiveTuple, FiveTuple) {
+    use extmem_switch::hash::flow_index;
+    for a in 0..500u16 {
+        for b in (a + 1)..500 {
+            let fa = FiveTuple::new(host_ip(0), host_ip(1), 1000 + a, 80, 17);
+            let fb = FiveTuple::new(host_ip(0), host_ip(1), 1000 + b, 80, 17);
+            if flow_index(&fa, entries) == flow_index(&fb, entries) {
+                return (fa, fb);
+            }
+        }
+    }
+    panic!("a collision must exist in 500 flows over {entries} slots");
+}
+
+/// Direct-hash mode: the aliasing pair shares one slot, so the uninstalled
+/// flow silently receives the installed flow's action — the defect the
+/// cuckoo mode exists to remove (and the ablation must keep exhibiting).
+#[test]
+fn collision_cell_direct_hash_aliases_the_pair() {
+    const ENTRIES: u64 = 64;
+    const DSCP: u8 = 46;
+    let (fa, fb) = colliding_pair(ENTRIES);
+    let mut nic = RnicNode::new("tablesrv", RnicConfig::at(host_endpoint(2)));
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        PortId(2),
+        &mut nic,
+        ByteSize::from_bytes(ENTRIES * 2048),
+    );
+    // Only `fa` is installed; `fb` hashes to the same slot.
+    install_remote_action(&mut nic, &channel, 2048, &fa, ActionEntry::set_dscp(DSCP));
+    let prog = LookupTableProgram::new(lookup_fib(), channel, 2048, None);
+
+    let mut b = SimBuilder::new(89);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let spec = WorkloadSpec {
+        src_mac: host_mac(0),
+        dst_mac: host_mac(1),
+        flows: vec![fa, fb],
+        pick: FlowPick::RoundRobin,
+        frame_len: 256,
+        offered: Some(Rate::from_gbps(2)),
+        arrival: Arrival::Paced,
+        count: 2,
+        seed: 1,
+        flow_id_base: 0,
+    };
+    let gen = b.add_node(Box::new(TrafficGenNode::new("client", spec)));
+    let mut sink = SinkNode::new("server");
+    sink.expect_dscp = Some(DSCP);
+    let server = b.add_node(Box::new(sink));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), table, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_to_quiescence();
+
+    let sink = sim.node::<SinkNode>(server);
+    let sw: &SwitchNode = sim.node(switch);
+    let s = sw.program::<LookupTableProgram>().stats();
+    assert_eq!(sink.received, 2);
+    // The alias: BOTH packets carry fa's DSCP, including fb's.
+    assert_eq!(sink.dscp_mismatch, 0, "fb must receive fa's action: {s:?}");
+    assert_eq!(s.actions_applied, 2, "{s:?}");
+}
+
+/// Cuckoo mode: the same colliding pair resolves to two distinct actions,
+/// one READ each — proven end to end by steering `fb` out a different
+/// egress port while `fa` keeps its DSCP mark.
+#[test]
+fn collision_cell_cuckoo_resolves_the_pair() {
+    const DSCP_A: u8 = 46;
+    const DSCP_B: u8 = 12;
+    let (fa, fb) = colliding_pair(64);
+    let mut dir = CuckooDirectory::new(CuckooConfig::for_capacity(64));
+    dir.install(fa, ActionEntry::set_dscp(DSCP_A)).unwrap();
+    dir.install(
+        fb,
+        ActionEntry {
+            port_override: Some(PortId(3)),
+            ..ActionEntry::set_dscp(DSCP_B)
+        },
+    )
+    .unwrap();
+    let mut nic = RnicNode::new("tablesrv", RnicConfig::at(host_endpoint(2)));
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        PortId(2),
+        &mut nic,
+        ByteSize::from_bytes(dir.region_bytes()),
+    );
+    install_cuckoo_image(&mut nic, &channel, &dir);
+    let prog = LookupTableProgram::cuckoo(lookup_fib(), channel, dir, None);
+
+    let mut b = SimBuilder::new(97);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let spec = WorkloadSpec {
+        src_mac: host_mac(0),
+        dst_mac: host_mac(1),
+        flows: vec![fa, fb],
+        pick: FlowPick::RoundRobin,
+        frame_len: 256,
+        offered: Some(Rate::from_gbps(2)),
+        arrival: Arrival::Paced,
+        count: 2,
+        seed: 1,
+        flow_id_base: 0,
+    };
+    let gen = b.add_node(Box::new(TrafficGenNode::new("client", spec)));
+    let mut sink_a = SinkNode::new("server-a");
+    sink_a.expect_dscp = Some(DSCP_A);
+    let server_a = b.add_node(Box::new(sink_a));
+    let mut sink_b = SinkNode::new("server-b");
+    sink_b.expect_dscp = Some(DSCP_B);
+    let server_b = b.add_node(Box::new(sink_b));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server_a, PortId(0), link);
+    b.connect(switch, PortId(3), server_b, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    b.connect(switch, PortId(2), table, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.run_to_quiescence();
+
+    let sw: &SwitchNode = sim.node(switch);
+    let s = sw.program::<LookupTableProgram>().stats();
+    let sink_a = sim.node::<SinkNode>(server_a);
+    let sink_b = sim.node::<SinkNode>(server_b);
+    assert_eq!(sink_a.received, 1, "fa's packet by FIB: {s:?}");
+    assert_eq!(sink_a.dscp_mismatch, 0, "fa got the wrong action: {s:?}");
+    assert_eq!(sink_b.received, 1, "fb's packet steered to port 3: {s:?}");
+    assert_eq!(sink_b.dscp_mismatch, 0, "fb got the wrong action: {s:?}");
+    assert_eq!(s.bucket_reads, 2, "one READ each: {s:?}");
+    assert_eq!(s.bucket_misses, 0, "{s:?}");
+    assert_eq!(s.slow_path, 0, "{s:?}");
+    assert_eq!(s.reads_per_miss(), 1.0, "{s:?}");
+}

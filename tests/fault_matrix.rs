@@ -14,9 +14,13 @@
 //!   hack never reappears in `crates/core`.
 
 use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
-use extmem_apps::workload::{SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_apps::workload::{Arrival, FlowPick, SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_core::cuckoo::{CuckooConfig, CuckooDirectory};
 use extmem_core::faa::{FaaConfig, FaaEngine};
-use extmem_core::lookup::{install_remote_action, ActionEntry, LookupTableProgram};
+use extmem_core::lookup::{
+    install_cuckoo_image, install_remote_action, ActionEntry, ChurnScript, ControlOp,
+    LookupTableProgram, TOKEN_CHURN,
+};
 use extmem_core::lpm::{install_remote_route, slots_per_level, RemoteLpmProgram};
 use extmem_core::packet_buffer::{Mode, PacketBufferProgram};
 use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
@@ -1205,6 +1209,148 @@ fn crash_packet_buffer_mirror_loses_nothing() {
 #[test]
 fn crash_packet_buffer_rejoin_waits_for_ring_drain() {
     run_packet_buffer_crash_cell(true, true, 9812);
+}
+
+/// Replicated one-RTT cuckoo lookup through a primary crash *mid-relocation
+/// storm*: scripted inserts/deletes churn the table while traffic flows,
+/// the primary dies with relocations in flight, the pool fails over (the
+/// mirror holds every fanned-out WRITE), and the restarted server is
+/// reconciled from the control-plane directory — the authoritative copy —
+/// before promotion. Settled state must be exact: zero punts, every churn
+/// op applied, and both replicas bit-for-bit equal to the directory image.
+#[test]
+fn crash_lookup_mid_relocation_rejoins_bit_for_bit() {
+    const COUNT: u64 = 600;
+    const DSCP: u8 = 46;
+    const TRAFFIC_KEYS: u16 = 140;
+    const CHURN_KEYS: u16 = 96;
+    const WINDOW: usize = 8;
+    let cfg = CuckooConfig {
+        buckets: 64,
+        filter_cells: 2048,
+        filter_hashes: 2,
+        max_plan_steps: 64,
+    };
+    let mut dir = CuckooDirectory::new(cfg);
+    let flows: Vec<FiveTuple> = (0..TRAFFIC_KEYS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 80, 17))
+        .collect();
+    for f in &flows {
+        dir.install(*f, ActionEntry::set_dscp(DSCP)).unwrap();
+    }
+    let churn_keys: Vec<FiveTuple> = (0..CHURN_KEYS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 50_000 + i, 80, 17))
+        .collect();
+    let mut ops = Vec::new();
+    for (i, k) in churn_keys.iter().enumerate() {
+        ops.push(ControlOp::Insert(*k, ActionEntry::set_dscp(12)));
+        if i >= WINDOW {
+            ops.push(ControlOp::Remove(churn_keys[i - WINDOW]));
+        }
+    }
+    for k in &churn_keys[CHURN_KEYS as usize - WINDOW..] {
+        ops.push(ControlOp::Remove(*k));
+    }
+    let script = ChurnScript {
+        ops,
+        period: TimeDelta::from_micros(3),
+    };
+
+    let region = ByteSize::from_bytes(dir.region_bytes());
+    let mut nic_a = RnicNode::new("tablesrv-a", RnicConfig::at(host_endpoint(2)));
+    let mut nic_b = RnicNode::new("tablesrv-b", RnicConfig::at(host_endpoint(3)));
+    let ch_a = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic_a, region);
+    let ch_b = RdmaChannel::setup(switch_endpoint(), PortId(3), &mut nic_b, region);
+    let rkey = ch_a.rkey;
+    let base = ch_a.base_va;
+    install_cuckoo_image(&mut nic_a, &ch_a, &dir);
+    install_cuckoo_image(&mut nic_b, &ch_b, &dir);
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog =
+        LookupTableProgram::cuckoo_replicated(fib, vec![ch_a, ch_b], dir, None, crash_pool_config())
+            .with_reliability(ReliableConfig {
+                rto: TimeDelta::from_micros(30),
+                ..Default::default()
+            })
+            .with_churn(script);
+
+    let mut b = SimBuilder::new(9815);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let spec = WorkloadSpec {
+        src_mac: host_mac(0),
+        dst_mac: host_mac(1),
+        flows,
+        pick: FlowPick::Zipf(1.1),
+        frame_len: 256,
+        offered: Some(Rate::from_gbps(2)),
+        arrival: Arrival::Paced,
+        count: COUNT,
+        seed: 23,
+        flow_id_base: 0,
+    };
+    let gen = b.add_node(Box::new(TrafficGenNode::new("client", spec)));
+    let mut sink = SinkNode::new("server");
+    sink.expect_dscp = Some(DSCP);
+    let server = b.add_node(Box::new(sink));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server, PortId(0), link);
+    let server_a = b.add_node(Box::new(nic_a));
+    let server_b = b.add_node(Box::new(nic_b));
+    b.connect(switch, PortId(2), server_a, PortId(0), link);
+    b.connect(switch, PortId(3), server_b, PortId(0), link);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.schedule_timer(
+        switch,
+        TimeDelta::from_micros(2),
+        extmem_switch::switch::program_token(TOKEN_CHURN),
+    );
+    // Traffic and churn span ~600us; the primary dies with the relocation
+    // storm running and comes back with wiped DRAM while it continues.
+    sim.schedule_crash(server_a, TimeDelta::from_micros(150));
+    sim.schedule_restart(server_a, TimeDelta::from_micros(350));
+    sim.run_until(Time::from_millis(50));
+
+    assert!(sim.crash_drops(server_a) > 0, "crash never bit");
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<LookupTableProgram>();
+    let s = prog.stats();
+    assert!(!prog.is_degraded(), "mirror must keep the table alive: {s:?}");
+    assert!(s.pool.failovers >= 1, "no failover: {s:?}");
+    assert!(s.pool.rejoins >= 1, "server never rejoined: {s:?}");
+    assert!(s.pool.probes >= 1, "no probe issued: {s:?}");
+    let pool = prog.pool();
+    assert_eq!(pool.health(0), Health::Healthy, "{s:?}");
+    assert_eq!(pool.health(1), Health::Healthy, "{s:?}");
+    // In-flight lookups and relocation ops ride the failover (reissued on
+    // the survivor), so the no-transient-miss invariant holds even here.
+    let sink = sim.node::<SinkNode>(server);
+    assert_eq!(sink.received, COUNT, "packets lost: {s:?}");
+    assert_eq!(sink.dscp_mismatch, 0, "a punt kept its old DSCP: {s:?}");
+    assert_eq!(s.slow_path, 0, "crash punted a lookup: {s:?}");
+    assert_eq!(s.bucket_misses, 0, "filter misdirected a probe: {s:?}");
+    assert_eq!(s.inserts_applied, CHURN_KEYS as u64, "{s:?}");
+    assert_eq!(s.removes_applied, CHURN_KEYS as u64, "{s:?}");
+    assert_eq!(s.inserts_rejected, 0, "{s:?}");
+    assert!(prog.relocation_idle(), "relocation work leaked: {s:?}");
+    // Bit-for-bit: both replicas equal the directory's byte image — the
+    // survivor through mirror fan-out, the rejoiner through the reseed.
+    let image = prog.directory().unwrap().encode_region();
+    for (name, node) in [("rejoiner", server_a), ("survivor", server_b)] {
+        let remote = sim
+            .node::<RnicNode>(node)
+            .region(rkey)
+            .read(base, image.len() as u64)
+            .unwrap();
+        assert_eq!(remote, &image[..], "{name} diverges from directory: {s:?}");
+    }
 }
 
 // ---------------------------------------------------------------------------

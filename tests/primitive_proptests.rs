@@ -5,14 +5,27 @@
 //!   is complete and strictly in order (loss-free links),
 //! * **state store**: for arbitrary traffic mixes and issuing disciplines,
 //!   remote counters converge to the exact ground truth,
-//! * **traffic manager**: shared-buffer accounting never over-commits.
+//! * **traffic manager**: shared-buffer accounting never over-commits,
+//! * **cuckoo lookup directory**: arbitrary insert/delete/lookup
+//!   interleavings (including forced relocation chains and table-full
+//!   rejection) match a `HashMap` reference exactly, the filter's probe
+//!   choice always points at the bucket holding each key, and replaying
+//!   every plan step-by-step against a byte region plus live filter never
+//!   makes a resident key transiently unfindable.
 
 use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
 use extmem_apps::workload::{FlowPick, SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_core::cuckoo::{
+    decode_slot, encode_slot, probe_with, slot_va, CuckooConfig, CuckooDirectory, Step,
+    BUCKET_BYTES, SLOTS_PER_BUCKET, SLOT_BYTES,
+};
 use extmem_core::faa::{FaaConfig, FaaEngine};
+use extmem_core::lookup::ActionEntry;
 use extmem_core::packet_buffer::{Mode, PacketBufferProgram};
 use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
 use extmem_core::{Fib, RdmaChannel};
+use extmem_switch::ChoiceFilter;
+use std::collections::HashMap;
 use extmem_rnic::{RnicConfig, RnicNode};
 use extmem_sim::{LinkSpec, SimBuilder};
 use extmem_switch::{SwitchConfig, SwitchNode, TrafficManager};
@@ -220,5 +233,151 @@ proptest! {
             tm.check_invariants();
             prop_assert!(tm.total_bytes() <= tm.capacity());
         }
+    }
+}
+
+/// Execute a relocation plan against a byte region and a live filter the
+/// way the data plane does (filter flips at WRITE-issue time, Move sources
+/// left stale until reclaimed), asserting after **every** step that each
+/// key in `must_find` resolves in exactly one filter-steered bucket probe.
+fn replay_cuckoo_plan(
+    region: &mut [u8],
+    live: &mut ChoiceFilter,
+    buckets: u64,
+    steps: &[Step],
+    must_find: &HashMap<extmem_types::FiveTuple, ActionEntry>,
+) -> Result<(), TestCaseError> {
+    for step in steps {
+        match *step {
+            Step::Write {
+                key,
+                action,
+                to,
+                filter_add,
+            } => {
+                let off = slot_va(0, to) as usize;
+                region[off..off + SLOT_BYTES].copy_from_slice(&encode_slot(&key, &action));
+                if filter_add {
+                    live.insert(&key);
+                }
+            }
+            Step::Move {
+                key, action, to, ..
+            } => {
+                let off = slot_va(0, to) as usize;
+                region[off..off + SLOT_BYTES].copy_from_slice(&encode_slot(&key, &action));
+                live.insert(&key);
+            }
+            Step::Clear { at, filter_sub } => {
+                let off = slot_va(0, at) as usize;
+                region[off..off + SLOT_BYTES].fill(0);
+                if let Some(key) = filter_sub {
+                    live.remove(&key);
+                }
+            }
+        }
+        for key in must_find.keys() {
+            let b = probe_with(live, key, buckets) as usize;
+            let found = (0..SLOTS_PER_BUCKET).any(|s| {
+                let off = b * BUCKET_BYTES + s * SLOT_BYTES;
+                decode_slot(&region[off..off + SLOT_BYTES]).is_some_and(|(k, _)| k == *key)
+            });
+            prop_assert!(
+                found,
+                "key {key:?} transiently unfindable after step {step:?}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The cuckoo directory against a `HashMap` oracle: every interleaving
+    /// of inserts (fresh + in-place updates), deletes, and lookups agrees
+    /// with the reference; the filter steers every probe to the bucket
+    /// actually holding the key; table-full rejections mutate nothing; and
+    /// the byte region replayed plan-by-plan converges to the directory's
+    /// image with no key ever transiently unfindable.
+    #[test]
+    fn cuckoo_directory_matches_hashmap_oracle(
+        small in any::<bool>(),
+        ops in proptest::collection::vec((0u8..3, 0u16..48, 0u8..64), 24..80),
+    ) {
+        // 8 buckets = 32 slots against a 48-key universe forces relocation
+        // chains and genuine table-full rejections; 16 buckets exercises
+        // the sparser regime where most inserts land primary.
+        let cfg = CuckooConfig {
+            buckets: if small { 8 } else { 16 },
+            filter_cells: 512,
+            filter_hashes: 2,
+            max_plan_steps: 64,
+        };
+        let mut dir = CuckooDirectory::new(cfg);
+        let mut oracle: HashMap<FiveTuple, ActionEntry> = HashMap::new();
+        let mut region = vec![0u8; dir.region_bytes() as usize];
+        let mut live = dir.filter().clone();
+        let buckets = dir.config().buckets;
+        let key_of = |i: u16| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 80, 17);
+
+        for (sel, ki, ab) in ops {
+            let key = key_of(ki);
+            let action = ActionEntry::set_dscp(ab & 0x3f);
+            if sel < 2 {
+                // Mid-plan findability covers keys resident *before* the op;
+                // the inserted key itself must be findable once it completes.
+                let mut must_find = oracle.clone();
+                must_find.remove(&key);
+                match dir.plan_insert(key, action) {
+                    Ok(plan) => {
+                        replay_cuckoo_plan(&mut region, &mut live, buckets, &plan.steps, &must_find)?;
+                        oracle.insert(key, action);
+                    }
+                    Err(_) => {
+                        // Rejection must leave zero net mutation — the
+                        // oracle sweep below verifies the rollback. Leave a
+                        // breadcrumb that the regime was actually loaded.
+                        prop_assert!(
+                            dir.len() * 2 >= dir.capacity(),
+                            "table-full below 50% load ({} / {})",
+                            dir.len(),
+                            dir.capacity()
+                        );
+                    }
+                }
+            } else {
+                let mut must_find = oracle.clone();
+                must_find.remove(&key);
+                let plan = dir.plan_remove(&key);
+                prop_assert_eq!(plan.is_some(), oracle.contains_key(&key));
+                if let Some(plan) = plan {
+                    replay_cuckoo_plan(&mut region, &mut live, buckets, &plan.steps, &must_find)?;
+                    oracle.remove(&key);
+                }
+            }
+
+            dir.check_invariants();
+            prop_assert_eq!(dir.len(), oracle.len());
+            for (k, a) in &oracle {
+                prop_assert_eq!(dir.lookup(k), Some(*a), "oracle key {:?} wrong", k);
+                let pos = dir.position(k).expect("resident key has a slot");
+                prop_assert_eq!(
+                    dir.probe(k), pos.bucket,
+                    "probe points away from {:?}'s bucket", k
+                );
+            }
+            for i in 0..48u16 {
+                let k = key_of(i);
+                if !oracle.contains_key(&k) {
+                    prop_assert_eq!(dir.lookup(&k), None);
+                }
+            }
+        }
+
+        // The replayed region and live filter converge to the directory's
+        // authoritative image.
+        prop_assert_eq!(&region, &dir.encode_region(), "region diverged");
+        prop_assert_eq!(live.raw_counts(), dir.filter().raw_counts(), "live filter diverged");
     }
 }
