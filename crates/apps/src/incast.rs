@@ -142,6 +142,10 @@ pub struct IncastResult {
     pub trace_digest: u64,
     /// Scheduler counters for the run.
     pub sched: extmem_sim::SchedStats,
+    /// Wall-clock seconds spent *running* the simulation — topology
+    /// construction excluded, so perf baselines measure the event loop and
+    /// not allocator noise from setup.
+    pub run_wall_seconds: f64,
 }
 
 /// Build and run the incast; returns the measurements.
@@ -247,7 +251,9 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
     for &s in &senders {
         sim.schedule_timer(s, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
     }
+    let run_start = std::time::Instant::now();
     sim.run_to_quiescence();
+    let run_wall_seconds = run_start.elapsed().as_secs_f64();
 
     let sink = sim.node::<SinkNode>(receiver);
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
@@ -275,6 +281,7 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
         hop_packets: sim.packets_delivered(),
         trace_digest: sim.trace_digest(),
         sched: sim.sched_stats(),
+        run_wall_seconds,
     }
 }
 

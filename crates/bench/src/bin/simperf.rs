@@ -1,32 +1,49 @@
 //! Simulator perf-regression harness: run the fixed scenarios and write
 //! `BENCH_simperf.json` (see `extmem_bench::simperf` and DESIGN.md).
 //!
-//! Usage: `simperf [--sched-stats] [output.json]` — default output
-//! `BENCH_simperf.json` in the current directory. `--sched-stats` adds a
-//! per-scenario `sched` block (peak queue depth, wheel cascades, dead-timer
-//! dispatches, slab/pool hit rates) to the JSON and prints the table.
-//! `scripts/perf_check.sh` wraps this and reads either form.
+//! Usage: `simperf [--sched-stats] [--threads N] [output.json]` — default
+//! output `BENCH_simperf.json` in the current directory. `--sched-stats`
+//! adds a per-scenario `sched` block (peak queue depth, wheel cascades,
+//! dead-timer dispatches, slab/pool hit rates) to the JSON and prints the
+//! table. `--threads N` runs every scenario under the parallel scheduler
+//! backend with `N` workers (the fan-out scenario additionally runs its
+//! own fixed 1/2/4-thread ladder regardless); trace digests are
+//! backend-invariant, so the digest column must not move with `N`.
+//! `scripts/perf_check.sh` wraps this and reads any schema from 1 to 3.
 
 use extmem_bench::simperf::{run_all, to_json_doc};
 use extmem_bench::table::print_table;
+use extmem_sim::{with_sched_backend, SchedBackend};
 
 fn main() {
     let mut with_sched = false;
+    let mut threads = 1usize;
     let mut out_path = "BENCH_simperf.json".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sched-stats" => with_sched = true,
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                threads = v.parse().expect("--threads takes a positive integer");
+                assert!(threads >= 1, "--threads takes a positive integer");
+            }
             other => out_path = other.to_string(),
         }
     }
 
-    let results = run_all();
+    let results = if threads > 1 {
+        with_sched_backend(SchedBackend::Parallel(threads), run_all)
+    } else {
+        run_all()
+    };
 
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
             vec![
                 r.name.to_string(),
+                r.threads.to_string(),
                 r.events.to_string(),
                 r.packets.to_string(),
                 format!("{:.3}", r.wall_seconds),
@@ -39,6 +56,7 @@ fn main() {
         "simulator performance",
         &[
             "scenario",
+            "threads",
             "events",
             "hop packets",
             "wall (s)",

@@ -48,7 +48,10 @@ use extmem_core::packet_buffer::{Mode, PacketBufferProgram, TOKEN_START_LOADING}
 use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
 use extmem_core::{CuckooConfig, CuckooDirectory, Fib, PoolConfig, RdmaChannel, ReliableConfig};
 use extmem_rnic::{RnicConfig, RnicNode};
-use extmem_sim::{FaultSpec, LinkSpec, SchedStats, SimBuilder, Simulator};
+use extmem_sim::{
+    current_sched_threads, with_sched_backend, FaultSpec, LinkSpec, SchedBackend, SchedStats,
+    SimBuilder, Simulator,
+};
 use extmem_switch::switch::program_token;
 use extmem_switch::{SwitchConfig, SwitchNode};
 use extmem_types::{ByteSize, FiveTuple, PortId, Rate, Time, TimeDelta};
@@ -78,6 +81,9 @@ pub struct PerfResult {
     pub pool_hits: u64,
     /// Frame-pool misses during the run.
     pub pool_misses: u64,
+    /// Scheduler worker threads the scenario ran with (1 for the
+    /// sequential backends). Keys the per-thread baseline rows.
+    pub threads: usize,
 }
 
 impl PerfResult {
@@ -96,14 +102,15 @@ impl PerfResult {
     /// pool counters (`simperf --sched-stats`).
     pub fn to_json(&self, with_sched: bool) -> String {
         let mut out = format!(
-            "{{\"events\": {}, \"packets\": {}, \"sim_seconds\": {:.6}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \"digest\": \"{:016x}\"",
+            "{{\"events\": {}, \"packets\": {}, \"sim_seconds\": {:.6}, \"wall_seconds\": {:.6}, \"events_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \"digest\": \"{:016x}\", \"threads\": {}",
             self.events,
             self.packets,
             self.sim_seconds,
             self.wall_seconds,
             self.events_per_sec(),
             self.packets_per_sec(),
-            self.digest
+            self.digest,
+            self.threads
         );
         if with_sched {
             let s = &self.sched;
@@ -140,11 +147,17 @@ fn pool_counts() -> (u64, u64) {
     )
 }
 
-/// Render all results as the `BENCH_simperf.json` document (schema 2:
-/// schema 1 plus a per-scenario digest and, with `with_sched`, a `sched`
-/// block; `scripts/perf_check.sh` reads either schema).
+/// Render all results as the `BENCH_simperf.json` document (schema 3:
+/// schema 2 plus a `host` block — logical cores, so per-thread rows can be
+/// judged against the machine that produced them — and a per-scenario
+/// `threads` count; `scripts/perf_check.sh` reads schemas 1 through 3).
 pub fn to_json_doc(results: &[PerfResult], with_sched: bool) -> String {
-    let mut out = String::from("{\n  \"schema\": 2,\n  \"scenarios\": {\n");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\n  \"schema\": 3,\n  \"host\": {{\"logical_cores\": {cores}}},\n  \"scenarios\": {{\n"
+    );
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
@@ -178,6 +191,7 @@ fn time_run(
         sched: sim.sched_stats(),
         pool_hits: h1 - h0,
         pool_misses: m1 - m0,
+        threads: current_sched_threads(),
     }
 }
 
@@ -246,9 +260,7 @@ pub fn e1_write_read_loop(count: u64) -> PerfResult {
 /// The CI-scale incast with the default 9-server remote buffer.
 pub fn incast_scenario() -> PerfResult {
     let (h0, m0) = pool_counts();
-    let start = Instant::now();
     let res = run_incast(IncastConfig::small(Some(RemoteBufferSpec::default())));
-    let wall = start.elapsed().as_secs_f64();
     let (h1, m1) = pool_counts();
     assert_eq!(res.delivered, res.sent, "remote buffer must stay lossless");
     PerfResult {
@@ -256,11 +268,14 @@ pub fn incast_scenario() -> PerfResult {
         events: res.events,
         packets: res.hop_packets,
         sim_seconds: res.completion.as_secs_f64(),
-        wall_seconds: wall,
+        // Run-only wall time (topology construction excluded), measured
+        // inside `run_incast` around the event loop itself.
+        wall_seconds: res.run_wall_seconds,
         digest: res.trace_digest,
         sched: res.sched,
         pool_hits: h1 - h0,
         pool_misses: m1 - m0,
+        threads: current_sched_threads(),
     }
 }
 
@@ -633,7 +648,10 @@ pub fn faa_storm(count: u64) -> PerfResult {
 pub fn loss_sweep(count: u64) -> PerfResult {
     const ENTRY: u64 = 816;
     let (h0, m0) = pool_counts();
-    let start = Instant::now();
+    // Run-only wall time, accumulated across the loss points: each
+    // iteration builds a fresh topology, and construction must not count
+    // against the event-loop measurement.
+    let mut wall = 0f64;
     let (mut events, mut packets, mut sim_seconds) = (0u64, 0u64, 0f64);
     let mut digest = 0u64;
     let mut sched = SchedStats::default();
@@ -698,7 +716,9 @@ pub fn loss_sweep(count: u64) -> PerfResult {
         let mut sim = b.build();
         sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
         let drain_time = TimeDelta::from_secs_f64(count as f64 * 800.0 * 8.0 / 10e9);
+        let run_start = Instant::now();
         sim.run_until(Time::ZERO + drain_time + TimeDelta::from_millis(10));
+        wall += run_start.elapsed().as_secs_f64();
 
         let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
         let s = sw.program::<PacketBufferProgram>().stats();
@@ -727,11 +747,12 @@ pub fn loss_sweep(count: u64) -> PerfResult {
         events,
         packets,
         sim_seconds,
-        wall_seconds: start.elapsed().as_secs_f64(),
+        wall_seconds: wall,
         digest,
         sched,
         pool_hits: h1 - h0,
         pool_misses: m1 - m0,
+        threads: current_sched_threads(),
     }
 }
 
@@ -746,7 +767,6 @@ pub fn server_failover(count: u64) -> PerfResult {
     let counters = 512u64;
     let region = ByteSize::from_bytes(counters * 8);
     let (h0, m0) = pool_counts();
-    let start = Instant::now();
     let mut nic_a = RnicNode::new("memsrv-a", RnicConfig::at(host_endpoint(2)));
     let mut nic_b = RnicNode::new("memsrv-b", RnicConfig::at(host_endpoint(3)));
     let ch_a = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic_a, region);
@@ -802,7 +822,11 @@ pub fn server_failover(count: u64) -> PerfResult {
     // back at the halfway mark so reseed + delta replay overlap live load.
     sim.schedule_crash(server_a, TimeDelta::from_micros(count / 4));
     sim.schedule_restart(server_a, TimeDelta::from_micros(count / 2));
+    // Run-only wall time: setup above (channels, region zeroing, node
+    // construction) is excluded from the measurement.
+    let start = Instant::now();
     sim.run_until(Time::from_micros(count) + TimeDelta::from_millis(10));
+    let wall = start.elapsed().as_secs_f64();
 
     let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
     let prog = sw.program::<StateStoreProgram>();
@@ -824,12 +848,200 @@ pub fn server_failover(count: u64) -> PerfResult {
         events: sim.events_processed(),
         packets: sim.packets_delivered(),
         sim_seconds: sim.now().saturating_since(Time::ZERO).as_secs_f64(),
-        wall_seconds: start.elapsed().as_secs_f64(),
+        wall_seconds: wall,
         digest: sim.trace_digest(),
         sched: sim.sched_stats(),
         pool_hits: h1 - h0,
         pool_misses: m1 - m0,
+        threads: current_sched_threads(),
     }
+}
+
+/// Pods in the [`fabric_fanout`] scenario.
+pub const FANOUT_PODS: usize = 8;
+
+/// Fabric fan-out: the parallel-backend workhorse. Eight pods — each a ToR
+/// switch running the §4 state-store primitive against its own local
+/// memory server, fed by a local-traffic generator and a cross-traffic
+/// generator — joined in a ring of 300 ns switch-to-switch links. Cross
+/// traffic from pod `p` is forwarded over the ring and delivered to pod
+/// `p+1`'s sink, so every ring link carries live load in one direction
+/// while FaA updates and ACKs keep each pod's local links busy.
+///
+/// The shape is deliberate: nodes are added pod by pod, so the engine's
+/// contiguous partitioner puts whole pods on workers (at 4 threads, two
+/// pods each; at 8, one each) and only the 300 ns ring links cross
+/// partitions — exactly the positive-lookahead regime the conservative
+/// sync needs. `threads` selects [`SchedBackend::Parallel`]; the trace
+/// digest is bit-identical for every thread count (the equivalence suite
+/// and the `fabric_fanout_digest_invariant_across_threads` test hold this
+/// line).
+///
+/// Correctness gates on every run: per-pod settled counters must equal the
+/// pod's oracle exactly (reliable FaA), every sink must see both its local
+/// and its ring flow in full, and no pod may degrade.
+pub fn fabric_fanout(count: u64, threads: usize) -> PerfResult {
+    const PODS: usize = FANOUT_PODS;
+    let name: &'static str = match threads {
+        1 => "fabric_fanout_t1",
+        2 => "fabric_fanout_t2",
+        4 => "fabric_fanout_t4",
+        8 => "fabric_fanout_t8",
+        _ => "fabric_fanout",
+    };
+    with_sched_backend(SchedBackend::Parallel(threads), || {
+        let counters = 256u64;
+        let region = ByteSize::from_bytes(counters * 8);
+        // Host index plan, 4 per pod: gen_local, sink, memsrv, gen_cross.
+        let gen_local_host = |p: usize| p * 4;
+        let sink_host = |p: usize| p * 4 + 1;
+        let memsrv_host = |p: usize| p * 4 + 2;
+        let gen_cross_host = |p: usize| p * 4 + 3;
+        // Pod p's switch speaks RoCE to its local server under its own
+        // identity (the shared `switch_endpoint` would alias across pods).
+        let pod_switch_ep = |p: usize| extmem_wire::roce::RoceEndpoint {
+            mac: extmem_wire::MacAddr::local(200 + p as u32),
+            ip: 0x0a00_0100 + p as u32,
+        };
+
+        let mut b = SimBuilder::new(97);
+        let link = LinkSpec::testbed_40g();
+        let mut switches = Vec::new();
+        let mut gens = Vec::new();
+        let mut sinks = Vec::new();
+        let mut servers = Vec::new();
+        let mut keys = Vec::new();
+        for p in 0..PODS {
+            let next = (p + 1) % PODS;
+            let mut nic = RnicNode::new(
+                format!("memsrv{p}"),
+                RnicConfig::at(host_endpoint(memsrv_host(p))),
+            );
+            let channel = RdmaChannel::setup(pod_switch_ep(p), PortId(2), &mut nic, region);
+            keys.push((channel.rkey, channel.base_va));
+            let mut fib = Fib::new(8);
+            fib.install(host_mac(sink_host(p)), PortId(1));
+            fib.install(host_mac(sink_host(next)), PortId(4));
+            let engine = FaaEngine::new(
+                channel,
+                FaaConfig {
+                    reliable: true,
+                    rto: TimeDelta::from_micros(50),
+                    ..Default::default()
+                },
+            );
+            let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(20));
+            let switch = b.add_node(Box::new(SwitchNode::new(
+                format!("tor{p}"),
+                SwitchConfig::default(),
+                Box::new(prog),
+            )));
+            let local_flow = FiveTuple::new(
+                host_ip(gen_local_host(p)),
+                host_ip(sink_host(p)),
+                40_000 + p as u16,
+                9_000,
+                17,
+            );
+            let cross_flow = FiveTuple::new(
+                host_ip(gen_cross_host(p)),
+                host_ip(sink_host(next)),
+                41_000 + p as u16,
+                9_000,
+                17,
+            );
+            let gen_local = b.add_node(Box::new(TrafficGenNode::new(
+                format!("local{p}"),
+                WorkloadSpec::simple(
+                    host_mac(gen_local_host(p)),
+                    host_mac(sink_host(p)),
+                    local_flow,
+                    256,
+                    Rate::from_gbps(5),
+                    count,
+                ),
+            )));
+            let gen_cross = b.add_node(Box::new(TrafficGenNode::new(
+                format!("cross{p}"),
+                WorkloadSpec::simple(
+                    host_mac(gen_cross_host(p)),
+                    host_mac(sink_host(next)),
+                    cross_flow,
+                    256,
+                    Rate::from_gbps(5),
+                    count,
+                ),
+            )));
+            let sink = b.add_node(Box::new(SinkNode::new(format!("sink{p}"))));
+            let server = b.add_node(Box::new(nic));
+            b.connect(switch, PortId(0), gen_local, PortId(0), link);
+            b.connect(switch, PortId(1), sink, PortId(0), link);
+            b.connect(switch, PortId(2), server, PortId(0), link);
+            b.connect(switch, PortId(3), gen_cross, PortId(0), link);
+            switches.push(switch);
+            gens.push(gen_local);
+            gens.push(gen_cross);
+            sinks.push(sink);
+            servers.push(server);
+        }
+        // The ring: pod p's port 4 feeds pod p+1's port 5. 300 ns of
+        // propagation per hop is the parallel engine's lookahead.
+        for p in 0..PODS {
+            b.connect(switches[p], PortId(4), switches[(p + 1) % PODS], PortId(5), link);
+        }
+
+        let mut sim = b.build();
+        for &g in &gens {
+            sim.schedule_timer(g, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+        }
+        // 5 Gbps × 256 B paced sends, then a settle window for the
+        // reliability layer; the flush tick re-arms forever, so drive to a
+        // fixed deadline like `faa_storm`.
+        let send_time = TimeDelta::from_secs_f64(count as f64 * 256.0 * 8.0 / 5e9);
+        let deadline = Time::ZERO + send_time + TimeDelta::from_millis(5);
+        let mut r = time_run(name, &mut sim, |sim| {
+            sim.run_until(deadline);
+        });
+        r.name = name;
+        for p in 0..PODS {
+            let sw: &SwitchNode = sim.node::<SwitchNode>(switches[p]);
+            let prog = sw.program::<StateStoreProgram>();
+            let stats = prog.faa_stats();
+            assert!(prog.is_quiescent(), "pod {p}: stuck window: {stats:?}");
+            assert!(!prog.is_degraded(), "pod {p}: pool degraded: {stats:?}");
+            // Local + locally injected cross + ring arrivals from p-1.
+            assert_eq!(prog.forwarded, 3 * count, "pod {p}: forwarding lost frames");
+            assert_eq!(
+                sim.node::<SinkNode>(sinks[p]).received,
+                2 * count,
+                "pod {p}: sink must see its local and its ring flow"
+            );
+            let (rkey, base_va) = keys[p];
+            let dump = read_remote_counters(sim.node::<RnicNode>(servers[p]), rkey, base_va, counters);
+            let mut expected = vec![0u64; counters as usize];
+            for (&slot, &v) in &prog.oracle {
+                expected[slot as usize] += v;
+            }
+            assert_eq!(dump, expected, "pod {p}: settled counters must be exact");
+        }
+        let par = sim.par_stats();
+        assert_eq!(
+            par.partitions,
+            threads.clamp(1, PODS * 5),
+            "builder must honor the requested thread count"
+        );
+        if par.partitions > 1 {
+            assert!(
+                par.cross_messages > 0,
+                "ring traffic must cross partitions: {par:?}"
+            );
+            assert!(
+                par.min_dispatch_margin_picos >= 1,
+                "lookahead safety margin collapsed: {par:?}"
+            );
+        }
+        r
+    })
 }
 
 /// Repetitions per scenario in [`run_all`]; the fastest is reported, which
@@ -843,7 +1055,10 @@ fn best_of(reps: u32, run: impl Fn() -> PerfResult) -> PerfResult {
         .expect("at least one rep")
 }
 
-/// Run all scenarios at the standard scale, best-of-[`REPS`] each.
+/// Run all scenarios at the standard scale, best-of-[`REPS`] each. The
+/// fan-out scenario runs at 1, 2 and 4 worker threads so the baseline
+/// carries the parallel backend's scaling curve next to the host's core
+/// count (schema 3's `host.logical_cores`).
 pub fn run_all() -> Vec<PerfResult> {
     vec![
         best_of(REPS, || e1_write_read_loop(8_000)),
@@ -853,6 +1068,9 @@ pub fn run_all() -> Vec<PerfResult> {
         best_of(REPS, || faa_storm(40_000)),
         best_of(REPS, || loss_sweep(6_000)),
         best_of(REPS, || server_failover(8_000)),
+        best_of(REPS, || fabric_fanout(2_000, 1)),
+        best_of(REPS, || fabric_fanout(2_000, 2)),
+        best_of(REPS, || fabric_fanout(2_000, 4)),
     ]
 }
 
@@ -871,6 +1089,7 @@ mod tests {
             faa_storm(2_000),
             loss_sweep(600),
             server_failover(1_200),
+            fabric_fanout(200, 1),
         ];
         for r in &results {
             assert!(r.events > 0 && r.packets > 0, "{r:?}");
@@ -881,13 +1100,31 @@ mod tests {
         }
         let doc = to_json_doc(&results, true);
         assert!(doc.contains("\"e1_write_read_loop\""));
+        assert!(doc.contains("\"fabric_fanout_t1\""));
         assert!(doc.contains("\"events_per_sec\""));
-        assert!(doc.contains("\"schema\": 2"));
+        assert!(doc.contains("\"schema\": 3"));
+        assert!(doc.contains("\"host\""));
+        assert!(doc.contains("\"logical_cores\""));
+        assert!(doc.contains("\"threads\": 1"));
         assert!(doc.contains("\"digest\""));
         assert!(doc.contains("\"pool_hit_rate\""));
         assert!(
             !to_json_doc(&results, false).contains("\"sched\""),
             "sched block must be opt-in"
         );
+    }
+
+    #[test]
+    fn fabric_fanout_digest_invariant_across_threads() {
+        // The tentpole determinism claim, on the scenario built to stress
+        // it: same events, same per-hop deliveries, bit-identical trace
+        // digest at 1, 2, 4 and 8 workers.
+        let base = fabric_fanout(150, 1);
+        for threads in [2, 4, 8] {
+            let r = fabric_fanout(150, threads);
+            assert_eq!(r.digest, base.digest, "t{threads} digest diverged");
+            assert_eq!(r.events, base.events, "t{threads} event count diverged");
+            assert_eq!(r.packets, base.packets, "t{threads} packet count diverged");
+        }
     }
 }

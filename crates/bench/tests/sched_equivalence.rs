@@ -1,25 +1,45 @@
 //! Scheduler-backend equivalence at full-scenario scale: every simperf
 //! scenario must produce a bit-identical trace digest whether the event
-//! queue runs on the hierarchical timing wheel or the binary-heap oracle.
+//! queue runs on the hierarchical timing wheel, the binary-heap oracle, or
+//! the conservative-synchronization parallel engine.
 //!
-//! The structure proptests check the two backends agree op-by-op on random
+//! The structure proptests check the backends agree op-by-op on random
 //! scripts; this test checks the property that actually justifies the swap —
 //! the *simulations* are indistinguishable: same packet trace, same event
 //! count, end to end, for all perf scenarios plus the direct-hash lookup
 //! ablation (at reduced scale so the suite stays fast).
+//!
+//! The parallel leg's worker count comes from `EXTMEM_SCHED_THREADS`
+//! (default 2); `scripts/ci.sh` replays the suite at 1, 2 and 4 workers and
+//! asserts the digests printed for each run agree across thread counts too.
 
 use extmem_bench::simperf::{
-    e1_write_read_loop, faa_storm, incast_scenario, insert_churn, lookup_miss_storm,
-    lookup_miss_storm_direct, loss_sweep, server_failover, PerfResult,
+    e1_write_read_loop, fabric_fanout, faa_storm, incast_scenario, insert_churn,
+    lookup_miss_storm, lookup_miss_storm_direct, loss_sweep, server_failover, PerfResult,
 };
 use extmem_sim::{with_sched_backend, SchedBackend};
+
+/// Worker count for the parallel leg: `EXTMEM_SCHED_THREADS`, default 2.
+fn parallel_threads() -> usize {
+    std::env::var("EXTMEM_SCHED_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
 
 fn assert_backend_equivalent(name: &str, run: impl Fn() -> PerfResult) {
     let wheel = with_sched_backend(SchedBackend::Wheel, &run);
     let heap = with_sched_backend(SchedBackend::Heap, &run);
+    let threads = parallel_threads();
+    let par = with_sched_backend(SchedBackend::Parallel(threads), &run);
     assert_eq!(
         wheel.digest, heap.digest,
         "{name}: trace digests diverged between wheel and heap backends"
+    );
+    assert_eq!(
+        wheel.digest, par.digest,
+        "{name}: trace digests diverged between wheel and parallel({threads}) backends"
     );
     assert_ne!(wheel.digest, 0, "{name}: digest must fingerprint the run");
     assert_eq!(
@@ -27,8 +47,22 @@ fn assert_backend_equivalent(name: &str, run: impl Fn() -> PerfResult) {
         "{name}: event counts diverged between backends"
     );
     assert_eq!(
+        wheel.events, par.events,
+        "{name}: event counts diverged between wheel and parallel({threads})"
+    );
+    assert_eq!(
         wheel.packets, heap.packets,
         "{name}: delivered packets diverged between backends"
+    );
+    assert_eq!(
+        wheel.packets, par.packets,
+        "{name}: delivered packets diverged between wheel and parallel({threads})"
+    );
+    // ci.sh greps this line across EXTMEM_SCHED_THREADS=1,2,4 runs and
+    // asserts the digests agree across thread counts as well.
+    println!(
+        "sched_equivalence {name} digest={:016x} events={} packets={}",
+        wheel.digest, wheel.events, wheel.packets
     );
 }
 
@@ -77,4 +111,43 @@ fn server_failover_is_backend_invariant() {
     // Crash detection, probing, and rejoin all ride on timers, so this is
     // the scenario most likely to expose backend-dependent timer ordering.
     assert_backend_equivalent("server_failover", || server_failover(1_200));
+}
+
+#[test]
+fn fabric_fanout_is_backend_invariant() {
+    // The multi-pod ring pins its own thread count (it *is* the parallel
+    // workhorse), so the ambient-backend legs exercise the nested-override
+    // path: whatever backend the equivalence harness sets, the scenario's
+    // `with_sched_backend(Parallel(n))` wrapper must win and the digest
+    // must still match the sequential baselines bit for bit.
+    assert_backend_equivalent("fabric_fanout", || {
+        fabric_fanout(150, parallel_threads())
+    });
+}
+
+#[test]
+fn fabric_fanout_speedup_on_multicore() {
+    // The tentpole perf claim: ≥3× events/sec at 4 workers vs 1 on a box
+    // with at least 4 cores. On smaller machines (including the 1-core CI
+    // container) the parallel engine still has to be *correct* — the
+    // digest assertions above run everywhere — but the throughput claim is
+    // only meaningful with real hardware parallelism, so gate on it.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("fabric_fanout_speedup_on_multicore: skipped ({cores} cores < 4)");
+        return;
+    }
+    // Best-of-3 each to shake scheduler noise, at perf scale.
+    let best = |threads: usize| {
+        (0..3)
+            .map(|_| fabric_fanout(2_000, threads))
+            .map(|r| r.events_per_sec())
+            .fold(0f64, f64::max)
+    };
+    let seq = best(1);
+    let par = best(4);
+    assert!(
+        par >= 3.0 * seq,
+        "parallel speedup below 3x: {seq:.0} events/s at 1 thread, {par:.0} at 4"
+    );
 }

@@ -560,7 +560,11 @@ mod tests {
         let engine = FaaEngine::new(channel, FaaConfig::default());
         let prog = StateStoreProgram::new(fib, engine, TimeDelta::from_micros(20));
 
-        let mut b = SimBuilder::new(78);
+        // Seed picked so the drop pattern undercounts without tripping the
+        // pool's failure detector — a burst of consecutive timeouts would
+        // declare the sole server down and freeze the remote counter, which
+        // is a different scenario than the one this test pins.
+        let mut b = SimBuilder::new(81);
         let source = b.add_node(Box::new(MultiFlowSource {
             flows: vec![FiveTuple::new(0x0a000001, 0x0a000002, 5000, 9000, 17)],
             n: 400,
@@ -602,6 +606,9 @@ mod tests {
             remote < oracle,
             "5% loss without reliability must undercount"
         );
-        assert!(remote > oracle / 2, "but most updates should land");
+        assert!(
+            remote > oracle / 2,
+            "but most updates should land: remote={remote} oracle={oracle}"
+        );
     }
 }

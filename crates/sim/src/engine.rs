@@ -1,128 +1,200 @@
-//! The simulation engine: topology registry plus the event loop.
+//! The simulation engine: topology registry plus the event loop(s).
+//!
+//! Under [`SchedBackend::Wheel`](crate::SchedBackend) and
+//! [`SchedBackend::Heap`](crate::SchedBackend) this is the classic
+//! single-threaded discrete-event loop. Under
+//! [`SchedBackend::Parallel`](crate::SchedBackend) the node graph is split
+//! into contiguous partitions that advance concurrently under conservative
+//! (link-latency lookahead) synchronization — see `crate::partition` for the
+//! synchronization protocol and `crate::trace` for why the determinism
+//! digest is bit-identical across all three backends.
 
-use crate::event::{EventKind, EventQueue, SchedStats, TimerHandle, NO_LANE};
+use crate::event::{tie, EventKind, EventQueue, SchedStats, Scheduled, TimerHandle, NO_LANE};
 use crate::link::{Endpoint, LinkSpec, LinkStats};
 use crate::node::{Node, NodeCtx};
+use crate::partition::{
+    part_of, stream_seed, ChannelMeta, CrossMsg, Inbox, LinkInfo, Outbox, PanicFuse, ParStats,
+    PortSlotStatic, SyncShared, Topo, STREAM_FAULTS, STREAM_NODE,
+};
 use crate::trace::{TraceEvent, TraceSink};
 use extmem_types::{LinkId, NodeId, PortId, Rate, Time, TimeDelta};
 use extmem_wire::Packet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::Arc;
 
 /// Bytes of Ethernet + IPv4 + UDP headers. Injected corruption lands past
 /// this prefix (see the comment at the injection site in [`EngineCore::start_tx`]).
 const CLASSIFICATION_PREFIX: usize = 14 + 20 + 8;
 
-/// One attached link instance.
-struct Link {
-    spec: LinkSpec,
-    ends: [Endpoint; 2],
-    /// Per-direction stats, indexed by transmitting end (0 or 1).
-    stats: [LinkStats; 2],
+/// FIFO lane ids: two per link direction.
+const LANE_DELIVER: u32 = 0;
+const LANE_TX_DONE: u32 = 1;
+
+fn lane_of(link: usize, end: usize, kind: u32) -> u32 {
+    (link as u32) * 4 + (end as u32) * 2 + kind
+}
+
+/// Events dispatched per worker-loop iteration before bounds are
+/// re-published. Large enough to amortize the atomics, small enough that
+/// neighbors' dispatch bounds stay fresh.
+const BATCH: u64 = 256;
+
+/// Bounded SPSC capacity per cross-partition channel.
+const CHANNEL_CAP: usize = 1024;
+
+/// Mutable per-link-direction state. A direction (`link * 2 + transmitting
+/// end`) is owned by the partition owning its transmitting node, so none of
+/// this needs locks: stats, admin state, the fault RNG stream and the tie
+/// sequence counters are only ever touched by the owner.
+struct DirState {
+    stats: LinkStats,
     /// Administrative state: while `false`, transmissions are dropped on
     /// the floor (the port still cycles so senders don't wedge).
     admin_up: bool,
+    /// Fault-injection RNG stream, seeded per direction so fault draws are
+    /// a function of this direction's transmit sequence alone.
+    rng: StdRng,
+    deliver_seq: u32,
+    txdone_seq: u32,
 }
 
-/// Connection state of one `(node, port)` pair, stored in a dense table
-/// indexed by the (small, contiguous) node and port ids. Every packet event
-/// does several port lookups, so these are plain array indexing rather than
-/// hashing.
-#[derive(Clone, Copy)]
-struct PortSlot {
-    /// Index into [`EngineCore::links`].
-    link: u32,
-    /// Which end of that link this port is (0 or 1).
-    end: u8,
-    /// Whether a transmit is in flight on this port.
-    busy: bool,
+/// Parallel-engine counters accumulated by one partition.
+struct ParAccum {
+    cross_messages: u64,
+    min_margin: u64,
+    iterations: u64,
+    channel_stalls: u64,
 }
 
-/// Engine internals shared with [`NodeCtx`]. Split from [`Simulator`] so a
+impl Default for ParAccum {
+    fn default() -> Self {
+        ParAccum {
+            cross_messages: 0,
+            min_margin: u64::MAX,
+            iterations: 0,
+            channel_stalls: 0,
+        }
+    }
+}
+
+/// Engine internals shared with [`NodeCtx`]. Split from [`Partition`] so a
 /// node callback can borrow the core mutably while the node itself is
 /// temporarily detached from the node table.
+///
+/// One `EngineCore` exists per partition. Its per-node and per-direction
+/// tables are allocated full-size (indexed by global id); only the entries
+/// the partition owns are ever used.
 pub struct EngineCore {
     pub(crate) now: Time,
-    pub(crate) rng: StdRng,
+    /// This partition's id.
+    part: u32,
+    topo: Arc<Topo>,
     queue: EventQueue,
-    links: Vec<Link>,
-    /// `ports[node][port]` → connection state, `None` for unconnected ports.
-    ports: Vec<Vec<Option<PortSlot>>>,
+    dirs: Vec<DirState>,
+    /// `busy[node][port]`: whether a transmit is in flight, shaped like
+    /// `topo.ports`.
+    busy: Vec<Vec<bool>>,
     /// Per-node crash flag: while set, the node's deliveries and timers are
     /// blackholed (counted in `crash_drops`) instead of dispatched.
     crashed: Vec<bool>,
     /// Deliveries + timers discarded per node while it was crashed.
     crash_drops: Vec<u64>,
+    /// Per-node RNG streams backing [`NodeCtx::rng`]; per-node (rather than
+    /// one engine-global stream) so a node's draws depend only on its own
+    /// callback sequence, not on how partitions interleave.
+    pub(crate) node_rng: Vec<StdRng>,
+    /// Per-node timer tie counters (plain + cancellable share one stream).
+    timer_seq: Vec<u32>,
     trace: TraceSink,
     events_processed: u64,
+    /// `outboxes[q]`: sending half of the channel to partition `q`.
+    outboxes: Vec<Option<Outbox>>,
+    inboxes: Vec<Inbox>,
+    /// `None` on the single-partition path: no atomics on that hot loop.
+    sync: Option<Arc<SyncShared>>,
+    par: ParAccum,
 }
 
 impl EngineCore {
-    fn slot(&self, node: NodeId, port: PortId) -> Option<&PortSlot> {
-        self.ports
-            .get(node.raw() as usize)?
-            .get(port.raw() as usize)?
-            .as_ref()
-    }
-
-    fn slot_mut(&mut self, node: NodeId, port: PortId) -> Option<&mut PortSlot> {
-        self.ports
-            .get_mut(node.raw() as usize)?
-            .get_mut(port.raw() as usize)?
-            .as_mut()
-    }
-
     pub(crate) fn set_tx_idle(&mut self, node: NodeId, port: PortId) {
-        self.slot_mut(node, port).expect("tx state").busy = false;
+        self.busy[node.raw() as usize][port.raw() as usize] = false;
+    }
+
+    pub(crate) fn tx_busy(&self, node: NodeId, port: PortId) -> bool {
+        self.topo.slot(node, port).is_some()
+            && self.busy[node.raw() as usize][port.raw() as usize]
+    }
+
+    pub(crate) fn port_link(&self, node: NodeId, port: PortId) -> Option<LinkId> {
+        self.topo.slot(node, port).map(|s| LinkId(s.link))
+    }
+
+    pub(crate) fn link_rate(&self, node: NodeId, port: PortId) -> Rate {
+        let slot = self
+            .topo
+            .slot(node, port)
+            .unwrap_or_else(|| panic!("link_rate on unconnected port {node:?}/{port:?}"));
+        self.topo.links[slot.link as usize].spec.rate
     }
 
     pub(crate) fn start_tx(&mut self, node: NodeId, port: PortId, packet: Packet) {
         let slot = self
-            .slot_mut(node, port)
+            .topo
+            .slot(node, port)
             .unwrap_or_else(|| panic!("start_tx on unconnected port {node:?}/{port:?}"));
-        assert!(!slot.busy, "start_tx while port busy: {node:?}/{port:?}");
-        slot.busy = true;
+        let busy = &mut self.busy[node.raw() as usize][port.raw() as usize];
+        assert!(!*busy, "start_tx while port busy: {node:?}/{port:?}");
+        *busy = true;
         let (lid, end) = (slot.link as usize, slot.end as usize);
+        let dir = lid * 2 + end;
+        let (ser, prop, faults, dst) = {
+            let l = &self.topo.links[lid];
+            (
+                l.spec.rate.time_to_send(packet.len()),
+                l.spec.propagation,
+                l.spec.faults,
+                l.ends[1 - end],
+            )
+        };
+        let done_at = self.now + ser;
 
-        let link = &mut self.links[lid];
-        let ser = link.spec.rate.time_to_send(packet.len());
-        let arrival = self.now + ser + link.spec.propagation;
-        let dst = link.ends[1 - end];
-
-        let stats = &mut link.stats[end];
-        stats.tx_packets += 1;
-        stats.tx_bytes += packet.len() as u64;
-
-        if !link.admin_up {
-            // Administratively down: the bits leave the transceiver and die.
-            // TxDone still fires so the sender's port cycles normally.
-            stats.admin_drops += 1;
-            self.queue.push_lane(
-                self.now + ser,
-                lane_of(lid, end, LANE_TX_DONE),
-                EventKind::TxDone { node, port },
-            );
-            return;
+        {
+            let ds = &mut self.dirs[dir];
+            ds.stats.tx_packets += 1;
+            ds.stats.tx_bytes += packet.len() as u64;
+            if !ds.admin_up {
+                // Administratively down: the bits leave the transceiver and
+                // die. TxDone still fires so the sender's port cycles
+                // normally.
+                ds.stats.admin_drops += 1;
+                self.push_tx_done(dir, done_at, node, port);
+                return;
+            }
         }
 
-        // Fault injection is decided at transmit time so the RNG draw order
-        // is a deterministic function of the event order.
-        let faults = link.spec.faults;
+        // Fault injection is decided at transmit time, drawing from this
+        // direction's own RNG stream, so the draw order is a deterministic
+        // function of the direction's transmit sequence — identical in
+        // every backend.
+        let base_arrival = done_at + prop;
+        let mut arrival = base_arrival;
         let mut deliver = Some(packet);
         let mut duplicate = false;
-        let base_arrival = arrival;
-        let mut arrival = arrival;
         if faults.is_active() {
-            if faults.reorder_prob > 0.0 && self.rng.gen_bool(faults.reorder_prob) {
+            let ds = &mut self.dirs[dir];
+            if faults.reorder_prob > 0.0 && ds.rng.gen_bool(faults.reorder_prob) {
                 // Held back: packets serialized after this one overtake it.
                 arrival += faults.reorder_delay;
-                link.stats[end].reordered_packets += 1;
+                ds.stats.reordered_packets += 1;
             }
-            if faults.drop_prob > 0.0 && self.rng.gen_bool(faults.drop_prob) {
-                link.stats[end].dropped_packets += 1;
+            if faults.drop_prob > 0.0 && ds.rng.gen_bool(faults.drop_prob) {
+                ds.stats.dropped_packets += 1;
                 deliver = None;
-            } else if faults.corrupt_prob > 0.0 && self.rng.gen_bool(faults.corrupt_prob) {
+            } else if faults.corrupt_prob > 0.0 && ds.rng.gen_bool(faults.corrupt_prob) {
                 let mut pkt = deliver.take().unwrap();
                 if !pkt.is_empty() {
                     // Our frames carry no Ethernet FCS: on a real wire a
@@ -137,31 +209,19 @@ impl EngineCore {
                     } else {
                         0
                     };
-                    let idx = self.rng.gen_range(lo..pkt.len());
-                    pkt.as_mut_slice()[idx] ^= 1 << self.rng.gen_range(0..8u8);
-                    link.stats[end].corrupted_packets += 1;
+                    let idx = ds.rng.gen_range(lo..pkt.len());
+                    pkt.as_mut_slice()[idx] ^= 1 << ds.rng.gen_range(0..8u8);
+                    ds.stats.corrupted_packets += 1;
                 }
                 deliver = Some(pkt);
             }
             // A replayed frame: the same packet arrives twice, back to back.
             duplicate = deliver.is_some()
                 && faults.duplicate_prob > 0.0
-                && self.rng.gen_bool(faults.duplicate_prob);
+                && ds.rng.gen_bool(faults.duplicate_prob);
         }
 
         if let Some(pkt) = deliver {
-            let l = &mut self.links[lid];
-            l.stats[end].delivered_packets += 1;
-            l.stats[end].delivered_bytes += pkt.len() as u64;
-            // `pkt.digest()` is cached across hops, and the parts-based
-            // record avoids building a TraceEvent when recording is off.
-            self.trace.record_delivery(
-                arrival,
-                Endpoint { node, port },
-                dst,
-                pkt.len(),
-                pkt.digest(),
-            );
             // Deliveries on one link direction arrive in transmit order
             // (each serialization finishes before the next begins), so they
             // ride the FIFO lane — unless a reorder fault broke the order.
@@ -171,69 +231,164 @@ impl EngineCore {
                 NO_LANE
             };
             let copy = duplicate.then(|| pkt.clone());
-            let kind = EventKind::Deliver {
-                node: dst.node,
-                port: dst.port,
-                packet: pkt,
-            };
-            if lane == NO_LANE {
-                self.queue.push(arrival, kind);
-            } else {
-                self.queue.push_lane(arrival, lane, kind);
-            }
+            let from = Endpoint { node, port };
+            self.deliver(dir, arrival, lane, from, dst, pkt);
             if let Some(copy) = copy {
-                // A replayed frame: the copy lands at the same instant but
-                // strictly after the original in the total order (later
-                // seq). It bypasses the FIFO lane: lanes require
-                // non-decreasing push times and the next real delivery may
-                // be earlier-keyed.
-                let l = &mut self.links[lid];
-                l.stats[end].duplicated_packets += 1;
-                l.stats[end].delivered_packets += 1;
-                l.stats[end].delivered_bytes += copy.len() as u64;
-                self.trace.record_delivery(
-                    arrival,
-                    Endpoint { node, port },
-                    dst,
-                    copy.len(),
-                    copy.digest(),
-                );
-                self.queue.push(
-                    arrival,
-                    EventKind::Deliver {
-                        node: dst.node,
-                        port: dst.port,
-                        packet: copy,
-                    },
-                );
+                // The copy lands at the same instant but strictly after the
+                // original in the total order (later per-direction seq). It
+                // bypasses the FIFO lane: lanes require non-decreasing push
+                // times and the next real delivery may be earlier-keyed.
+                self.dirs[dir].stats.duplicated_packets += 1;
+                self.deliver(dir, arrival, NO_LANE, from, dst, copy);
             }
         }
         // TxDone per port is likewise monotone: one transmit in flight.
-        self.queue.push_lane(
-            self.now + ser,
-            lane_of(lid, end, LANE_TX_DONE),
+        self.push_tx_done(dir, done_at, node, port);
+    }
+
+    /// Account, trace, and route one delivery: into the local queue when
+    /// the destination node is ours, across the SPSC channel otherwise. The
+    /// tie key and trace fold happen *here*, on the transmit side, so they
+    /// are functions of the simulation alone.
+    fn deliver(&mut self, dir: usize, at: Time, lane: u32, from: Endpoint, to: Endpoint, pkt: Packet) {
+        let tie_key = {
+            let ds = &mut self.dirs[dir];
+            ds.stats.delivered_packets += 1;
+            ds.stats.delivered_bytes += pkt.len() as u64;
+            let s = ds.deliver_seq;
+            ds.deliver_seq = s.checked_add(1).expect("deliver seq overflow");
+            tie::pack(tie::CLASS_DELIVER, dir as u32, s)
+        };
+        // `pkt.digest()` is cached across hops, and the parts-based record
+        // avoids building a TraceEvent when recording is off.
+        self.trace
+            .record_delivery(dir, at, from, to, pkt.len(), pkt.digest());
+        let dst_part = self.topo.node_part[to.node.raw() as usize];
+        if dst_part == self.part {
+            let kind = EventKind::Deliver {
+                node: to.node,
+                port: to.port,
+                packet: pkt,
+            };
+            if lane == NO_LANE {
+                self.queue.push_keyed(at, tie_key, kind);
+            } else {
+                self.queue.push_lane_keyed(at, lane, tie_key, kind);
+            }
+        } else {
+            self.send_cross(
+                dst_part as usize,
+                CrossMsg {
+                    at,
+                    tie: tie_key,
+                    lane,
+                    node: to.node,
+                    port: to.port,
+                    packet: pkt,
+                },
+            );
+        }
+    }
+
+    fn push_tx_done(&mut self, dir: usize, at: Time, node: NodeId, port: PortId) {
+        let ds = &mut self.dirs[dir];
+        let s = ds.txdone_seq;
+        ds.txdone_seq = s.checked_add(1).expect("tx-done seq overflow");
+        let t = tie::pack(tie::CLASS_TX_DONE, dir as u32, s);
+        self.queue.push_lane_keyed(
+            at,
+            lane_of(dir / 2, dir & 1, LANE_TX_DONE),
+            t,
             EventKind::TxDone { node, port },
         );
     }
 
-    pub(crate) fn tx_busy(&self, node: NodeId, port: PortId) -> bool {
-        self.slot(node, port).is_some_and(|s| s.busy)
+    /// Ship a delivery to partition `dst`. A full channel never deadlocks:
+    /// the sender drains its own inboxes (so the peer blocked on *us* can
+    /// make progress) and retries. `sent` is bumped before the enqueue so
+    /// the termination scan never sees the channel balanced while a message
+    /// is in flight.
+    fn send_cross(&mut self, dst: usize, mut msg: CrossMsg) {
+        self.par.cross_messages += 1;
+        self.outboxes[dst]
+            .as_ref()
+            .expect("cross send without a channel")
+            .sent
+            .fetch_add(1, SeqCst);
+        loop {
+            // Re-indexed each attempt so the outbox borrow ends before the
+            // inbox drain borrows `self` again.
+            let ob = self.outboxes[dst].as_ref().expect("cross send channel");
+            match ob.tx.try_send(msg) {
+                Ok(()) => return,
+                Err(TrySendError::Full(m)) => {
+                    msg = m;
+                    self.par.channel_stalls += 1;
+                    self.drain_inboxes();
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    unreachable!("cross-partition receiver outlives the run")
+                }
+            }
+        }
     }
 
-    pub(crate) fn port_link(&self, node: NodeId, port: PortId) -> Option<LinkId> {
-        self.slot(node, port).map(|s| LinkId(s.link))
+    /// Absorb every waiting cross-partition delivery into the local queue.
+    /// Returns how many were absorbed.
+    fn drain_inboxes(&mut self) -> u64 {
+        let mut drained = 0u64;
+        for i in 0..self.inboxes.len() {
+            while let Ok(msg) = self.inboxes[i].rx.try_recv() {
+                if drained == 0 {
+                    if let Some(sync) = &self.sync {
+                        // Lower the finished flag and bump progress BEFORE
+                        // the first `recv` increment of this batch: a
+                        // termination scan that saw the channel balanced can
+                        // then never pair with a second scan that still sees
+                        // this partition finished.
+                        sync.finished[self.part as usize].store(false, SeqCst);
+                        sync.progress[self.part as usize].fetch_add(1, SeqCst);
+                    }
+                }
+                drained += 1;
+                let kind = EventKind::Deliver {
+                    node: msg.node,
+                    port: msg.port,
+                    packet: msg.packet,
+                };
+                if msg.lane == NO_LANE {
+                    self.queue.push_keyed(msg.at, msg.tie, kind);
+                } else {
+                    self.queue.push_lane_keyed(msg.at, msg.lane, msg.tie, kind);
+                }
+                self.inboxes[i].recv.fetch_add(1, SeqCst);
+            }
+        }
+        drained
     }
 
-    pub(crate) fn link_rate(&self, node: NodeId, port: PortId) -> Rate {
-        let slot = self
-            .slot(node, port)
-            .unwrap_or_else(|| panic!("link_rate on unconnected port {node:?}/{port:?}"));
-        self.links[slot.link as usize].spec.rate
+    /// Publish this partition's null-message bounds: the earliest thing it
+    /// may still send to neighbor `q` is `min(own queue head, own dispatch
+    /// bound) + lookahead(me → q)`. Runs *before* each dispatch batch, which
+    /// (with the pre-batch peek) keeps the published bound monotone.
+    fn publish_bounds(&mut self, safe: u64) {
+        let peek = self.queue.peek_time().map_or(u64::MAX, |t| t.picos());
+        let eot = peek.min(safe);
+        let me = self.part as usize;
+        if let Some(sync) = &self.sync {
+            for &q in &sync.outbound[me] {
+                let q = q as usize;
+                let b = eot.saturating_add(sync.lookahead[me * sync.k + q]);
+                sync.publish(me, q, b);
+            }
+        }
     }
 
     pub(crate) fn schedule_timer(&mut self, node: NodeId, delay: TimeDelta, token: u64) {
+        let t = self.timer_tie(node);
         self.queue
-            .push(self.now + delay, EventKind::Timer { node, token });
+            .push_keyed(self.now + delay, t, EventKind::Timer { node, token });
     }
 
     pub(crate) fn schedule_timer_cancellable(
@@ -242,7 +397,15 @@ impl EngineCore {
         delay: TimeDelta,
         token: u64,
     ) -> TimerHandle {
-        self.queue.push_timer(self.now + delay, node, token)
+        let t = self.timer_tie(node);
+        self.queue.push_timer_keyed(self.now + delay, t, node, token)
+    }
+
+    fn timer_tie(&mut self, node: NodeId) -> u64 {
+        let i = node.raw() as usize;
+        let s = self.timer_seq[i];
+        self.timer_seq[i] = s.checked_add(1).expect("timer seq overflow");
+        tie::pack(tie::CLASS_TIMER, node.raw(), s)
     }
 
     pub(crate) fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
@@ -250,234 +413,19 @@ impl EngineCore {
     }
 }
 
-/// FIFO lane ids: two per link direction.
-const LANE_DELIVER: u32 = 0;
-const LANE_TX_DONE: u32 = 1;
-
-fn lane_of(link: usize, end: usize, kind: u32) -> u32 {
-    (link as u32) * 4 + (end as u32) * 2 + kind
-}
-
-/// Builder for a [`Simulator`]: register nodes, connect ports, pick a seed.
-pub struct SimBuilder {
-    nodes: Vec<Box<dyn Node>>,
-    links: Vec<Link>,
-    ports: HashMap<(NodeId, PortId), (usize, usize)>,
-    seed: u64,
-    trace: TraceSink,
-}
-
-impl SimBuilder {
-    /// Start building a simulation with the given RNG seed.
-    pub fn new(seed: u64) -> SimBuilder {
-        SimBuilder {
-            nodes: Vec::new(),
-            links: Vec::new(),
-            ports: HashMap::new(),
-            seed,
-            trace: TraceSink::disabled(),
-        }
-    }
-
-    /// Register a node, returning its id.
-    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(node);
-        id
-    }
-
-    /// Connect `a`'s port `pa` to `b`'s port `pb` with `spec`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on unknown node ids, self-loops, or ports that are already
-    /// connected.
-    pub fn connect(
-        &mut self,
-        a: NodeId,
-        pa: PortId,
-        b: NodeId,
-        pb: PortId,
-        spec: LinkSpec,
-    ) -> LinkId {
-        spec.faults.validate();
-        assert!((a.raw() as usize) < self.nodes.len(), "unknown node {a:?}");
-        assert!((b.raw() as usize) < self.nodes.len(), "unknown node {b:?}");
-        assert!(a != b, "self-loop links are not supported");
-        let lid = self.links.len();
-        for (end, ep) in [(0usize, (a, pa)), (1, (b, pb))] {
-            let prev = self.ports.insert(ep, (lid, end));
-            assert!(prev.is_none(), "port {:?}/{:?} connected twice", ep.0, ep.1);
-        }
-        self.links.push(Link {
-            spec,
-            ends: [
-                Endpoint { node: a, port: pa },
-                Endpoint { node: b, port: pb },
-            ],
-            stats: [LinkStats::default(), LinkStats::default()],
-            admin_up: true,
-        });
-        LinkId(lid as u32)
-    }
-
-    /// Record every delivered packet (time, endpoints, length, digest) into
-    /// an in-memory trace, retrievable via [`Simulator::trace`]. Costs memory
-    /// proportional to traffic; off by default. The rolling digest used by
-    /// determinism tests is always maintained.
-    pub fn keep_trace(&mut self, keep: bool) -> &mut Self {
-        self.trace = if keep {
-            TraceSink::recording()
-        } else {
-            TraceSink::disabled()
-        };
-        self
-    }
-
-    /// Finish building.
-    pub fn build(self) -> Simulator {
-        // Flatten the builder's port map into the dense per-node tables the
-        // event loop indexes directly.
-        let mut ports: Vec<Vec<Option<PortSlot>>> = vec![Vec::new(); self.nodes.len()];
-        for (&(node, port), &(lid, end)) in &self.ports {
-            let row = &mut ports[node.raw() as usize];
-            let idx = port.raw() as usize;
-            if row.len() <= idx {
-                row.resize(idx + 1, None);
-            }
-            row[idx] = Some(PortSlot {
-                link: lid as u32,
-                end: end as u8,
-                busy: false,
-            });
-        }
-        let mut queue = EventQueue::new();
-        queue.ensure_lanes(self.links.len() * 4);
-        let n = self.nodes.len();
-        Simulator {
-            nodes: self.nodes.into_iter().map(Some).collect(),
-            core: EngineCore {
-                now: Time::ZERO,
-                rng: StdRng::seed_from_u64(self.seed),
-                queue,
-                links: self.links,
-                ports,
-                crashed: vec![false; n],
-                crash_drops: vec![0; n],
-                trace: self.trace,
-                events_processed: 0,
-            },
-        }
-    }
-}
-
-/// A runnable simulation.
-pub struct Simulator {
-    /// `Option` so a node can be detached during its own callback.
+/// One partition: the nodes it owns plus its engine core. The whole
+/// simulation is one `Partition` on the single-threaded backends.
+struct Partition {
+    /// Full-size table; `Some` only for owned nodes (and `None` transiently
+    /// while a node runs its own callback).
     nodes: Vec<Option<Box<dyn Node>>>,
     core: EngineCore,
 }
 
-impl Simulator {
-    /// Current simulated time.
-    pub fn now(&self) -> Time {
-        self.core.now
-    }
-
-    /// Total events processed so far.
-    pub fn events_processed(&self) -> u64 {
-        self.core.events_processed
-    }
-
-    /// Schedule a timer for `node` as if it had called [`NodeCtx::schedule`].
-    /// Used by scenario drivers to kick off generators.
-    pub fn schedule_timer(&mut self, node: NodeId, delay: TimeDelta, token: u64) {
-        self.core.schedule_timer(node, delay, token);
-    }
-
-    /// Schedule `node` to crash after `delay`: its [`Node::on_crash`] hook
-    /// runs, then every delivery and timer addressed to it is discarded
-    /// until a matching [`Simulator::schedule_restart`] fires.
-    pub fn schedule_crash(&mut self, node: NodeId, delay: TimeDelta) {
-        let at = self.core.now + delay;
-        self.core
-            .queue
-            .push(at, EventKind::NodeAdmin { node, up: false });
-    }
-
-    /// Schedule `node` to power back up after `delay` (no-op unless it is
-    /// crashed at that time); its [`Node::on_restart`] hook runs.
-    pub fn schedule_restart(&mut self, node: NodeId, delay: TimeDelta) {
-        let at = self.core.now + delay;
-        self.core
-            .queue
-            .push(at, EventKind::NodeAdmin { node, up: true });
-    }
-
-    /// Schedule link `link` to go administratively down (`up: false`) or
-    /// back up (`up: true`) after `delay`. While down, transmissions in
-    /// either direction are dropped (counted in `LinkStats::admin_drops`);
-    /// packets already in flight still arrive.
-    pub fn schedule_link_admin(&mut self, link: LinkId, up: bool, delay: TimeDelta) {
-        let at = self.core.now + delay;
-        self.core
-            .queue
-            .push(at, EventKind::LinkAdmin { link: link.raw(), up });
-    }
-
-    /// Whether `node` is currently crashed.
-    pub fn node_crashed(&self, node: NodeId) -> bool {
-        self.core.crashed[node.raw() as usize]
-    }
-
-    /// Deliveries and timers discarded while `node` was crashed.
-    pub fn crash_drops(&self, node: NodeId) -> u64 {
-        self.core.crash_drops[node.raw() as usize]
-    }
-
-    /// Scheduler counters (queue depth high-water, wheel cascades, dead
-    /// timer reaps, slab reuse) for the run so far.
-    pub fn sched_stats(&self) -> SchedStats {
-        self.core.queue.stats()
-    }
-
-    /// Run until the event queue is empty or `deadline` is reached (whichever
-    /// comes first). Returns the number of events processed by this call.
-    pub fn run_until(&mut self, deadline: Time) -> u64 {
-        let mut n = 0;
-        // Fused pop-with-deadline: one queue traversal per event instead of
-        // a peek/pop pair.
-        while let Some(ev) = self.core.queue.pop_if_at_or_before(deadline) {
-            self.dispatch(ev);
-            n += 1;
-        }
-        // Advance the clock to the deadline even if the queue went quiet.
-        if self.core.now < deadline {
-            self.core.now = deadline;
-        }
-        n
-    }
-
-    /// Run until the event queue is empty. Returns events processed.
-    pub fn run_to_quiescence(&mut self) -> u64 {
-        let mut n = 0;
-        while !self.core.queue.is_empty() {
-            self.step();
-            n += 1;
-        }
-        // Quiescence is the natural point to hand a storm's peak slab
-        // capacity back to the allocator.
-        self.core.queue.release_excess();
-        n
-    }
-
-    /// Process exactly one event. Panics if the queue is empty.
-    pub fn step(&mut self) {
-        let ev = self.core.queue.pop().expect("step on empty event queue");
-        self.dispatch(ev);
-    }
-
-    fn dispatch(&mut self, ev: crate::event::Scheduled) {
+impl Partition {
+    fn dispatch(&mut self, ev: Scheduled) {
+        // Doubles as the conservative-safety check: a cross-partition
+        // delivery drained after reading `safe` has `at >= safe > now`.
         debug_assert!(ev.at >= self.core.now, "event queue went backwards");
         self.core.now = ev.at;
         self.core.events_processed += 1;
@@ -520,8 +468,8 @@ impl Simulator {
                     self.with_node(node, |n, ctx| n.on_crash(ctx));
                 }
             }
-            EventKind::LinkAdmin { link, up } => {
-                self.core.links[link as usize].admin_up = up;
+            EventKind::LinkAdmin { link, end, up } => {
+                self.core.dirs[link as usize * 2 + end as usize].admin_up = up;
             }
         }
     }
@@ -542,12 +490,505 @@ impl Simulator {
         self.nodes[id.raw() as usize] = Some(node);
     }
 
+    /// Dispatch up to `limit` events at or before `deadline`, tracking the
+    /// dispatch margin against the conservative bound `safe` (picoseconds).
+    fn dispatch_batch(&mut self, deadline: Time, limit: u64, safe: u64) -> u64 {
+        let mut n = 0;
+        while n < limit {
+            let Some(ev) = self.core.queue.pop_if_at_or_before(deadline) else {
+                break;
+            };
+            if safe != u64::MAX {
+                let margin = safe - ev.at.picos();
+                self.core.par.min_margin = self.core.par.min_margin.min(margin);
+            }
+            self.dispatch(ev);
+            n += 1;
+        }
+        n
+    }
+
+    /// One partition's worker loop: read the dispatch bound, absorb cross
+    /// deliveries, publish null-message bounds, dispatch a batch strictly
+    /// below the bound, and participate in termination detection.
+    fn run_loop(&mut self, deadline: Time, quiesce: bool, shared: &SyncShared) {
+        let me = self.core.part as usize;
+        let _fuse = PanicFuse(shared);
+        loop {
+            if shared.done.load(SeqCst) {
+                break;
+            }
+            self.core.par.iterations += 1;
+            // Order matters: the bound is read *before* the drain, so any
+            // message not yet absorbed was sent after our neighbor promised
+            // `safe` — its timestamp is `>= safe` and cannot be missed by
+            // the batch below.
+            let safe = shared.safe_bound(me);
+            let drained = self.core.drain_inboxes();
+            // Publish before dispatching: the pre-batch queue head is a
+            // valid (monotone) earliest-output estimate for the whole
+            // batch, and neighbors see fresh bounds while we work.
+            self.core.publish_bounds(safe);
+            let dd = Time::from_picos(safe.saturating_sub(1).min(deadline.picos()));
+            let n = self.dispatch_batch(dd, BATCH, safe);
+            if n > 0 || drained > 0 {
+                if n > 0 {
+                    shared.finished[me].store(false, SeqCst);
+                    shared.progress[me].fetch_add(1, SeqCst);
+                }
+                continue;
+            }
+            let idle = if quiesce {
+                self.core.queue.is_empty()
+            } else {
+                self.core.queue.peek_time().is_none_or(|t| t > deadline)
+            };
+            shared.finished[me].store(idle, SeqCst);
+            if idle && me == 0 && shared.try_terminate() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Builder for a [`Simulator`]: register nodes, connect ports, pick a seed.
+///
+/// The scheduler backend (and with it the partition count) is read from the
+/// thread-local configured via [`crate::with_sched_backend`] at
+/// [`SimBuilder::build`] time.
+pub struct SimBuilder {
+    nodes: Vec<Box<dyn Node>>,
+    links: Vec<LinkInfo>,
+    ports: HashMap<(NodeId, PortId), (usize, usize)>,
+    seed: u64,
+    keep_trace: bool,
+}
+
+impl SimBuilder {
+    /// Start building a simulation with the given RNG seed.
+    pub fn new(seed: u64) -> SimBuilder {
+        SimBuilder {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            ports: HashMap::new(),
+            seed,
+            keep_trace: false,
+        }
+    }
+
+    /// Register a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Connect `a`'s port `pa` to `b`'s port `pb` with `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown node ids, self-loops, or ports that are already
+    /// connected.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        spec: LinkSpec,
+    ) -> LinkId {
+        spec.faults.validate();
+        assert!((a.raw() as usize) < self.nodes.len(), "unknown node {a:?}");
+        assert!((b.raw() as usize) < self.nodes.len(), "unknown node {b:?}");
+        assert!(a != b, "self-loop links are not supported");
+        let lid = self.links.len();
+        for (end, ep) in [(0usize, (a, pa)), (1, (b, pb))] {
+            let prev = self.ports.insert(ep, (lid, end));
+            assert!(prev.is_none(), "port {:?}/{:?} connected twice", ep.0, ep.1);
+        }
+        self.links.push(LinkInfo {
+            spec,
+            ends: [
+                Endpoint { node: a, port: pa },
+                Endpoint { node: b, port: pb },
+            ],
+        });
+        LinkId(lid as u32)
+    }
+
+    /// Record every delivered packet (time, endpoints, length, digest) into
+    /// an in-memory trace, retrievable via [`Simulator::trace`]. Costs memory
+    /// proportional to traffic; off by default. The rolling digest used by
+    /// determinism tests is always maintained.
+    pub fn keep_trace(&mut self, keep: bool) -> &mut Self {
+        self.keep_trace = keep;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Simulator {
+        let n = self.nodes.len();
+        let threads = crate::event::current_backend().threads();
+        let k = if n == 0 { 1 } else { threads.min(n) };
+        let node_part: Vec<u32> = (0..n).map(|i| part_of(i, n, k)).collect();
+
+        // Flatten the builder's port map into the dense per-node tables the
+        // event loop indexes directly.
+        let mut ports: Vec<Vec<Option<PortSlotStatic>>> = vec![Vec::new(); n];
+        for (&(node, port), &(lid, end)) in &self.ports {
+            let row = &mut ports[node.raw() as usize];
+            let idx = port.raw() as usize;
+            if row.len() <= idx {
+                row.resize(idx + 1, None);
+            }
+            row[idx] = Some(PortSlotStatic {
+                link: lid as u32,
+                end: end as u8,
+            });
+        }
+        let topo = Arc::new(Topo {
+            links: self.links,
+            ports,
+            node_part,
+        });
+        let dirs_n = topo.dirs();
+
+        // Lookahead matrix: min propagation over links crossing each
+        // ordered partition pair. Zero-propagation links must not cross —
+        // with no lookahead the conservative bound never advances past them.
+        let mut lookahead = vec![u64::MAX; k * k];
+        if k > 1 {
+            for (lid, l) in topo.links.iter().enumerate() {
+                let pa = topo.node_part[l.ends[0].node.raw() as usize] as usize;
+                let pb = topo.node_part[l.ends[1].node.raw() as usize] as usize;
+                if pa != pb {
+                    assert!(
+                        l.spec.propagation > TimeDelta::ZERO,
+                        "link {lid} crosses partitions but has zero propagation delay; \
+                         conservative parallel sync needs positive lookahead on every \
+                         cross-partition link"
+                    );
+                    let la = l.spec.propagation.picos();
+                    for (p, q) in [(pa, pb), (pb, pa)] {
+                        let e = &mut lookahead[p * k + q];
+                        *e = (*e).min(la);
+                    }
+                }
+            }
+        }
+
+        let mut sync = SyncShared::new(k, lookahead);
+        let mut outboxes: Vec<Vec<Option<Outbox>>> =
+            (0..k).map(|_| (0..k).map(|_| None).collect()).collect();
+        let mut inboxes: Vec<Vec<Inbox>> = (0..k).map(|_| Vec::new()).collect();
+        let pairs: Vec<(usize, usize)> = (0..k)
+            .flat_map(|p| sync.outbound[p].iter().map(move |&q| (p, q as usize)))
+            .collect();
+        for (p, q) in pairs {
+            let (tx, rx) = mpsc::sync_channel(CHANNEL_CAP);
+            let sent = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let recv = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            sync.channels.push(ChannelMeta {
+                sent: sent.clone(),
+                recv: recv.clone(),
+            });
+            outboxes[p][q] = Some(Outbox { tx, sent });
+            inboxes[q].push(Inbox { rx, recv });
+        }
+        let sync = (k > 1).then(|| Arc::new(sync));
+
+        let mut parts: Vec<Partition> = (0..k)
+            .map(|pid| {
+                let mut queue = EventQueue::new();
+                queue.ensure_lanes(topo.links.len() * 4);
+                Partition {
+                    nodes: (0..n).map(|_| None).collect(),
+                    core: EngineCore {
+                        now: Time::ZERO,
+                        part: pid as u32,
+                        topo: topo.clone(),
+                        queue,
+                        dirs: (0..dirs_n)
+                            .map(|d| DirState {
+                                stats: LinkStats::default(),
+                                admin_up: true,
+                                rng: StdRng::seed_from_u64(stream_seed(
+                                    self.seed,
+                                    STREAM_FAULTS,
+                                    d as u64,
+                                )),
+                                deliver_seq: 0,
+                                txdone_seq: 0,
+                            })
+                            .collect(),
+                        busy: topo.ports.iter().map(|row| vec![false; row.len()]).collect(),
+                        crashed: vec![false; n],
+                        crash_drops: vec![0; n],
+                        node_rng: (0..n)
+                            .map(|i| {
+                                StdRng::seed_from_u64(stream_seed(
+                                    self.seed,
+                                    STREAM_NODE,
+                                    i as u64,
+                                ))
+                            })
+                            .collect(),
+                        timer_seq: vec![0; n],
+                        trace: if self.keep_trace {
+                            TraceSink::recording(dirs_n)
+                        } else {
+                            TraceSink::disabled(dirs_n)
+                        },
+                        events_processed: 0,
+                        outboxes: Vec::new(),
+                        inboxes: Vec::new(),
+                        sync: sync.clone(),
+                        par: ParAccum::default(),
+                    },
+                }
+            })
+            .collect();
+        for (i, node) in self.nodes.into_iter().enumerate() {
+            let p = topo.node_part[i] as usize;
+            parts[p].nodes[i] = Some(node);
+        }
+        for (pid, (ob, ib)) in outboxes.into_iter().zip(inboxes).enumerate() {
+            parts[pid].core.outboxes = ob;
+            parts[pid].core.inboxes = ib;
+        }
+
+        Simulator {
+            parts,
+            topo,
+            sync,
+            admin_seq: vec![0; n],
+            link_admin_seq: vec![0; dirs_n],
+        }
+    }
+}
+
+/// A runnable simulation.
+pub struct Simulator {
+    parts: Vec<Partition>,
+    topo: Arc<Topo>,
+    sync: Option<Arc<SyncShared>>,
+    /// Driver-side tie counters for crash/restart events, per node.
+    admin_seq: Vec<u32>,
+    /// Driver-side tie counters for link admin events, per direction.
+    link_admin_seq: Vec<u32>,
+}
+
+impl Simulator {
+    /// Current simulated time. Between runs every partition's clock agrees;
+    /// this reads partition 0's.
+    pub fn now(&self) -> Time {
+        self.parts[0].core.now
+    }
+
+    /// Total events processed so far, summed over partitions.
+    pub fn events_processed(&self) -> u64 {
+        self.parts.iter().map(|p| p.core.events_processed).sum()
+    }
+
+    fn owner(&self, node: NodeId) -> usize {
+        self.topo.node_part[node.raw() as usize] as usize
+    }
+
+    /// Schedule a timer for `node` as if it had called [`NodeCtx::schedule`].
+    /// Used by scenario drivers to kick off generators.
+    pub fn schedule_timer(&mut self, node: NodeId, delay: TimeDelta, token: u64) {
+        let p = self.owner(node);
+        self.parts[p].core.schedule_timer(node, delay, token);
+    }
+
+    fn push_node_admin(&mut self, node: NodeId, up: bool, delay: TimeDelta) {
+        let i = node.raw() as usize;
+        let s = self.admin_seq[i];
+        self.admin_seq[i] = s.checked_add(1).expect("node admin seq overflow");
+        let t = tie::pack(tie::CLASS_NODE_ADMIN, node.raw(), s);
+        let p = self.owner(node);
+        let at = self.parts[p].core.now + delay;
+        self.parts[p]
+            .core
+            .queue
+            .push_keyed(at, t, EventKind::NodeAdmin { node, up });
+    }
+
+    /// Schedule `node` to crash after `delay`: its [`Node::on_crash`] hook
+    /// runs, then every delivery and timer addressed to it is discarded
+    /// until a matching [`Simulator::schedule_restart`] fires.
+    pub fn schedule_crash(&mut self, node: NodeId, delay: TimeDelta) {
+        self.push_node_admin(node, false, delay);
+    }
+
+    /// Schedule `node` to power back up after `delay` (no-op unless it is
+    /// crashed at that time); its [`Node::on_restart`] hook runs.
+    pub fn schedule_restart(&mut self, node: NodeId, delay: TimeDelta) {
+        self.push_node_admin(node, true, delay);
+    }
+
+    /// Schedule link `link` to go administratively down (`up: false`) or
+    /// back up (`up: true`) after `delay`. While down, transmissions in
+    /// either direction are dropped (counted in `LinkStats::admin_drops`);
+    /// packets already in flight still arrive.
+    ///
+    /// Internally this is two per-direction events, each dispatched by the
+    /// partition owning that direction's transmitting node.
+    pub fn schedule_link_admin(&mut self, link: LinkId, up: bool, delay: TimeDelta) {
+        for end in 0..2usize {
+            let dir = link.raw() as usize * 2 + end;
+            let s = self.link_admin_seq[dir];
+            self.link_admin_seq[dir] = s.checked_add(1).expect("link admin seq overflow");
+            let t = tie::pack(tie::CLASS_LINK_ADMIN, dir as u32, s);
+            let p = self.topo.dir_owner(dir) as usize;
+            let at = self.parts[p].core.now + delay;
+            self.parts[p].core.queue.push_keyed(
+                at,
+                t,
+                EventKind::LinkAdmin {
+                    link: link.raw(),
+                    end: end as u8,
+                    up,
+                },
+            );
+        }
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn node_crashed(&self, node: NodeId) -> bool {
+        self.parts[self.owner(node)].core.crashed[node.raw() as usize]
+    }
+
+    /// Deliveries and timers discarded while `node` was crashed.
+    pub fn crash_drops(&self, node: NodeId) -> u64 {
+        self.parts[self.owner(node)].core.crash_drops[node.raw() as usize]
+    }
+
+    /// Scheduler counters (queue depth high-water, wheel cascades, dead
+    /// timer reaps, slab reuse) for the run so far, merged over partitions.
+    pub fn sched_stats(&self) -> SchedStats {
+        let mut s = SchedStats::default();
+        for p in &self.parts {
+            s.merge(&p.core.queue.stats());
+        }
+        s
+    }
+
+    /// Parallel-engine counters (zeros/defaults on the single-threaded
+    /// backends, where `partitions == 1`).
+    pub fn par_stats(&self) -> ParStats {
+        let mut s = ParStats {
+            partitions: self.parts.len(),
+            ..ParStats::default()
+        };
+        for p in &self.parts {
+            s.cross_messages += p.core.par.cross_messages;
+            s.min_dispatch_margin_picos =
+                s.min_dispatch_margin_picos.min(p.core.par.min_margin);
+            s.iterations += p.core.par.iterations;
+            s.channel_stalls += p.core.par.channel_stalls;
+        }
+        s
+    }
+
+    /// Run until the event queue is empty or `deadline` is reached (whichever
+    /// comes first). Returns the number of events processed by this call.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        if self.parts.len() > 1 {
+            return self.run_parallel(deadline, false);
+        }
+        let part = &mut self.parts[0];
+        let mut n = 0;
+        // Fused pop-with-deadline: one queue traversal per event instead of
+        // a peek/pop pair.
+        while let Some(ev) = part.core.queue.pop_if_at_or_before(deadline) {
+            part.dispatch(ev);
+            n += 1;
+        }
+        // Advance the clock to the deadline even if the queue went quiet.
+        if part.core.now < deadline {
+            part.core.now = deadline;
+        }
+        n
+    }
+
+    /// Run until the event queue is empty. Returns events processed.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        if self.parts.len() > 1 {
+            return self.run_parallel(Time::from_picos(u64::MAX), true);
+        }
+        let part = &mut self.parts[0];
+        let mut n = 0;
+        while let Some(ev) = part.core.queue.pop() {
+            part.dispatch(ev);
+            n += 1;
+        }
+        // Quiescence is the natural point to hand a storm's peak slab
+        // capacity back to the allocator.
+        part.core.queue.release_excess();
+        n
+    }
+
+    /// One parallel run segment: spawn a scoped worker per partition, let
+    /// them advance under the conservative protocol, then re-align clocks.
+    fn run_parallel(&mut self, deadline: Time, quiesce: bool) -> u64 {
+        let before: u64 = self.parts.iter().map(|p| p.core.events_processed).sum();
+        let shared = self.sync.as_ref().expect("parallel run without sync").clone();
+        let peeks: Vec<u64> = self
+            .parts
+            .iter_mut()
+            .map(|p| p.core.queue.peek_time().map_or(u64::MAX, |t| t.picos()))
+            .collect();
+        shared.begin(&peeks);
+        std::thread::scope(|s| {
+            for part in &mut self.parts {
+                let shared = &*shared;
+                s.spawn(move || part.run_loop(deadline, quiesce, shared));
+            }
+        });
+        if quiesce {
+            // Partitions stop at the time of their own last event; the
+            // simulation's quiescence instant is the latest of those.
+            let max_now = self
+                .parts
+                .iter()
+                .map(|p| p.core.now)
+                .max()
+                .expect("at least one partition");
+            for p in &mut self.parts {
+                p.core.now = max_now;
+                p.core.queue.release_excess();
+            }
+        } else {
+            for p in &mut self.parts {
+                if p.core.now < deadline {
+                    p.core.now = deadline;
+                }
+            }
+        }
+        let after: u64 = self.parts.iter().map(|p| p.core.events_processed).sum();
+        after - before
+    }
+
+    /// Process exactly one event. Panics if the queue is empty, or on the
+    /// parallel backend (single-stepping has no meaning across partitions).
+    pub fn step(&mut self) {
+        assert!(
+            self.parts.len() == 1,
+            "step() requires a single-partition backend"
+        );
+        let part = &mut self.parts[0];
+        let ev = part.core.queue.pop().expect("step on empty event queue");
+        part.dispatch(ev);
+    }
+
     /// Borrow a node, downcast to its concrete type. Panics on a wrong type
     /// or unknown id. Used by scenario drivers and tests to read node state
     /// between runs — the simulated equivalent of the paper's control plane
     /// reading data-plane registers.
     pub fn node<T: Node>(&self, id: NodeId) -> &T {
-        let node = self.nodes[id.raw() as usize]
+        let node = self.parts[self.owner(id)].nodes[id.raw() as usize]
             .as_deref()
             .expect("node detached");
         let any: &dyn std::any::Any = node;
@@ -557,7 +998,8 @@ impl Simulator {
 
     /// Mutable variant of [`Simulator::node`].
     pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
-        let node = self.nodes[id.raw() as usize]
+        let p = self.owner(id);
+        let node = self.parts[p].nodes[id.raw() as usize]
             .as_deref_mut()
             .expect("node detached");
         let name = node.name().to_owned();
@@ -574,35 +1016,51 @@ impl Simulator {
     /// [`SimBuilder::connect`], and the stats describe traffic *transmitted
     /// by* that end.
     pub fn link_stats(&self, link: LinkId, end: usize) -> LinkStats {
-        self.core.links[link.raw() as usize].stats[end]
+        let dir = link.raw() as usize * 2 + end;
+        self.parts[self.topo.dir_owner(dir) as usize].core.dirs[dir].stats
     }
 
     /// Total packets delivered across every link in both directions — the
     /// per-hop packet count the perf harness divides by wall-clock time.
     pub fn packets_delivered(&self) -> u64 {
-        self.core
-            .links
-            .iter()
-            .map(|l| l.stats[0].delivered_packets + l.stats[1].delivered_packets)
+        (0..self.topo.dirs())
+            .map(|d| {
+                self.parts[self.topo.dir_owner(d) as usize].core.dirs[d]
+                    .stats
+                    .delivered_packets
+            })
             .sum()
     }
 
-    /// The recorded trace (empty unless [`SimBuilder::keep_trace`] was set).
-    pub fn trace(&self) -> &[TraceEvent] {
-        self.core.trace.events()
+    /// The recorded trace (empty unless [`SimBuilder::keep_trace`] was set):
+    /// every partition's per-direction event lists, merged into one
+    /// time-sorted view. The sort is stable over (direction, per-direction
+    /// order), so the result is deterministic.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for d in 0..self.topo.dirs() {
+            let owner = self.topo.dir_owner(d) as usize;
+            out.extend_from_slice(self.parts[owner].core.trace.dir_events(d));
+        }
+        out.sort_by_key(|e| e.at);
+        out
     }
 
     /// A rolling digest over every delivered packet: time, endpoints, length
-    /// and content digest. Two runs with the same topology and seed must
-    /// produce the same digest.
+    /// and content digest, folded per link direction and then combined in
+    /// canonical direction order. Identical topology + seed gives an
+    /// identical digest on every scheduler backend, parallel included.
     pub fn trace_digest(&self) -> u64 {
-        self.core.trace.digest()
+        TraceSink::combined_digest(self.topo.dirs(), |d| {
+            &self.parts[self.topo.dir_owner(d) as usize].core.trace
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{with_sched_backend, SchedBackend};
     use crate::link::FaultSpec;
     use std::collections::VecDeque;
 
@@ -680,15 +1138,19 @@ mod tests {
         }
     }
 
-    fn two_node_sim(seed: u64) -> (Simulator, NodeId, NodeId) {
-        let mut b = SimBuilder::new(seed);
-        let blaster = b.add_node(Box::new(Blaster {
+    fn blaster(count: u64, size: usize) -> Box<Blaster> {
+        Box::new(Blaster {
             name: "blaster".into(),
-            to_send: 10,
-            size: 1500,
+            to_send: count,
+            size,
             rx: 0,
             last_rx_at: Time::ZERO,
-        }));
+        })
+    }
+
+    fn two_node_sim(seed: u64) -> (Simulator, NodeId, NodeId) {
+        let mut b = SimBuilder::new(seed);
+        let blaster = b.add_node(blaster(10, 1500));
         let echo = b.add_node(Box::new(Echo::new("echo")));
         b.connect(blaster, PortId(0), echo, PortId(0), LinkSpec::testbed_40g());
         let mut sim = b.build();
@@ -709,22 +1171,13 @@ mod tests {
         // One 1500B packet at 40G: 300ns ser + 300ns prop = 600ns one way;
         // echo serializes another 300ns + 300ns prop → 1.2us round trip.
         let mut b = SimBuilder::new(7);
-        let blaster = b.add_node(Box::new(Blaster {
-            name: "b".into(),
-            to_send: 1,
-            size: 1500,
-            rx: 0,
-            last_rx_at: Time::ZERO,
-        }));
+        let bl = b.add_node(blaster(1, 1500));
         let echo = b.add_node(Box::new(Echo::new("e")));
-        b.connect(blaster, PortId(0), echo, PortId(0), LinkSpec::testbed_40g());
+        b.connect(bl, PortId(0), echo, PortId(0), LinkSpec::testbed_40g());
         let mut sim = b.build();
-        sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
+        sim.schedule_timer(bl, TimeDelta::ZERO, 0);
         sim.run_to_quiescence();
-        assert_eq!(
-            sim.node::<Blaster>(blaster).last_rx_at,
-            Time::from_nanos(1200)
-        );
+        assert_eq!(sim.node::<Blaster>(bl).last_rx_at, Time::from_nanos(1200));
     }
 
     #[test]
@@ -761,13 +1214,7 @@ mod tests {
     fn fault_injection_drops_deterministically() {
         let run = |seed| {
             let mut b = SimBuilder::new(seed);
-            let blaster = b.add_node(Box::new(Blaster {
-                name: "b".into(),
-                to_send: 1000,
-                size: 200,
-                rx: 0,
-                last_rx_at: Time::ZERO,
-            }));
+            let bl = b.add_node(blaster(1000, 200));
             let echo = b.add_node(Box::new(Echo::new("e")));
             let mut spec = LinkSpec::testbed_40g();
             spec.faults = FaultSpec {
@@ -775,9 +1222,9 @@ mod tests {
                 corrupt_prob: 0.0,
                 ..FaultSpec::NONE
             };
-            let l = b.connect(blaster, PortId(0), echo, PortId(0), spec);
+            let l = b.connect(bl, PortId(0), echo, PortId(0), spec);
             let mut sim = b.build();
-            sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
+            sim.schedule_timer(bl, TimeDelta::ZERO, 0);
             sim.run_to_quiescence();
             (
                 sim.node::<Echo>(echo).rx,
@@ -797,13 +1244,7 @@ mod tests {
     #[test]
     fn corruption_flips_one_bit() {
         let mut b = SimBuilder::new(9);
-        let blaster = b.add_node(Box::new(Blaster {
-            name: "b".into(),
-            to_send: 1,
-            size: 100,
-            rx: 0,
-            last_rx_at: Time::ZERO,
-        }));
+        let bl = b.add_node(blaster(1, 100));
         struct Capture {
             got: Option<Packet>,
         }
@@ -822,9 +1263,9 @@ mod tests {
             corrupt_prob: 1.0,
             ..FaultSpec::NONE
         };
-        b.connect(blaster, PortId(0), cap, PortId(0), spec);
+        b.connect(bl, PortId(0), cap, PortId(0), spec);
         let mut sim = b.build();
-        sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
+        sim.schedule_timer(bl, TimeDelta::ZERO, 0);
         sim.run_to_quiescence();
         let got = sim.node_mut::<Capture>(cap).got.take().expect("delivered");
         let ones: u32 = got.as_slice().iter().map(|b| b.count_ones()).sum();
@@ -912,21 +1353,179 @@ mod tests {
     #[test]
     fn trace_recording_captures_deliveries() {
         let mut b = SimBuilder::new(1);
-        let blaster = b.add_node(Box::new(Blaster {
-            name: "b".into(),
-            to_send: 3,
-            size: 64,
-            rx: 0,
-            last_rx_at: Time::ZERO,
-        }));
+        let bl = b.add_node(blaster(3, 64));
         let echo = b.add_node(Box::new(Echo::new("e")));
-        b.connect(blaster, PortId(0), echo, PortId(0), LinkSpec::testbed_40g());
+        b.connect(bl, PortId(0), echo, PortId(0), LinkSpec::testbed_40g());
         b.keep_trace(true);
         let mut sim = b.build();
-        sim.schedule_timer(blaster, TimeDelta::ZERO, 0);
+        sim.schedule_timer(bl, TimeDelta::ZERO, 0);
         sim.run_to_quiescence();
         // 3 deliveries each way.
         assert_eq!(sim.trace().len(), 6);
         assert!(sim.trace().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel backend
+
+    /// Build + run the two-node scenario under `backend`, returning the
+    /// observable fingerprint: digest, events, packets, echo rx count.
+    fn two_node_fingerprint(backend: SchedBackend, seed: u64) -> (u64, u64, u64, u64) {
+        with_sched_backend(backend, || {
+            let (mut sim, _, echo) = two_node_sim(seed);
+            sim.run_to_quiescence();
+            (
+                sim.trace_digest(),
+                sim.events_processed(),
+                sim.packets_delivered(),
+                sim.node::<Echo>(echo).rx,
+            )
+        })
+    }
+
+    #[test]
+    fn parallel_two_nodes_matches_wheel() {
+        for seed in [1, 7, 42] {
+            let wheel = two_node_fingerprint(SchedBackend::Wheel, seed);
+            let par = two_node_fingerprint(SchedBackend::Parallel(2), seed);
+            assert_eq!(wheel, par, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_until_segments_match_wheel() {
+        let run = |backend| {
+            with_sched_backend(backend, || {
+                let (mut sim, _, _) = two_node_sim(11);
+                sim.run_until(Time::from_nanos(700));
+                let mid = (sim.now(), sim.events_processed());
+                sim.run_to_quiescence();
+                (mid, sim.trace_digest(), sim.events_processed())
+            })
+        };
+        assert_eq!(run(SchedBackend::Wheel), run(SchedBackend::Parallel(2)));
+    }
+
+    #[test]
+    fn parallel_fault_injection_matches_wheel() {
+        let run = |backend| {
+            with_sched_backend(backend, || {
+                let mut b = SimBuilder::new(5);
+                let bl = b.add_node(blaster(500, 200));
+                let echo = b.add_node(Box::new(Echo::new("e")));
+                let mut spec = LinkSpec::testbed_40g();
+                spec.faults = FaultSpec {
+                    drop_prob: 0.1,
+                    corrupt_prob: 0.05,
+                    duplicate_prob: 0.05,
+                    reorder_prob: 0.05,
+                    reorder_delay: TimeDelta::from_nanos(900),
+                };
+                let l = b.connect(bl, PortId(0), echo, PortId(0), spec);
+                let mut sim = b.build();
+                sim.schedule_timer(bl, TimeDelta::ZERO, 0);
+                sim.run_to_quiescence();
+                (sim.trace_digest(), sim.link_stats(l, 0), sim.link_stats(l, 1))
+            })
+        };
+        assert_eq!(run(SchedBackend::Wheel), run(SchedBackend::Parallel(2)));
+    }
+
+    #[test]
+    fn parallel_crash_restart_matches_wheel() {
+        let run = |backend| {
+            with_sched_backend(backend, || {
+                let (mut sim, _, echo) = two_node_sim(13);
+                // Crash the echo (partition 1 under Parallel(2)) mid-run,
+                // restart it, and let the survivors drain.
+                sim.schedule_crash(echo, TimeDelta::from_nanos(800));
+                sim.schedule_restart(echo, TimeDelta::from_nanos(2000));
+                sim.run_to_quiescence();
+                (
+                    sim.trace_digest(),
+                    sim.crash_drops(echo),
+                    sim.node::<Echo>(echo).rx,
+                )
+            })
+        };
+        let wheel = run(SchedBackend::Wheel);
+        assert_eq!(wheel, run(SchedBackend::Parallel(2)));
+        assert!(wheel.1 > 0, "crash window should blackhole something");
+    }
+
+    #[test]
+    fn parallel_link_admin_matches_wheel() {
+        let run = |backend| {
+            with_sched_backend(backend, || {
+                let (mut sim, _, _) = two_node_sim(17);
+                sim.schedule_link_admin(LinkId(0), false, TimeDelta::from_nanos(500));
+                sim.schedule_link_admin(LinkId(0), true, TimeDelta::from_nanos(1500));
+                sim.run_to_quiescence();
+                (
+                    sim.trace_digest(),
+                    sim.link_stats(LinkId(0), 0).admin_drops
+                        + sim.link_stats(LinkId(0), 1).admin_drops,
+                )
+            })
+        };
+        assert_eq!(run(SchedBackend::Wheel), run(SchedBackend::Parallel(2)));
+    }
+
+    #[test]
+    fn parallel_stats_are_sane() {
+        with_sched_backend(SchedBackend::Parallel(2), || {
+            let (mut sim, _, _) = two_node_sim(23);
+            sim.run_to_quiescence();
+            let s = sim.par_stats();
+            assert_eq!(s.partitions, 2);
+            assert!(s.cross_messages > 0, "every delivery crosses partitions");
+            assert!(
+                s.min_dispatch_margin_picos >= 1,
+                "dispatch at/past the bound violates conservative safety"
+            );
+            assert!(s.iterations > 0);
+        });
+    }
+
+    #[test]
+    fn four_partitions_all_cross_pairs_match_wheel() {
+        // 4 blaster-echo pairs laid out so that under Parallel(4) every
+        // pair spans two partitions: blasters are nodes 0..4, echoes 4..8.
+        let run = |backend| {
+            with_sched_backend(backend, || {
+                let mut b = SimBuilder::new(31);
+                let blasters: Vec<NodeId> =
+                    (0..4).map(|i| b.add_node(blaster(20 + i, 512))).collect();
+                let echoes: Vec<NodeId> = (0..4)
+                    .map(|i| b.add_node(Box::new(Echo::new(&format!("e{i}")))))
+                    .collect();
+                for (bl, e) in blasters.iter().zip(&echoes) {
+                    b.connect(*bl, PortId(0), *e, PortId(0), LinkSpec::testbed_40g());
+                }
+                let mut sim = b.build();
+                for bl in &blasters {
+                    sim.schedule_timer(*bl, TimeDelta::ZERO, 0);
+                }
+                sim.run_to_quiescence();
+                let rx: Vec<u64> = echoes.iter().map(|e| sim.node::<Echo>(*e).rx).collect();
+                (sim.trace_digest(), sim.events_processed(), rx)
+            })
+        };
+        let wheel = run(SchedBackend::Wheel);
+        assert_eq!(wheel, run(SchedBackend::Parallel(4)));
+        assert_eq!(wheel.2, vec![20, 21, 22, 23]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses partitions but has zero propagation")]
+    fn zero_propagation_cross_link_panics_under_parallel() {
+        with_sched_backend(SchedBackend::Parallel(2), || {
+            let mut b = SimBuilder::new(0);
+            let x = b.add_node(Box::new(Echo::new("x")));
+            let y = b.add_node(Box::new(Echo::new("y")));
+            let spec = LinkSpec::new(Rate::from_gbps(40), TimeDelta::ZERO);
+            b.connect(x, PortId(0), y, PortId(0), spec);
+            let _ = b.build();
+        });
     }
 }

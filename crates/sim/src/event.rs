@@ -74,11 +74,15 @@ pub enum EventKind {
         /// `false` = crash, `true` = restart.
         up: bool,
     },
-    /// Link `link` goes administratively down (`up: false`, transmissions
-    /// are dropped on the floor) or back up (`up: true`).
+    /// One direction of link `link` goes administratively down
+    /// (`up: false`, transmissions are dropped on the floor) or back up
+    /// (`up: true`). Per-direction so each event is dispatched by the
+    /// partition owning that direction's transmitting node.
     LinkAdmin {
         /// Engine-internal link index (as returned by `SimBuilder::connect`).
         link: u32,
+        /// The transmitting end this event governs (0 or 1).
+        end: u8,
         /// `false` = down, `true` = up.
         up: bool,
     },
@@ -90,10 +94,57 @@ pub enum EventKind {
 pub struct Scheduled {
     /// Fire time.
     pub at: Time,
-    /// Tie-breaker: events scheduled earlier fire earlier at equal times.
+    /// Tie-breaker at equal fire times. Events pushed through the public
+    /// [`EventQueue::push`]/[`EventQueue::push_timer`] API get a plain
+    /// monotone counter (earlier-scheduled fires earlier); the engine's
+    /// internal pushes carry a *canonical* key packed from the event class
+    /// and its source (see `tie`), which is what makes the parallel
+    /// backend's total order identical to the single-threaded one.
     pub seq: u64,
     /// The event itself.
     pub kind: EventKind,
+}
+
+/// Canonical tie-break keys.
+///
+/// The single-threaded engine used to break time ties by global push order,
+/// which is an artifact of execution order and therefore unreproducible
+/// across partitions dispatching concurrently. Instead, every engine-
+/// originated event gets a key that depends only on *what* it is and *how
+/// many* of its kind its source produced — quantities that are identical in
+/// any backend:
+///
+/// ```text
+///   bits 63..61  class   (1 = node admin, 2 = link admin, 3 = deliver,
+///                         4 = tx-done, 5 = timer)
+///   bits 60..32  source  (node id, or link direction id = link * 2 + end)
+///   bits 31..0   per-source sequence number
+/// ```
+///
+/// Class 0 is reserved for the public push API's plain counter (its values
+/// never collide with packed keys: the counter would have to exceed 2^61).
+/// At one fire time, order is: external pushes, node admin, link admin,
+/// deliveries (by direction), tx-dones, timers (by node) — and within one
+/// source, schedule order.
+pub(crate) mod tie {
+    /// Crash/restart events, keyed by node.
+    pub const CLASS_NODE_ADMIN: u64 = 1;
+    /// Per-direction link up/down events, keyed by direction.
+    pub const CLASS_LINK_ADMIN: u64 = 2;
+    /// Packet deliveries, keyed by transmitting link direction.
+    pub const CLASS_DELIVER: u64 = 3;
+    /// Transmit completions, keyed by transmitting link direction.
+    pub const CLASS_TX_DONE: u64 = 4;
+    /// Node timers, keyed by owning node.
+    pub const CLASS_TIMER: u64 = 5;
+
+    /// Pack a canonical key. Panics (debug) on out-of-range sources; the
+    /// per-source sequence is 32-bit and checked by the callers' counters.
+    pub fn pack(class: u64, src: u32, seq: u32) -> u64 {
+        debug_assert!((1..=5).contains(&class), "bad tie class {class}");
+        debug_assert!(src < (1 << 29), "tie source {src} out of range");
+        (class << 61) | (u64::from(src) << 32) | u64::from(seq)
+    }
 }
 
 /// A handle to a pending timer, returned by [`EventQueue::push_timer`].
@@ -151,6 +202,21 @@ pub enum SchedBackend {
     Wheel,
     /// The PR 2 binary heap, kept as the equivalence oracle.
     Heap,
+    /// Conservative-synchronization parallel engine: the node graph is
+    /// split across `n` partitions, each with its own timing wheel, that
+    /// advance concurrently under link-latency lookahead bounds. Trace
+    /// digests are bit-identical to [`SchedBackend::Wheel`].
+    Parallel(usize),
+}
+
+impl SchedBackend {
+    /// Worker threads a simulation built under this backend will use.
+    pub fn threads(self) -> usize {
+        match self {
+            SchedBackend::Parallel(n) => n.max(1),
+            _ => 1,
+        }
+    }
 }
 
 thread_local! {
@@ -165,6 +231,19 @@ pub fn with_sched_backend<R>(b: SchedBackend, f: impl FnOnce() -> R) -> R {
     let out = f();
     BACKEND.with(|c| c.set(prev));
     out
+}
+
+/// The backend configured for the calling thread — what a queue created now
+/// would use. The engine builder reads this to pick its partition count.
+pub(crate) fn current_backend() -> SchedBackend {
+    BACKEND.with(|c| c.get())
+}
+
+/// Worker threads the ambient backend would give a simulation built now —
+/// 1 for the sequential backends, `n` for [`SchedBackend::Parallel`]. The
+/// perf harness records this per scenario in its JSON baseline.
+pub fn current_sched_threads() -> usize {
+    current_backend().threads()
 }
 
 /// The 24-byte key the cores actually sort: fire time, schedule sequence,
@@ -529,7 +608,11 @@ impl EventQueue {
     /// Create an empty queue on the thread's configured backend.
     pub fn new() -> Self {
         let core = match BACKEND.with(|c| c.get()) {
-            SchedBackend::Wheel => Core::Wheel(Box::new(Wheel::new())),
+            // Each parallel partition's queue is an ordinary timing wheel;
+            // parallelism lives in the engine, not the queue core.
+            SchedBackend::Wheel | SchedBackend::Parallel(_) => {
+                Core::Wheel(Box::new(Wheel::new()))
+            }
             SchedBackend::Heap => Core::Heap(BinaryHeap::new()),
         };
         EventQueue {
@@ -584,23 +667,28 @@ impl EventQueue {
         self.stats.free_high_water = self.stats.free_high_water.max(self.free.len() as u64);
     }
 
-    /// Schedule `kind` at absolute time `at`.
+    /// Schedule `kind` at absolute time `at`, tie-broken by schedule order.
     pub fn push(&mut self, at: Time, kind: EventKind) {
-        let (slot, _) = self.alloc(kind, NO_LANE);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.core.insert(Key { at, seq, slot });
+        self.push_keyed(at, seq, kind);
     }
 
-    /// Schedule `kind` at `at` on FIFO lane `lane`: events on one lane must
-    /// be pushed in non-decreasing time order, which lets everything behind
-    /// the lane head wait in a deque instead of the core.
-    pub(crate) fn push_lane(&mut self, at: Time, lane: u32, kind: EventKind) {
+    /// Schedule `kind` at `at` with an explicit canonical tie key (see
+    /// [`tie`]). The engine's internal pushes all use this so the total
+    /// order is independent of push order, and therefore of the backend.
+    pub(crate) fn push_keyed(&mut self, at: Time, tie: u64, kind: EventKind) {
+        let (slot, _) = self.alloc(kind, NO_LANE);
+        self.core.insert(Key { at, seq: tie, slot });
+    }
+
+    /// [`EventQueue::push_keyed`] on FIFO lane `lane`: events on one lane
+    /// must be pushed in non-decreasing time order, which lets everything
+    /// behind the lane head wait in a deque instead of the core.
+    pub(crate) fn push_lane_keyed(&mut self, at: Time, lane: u32, tie: u64, kind: EventKind) {
         debug_assert!((lane as usize) < self.lanes.len(), "unknown lane {lane}");
         let (slot, _) = self.alloc(kind, lane);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let key = Key { at, seq, slot };
+        let key = Key { at, seq: tie, slot };
         let q = &mut self.lanes[lane as usize];
         if let Some(back) = q.back() {
             debug_assert!(at >= back.at, "lane {lane} went backwards");
@@ -613,12 +701,23 @@ impl EventQueue {
     }
 
     /// Schedule a cancellable timer; the handle stays valid until the timer
-    /// fires or is cancelled.
+    /// fires or is cancelled. Tie-broken by schedule order.
     pub fn push_timer(&mut self, at: Time, node: NodeId, token: u64) -> TimerHandle {
-        let (slot, gen) = self.alloc(EventKind::Timer { node, token }, NO_LANE);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.core.insert(Key { at, seq, slot });
+        self.push_timer_keyed(at, seq, node, token)
+    }
+
+    /// [`EventQueue::push_timer`] with an explicit canonical tie key.
+    pub(crate) fn push_timer_keyed(
+        &mut self,
+        at: Time,
+        tie: u64,
+        node: NodeId,
+        token: u64,
+    ) -> TimerHandle {
+        let (slot, gen) = self.alloc(EventKind::Timer { node, token }, NO_LANE);
+        self.core.insert(Key { at, seq: tie, slot });
         TimerHandle { slot, gen }
     }
 
@@ -974,12 +1073,12 @@ mod tests {
     fn lanes_preserve_global_order() {
         let mut q = EventQueue::new();
         q.ensure_lanes(2);
-        // Lane 0 and lane 1 each monotone; a timer interleaves.
-        q.push_lane(Time::from_nanos(10), 0, timer(0, 0));
-        q.push_lane(Time::from_nanos(30), 0, timer(0, 1));
-        q.push_lane(Time::from_nanos(20), 1, timer(0, 2));
-        q.push(Time::from_nanos(25), timer(0, 3));
-        q.push_lane(Time::from_nanos(40), 1, timer(0, 4));
+        // Lane 0 and lane 1 each monotone; a core push interleaves.
+        q.push_lane_keyed(Time::from_nanos(10), 0, 0, timer(0, 0));
+        q.push_lane_keyed(Time::from_nanos(30), 0, 1, timer(0, 1));
+        q.push_lane_keyed(Time::from_nanos(20), 1, 2, timer(0, 2));
+        q.push_keyed(Time::from_nanos(25), 3, timer(0, 3));
+        q.push_lane_keyed(Time::from_nanos(40), 1, 4, timer(0, 4));
         let mut order = Vec::new();
         let mut last = None;
         while let Some(s) = q.pop() {
@@ -996,10 +1095,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.ensure_lanes(1);
         let t = Time::from_nanos(100);
-        q.push_lane(t, 0, timer(0, 0)); // seq 0, lane head
-        q.push(t, timer(0, 1)); // seq 1, core
-        q.push_lane(t, 0, timer(0, 2)); // seq 2, parked
-        q.push(t, timer(0, 3)); // seq 3, core
+        q.push_lane_keyed(t, 0, 0, timer(0, 0)); // tie 0, lane head
+        q.push_keyed(t, 1, timer(0, 1)); // tie 1, core
+        q.push_lane_keyed(t, 0, 2, timer(0, 2)); // tie 2, parked
+        q.push_keyed(t, 3, timer(0, 3)); // tie 3, core
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(token_of).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
     }

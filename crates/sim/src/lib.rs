@@ -31,11 +31,13 @@ pub mod engine;
 pub mod event;
 pub mod link;
 pub mod node;
+mod partition;
 pub mod queue;
 pub mod trace;
 
 pub use engine::{SimBuilder, Simulator};
-pub use event::{with_sched_backend, SchedBackend, SchedStats, TimerHandle};
+pub use event::{current_sched_threads, with_sched_backend, SchedBackend, SchedStats, TimerHandle};
+pub use partition::ParStats;
 pub use link::{FaultSpec, LinkSpec, LinkStats};
 pub use node::{Node, NodeCtx};
 pub use queue::TxQueue;

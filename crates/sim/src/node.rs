@@ -17,7 +17,11 @@ use std::any::Any;
 ///
 /// Implementations must be deterministic: any randomness must come from
 /// [`NodeCtx::rng`].
-pub trait Node: Any {
+///
+/// `Send` because the parallel scheduler backend moves each partition's
+/// nodes onto a worker thread; a node is still only ever called from one
+/// thread at a time.
+pub trait Node: Any + Send {
     /// A packet finished arriving on `port`.
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, packet: Packet);
 
@@ -111,9 +115,10 @@ impl NodeCtx<'_> {
         self.core.cancel_timer(handle)
     }
 
-    /// The simulation RNG. Shared by all nodes; draws are deterministic in
-    /// event order.
+    /// This node's RNG stream. Per-node (derived from the simulation seed),
+    /// so a node's draws depend only on its own callback sequence — the
+    /// same on every scheduler backend, parallel included.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.core.rng
+        &mut self.core.node_rng[self.node.raw() as usize]
     }
 }

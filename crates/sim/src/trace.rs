@@ -1,4 +1,13 @@
 //! Packet traces and the determinism digest.
+//!
+//! The digest is kept **per link direction** rather than as one global
+//! rolling hash. Deliveries on one direction are recorded at transmit time,
+//! in transmit order — a sequence that is a function of the simulation
+//! alone, not of how the event loop interleaves work — so each direction's
+//! rolling fold is reproducible even when partitions dispatch concurrently.
+//! [`TraceSink::combined_digest`] then folds the per-direction digests in a
+//! fixed canonical order (ascending direction id), which is what makes the
+//! wheel, heap, and parallel backends produce bit-identical fingerprints.
 
 use crate::link::Endpoint;
 use extmem_types::Time;
@@ -19,49 +28,75 @@ pub struct TraceEvent {
     pub digest: u64,
 }
 
-/// Collects trace events and maintains a rolling digest.
+/// FNV-1a offset basis; every per-direction fold starts here.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One link direction's rolling state.
+#[derive(Clone)]
+struct DirTrace {
+    digest: u64,
+    count: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl DirTrace {
+    const EMPTY: DirTrace = DirTrace {
+        digest: FNV_OFFSET,
+        count: 0,
+        events: Vec::new(),
+    };
+}
+
+/// Collects trace events and maintains per-direction rolling digests.
 ///
-/// The digest is always maintained (it is cheap); full event recording is
-/// opt-in because it grows with traffic volume.
+/// The digests are always maintained (they are cheap); full event recording
+/// is opt-in because it grows with traffic volume. In a partitioned
+/// simulation each partition owns the sink entries for the link directions
+/// it transmits on; the engine folds them canonically at read time.
 pub struct TraceSink {
     record: bool,
-    events: Vec<TraceEvent>,
-    digest: u64,
+    dirs: Vec<DirTrace>,
 }
 
 impl TraceSink {
-    /// A sink that only maintains the rolling digest.
-    pub fn disabled() -> TraceSink {
+    /// A sink for `dirs` link directions that only maintains digests.
+    pub fn disabled(dirs: usize) -> TraceSink {
         TraceSink {
             record: false,
-            events: Vec::new(),
-            digest: 0xcbf2_9ce4_8422_2325,
+            dirs: vec![DirTrace::EMPTY; dirs],
         }
     }
 
     /// A sink that also records every event.
-    pub fn recording() -> TraceSink {
+    pub fn recording(dirs: usize) -> TraceSink {
         TraceSink {
             record: true,
-            ..TraceSink::disabled()
+            dirs: vec![DirTrace::EMPTY; dirs],
         }
     }
 
-    /// Fold one delivery into the rolling digest from its scalar parts.
-    /// This is the hot path (it runs on every delivered packet): it stays
+    /// Whether full event recording is on.
+    pub fn is_recording(&self) -> bool {
+        self.record
+    }
+
+    /// Fold one delivery on direction `dir` into its rolling digest. This
+    /// is the hot path (it runs on every delivered packet): it stays
     /// allocation-free — the previous digest and the fields are serialized
     /// into one stack buffer — and when recording is disabled no
     /// [`TraceEvent`] is ever materialized.
     pub fn record_delivery(
         &mut self,
+        dir: usize,
         at: Time,
         from: Endpoint,
         to: Endpoint,
         len: usize,
         digest: u64,
     ) {
+        let d = &mut self.dirs[dir];
         let mut buf = [0u8; 44];
-        buf[0..8].copy_from_slice(&self.digest.to_le_bytes());
+        buf[0..8].copy_from_slice(&d.digest.to_le_bytes());
         buf[8..16].copy_from_slice(&at.picos().to_le_bytes());
         buf[16..20].copy_from_slice(&from.node.raw().to_le_bytes());
         buf[20..22].copy_from_slice(&from.port.raw().to_le_bytes());
@@ -69,9 +104,10 @@ impl TraceSink {
         buf[26..28].copy_from_slice(&to.port.raw().to_le_bytes());
         buf[28..36].copy_from_slice(&(len as u64).to_le_bytes());
         buf[36..44].copy_from_slice(&digest.to_le_bytes());
-        self.digest = fnv1a(&buf);
+        d.digest = fnv1a(&buf);
+        d.count += 1;
         if self.record {
-            self.events.push(TraceEvent {
+            d.events.push(TraceEvent {
                 at,
                 from,
                 to,
@@ -81,21 +117,31 @@ impl TraceSink {
         }
     }
 
-    /// Fold `ev` into the digest (and record it if enabled). Equivalent to
-    /// [`TraceSink::record_delivery`] with `ev`'s fields; kept for callers
-    /// that already hold a constructed event.
-    pub fn record(&mut self, ev: TraceEvent) {
-        self.record_delivery(ev.at, ev.from, ev.to, ev.len, ev.digest);
+    /// Recorded events for one direction (empty unless recording).
+    pub fn dir_events(&self, dir: usize) -> &[TraceEvent] {
+        &self.dirs[dir].events
     }
 
-    /// Recorded events (empty when recording is disabled).
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// The rolling digest and delivery count of one direction.
+    pub fn dir_digest(&self, dir: usize) -> (u64, u64) {
+        (self.dirs[dir].digest, self.dirs[dir].count)
     }
 
-    /// The rolling digest over all events so far.
-    pub fn digest(&self) -> u64 {
-        self.digest
+    /// Fold per-direction digests in canonical (ascending direction id)
+    /// order into one fingerprint. `pick` maps each direction id to the
+    /// sink owning it — in a partitioned engine, the transmitting
+    /// partition's sink; in a single-partition engine, always the same one.
+    pub fn combined_digest<'a>(dirs: usize, pick: impl Fn(usize) -> &'a TraceSink) -> u64 {
+        let mut acc = FNV_OFFSET;
+        let mut buf = [0u8; 24];
+        for dir in 0..dirs {
+            let (digest, count) = pick(dir).dir_digest(dir);
+            buf[0..8].copy_from_slice(&acc.to_le_bytes());
+            buf[8..16].copy_from_slice(&digest.to_le_bytes());
+            buf[16..24].copy_from_slice(&count.to_le_bytes());
+            acc = fnv1a(&buf);
+        }
+        acc
     }
 }
 
@@ -120,30 +166,61 @@ mod tests {
         }
     }
 
+    fn record(sink: &mut TraceSink, dir: usize, e: TraceEvent) {
+        sink.record_delivery(dir, e.at, e.from, e.to, e.len, e.digest);
+    }
+
     #[test]
     fn digest_depends_on_order_and_content() {
-        let mut a = TraceSink::disabled();
-        a.record(ev(1, 10));
-        a.record(ev(2, 20));
-        let mut b = TraceSink::disabled();
-        b.record(ev(2, 20));
-        b.record(ev(1, 10));
-        assert_ne!(a.digest(), b.digest());
+        let mut a = TraceSink::disabled(2);
+        record(&mut a, 0, ev(1, 10));
+        record(&mut a, 0, ev(2, 20));
+        let mut b = TraceSink::disabled(2);
+        record(&mut b, 0, ev(2, 20));
+        record(&mut b, 0, ev(1, 10));
+        assert_ne!(a.dir_digest(0), b.dir_digest(0));
 
-        let mut c = TraceSink::disabled();
-        c.record(ev(1, 10));
-        c.record(ev(2, 20));
-        assert_eq!(a.digest(), c.digest());
+        let mut c = TraceSink::disabled(2);
+        record(&mut c, 0, ev(1, 10));
+        record(&mut c, 0, ev(2, 20));
+        assert_eq!(a.dir_digest(0), c.dir_digest(0));
+    }
+
+    #[test]
+    fn combined_digest_separates_directions() {
+        // The same deliveries on different directions must not collide.
+        let mut a = TraceSink::disabled(2);
+        record(&mut a, 0, ev(1, 10));
+        let mut b = TraceSink::disabled(2);
+        record(&mut b, 1, ev(1, 10));
+        let da = TraceSink::combined_digest(2, |_| &a);
+        let db = TraceSink::combined_digest(2, |_| &b);
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn combined_digest_is_fold_order_stable() {
+        // Folding the same per-direction state from two sinks (as the
+        // partitioned engine does) equals folding it from one.
+        let mut whole = TraceSink::disabled(2);
+        record(&mut whole, 0, ev(1, 10));
+        record(&mut whole, 1, ev(2, 20));
+        let mut p0 = TraceSink::disabled(2);
+        record(&mut p0, 0, ev(1, 10));
+        let mut p1 = TraceSink::disabled(2);
+        record(&mut p1, 1, ev(2, 20));
+        let split = TraceSink::combined_digest(2, |d| if d == 0 { &p0 } else { &p1 });
+        assert_eq!(TraceSink::combined_digest(2, |_| &whole), split);
     }
 
     #[test]
     fn recording_flag_controls_storage_not_digest() {
-        let mut rec = TraceSink::recording();
-        let mut dis = TraceSink::disabled();
-        rec.record(ev(5, 7));
-        dis.record(ev(5, 7));
-        assert_eq!(rec.events().len(), 1);
-        assert_eq!(dis.events().len(), 0);
-        assert_eq!(rec.digest(), dis.digest());
+        let mut rec = TraceSink::recording(1);
+        let mut dis = TraceSink::disabled(1);
+        record(&mut rec, 0, ev(5, 7));
+        record(&mut dis, 0, ev(5, 7));
+        assert_eq!(rec.dir_events(0).len(), 1);
+        assert_eq!(dis.dir_events(0).len(), 0);
+        assert_eq!(rec.dir_digest(0), dis.dir_digest(0));
     }
 }

@@ -93,7 +93,10 @@ pub struct SwitchStats {
 /// A data-plane program running on the switch. Implementations own their
 /// match-action tables ([`crate::ExactMatchTable`]) and register arrays
 /// ([`crate::RegisterArray`]) as ordinary fields.
-pub trait PipelineProgram: Any {
+///
+/// `Send` because the switch node (and the program inside it) may be moved
+/// onto a worker thread by the simulator's parallel scheduler backend.
+pub trait PipelineProgram: Any + Send {
     /// Process a packet arriving on `in_port` (or [`RECIRC_PORT`]).
     fn ingress(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, in_port: PortId, pkt: Packet);
 

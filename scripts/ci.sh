@@ -28,14 +28,39 @@ echo "== crash/failover cells (release) =="
 # resync, which optimization can reshuffle. This includes the cuckoo
 # relocation-crash cell (crash_lookup_mid_relocation_*): a primary dying
 # with displacement WRITEs in flight is the sharpest ordering race in the
-# tree.
+# tree, and the parallel-backend replay of the harshest state-store cell
+# (crash_state_store_rejoin_under_parallel_backend), where the crashed
+# server lives in a different partition than the switch driving it.
 cargo test -q --release --test fault_matrix crash_
 
 echo "== scheduler equivalence proptests (release) =="
-# The timing-wheel vs binary-heap oracle properties, under the optimized
-# profile the perf numbers are measured with (overflow/ordering bugs can
-# be profile-dependent).
+# The timing-wheel vs binary-heap oracle properties plus the parallel
+# engine's lookahead-safety and digest-equivalence properties, under the
+# optimized profile the perf numbers are measured with (overflow/ordering
+# bugs can be profile-dependent).
 cargo test -q --release --test structure_proptests
+
+echo "== backend equivalence at 1/2/4 workers (release) =="
+# The full-scenario equivalence suite at three parallel worker counts.
+# Each run already asserts wheel == heap == parallel(N) internally; the
+# digest lines it prints are additionally compared *across* the three
+# runs, so a thread-count-dependent trace can't slip through even if it
+# were self-consistent within one run.
+digest_log="$(mktemp)"
+trap 'rm -f "$digest_log"' EXIT
+for n in 1 2 4; do
+    EXTMEM_SCHED_THREADS=$n cargo test -q --release --test sched_equivalence -- --nocapture \
+        | grep '^sched_equivalence ' | sort > "$digest_log.$n"
+done
+if ! diff -q "$digest_log.1" "$digest_log.2" >/dev/null \
+    || ! diff -q "$digest_log.1" "$digest_log.4" >/dev/null; then
+    echo "FAIL: scenario digests differ across EXTMEM_SCHED_THREADS=1,2,4" >&2
+    diff "$digest_log.1" "$digest_log.2" >&2 || true
+    diff "$digest_log.1" "$digest_log.4" >&2 || true
+    exit 1
+fi
+rm -f "$digest_log.1" "$digest_log.2" "$digest_log.4"
+echo "digests identical across 1, 2 and 4 workers"
 
 echo "== perf smoke (advisory) =="
 perf_rc=0

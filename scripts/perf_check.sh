@@ -5,8 +5,12 @@
 #
 # Thresholds come from scripts/perf_tolerance.json: a per-scenario map with
 # a "default" fallback. The TOLERANCE env var, when set, overrides every
-# scenario. Baselines of schema 1 (events/sec only) and schema 2 (plus
-# digest/sched blocks) are both accepted.
+# scenario. Baselines of schema 1 (events/sec only), schema 2 (plus
+# digest/sched blocks) and schema 3 (plus a host block with the capturing
+# machine's logical core count and per-scenario thread counts) are all
+# accepted. When a schema-3 baseline was captured on a machine with a
+# different core count than this one, the per-thread fan-out rows are noted
+# as machine-sensitive (the comparison still runs).
 #
 # Usage:  scripts/perf_check.sh [baseline.json]
 #   TOLERANCE=0.15 scripts/perf_check.sh     # uniform override
@@ -52,6 +56,14 @@ tolerance_for() {
 
 cargo build --release -q -p extmem-bench
 ./target/release/simperf "$FRESH" >/dev/null
+
+# Schema 3 baselines record the capturing machine's core count; parallel
+# (multi-thread) scenario rows are only comparable on similar hardware.
+base_cores=$(jq -r '.host.logical_cores // empty' "$BASELINE")
+here_cores=$(nproc 2>/dev/null || echo "")
+if [[ -n "$base_cores" && -n "$here_cores" && "$base_cores" != "$here_cores" ]]; then
+    echo "note: baseline captured on ${base_cores} logical cores, this machine has ${here_cores}; multi-thread rows are machine-sensitive" >&2
+fi
 
 fail=0
 for name in $(jq -r '.scenarios | keys[]' "$BASELINE"); do

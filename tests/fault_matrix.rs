@@ -1100,6 +1100,20 @@ fn crash_state_store_rejoin_reconciles_bit_for_bit() {
     run_state_store_crash_cell(true, true, 9802);
 }
 
+#[test]
+fn crash_state_store_rejoin_under_parallel_backend() {
+    // The harshest crash cell (primary dies mid-workload, restarts with
+    // wiped DRAM, must reconcile bit-for-bit) replayed on the parallel
+    // engine with two partitions. The 5-node topology splits as
+    // {switch, gen, sink | server_a, server_b}, so the crashed node lives
+    // in a *different* partition than the switch driving it: the crash and
+    // restart admin events, failover probes, reseed WRITEs, and delta
+    // replay all cross the partition boundary under lookahead bounds.
+    extmem_sim::with_sched_backend(extmem_sim::SchedBackend::Parallel(2), || {
+        run_state_store_crash_cell(true, true, 9802);
+    });
+}
+
 /// Replicated packet buffer under a whole-node crash at 50us (inside the
 /// detour burst). Stored entries fan out to both replicas, so no buffered
 /// packet is lost whichever server dies; with `rejoin` the dead server

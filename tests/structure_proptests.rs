@@ -464,6 +464,146 @@ mod event_queue {
     }
 }
 
+/// The conservative parallel engine on random topologies: the lookahead
+/// safety margin must never collapse, and the trace must be bit-identical
+/// to the sequential wheel for any shape, propagation mix, and thread
+/// count.
+mod parallel_engine {
+    use extmem_apps::workload::{SinkNode, TrafficGenNode, WorkloadSpec};
+    use extmem_sim::{with_sched_backend, LinkSpec, SchedBackend, SimBuilder};
+    use extmem_types::{FiveTuple, PortId, Rate, TimeDelta};
+    use extmem_wire::MacAddr;
+    use proptest::prelude::*;
+
+    /// One generator→sink pair with its own frame count, size, and link
+    /// propagation delay (always ≥ 1 ps — the lookahead precondition).
+    #[derive(Clone, Copy, Debug)]
+    struct Pair {
+        count: u64,
+        frame_len: usize,
+        prop_ns: u64,
+        gbps: u64,
+    }
+
+    fn pair_strategy() -> impl Strategy<Value = Pair> {
+        (1u64..30, 64usize..1200, 1u64..1000, 1u64..40).prop_map(
+            |(count, frame_len, prop_ns, gbps)| Pair {
+                count,
+                frame_len,
+                prop_ns,
+                gbps,
+            },
+        )
+    }
+
+    /// Build the topology with all generators first and all sinks last, so
+    /// the contiguous partitioner splits every pair across the worker
+    /// boundary and each gen→sink link is a cross-partition channel.
+    fn run(pairs: &[Pair], seed: u64, threads: usize) -> (u64, u64, u64, extmem_sim::ParStats) {
+        with_sched_backend(SchedBackend::Parallel(threads), || {
+            let mut b = SimBuilder::new(seed);
+            let gens: Vec<_> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let flow = FiveTuple::new(
+                        0x0a00_0001 + i as u32,
+                        0x0a00_1001 + i as u32,
+                        4000 + i as u16,
+                        9000,
+                        17,
+                    );
+                    b.add_node(Box::new(TrafficGenNode::new(
+                        format!("gen{i}"),
+                        WorkloadSpec::simple(
+                            MacAddr::local(1 + i as u32),
+                            MacAddr::local(101 + i as u32),
+                            flow,
+                            p.frame_len,
+                            Rate::from_gbps(p.gbps),
+                            p.count,
+                        ),
+                    )))
+                })
+                .collect();
+            let sinks: Vec<_> = (0..pairs.len())
+                .map(|i| b.add_node(Box::new(SinkNode::new(format!("sink{i}")))))
+                .collect();
+            for (i, p) in pairs.iter().enumerate() {
+                b.connect(
+                    gens[i],
+                    PortId(0),
+                    sinks[i],
+                    PortId(0),
+                    LinkSpec::new(
+                        Rate::from_gbps(p.gbps),
+                        TimeDelta::from_nanos(p.prop_ns),
+                    ),
+                );
+            }
+            let mut sim = b.build();
+            for &g in &gens {
+                sim.schedule_timer(g, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+            }
+            sim.run_to_quiescence();
+            for (i, p) in pairs.iter().enumerate() {
+                assert_eq!(
+                    sim.node::<SinkNode>(sinks[i]).received,
+                    p.count,
+                    "pair {i} lost frames"
+                );
+            }
+            (
+                sim.trace_digest(),
+                sim.events_processed(),
+                sim.packets_delivered(),
+                sim.par_stats(),
+            )
+        })
+    }
+
+    proptest! {
+        // Each case spawns real worker threads; keep the case count modest.
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Lookahead safety: for any topology whose cross links have
+        /// positive propagation, no partition ever dispatches an event at
+        /// or past its safe bound — the measured dispatch margin stays
+        /// ≥ 1 ps whenever partitions actually exchanged messages.
+        #[test]
+        fn lookahead_margin_never_collapses(
+            pairs in proptest::collection::vec(pair_strategy(), 2..6),
+            seed in 0u64..1_000,
+            threads in 2usize..5,
+        ) {
+            let (_, _, _, par) = run(&pairs, seed, threads);
+            prop_assert!(par.partitions >= 2, "partitioner collapsed: {par:?}");
+            if par.cross_messages > 0 {
+                prop_assert!(
+                    par.min_dispatch_margin_picos >= 1,
+                    "dispatch margin collapsed: {par:?}"
+                );
+            }
+        }
+
+        /// Digest equivalence: the parallel engine's trace is bit-identical
+        /// to the sequential wheel for any random topology and any worker
+        /// count, event-for-event.
+        #[test]
+        fn parallel_matches_wheel_digest(
+            pairs in proptest::collection::vec(pair_strategy(), 2..6),
+            seed in 0u64..1_000,
+            threads in 2usize..5,
+        ) {
+            let (wd, we, wp, _) = run(&pairs, seed, 1);
+            let (pd, pe, pp, _) = run(&pairs, seed, threads);
+            prop_assert_eq!(wd, pd, "trace digests diverged at {} threads", threads);
+            prop_assert_eq!(we, pe, "event counts diverged");
+            prop_assert_eq!(wp, pp, "delivered packets diverged");
+        }
+    }
+}
+
 mod choice_filter {
     use super::*;
 
