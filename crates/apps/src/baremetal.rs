@@ -155,7 +155,7 @@ pub fn run_gateway(cfg: GatewayConfig) -> GatewayResult {
         WorkloadSpec {
             src_mac: host_mac(0),
             dst_mac: extmem_wire::MacAddr::local(200), // virtual gateway MAC
-            flows: flows.clone(),
+            flows: flows.clone().into(),
             pick: cfg.pick.clone(),
             frame_len: cfg.frame_len,
             offered: Some(cfg.offered),

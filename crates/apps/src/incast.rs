@@ -223,7 +223,7 @@ pub fn run_incast(cfg: IncastConfig) -> IncastResult {
         let spec = WorkloadSpec {
             src_mac: host_mac(1 + s),
             dst_mac: host_mac(0),
-            flows: vec![flow],
+            flows: vec![flow].into(),
             pick: crate::workload::FlowPick::RoundRobin,
             frame_len: cfg.frame_len,
             offered: None, // full line-rate burst

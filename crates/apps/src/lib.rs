@@ -35,4 +35,4 @@ pub mod workload;
 
 pub use metrics::LatencySummary;
 pub use scenario::{host_endpoint, host_ip, host_mac};
-pub use workload::{FlowPick, SinkNode, TrafficGenNode, WorkloadSpec};
+pub use workload::{FlowPick, FlowSet, SinkNode, TrafficGenNode, WorkloadSpec};

@@ -120,7 +120,7 @@ pub fn run_counting(cfg: CountingConfig) -> CountingResult {
         WorkloadSpec {
             src_mac: host_mac(0),
             dst_mac: host_mac(1),
-            flows,
+            flows: flows.into(),
             pick: cfg.pick.clone(),
             frame_len: cfg.frame_len,
             offered: Some(cfg.offered),
@@ -241,7 +241,7 @@ pub fn run_sketch(
         WorkloadSpec {
             src_mac: host_mac(0),
             dst_mac: host_mac(1),
-            flows: flows.clone(),
+            flows: flows.clone().into(),
             pick: FlowPick::Zipf(1.2),
             frame_len: 128,
             offered: Some(Rate::from_gbps(5)),

@@ -40,6 +40,93 @@ pub enum Arrival {
     Poisson,
 }
 
+/// The flow population a generator draws from.
+///
+/// [`FlowSet::List`] is the original materialized mode; [`FlowSet::Synth`]
+/// derives flow `i` from the index on demand, so a million-flow population
+/// costs the generator O(1) memory instead of tens of MB of `FiveTuple`s.
+#[derive(Clone, Debug)]
+pub enum FlowSet {
+    /// An explicit flow list (O(n) memory; fine for small populations).
+    List(Vec<FiveTuple>),
+    /// `count` flows synthesized from the index: flow `i` has
+    /// `src_ip = src_ip_base + (i >> 16)`, `src_port = i & 0xffff`, and a
+    /// fixed destination — distinct for every `i < 2^48`.
+    Synth {
+        /// Number of distinct flows.
+        count: usize,
+        /// Base source IP; the index's upper bits offset it.
+        src_ip_base: u32,
+        /// Destination IP shared by all flows.
+        dst_ip: u32,
+        /// Destination port shared by all flows.
+        dst_port: u16,
+        /// IP protocol (17 = UDP for workload frames).
+        proto: u8,
+    },
+}
+
+impl FlowSet {
+    /// A synthesized population of `count` UDP flows to `dst_ip:dst_port`.
+    pub fn synth(count: usize, src_ip_base: u32, dst_ip: u32, dst_port: u16) -> FlowSet {
+        FlowSet::Synth {
+            count,
+            src_ip_base,
+            dst_ip,
+            dst_port,
+            proto: 17,
+        }
+    }
+
+    /// Number of distinct flows.
+    pub fn len(&self) -> usize {
+        match self {
+            FlowSet::List(v) => v.len(),
+            FlowSet::Synth { count, .. } => *count,
+        }
+    }
+
+    /// True when the population is empty (rejected at generator build).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th flow. Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> FiveTuple {
+        match self {
+            FlowSet::List(v) => v[i],
+            FlowSet::Synth {
+                count,
+                src_ip_base,
+                dst_ip,
+                dst_port,
+                proto,
+            } => {
+                assert!(i < *count, "flow index {i} out of range ({count} flows)");
+                FiveTuple::new(
+                    src_ip_base.wrapping_add((i >> 16) as u32),
+                    *dst_ip,
+                    (i & 0xffff) as u16,
+                    *dst_port,
+                    *proto,
+                )
+            }
+        }
+    }
+}
+
+impl From<Vec<FiveTuple>> for FlowSet {
+    fn from(v: Vec<FiveTuple>) -> FlowSet {
+        FlowSet::List(v)
+    }
+}
+
+impl FromIterator<FiveTuple> for FlowSet {
+    fn from_iter<I: IntoIterator<Item = FiveTuple>>(iter: I) -> FlowSet {
+        FlowSet::List(iter.into_iter().collect())
+    }
+}
+
 /// Generator configuration.
 #[derive(Clone, Debug)]
 pub struct WorkloadSpec {
@@ -48,7 +135,7 @@ pub struct WorkloadSpec {
     /// Destination MAC (the receiver, pre-translation).
     pub dst_mac: MacAddr,
     /// The flows to emit.
-    pub flows: Vec<FiveTuple>,
+    pub flows: FlowSet,
     /// Flow selection policy.
     pub pick: FlowPick,
     /// Frame size in bytes (≥ [`MIN_DATA_FRAME`]).
@@ -80,7 +167,7 @@ impl WorkloadSpec {
         WorkloadSpec {
             src_mac,
             dst_mac,
-            flows: vec![flow],
+            flows: FlowSet::List(vec![flow]),
             pick: FlowPick::RoundRobin,
             frame_len,
             offered: Some(offered),
@@ -94,14 +181,96 @@ impl WorkloadSpec {
 
 const TOKEN_SEND: u64 = 1;
 
+/// Above this population size a Zipf generator switches from the exact
+/// materialized CDF (O(n) memory) to the constant-space rejection sampler.
+/// Every committed scenario sits below the threshold, so their pinned
+/// digests are untouched; the exact CDF doubles as the sampler's test
+/// oracle at small n.
+const ZIPF_EXACT_MAX: usize = 4096;
+
+/// How Zipf ranks are drawn.
+#[derive(Clone, Debug)]
+enum ZipfPicker {
+    /// Materialized CDF + binary search — exact, O(n) memory.
+    Cdf(Vec<f64>),
+    /// Rejection-inversion — exact, O(1) memory (million-flow scale).
+    Sampler(ZipfSampler),
+}
+
+/// Constant-space exact Zipf(s) sampler over ranks `0..n` (rank 0 hottest).
+///
+/// Rejection from the continuous envelope density `t^(-s)` on `[1, n+1]`
+/// (Devroye's rejection-inversion): invert the envelope CDF in closed
+/// form, floor the draw to a rank `k`, and accept with probability
+/// proportional to the ratio of the discrete mass `k^(-s)` to the
+/// envelope's mass over `[k, k+1]`. That ratio is largest at `k = 1` and
+/// tends to 1 as `k` grows, so normalizing by the `k = 1` ratio keeps the
+/// acceptance probability in `(0, 1]` — the result is *exactly*
+/// Zipf-distributed with O(1) setup and memory for any population size.
+#[derive(Clone, Debug)]
+struct ZipfSampler {
+    n: usize,
+    s: f64,
+    /// `(n+1)^(1-s) - 1` (s ≠ 1) or `ln(n+1)` (s = 1): envelope CDF scale.
+    scale: f64,
+    /// Envelope mass over `[1, 2]` — the bucket with the largest
+    /// target/envelope ratio; normalizes the acceptance test.
+    mass_1: f64,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0 && s >= 0.0, "invalid zipf parameters");
+        let scale = if (s - 1.0).abs() < 1e-12 {
+            ((n + 1) as f64).ln()
+        } else {
+            ((n + 1) as f64).powf(1.0 - s) - 1.0
+        };
+        let mass_1 = Self::envelope_mass(1, s);
+        ZipfSampler { n, s, scale, mass_1 }
+    }
+
+    /// `∫_k^{k+1} t^(-s) dt` — the envelope's mass over rank `k`'s bucket.
+    fn envelope_mass(k: usize, s: f64) -> f64 {
+        let k = k as f64;
+        if (s - 1.0).abs() < 1e-12 {
+            ((k + 1.0) / k).ln()
+        } else {
+            ((k + 1.0).powf(1.0 - s) - k.powf(1.0 - s)) / (1.0 - s)
+        }
+    }
+
+    /// Draw a rank in `0..n` (0 = hottest).
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        loop {
+            let u: f64 = rng.gen();
+            let t = if (self.s - 1.0).abs() < 1e-12 {
+                (u * self.scale).exp()
+            } else {
+                (u * self.scale + 1.0).powf(1.0 / (1.0 - self.s))
+            };
+            let k = (t as usize).clamp(1, self.n);
+            let accept = (k as f64).powf(-self.s) * self.mass_1 / Self::envelope_mass(k, self.s);
+            if rng.gen::<f64>() < accept {
+                return k - 1;
+            }
+        }
+    }
+}
+
 /// The traffic generator node (attach its port 0 to the switch).
 pub struct TrafficGenNode {
     name: String,
     spec: WorkloadSpec,
-    zipf_cdf: Vec<f64>,
+    zipf: Option<ZipfPicker>,
     rng: StdRng,
     next_flow_rr: usize,
+    /// Per-flow sequence numbers (List mode only — O(flows) memory).
     per_flow_seq: Vec<u32>,
+    /// Global send counter used as the sequence number in Synth mode:
+    /// monotone per flow (every later frame of a flow has a larger seq),
+    /// which is all the sink's reorder check needs, at O(1) memory.
+    synth_seq: u32,
     interval: TimeDelta,
     tx: TxQueue,
     /// Frames handed to the wire.
@@ -112,28 +281,49 @@ pub struct TrafficGenNode {
 
 impl TrafficGenNode {
     /// Create a generator from `spec`.
+    ///
+    /// Panics with a labeled message if the spec is unusable (empty flow
+    /// population, undersized frame, zero count) — an empty `flows` would
+    /// otherwise underflow `pick_flow` or panic deep inside the RNG.
     pub fn new(name: impl Into<String>, spec: WorkloadSpec) -> TrafficGenNode {
-        assert!(!spec.flows.is_empty(), "need at least one flow");
-        assert!(spec.frame_len >= MIN_DATA_FRAME, "frame below minimum");
-        assert!(spec.count > 0, "zero packets requested");
-        let zipf_cdf = match spec.pick {
-            FlowPick::Zipf(s) => zipf_cdf(spec.flows.len(), s),
-            _ => Vec::new(),
+        let name = name.into();
+        assert!(
+            !spec.flows.is_empty(),
+            "workload generator '{name}': WorkloadSpec::flows is empty — \
+             every generator needs at least one flow"
+        );
+        assert!(
+            spec.frame_len >= MIN_DATA_FRAME,
+            "workload generator '{name}': frame_len {} below minimum {MIN_DATA_FRAME}",
+            spec.frame_len
+        );
+        assert!(spec.count > 0, "workload generator '{name}': zero packets requested");
+        let zipf = match spec.pick {
+            FlowPick::Zipf(s) if spec.flows.len() <= ZIPF_EXACT_MAX => {
+                Some(ZipfPicker::Cdf(zipf_cdf(spec.flows.len(), s)))
+            }
+            FlowPick::Zipf(s) => Some(ZipfPicker::Sampler(ZipfSampler::new(spec.flows.len(), s))),
+            _ => None,
+        };
+        let per_flow_seq = match &spec.flows {
+            FlowSet::List(v) => vec![0; v.len()],
+            FlowSet::Synth { .. } => Vec::new(),
         };
         let interval = spec
             .offered
             .map(|r| r.time_to_send(spec.frame_len))
             .unwrap_or(TimeDelta::ZERO);
         TrafficGenNode {
-            name: name.into(),
+            name,
             rng: StdRng::seed_from_u64(spec.seed),
             next_flow_rr: 0,
-            per_flow_seq: vec![0; spec.flows.len()],
+            per_flow_seq,
+            synth_seq: 0,
             interval,
             tx: TxQueue::new(PortId(0)),
             sent: 0,
             last_tx_at: Time::ZERO,
-            zipf_cdf,
+            zipf,
             spec,
         }
     }
@@ -150,12 +340,14 @@ impl TrafficGenNode {
                 i
             }
             FlowPick::Uniform => self.rng.gen_range(0..self.spec.flows.len()),
-            FlowPick::Zipf(_) => {
-                let u: f64 = self.rng.gen();
-                self.zipf_cdf
-                    .partition_point(|&c| c < u)
-                    .min(self.spec.flows.len() - 1)
-            }
+            FlowPick::Zipf(_) => match &self.zipf {
+                Some(ZipfPicker::Cdf(cdf)) => {
+                    let u: f64 = self.rng.gen();
+                    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+                }
+                Some(ZipfPicker::Sampler(z)) => z.sample(&mut self.rng),
+                None => unreachable!("zipf pick without a picker"),
+            },
         }
     }
 
@@ -164,9 +356,16 @@ impl TrafficGenNode {
             return;
         }
         let fi = self.pick_flow();
-        let flow = self.spec.flows[fi];
-        let seq = self.per_flow_seq[fi];
-        self.per_flow_seq[fi] += 1;
+        let flow = self.spec.flows.get(fi);
+        let seq = if self.per_flow_seq.is_empty() {
+            let s = self.synth_seq;
+            self.synth_seq = self.synth_seq.wrapping_add(1);
+            s
+        } else {
+            let s = self.per_flow_seq[fi];
+            self.per_flow_seq[fi] += 1;
+            s
+        };
         let pkt = build_data_packet(
             self.spec.src_mac,
             self.spec.dst_mac,
@@ -231,7 +430,10 @@ pub struct FlowRx {
 /// The measurement sink.
 pub struct SinkNode {
     name: String,
-    /// Per-flow-id reception state.
+    /// When false (coarse mode), skip the per-flow map — O(1) memory for
+    /// million-flow populations; aggregate counters and latency still work.
+    track_flows: bool,
+    /// Per-flow-id reception state (empty in coarse mode).
     pub flows: HashMap<u32, FlowRx>,
     /// One-way latency samples (send timestamp → delivery).
     pub latency: LatencyRecorder,
@@ -259,6 +461,7 @@ impl SinkNode {
     pub fn new(name: impl Into<String>) -> SinkNode {
         SinkNode {
             name: name.into(),
+            track_flows: true,
             flows: HashMap::new(),
             latency: LatencyRecorder::new(),
             received: 0,
@@ -272,9 +475,32 @@ impl SinkNode {
         }
     }
 
+    /// A sink that keeps no per-flow state — O(1) memory at any flow
+    /// population. Use for million-flow fabric runs where the per-flow
+    /// `HashMap` would dwarf the workload itself.
+    pub fn coarse(name: impl Into<String>) -> SinkNode {
+        let mut s = SinkNode::new(name);
+        s.track_flows = false;
+        s
+    }
+
     /// Total sequence-order violations across flows.
     pub fn total_reorders(&self) -> u64 {
         self.flows.values().map(|f| f.reorders).sum()
+    }
+
+    /// Time of the first delivery. Panics with a message naming the sink
+    /// when nothing ever arrived — a misrouted fabric (bad FIB entry,
+    /// wrong port wiring) then fails with "sink 'X' received no frames"
+    /// instead of an anonymous `Option::unwrap` backtrace.
+    pub fn first_rx_time(&self) -> Time {
+        match self.first_rx {
+            Some(t) => t,
+            None => panic!(
+                "sink '{}' received no frames — check the scenario's topology/FIB wiring",
+                self.name
+            ),
+        }
     }
 }
 
@@ -288,12 +514,14 @@ impl Node for SinkNode {
                 self.last_rx = ctx.now();
                 self.latency
                     .record(ctx.now().saturating_since(info.data.sent_at));
-                let f = self.flows.entry(info.data.flow_id).or_default();
-                if f.received > 0 && info.data.seq <= f.max_seq {
-                    f.reorders += 1;
+                if self.track_flows {
+                    let f = self.flows.entry(info.data.flow_id).or_default();
+                    if f.received > 0 && info.data.seq <= f.max_seq {
+                        f.reorders += 1;
+                    }
+                    f.max_seq = f.max_seq.max(info.data.seq);
+                    f.received += 1;
                 }
-                f.max_seq = f.max_seq.max(info.data.seq);
-                f.received += 1;
                 if let Some(d) = self.expect_dscp {
                     if info.ipv4.dscp != d {
                         self.dscp_mismatch += 1;
@@ -504,7 +732,7 @@ mod tests {
         assert_eq!(sink.corrupt, 0);
         assert_eq!(sink.total_reorders(), 0);
         // 100 x 1000B at 8G: 1us apart → last delivery ≈ 99us + transit.
-        let elapsed = sink.last_rx.saturating_since(sink.first_rx.unwrap());
+        let elapsed = sink.last_rx.saturating_since(sink.first_rx_time());
         let measured = crate::metrics::throughput(99 * 1000, elapsed);
         let err = (measured.gbps_f64() - 8.0).abs() / 8.0;
         assert!(err < 0.02, "measured {measured} vs offered 8Gbps");
@@ -526,7 +754,7 @@ mod tests {
         let sink = sim.node::<SinkNode>(s);
         assert_eq!(sink.received, 50);
         // Back-to-back at 40G: 300ns per frame; total ≈ 50*300ns.
-        let elapsed = sink.last_rx.saturating_since(sink.first_rx.unwrap());
+        let elapsed = sink.last_rx.saturating_since(sink.first_rx_time());
         assert_eq!(elapsed, TimeDelta::from_nanos(49 * 300));
     }
 
@@ -610,7 +838,7 @@ mod tests {
         let sink = sim.node::<SinkNode>(s);
         assert_eq!(sink.received, 2000);
         // Average rate within 10% of offered.
-        let elapsed = sink.last_rx.saturating_since(sink.first_rx.unwrap());
+        let elapsed = sink.last_rx.saturating_since(sink.first_rx_time());
         let measured = crate::metrics::throughput(1999 * 500, elapsed);
         let err = (measured.gbps_f64() - 4.0).abs() / 4.0;
         assert!(err < 0.1, "poisson mean rate off: {measured}");
@@ -671,5 +899,124 @@ mod tests {
         let cdf = zipf_cdf(10, 1.0);
         assert!(cdf.windows(2).all(|w| w[0] < w[1]));
         assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    /// The constant-space rejection sampler against the exact CDF oracle:
+    /// empirical rank frequencies must match the materialized Zipf pmf.
+    #[test]
+    fn zipf_sampler_matches_exact_cdf_oracle() {
+        for &s in &[0.0, 0.8, 1.0, 1.2] {
+            let n = 64;
+            let cdf = zipf_cdf(n, s);
+            let sampler = ZipfSampler::new(n, s);
+            let mut rng = StdRng::seed_from_u64(42);
+            let draws = 200_000usize;
+            let mut counts = vec![0u64; n];
+            for _ in 0..draws {
+                counts[sampler.sample(&mut rng)] += 1;
+            }
+            for k in 0..n {
+                let pmf = cdf[k] - if k == 0 { 0.0 } else { cdf[k - 1] };
+                let emp = counts[k] as f64 / draws as f64;
+                // Absolute tolerance: generous for cold ranks, tight
+                // relative to the hot ranks that carry the mass.
+                assert!(
+                    (emp - pmf).abs() < 0.01 + 0.05 * pmf,
+                    "s={s} rank {k}: empirical {emp:.4} vs exact {pmf:.4}"
+                );
+            }
+        }
+    }
+
+    /// The sampler is usable at populations where the CDF would be tens
+    /// of MB: setup is O(1) and draws stay in range and hit rank 0 most.
+    #[test]
+    fn zipf_sampler_handles_million_rank_population() {
+        let n = 1 << 20;
+        let sampler = ZipfSampler::new(n, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hot = 0u64;
+        for _ in 0..10_000 {
+            let k = sampler.sample(&mut rng);
+            assert!(k < n);
+            if k == 0 {
+                hot += 1;
+            }
+        }
+        // Zipf(1.1) over 2^20 ranks gives rank 0 ≈ 7% of the mass.
+        assert!(hot > 300, "rank 0 drawn only {hot}/10000 times");
+    }
+
+    #[test]
+    fn synth_flows_are_distinct_across_the_port_boundary() {
+        let fs = FlowSet::synth(1 << 20, 0x0a10_0000, 0x0a00_00fe, 9000);
+        assert_eq!(fs.len(), 1 << 20);
+        // Indices straddling the 2^16 wrap must still differ.
+        let a = fs.get(0xffff);
+        let b = fs.get(0x10000);
+        assert_ne!(a, b);
+        assert_eq!(a.src_ip, 0x0a10_0000);
+        assert_eq!(b.src_ip, 0x0a10_0001);
+        assert_eq!(b.src_port, 0);
+        // Spot-check global uniqueness over a sample of the population.
+        let mut seen = std::collections::HashSet::new();
+        for i in (0..(1 << 20)).step_by(4093) {
+            assert!(seen.insert(fs.get(i)), "duplicate flow at index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "WorkloadSpec::flows is empty")]
+    fn empty_flow_population_is_rejected_with_a_label() {
+        let spec = WorkloadSpec {
+            src_mac: MacAddr::local(1),
+            dst_mac: MacAddr::local(2),
+            flows: FlowSet::List(Vec::new()),
+            pick: FlowPick::Uniform,
+            frame_len: 128,
+            offered: None,
+            arrival: Arrival::Paced,
+            count: 1,
+            seed: 1,
+            flow_id_base: 0,
+        };
+        let _ = TrafficGenNode::new("empty-gen", spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "sink 'starved' received no frames")]
+    fn starved_sink_panics_with_its_name() {
+        let sink = SinkNode::new("starved");
+        let _ = sink.first_rx_time();
+    }
+
+    /// A generator over a >1M-flow synthesized population: no materialized
+    /// vector, every emitted flow lands intact at a coarse sink.
+    #[test]
+    fn synth_generator_streams_from_a_million_flow_population() {
+        let spec = WorkloadSpec {
+            src_mac: MacAddr::local(1),
+            dst_mac: MacAddr::local(2),
+            flows: FlowSet::synth(1_200_000, 0x0a20_0000, 0x0a00_00fe, 9000),
+            pick: FlowPick::Zipf(1.05),
+            frame_len: 128,
+            offered: Some(Rate::from_gbps(10)),
+            count: 3000,
+            seed: 11,
+            arrival: Arrival::Paced,
+            flow_id_base: 0,
+        };
+        let mut b = SimBuilder::new(3);
+        let g = b.add_node(Box::new(TrafficGenNode::new("gen", spec)));
+        let s = b.add_node(Box::new(SinkNode::coarse("sink")));
+        b.connect(g, PortId(0), s, PortId(0), LinkSpec::testbed_40g());
+        let mut sim = b.build();
+        sim.schedule_timer(g, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+        sim.run_to_quiescence();
+        let sink = sim.node::<SinkNode>(s);
+        assert_eq!(sink.received, 3000);
+        assert_eq!(sink.corrupt, 0);
+        assert_eq!(sink.foreign, 0);
+        assert!(sink.flows.is_empty(), "coarse sink must not track flows");
     }
 }

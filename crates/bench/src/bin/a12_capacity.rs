@@ -1,0 +1,285 @@
+//! A12 — sharded counter capacity: scale the state store horizontally.
+//!
+//! The paper's capacity argument (§1, §2) is that external memory grows a
+//! switch resource by adding servers. E6 prices that claim from byte
+//! layouts; this bin *runs* it: a ToR whose counter store is sharded over
+//! a consistent-hash ring of replicated pools, swept across shard counts
+//! under the same million-flow Zipf workload. For each sweep point it
+//! reports
+//!
+//! * capacity: counter slots vs servers (must scale linearly — the ring
+//!   adds capacity, it never re-partitions a fixed region),
+//! * occupancy: distinct slots actually touched by the skewed traffic,
+//! * delivery latency at the sink (median / p99 / max) — scaling out must
+//!   not cost the data path anything,
+//! * exactness: settled counters equal the routing oracle on every
+//!   replica of every shard,
+//! * rebalance cost: the measured key fraction that moves when one more
+//!   shard joins the ring, against the consistent-hash ideal 1/(K+1).
+//!
+//! The workload synthesizes its flow population (`FlowSet::synth`), so
+//! the generator holds O(1) state for the 2^20+ distinct five-tuples it
+//! streams — the scale this sweep exists to exercise.
+
+use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
+use extmem_apps::workload::{
+    Arrival, FlowPick, FlowSet, SinkNode, TrafficGenNode, WorkloadSpec,
+};
+use extmem_bench::table::print_table;
+use extmem_core::faa::{FaaConfig, FaaEngine};
+use extmem_core::shard::ShardedStateStoreProgram;
+use extmem_core::state_store::read_remote_counters;
+use extmem_core::{Fib, PoolConfig, RdmaChannel};
+use extmem_rnic::{RnicConfig, RnicNode};
+use extmem_sim::{LinkSpec, SimBuilder};
+use extmem_switch::{SwitchConfig, SwitchNode};
+use extmem_types::{ByteSize, PortId, Rate, Time, TimeDelta};
+
+/// Counter slots per shard (64-bit words; 512 KiB of server DRAM each).
+const COUNTERS_PER_SHARD: u64 = 65_536;
+/// Replicas per shard pool.
+const REPLICAS: usize = 2;
+/// Distinct five-tuples in the synthesized population.
+const FLOWS: usize = (1 << 20) + 200_000;
+/// Packets sent per sweep point.
+const COUNT: u64 = 1 << 20;
+/// Zipf exponent: the skew that makes slot occupancy interesting.
+const ZIPF_S: f64 = 1.05;
+
+struct Out {
+    shards: u32,
+    servers: usize,
+    slots: u64,
+    slots_used: usize,
+    median: TimeDelta,
+    p99: TimeDelta,
+    max: TimeDelta,
+    exact: bool,
+    moved_next: f64,
+}
+
+/// One sweep point: a ToR sharded over `k` pools, the million-flow Zipf
+/// workload pushed through it, settled state audited replica by replica.
+fn probe(k: u32) -> Out {
+    let region = ByteSize::from_bytes(COUNTERS_PER_SHARD * 8);
+    let mut nics: Vec<Option<RnicNode>> = Vec::new();
+    let mut keys = Vec::new(); // [shard][replica] -> (rkey, base_va)
+    let mut shards = Vec::new();
+    for shard in 0..k {
+        let mut channels = Vec::new();
+        let mut shard_keys = Vec::new();
+        for r in 0..REPLICAS {
+            let port = 2 + shard as usize * REPLICAS + r;
+            let mut nic = RnicNode::new(
+                format!("mems{shard}r{r}"),
+                RnicConfig::at(host_endpoint(port)),
+            );
+            let ch = RdmaChannel::setup(switch_endpoint(), PortId(port as u16), &mut nic, region);
+            shard_keys.push((ch.rkey, ch.base_va));
+            channels.push(ch);
+            nics.push(Some(nic));
+        }
+        keys.push(shard_keys);
+        let engine = FaaEngine::replicated(
+            channels,
+            FaaConfig {
+                // 10 Gbps of 256 B frames is ~4.9M updates/s; a 32-deep
+                // window at ~1us of server RTT drains well past that, so
+                // the pending backlog stays bounded even at one shard.
+                max_outstanding: 32,
+                reliable: true,
+                rto: TimeDelta::from_micros(50),
+                ..Default::default()
+            },
+            PoolConfig::default(),
+        );
+        shards.push((shard, engine, true));
+    }
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = ShardedStateStoreProgram::new(fib, shards, 64, TimeDelta::from_micros(20));
+
+    let mut b = SimBuilder::new(1200 + k as u64);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec {
+            src_mac: host_mac(0),
+            dst_mac: host_mac(1),
+            flows: FlowSet::synth(FLOWS, 0x0ac0_0000, host_ip(1), 9_000),
+            pick: FlowPick::Zipf(ZIPF_S),
+            frame_len: 256,
+            offered: Some(Rate::from_gbps(10)),
+            arrival: Arrival::Paced,
+            count: COUNT,
+            seed: 77,
+            flow_id_base: 0,
+        },
+    )));
+    // The coarse sink keeps aggregate counters and the latency recorder
+    // but no per-flow map — O(1) memory against a 2^20-flow stream.
+    let sink = b.add_node(Box::new(SinkNode::coarse("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let mut servers = Vec::new();
+    for (i, nic) in nics.iter_mut().enumerate() {
+        let id = b.add_node(Box::new(nic.take().expect("server NIC built once")));
+        b.connect(switch, PortId((2 + i) as u16), id, PortId(0), link);
+        servers.push(id);
+    }
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    // ~215ms of paced traffic, then drain adaptively: at one shard the
+    // pending backlog (up to 64K merged slots) plus the mirror delta
+    // replay takes tens of ms to flush through the FaA window, and the
+    // replica audit below is only meaningful once everything settled.
+    let send_time = TimeDelta::from_secs_f64(COUNT as f64 * 256.0 * 8.0 / 10e9);
+    let mut deadline = Time::ZERO + send_time + TimeDelta::from_millis(5);
+    for _ in 0..60 {
+        sim.run_until(deadline);
+        let settled = sim
+            .node::<SwitchNode>(switch)
+            .program::<ShardedStateStoreProgram>()
+            .is_settled();
+        if settled {
+            break;
+        }
+        deadline += TimeDelta::from_millis(5);
+    }
+
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<ShardedStateStoreProgram>();
+    let mut exact = true;
+    if !prog.is_settled() {
+        eprintln!("k={k}: not settled at the drain cap");
+        exact = false;
+    }
+    if prog.is_degraded() {
+        eprintln!("k={k}: a shard pool degraded");
+        exact = false;
+    }
+    for shard in 0..k {
+        let mut expected = vec![0u64; COUNTERS_PER_SHARD as usize];
+        for (&(sh, slot), &v) in &prog.oracle {
+            if sh == shard {
+                expected[slot as usize] += v;
+            }
+        }
+        for rep in 0..REPLICAS {
+            let node = servers[shard as usize * REPLICAS + rep];
+            let (rkey, base_va) = keys[shard as usize][rep];
+            let dump =
+                read_remote_counters(sim.node::<RnicNode>(node), rkey, base_va, COUNTERS_PER_SHARD);
+            if dump != expected {
+                let bad = dump.iter().zip(&expected).filter(|(a, b)| a != b).count();
+                let (ds, es) = (dump.iter().sum::<u64>(), expected.iter().sum::<u64>());
+                eprintln!("k={k} shard {shard} replica {rep}: {bad} slots diverge (sum {ds} vs oracle {es})");
+                exact = false;
+            }
+        }
+    }
+    let sink = sim.node::<SinkNode>(sink);
+    if sink.received != COUNT {
+        eprintln!("k={k}: sink received {} of {COUNT}", sink.received);
+        exact = false;
+    }
+    let lat = sink.latency.summarize().expect("sink saw traffic");
+
+    // Rebalance cost of the *next* scale-out step, measured on the ring:
+    // fraction of the key space that moves when shard k joins.
+    let grown = {
+        let mut r = prog.ring().clone();
+        r.add_shard(k);
+        r
+    };
+    let moved_next = prog.ring().remap_fraction(&grown, 1 << 16);
+
+    Out {
+        shards: k,
+        servers: k as usize * REPLICAS,
+        slots: prog.capacity_slots(),
+        slots_used: prog.oracle.len(),
+        median: lat.median,
+        p99: lat.p99,
+        max: lat.max,
+        exact,
+        moved_next,
+    }
+}
+
+fn main() {
+    println!(
+        "A12: sharded counter capacity — {} Zipf({ZIPF_S}) flows, {} updates per point",
+        FLOWS, COUNT
+    );
+    println!();
+    let sweep = [1u32, 2, 4, 8];
+    let outs: Vec<Out> = sweep.iter().map(|&k| probe(k)).collect();
+    let rows: Vec<Vec<String>> = outs
+        .iter()
+        .map(|o| {
+            let ideal = 1.0 / (o.shards as f64 + 1.0);
+            vec![
+                o.shards.to_string(),
+                o.servers.to_string(),
+                human(o.slots),
+                format!(
+                    "{} ({:.0}%)",
+                    human(o.slots_used as u64),
+                    100.0 * o.slots_used as f64 / o.slots as f64
+                ),
+                format!("{}", o.median),
+                format!("{}", o.p99),
+                format!("{}", o.max),
+                if o.exact { "yes" } else { "NO" }.to_string(),
+                format!("{:.3} (ideal {:.3})", o.moved_next, ideal),
+            ]
+        })
+        .collect();
+    print_table(
+        "capacity, latency, and rebalance cost vs shard count",
+        &[
+            "shards",
+            "servers",
+            "slots",
+            "slots used",
+            "p50",
+            "p99",
+            "max",
+            "exact",
+            "moved on +1",
+        ],
+        &rows,
+    );
+    // The linearity claim, stated as data: slots per sweep point are
+    // exactly shard-count multiples of the single-shard capacity.
+    let base = outs[0].slots;
+    assert!(
+        outs.iter().all(|o| o.slots == base * o.shards as u64),
+        "capacity must scale linearly with shards"
+    );
+    println!();
+    println!("expectation: slots grow linearly with servers while the data path is");
+    println!("untouched — p50/p99 stay flat across the sweep because routing is a hash");
+    println!("plus a binary search, not an extra hop. Zipf({ZIPF_S}) traffic touches only");
+    println!("a fraction of the slots (the head dominates), settled counters are exact");
+    println!("on every replica, and the measured key movement for the next scale-out");
+    println!("step tracks the consistent-hash ideal 1/(K+1) — the property that makes");
+    println!("live rebalancing affordable at this capacity.");
+}
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}

@@ -45,7 +45,7 @@ fn probe(batch: usize) -> (u64, u64, f64, f64) {
         WorkloadSpec {
             src_mac: host_mac(0),
             dst_mac: host_mac(1),
-            flows,
+            flows: flows.into(),
             pick: extmem_apps::workload::FlowPick::Uniform,
             frame_len: frame,
             offered: Some(offered),

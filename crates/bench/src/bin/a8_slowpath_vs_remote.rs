@@ -61,7 +61,7 @@ fn run_slowpath(skew: f64, cpu_us: u64, seed: u64) -> (f64, f64, u64, u64, u64) 
         WorkloadSpec {
             src_mac: host_mac(0),
             dst_mac: MacAddr::local(200),
-            flows: flows(),
+            flows: flows().into(),
             pick: FlowPick::Zipf(skew),
             frame_len: 256,
             offered: Some(Rate::from_gbps(2)),

@@ -38,19 +38,20 @@
 
 use extmem_apps::incast::{run_incast, IncastConfig, RemoteBufferSpec};
 use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
-use extmem_apps::workload::{Arrival, FlowPick, SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_apps::workload::{Arrival, FlowPick, FlowSet, SinkNode, TrafficGenNode, WorkloadSpec};
 use extmem_core::faa::{FaaConfig, FaaEngine};
+use extmem_core::shard::ShardedStateStoreProgram;
 use extmem_core::lookup::{
     install_cuckoo_image, install_remote_action, ActionEntry, ChurnScript, ControlOp,
     LookupTableProgram,
 };
 use extmem_core::packet_buffer::{Mode, PacketBufferProgram, TOKEN_START_LOADING};
 use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
-use extmem_core::{CuckooConfig, CuckooDirectory, Fib, PoolConfig, RdmaChannel, ReliableConfig};
+use extmem_core::{CuckooConfig, CuckooDirectory, Fib, L2Program, PoolConfig, RdmaChannel, ReliableConfig};
 use extmem_rnic::{RnicConfig, RnicNode};
 use extmem_sim::{
     current_sched_threads, with_sched_backend, FaultSpec, LinkSpec, SchedBackend, SchedStats,
-    SimBuilder, Simulator,
+    FabricSpec, SimBuilder, Simulator,
 };
 use extmem_switch::switch::program_token;
 use extmem_switch::{SwitchConfig, SwitchNode};
@@ -318,7 +319,7 @@ pub fn lookup_miss_storm(count: u64) -> PerfResult {
     let spec = WorkloadSpec {
         src_mac: host_mac(0),
         dst_mac: host_mac(1),
-        flows,
+        flows: flows.into(),
         pick: FlowPick::RoundRobin,
         frame_len: 256,
         offered: Some(Rate::from_gbps(5)),
@@ -492,7 +493,7 @@ pub fn insert_churn(count: u64) -> PerfResult {
     let spec = WorkloadSpec {
         src_mac: host_mac(0),
         dst_mac: host_mac(1),
-        flows,
+        flows: flows.into(),
         pick: FlowPick::Zipf(1.1),
         frame_len: 256,
         offered: Some(Rate::from_gbps(5)),
@@ -579,7 +580,7 @@ pub fn faa_storm(count: u64) -> PerfResult {
     let spec = WorkloadSpec {
         src_mac: host_mac(0),
         dst_mac: host_mac(1),
-        flows,
+        flows: flows.into(),
         pick: FlowPick::RoundRobin,
         frame_len: 256,
         offered: Some(Rate::from_gbps(10)),
@@ -1044,6 +1045,285 @@ pub fn fabric_fanout(count: u64, threads: usize) -> PerfResult {
     })
 }
 
+/// Leaf switches in the [`fabric_shard`] scenario.
+pub const SHARD_LEAVES: usize = 4;
+/// Spine switches in the [`fabric_shard`] scenario.
+pub const SHARD_SPINES: usize = 2;
+/// Replicated servers per shard.
+pub const SHARD_REPLICAS: usize = 2;
+/// Counter slots per shard region.
+pub const SHARD_COUNTERS: u64 = 256;
+/// Synthesized flow population per generator (above the exact-CDF
+/// threshold, so the constant-space Zipf sampler is on the pinned path).
+pub const SHARD_FLOWS: usize = 1 << 20;
+/// Shard id of each leaf's spare (activated mid-run).
+const SPARE_SHARD: u32 = 2;
+
+/// Hosts per leaf in [`fabric_shard`]: gen, sink, and 3 shards × 2
+/// replica servers (shard 2 is the spare).
+pub const SHARD_HOSTS_PER_LEAF: usize = 2 + 3 * SHARD_REPLICAS;
+
+/// Global host index of host `i` on leaf `l` (MAC/IP assignment).
+fn shard_host(l: usize, i: usize) -> usize {
+    l * SHARD_HOSTS_PER_LEAF + i
+}
+
+/// Sharded leaf–spine fabric: the E6 capacity-expansion claim at fleet
+/// shape. Four leaf switches (pods) each run the consistent-hash
+/// [`ShardedStateStoreProgram`] over two active shards plus one spare,
+/// every shard a 2-way [`extmem_core::pool::ReplicatedPool`]; two spines
+/// join the pods. Each pod's generator sends Zipf-skewed traffic drawn
+/// from a 2^20-flow synthesized population (the constant-space sampler —
+/// no materialized flow vector anywhere) across the spine to the next
+/// pod's sink, so every leaf counts its own egress and its neighbor's
+/// ingress while FaA updates fan out to its local shard replicas. Host
+/// links are asymmetric (40 G down / 25 G up) to keep the per-direction
+/// fabric path priced.
+///
+/// Halfway through the send window every leaf activates its spare shard
+/// live — the consistent-hash ring moves ≈1/3 of the key space onto it
+/// (asserted within a band) without stopping traffic, and the per-shard
+/// oracle stays exact because updates are attributed to the shard that
+/// actually received them.
+///
+/// Correctness gates on every run: every pod quiescent and undegraded,
+/// exact sink counts, per-(shard, slot) settled counters equal to the
+/// oracle on *both* replicas of all twelve shards, and the rebalance
+/// fraction in band. The digest is bit-identical across Wheel, Heap and
+/// Parallel(1/2/4) — `sched_equivalence` holds the line, mid-run
+/// mutation included.
+pub fn fabric_shard(count: u64, threads: usize) -> PerfResult {
+    let name: &'static str = match threads {
+        1 => "fabric_shard_t1",
+        2 => "fabric_shard_t2",
+        4 => "fabric_shard_t4",
+        _ => "fabric_shard",
+    };
+    with_sched_backend(SchedBackend::Parallel(threads), || {
+        const L: usize = SHARD_LEAVES;
+        let region = ByteSize::from_bytes(SHARD_COUNTERS * 8);
+        let leaf_switch_ep = |l: usize| extmem_wire::roce::RoceEndpoint {
+            mac: extmem_wire::MacAddr::local(200 + l as u32),
+            ip: 0x0a00_0100 + l as u32,
+        };
+        let spec = FabricSpec {
+            leaves: L,
+            spines: SHARD_SPINES,
+            hosts_per_leaf: SHARD_HOSTS_PER_LEAF,
+            host_link: LinkSpec::asymmetric(
+                Rate::from_gbps(40),
+                Rate::from_gbps(25),
+                TimeDelta::from_nanos(300),
+            ),
+            up_link: LinkSpec::testbed_40g(),
+        };
+
+        // Pre-build every leaf's NICs, channels and program: the fabric
+        // factories below just take() them in pod order.
+        let mut progs: Vec<Option<ShardedStateStoreProgram>> = Vec::new();
+        let mut nics: Vec<Vec<Option<RnicNode>>> = Vec::new();
+        let mut keys = Vec::new(); // [leaf][shard][replica] -> (rkey, base_va)
+        for l in 0..L {
+            let mut pod_nics: Vec<Option<RnicNode>> = vec![None, None];
+            let mut shards = Vec::new();
+            let mut pod_keys = Vec::new();
+            for shard in 0..3u32 {
+                let mut channels = Vec::new();
+                let mut shard_keys = Vec::new();
+                for r in 0..SHARD_REPLICAS {
+                    let host_i = 2 + shard as usize * SHARD_REPLICAS + r;
+                    let mut nic = RnicNode::new(
+                        format!("mem{l}s{shard}r{r}"),
+                        RnicConfig::at(host_endpoint(shard_host(l, host_i))),
+                    );
+                    let ch = RdmaChannel::setup(
+                        leaf_switch_ep(l),
+                        spec.host_port(host_i),
+                        &mut nic,
+                        region,
+                    );
+                    shard_keys.push((ch.rkey, ch.base_va));
+                    channels.push(ch);
+                    pod_nics.push(Some(nic));
+                }
+                pod_keys.push(shard_keys);
+                let engine = FaaEngine::replicated(
+                    channels,
+                    FaaConfig {
+                        reliable: true,
+                        rto: TimeDelta::from_micros(50),
+                        ..Default::default()
+                    },
+                    PoolConfig::default(),
+                );
+                shards.push((shard, engine, shard != SPARE_SHARD));
+            }
+            keys.push(pod_keys);
+            let next = (l + 1) % L;
+            let mut fib = Fib::new(8);
+            fib.install(host_mac(shard_host(l, 1)), spec.host_port(1));
+            fib.install(
+                host_mac(shard_host(next, 1)),
+                spec.uplink_port(next % SHARD_SPINES),
+            );
+            progs.push(Some(ShardedStateStoreProgram::new(
+                fib,
+                shards,
+                64,
+                TimeDelta::from_micros(20),
+            )));
+            nics.push(pod_nics);
+        }
+
+        let mut b = SimBuilder::new(113);
+        let fabric = spec.build(
+            &mut b,
+            |l| {
+                Box::new(SwitchNode::new(
+                    format!("leaf{l}"),
+                    SwitchConfig::default(),
+                    Box::new(progs[l].take().expect("leaf program built once")),
+                ))
+            },
+            |s| {
+                let mut fib = Fib::new(8);
+                for j in 0..L {
+                    fib.install(host_mac(shard_host(j, 1)), FabricSpec::spine_port(&spec, j));
+                }
+                let mut prog = L2Program::new(8);
+                prog.fib = fib;
+                Box::new(SwitchNode::new(
+                    format!("spine{s}"),
+                    SwitchConfig::default(),
+                    Box::new(prog),
+                ))
+            },
+            |l, i| match i {
+                0 => {
+                    let next = (l + 1) % L;
+                    Box::new(TrafficGenNode::new(
+                        format!("gen{l}"),
+                        WorkloadSpec {
+                            src_mac: host_mac(shard_host(l, 0)),
+                            dst_mac: host_mac(shard_host(next, 1)),
+                            flows: FlowSet::synth(
+                                SHARD_FLOWS,
+                                0x0a80_0000 + ((l as u32) << 8),
+                                host_ip(shard_host(next, 1)),
+                                9_000,
+                            ),
+                            pick: FlowPick::Zipf(1.05),
+                            frame_len: 256,
+                            offered: Some(Rate::from_gbps(5)),
+                            arrival: Arrival::Paced,
+                            count,
+                            seed: 23 + l as u64,
+                            flow_id_base: (l as u32) << 24,
+                        },
+                    )) as Box<dyn extmem_sim::Node>
+                }
+                1 => Box::new(SinkNode::coarse(format!("sink{l}"))),
+                _ => Box::new(nics[l][i].take().expect("server NIC built once")),
+            },
+        );
+
+        let mut sim = b.build();
+        for l in 0..L {
+            sim.schedule_timer(fabric.hosts[l][0], TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+        }
+
+        // 5 Gbps × 256 B paced sends; spares activate at the halfway mark,
+        // then the run settles well past the last send.
+        let send_time = TimeDelta::from_secs_f64(count as f64 * 256.0 * 8.0 / 5e9);
+        let half = Time::ZERO + TimeDelta::from_picos(send_time.picos() / 2);
+        let deadline = Time::ZERO + send_time + TimeDelta::from_millis(5);
+        let leaves = fabric.leaves.clone();
+        let mut r = time_run(name, &mut sim, |sim| {
+            sim.run_until(half);
+            for (l, &leaf) in leaves.iter().enumerate() {
+                let sw = sim.node_mut::<SwitchNode>(leaf);
+                let moved = sw
+                    .program_mut::<ShardedStateStoreProgram>()
+                    .activate_shard(SPARE_SHARD, 1 << 16);
+                // Ideal movement onto the third shard is 1/3 of the key
+                // space; vnode placement noise allows a band.
+                assert!(
+                    (0.15..=0.55).contains(&moved),
+                    "leaf {l}: rebalance moved {moved}, far from 1/3"
+                );
+            }
+            sim.run_until(deadline);
+        });
+        r.name = name;
+
+        for (l, leaf_keys) in keys.iter().enumerate() {
+            let sw: &SwitchNode = sim.node::<SwitchNode>(fabric.leaves[l]);
+            let prog = sw.program::<ShardedStateStoreProgram>();
+            assert!(prog.is_quiescent(), "leaf {l}: stuck window");
+            assert!(!prog.is_degraded(), "leaf {l}: pool degraded");
+            // Own egress plus the previous pod's ingress.
+            assert_eq!(prog.forwarded, 2 * count, "leaf {l}: forwarding lost frames");
+            assert_eq!(prog.capacity_slots(), 3 * SHARD_COUNTERS);
+            let sink = sim.node::<SinkNode>(fabric.hosts[l][1]);
+            assert_eq!(sink.received, count, "leaf {l}: sink short");
+            assert!(sink.flows.is_empty(), "coarse sink tracked flows");
+            // Every shard's settled counters — exact against the routing
+            // oracle, on both replicas, spare included.
+            for shard in 0..3u32 {
+                let mut expected = vec![0u64; SHARD_COUNTERS as usize];
+                for (&(s, slot), &v) in &prog.oracle {
+                    if s == shard {
+                        expected[slot as usize] += v;
+                    }
+                }
+                let dumps: Vec<Vec<u64>> = (0..SHARD_REPLICAS)
+                    .map(|rep| {
+                        let host_i = 2 + shard as usize * SHARD_REPLICAS + rep;
+                        let (rkey, base_va) = leaf_keys[shard as usize][rep];
+                        read_remote_counters(
+                            sim.node::<RnicNode>(fabric.hosts[l][host_i]),
+                            rkey,
+                            base_va,
+                            SHARD_COUNTERS,
+                        )
+                    })
+                    .collect();
+                assert_eq!(
+                    dumps[0], expected,
+                    "leaf {l} shard {shard}: counters must be exact"
+                );
+                assert_eq!(dumps[0], dumps[1], "leaf {l} shard {shard}: replicas diverge");
+            }
+            // The spare only saw post-activation traffic.
+            let stats = prog.shard_stats();
+            assert!(stats.iter().all(|s| s.active), "all shards active at end");
+            let spare_routed = stats
+                .iter()
+                .find(|s| s.id == SPARE_SHARD)
+                .expect("spare exists")
+                .routed;
+            assert!(spare_routed > 0, "leaf {l}: spare shard never used");
+            assert!(
+                spare_routed < count,
+                "leaf {l}: spare routed {spare_routed} of 2x{count}"
+            );
+        }
+        let par = sim.par_stats();
+        assert_eq!(
+            par.partitions,
+            threads.clamp(1, L * (1 + SHARD_HOSTS_PER_LEAF) + SHARD_SPINES),
+            "builder must honor the requested thread count"
+        );
+        if par.partitions > 1 {
+            assert!(
+                par.cross_messages > 0,
+                "spine traffic must cross partitions: {par:?}"
+            );
+        }
+        r
+    })
+}
+
 /// Repetitions per scenario in [`run_all`]; the fastest is reported, which
 /// filters out scheduler noise from a shared machine.
 pub const REPS: u32 = 3;
@@ -1071,6 +1351,9 @@ pub fn run_all() -> Vec<PerfResult> {
         best_of(REPS, || fabric_fanout(2_000, 1)),
         best_of(REPS, || fabric_fanout(2_000, 2)),
         best_of(REPS, || fabric_fanout(2_000, 4)),
+        best_of(REPS, || fabric_shard(2_000, 1)),
+        best_of(REPS, || fabric_shard(2_000, 2)),
+        best_of(REPS, || fabric_shard(2_000, 4)),
     ]
 }
 
@@ -1122,6 +1405,20 @@ mod tests {
         let base = fabric_fanout(150, 1);
         for threads in [2, 4, 8] {
             let r = fabric_fanout(150, threads);
+            assert_eq!(r.digest, base.digest, "t{threads} digest diverged");
+            assert_eq!(r.events, base.events, "t{threads} event count diverged");
+            assert_eq!(r.packets, base.packets, "t{threads} packet count diverged");
+        }
+    }
+
+    #[test]
+    fn fabric_shard_digest_invariant_across_threads() {
+        // Same line for the sharded fabric — and this one mutates programs
+        // mid-run (spare-shard activation), so it additionally pins that
+        // pause/mutate/resume is backend-invariant.
+        let base = fabric_shard(300, 1);
+        for threads in [2, 4] {
+            let r = fabric_shard(300, threads);
             assert_eq!(r.digest, base.digest, "t{threads} digest diverged");
             assert_eq!(r.events, base.events, "t{threads} event count diverged");
             assert_eq!(r.packets, base.packets, "t{threads} packet count diverged");

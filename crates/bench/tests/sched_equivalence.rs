@@ -14,7 +14,7 @@
 //! asserts the digests printed for each run agree across thread counts too.
 
 use extmem_bench::simperf::{
-    e1_write_read_loop, fabric_fanout, faa_storm, incast_scenario, insert_churn,
+    e1_write_read_loop, fabric_fanout, fabric_shard, faa_storm, incast_scenario, insert_churn,
     lookup_miss_storm, lookup_miss_storm_direct, loss_sweep, server_failover, PerfResult,
 };
 use extmem_sim::{with_sched_backend, SchedBackend};
@@ -123,6 +123,17 @@ fn fabric_fanout_is_backend_invariant() {
     assert_backend_equivalent("fabric_fanout", || {
         fabric_fanout(150, parallel_threads())
     });
+}
+
+#[test]
+fn fabric_shard_is_backend_invariant() {
+    // The sharded leaf–spine fabric adds two wrinkles the other scenarios
+    // don't have: consistent-hash routing over a 2^20-flow synthesized
+    // Zipf population (the rejection sampler draws a variable number of
+    // RNG values per pick) and a mid-run program mutation (spare-shard
+    // activation between run_until calls). Both must be invisible to the
+    // backend choice.
+    assert_backend_equivalent("fabric_shard", || fabric_shard(300, parallel_threads()));
 }
 
 #[test]

@@ -191,6 +191,13 @@ impl FaaEngine {
         &self.pool
     }
 
+    /// Re-base the pool's retransmit/probe timer tokens. Programs that run
+    /// several engines on one switch (the sharded state store) must give
+    /// each a disjoint token range or their `on_timer` dispatches collide.
+    pub fn set_timer_tokens(&mut self, base: u64) {
+        self.pool.set_timer_tokens(base);
+    }
+
     /// The number of counter slots the region holds.
     pub fn slots(&self) -> u64 {
         self.pool.region_len() / 8

@@ -56,6 +56,7 @@ pub mod lookup;
 pub mod lpm;
 pub mod packet_buffer;
 pub mod pool;
+pub mod shard;
 pub mod sketch;
 pub mod slow_path;
 pub mod state_store;
@@ -68,4 +69,5 @@ pub use fib::Fib;
 pub use l2::L2Program;
 pub use lookup::{ActionEntry, ActionKind, LookupTableProgram};
 pub use packet_buffer::PacketBufferProgram;
+pub use shard::{ShardRing, ShardStats, ShardedStateStoreProgram};
 pub use state_store::StateStoreProgram;

@@ -561,6 +561,17 @@ impl ReplicatedPool {
         ch.outstanding_len() + ch.queued_len()
     }
 
+    /// Whether the replicas have converged: no mirror holds an unreplayed
+    /// FaA delta and no pool-internal op (mirror write, delta replay,
+    /// probe, reseed step) is in flight. Quiescence on the caller side
+    /// plus this is the "fully settled" condition replica-equality audits
+    /// should wait for.
+    pub fn is_synced(&self) -> bool {
+        self.internal.is_empty()
+            && self.reseed.is_none()
+            && self.servers.iter().all(|s| s.delta.is_empty())
+    }
+
     /// Whether any server has answered a probe and now waits for the
     /// caller's promotion gate (packet buffer: ring drained).
     pub fn rejoin_pending(&self) -> bool {

@@ -138,7 +138,9 @@ impl EngineCore {
             .topo
             .slot(node, port)
             .unwrap_or_else(|| panic!("link_rate on unconnected port {node:?}/{port:?}"));
-        self.topo.links[slot.link as usize].spec.rate
+        self.topo.links[slot.link as usize]
+            .spec
+            .rate_from(slot.end as usize)
     }
 
     pub(crate) fn start_tx(&mut self, node: NodeId, port: PortId, packet: Packet) {
@@ -154,7 +156,7 @@ impl EngineCore {
         let (ser, prop, faults, dst) = {
             let l = &self.topo.links[lid];
             (
-                l.spec.rate.time_to_send(packet.len()),
+                l.spec.rate_from(end).time_to_send(packet.len()),
                 l.spec.propagation,
                 l.spec.faults,
                 l.ends[1 - end],

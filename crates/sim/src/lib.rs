@@ -29,6 +29,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fabric;
 pub mod link;
 pub mod node;
 mod partition;
@@ -36,6 +37,7 @@ pub mod queue;
 pub mod trace;
 
 pub use engine::{SimBuilder, Simulator};
+pub use fabric::{Fabric, FabricSpec};
 pub use event::{current_sched_threads, with_sched_backend, SchedBackend, SchedStats, TimerHandle};
 pub use partition::ParStats;
 pub use link::{FaultSpec, LinkSpec, LinkStats};

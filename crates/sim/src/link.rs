@@ -80,6 +80,10 @@ pub struct LinkSpec {
     pub propagation: TimeDelta,
     /// Fault injection for this link.
     pub faults: FaultSpec,
+    /// Optional distinct rate for the B→A direction (`None` = symmetric).
+    /// Fabric topologies use this for per-direction bandwidth — e.g. an
+    /// oversubscribed downlink paired with a full-rate uplink.
+    pub reverse_rate: Option<Rate>,
 }
 
 impl LinkSpec {
@@ -89,6 +93,28 @@ impl LinkSpec {
             rate,
             propagation,
             faults: FaultSpec::NONE,
+            reverse_rate: None,
+        }
+    }
+
+    /// An asymmetric fault-free link: `rate` serializes A→B traffic,
+    /// `reverse` serializes B→A.
+    pub fn asymmetric(rate: Rate, reverse: Rate, propagation: TimeDelta) -> LinkSpec {
+        LinkSpec {
+            rate,
+            propagation,
+            faults: FaultSpec::NONE,
+            reverse_rate: Some(reverse),
+        }
+    }
+
+    /// The serialization rate for traffic leaving link end `end` (0 = the
+    /// `a` side of `connect`, 1 = the `b` side).
+    pub fn rate_from(&self, end: usize) -> Rate {
+        if end == 1 {
+            self.reverse_rate.unwrap_or(self.rate)
+        } else {
+            self.rate
         }
     }
 

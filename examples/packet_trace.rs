@@ -43,7 +43,7 @@ fn main() {
         WorkloadSpec {
             src_mac: host_mac(0),
             dst_mac: host_mac(1),
-            flows: flows.clone(),
+            flows: flows.clone().into(),
             pick: FlowPick::Zipf(1.1),
             frame_len: 400,
             offered: Some(Rate::from_gbps(8)),

@@ -63,7 +63,7 @@ fn main() {
         WorkloadSpec {
             src_mac: host_mac(0),
             dst_mac: host_mac(1),
-            flows: flows.clone(),
+            flows: flows.clone().into(),
             pick: FlowPick::Uniform,
             frame_len: 256,
             offered: Some(Rate::from_gbps(10)),

@@ -28,9 +28,12 @@ echo "== crash/failover cells (release) =="
 # resync, which optimization can reshuffle. This includes the cuckoo
 # relocation-crash cell (crash_lookup_mid_relocation_*): a primary dying
 # with displacement WRITEs in flight is the sharpest ordering race in the
-# tree, and the parallel-backend replay of the harshest state-store cell
+# tree, the parallel-backend replay of the harshest state-store cell
 # (crash_state_store_rejoin_under_parallel_backend), where the crashed
-# server lives in a different partition than the switch driving it.
+# server lives in a different partition than the switch driving it, and
+# the sharded store's cell (crash_fabric_shard_*), where one shard's
+# primary dies and rejoins while consistent-hash routing keeps the other
+# shards counting.
 cargo test -q --release --test fault_matrix crash_
 
 echo "== scheduler equivalence proptests (release) =="

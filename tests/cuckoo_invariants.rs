@@ -97,7 +97,7 @@ fn no_transient_miss_under_relocation_storm() {
     let spec = WorkloadSpec {
         src_mac: host_mac(0),
         dst_mac: host_mac(1),
-        flows,
+        flows: flows.into(),
         pick: FlowPick::Zipf(1.1),
         frame_len: 256,
         offered: Some(Rate::from_gbps(5)),
@@ -199,7 +199,7 @@ fn collision_cell_direct_hash_aliases_the_pair() {
     let spec = WorkloadSpec {
         src_mac: host_mac(0),
         dst_mac: host_mac(1),
-        flows: vec![fa, fb],
+        flows: vec![fa, fb].into(),
         pick: FlowPick::RoundRobin,
         frame_len: 256,
         offered: Some(Rate::from_gbps(2)),
@@ -268,7 +268,7 @@ fn collision_cell_cuckoo_resolves_the_pair() {
     let spec = WorkloadSpec {
         src_mac: host_mac(0),
         dst_mac: host_mac(1),
-        flows: vec![fa, fb],
+        flows: vec![fa, fb].into(),
         pick: FlowPick::RoundRobin,
         frame_len: 256,
         offered: Some(Rate::from_gbps(2)),

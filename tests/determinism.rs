@@ -35,7 +35,7 @@ fn statestore_sim(seed: u64) -> Simulator {
         WorkloadSpec {
             src_mac: host_mac(0),
             dst_mac: host_mac(1),
-            flows,
+            flows: flows.into(),
             pick: FlowPick::Uniform,
             frame_len: 200,
             offered: Some(Rate::from_gbps(20)),

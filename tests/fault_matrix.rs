@@ -14,7 +14,7 @@
 //!   hack never reappears in `crates/core`.
 
 use extmem_apps::scenario::{host_endpoint, host_ip, host_mac, switch_endpoint};
-use extmem_apps::workload::{Arrival, FlowPick, SinkNode, TrafficGenNode, WorkloadSpec};
+use extmem_apps::workload::{Arrival, FlowPick, FlowSet, SinkNode, TrafficGenNode, WorkloadSpec};
 use extmem_core::cuckoo::{CuckooConfig, CuckooDirectory};
 use extmem_core::faa::{FaaConfig, FaaEngine};
 use extmem_core::lookup::{
@@ -23,6 +23,7 @@ use extmem_core::lookup::{
 };
 use extmem_core::lpm::{install_remote_route, slots_per_level, RemoteLpmProgram};
 use extmem_core::packet_buffer::{Mode, PacketBufferProgram};
+use extmem_core::shard::ShardedStateStoreProgram;
 use extmem_core::state_store::{read_remote_counters, StateStoreProgram};
 use extmem_core::{Fib, RdmaChannel, ReliableConfig};
 use extmem_rnic::{RnicConfig, RnicNode};
@@ -1299,7 +1300,7 @@ fn crash_lookup_mid_relocation_rejoins_bit_for_bit() {
     let spec = WorkloadSpec {
         src_mac: host_mac(0),
         dst_mac: host_mac(1),
-        flows,
+        flows: flows.into(),
         pick: FlowPick::Zipf(1.1),
         frame_len: 256,
         offered: Some(Rate::from_gbps(2)),
@@ -1365,6 +1366,148 @@ fn crash_lookup_mid_relocation_rejoins_bit_for_bit() {
             .unwrap();
         assert_eq!(remote, &image[..], "{name} diverges from directory: {s:?}");
     }
+}
+
+/// The sharded state store through a whole-node crash: shard 0's primary
+/// dies mid-workload and restarts with wiped DRAM. The blast radius must
+/// stay inside the shard — only shard 0's pool fails over, shard 1 never
+/// notices — while consistent-hash routing keeps counting on both shards.
+/// The restarted replica is reseeded from its survivor, and every shard's
+/// settled counters equal the `(shard, slot)` routing oracle exactly on
+/// *both* replicas, rejoiner included. (`scripts/ci.sh` re-runs this cell
+/// in release via the `crash_` glob.)
+#[test]
+fn crash_fabric_shard_primary_mid_run_rejoins_exact() {
+    const COUNT: u64 = 600;
+    const SHARDS: u32 = 2;
+    const REPLICAS: usize = 2;
+    const COUNTERS: u64 = 256;
+    let region = ByteSize::from_bytes(COUNTERS * 8);
+    // Servers sit on switch ports 2..6: shard s replica r at 2 + s*2 + r.
+    let mut nics: Vec<Option<RnicNode>> = Vec::new();
+    let mut keys = Vec::new(); // [shard][replica] -> (rkey, base_va)
+    let mut shards = Vec::new();
+    for shard in 0..SHARDS {
+        let mut channels = Vec::new();
+        let mut shard_keys = Vec::new();
+        for r in 0..REPLICAS {
+            let port = 2 + shard as usize * REPLICAS + r;
+            let mut nic = RnicNode::new(
+                format!("mems{shard}r{r}"),
+                RnicConfig::at(host_endpoint(port)),
+            );
+            let ch = RdmaChannel::setup(switch_endpoint(), PortId(port as u16), &mut nic, region);
+            shard_keys.push((ch.rkey, ch.base_va));
+            channels.push(ch);
+            nics.push(Some(nic));
+        }
+        keys.push(shard_keys);
+        let engine = FaaEngine::replicated(
+            channels,
+            FaaConfig {
+                reliable: true,
+                rto: TimeDelta::from_micros(30),
+                ..Default::default()
+            },
+            PoolConfig {
+                reseed_atomics: true,
+                ..crash_pool_config()
+            },
+        );
+        shards.push((shard, engine, true));
+    }
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = ShardedStateStoreProgram::new(fib, shards, 64, TimeDelta::from_micros(30));
+
+    let mut b = SimBuilder::new(9820);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    // A synthesized multi-flow population so both shards own keys.
+    let gen = b.add_node(Box::new(TrafficGenNode::new(
+        "gen",
+        WorkloadSpec {
+            src_mac: host_mac(0),
+            dst_mac: host_mac(1),
+            flows: FlowSet::synth(512, 0x0a90_0000, host_ip(1), 9_000),
+            pick: FlowPick::Zipf(1.1),
+            frame_len: 256,
+            offered: Some(Rate::from_gbps(2)),
+            arrival: Arrival::Paced,
+            count: COUNT,
+            seed: 31,
+            flow_id_base: 0,
+        },
+    )));
+    let sink = b.add_node(Box::new(SinkNode::new("sink")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), sink, PortId(0), link);
+    let mut servers = Vec::new();
+    for (i, nic) in nics.iter_mut().enumerate() {
+        let id = b.add_node(Box::new(nic.take().expect("server NIC built once")));
+        b.connect(switch, PortId((2 + i) as u16), id, PortId(0), link);
+        servers.push(id);
+    }
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    // Shard 0's primary dies mid-workload (traffic spans ~600us) and comes
+    // back with wiped DRAM half-way through.
+    let victim = servers[0];
+    sim.schedule_crash(victim, TimeDelta::from_micros(200));
+    sim.schedule_restart(victim, TimeDelta::from_micros(500));
+    sim.run_until(Time::from_millis(50));
+
+    assert!(sim.crash_drops(victim) > 0, "crash never bit");
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<ShardedStateStoreProgram>();
+    assert!(prog.is_quiescent(), "stuck window");
+    assert!(!prog.is_degraded(), "the mirror must keep shard 0 alive");
+    let stats = prog.shard_stats();
+    for s in &stats {
+        assert!(s.routed > 0, "shard {}: ring starved it of traffic", s.id);
+    }
+    let hit = stats.iter().find(|s| s.id == 0).expect("shard 0 exists");
+    let s = &hit.faa;
+    assert!(s.pool.failovers >= 1, "shard 0 never failed over: {s:?}");
+    assert!(s.pool.rejoins >= 1, "shard 0 never rejoined: {s:?}");
+    assert!(s.pool.probes >= 1, "shard 0 issued no probe: {s:?}");
+    // Blast radius: the untouched shard must see no pool activity at all.
+    let calm = stats.iter().find(|s| s.id == 1).expect("shard 1 exists");
+    assert_eq!(calm.faa.pool.failovers, 0, "crash leaked into shard 1");
+    assert_eq!(calm.faa.pool.rejoins, 0, "crash leaked into shard 1");
+    for rep in 0..REPLICAS {
+        assert_eq!(
+            prog.engine(0).pool().health(rep),
+            Health::Healthy,
+            "shard 0 replica {rep} not healthy after rejoin: {s:?}"
+        );
+    }
+    // Exactness: every shard's counters equal the routing oracle on both
+    // replicas — the survivor through mirror fan-out, the rejoiner through
+    // the reseed + delta replay.
+    for shard in 0..SHARDS {
+        let mut expected = vec![0u64; COUNTERS as usize];
+        for (&(sh, slot), &v) in &prog.oracle {
+            if sh == shard {
+                expected[slot as usize] += v;
+            }
+        }
+        for rep in 0..REPLICAS {
+            let node = servers[shard as usize * REPLICAS + rep];
+            let (rkey, base_va) = keys[shard as usize][rep];
+            let dump = read_remote_counters(sim.node::<RnicNode>(node), rkey, base_va, COUNTERS);
+            assert_eq!(
+                dump, expected,
+                "shard {shard} replica {rep}: counters must be exact"
+            );
+        }
+    }
+    assert_eq!(sim.node::<SinkNode>(sink).received, COUNT);
 }
 
 // ---------------------------------------------------------------------------

@@ -168,7 +168,7 @@ proptest! {
             WorkloadSpec {
                 src_mac: host_mac(0),
                 dst_mac: host_mac(1),
-                flows,
+                flows: flows.into(),
                 pick: FlowPick::Uniform,
                 frame_len: 128,
                 offered: Some(Rate::from_gbps(offered_gbps)),

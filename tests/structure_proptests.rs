@@ -699,3 +699,121 @@ mod choice_filter {
         }
     }
 }
+
+mod shard_ring {
+    //! Consistent-hash ring properties at realistic vnode counts: routing
+    //! is a pure function of ring membership (unrelated churn moves no
+    //! key), scale-out moves about 1/(N+1) of the key space and only onto
+    //! the newcomer, scale-in strands nothing, and vnodes keep per-member
+    //! load near its fair share.
+
+    use extmem_core::ShardRing;
+    use proptest::prelude::*;
+    use std::collections::{BTreeSet, HashMap};
+
+    fn ring_of(members: &BTreeSet<u32>, vnodes: usize) -> ShardRing {
+        let mut ring = ShardRing::new(vnodes);
+        for &m in members {
+            ring.add_shard(m);
+        }
+        ring
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// Add-then-remove of an unrelated shard restores routing exactly:
+        /// no key observes a membership change it wasn't part of.
+        #[test]
+        fn unrelated_churn_never_moves_a_key(
+            raw in proptest::collection::vec(0u32..64, 2..9),
+            churn in 64u32..128,
+        ) {
+            let members: BTreeSet<u32> = raw.into_iter().collect();
+            prop_assume!(members.len() >= 2);
+            let mut ring = ring_of(&members, 64);
+            let before: Vec<u32> = (0..2048u64).map(|k| ring.shard_for_key(k)).collect();
+            ring.add_shard(churn);
+            ring.remove_shard(churn);
+            let after: Vec<u32> = (0..2048u64).map(|k| ring.shard_for_key(k)).collect();
+            prop_assert_eq!(before, after, "unrelated add/remove moved keys");
+        }
+
+        /// Scale-out movement: adding one member moves roughly 1/(N+1) of
+        /// the key space — never more than 2.5x the ideal at 128 vnodes —
+        /// and every key that moves lands on the newcomer, so rebalance
+        /// cost is bounded by the newcomer's fair share.
+        #[test]
+        fn scale_out_moves_about_one_over_n_plus_one(
+            raw in proptest::collection::vec(0u32..64, 2..9),
+            newcomer in 64u32..128,
+        ) {
+            let members: BTreeSet<u32> = raw.into_iter().collect();
+            prop_assume!(members.len() >= 2);
+            let before = ring_of(&members, 128);
+            let mut ring = before.clone();
+            ring.add_shard(newcomer);
+            let ideal = 1.0 / (members.len() as f64 + 1.0);
+            let moved = before.remap_fraction(&ring, 1 << 14);
+            prop_assert!(moved > 0.0, "newcomer owns nothing");
+            prop_assert!(
+                moved <= (2.5 * ideal).min(1.0),
+                "moved {} of the key space, ideal {}", moved, ideal
+            );
+            for k in 0..4096u64 {
+                let (a, b) = (before.shard_for_key(k), ring.shard_for_key(k));
+                if a != b {
+                    prop_assert_eq!(b, newcomer, "key {} moved between old members", k);
+                }
+            }
+        }
+
+        /// Scale-in strands nothing: after removing a member every key maps
+        /// to a survivor, and keys the victim didn't own never move.
+        #[test]
+        fn scale_in_strands_no_keys(
+            raw in proptest::collection::vec(0u32..64, 3..9),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            let members: BTreeSet<u32> = raw.into_iter().collect();
+            prop_assume!(members.len() >= 3);
+            let victim = *members.iter().nth(pick.index(members.len())).unwrap();
+            let before = ring_of(&members, 64);
+            let mut ring = before.clone();
+            ring.remove_shard(victim);
+            for k in 0..4096u64 {
+                let a = before.shard_for_key(k);
+                let b = ring.shard_for_key(k);
+                prop_assert!(b != victim, "key {} still routed to the removed shard", k);
+                if a != victim {
+                    prop_assert_eq!(a, b, "survivor key {} moved on scale-in", k);
+                }
+            }
+        }
+
+        /// At 128 vnodes the ring stays balanced: every member owns
+        /// something and none owns more than ~2.2x its fair share of a
+        /// large key sample.
+        #[test]
+        fn vnodes_bound_the_load_skew(
+            raw in proptest::collection::vec(0u32..256, 2..13),
+        ) {
+            let members: BTreeSet<u32> = raw.into_iter().collect();
+            prop_assume!(members.len() >= 2);
+            let ring = ring_of(&members, 128);
+            let samples = 1u64 << 14;
+            let mut counts: HashMap<u32, u64> = HashMap::new();
+            for k in 0..samples {
+                *counts.entry(ring.shard_for_key(k)).or_insert(0) += 1;
+            }
+            prop_assert_eq!(counts.len(), members.len(), "some member owns nothing");
+            let fair = samples as f64 / members.len() as f64;
+            for (&m, &c) in &counts {
+                prop_assert!(
+                    (c as f64) <= 2.2 * fair,
+                    "shard {} owns {} of {} (fair share {})", m, c, samples, fair
+                );
+            }
+        }
+    }
+}
