@@ -1,6 +1,6 @@
 //! Simulator performance harness (the perf-regression gate).
 //!
-//! Seven fixed scenarios exercise the hot paths end to end:
+//! Eight fixed scenarios exercise the hot paths end to end:
 //!
 //! * `e1_write_read_loop` — the §5 packet-buffer store/drain loop: every
 //!   frame is encapsulated into an RDMA WRITE, ring-buffered on the memory
@@ -12,6 +12,11 @@
 //!   disabled: every packet pays exactly one filter-steered bucket READ
 //!   (the direct-hash ablation survives as `lookup_miss_storm_direct`,
 //!   digest-pinned but not part of the baseline),
+//! * `remote_ops` — the same miss storm with the `RemoteOps` knob on:
+//!   every miss is one hash-probe-and-fetch op through the responder's op
+//!   engine (both candidate buckets scanned server-side, no switch-side
+//!   filter on the path), asserted exact at 1.0 RTTs-per-miss with zero
+//!   punts and every request priced through the ext-op service model,
 //! * `insert_churn` — live cuckoo inserts/deletes (scripted sliding
 //!   window) under Zipf traffic: the relocation machinery's READ-verify +
 //!   WRITE displacements priced on the same wire as the lookups, with the
@@ -418,6 +423,100 @@ pub fn lookup_miss_storm_direct(count: u64) -> PerfResult {
         sw.program::<LookupTableProgram>().stats().remote_lookups,
         count,
         "every packet must take the remote path"
+    );
+    r
+}
+
+/// The remote-op ISA leg of the miss storm: identical traffic and table to
+/// [`lookup_miss_storm`], but with the `RemoteOps` knob on — every miss
+/// issues one hash-probe-and-fetch op that the responder's op engine
+/// resolves against both candidate buckets in a single exchange. Joins the
+/// committed baseline so the op engine's modeled service cost is
+/// perf-gated alongside the verb path it replaces.
+pub fn remote_ops(count: u64) -> PerfResult {
+    const DSCP: u8 = 46;
+    const FLOWS: u16 = 256;
+    let table_port = PortId(2);
+    let mut dir = CuckooDirectory::new(CuckooConfig::for_capacity(FLOWS as u64));
+    let flows: Vec<FiveTuple> = (0..FLOWS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 80, 17))
+        .collect();
+    for f in &flows {
+        dir.install(*f, ActionEntry::set_dscp(DSCP))
+            .expect("pre-population fits");
+    }
+    let mut nic = RnicNode::new("tablesrv", RnicConfig::at(host_endpoint(2)));
+    let channel = RdmaChannel::setup(
+        switch_endpoint(),
+        table_port,
+        &mut nic,
+        ByteSize::from_bytes(dir.region_bytes()),
+    );
+    install_cuckoo_image(&mut nic, &channel, &dir);
+
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    let prog = LookupTableProgram::cuckoo(fib, channel, dir, None).with_remote_ops(true);
+
+    let mut b = SimBuilder::new(31);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let spec = WorkloadSpec {
+        src_mac: host_mac(0),
+        dst_mac: host_mac(1),
+        flows: flows.into(),
+        pick: FlowPick::RoundRobin,
+        frame_len: 256,
+        offered: Some(Rate::from_gbps(5)),
+        arrival: Arrival::Paced,
+        count,
+        seed: 9,
+        flow_id_base: 0,
+    };
+    let gen = b.add_node(Box::new(TrafficGenNode::new("client", spec)));
+    let server = b.add_node(Box::new(SinkNode::new("server")));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    b.connect(switch, table_port, table, PortId(0), link);
+
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    let r = time_run("remote_ops", &mut sim, |sim| {
+        sim.run_to_quiescence();
+    });
+    let sw: &SwitchNode = sim.node::<SwitchNode>(switch);
+    let stats = sw.program::<LookupTableProgram>().stats();
+    assert_eq!(
+        stats.remote_lookups, count,
+        "every packet must take the remote path"
+    );
+    assert_eq!(stats.slow_path, 0, "no punts in remote-ops mode: {stats:?}");
+    assert_eq!(
+        stats.rtts_per_miss(),
+        Some(1.0),
+        "one op exchange per miss: {stats:?}"
+    );
+    assert_eq!(
+        stats.reads_per_lookup(),
+        Some(1.0),
+        "one response per miss: {stats:?}"
+    );
+    let nic_stats = sim.node::<RnicNode>(table).stats();
+    assert_eq!(
+        nic_stats.ext_ops, count,
+        "every miss must run in the op engine"
+    );
+    assert_eq!(nic_stats.cpu_packets, 0, "ops must bypass the server CPU");
+    assert_eq!(
+        sim.node::<SinkNode>(server).received,
+        count,
+        "forward path lost frames"
     );
     r
 }
@@ -1344,6 +1443,7 @@ pub fn run_all() -> Vec<PerfResult> {
         best_of(REPS, || e1_write_read_loop(8_000)),
         best_of(REPS, incast_scenario),
         best_of(REPS, || lookup_miss_storm(8_000)),
+        best_of(REPS, || remote_ops(8_000)),
         best_of(REPS, || insert_churn(8_000)),
         best_of(REPS, || faa_storm(40_000)),
         best_of(REPS, || loss_sweep(6_000)),
@@ -1368,6 +1468,7 @@ mod tests {
             e1_write_read_loop(500),
             lookup_miss_storm(300),
             lookup_miss_storm_direct(300),
+            remote_ops(300),
             insert_churn(600),
             faa_storm(2_000),
             loss_sweep(600),

@@ -15,7 +15,8 @@
 
 use extmem_bench::simperf::{
     e1_write_read_loop, fabric_fanout, fabric_shard, faa_storm, incast_scenario, insert_churn,
-    lookup_miss_storm, lookup_miss_storm_direct, loss_sweep, server_failover, PerfResult,
+    lookup_miss_storm, lookup_miss_storm_direct, loss_sweep, remote_ops, server_failover,
+    PerfResult,
 };
 use extmem_sim::{with_sched_backend, SchedBackend};
 
@@ -84,6 +85,15 @@ fn lookup_miss_storm_is_backend_invariant() {
 #[test]
 fn lookup_miss_storm_direct_is_backend_invariant() {
     assert_backend_equivalent("lookup_miss_storm_direct", || lookup_miss_storm_direct(250));
+}
+
+#[test]
+fn remote_ops_is_backend_invariant() {
+    // The op engine adds a second service-time term (per-step cost times a
+    // data-dependent step count) to the NIC's busy-until bookkeeping; any
+    // backend-dependent completion ordering would show up as a digest
+    // divergence here first.
+    assert_backend_equivalent("remote_ops", || remote_ops(250));
 }
 
 #[test]

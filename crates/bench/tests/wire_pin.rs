@@ -31,3 +31,36 @@ fn direct_hash_ablation_wire_format_is_pinned() {
         r.digest, DIRECT_HASH_DIGEST
     );
 }
+
+use extmem_bench::simperf::{lookup_miss_storm, remote_ops};
+
+/// Digest of `lookup_miss_storm(500)` — the verb-mode cuckoo baseline that
+/// the remote-op ISA A/Bs against. With the `RemoteOps` knob off, the miss
+/// path must keep issuing the filter-directed one-READ-per-miss verb
+/// exchange bit-for-bit: the ablation is only meaningful if the baseline
+/// it measures stands still.
+const VERB_CUCKOO_DIGEST: u64 = 0xbd9fbaa99bc0703c;
+
+/// Digest of `remote_ops(500)` — the remote-op format itself: opcodes,
+/// extension headers, op-engine service times and completion ordering.
+const REMOTE_OPS_DIGEST: u64 = 0x94a5810ce4af495e;
+
+#[test]
+fn verb_cuckoo_ablation_wire_format_is_pinned() {
+    let r = lookup_miss_storm(500);
+    assert_eq!(
+        r.digest, VERB_CUCKOO_DIGEST,
+        "verb-mode cuckoo ablation trace drifted: got {:016x}, pinned {:016x}",
+        r.digest, VERB_CUCKOO_DIGEST
+    );
+}
+
+#[test]
+fn remote_ops_wire_format_is_pinned() {
+    let r = remote_ops(500);
+    assert_eq!(
+        r.digest, REMOTE_OPS_DIGEST,
+        "remote-op trace drifted: got {:016x}, pinned {:016x}",
+        r.digest, REMOTE_OPS_DIGEST
+    );
+}

@@ -10,7 +10,7 @@
 //! paper's initialization-only CPU involvement. Everything after setup is
 //! pure data plane.
 
-use extmem_rnic::requester::RequesterQp;
+use extmem_rnic::requester::{RemoteOp, RequesterQp};
 use extmem_rnic::RnicNode;
 use extmem_sim::TimerHandle;
 use extmem_switch::SwitchCtx;
@@ -316,6 +316,19 @@ pub enum ChannelEvent {
         /// The cookie passed to [`ReliableChannel::fetch_add`].
         cookie: u64,
     },
+    /// A remote op's response arrived (indirect READ, hash probe,
+    /// conditional WRITE, or gather/walk — one RTT each).
+    RemoteDone {
+        /// The cookie passed to [`ReliableChannel::remote_op`].
+        cookie: u64,
+        /// Op-specific flags (`EXTOP_FLAG_HIT`, `EXTOP_FLAG_SECONDARY`).
+        flags: u8,
+        /// Op-specific index (matched slot for a hash probe).
+        index: u16,
+        /// Result bytes: gathered words, the matched bucket, the observed
+        /// compare image, or the dereferenced entry.
+        data: Payload,
+    },
     /// The op was abandoned: aged out (best-effort), failed by a NAK
     /// (best-effort), or in flight when the channel failed over.
     OpFailed {
@@ -343,6 +356,14 @@ enum OpKind {
     Atomic {
         va: u64,
         add: u64,
+    },
+    /// A remote op (§"remote-op ISA"): the full op description is kept so a
+    /// retransmission — or a reissue against a failover replica under a
+    /// different rkey — rebuilds the request verbatim. `done` buffers the
+    /// response until completion, mirroring a READ's `got`.
+    Remote {
+        op: RemoteOp,
+        done: Option<(u8, u16, Payload)>,
     },
 }
 
@@ -614,6 +635,20 @@ impl ReliableChannel {
         self.accept(ctx, cookie, OpKind::Atomic { va, add })
     }
 
+    /// Issue a remote op (indirect READ, hash-probe-and-fetch, conditional
+    /// WRITE, gather/walk). The op describes a whole dependent-access chain
+    /// that the responder NIC executes locally, so the chain costs one RTT
+    /// regardless of its depth. Completion arrives as
+    /// [`ChannelEvent::RemoteDone`]. Returns `false` once failed over.
+    pub fn remote_op(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        op: RemoteOp,
+        cookie: u64,
+    ) -> bool {
+        self.accept(ctx, cookie, OpKind::Remote { op, done: None })
+    }
+
     /// Admit an op: transmit immediately while the window has room, park it
     /// in the queue otherwise (queued ops launch as the window drains, in
     /// acceptance order). Best-effort channels skip the window entirely.
@@ -671,6 +706,11 @@ impl ReliableChannel {
                 1,
                 OpKind::Atomic { va, add },
             ),
+            OpKind::Remote { op, .. } => (
+                self.inner.qp.remote_op(self.inner.rkey, &op),
+                1,
+                OpKind::Remote { op, done: None },
+            ),
         };
         self.outstanding.push_back(Outstanding {
             first_psn: req.bth.psn,
@@ -714,6 +754,17 @@ impl ReliableChannel {
                 self.on_atomic_ack(roce.bth.psn, events);
                 true
             }
+            Opcode::ExtOpResp => {
+                let RoceExt::ExtOpAck(aeth, ack) = roce.ext else {
+                    return false;
+                };
+                if aeth.is_ack() {
+                    self.on_ext_op_resp(roce.bth.psn, ack.flags, ack.index, &roce.payload, events);
+                } else {
+                    self.on_nak(ctx, roce.bth.psn, events);
+                }
+                true
+            }
             Opcode::Acknowledge => {
                 let RoceExt::Aeth(aeth) = roce.ext else {
                     return false;
@@ -748,7 +799,13 @@ impl ReliableChannel {
     fn complete_at(&mut self, idx: usize, events: &mut Vec<ChannelEvent>) {
         let mut i = 0;
         for _ in 0..idx {
-            if matches!(self.outstanding[i].kind, OpKind::Read { .. }) {
+            if matches!(
+                self.outstanding[i].kind,
+                OpKind::Read { .. } | OpKind::Remote { .. }
+            ) {
+                // Response-bearing ops stay outstanding: the responder has
+                // executed them, but their data may still be in flight (or
+                // lost — the timer re-issues them).
                 i += 1;
                 continue;
             }
@@ -762,6 +819,15 @@ impl ReliableChannel {
         events.push(match op.kind {
             OpKind::Write { .. } => ChannelEvent::WriteDone { cookie: op.cookie },
             OpKind::Atomic { .. } => ChannelEvent::AtomicDone { cookie: op.cookie },
+            OpKind::Remote { done, .. } => {
+                let (flags, index, data) = done.expect("completed remote op has its response");
+                ChannelEvent::RemoteDone {
+                    cookie: op.cookie,
+                    flags,
+                    index,
+                    data,
+                }
+            }
             OpKind::Read { mut got, .. } => {
                 let data = if got.len() == 1 {
                     // Single-packet response: hand back the shared buffer.
@@ -809,6 +875,34 @@ impl ReliableChannel {
         }
     }
 
+    /// A remote op's response: completes exactly the matching op (exact-PSN
+    /// match, span is always 1). Like a READ response, it proves execution
+    /// *and* delivers the data in one packet.
+    fn on_ext_op_resp(
+        &mut self,
+        psn: u32,
+        flags: u8,
+        index: u16,
+        payload: &Payload,
+        events: &mut Vec<ChannelEvent>,
+    ) {
+        self.stats.acks += 1;
+        let pos = self
+            .outstanding
+            .iter()
+            .position(|op| matches!(op.kind, OpKind::Remote { .. }) && op.first_psn == psn);
+        let Some(pos) = pos else {
+            // A replayed duplicate of an op already completed.
+            self.stats.duplicate_drops += 1;
+            return;
+        };
+        self.progress();
+        if let OpKind::Remote { done, .. } = &mut self.outstanding[pos].kind {
+            *done = Some((flags, index, payload.clone()));
+        }
+        self.complete_at(pos, events);
+    }
+
     fn on_atomic_ack(&mut self, psn: u32, events: &mut Vec<ChannelEvent>) {
         self.stats.acks += 1;
         let pos = self
@@ -844,7 +938,7 @@ impl ReliableChannel {
                 break;
             }
             match op.kind {
-                OpKind::Read { .. } => idx += 1,
+                OpKind::Read { .. } | OpKind::Remote { .. } => idx += 1,
                 OpKind::Write { .. } => {
                     let op = self.outstanding.remove(idx).unwrap();
                     events.push(ChannelEvent::WriteDone { cookie: op.cookie });
@@ -879,7 +973,7 @@ impl ReliableChannel {
                     break;
                 }
                 match op.kind {
-                    OpKind::Read { .. } => idx += 1,
+                    OpKind::Read { .. } | OpKind::Remote { .. } => idx += 1,
                     OpKind::Write { .. } => {
                         let op = self.outstanding.remove(idx).unwrap();
                         events.push(ChannelEvent::WriteDone { cookie: op.cookie });
@@ -943,6 +1037,9 @@ impl ReliableChannel {
                     self.inner
                         .qp
                         .fetch_add_at(op.first_psn, self.inner.rkey, *va, *add)
+                }
+                OpKind::Remote { op: rop, .. } => {
+                    self.inner.qp.remote_op_at(op.first_psn, self.inner.rkey, rop)
                 }
             };
             self.transmit(ctx, &req);

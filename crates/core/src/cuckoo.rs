@@ -80,6 +80,19 @@ pub fn encode_slot(key: &FiveTuple, action: &ActionEntry) -> [u8; SLOT_BYTES] {
     b
 }
 
+/// Length of the slot prefix that identifies a key on the wire:
+/// `[tag:1][key:13]`. The remote-op hash probe matches exactly these bytes;
+/// the nonzero tag means an all-zero (empty) slot can never match.
+pub const SLOT_KEY_LEN: usize = 1 + KEY_LEN;
+
+/// The `[tag][key]` slot prefix a remote-op hash probe matches against.
+pub fn slot_key(key: &FiveTuple) -> [u8; SLOT_KEY_LEN] {
+    let mut b = [0u8; SLOT_KEY_LEN];
+    b[0] = 1;
+    b[1..].copy_from_slice(&key.to_bytes());
+    b
+}
+
 /// Decode a 32-byte slot; `None` when the slot is empty (tag byte zero).
 pub fn decode_slot(b: &[u8]) -> Option<(FiveTuple, ActionEntry)> {
     if b.len() < SLOT_BYTES || b[0] == 0 {

@@ -340,7 +340,9 @@ impl FaaEngine {
                     }
                 }
                 ChannelEvent::Failed => {}
-                ChannelEvent::WriteDone { .. } | ChannelEvent::ReadDone { .. } => {}
+                ChannelEvent::WriteDone { .. }
+                | ChannelEvent::ReadDone { .. }
+                | ChannelEvent::RemoteDone { .. } => {}
             }
         }
     }

@@ -35,12 +35,13 @@
 
 use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
 use crate::cuckoo::{
-    decode_slot, encode_slot, slot_va, CuckooDirectory, Step, BUCKET_BYTES, SLOTS_PER_BUCKET,
-    SLOT_BYTES,
+    decode_slot, encode_slot, slot_key, slot_va, CuckooDirectory, Step, BUCKET_BYTES,
+    SLOTS_PER_BUCKET, SLOT_BYTES,
 };
 use crate::fib::Fib;
 use crate::pool::{PoolConfig, PoolStats, ReplicatedPool};
-use extmem_rnic::RnicNode;
+use extmem_rnic::{RemoteOp, RnicNode};
+use extmem_wire::extop::{EXTOP_FLAG_HIT, EXTOP_FLAG_SECONDARY};
 use extmem_switch::filter::ChoiceFilter;
 use extmem_switch::hash::flow_index;
 use extmem_switch::switch::RECIRC_PORT;
@@ -367,8 +368,13 @@ pub struct LookupStats {
     /// Bucket READs whose response held no matching key (an unknown flow,
     /// or a filter false positive steering a non-resident key to h2).
     pub bucket_misses: u64,
-    /// Probes the filter steered to the secondary bucket.
+    /// Probes resolved against the secondary bucket (filter-steered in verb
+    /// mode; responder-reported hits in remote-op mode).
     pub filter_secondary_probes: u64,
+    /// Request round trips issued by the data-plane miss path (bucket READs
+    /// in verb mode, hash-probe-and-fetch ops in remote-op mode, WRITE+READ
+    /// bounce pairs in direct-hash mode).
+    pub lookup_rtts: u64,
     /// Cuckoo displacements executed on the wire (READ-verify + WRITE).
     pub relocation_moves: u64,
     /// Longest relocation chain any single insert needed.
@@ -403,6 +409,20 @@ impl LookupStats {
             self.bucket_reads as f64 / self.remote_lookups as f64
         }
     }
+
+    /// Round trips per remote miss, `None` before any miss. 1.0 in cuckoo
+    /// mode either way; the remote-op probe additionally covers *both*
+    /// candidate buckets in that one trip, so a filter false positive can
+    /// no longer punt a resident key to the slow path.
+    pub fn rtts_per_miss(&self) -> Option<f64> {
+        (self.remote_lookups > 0).then(|| self.lookup_rtts as f64 / self.remote_lookups as f64)
+    }
+
+    /// READ/probe responses consumed per remote miss, `None` before any
+    /// miss.
+    pub fn reads_per_lookup(&self) -> Option<f64> {
+        (self.remote_lookups > 0).then(|| self.responses as f64 / self.remote_lookups as f64)
+    }
 }
 
 /// The lookup-table pipeline program.
@@ -432,6 +452,10 @@ pub struct LookupTableProgram {
     mode: TableMode,
     /// Cuckoo-mode state (`Some` iff `mode == TableMode::Cuckoo`).
     cuckoo: Option<CuckooState>,
+    /// Use the RNIC remote-op engine: misses become hash-probe-and-fetch
+    /// ops (responder scans both candidate buckets) and relocation `Move`s
+    /// become conditional WRITEs — each one request round trip.
+    remote_ops: bool,
     stats: LookupStats,
 }
 
@@ -528,6 +552,7 @@ impl LookupTableProgram {
             events: Vec::new(),
             mode: TableMode::DirectHash,
             cuckoo: None,
+            remote_ops: false,
             stats: LookupStats::default(),
         }
     }
@@ -614,6 +639,7 @@ impl LookupTableProgram {
                 churn_next: 0,
                 reseeding: false,
             }),
+            remote_ops: false,
             stats: LookupStats::default(),
         }
     }
@@ -625,6 +651,23 @@ impl LookupTableProgram {
         let cs = self.cuckoo.as_mut().expect("churn needs cuckoo mode");
         cs.churn = Some(script);
         self
+    }
+
+    /// Run misses and relocations on the RNIC's remote-op engine (cuckoo
+    /// mode): each miss issues one hash-probe-and-fetch that checks both
+    /// candidate buckets server-side, and each relocation `Move` collapses
+    /// its verify READ + destination WRITE into one conditional WRITE. Off
+    /// (the default) keeps the one-sided verb wire behavior as the
+    /// ablation baseline.
+    pub fn with_remote_ops(mut self, on: bool) -> LookupTableProgram {
+        assert_eq!(self.mode, TableMode::Cuckoo, "remote ops need cuckoo mode");
+        self.remote_ops = on;
+        self
+    }
+
+    /// Whether the remote-op engine is in use for misses and relocations.
+    pub fn remote_ops(&self) -> bool {
+        self.remote_ops
     }
 
     /// Switch the miss path to the §7 recirculation alternative. Requires
@@ -715,9 +758,14 @@ impl LookupTableProgram {
         cs.control.push_back(ControlOp::Remove(key));
     }
 
-    /// Cuckoo miss path: probe the live filter, READ exactly one bucket.
+    /// Cuckoo miss path. Verb mode: probe the live filter, READ exactly one
+    /// bucket. Remote-op mode: issue one hash-probe-and-fetch naming both
+    /// candidate buckets — the responder scans them in place, so the SRAM
+    /// filter drops off the miss path entirely and a filter false positive
+    /// can no longer misdirect the probe.
     fn cuckoo_lookup(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, flow: FiveTuple, pkt: Packet) {
         let base = self.pool.base_va();
+        let remote_ops = self.remote_ops;
         let cs = self.cuckoo.as_mut().expect("cuckoo state");
         let buckets = cs.dir.config().buckets;
         let bucket = crate::cuckoo::probe_with(&cs.live_filter, &flow, buckets);
@@ -728,6 +776,24 @@ impl LookupTableProgram {
         cs.pending.insert(cookie, (flow, secondary, pkt));
         self.stats.remote_lookups += 1;
         self.stats.bucket_reads += 1;
+        self.stats.lookup_rtts += 1;
+        if remote_ops {
+            debug_assert!(buckets <= u32::MAX as u64, "bucket index fits the probe");
+            self.pool.remote_op(
+                ctx,
+                RemoteOp::HashProbe {
+                    base_va: base,
+                    b1: b1 as u32,
+                    b2: b2 as u32,
+                    bucket_bytes: BUCKET_BYTES as u16,
+                    slot_bytes: SLOT_BYTES as u16,
+                    key_off: 0,
+                    key: Payload::copy_from_slice(&slot_key(&flow)),
+                },
+                cookie,
+            );
+            return;
+        }
         if secondary {
             self.stats.filter_secondary_probes += 1;
         }
@@ -782,6 +848,61 @@ impl LookupTableProgram {
         }
     }
 
+    /// A hash-probe response (remote-op mode). The responder already
+    /// scanned both candidate buckets; on a hit `index` names the matching
+    /// slot within the returned bucket image.
+    fn cuckoo_probe_done(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        cookie: u64,
+        flags: u8,
+        index: u16,
+        data: &Payload,
+    ) {
+        self.stats.responses += 1;
+        let Some((flow, _, pkt)) = self
+            .cuckoo
+            .as_mut()
+            .expect("cuckoo state")
+            .pending
+            .remove(&cookie)
+        else {
+            return;
+        };
+        let mut found = None;
+        if flags & EXTOP_FLAG_HIT != 0 {
+            let at = index as usize * SLOT_BYTES;
+            if data.len() >= at + SLOT_BYTES {
+                if let Some((key, action)) = decode_slot(&data[at..at + SLOT_BYTES]) {
+                    if key == flow {
+                        found = Some(action);
+                    }
+                }
+            }
+        }
+        match found {
+            Some(action) => {
+                if flags & EXTOP_FLAG_SECONDARY != 0 {
+                    self.stats.filter_secondary_probes += 1;
+                }
+                if let Some(cache) = &mut self.cache {
+                    cache.insert(flow, action);
+                }
+                self.apply_and_forward(ctx, pkt, action);
+            }
+            None => {
+                // Unknown flow: a definitive miss — both buckets were
+                // checked in the one round trip, so there is no
+                // false-positive second probe to fall back to.
+                self.stats.bucket_misses += 1;
+                self.stats.slow_path += 1;
+                if let Some(port) = self.fib.egress_for(&pkt) {
+                    ctx.enqueue(port, pkt);
+                }
+            }
+        }
+    }
+
     fn next_ctrl_cookie(&mut self) -> u64 {
         let cs = self.cuckoo.as_mut().expect("cuckoo state");
         let cookie = CTRL_BIT | cs.next_ctrl;
@@ -797,9 +918,36 @@ impl LookupTableProgram {
     fn issue_step(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, step: Step) {
         let base = self.pool.base_va();
         match step {
-            Step::Move { from, .. } => {
+            Step::Move {
+                from,
+                key,
+                action,
+                to,
+                ..
+            } => {
                 let cookie = self.next_ctrl_cookie();
-                self.pool.read(ctx, slot_va(base, from), SLOT_BYTES as u32, cookie);
+                if self.remote_ops {
+                    // The verify READ and destination WRITE collapse into
+                    // one conditional WRITE: the responder compares the
+                    // source slot against the directory's bytes and
+                    // installs them at the destination only on a match.
+                    // The filter flip and mirror fan-out happen on the
+                    // response (the pool fans the *decided* image out, so
+                    // mirrors never re-run the condition).
+                    let expected = encode_slot(&key, &action);
+                    self.pool.remote_op(
+                        ctx,
+                        RemoteOp::CondWrite {
+                            cmp_va: slot_va(base, from),
+                            write_va: slot_va(base, to),
+                            compare: Payload::copy_from_slice(&expected),
+                            write: Payload::copy_from_slice(&expected),
+                        },
+                        cookie,
+                    );
+                } else {
+                    self.pool.read(ctx, slot_va(base, from), SLOT_BYTES as u32, cookie);
+                }
                 self.cuckoo.as_mut().expect("cuckoo state").verify = Some((step, cookie));
             }
             Step::Write {
@@ -859,6 +1007,41 @@ impl LookupTableProgram {
             let base = self.pool.base_va();
             self.pool
                 .write(ctx, slot_va(base, to), expected.to_vec(), true, wc);
+            self.cuckoo
+                .as_mut()
+                .expect("cuckoo state")
+                .live_filter
+                .insert(&key);
+            self.stats.relocation_moves += 1;
+        }
+    }
+
+    /// A relocation conditional WRITE came back (remote-op mode). On a
+    /// match the responder already installed the destination bytes and the
+    /// pool fanned the decided image to the mirrors; on a mismatch nothing
+    /// was written — the directory is authoritative, so count the drift
+    /// and write the correct bytes anyway.
+    fn ctrl_cond_done(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, cookie: u64, flags: u8) {
+        let cs = self.cuckoo.as_mut().expect("cuckoo state");
+        let Some((step, vc)) = cs.verify else {
+            return;
+        };
+        if vc != cookie {
+            return;
+        }
+        cs.verify = None;
+        if let Step::Move {
+            key, action, to, ..
+        } = step
+        {
+            if flags & EXTOP_FLAG_HIT == 0 {
+                self.stats.verify_mismatches += 1;
+                let wc = self.next_ctrl_cookie();
+                let base = self.pool.base_va();
+                let expected = encode_slot(&key, &action);
+                self.pool
+                    .write(ctx, slot_va(base, to), expected.to_vec(), true, wc);
+            }
             self.cuckoo
                 .as_mut()
                 .expect("cuckoo state")
@@ -994,6 +1177,9 @@ impl LookupTableProgram {
     /// Remote lookup: bounce the packet through the flow's slot.
     fn remote_lookup(&mut self, ctx: &mut SwitchCtx<'_, '_, '_>, flow: FiveTuple, pkt: Packet) {
         self.stats.remote_lookups += 1;
+        // The WRITE and READ are issued back-to-back into the FIFO channel,
+        // so the bounce pair costs one round trip of latency.
+        self.stats.lookup_rtts += 1;
         let slot = self.slot_of(&flow);
         let entry_va = self.pool.base_va() + slot * self.entry_size;
 
@@ -1035,6 +1221,7 @@ impl LookupTableProgram {
         if self.pending_reads.insert(slot) {
             self.stats.remote_lookups += 1;
             self.stats.action_only_reads += 1;
+            self.stats.lookup_rtts += 1;
             let entry_va = self.pool.base_va() + slot * self.entry_size;
             self.pool.read(ctx, entry_va, ACTION_LEN as u32, slot);
         }
@@ -1110,6 +1297,18 @@ impl LookupTableProgram {
                         }
                     },
                 },
+                ChannelEvent::RemoteDone {
+                    cookie,
+                    flags,
+                    index,
+                    data,
+                } => {
+                    if cookie & CTRL_BIT != 0 {
+                        self.ctrl_cond_done(ctx, cookie, flags);
+                    } else {
+                        self.cuckoo_probe_done(ctx, cookie, flags, index, &data);
+                    }
+                }
                 ChannelEvent::WriteDone { .. } => {}
                 ChannelEvent::AtomicDone { .. } => {}
                 ChannelEvent::OpFailed { cookie } => {

@@ -34,7 +34,7 @@ use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, R
 use crate::pool::{PoolConfig, PoolStats, ReplicatedPool};
 use crate::fib::Fib;
 use crate::lookup::{ActionEntry, ActionKind, ACTION_LEN};
-use extmem_rnic::RnicNode;
+use extmem_rnic::{RemoteOp, RnicNode};
 use extmem_switch::hash::hash_to_index;
 use extmem_switch::table::{ExactMatchTable, Replacement};
 use extmem_switch::{PipelineProgram, SwitchCtx};
@@ -55,9 +55,13 @@ pub struct LpmStats {
     pub lookups_failed: u64,
     /// Packets answered by the local route cache.
     pub cache_hits: u64,
-    /// Remote lookups performed (each costs `levels` READs).
+    /// Remote lookups performed (each costs `levels` READs in verb mode,
+    /// one gather/walk op in remote-op mode).
     pub remote_lookups: u64,
-    /// READ responses consumed.
+    /// Request round trips issued for remote lookups (first transmissions
+    /// only; retransmits are counted by the channel layer).
+    pub lookup_rtts: u64,
+    /// READ / remote-op responses consumed.
     pub responses: u64,
     /// Lookups that matched no rung (forwarded by plain L2 / dropped).
     pub no_route: u64,
@@ -72,6 +76,23 @@ pub struct LpmStats {
     pub channel: ChannelStats,
     /// Replication-layer counters (all zero for single-server ladders).
     pub pool: PoolStats,
+}
+
+impl LpmStats {
+    /// Round trips per remote lookup: `levels` in verb mode, 1.0 in
+    /// remote-op mode. `None` before the first miss.
+    pub fn rtts_per_miss(&self) -> Option<f64> {
+        (self.remote_lookups > 0)
+            .then(|| self.lookup_rtts as f64 / self.remote_lookups as f64)
+    }
+
+    /// Responses consumed per remote lookup (rung READ responses in verb
+    /// mode, one gather response in remote-op mode). `None` before the
+    /// first miss.
+    pub fn reads_per_lookup(&self) -> Option<f64> {
+        (self.remote_lookups > 0)
+            .then(|| self.responses as f64 / self.remote_lookups as f64)
+    }
 }
 
 /// One in-flight lookup: the waiting packet plus the responses collected
@@ -97,6 +118,9 @@ pub struct RemoteLpmProgram {
     /// `id × rungs + rung` channel cookie.
     pending: HashMap<u64, PendingLookup>,
     next_id: u64,
+    /// Collapse each miss's rung ladder into a single gather/walk remote
+    /// op (one RTT per miss) instead of per-rung READs.
+    remote_ops: bool,
     /// Channel failed over: misses forward FIB-only.
     degraded: bool,
     /// Completion scratch, reused across calls.
@@ -186,6 +210,7 @@ impl RemoteLpmProgram {
             cache: cache_capacity.map(|c| ExactMatchTable::new(c, Replacement::Lru)),
             pending: HashMap::new(),
             next_id: 0,
+            remote_ops: false,
             degraded: false,
             events: Vec::new(),
             stats: LpmStats::default(),
@@ -195,6 +220,15 @@ impl RemoteLpmProgram {
     /// Override the reliability policy (before traffic flows).
     pub fn with_reliability(mut self, rc: ReliableConfig) -> RemoteLpmProgram {
         self.pool.set_config(rc);
+        self
+    }
+
+    /// Toggle the remote-op miss path: `true` collapses each miss's rung
+    /// ladder into one gather/walk op executed by the responder NIC — one
+    /// RTT per miss regardless of ladder depth — instead of `levels`
+    /// parallel READs. Off by default (the verb baseline).
+    pub fn with_remote_ops(mut self, on: bool) -> RemoteLpmProgram {
+        self.remote_ops = on;
         self
     }
 
@@ -308,6 +342,27 @@ impl RemoteLpmProgram {
                         self.stats.lookups_failed += 1;
                     }
                 }
+                ChannelEvent::RemoteDone { cookie, data, .. } => {
+                    // One gather response resolves the whole ladder: rung
+                    // `i`'s action entry is bytes `i*16..(i+1)*16`.
+                    self.stats.responses += 1;
+                    let rungs = self.levels.len();
+                    let id = cookie / rungs as u64;
+                    let Some(lookup) = self.pending.get_mut(&id) else {
+                        continue;
+                    };
+                    for (i, slot) in lookup.collected.iter_mut().enumerate() {
+                        let at = i * ACTION_LEN;
+                        let entry = match data.as_slice().get(at..at + ACTION_LEN) {
+                            Some(b) => ActionEntry::from_bytes(b.try_into().unwrap()),
+                            None => ActionEntry::NONE,
+                        };
+                        *slot = Some(entry);
+                    }
+                    lookup.missing = 0;
+                    let done = self.pending.remove(&id).unwrap();
+                    self.resolve(ctx, done);
+                }
                 ChannelEvent::Failed => {
                     self.degraded = true;
                 }
@@ -360,16 +415,33 @@ impl PipelineProgram for RemoteLpmProgram {
             }
             return;
         }
-        // Remote lookup: one action READ per rung, longest prefix first,
-        // each cookie-tagged so the response fills its own rung slot.
+        // Remote lookup. Verb mode: one action READ per rung, longest
+        // prefix first, each cookie-tagged so the response fills its own
+        // rung slot. Remote-op mode: the whole ladder rides in one
+        // gather/walk op (cookie `id * rungs`, so failure attribution is
+        // uniform across modes).
         self.stats.remote_lookups += 1;
         let rungs = self.levels.len();
         let id = self.next_id;
         self.next_id += 1;
-        for i in 0..rungs {
-            let va = self.slot_va(i, dst);
-            self.pool
-                .read(ctx, va, ACTION_LEN as u32, id * rungs as u64 + i as u64);
+        if self.remote_ops {
+            let vas = (0..rungs).map(|i| self.slot_va(i, dst)).collect();
+            self.pool.remote_op(
+                ctx,
+                RemoteOp::Gather {
+                    word_len: ACTION_LEN as u16,
+                    vas,
+                },
+                id * rungs as u64,
+            );
+            self.stats.lookup_rtts += 1;
+        } else {
+            for i in 0..rungs {
+                let va = self.slot_va(i, dst);
+                self.pool
+                    .read(ctx, va, ACTION_LEN as u32, id * rungs as u64 + i as u64);
+                self.stats.lookup_rtts += 1;
+            }
         }
         self.pending.insert(
             id,
@@ -506,8 +578,10 @@ mod tests {
         }
     }
 
-    #[test]
-    fn longest_prefix_wins_end_to_end() {
+    /// Three-rung ladder with one route per rung, four misses + one cache
+    /// hit; returns the sink's DSCP sequence, the program stats, and the
+    /// server NIC stats.
+    fn run_ladder(remote_ops: bool) -> (Vec<u8>, LpmStats, extmem_rnic::RnicStats) {
         // Deliberately unsorted with a duplicate: both the program and the
         // install helper normalize, so the layouts must still agree.
         let levels = vec![16u8, 32, 24, 24];
@@ -537,7 +611,7 @@ mod tests {
 
         let mut fib = Fib::new(8);
         fib.install(MacAddr::local(1), PortId(0));
-        let prog = RemoteLpmProgram::new(fib, channel, levels, Some(16));
+        let prog = RemoteLpmProgram::new(fib, channel, levels, Some(16)).with_remote_ops(remote_ops);
 
         let mut b = SimBuilder::new(7);
         let switch = b.add_node(Box::new(SwitchNode::new(
@@ -568,15 +642,50 @@ mod tests {
         sim.schedule_timer(gen, TimeDelta::ZERO, 0);
         sim.run_until(Time::from_millis(2));
 
-        let sink = sim.node::<Sink>(sink);
-        assert_eq!(sink.dscps, vec![32, 24, 10, 32], "wrong rung selected");
+        let dscps = sim.node::<Sink>(sink).dscps.clone();
         let sw: &SwitchNode = sim.node(switch);
         let s = sw.program::<RemoteLpmProgram>().stats();
+        let nic_stats = sim.node::<RnicNode>(srv).stats();
+        (dscps, s, nic_stats)
+    }
+
+    #[test]
+    fn longest_prefix_wins_end_to_end() {
+        let (dscps, s, nic) = run_ladder(false);
+        assert_eq!(dscps, vec![32, 24, 10, 32], "wrong rung selected");
         assert_eq!(s.remote_lookups, 4, "repeat must be a cache hit: {s:?}");
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.responses, 12, "3 rungs x 4 lookups");
+        assert_eq!(s.rtts_per_miss(), Some(3.0), "one RTT per rung: {s:?}");
+        assert_eq!(s.reads_per_lookup(), Some(3.0));
         assert_eq!(s.no_route, 1);
         assert_eq!(s.naks, 0);
-        assert_eq!(sim.node::<RnicNode>(srv).stats().cpu_packets, 0);
+        assert_eq!(nic.cpu_packets, 0);
+        assert_eq!(nic.ext_ops, 0, "verb baseline must not use remote ops");
+    }
+
+    #[test]
+    fn remote_ops_ladder_is_one_rtt_per_miss() {
+        let (dscps, s, nic) = run_ladder(true);
+        // Same routing outcomes as the verb baseline…
+        assert_eq!(dscps, vec![32, 24, 10, 32], "wrong rung selected");
+        assert_eq!(s.remote_lookups, 4, "repeat must be a cache hit: {s:?}");
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.no_route, 1);
+        assert_eq!(s.naks, 0);
+        // …but the whole ladder rides one gather/walk op per miss.
+        assert_eq!(s.responses, 4, "one gather response per lookup");
+        assert_eq!(s.rtts_per_miss(), Some(1.0), "the tentpole metric: {s:?}");
+        assert_eq!(s.reads_per_lookup(), Some(1.0));
+        assert_eq!(nic.cpu_packets, 0, "remote ops stay one-sided");
+        assert_eq!(nic.ext_ops, 4, "one gather per miss");
+        assert_eq!(nic.ext_op_steps, 12, "3 rung reads per gather");
+    }
+
+    #[test]
+    fn derived_stats_are_none_before_traffic() {
+        let s = LpmStats::default();
+        assert_eq!(s.rtts_per_miss(), None);
+        assert_eq!(s.reads_per_lookup(), None);
     }
 }

@@ -33,7 +33,9 @@
 use crate::channel::{ChannelEvent, ChannelStats, RdmaChannel, ReliableChannel, ReliableConfig};
 use crate::fib::Fib;
 use crate::pool::{PoolConfig, PoolStats, ReplicatedPool};
+use extmem_rnic::RemoteOp;
 use extmem_switch::{PipelineProgram, SwitchCtx};
+use extmem_wire::extop::IndirectMode;
 use extmem_types::{PortId, TimeDelta};
 use extmem_wire::roce::RocePacket;
 use extmem_wire::{Packet, Payload};
@@ -134,6 +136,10 @@ pub struct PacketBufferProgram {
     reorder: BTreeMap<u64, Option<Packet>>,
     /// A channel failed over: stop detouring, drain what remains.
     degraded: bool,
+    /// Load via the RNIC's length-prefixed indirect READ: the responder
+    /// reads the entry header in place and returns exactly the stored
+    /// packet, not the fixed-size entry.
+    remote_ops: bool,
     /// Completion scratch, reused across calls.
     events: Vec<ChannelEvent>,
     stats: PacketBufferStats,
@@ -277,6 +283,7 @@ impl PacketBufferProgram {
             rdone: 0,
             reorder: BTreeMap::new(),
             degraded: false,
+            remote_ops: false,
             events: Vec::new(),
             stats: PacketBufferStats::default(),
         }
@@ -305,6 +312,22 @@ impl PacketBufferProgram {
             pool.set_config(rc);
         }
         self
+    }
+
+    /// Load ring entries with the RNIC's indirect-READ remote op: the
+    /// responder dereferences the `[idx: u32][len: u16]` entry header in
+    /// place and returns exactly `len` packet bytes, so the response sheds
+    /// the fixed-size entry's slack and a future variable-size layout
+    /// needs no header-then-body READ chain. Off (the default) keeps the
+    /// plain one-sided READ as the ablation baseline.
+    pub fn with_remote_ops(mut self, on: bool) -> PacketBufferProgram {
+        self.remote_ops = on;
+        self
+    }
+
+    /// Whether loads use the indirect-READ remote op.
+    pub fn remote_ops(&self) -> bool {
+        self.remote_ops
     }
 
     /// Counters.
@@ -449,7 +472,22 @@ impl PacketBufferProgram {
             {
                 let idx = self.next_read_idx;
                 let (ch, va) = self.locate(idx);
-                if self.pools[ch].read(ctx, va, self.entry_size as u32, idx) {
+                let issued = if self.remote_ops {
+                    self.pools[ch].remote_op(
+                        ctx,
+                        RemoteOp::Indirect {
+                            va,
+                            mode: IndirectMode::LengthPrefixed,
+                            len_off: 4,
+                            hdr_len: ENTRY_HDR as u16,
+                            max_len: self.entry_size as u32 - ENTRY_HDR as u32,
+                        },
+                        idx,
+                    )
+                } else {
+                    self.pools[ch].read(ctx, va, self.entry_size as u32, idx)
+                };
+                if issued {
                     self.stats.reads_issued += 1;
                 } else {
                     self.reorder.entry(idx).or_insert(None);
@@ -551,6 +589,11 @@ impl PacketBufferProgram {
         for ev in events.drain(..) {
             match ev {
                 ChannelEvent::ReadDone { cookie, data } => self.handle_entry(ctx, cookie, data),
+                // An indirect-READ load: the payload is the exact
+                // `[idx][len][packet]` entry prefix, validated the same way.
+                ChannelEvent::RemoteDone { cookie, data, .. } => {
+                    self.handle_entry(ctx, cookie, data)
+                }
                 ChannelEvent::WriteDone { .. } | ChannelEvent::AtomicDone { .. } => {}
                 ChannelEvent::OpFailed { cookie } => {
                     // The entry's WRITE or READ exhausted its retries: the
@@ -725,6 +768,7 @@ mod tests {
         n_servers: usize,
         server_drop: f64,
         seed: u64,
+        remote_ops: bool,
     ) -> Rig {
         let switch_ep = extmem_wire::roce::RoceEndpoint {
             mac: MacAddr::local(100),
@@ -754,7 +798,8 @@ mod tests {
             mode,
             8,
             TimeDelta::from_micros(50),
-        );
+        )
+        .with_remote_ops(remote_ops);
 
         let mut b = SimBuilder::new(seed);
         let source = b.add_node(Box::new(Source {
@@ -809,7 +854,7 @@ mod tests {
     }
 
     fn rig(mode: Mode, n: u32, size: usize, gap_ns: u64, region: ByteSize) -> Rig {
-        rig_full(mode, n, size, gap_ns, region, 40, 1, 0.0, 7)
+        rig_full(mode, n, size, gap_ns, region, 40, 1, 0.0, 7, false)
     }
 
     fn prog_stats(rig: &Rig) -> PacketBufferStats {
@@ -892,6 +937,7 @@ mod tests {
             1,
             0.0,
             7,
+            false,
         );
         r.sim.run_to_quiescence();
         let s = prog_stats(&r);
@@ -920,6 +966,7 @@ mod tests {
             2,
             0.0,
             11,
+            false,
         );
         r.sim.run_until(Time::from_micros(200));
         let s = prog_stats(&r);
@@ -996,6 +1043,53 @@ mod tests {
     }
 
     #[test]
+    fn remote_ops_load_trims_to_packet_length() {
+        // Same store/load flow as the manual-mode test, but loads ride the
+        // length-prefixed indirect READ: the responder dereferences each
+        // entry's `[idx][len]` header in place and returns exactly the
+        // stored packet, so response traffic sheds the fixed-entry slack.
+        let mut r = rig_full(
+            Mode::Manual,
+            50,
+            1000,
+            300,
+            ByteSize::from_mb(1),
+            40,
+            1,
+            0.0,
+            7,
+            true,
+        );
+        r.sim.run_until(Time::from_micros(100));
+        r.sim.schedule_timer(
+            r.switch,
+            TimeDelta::ZERO,
+            program_token(TOKEN_START_LOADING),
+        );
+        r.sim.run_to_quiescence();
+        let s = prog_stats(&r);
+        assert_eq!(s.stored, 50);
+        assert_eq!(s.loaded, 50);
+        assert_eq!(s.lost_entries, 0);
+        assert_eq!(s.stale_skipped, 0);
+        assert_eq!(s.naks, 0);
+        let sink = r.sim.node::<Sink>(r.sink);
+        assert_eq!(sink.corrupt, 0);
+        assert_eq!(sink.seqs, (0..50).collect::<Vec<_>>(), "FIFO order violated");
+        let nic = r.sim.node::<RnicNode>(r.memsrvs[0]).stats();
+        assert_eq!(nic.cpu_packets, 0, "indirect loads stay one-sided");
+        assert_eq!(nic.reads, 0, "loads must not use plain READs");
+        assert_eq!(nic.ext_ops, 50, "one indirect READ per entry");
+        // Each response carries header + 1000-byte frame, not the full
+        // 2048-byte entry.
+        assert!(
+            nic.ext_op_bytes < 50 * 2048,
+            "responses must shed entry slack: {}",
+            nic.ext_op_bytes
+        );
+    }
+
+    #[test]
     fn lossy_channel_recovers_exactly() {
         let mut r = rig_full(
             Mode::Manual,
@@ -1007,6 +1101,7 @@ mod tests {
             1,
             0.05,
             1234,
+            false,
         );
         r.sim.run_until(Time::from_micros(500));
         r.sim.schedule_timer(

@@ -31,7 +31,9 @@
 //! primitives pay nothing.
 
 use crate::channel::{ChannelEvent, ReliableChannel};
+use extmem_rnic::RemoteOp;
 use extmem_switch::SwitchCtx;
+use extmem_wire::extop::EXTOP_FLAG_HIT;
 use extmem_types::{PortId, Rkey, TimeDelta};
 use extmem_wire::bth::psn_add;
 use extmem_wire::Payload;
@@ -297,6 +299,10 @@ enum PoolOp {
         va: u64,
         add: u64,
     },
+    /// A remote op. The description carries no rkey, so a reissue against a
+    /// promoted mirror rebuilds the identical request under that server's
+    /// own region key.
+    Remote(RemoteOp),
 }
 
 /// A pool-internal op (top cookie bit set).
@@ -668,6 +674,32 @@ impl ReplicatedPool {
         self.servers[self.primary].channel.fetch_add(ctx, va, add, cookie)
     }
 
+    /// Issue a remote op at the primary. Like READs and FaAs, remote ops
+    /// run on the primary only; the *conditional WRITE*'s side effect is
+    /// mirrored after the fact, when its completion reports a hit (the op
+    /// itself must not fan out — each replica could observe a different
+    /// compare value and the replica images would diverge; see DESIGN §4g).
+    /// Returns `false` once wholly degraded.
+    pub fn remote_op(
+        &mut self,
+        ctx: &mut SwitchCtx<'_, '_, '_>,
+        op: RemoteOp,
+        cookie: u64,
+    ) -> bool {
+        if self.servers.len() == 1 {
+            return self.servers[0].channel.remote_op(ctx, op, cookie);
+        }
+        if self.failed {
+            return false;
+        }
+        debug_assert!(cookie & INTERNAL_BIT == 0, "caller cookies use bits 0..63");
+        self.ops
+            .entry(cookie)
+            .or_default()
+            .push_back(PoolOp::Remote(op.clone()));
+        self.servers[self.primary].channel.remote_op(ctx, op, cookie)
+    }
+
     /// Mirror indexes currently eligible for WRITE fanout.
     fn live_mirrors(&self) -> Vec<usize> {
         (0..self.servers.len())
@@ -832,6 +864,39 @@ impl ReplicatedPool {
                     self.pop_caller_op(cookie);
                     out.push(ChannelEvent::ReadDone { cookie, data });
                 }
+                ChannelEvent::RemoteDone {
+                    cookie,
+                    flags,
+                    index,
+                    data,
+                } => {
+                    // Pool-internal traffic never uses remote ops, so this
+                    // is always a caller completion.
+                    if let Some(PoolOp::Remote(RemoteOp::CondWrite {
+                        write_va, write, ..
+                    })) = self.pop_caller_op(cookie)
+                    {
+                        if flags & EXTOP_FLAG_HIT != 0 {
+                            // The primary took the conditional write:
+                            // propagate the decided image to the mirrors
+                            // as plain WRITEs (re-running the *condition*
+                            // there could decide differently).
+                            for j in self.live_mirrors() {
+                                let ic = self.alloc_internal(InternalOp::MirrorWrite);
+                                self.servers[j]
+                                    .channel
+                                    .write(ctx, write_va, write.clone(), true, ic);
+                                self.stats.mirror_writes += 1;
+                            }
+                        }
+                    }
+                    out.push(ChannelEvent::RemoteDone {
+                        cookie,
+                        flags,
+                        index,
+                        data,
+                    });
+                }
                 ChannelEvent::OpFailed { cookie } => {
                     // In flight on the dying primary; held for reissue once
                     // the `Failed` at the end of this volley promotes a
@@ -974,6 +1039,13 @@ impl ReplicatedPool {
                     self.servers[new_primary]
                         .channel
                         .fetch_add(ctx, *va, *add, cookie);
+                }
+                PoolOp::Remote(op) => {
+                    // The rkey-free description reissues verbatim under the
+                    // new primary's own region key.
+                    self.servers[new_primary]
+                        .channel
+                        .remote_op(ctx, op.clone(), cookie);
                 }
             }
             self.ops.entry(cookie).or_default().push_back(op);

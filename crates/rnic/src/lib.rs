@@ -38,3 +38,4 @@ pub mod responder;
 pub use mr::{MemoryRegion, MrTable};
 pub use nic::{RnicConfig, RnicNode, RnicStats};
 pub use qp::QueuePair;
+pub use requester::RemoteOp;

@@ -58,6 +58,14 @@ pub struct RnicConfig {
     /// Fixed per-request pipeline overhead (parse, rkey check, PCIe round
     /// trip), bounding the small-packet message rate.
     pub per_op_overhead: TimeDelta,
+    /// Per-dependent-access cost of the remote-op engine. The *first*
+    /// memory access a remote op performs is covered by `per_op_overhead`,
+    /// exactly as a plain READ's single access is; each additional access
+    /// (the chased pointer, the second probed bucket, each further gathered
+    /// rung) adds this on top, so the one-RTT collapse is honestly priced —
+    /// an N-step gather is cheaper than N pipelined READs (which pay
+    /// `per_op_overhead` each) but not free.
+    pub ext_op_step: TimeDelta,
     /// RX queue capacity in packets; arrivals beyond it are dropped.
     pub rx_queue_cap: usize,
     /// Maximum atomics admitted into the pipeline at once.
@@ -80,6 +88,7 @@ impl Default for RnicConfig {
             read_bw: Rate::from_gbps_f64(55.0),
             atomic_ops_per_sec: 1_700_000,
             per_op_overhead: TimeDelta::from_nanos(100),
+            ext_op_step: TimeDelta::from_nanos(60),
             rx_queue_cap: 256,
             max_outstanding_atomics: 16,
             outage: None,
@@ -110,6 +119,12 @@ pub struct RnicStats {
     pub read_bytes: u64,
     /// Atomics executed.
     pub atomics: u64,
+    /// Remote ops executed by the NIC op engine.
+    pub ext_ops: u64,
+    /// Dependent memory accesses performed on behalf of remote ops.
+    pub ext_op_steps: u64,
+    /// Payload bytes returned by remote-op responses.
+    pub ext_op_bytes: u64,
     /// Duplicate requests re-acknowledged.
     pub duplicates: u64,
     /// NAKs sent.
@@ -267,6 +282,32 @@ impl RnicNode {
                 };
                 base + self.config.read_bw.time_to_send(len)
             }
+            // Remote ops: `per_op_overhead` covers the first memory access
+            // (exactly like a plain READ's single access); each *additional*
+            // dependent access the engine will perform (worst case,
+            // derivable from the request alone) charges `ext_op_step`, plus
+            // response-generation bandwidth on the returned bytes.
+            Opcode::IndirectRead | Opcode::HashProbe | Opcode::CondWrite | Opcode::GatherWalk => {
+                let (steps, resp_bytes) = match req.ext {
+                    extmem_wire::roce::RoceExt::Indirect(h) => {
+                        (2usize, (h.hdr_len as usize + h.max_len as usize).min(self.config.mtu))
+                    }
+                    extmem_wire::roce::RoceExt::HashProbe(h) => {
+                        let probes = if h.b2 == h.b1 { 1 } else { 2 };
+                        (probes, (h.bucket_bytes as usize).min(self.config.mtu))
+                    }
+                    extmem_wire::roce::RoceExt::CondWrite(h) => {
+                        (2usize, (h.cmp_len as usize).min(self.config.mtu))
+                    }
+                    extmem_wire::roce::RoceExt::Gather(h) => (
+                        (h.count as usize).min(crate::responder::MAX_GATHER),
+                        (h.count as usize * h.word_len as usize).min(self.config.mtu),
+                    ),
+                    _ => (1usize, 0usize),
+                };
+                base + self.config.ext_op_step * (steps as u64).saturating_sub(1)
+                    + self.config.read_bw.time_to_send(resp_bytes)
+            }
             // WRITE variants: cost scales with payload.
             _ => base + self.config.write_bw.time_to_send(req.payload.len()),
         }
@@ -317,6 +358,11 @@ impl RnicNode {
                 self.stats.read_bytes += bytes;
             }
             Outcome::AtomicExecuted => self.stats.atomics += 1,
+            Outcome::ExtOpExecuted { steps, bytes, .. } => {
+                self.stats.ext_ops += 1;
+                self.stats.ext_op_steps += steps as u64;
+                self.stats.ext_op_bytes += bytes;
+            }
             Outcome::Duplicate => self.stats.duplicates += 1,
             Outcome::Nak(_) => self.stats.naks += 1,
             Outcome::OutOfSequenceDropped => self.stats.out_of_sequence_drops += 1,
@@ -410,6 +456,7 @@ impl Node for RnicNode {
         for qp in self.qps.values_mut() {
             qp.write_cursor = None;
             qp.last_atomic = None;
+            qp.cond_replay.clear();
             qp.nak_outstanding = false;
         }
         self.stats.crashes += 1;

@@ -27,6 +27,11 @@ pub struct QueuePair {
     pub write_cursor: Option<WriteCursor>,
     /// The last executed atomic, for duplicate replay.
     pub last_atomic: Option<(u32, u64)>,
+    /// Recently executed conditional WRITEs, for duplicate replay:
+    /// `(psn, flags, observed compare bytes)`. Like `last_atomic` this models
+    /// the bounded responder-resource replay buffer of a real RNIC; it is
+    /// sized to the atomic in-flight bound and the oldest entry falls off.
+    pub cond_replay: std::collections::VecDeque<(u32, u8, extmem_wire::Payload)>,
     /// Whether a sequence-error NAK has been sent and not yet cleared by an
     /// in-order packet (NAKs are sent once per gap, per IB spec).
     pub nak_outstanding: bool,
@@ -68,6 +73,7 @@ impl QueuePair {
             msn: 0,
             write_cursor: None,
             last_atomic: None,
+            cond_replay: std::collections::VecDeque::new(),
             nak_outstanding: false,
             relaxed_psn: false,
             resync_next: false,

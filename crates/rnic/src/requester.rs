@@ -11,9 +11,71 @@ use extmem_sim::{Node, NodeCtx, TxQueue};
 use extmem_types::{PortId, QpNum, Rate, Rkey, Time, TimeDelta};
 use extmem_wire::atomic::AtomicEth;
 use extmem_wire::bth::{psn_add, Bth, Opcode};
+use extmem_wire::extop::{CondWriteEth, GatherEth, HashProbeEth, IndirectEth, IndirectMode};
 use extmem_wire::reth::Reth;
 use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
-use extmem_wire::Packet;
+use extmem_wire::{Packet, Payload};
+
+/// A remote op the requester wants executed in the responder's NIC op
+/// engine: the whole dependent-access chain, described once, costing one
+/// PSN and one response packet. The rkey is supplied at build time (by the
+/// channel that owns the region triple), so the same description can be
+/// reissued verbatim to a failover replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteOp {
+    /// Indexed/indirect READ: fetch the slot at `va`, then return what it
+    /// addresses (see [`IndirectMode`]).
+    Indirect {
+        /// First-hop virtual address.
+        va: u64,
+        /// Pointer vs. length-prefixed interpretation.
+        mode: IndirectMode,
+        /// Offset of the big-endian u16 length inside the header.
+        len_off: u8,
+        /// Header bytes read at `va` (length-prefixed mode).
+        hdr_len: u16,
+        /// Second-hop byte count / body-length cap.
+        max_len: u32,
+    },
+    /// Hash-probe-and-fetch: probe bucket `b1` then `b2` for `key`, return
+    /// the matching bucket.
+    HashProbe {
+        /// Base virtual address of the bucket array.
+        base_va: u64,
+        /// First candidate bucket index.
+        b1: u32,
+        /// Second candidate bucket index.
+        b2: u32,
+        /// Bytes per bucket.
+        bucket_bytes: u16,
+        /// Bytes per slot within a bucket.
+        slot_bytes: u16,
+        /// Byte offset of the key field inside a slot.
+        key_off: u8,
+        /// The key bytes to match.
+        key: Payload,
+    },
+    /// Conditional WRITE: iff the bytes at `cmp_va` equal `compare`, write
+    /// `write` at `write_va`. The response returns the observed bytes.
+    CondWrite {
+        /// Address the condition inspects.
+        cmp_va: u64,
+        /// Address the write lands at.
+        write_va: u64,
+        /// Expected bytes at `cmp_va`.
+        compare: Payload,
+        /// Bytes to write on success.
+        write: Payload,
+    },
+    /// Bounded gather/walk: read `word_len` bytes at each address, return
+    /// the concatenation.
+    Gather {
+        /// Bytes read per address.
+        word_len: u16,
+        /// The addresses, in response order.
+        vas: Vec<u64>,
+    },
+}
 
 /// Requester-side queue pair state: where requests go and which PSN is next.
 #[derive(Debug, Clone)]
@@ -155,6 +217,104 @@ impl RequesterQp {
                 compare: 0,
             }),
             vec![],
+        )
+    }
+
+    /// Build a remote-op request. Every remote op consumes exactly one PSN
+    /// (its response is always a single packet).
+    pub fn remote_op(&mut self, rkey: Rkey, op: &RemoteOp) -> RocePacket {
+        let pkt = self.remote_op_at(self.npsn, rkey, op);
+        self.npsn = psn_add(self.npsn, 1);
+        pkt
+    }
+
+    /// Build a remote-op request carrying an explicit PSN, without touching
+    /// `npsn` (see [`RequesterQp::write_only_at`]).
+    pub fn remote_op_at(&self, psn: u32, rkey: Rkey, op: &RemoteOp) -> RocePacket {
+        let (opcode, ext, payload) = match op {
+            RemoteOp::Indirect {
+                va,
+                mode,
+                len_off,
+                hdr_len,
+                max_len,
+            } => (
+                Opcode::IndirectRead,
+                RoceExt::Indirect(IndirectEth {
+                    va: *va,
+                    rkey,
+                    mode: *mode,
+                    len_off: *len_off,
+                    hdr_len: *hdr_len,
+                    max_len: *max_len,
+                }),
+                Payload::empty(),
+            ),
+            RemoteOp::HashProbe {
+                base_va,
+                b1,
+                b2,
+                bucket_bytes,
+                slot_bytes,
+                key_off,
+                key,
+            } => (
+                Opcode::HashProbe,
+                RoceExt::HashProbe(HashProbeEth {
+                    base_va: *base_va,
+                    rkey,
+                    b1: *b1,
+                    b2: *b2,
+                    bucket_bytes: *bucket_bytes,
+                    slot_bytes: *slot_bytes,
+                    key_off: *key_off,
+                    key_len: key.len() as u8,
+                }),
+                key.clone(),
+            ),
+            RemoteOp::CondWrite {
+                cmp_va,
+                write_va,
+                compare,
+                write,
+            } => {
+                let mut payload = Vec::with_capacity(compare.len() + write.len());
+                payload.extend_from_slice(compare);
+                payload.extend_from_slice(write);
+                (
+                    Opcode::CondWrite,
+                    RoceExt::CondWrite(CondWriteEth {
+                        cmp_va: *cmp_va,
+                        write_va: *write_va,
+                        rkey,
+                        cmp_len: compare.len() as u16,
+                    }),
+                    Payload::from_vec(payload),
+                )
+            }
+            RemoteOp::Gather { word_len, vas } => {
+                let mut payload = Vec::with_capacity(vas.len() * 8);
+                for va in vas {
+                    payload.extend_from_slice(&va.to_be_bytes());
+                }
+                (
+                    Opcode::GatherWalk,
+                    RoceExt::Gather(GatherEth {
+                        rkey,
+                        word_len: *word_len,
+                        count: vas.len() as u16,
+                    }),
+                    Payload::from_vec(payload),
+                )
+            }
+        };
+        RocePacket::new(
+            self.local,
+            self.peer,
+            self.udp_src_port,
+            Bth::new(opcode, self.peer_qpn, psn),
+            ext,
+            payload,
         )
     }
 }

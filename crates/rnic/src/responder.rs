@@ -10,8 +10,19 @@ use crate::qp::{QueuePair, WriteCursor};
 use extmem_wire::aeth::{Aeth, NakCode};
 use extmem_wire::atomic::AtomicAckEth;
 use extmem_wire::bth::{psn_add, psn_before, Bth, Opcode};
+use extmem_wire::extop::{ExtOpAckEth, IndirectMode, EXTOP_FLAG_HIT, EXTOP_FLAG_SECONDARY};
 use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
 use extmem_wire::Payload;
+
+/// Upper bound on dependent reads a single gather/walk op may perform. Keeps
+/// the modeled NIC op engine line-rate: a request can occupy the execution
+/// unit for at most this many memory accesses.
+pub const MAX_GATHER: usize = 16;
+
+/// Depth of the per-QP conditional-WRITE replay buffer (duplicate-request
+/// replay, mirroring the bounded responder resources real RNICs dedicate to
+/// atomic replay).
+pub const COND_REPLAY_DEPTH: usize = 16;
 
 /// What the responder did with a request (for statistics).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,6 +41,15 @@ pub enum Outcome {
     },
     /// An atomic executed.
     AtomicExecuted,
+    /// A remote op executed in the NIC op engine.
+    ExtOpExecuted {
+        /// The request opcode.
+        op: Opcode,
+        /// Dependent memory accesses the op engine performed.
+        steps: u32,
+        /// Response payload bytes returned.
+        bytes: u64,
+    },
     /// A duplicate request was re-acknowledged (or replayed) without effect.
     Duplicate,
     /// A NAK was sent.
@@ -192,6 +212,9 @@ pub fn process_request(
                 Err(e) => access_nak(local, qp, e),
             }
         }
+        Opcode::IndirectRead | Opcode::HashProbe | Opcode::CondWrite | Opcode::GatherWalk => {
+            serve_ext_op(local, qp, mrs, req, mtu, false)
+        }
         _ => invalid(local, qp),
     }
 }
@@ -225,12 +248,287 @@ fn duplicate(
                 outcome: Outcome::Duplicate,
             }
         }
+        // Duplicate read-like remote ops are re-executed like READs: their
+        // response data may have been lost in flight.
+        Opcode::IndirectRead | Opcode::HashProbe | Opcode::GatherWalk => {
+            let mut r = serve_ext_op(local, qp, mrs, req, mtu, true);
+            r.outcome = Outcome::Duplicate;
+            r
+        }
+        // Duplicate conditional WRITEs must NOT re-execute (the original
+        // write may have changed the compared bytes); replay the saved
+        // response when it is still in the replay buffer.
+        Opcode::CondWrite => {
+            let responses = match qp
+                .cond_replay
+                .iter()
+                .find(|(psn, _, _)| *psn == req.bth.psn)
+            {
+                Some((psn, flags, observed)) => vec![ext_op_resp(
+                    local,
+                    qp,
+                    *psn,
+                    Opcode::CondWrite,
+                    *flags,
+                    0,
+                    observed.clone(),
+                )],
+                None => vec![plain_ack(local, qp, req.bth.psn)],
+            };
+            ResponderResult {
+                responses,
+                outcome: Outcome::Duplicate,
+            }
+        }
         // Duplicate writes: acknowledge, do not re-execute.
         _ => ResponderResult {
             responses: vec![plain_ack(local, qp, req.bth.psn)],
             outcome: Outcome::Duplicate,
         },
     }
+}
+
+/// How a remote op failed.
+enum ExtOpError {
+    /// Malformed request (inconsistent lengths/counts).
+    Invalid,
+    /// A memory access faulted.
+    Access,
+}
+
+impl From<AccessError> for ExtOpError {
+    fn from(_: AccessError) -> ExtOpError {
+        ExtOpError::Access
+    }
+}
+
+/// The result of executing a remote op against the MR table.
+struct ExtOpOutput {
+    flags: u8,
+    index: u16,
+    steps: u32,
+    data: Payload,
+}
+
+/// Serve a remote-op request (shared by the fresh and duplicate paths).
+fn serve_ext_op(
+    local: RoceEndpoint,
+    qp: &mut QueuePair,
+    mrs: &mut MrTable,
+    req: &RocePacket,
+    mtu: usize,
+    is_duplicate: bool,
+) -> ResponderResult {
+    let op = req.bth.opcode;
+    let psn = req.bth.psn;
+    match execute_ext_op(mrs, req, mtu) {
+        Ok(out) => {
+            if !is_duplicate {
+                qp.epsn = psn_add(qp.epsn, 1);
+                qp.msn = (qp.msn + 1) & 0xff_ffff;
+                if op == Opcode::CondWrite {
+                    if qp.cond_replay.len() >= COND_REPLAY_DEPTH {
+                        qp.cond_replay.pop_front();
+                    }
+                    qp.cond_replay.push_back((psn, out.flags, out.data.clone()));
+                }
+            }
+            let bytes = out.data.len() as u64;
+            ResponderResult {
+                responses: vec![ext_op_resp(
+                    local, qp, psn, op, out.flags, out.index, out.data,
+                )],
+                outcome: Outcome::ExtOpExecuted {
+                    op,
+                    steps: out.steps,
+                    bytes,
+                },
+            }
+        }
+        Err(e) => {
+            let code = match e {
+                ExtOpError::Invalid => NakCode::InvalidRequest,
+                ExtOpError::Access => NakCode::RemoteAccessError,
+            };
+            if is_duplicate {
+                // A bad duplicate must not perturb the live sequence state.
+                nak(local, qp, code)
+            } else {
+                qp.epsn = psn_add(qp.epsn, 1);
+                nak(local, qp, code)
+            }
+        }
+    }
+}
+
+/// Execute one remote op against the MR table: the dependent-access chain
+/// the requester would otherwise issue as separate verbs, run NIC-side.
+fn execute_ext_op(mrs: &mut MrTable, req: &RocePacket, mtu: usize) -> Result<ExtOpOutput, ExtOpError> {
+    match req.ext {
+        RoceExt::Indirect(h) => {
+            let region = mrs.get(h.rkey)?;
+            match h.mode {
+                IndirectMode::Pointer => {
+                    if h.max_len as usize > mtu {
+                        return Err(ExtOpError::Invalid);
+                    }
+                    let ptr_bytes = region.read(h.va, 8)?;
+                    let ptr = u64::from_be_bytes(ptr_bytes.try_into().unwrap());
+                    let data = Payload::copy_from_slice(region.read(ptr, h.max_len as u64)?);
+                    Ok(ExtOpOutput {
+                        flags: EXTOP_FLAG_HIT,
+                        index: 0,
+                        steps: 2,
+                        data,
+                    })
+                }
+                IndirectMode::LengthPrefixed => {
+                    let hdr_len = h.hdr_len as usize;
+                    if hdr_len < h.len_off as usize + 2 {
+                        return Err(ExtOpError::Invalid);
+                    }
+                    let hdr = region.read(h.va, hdr_len as u64)?;
+                    let off = h.len_off as usize;
+                    let body = u16::from_be_bytes(hdr[off..off + 2].try_into().unwrap()) as usize;
+                    if body > h.max_len as usize || hdr_len + body > mtu {
+                        return Err(ExtOpError::Invalid);
+                    }
+                    let data =
+                        Payload::copy_from_slice(region.read(h.va, (hdr_len + body) as u64)?);
+                    Ok(ExtOpOutput {
+                        flags: EXTOP_FLAG_HIT,
+                        index: 0,
+                        steps: 2,
+                        data,
+                    })
+                }
+            }
+        }
+        RoceExt::HashProbe(h) => {
+            let key = &req.payload;
+            let key_len = h.key_len as usize;
+            let key_off = h.key_off as usize;
+            let bucket_bytes = h.bucket_bytes as usize;
+            let slot_bytes = h.slot_bytes as usize;
+            if key.len() != key_len
+                || key_len == 0
+                || slot_bytes == 0
+                || bucket_bytes == 0
+                || key_off + key_len > slot_bytes
+                || !bucket_bytes.is_multiple_of(slot_bytes)
+                || bucket_bytes > mtu
+            {
+                return Err(ExtOpError::Invalid);
+            }
+            let region = mrs.get(h.rkey)?;
+            let mut steps = 0u32;
+            for (nth, bucket) in [h.b1, h.b2].into_iter().enumerate() {
+                if nth == 1 && h.b2 == h.b1 {
+                    break;
+                }
+                let va = h.base_va + bucket as u64 * bucket_bytes as u64;
+                let data = region.read(va, bucket_bytes as u64)?;
+                steps += 1;
+                for slot in 0..bucket_bytes / slot_bytes {
+                    let at = slot * slot_bytes + key_off;
+                    if data[at..at + key_len] == key[..] {
+                        let mut flags = EXTOP_FLAG_HIT;
+                        if nth == 1 {
+                            flags |= EXTOP_FLAG_SECONDARY;
+                        }
+                        return Ok(ExtOpOutput {
+                            flags,
+                            index: slot as u16,
+                            steps,
+                            data: Payload::copy_from_slice(data),
+                        });
+                    }
+                }
+            }
+            Ok(ExtOpOutput {
+                flags: 0,
+                index: 0,
+                steps,
+                data: Payload::empty(),
+            })
+        }
+        RoceExt::CondWrite(h) => {
+            let cmp_len = h.cmp_len as usize;
+            if cmp_len == 0 || cmp_len > req.payload.len() || cmp_len > mtu {
+                return Err(ExtOpError::Invalid);
+            }
+            let observed = {
+                let region = mrs.get(h.rkey)?;
+                Payload::copy_from_slice(region.read(h.cmp_va, cmp_len as u64)?)
+            };
+            let mut steps = 1;
+            let mut flags = 0;
+            if observed[..] == req.payload[..cmp_len] {
+                mrs.get_mut(h.rkey)?
+                    .write(h.write_va, &req.payload[cmp_len..])?;
+                steps += 1;
+                flags |= EXTOP_FLAG_HIT;
+            }
+            Ok(ExtOpOutput {
+                flags,
+                index: 0,
+                steps,
+                data: observed,
+            })
+        }
+        RoceExt::Gather(h) => {
+            let count = h.count as usize;
+            let word_len = h.word_len as usize;
+            if count == 0
+                || count > MAX_GATHER
+                || word_len == 0
+                || req.payload.len() != count * 8
+                || count * word_len > mtu
+            {
+                return Err(ExtOpError::Invalid);
+            }
+            let region = mrs.get(h.rkey)?;
+            let mut data = Vec::with_capacity(count * word_len);
+            for i in 0..count {
+                let va = u64::from_be_bytes(req.payload[i * 8..i * 8 + 8].try_into().unwrap());
+                data.extend_from_slice(region.read(va, word_len as u64)?);
+            }
+            Ok(ExtOpOutput {
+                flags: EXTOP_FLAG_HIT,
+                index: 0,
+                steps: count as u32,
+                data: Payload::from_vec(data),
+            })
+        }
+        _ => Err(ExtOpError::Invalid),
+    }
+}
+
+/// Build the single-packet remote-op response.
+fn ext_op_resp(
+    local: RoceEndpoint,
+    qp: &QueuePair,
+    psn: u32,
+    op: Opcode,
+    flags: u8,
+    index: u16,
+    data: Payload,
+) -> RocePacket {
+    RocePacket::new(
+        local,
+        qp.peer,
+        qp.udp_src_port,
+        Bth::new(Opcode::ExtOpResp, qp.peer_qpn, psn),
+        RoceExt::ExtOpAck(
+            Aeth::ack(qp.msn),
+            ExtOpAckEth {
+                op: op as u8,
+                flags,
+                index,
+            },
+        ),
+        data,
+    )
 }
 
 /// Serve a READ request (shared by the fresh and duplicate paths).
@@ -710,6 +1008,354 @@ mod tests {
         let dup = write_req(&qp, 0xff_ffff, rkey, base, vec![9; 8]);
         let r = process_request(local, &mut qp, &mut mrs, &dup, 2048);
         assert_eq!(r.outcome, Outcome::Duplicate);
+    }
+
+    fn remote_req(qpn: QpNum, psn: u32, ext: RoceExt, payload: Vec<u8>) -> RocePacket {
+        let opcode = match ext {
+            RoceExt::Indirect(_) => Opcode::IndirectRead,
+            RoceExt::HashProbe(_) => Opcode::HashProbe,
+            RoceExt::CondWrite(_) => Opcode::CondWrite,
+            RoceExt::Gather(_) => Opcode::GatherWalk,
+            _ => panic!("not a remote op ext"),
+        };
+        let ep = RoceEndpoint {
+            mac: extmem_wire::MacAddr::local(1),
+            ip: 0x0a000001,
+        };
+        RocePacket::new(ep, ep, 100, Bth::new(opcode, qpn, psn), ext, payload)
+    }
+
+    #[test]
+    fn gather_walk_concatenates_in_request_order() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let qpn = qp.qpn;
+        let region = mrs.get_mut(rkey).unwrap();
+        for i in 0..4u8 {
+            region
+                .write(base + 100 * i as u64, &[i + 1; 16])
+                .unwrap();
+        }
+        let vas = [base + 300, base, base + 100, base + 200];
+        let mut payload = Vec::new();
+        for va in vas {
+            payload.extend_from_slice(&va.to_be_bytes());
+        }
+        let req = remote_req(
+            qpn,
+            0,
+            RoceExt::Gather(extmem_wire::extop::GatherEth {
+                rkey,
+                word_len: 16,
+                count: 4,
+            }),
+            payload,
+        );
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert_eq!(
+            r.outcome,
+            Outcome::ExtOpExecuted {
+                op: Opcode::GatherWalk,
+                steps: 4,
+                bytes: 64
+            }
+        );
+        assert_eq!(r.responses.len(), 1, "one RTT regardless of depth");
+        let resp = &r.responses[0];
+        assert_eq!(resp.bth.opcode, Opcode::ExtOpResp);
+        assert_eq!(resp.bth.psn, 0);
+        let mut want = vec![4u8; 16];
+        want.extend_from_slice(&[1; 16]);
+        want.extend_from_slice(&[2; 16]);
+        want.extend_from_slice(&[3; 16]);
+        assert_eq!(resp.payload, want);
+        assert_eq!(qp.epsn, 1, "a remote op consumes exactly one PSN");
+        assert_eq!(qp.msn, 1);
+    }
+
+    #[test]
+    fn gather_walk_over_bound_is_invalid() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let qpn = qp.qpn;
+        let count = MAX_GATHER + 1;
+        let mut payload = Vec::new();
+        for _ in 0..count {
+            payload.extend_from_slice(&base.to_be_bytes());
+        }
+        let req = remote_req(
+            qpn,
+            0,
+            RoceExt::Gather(extmem_wire::extop::GatherEth {
+                rkey,
+                word_len: 16,
+                count: count as u16,
+            }),
+            payload,
+        );
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert!(matches!(r.outcome, Outcome::Nak(NakCode::InvalidRequest)));
+    }
+
+    #[test]
+    fn hash_probe_finds_in_either_bucket_or_misses() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let qpn = qp.qpn;
+        // 2 buckets of 4 x 32 B slots; key field is bytes 0..14 of a slot.
+        let key_a = [0xaau8; 14];
+        let key_b = [0xbbu8; 14];
+        let region = mrs.get_mut(rkey).unwrap();
+        region.write(base + 2 * 32, &key_a).unwrap(); // bucket 0, slot 2
+        region.write(base + 128 + 32, &key_b).unwrap(); // bucket 1, slot 1
+        let probe = |key: [u8; 14], b1: u32, b2: u32| {
+            RoceExt::HashProbe(extmem_wire::extop::HashProbeEth {
+                base_va: base,
+                rkey,
+                b1,
+                b2,
+                bucket_bytes: 128,
+                slot_bytes: 32,
+                key_off: 0,
+                key_len: key.len() as u8,
+            })
+        };
+        // Hit in the primary bucket: one probe step.
+        let r = process_request(
+            local,
+            &mut qp,
+            &mut mrs,
+            &remote_req(qpn, 0, probe(key_a, 0, 1), key_a.to_vec()),
+            2048,
+        );
+        assert_eq!(
+            r.outcome,
+            Outcome::ExtOpExecuted {
+                op: Opcode::HashProbe,
+                steps: 1,
+                bytes: 128
+            }
+        );
+        let RoceExt::ExtOpAck(_, ack) = r.responses[0].ext else {
+            panic!("expected ExtOpAck");
+        };
+        assert_eq!(ack.flags, EXTOP_FLAG_HIT);
+        assert_eq!(ack.index, 2);
+        // Hit in the secondary: two probe steps, still one response.
+        let r = process_request(
+            local,
+            &mut qp,
+            &mut mrs,
+            &remote_req(qpn, 1, probe(key_b, 0, 1), key_b.to_vec()),
+            2048,
+        );
+        assert_eq!(
+            r.outcome,
+            Outcome::ExtOpExecuted {
+                op: Opcode::HashProbe,
+                steps: 2,
+                bytes: 128
+            }
+        );
+        let RoceExt::ExtOpAck(_, ack) = r.responses[0].ext else {
+            panic!("expected ExtOpAck");
+        };
+        assert_eq!(ack.flags, EXTOP_FLAG_HIT | EXTOP_FLAG_SECONDARY);
+        assert_eq!(ack.index, 1);
+        // Miss in both: empty payload, no flags.
+        let r = process_request(
+            local,
+            &mut qp,
+            &mut mrs,
+            &remote_req(qpn, 2, probe([0xcc; 14], 0, 1), vec![0xcc; 14]),
+            2048,
+        );
+        assert_eq!(
+            r.outcome,
+            Outcome::ExtOpExecuted {
+                op: Opcode::HashProbe,
+                steps: 2,
+                bytes: 0
+            }
+        );
+        let RoceExt::ExtOpAck(_, ack) = r.responses[0].ext else {
+            panic!("expected ExtOpAck");
+        };
+        assert_eq!(ack.flags, 0);
+        assert!(r.responses[0].payload.is_empty());
+    }
+
+    #[test]
+    fn cond_write_executes_only_on_match_and_replays_duplicates() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let qpn = qp.qpn;
+        mrs.get_mut(rkey).unwrap().write(base, &[7u8; 8]).unwrap();
+        let ext = RoceExt::CondWrite(extmem_wire::extop::CondWriteEth {
+            cmp_va: base,
+            write_va: base + 64,
+            rkey,
+            cmp_len: 8,
+        });
+        // Matching compare: write executes.
+        let mut payload = vec![7u8; 8];
+        payload.extend_from_slice(&[0x11; 16]);
+        let r = process_request(
+            local,
+            &mut qp,
+            &mut mrs,
+            &remote_req(qpn, 0, ext, payload.clone()),
+            2048,
+        );
+        assert_eq!(
+            r.outcome,
+            Outcome::ExtOpExecuted {
+                op: Opcode::CondWrite,
+                steps: 2,
+                bytes: 8
+            }
+        );
+        let RoceExt::ExtOpAck(_, ack) = r.responses[0].ext else {
+            panic!("expected ExtOpAck");
+        };
+        assert_eq!(ack.flags, EXTOP_FLAG_HIT);
+        assert_eq!(r.responses[0].payload, vec![7u8; 8]);
+        assert_eq!(
+            mrs.get(rkey).unwrap().read(base + 64, 16).unwrap(),
+            &[0x11u8; 16][..]
+        );
+        // Mismatching compare: no write, observed bytes returned.
+        let mut miss = vec![9u8; 8];
+        miss.extend_from_slice(&[0x22; 16]);
+        let r = process_request(
+            local,
+            &mut qp,
+            &mut mrs,
+            &remote_req(qpn, 1, ext, miss),
+            2048,
+        );
+        assert_eq!(
+            r.outcome,
+            Outcome::ExtOpExecuted {
+                op: Opcode::CondWrite,
+                steps: 1,
+                bytes: 8
+            }
+        );
+        let RoceExt::ExtOpAck(_, ack) = r.responses[0].ext else {
+            panic!("expected ExtOpAck");
+        };
+        assert_eq!(ack.flags, 0);
+        assert_eq!(
+            mrs.get(rkey).unwrap().read(base + 64, 16).unwrap(),
+            &[0x11u8; 16][..],
+            "mismatch must not write"
+        );
+        // Duplicate of the first CondWrite: replayed from the buffer, NOT
+        // re-executed (memory would now compare differently).
+        mrs.get_mut(rkey).unwrap().write(base, &[1u8; 8]).unwrap();
+        let r = process_request(
+            local,
+            &mut qp,
+            &mut mrs,
+            &remote_req(qpn, 0, ext, payload),
+            2048,
+        );
+        assert_eq!(r.outcome, Outcome::Duplicate);
+        let RoceExt::ExtOpAck(_, ack) = r.responses[0].ext else {
+            panic!("expected replayed ExtOpAck");
+        };
+        assert_eq!(ack.flags, EXTOP_FLAG_HIT, "replay keeps the original flags");
+        assert_eq!(
+            r.responses[0].payload,
+            vec![7u8; 8],
+            "replay returns the originally observed bytes"
+        );
+    }
+
+    #[test]
+    fn indirect_read_follows_pointer_and_length_prefix() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let qpn = qp.qpn;
+        let region = mrs.get_mut(rkey).unwrap();
+        // Pointer mode: slot at base holds a pointer to base+512.
+        region.write(base, &(base + 512).to_be_bytes()).unwrap();
+        region.write(base + 512, &[0x5a; 32]).unwrap();
+        let req = remote_req(
+            qpn,
+            0,
+            RoceExt::Indirect(extmem_wire::extop::IndirectEth {
+                va: base,
+                rkey,
+                mode: IndirectMode::Pointer,
+                len_off: 0,
+                hdr_len: 0,
+                max_len: 32,
+            }),
+            vec![],
+        );
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert_eq!(
+            r.outcome,
+            Outcome::ExtOpExecuted {
+                op: Opcode::IndirectRead,
+                steps: 2,
+                bytes: 32
+            }
+        );
+        assert_eq!(r.responses[0].payload, vec![0x5a; 32]);
+        // Length-prefixed mode: entry header [idx:4][len:2] then body.
+        let region = mrs.get_mut(rkey).unwrap();
+        let mut entry = 9u32.to_be_bytes().to_vec();
+        entry.extend_from_slice(&40u16.to_be_bytes());
+        entry.extend_from_slice(&[0xc3; 40]);
+        region.write(base + 1024, &entry).unwrap();
+        let req = remote_req(
+            qpn,
+            1,
+            RoceExt::Indirect(extmem_wire::extop::IndirectEth {
+                va: base + 1024,
+                rkey,
+                mode: IndirectMode::LengthPrefixed,
+                len_off: 4,
+                hdr_len: 6,
+                max_len: 1500,
+            }),
+            vec![],
+        );
+        let r = process_request(local, &mut qp, &mut mrs, &req, 2048);
+        assert_eq!(
+            r.outcome,
+            Outcome::ExtOpExecuted {
+                op: Opcode::IndirectRead,
+                steps: 2,
+                bytes: 46
+            }
+        );
+        assert_eq!(r.responses[0].payload, entry);
+    }
+
+    #[test]
+    fn duplicate_gather_reexecutes_like_a_read() {
+        let (local, mut qp, mut mrs, rkey, base) = setup();
+        let qpn = qp.qpn;
+        mrs.get_mut(rkey).unwrap().write(base, &[3u8; 16]).unwrap();
+        let mk = |psn| {
+            remote_req(
+                qpn,
+                psn,
+                RoceExt::Gather(extmem_wire::extop::GatherEth {
+                    rkey,
+                    word_len: 16,
+                    count: 1,
+                }),
+                base.to_be_bytes().to_vec(),
+            )
+        };
+        let fresh = mk(0);
+        process_request(local, &mut qp, &mut mrs, &fresh, 2048);
+        let dup = mk(0);
+        let r = process_request(local, &mut qp, &mut mrs, &dup, 2048);
+        assert_eq!(r.outcome, Outcome::Duplicate);
+        assert_eq!(r.responses[0].bth.opcode, Opcode::ExtOpResp);
+        assert_eq!(r.responses[0].payload, vec![3u8; 16]);
+        assert_eq!(qp.epsn, 1, "duplicate must not advance the sequence");
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub enum Opcode {
     AtomicAcknowledge = 0x12,
     /// Atomic Fetch-and-Add request.
     FetchAdd = 0x14,
+    /// Remote-op: indexed/indirect READ request (manufacturer opcode space).
+    IndirectRead = 0xc0,
+    /// Remote-op: hash-probe-and-fetch request.
+    HashProbe = 0xc1,
+    /// Remote-op: conditional WRITE request.
+    CondWrite = 0xc2,
+    /// Remote-op: bounded gather/walk READ request.
+    GatherWalk = 0xc3,
+    /// Remote-op response (AETH + ExtOpAckETH + result payload).
+    ExtOpResp = 0xc4,
 }
 
 impl Opcode {
@@ -71,6 +81,11 @@ impl Opcode {
             0x11 => Opcode::Acknowledge,
             0x12 => Opcode::AtomicAcknowledge,
             0x14 => Opcode::FetchAdd,
+            0xc0 => Opcode::IndirectRead,
+            0xc1 => Opcode::HashProbe,
+            0xc2 => Opcode::CondWrite,
+            0xc3 => Opcode::GatherWalk,
+            0xc4 => Opcode::ExtOpResp,
             other => return Err(WireError::UnsupportedOpcode(other)),
         })
     }
@@ -86,6 +101,19 @@ impl Opcode {
                 | Opcode::WriteOnly
                 | Opcode::ReadRequest
                 | Opcode::FetchAdd
+                | Opcode::IndirectRead
+                | Opcode::HashProbe
+                | Opcode::CondWrite
+                | Opcode::GatherWalk
+        )
+    }
+
+    /// Whether this opcode is a remote-op request (the ISA extension: a
+    /// dependent-access chain executed by the responder NIC in one RTT).
+    pub fn is_remote_op(self) -> bool {
+        matches!(
+            self,
+            Opcode::IndirectRead | Opcode::HashProbe | Opcode::CondWrite | Opcode::GatherWalk
         )
     }
 
@@ -107,6 +135,7 @@ impl Opcode {
                 | Opcode::ReadRespOnly
                 | Opcode::Acknowledge
                 | Opcode::AtomicAcknowledge
+                | Opcode::ExtOpResp
         )
     }
 }
@@ -246,6 +275,11 @@ mod tests {
             Opcode::Acknowledge,
             Opcode::AtomicAcknowledge,
             Opcode::FetchAdd,
+            Opcode::IndirectRead,
+            Opcode::HashProbe,
+            Opcode::CondWrite,
+            Opcode::GatherWalk,
+            Opcode::ExtOpResp,
         ] {
             let mut bth = Bth::new(op, QpNum(0x123456), 0xabcdef);
             bth.pad_count = 2;
@@ -291,6 +325,12 @@ mod tests {
         assert!(!Opcode::WriteMiddle.has_reth());
         assert!(Opcode::ReadRespOnly.has_aeth());
         assert!(!Opcode::ReadRespMiddle.has_aeth());
+        assert!(Opcode::GatherWalk.is_request());
+        assert!(Opcode::CondWrite.is_remote_op());
+        assert!(!Opcode::ExtOpResp.is_request());
+        assert!(!Opcode::ExtOpResp.is_remote_op());
+        assert!(Opcode::ExtOpResp.has_aeth());
+        assert!(!Opcode::HashProbe.has_reth());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod bth;
 pub mod bytes;
 pub mod error;
 pub mod ethernet;
+pub mod extop;
 pub mod grh;
 pub mod icrc;
 pub mod ipv4;

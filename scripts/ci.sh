@@ -28,7 +28,10 @@ echo "== crash/failover cells (release) =="
 # resync, which optimization can reshuffle. This includes the cuckoo
 # relocation-crash cell (crash_lookup_mid_relocation_*): a primary dying
 # with displacement WRITEs in flight is the sharpest ordering race in the
-# tree, the parallel-backend replay of the harshest state-store cell
+# tree, its remote-op twin (crash_remote_ops_lookup_*), where failover
+# must reissue in-flight hash-probe ops verbatim against the promoted
+# mirror without re-planning them, the parallel-backend replay of the
+# harshest state-store cell
 # (crash_state_store_rejoin_under_parallel_backend), where the crashed
 # server lives in a different partition than the switch driving it, and
 # the sharded store's cell (crash_fabric_shard_*), where one shard's

@@ -8,7 +8,7 @@ bins=(
   e1_pktbuf_rates e2_lookup_latency e3_statestore_bw e4_incast e5_overhead
   e6_capacity a1_cache_ablation a2_atomics_ablation a3_threshold_ablation
   a4_recirculation a5_rdma_priority a6_kvcache a7_trace_capture a8_slowpath_vs_remote
-  a9_loss_sweep a10_failover
+  a9_loss_sweep a10_failover a12_capacity a13_remote_ops
 )
 for b in "${bins[@]}"; do
   echo "== $b =="

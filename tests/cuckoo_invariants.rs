@@ -38,9 +38,10 @@ fn lookup_fib() -> Fib {
 /// Live churn under traffic: every lookup issued while relocations are in
 /// flight still resolves in exactly one READ — the event-interleaved
 /// no-transient-miss invariant, asserted over 1500 packets and 192 table
-/// operations sharing one wire.
-#[test]
-fn no_transient_miss_under_relocation_storm() {
+/// operations sharing one wire. Runs in both wire modes: verb (filter-
+/// steered bucket READs, READ-verify + WRITE relocations) and remote-op
+/// (hash-probe-and-fetch lookups, conditional-WRITE relocations).
+fn relocation_storm(remote_ops: bool) {
     const COUNT: u64 = 1_500;
     const DSCP: u8 = 46;
     const TRAFFIC_KEYS: u16 = 140;
@@ -86,7 +87,9 @@ fn no_transient_miss_under_relocation_storm() {
     );
     let (rkey, base_va) = (channel.rkey, channel.base_va);
     install_cuckoo_image(&mut nic, &channel, &dir);
-    let prog = LookupTableProgram::cuckoo(lookup_fib(), channel, dir, None).with_churn(script);
+    let prog = LookupTableProgram::cuckoo(lookup_fib(), channel, dir, None)
+        .with_remote_ops(remote_ops)
+        .with_churn(script);
 
     let mut b = SimBuilder::new(83);
     let switch = b.add_node(Box::new(SwitchNode::new(
@@ -131,6 +134,8 @@ fn no_transient_miss_under_relocation_storm() {
     assert_eq!(s.slow_path, 0, "transient miss punted: {s:?}");
     assert_eq!(s.bucket_misses, 0, "filter misdirected a probe: {s:?}");
     assert_eq!(s.reads_per_miss(), 1.0, "more than one READ per miss: {s:?}");
+    assert_eq!(s.rtts_per_miss(), Some(1.0), "one round trip per miss: {s:?}");
+    assert_eq!(s.reads_per_lookup(), Some(1.0), "{s:?}");
     assert!(s.relocation_moves > 0, "storm never displaced anyone: {s:?}");
     assert_eq!(s.inserts_applied, CHURN_KEYS as u64, "{s:?}");
     assert_eq!(s.removes_applied, CHURN_KEYS as u64, "{s:?}");
@@ -153,6 +158,27 @@ fn no_transient_miss_under_relocation_storm() {
         dir.filter().raw_counts(),
         "live filter diverged from planned filter"
     );
+    let nic = sim.node::<RnicNode>(table).stats();
+    assert_eq!(nic.cpu_packets, 0, "remote memory must stay one-sided");
+    if remote_ops {
+        // Lookups and relocation moves all rode the remote-op engine.
+        assert!(
+            nic.ext_ops >= COUNT + s.relocation_moves,
+            "probes + cond-writes must be remote ops: {nic:?}"
+        );
+    } else {
+        assert_eq!(nic.ext_ops, 0, "verb baseline must not use remote ops");
+    }
+}
+
+#[test]
+fn no_transient_miss_under_relocation_storm() {
+    relocation_storm(false);
+}
+
+#[test]
+fn no_transient_miss_under_relocation_storm_remote_ops() {
+    relocation_storm(true);
 }
 
 /// A pair of distinct flows that alias under the direct-hash slot

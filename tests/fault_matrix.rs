@@ -380,7 +380,7 @@ fn smoke_lookup_worst_cell() {
 // LPM: every packet routed by its longest matching prefix.
 // ---------------------------------------------------------------------------
 
-fn run_lpm_cell(cell: &Cell, seed: u64) {
+fn run_lpm_cell(cell: &Cell, seed: u64, remote_ops: bool) {
     const COUNT: u64 = 250;
     let levels = vec![32u8, 24, 16];
     let mut nic = RnicNode::new(
@@ -406,9 +406,11 @@ fn run_lpm_cell(cell: &Cell, seed: u64) {
     let mut fib = Fib::new(8);
     fib.install(host_mac(0), PortId(0));
     fib.install(host_mac(1), PortId(1));
-    // No cache: every packet costs a full 3-rung remote lookup.
-    let prog =
-        RemoteLpmProgram::new(fib, channel, levels, None).with_reliability(ReliableConfig {
+    // No cache: every packet costs a full 3-rung remote lookup (one
+    // gather/walk op per packet when remote ops are on).
+    let prog = RemoteLpmProgram::new(fib, channel, levels, None)
+        .with_remote_ops(remote_ops)
+        .with_reliability(ReliableConfig {
             rto: TimeDelta::from_micros(40),
             ..Default::default()
         });
@@ -449,9 +451,13 @@ fn run_lpm_cell(cell: &Cell, seed: u64) {
     assert_eq!(sink.dscp_mismatch, 0, "{cell:?}: wrong rung won");
     assert_eq!(s.routed, COUNT, "{cell:?}: {s:?}");
     assert_eq!(s.no_route, 0, "{cell:?}: {s:?}");
-    // Exactly one ReadDone per rung READ: duplicates were deduped, and no
-    // READ leaked without completing.
-    assert_eq!(s.responses, 3 * COUNT, "{cell:?}: {s:?}");
+    // Exactly one completion per issued request — duplicates were deduped
+    // and nothing leaked. Verb mode settles 3 rung READs per miss; the
+    // gather/walk op settles the whole ladder in one exchange even when the
+    // request or the response was lost and had to be retransmitted.
+    let per_miss: u64 = if remote_ops { 1 } else { 3 };
+    assert_eq!(s.responses, per_miss * COUNT, "{cell:?}: {s:?}");
+    assert_eq!(s.rtts_per_miss(), Some(per_miss as f64), "{cell:?}: {s:?}");
     if cell.outage {
         let nic = sim.node::<RnicNode>(srv);
         assert!(nic.stats().outage_drops > 0, "{cell:?}: outage never bit");
@@ -464,13 +470,178 @@ fn run_lpm_cell(cell: &Cell, seed: u64) {
 #[test]
 fn matrix_lpm_routes_every_packet() {
     for (i, cell) in grid().iter().enumerate() {
-        run_lpm_cell(cell, 9600 + i as u64);
+        run_lpm_cell(cell, 9600 + i as u64, false);
     }
 }
 
 #[test]
 fn smoke_lpm_worst_cell() {
-    run_lpm_cell(&worst_cell(), 9700);
+    run_lpm_cell(&worst_cell(), 9700, false);
+}
+
+#[test]
+fn matrix_remote_ops_lpm_gather_settles_exactly() {
+    for (i, cell) in grid().iter().enumerate() {
+        run_lpm_cell(cell, 9800 + i as u64, true);
+    }
+}
+
+#[test]
+fn smoke_remote_ops_lpm_worst_cell() {
+    run_lpm_cell(&worst_cell(), 9900, true);
+}
+
+// ---------------------------------------------------------------------------
+// Cuckoo remote ops under faults: hash-probe-and-fetch lookups and
+// conditional-WRITE relocations ride retransmission and still settle
+// oracle-exact — zero punts and the table byte image bit-for-bit equal to
+// the control-plane directory.
+// ---------------------------------------------------------------------------
+
+fn run_cuckoo_probe_cell(cell: &Cell, seed: u64) {
+    const COUNT: u64 = 300;
+    const DSCP: u8 = 46;
+    const TRAFFIC_KEYS: u16 = 96;
+    const CHURN_KEYS: u16 = 48;
+    const WINDOW: usize = 8;
+    let cfg = CuckooConfig {
+        buckets: 64,
+        filter_cells: 2048,
+        filter_hashes: 2,
+        max_plan_steps: 64,
+    };
+    let mut dir = CuckooDirectory::new(cfg);
+    let flows: Vec<FiveTuple> = (0..TRAFFIC_KEYS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 40_000 + i, 80, 17))
+        .collect();
+    for f in &flows {
+        dir.install(*f, ActionEntry::set_dscp(DSCP)).unwrap();
+    }
+    let churn_keys: Vec<FiveTuple> = (0..CHURN_KEYS)
+        .map(|i| FiveTuple::new(host_ip(0), host_ip(1), 50_000 + i, 80, 17))
+        .collect();
+    let mut ops = Vec::new();
+    for (i, k) in churn_keys.iter().enumerate() {
+        ops.push(ControlOp::Insert(*k, ActionEntry::set_dscp(12)));
+        if i >= WINDOW {
+            ops.push(ControlOp::Remove(churn_keys[i - WINDOW]));
+        }
+    }
+    for k in &churn_keys[CHURN_KEYS as usize - WINDOW..] {
+        ops.push(ControlOp::Remove(*k));
+    }
+    let script = ChurnScript {
+        ops,
+        period: TimeDelta::from_micros(3),
+    };
+
+    let mut nic = RnicNode::new(
+        "tablesrv",
+        RnicConfig {
+            outage: cell_outage(cell, 100, 350),
+            ..RnicConfig::at(host_endpoint(2))
+        },
+    );
+    let region = ByteSize::from_bytes(dir.region_bytes());
+    let channel = RdmaChannel::setup(switch_endpoint(), PortId(2), &mut nic, region);
+    let rkey = channel.rkey;
+    let base = channel.base_va;
+    install_cuckoo_image(&mut nic, &channel, &dir);
+    let mut fib = Fib::new(8);
+    fib.install(host_mac(0), PortId(0));
+    fib.install(host_mac(1), PortId(1));
+    // No cache: every packet costs one hash-probe-and-fetch op; every
+    // relocation step costs one conditional WRITE.
+    let prog = LookupTableProgram::cuckoo(fib, channel, dir, None)
+        .with_remote_ops(true)
+        .with_reliability(ReliableConfig {
+            rto: TimeDelta::from_micros(40),
+            ..Default::default()
+        })
+        .with_churn(script);
+
+    let mut b = SimBuilder::new(seed);
+    let switch = b.add_node(Box::new(SwitchNode::new(
+        "tor",
+        SwitchConfig::default(),
+        Box::new(prog),
+    )));
+    let spec = WorkloadSpec {
+        src_mac: host_mac(0),
+        dst_mac: host_mac(1),
+        flows: flows.into(),
+        pick: FlowPick::Zipf(1.1),
+        frame_len: 256,
+        offered: Some(Rate::from_gbps(2)),
+        arrival: Arrival::Paced,
+        count: COUNT,
+        seed: 23,
+        flow_id_base: 0,
+    };
+    let gen = b.add_node(Box::new(TrafficGenNode::new("client", spec)));
+    let mut sink = SinkNode::new("server");
+    sink.expect_dscp = Some(DSCP);
+    let server = b.add_node(Box::new(sink));
+    let link = LinkSpec::testbed_40g();
+    b.connect(switch, PortId(0), gen, PortId(0), link);
+    b.connect(switch, PortId(1), server, PortId(0), link);
+    let table = b.add_node(Box::new(nic));
+    let mut lossy = LinkSpec::testbed_40g();
+    lossy.faults = cell_faults(cell);
+    b.connect(switch, PortId(2), table, PortId(0), lossy);
+    let mut sim = b.build();
+    sim.schedule_timer(gen, TimeDelta::ZERO, TrafficGenNode::KICK_TOKEN);
+    sim.schedule_timer(
+        switch,
+        TimeDelta::from_micros(2),
+        extmem_switch::switch::program_token(TOKEN_CHURN),
+    );
+    sim.run_until(Time::from_millis(50));
+
+    let sink = sim.node::<SinkNode>(server);
+    let sw: &SwitchNode = sim.node(switch);
+    let prog = sw.program::<LookupTableProgram>();
+    let s = prog.stats();
+    assert!(!prog.is_degraded(), "{cell:?}: must not fail over: {s:?}");
+    assert_eq!(sink.received, COUNT, "{cell:?}: packets lost: {s:?}");
+    assert_eq!(sink.dscp_mismatch, 0, "{cell:?}: action not applied");
+    assert_eq!(s.slow_path, 0, "{cell:?}: probe punted: {s:?}");
+    assert_eq!(s.bucket_misses, 0, "{cell:?}: probe missed a resident key: {s:?}");
+    assert_eq!(s.inserts_applied, CHURN_KEYS as u64, "{cell:?}: {s:?}");
+    assert_eq!(s.removes_applied, CHURN_KEYS as u64, "{cell:?}: {s:?}");
+    assert!(prog.relocation_idle(), "{cell:?}: relocation work leaked: {s:?}");
+    // One hash-probe exchange per miss, loss or not: retransmission must
+    // not double-issue ops or leave any without a completion.
+    assert_eq!(s.rtts_per_miss(), Some(1.0), "{cell:?}: {s:?}");
+    assert_eq!(s.reads_per_lookup(), Some(1.0), "{cell:?}: {s:?}");
+    // Bit-for-bit: the settled table equals the directory's byte image, so
+    // every conditional WRITE landed exactly once despite drops.
+    let image = prog.directory().unwrap().encode_region();
+    let remote = sim
+        .node::<RnicNode>(table)
+        .region(rkey)
+        .read(base, image.len() as u64)
+        .unwrap();
+    assert_eq!(remote, &image[..], "{cell:?}: table diverges from directory: {s:?}");
+    if cell.outage {
+        let nic = sim.node::<RnicNode>(table);
+        assert!(nic.stats().outage_drops > 0, "{cell:?}: outage never bit");
+    }
+    if is_clean(cell) {
+        assert_eq!(s.channel.retransmits, 0, "clean cell must not retransmit");
+    }
+}
+
+#[test]
+fn matrix_remote_ops_cuckoo_probe_settles_exactly() {
+    for (i, cell) in grid().iter().enumerate() {
+        run_cuckoo_probe_cell(cell, 10_000 + i as u64);
+    }
+}
+
+#[test]
+fn smoke_remote_ops_cuckoo_worst_cell() {
+    run_cuckoo_probe_cell(&worst_cell(), 10_100);
 }
 
 // ---------------------------------------------------------------------------
@@ -1235,6 +1406,22 @@ fn crash_packet_buffer_rejoin_waits_for_ring_drain() {
 /// op applied, and both replicas bit-for-bit equal to the directory image.
 #[test]
 fn crash_lookup_mid_relocation_rejoins_bit_for_bit() {
+    run_crash_lookup_cell(false);
+}
+
+/// The same crash cell with the remote-op ISA on: lookups are
+/// hash-probe-and-fetch ops and relocation steps are conditional WRITEs.
+/// Ops in flight when the primary dies are reissued verbatim on the
+/// survivor, decided conditional writes fan their write image to the
+/// mirror, and the rejoiner is reconciled from the directory — so the
+/// bit-for-bit check proves op side effects are reproduced exactly.
+/// (`scripts/ci.sh` re-runs this cell in release via the `crash_` glob.)
+#[test]
+fn crash_remote_ops_lookup_rejoins_bit_for_bit() {
+    run_crash_lookup_cell(true);
+}
+
+fn run_crash_lookup_cell(remote_ops: bool) {
     const COUNT: u64 = 600;
     const DSCP: u8 = 46;
     const TRAFFIC_KEYS: u16 = 140;
@@ -1285,6 +1472,7 @@ fn crash_lookup_mid_relocation_rejoins_bit_for_bit() {
     fib.install(host_mac(1), PortId(1));
     let prog =
         LookupTableProgram::cuckoo_replicated(fib, vec![ch_a, ch_b], dir, None, crash_pool_config())
+            .with_remote_ops(remote_ops)
             .with_reliability(ReliableConfig {
                 rto: TimeDelta::from_micros(30),
                 ..Default::default()
@@ -1351,6 +1539,11 @@ fn crash_lookup_mid_relocation_rejoins_bit_for_bit() {
     assert_eq!(sink.dscp_mismatch, 0, "a punt kept its old DSCP: {s:?}");
     assert_eq!(s.slow_path, 0, "crash punted a lookup: {s:?}");
     assert_eq!(s.bucket_misses, 0, "filter misdirected a probe: {s:?}");
+    if remote_ops {
+        // Failover reissues the op, it does not re-plan it: still one
+        // hash-probe exchange per miss from the program's point of view.
+        assert_eq!(s.rtts_per_miss(), Some(1.0), "{s:?}");
+    }
     assert_eq!(s.inserts_applied, CHURN_KEYS as u64, "{s:?}");
     assert_eq!(s.removes_applied, CHURN_KEYS as u64, "{s:?}");
     assert_eq!(s.inserts_rejected, 0, "{s:?}");

@@ -817,3 +817,441 @@ mod shard_ring {
         }
     }
 }
+
+/// The remote-op engine against a step-by-step verb oracle: for random op
+/// programs over random initial memory, executing each op in the
+/// responder's op engine must produce the same returned bytes, the same
+/// hit/index decision, and the same final memory image as decomposing it
+/// into plain READ/WRITE verbs on a second identical responder. Every op
+/// is also delivered twice (as a retransmitted duplicate would be) and
+/// must replay the identical response without perturbing memory.
+mod remote_op_oracle {
+    use extmem_rnic::requester::RequesterQp;
+    use extmem_rnic::responder::{process_request, Outcome};
+    use extmem_rnic::{MrTable, QueuePair, RemoteOp};
+    use extmem_types::{ByteSize, QpNum, Rkey};
+    use extmem_wire::extop::{IndirectMode, EXTOP_FLAG_HIT, EXTOP_FLAG_SECONDARY};
+    use extmem_wire::roce::{RoceEndpoint, RoceExt};
+    use extmem_wire::{MacAddr, Payload};
+    use proptest::prelude::*;
+
+    const REGION: u64 = 4096;
+    const MTU: usize = 2048;
+
+    /// One remote op described with region-relative offsets, plus the plain
+    /// WRITEs that must precede it so the dependent chain is well-formed
+    /// (pointers in bounds, length prefixes within their caps).
+    #[derive(Clone, Debug)]
+    enum OpSpec {
+        Gather {
+            word_len: u16,
+            offs: Vec<u64>,
+        },
+        IndirectPtr {
+            slot_off: u64,
+            target_off: u64,
+            max_len: u32,
+        },
+        IndirectLen {
+            off: u64,
+            len_off: u8,
+            hdr_len: u16,
+            max_len: u32,
+            body_raw: u16,
+        },
+        HashProbe {
+            base_off: u64,
+            n_buckets: u32,
+            b1: u32,
+            b2: u32,
+            slot_bytes: u16,
+            slots: u16,
+            key_off: u8,
+            key: Vec<u8>,
+            plant: Option<(bool, u16)>,
+        },
+        CondWrite {
+            cmp_off: u64,
+            write_off: u64,
+            compare: Vec<u8>,
+            write: Vec<u8>,
+            plant_match: bool,
+        },
+    }
+
+    impl OpSpec {
+        /// Resolve offsets against the region base: the setup WRITEs (applied
+        /// identically to both rigs) and the op itself.
+        fn materialize(&self, base: u64) -> (Vec<(u64, Vec<u8>)>, RemoteOp) {
+            match self {
+                OpSpec::Gather { word_len, offs } => (
+                    vec![],
+                    RemoteOp::Gather {
+                        word_len: *word_len,
+                        vas: offs.iter().map(|o| base + o).collect(),
+                    },
+                ),
+                OpSpec::IndirectPtr {
+                    slot_off,
+                    target_off,
+                    max_len,
+                } => (
+                    vec![(base + slot_off, (base + target_off).to_be_bytes().to_vec())],
+                    RemoteOp::Indirect {
+                        va: base + slot_off,
+                        mode: IndirectMode::Pointer,
+                        len_off: 0,
+                        hdr_len: 0,
+                        max_len: *max_len,
+                    },
+                ),
+                OpSpec::IndirectLen {
+                    off,
+                    len_off,
+                    hdr_len,
+                    max_len,
+                    body_raw,
+                } => {
+                    let body = (*body_raw as u32 % (max_len + 1)) as u16;
+                    (
+                        vec![(base + off + *len_off as u64, body.to_be_bytes().to_vec())],
+                        RemoteOp::Indirect {
+                            va: base + off,
+                            mode: IndirectMode::LengthPrefixed,
+                            len_off: *len_off,
+                            hdr_len: *hdr_len,
+                            max_len: *max_len,
+                        },
+                    )
+                }
+                OpSpec::HashProbe {
+                    base_off,
+                    n_buckets,
+                    b1,
+                    b2,
+                    slot_bytes,
+                    slots,
+                    key_off,
+                    key,
+                    plant,
+                } => {
+                    let bucket_bytes = slot_bytes * slots;
+                    let b1 = b1 % n_buckets;
+                    let b2 = b2 % n_buckets;
+                    let mut plants = vec![];
+                    if let Some((in_b2, slot)) = plant {
+                        let bucket = if *in_b2 { b2 } else { b1 };
+                        let va = base
+                            + base_off
+                            + bucket as u64 * bucket_bytes as u64
+                            + (slot % slots) as u64 * *slot_bytes as u64
+                            + *key_off as u64;
+                        plants.push((va, key.clone()));
+                    }
+                    (
+                        plants,
+                        RemoteOp::HashProbe {
+                            base_va: base + base_off,
+                            b1,
+                            b2,
+                            bucket_bytes,
+                            slot_bytes: *slot_bytes,
+                            key_off: *key_off,
+                            key: Payload::copy_from_slice(key),
+                        },
+                    )
+                }
+                OpSpec::CondWrite {
+                    cmp_off,
+                    write_off,
+                    compare,
+                    write,
+                    plant_match,
+                } => {
+                    let mut plants = vec![];
+                    if *plant_match {
+                        plants.push((base + cmp_off, compare.clone()));
+                    }
+                    (
+                        plants,
+                        RemoteOp::CondWrite {
+                            cmp_va: base + cmp_off,
+                            write_va: base + write_off,
+                            compare: Payload::copy_from_slice(compare),
+                            write: Payload::copy_from_slice(write),
+                        },
+                    )
+                }
+            }
+        }
+    }
+
+    fn arb_spec() -> impl Strategy<Value = OpSpec> {
+        prop_oneof![
+            (1u16..33, prop::collection::vec(0u64..REGION - 32, 1..17))
+                .prop_map(|(word_len, offs)| OpSpec::Gather { word_len, offs }),
+            (0u64..REGION - 8, 0u64..REGION - 64, 1u32..65).prop_map(
+                |(slot_off, target_off, max_len)| OpSpec::IndirectPtr {
+                    slot_off,
+                    target_off,
+                    max_len,
+                }
+            ),
+            (0u64..REGION - 80, 0u8..7, 0u16..9, 1u32..65, any::<u16>()).prop_map(
+                |(off, len_off, extra, max_len, body_raw)| OpSpec::IndirectLen {
+                    off,
+                    len_off,
+                    hdr_len: len_off as u16 + 2 + extra,
+                    max_len,
+                    body_raw,
+                }
+            ),
+            (
+                (0u64..REGION - 1024, 1u32..9, any::<u32>(), any::<u32>()),
+                (
+                    prop::sample::select(vec![8u16, 16, 32]),
+                    1u16..5,
+                    0u8..5,
+                    prop::collection::vec(any::<u8>(), 1..5),
+                    (any::<bool>(), any::<bool>(), any::<u16>())
+                        .prop_map(|(p, in_b2, slot)| p.then_some((in_b2, slot))),
+                ),
+            )
+                .prop_map(
+                    |(
+                        (base_off, n_buckets, b1, b2),
+                        (slot_bytes, slots, key_off, key, plant),
+                    )| OpSpec::HashProbe {
+                        base_off,
+                        n_buckets,
+                        b1,
+                        b2,
+                        slot_bytes,
+                        slots,
+                        key_off,
+                        key,
+                        plant,
+                    }
+                ),
+            (
+                0u64..REGION - 8,
+                0u64..REGION - 24,
+                prop::collection::vec(any::<u8>(), 1..9),
+                prop::collection::vec(any::<u8>(), 1..25),
+                any::<bool>(),
+            )
+                .prop_map(|(cmp_off, write_off, compare, write, plant_match)| {
+                    OpSpec::CondWrite {
+                        cmp_off,
+                        write_off,
+                        compare,
+                        write,
+                        plant_match,
+                    }
+                }),
+        ]
+    }
+
+    /// A requester + responder pair over one registered region.
+    struct Rig {
+        server: RoceEndpoint,
+        req: RequesterQp,
+        qp: QueuePair,
+        mrs: MrTable,
+        rkey: Rkey,
+        base: u64,
+    }
+
+    impl Rig {
+        fn new(image: &[u8]) -> Rig {
+            let switch = RoceEndpoint {
+                mac: MacAddr::local(1),
+                ip: 0x0a000001,
+            };
+            let server = RoceEndpoint {
+                mac: MacAddr::local(2),
+                ip: 0x0a000002,
+            };
+            let mut mrs = MrTable::new();
+            let (rkey, base) = mrs.register(ByteSize::from_bytes(REGION));
+            mrs.get_mut(rkey).unwrap().write(base, image).unwrap();
+            Rig {
+                server,
+                req: RequesterQp::new(switch, server, QpNum(0x100), MTU),
+                qp: QueuePair::new(QpNum(0x100), switch, QpNum(0x200), 0),
+                mrs,
+                rkey,
+                base,
+            }
+        }
+
+        fn write(&mut self, va: u64, bytes: &[u8]) {
+            let pkt = self.req.write_only(self.rkey, va, bytes.to_vec(), false);
+            let r = process_request(self.server, &mut self.qp, &mut self.mrs, &pkt, MTU);
+            assert!(
+                matches!(r.outcome, Outcome::WriteExecuted { .. }),
+                "{:?}",
+                r.outcome
+            );
+        }
+
+        fn read(&mut self, va: u64, len: u32) -> Vec<u8> {
+            let pkt = self.req.read(self.rkey, va, len);
+            let r = process_request(self.server, &mut self.qp, &mut self.mrs, &pkt, MTU);
+            assert!(
+                matches!(r.outcome, Outcome::ReadServed { .. }),
+                "{:?}",
+                r.outcome
+            );
+            let mut out = Vec::new();
+            for p in &r.responses {
+                out.extend_from_slice(&p.payload[..]);
+            }
+            out
+        }
+
+        /// Execute a remote op, then deliver the identical packet again (a
+        /// retransmitted duplicate) and demand a byte-identical replay.
+        fn remote(&mut self, op: &RemoteOp) -> (u8, u16, Vec<u8>) {
+            let pkt = self.req.remote_op(self.rkey, op);
+            let r = process_request(self.server, &mut self.qp, &mut self.mrs, &pkt, MTU);
+            assert!(
+                matches!(r.outcome, Outcome::ExtOpExecuted { .. }),
+                "{:?}",
+                r.outcome
+            );
+            let resp = &r.responses[0];
+            let RoceExt::ExtOpAck(_, eth) = &resp.ext else {
+                panic!("not an ext-op response: {:?}", resp.ext)
+            };
+            let first = (eth.flags, eth.index, resp.payload[..].to_vec());
+            let before = self.image();
+            let r2 = process_request(self.server, &mut self.qp, &mut self.mrs, &pkt, MTU);
+            assert!(matches!(r2.outcome, Outcome::Duplicate), "{:?}", r2.outcome);
+            let resp2 = &r2.responses[0];
+            let RoceExt::ExtOpAck(_, eth2) = &resp2.ext else {
+                panic!("duplicate replay is not an ext-op response")
+            };
+            assert_eq!(
+                (eth2.flags, eth2.index, resp2.payload[..].to_vec()),
+                first,
+                "duplicate replay diverged"
+            );
+            assert_eq!(self.image(), before, "duplicate perturbed memory");
+            first
+        }
+
+        /// The verb oracle: the same op decomposed into dependent plain
+        /// READ / WRITE verbs, reproducing the engine's decision logic.
+        fn oracle(&mut self, op: &RemoteOp) -> (u8, u16, Vec<u8>) {
+            match op {
+                RemoteOp::Gather { word_len, vas } => {
+                    let mut out = Vec::new();
+                    for va in vas {
+                        out.extend_from_slice(&self.read(*va, *word_len as u32));
+                    }
+                    (EXTOP_FLAG_HIT, 0, out)
+                }
+                RemoteOp::Indirect {
+                    va,
+                    mode: IndirectMode::Pointer,
+                    max_len,
+                    ..
+                } => {
+                    let ptr = u64::from_be_bytes(self.read(*va, 8).try_into().unwrap());
+                    (EXTOP_FLAG_HIT, 0, self.read(ptr, *max_len))
+                }
+                RemoteOp::Indirect {
+                    va,
+                    mode: IndirectMode::LengthPrefixed,
+                    len_off,
+                    hdr_len,
+                    ..
+                } => {
+                    let hdr = self.read(*va, *hdr_len as u32);
+                    let off = *len_off as usize;
+                    let body =
+                        u16::from_be_bytes(hdr[off..off + 2].try_into().unwrap()) as u32;
+                    (EXTOP_FLAG_HIT, 0, self.read(*va, *hdr_len as u32 + body))
+                }
+                RemoteOp::HashProbe {
+                    base_va,
+                    b1,
+                    b2,
+                    bucket_bytes,
+                    slot_bytes,
+                    key_off,
+                    key,
+                } => {
+                    for (nth, bucket) in [*b1, *b2].into_iter().enumerate() {
+                        if nth == 1 && b2 == b1 {
+                            break;
+                        }
+                        let va = base_va + bucket as u64 * *bucket_bytes as u64;
+                        let data = self.read(va, *bucket_bytes as u32);
+                        for slot in 0..(bucket_bytes / slot_bytes) as usize {
+                            let at = slot * *slot_bytes as usize + *key_off as usize;
+                            if data[at..at + key.len()] == key[..] {
+                                let mut flags = EXTOP_FLAG_HIT;
+                                if nth == 1 {
+                                    flags |= EXTOP_FLAG_SECONDARY;
+                                }
+                                return (flags, slot as u16, data);
+                            }
+                        }
+                    }
+                    (0, 0, vec![])
+                }
+                RemoteOp::CondWrite {
+                    cmp_va,
+                    write_va,
+                    compare,
+                    write,
+                } => {
+                    let observed = self.read(*cmp_va, compare.len() as u32);
+                    let mut flags = 0;
+                    if observed[..] == compare[..] {
+                        let img = write[..].to_vec();
+                        self.write(*write_va, &img);
+                        flags = EXTOP_FLAG_HIT;
+                    }
+                    (flags, 0, observed)
+                }
+            }
+        }
+
+        fn image(&self) -> Vec<u8> {
+            self.mrs
+                .get(self.rkey)
+                .unwrap()
+                .read(self.base, REGION)
+                .unwrap()
+                .to_vec()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+        #[test]
+        fn remote_ops_match_verb_oracle(
+            image in prop::collection::vec(any::<u8>(), REGION as usize..REGION as usize + 1),
+            specs in prop::collection::vec(arb_spec(), 1..8),
+        ) {
+            let mut remote = Rig::new(&image);
+            let mut oracle = Rig::new(&image);
+            prop_assert_eq!(remote.base, oracle.base);
+            for spec in &specs {
+                let (plants, op) = spec.materialize(remote.base);
+                for (va, bytes) in &plants {
+                    remote.write(*va, bytes);
+                    oracle.write(*va, bytes);
+                }
+                let got = remote.remote(&op);
+                let want = oracle.oracle(&op);
+                prop_assert_eq!(got, want, "engine vs oracle diverged on {:?}", op);
+            }
+            // Same final memory image: every op's side effects agree.
+            prop_assert_eq!(remote.image(), oracle.image());
+        }
+    }
+}

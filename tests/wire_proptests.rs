@@ -396,3 +396,166 @@ proptest! {
         prop_assert_eq!(outstanding, w - k);
     }
 }
+
+/// Round-trip through the full packet codec for every remote-op opcode:
+/// the four request formats (extension header + op-specific payload) and
+/// the ExtOpResp response (AETH + ExtOpAckETH + data payload). Payloads
+/// are generated consistent with their headers, as the requester builds
+/// them.
+mod extop_roundtrips {
+    use extmem_types::{QpNum, Rkey};
+    use extmem_wire::aeth::{Aeth, Syndrome};
+    use extmem_wire::bth::{Bth, Opcode};
+    use extmem_wire::extop::{
+        CondWriteEth, ExtOpAckEth, GatherEth, HashProbeEth, IndirectEth, IndirectMode,
+    };
+    use extmem_wire::roce::{RoceEndpoint, RoceExt, RocePacket};
+    use extmem_wire::MacAddr;
+    use proptest::prelude::*;
+
+    fn arb_ext_op() -> impl Strategy<Value = (Opcode, RoceExt, Vec<u8>)> {
+        prop_oneof![
+            (
+                any::<u64>(),
+                any::<u32>(),
+                any::<bool>(),
+                any::<u8>(),
+                any::<u16>(),
+                any::<u32>(),
+            )
+                .prop_map(|(va, rkey, lp, len_off, hdr_len, max_len)| (
+                    Opcode::IndirectRead,
+                    RoceExt::Indirect(IndirectEth {
+                        va,
+                        rkey: Rkey(rkey),
+                        mode: if lp {
+                            IndirectMode::LengthPrefixed
+                        } else {
+                            IndirectMode::Pointer
+                        },
+                        len_off,
+                        hdr_len,
+                        max_len,
+                    }),
+                    vec![],
+                )),
+            (
+                (any::<u64>(), any::<u32>(), any::<u32>(), any::<u32>()),
+                (
+                    any::<u16>(),
+                    any::<u16>(),
+                    any::<u8>(),
+                    proptest::collection::vec(any::<u8>(), 1..33),
+                ),
+            )
+                .prop_map(
+                    |((base_va, rkey, b1, b2), (bucket_bytes, slot_bytes, key_off, key))| (
+                        Opcode::HashProbe,
+                        RoceExt::HashProbe(HashProbeEth {
+                            base_va,
+                            rkey: Rkey(rkey),
+                            b1,
+                            b2,
+                            bucket_bytes,
+                            slot_bytes,
+                            key_off,
+                            key_len: key.len() as u8,
+                        }),
+                        key,
+                    )
+                ),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u32>(),
+                proptest::collection::vec(any::<u8>(), 1..33),
+                proptest::collection::vec(any::<u8>(), 0..65),
+            )
+                .prop_map(|(cmp_va, write_va, rkey, compare, write)| {
+                    let mut payload = compare.clone();
+                    payload.extend_from_slice(&write);
+                    (
+                        Opcode::CondWrite,
+                        RoceExt::CondWrite(CondWriteEth {
+                            cmp_va,
+                            write_va,
+                            rkey: Rkey(rkey),
+                            cmp_len: compare.len() as u16,
+                        }),
+                        payload,
+                    )
+                }),
+            (
+                any::<u32>(),
+                any::<u16>(),
+                proptest::collection::vec(any::<u64>(), 1..17),
+            )
+                .prop_map(|(rkey, word_len, vas)| {
+                    let mut payload = Vec::with_capacity(vas.len() * 8);
+                    for va in &vas {
+                        payload.extend_from_slice(&va.to_be_bytes());
+                    }
+                    (
+                        Opcode::GatherWalk,
+                        RoceExt::Gather(GatherEth {
+                            rkey: Rkey(rkey),
+                            word_len,
+                            count: vas.len() as u16,
+                        }),
+                        payload,
+                    )
+                }),
+            (
+                0u32..0x0100_0000,
+                0u8..32,
+                prop::sample::select(vec![0xc0u8, 0xc1, 0xc2, 0xc3]),
+                any::<u8>(),
+                any::<u16>(),
+                proptest::collection::vec(any::<u8>(), 0..256),
+            )
+                .prop_map(|(msn, credits, op, flags, index, data)| (
+                    Opcode::ExtOpResp,
+                    RoceExt::ExtOpAck(
+                        Aeth {
+                            syndrome: Syndrome::Ack { credits },
+                            msn,
+                        },
+                        ExtOpAckEth {
+                            op,
+                            flags: flags & 0x03,
+                            index,
+                        },
+                    ),
+                    data,
+                )),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn ext_op_packet_roundtrip(
+            (op, ext, payload) in arb_ext_op(),
+            qpn in 0u32..0x0100_0000,
+            psn in 0u32..0x0100_0000,
+            sport: u16,
+        ) {
+            let src = RoceEndpoint { mac: MacAddr::local(1), ip: 0x0a000001 };
+            let dst = RoceEndpoint { mac: MacAddr::local(2), ip: 0x0a000002 };
+            let pkt = RocePacket::new(
+                src,
+                dst,
+                sport,
+                Bth::new(op, QpNum(qpn), psn),
+                ext,
+                payload,
+            );
+            let wire = pkt.build().unwrap();
+            let parsed = RocePacket::parse(&wire).unwrap().expect("is roce");
+            prop_assert_eq!(parsed.bth.opcode, op);
+            prop_assert_eq!(parsed.bth.psn, psn);
+            prop_assert_eq!(parsed.bth.dest_qp, QpNum(qpn));
+            prop_assert_eq!(parsed.ext, pkt.ext);
+            prop_assert_eq!(parsed.payload, pkt.payload);
+        }
+    }
+}
